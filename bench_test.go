@@ -1,0 +1,362 @@
+package gosmr_test
+
+// Benchmark harness: one benchmark per figure and table of the paper's
+// evaluation (regenerated on the deterministic simulator — see DESIGN.md §3
+// for the experiment index), plus benchmarks of the real Go implementation
+// (in-process transport) and its substrates.
+//
+// The figure/table benchmarks report the headline metric of each experiment
+// via b.ReportMetric (requests/second, speedup, packets/second, ...). They
+// run at reduced fidelity; `go run ./cmd/gosmr-bench` prints the full
+// tables.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gosmr"
+	"gosmr/internal/batch"
+	"gosmr/internal/experiments"
+	"gosmr/internal/paxos"
+	"gosmr/internal/profiling"
+	"gosmr/internal/queue"
+	"gosmr/internal/replycache"
+	"gosmr/internal/retrans"
+	"gosmr/internal/service"
+	"gosmr/internal/simrsm"
+	"gosmr/internal/wire"
+)
+
+// benchOpts keeps simulator benchmarks quick.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Warmup:  50 * time.Millisecond,
+		Measure: 150 * time.Millisecond,
+		Cores:   []int{1, 8, 24},
+	}
+}
+
+func BenchmarkFig01ZooKeeperScalability(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).Fig1()
+		b.ReportMetric(r.Throughput[len(r.Throughput)-1], "zk-req/s@24c")
+	}
+}
+
+func BenchmarkFig04ThroughputVsCores(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).Fig4()
+		b.ReportMetric(r.N3[len(r.N3)-1], "req/s@24c")
+		b.ReportMetric(r.SpeedN3[len(r.SpeedN3)-1], "speedup@24c")
+	}
+}
+
+func BenchmarkFig05CPUAndBlocking(b *testing.B) {
+	for b.Loop() {
+		n3, _ := experiments.NewSuite(benchOpts()).Fig5()
+		last := len(n3.Cores) - 1
+		b.ReportMetric(n3.CPU[0][last], "leader-cpu-%")
+		b.ReportMetric(n3.Blocked[0][last], "leader-blocked-%")
+	}
+}
+
+func BenchmarkFig06EdelThroughput(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).Fig6()
+		b.ReportMetric(r.N3[len(r.N3)-1], "req/s@8c")
+	}
+}
+
+func BenchmarkFig07EdelCPUAndBlocking(b *testing.B) {
+	for b.Loop() {
+		n3, _ := experiments.NewSuite(benchOpts()).Fig7()
+		last := len(n3.Cores) - 1
+		b.ReportMetric(n3.CPU[0][last], "leader-cpu-%")
+	}
+}
+
+func BenchmarkFig08PerThreadUtilization(b *testing.B) {
+	for b.Loop() {
+		profiles := experiments.NewSuite(benchOpts()).Fig8()
+		// Report the leader Protocol thread's busy share at full cores.
+		for _, p := range profiles {
+			if p.Label != "parapluie-24cores" {
+				continue
+			}
+			for _, st := range p.Threads {
+				if st.Name == "Protocol" {
+					b.ReportMetric(100*float64(st.Busy)/float64(p.Window), "protocol-busy-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig09ClientIOThreads(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).Fig9()
+		peak := 0.0
+		for _, v := range r.Tput {
+			if v > peak {
+				peak = v
+			}
+		}
+		b.ReportMetric(peak, "peak-req/s")
+		b.ReportMetric(r.Tput[0], "req/s@1thread")
+	}
+}
+
+func BenchmarkFig10WindowSize(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).Fig10()
+		b.ReportMetric(r.Tput[len(r.Tput)-1], "req/s@WND50")
+		b.ReportMetric(float64(r.Lat[len(r.Lat)-1].Microseconds()), "latency-us@WND50")
+	}
+}
+
+func BenchmarkFig11BatchSize(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).Fig11()
+		b.ReportMetric(r.Tput[len(r.Tput)-1], "req/s@BSZ10400")
+	}
+}
+
+func BenchmarkFig12JPaxosVsZooKeeper(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).Fig12()
+		last := len(r.Cores) - 1
+		b.ReportMetric(r.JPaxos[last]/r.ZooKeeper[last], "jpaxos/zk@24c")
+	}
+}
+
+func BenchmarkFig13ZooKeeperContention(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).Fig13()
+		leader := len(r.CPU) - 1
+		b.ReportMetric(r.Blocked[leader][len(r.Cores)-1], "zk-blocked-%@24c")
+	}
+}
+
+func BenchmarkFig14ZooKeeperThreads(b *testing.B) {
+	for b.Loop() {
+		profiles := experiments.NewSuite(benchOpts()).Fig14()
+		for _, p := range profiles {
+			for _, st := range p.Threads {
+				if st.Name == "CommitProcessor" {
+					b.ReportMetric(100*float64(st.Busy+st.Blocked)/float64(p.Window),
+						"commitproc-busy+blocked-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTableIQueueSizes(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).TableI()
+		b.ReportMetric(r.RequestQ[0], "requestq-avg@WND10")
+		b.ReportMetric(r.AvgBallots[len(r.AvgBallots)-1], "ballots@WND50")
+	}
+}
+
+func BenchmarkTableIIPingRTT(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).TableII()
+		b.ReportMetric(float64(r.Idle.Microseconds()), "idle-rtt-us")
+		b.ReportMetric(float64(r.LeaderToAny.Microseconds()), "leader-rtt-us")
+	}
+}
+
+func BenchmarkTableIIIPackets(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).TableIII()
+		b.ReportMetric(r.PktsOut[1], "pkts/s-out@BSZ1300")
+		b.ReportMetric(r.Tput[1], "req/s@BSZ1300")
+	}
+}
+
+func BenchmarkAblationRSS(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).AblationRSS()
+		b.ReportMetric(r.Variant/r.Baseline, "rss-speedup")
+	}
+}
+
+func BenchmarkAblationNoBatcher(b *testing.B) {
+	for b.Loop() {
+		r := experiments.NewSuite(benchOpts()).AblationNoBatcher()
+		b.ReportMetric(r.Variant/r.Baseline, "nobatcher-ratio")
+	}
+}
+
+func BenchmarkAblationWindow1(b *testing.B) {
+	// Pipelining ablation: WND=1 (no pipelining) vs the default WND=10.
+	for b.Loop() {
+		off := simrsm.RunJPaxos(simrsm.Config{Window: 1}, 50*time.Millisecond, 150*time.Millisecond)
+		on := simrsm.RunJPaxos(simrsm.Config{}, 50*time.Millisecond, 150*time.Millisecond)
+		b.ReportMetric(on.Throughput/off.Throughput, "pipelining-speedup")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Real-implementation benchmarks (actual goroutine pipeline, in-process
+// transport; numbers reflect this host, not the paper's testbed).
+
+// benchCluster starts a 3-replica cluster and returns a ready client.
+func benchCluster(b *testing.B) (*gosmr.Client, func()) {
+	b.Helper()
+	net := gosmr.NewInprocNetwork()
+	peers := []string{"r0", "r1", "r2"}
+	var reps []*gosmr.Replica
+	for i := range 3 {
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID: i, Peers: peers, ClientAddr: fmt.Sprintf("c%d", i), Network: net,
+			BatchDelay: time.Millisecond,
+		}, &service.Null{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			b.Fatal(err)
+		}
+		reps = append(reps, rep)
+	}
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs: []string{"c0", "c1", "c2"}, Network: net, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cli, func() {
+		cli.Close()
+		for _, r := range reps {
+			r.Stop()
+		}
+	}
+}
+
+func BenchmarkRealPipelineEndToEnd(b *testing.B) {
+	cli, stop := benchCluster(b)
+	defer stop()
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := cli.Execute(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealOrderingThroughput(b *testing.B) {
+	// Closed-loop clients against the real pipeline; reports requests/s.
+	cli, stop := benchCluster(b)
+	defer stop()
+	payload := make([]byte, 128)
+	start := time.Now()
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := cli.Execute(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+
+func BenchmarkQueuePutTake(b *testing.B) {
+	q := queue.NewBounded[int]("bench", 1024)
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		_ = q.Put(nil, i)
+		_, _ = q.Take(nil)
+	}
+}
+
+func BenchmarkCodecMarshalPropose(b *testing.B) {
+	msg := &wire.Propose{View: 3, ID: 42, DecidedUpTo: 41, Value: make([]byte, 1300)}
+	b.ResetTimer()
+	for b.Loop() {
+		_ = wire.Marshal(msg)
+	}
+}
+
+func BenchmarkCodecUnmarshalPropose(b *testing.B) {
+	buf := wire.Marshal(&wire.Propose{View: 3, ID: 42, Value: make([]byte, 1300)})
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := wire.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchBuilder(b *testing.B) {
+	builder := batch.NewBuilder(batch.Policy{MaxBytes: 1300})
+	req := &wire.ClientRequest{ClientID: 1, Seq: 1, Payload: make([]byte, 128)}
+	b.ResetTimer()
+	for b.Loop() {
+		if builder.Add(req) {
+			_ = builder.Flush()
+		}
+	}
+}
+
+func BenchmarkReplyCacheSharded(b *testing.B) {
+	c := replycache.NewSharded()
+	b.RunParallel(func(pb *testing.PB) {
+		th := profiling.NewRegistry().Register("w")
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			c.Update(th, i%512, i, nil)
+			c.Lookup(th, i%512, i)
+		}
+	})
+}
+
+func BenchmarkReplyCacheCoarse(b *testing.B) {
+	c := replycache.NewCoarse()
+	b.RunParallel(func(pb *testing.PB) {
+		th := profiling.NewRegistry().Register("w")
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			c.Update(th, i%512, i, nil)
+			c.Lookup(th, i%512, i)
+		}
+	})
+}
+
+func BenchmarkRetransmitterAddCancel(b *testing.B) {
+	r := retrans.New(retrans.Options{Period: time.Hour})
+	defer r.Stop()
+	b.ResetTimer()
+	for b.Loop() {
+		h := r.Add(func() {})
+		h.Cancel()
+	}
+}
+
+func BenchmarkPaxosProposeDecide(b *testing.B) {
+	// Pure protocol state machine: one full instance per iteration.
+	nd := paxos.NewNode(paxos.Options{ID: 0, N: 3, Window: 1024})
+	nd.Start()
+	nd.HandleMessage(1, &wire.PrepareOK{View: 0})
+	value := wire.EncodeBatch([]*wire.ClientRequest{{ClientID: 1, Seq: 1, Payload: make([]byte, 128)}})
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		e, ok := nd.ProposeBatch(value)
+		if !ok {
+			b.Fatal("window closed")
+		}
+		id := wire.InstanceID(i)
+		_ = e
+		nd.HandleMessage(1, &wire.Accept{View: 0, ID: id})
+	}
+}

@@ -1,0 +1,235 @@
+package gosmr
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gosmr/internal/transport"
+	"gosmr/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrTimeout reports that a request did not complete within
+	// ClientConfig.Timeout despite retries and failover.
+	ErrTimeout = errors.New("gosmr: request timed out")
+	// ErrClientClosed reports use of a closed client.
+	ErrClientClosed = errors.New("gosmr: client closed")
+)
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// Addrs lists every replica's client-facing address, indexed by replica
+	// ID (required — redirects name replicas by ID).
+	Addrs []string
+	// Network selects the transport; nil means TCP. Must match the
+	// replicas' transport.
+	Network Network
+	// Timeout bounds one Execute call end to end, including retries
+	// (default 10s).
+	Timeout time.Duration
+	// AttemptTimeout bounds one network attempt before the client resends
+	// or fails over (default 500ms).
+	AttemptTimeout time.Duration
+	// ID overrides the client's unique ID (default: crypto-random).
+	// Reusing an ID across live clients breaks at-most-once semantics.
+	ID uint64
+	// InitialTarget is the replica to contact first (default 0). Redirects
+	// move the client to the leader regardless of the starting point.
+	InitialTarget int
+}
+
+// Client is a synchronous SMR client: it tracks the leader, retries across
+// replica failures, and tags every request with a (clientID, sequence) pair
+// so the cluster executes it at most once. One request is outstanding at a
+// time; concurrent Execute calls are serialized.
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	id      uint64
+	seq     uint64
+	target  int // replica we currently believe is leader
+	conn    transport.FrameConn
+	replies chan *wire.ClientReply
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Dial returns a ready client. It does not connect eagerly; the first
+// Execute establishes the connection.
+func Dial(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("gosmr: ClientConfig.Addrs is empty")
+	}
+	if cfg.Network == nil {
+		cfg.Network = TCPNetwork()
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 500 * time.Millisecond
+	}
+	id := cfg.ID
+	if id == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return nil, fmt.Errorf("gosmr: generating client ID: %w", err)
+		}
+		id = binary.LittleEndian.Uint64(b[:]) | 1 // never zero
+	}
+	target := cfg.InitialTarget
+	if target < 0 || target >= len(cfg.Addrs) {
+		target = 0
+	}
+	return &Client{cfg: cfg, id: id, target: target}, nil
+}
+
+// ID returns the client's unique ID.
+func (c *Client) ID() uint64 {
+	return c.id
+}
+
+// Execute submits req and blocks until the cluster executes it and returns
+// the service's reply, or the configured timeout expires. Safe for
+// concurrent use (calls are serialized: the protocol permits one outstanding
+// request per client ID).
+func (c *Client) Execute(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	c.seq++
+	frame := wire.Marshal(&wire.ClientRequest{ClientID: c.id, Seq: c.seq, Payload: req})
+	deadline := time.Now().Add(c.cfg.Timeout)
+
+	for time.Now().Before(deadline) {
+		if c.conn == nil {
+			if err := c.connectLocked(); err != nil {
+				c.rotateLocked()
+				c.sleepLocked(20 * time.Millisecond)
+				continue
+			}
+		}
+		if err := c.conn.WriteFrame(frame); err != nil {
+			c.dropConnLocked()
+			c.rotateLocked()
+			continue
+		}
+		reply, ok := c.awaitLocked(deadline)
+		if !ok {
+			// Attempt timed out: resend on the same or the next replica.
+			// The reply cache makes the retry idempotent.
+			c.dropConnLocked()
+			c.rotateLocked()
+			continue
+		}
+		switch {
+		case reply.OK:
+			return reply.Payload, nil
+		case reply.Redirect >= 0 && int(reply.Redirect) < len(c.cfg.Addrs):
+			if int(reply.Redirect) == c.target {
+				// The target thinks it will lead but has not established
+				// leadership yet; wait briefly and retry.
+				c.sleepLocked(20 * time.Millisecond)
+			} else {
+				c.dropConnLocked()
+				c.target = int(reply.Redirect)
+			}
+		default:
+			c.sleepLocked(20 * time.Millisecond)
+		}
+	}
+	return nil, ErrTimeout
+}
+
+// connectLocked dials the current target and starts its reader goroutine.
+func (c *Client) connectLocked() error {
+	conn, err := c.cfg.Network.Dial(c.cfg.Addrs[c.target])
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.replies = make(chan *wire.ClientReply, 16)
+	replies := c.replies
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer close(replies)
+		for {
+			f, err := conn.ReadFrame()
+			if err != nil {
+				return
+			}
+			msg, err := wire.Unmarshal(f)
+			if err != nil {
+				continue
+			}
+			if rep, ok := msg.(*wire.ClientReply); ok {
+				select {
+				case replies <- rep:
+				default: // slow consumer: drop; the request layer retries
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// awaitLocked waits for the reply to the current sequence number.
+func (c *Client) awaitLocked(deadline time.Time) (*wire.ClientReply, bool) {
+	attempt := time.Now().Add(c.cfg.AttemptTimeout)
+	if attempt.After(deadline) {
+		attempt = deadline
+	}
+	timer := time.NewTimer(time.Until(attempt))
+	defer timer.Stop()
+	for {
+		select {
+		case rep, ok := <-c.replies:
+			if !ok {
+				return nil, false // connection died
+			}
+			if rep.ClientID != c.id || rep.Seq != c.seq {
+				continue // stale reply from an earlier attempt
+			}
+			return rep, true
+		case <-timer.C:
+			return nil, false
+		}
+	}
+}
+
+// dropConnLocked closes the current connection (reader exits on its own).
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// rotateLocked moves to the next replica address.
+func (c *Client) rotateLocked() {
+	c.target = (c.target + 1) % len(c.cfg.Addrs)
+}
+
+// sleepLocked pauses briefly without giving up the client lock (Execute is
+// serialized anyway).
+func (c *Client) sleepLocked(d time.Duration) {
+	time.Sleep(d)
+}
+
+// Close releases the client's connection. In-flight Execute calls fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.dropConnLocked()
+	c.mu.Unlock()
+	c.wg.Wait()
+}

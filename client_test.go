@@ -1,0 +1,125 @@
+package gosmr_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gosmr"
+	"gosmr/internal/service"
+)
+
+func TestClientTimeoutWhenClusterDown(t *testing.T) {
+	net := gosmr.NewInprocNetwork()
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:          []string{"nowhere-0", "nowhere-1"},
+		Network:        net,
+		Timeout:        300 * time.Millisecond,
+		AttemptTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	start := time.Now()
+	_, err = cli.Execute([]byte("x"))
+	if !errors.Is(err, gosmr.ErrTimeout) {
+		t.Fatalf("Execute = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond || elapsed > 3*time.Second {
+		t.Errorf("timed out after %v, want ~300ms", elapsed)
+	}
+}
+
+func TestClientFailsOverFromDeadTarget(t *testing.T) {
+	// Only replicas 1 and 2 of a 3-address cluster are up; the client's
+	// initial target (0) is dead and it must rotate to the live ones.
+	net := gosmr.NewInprocNetwork()
+	peers := []string{"cf-r0", "cf-r1", "cf-r2"}
+	for i := 1; i < 3; i++ {
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID: i, Peers: peers, ClientAddr: fmt.Sprintf("cf-c%d", i),
+			Network:           net,
+			BatchDelay:        time.Millisecond,
+			HeartbeatInterval: 20 * time.Millisecond,
+			SuspectTimeout:    150 * time.Millisecond,
+		}, service.NewKV())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer rep.Stop()
+	}
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:          []string{"cf-c0", "cf-c1", "cf-c2"}, // c0 never listens
+		Network:        net,
+		Timeout:        20 * time.Second,
+		AttemptTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	reply, err := cli.Execute(service.EncodePut("k", []byte("v")))
+	if err != nil {
+		t.Fatalf("Execute with dead initial target: %v", err)
+	}
+	if st, _ := service.DecodeReply(reply); st != service.KVOK {
+		t.Fatalf("status = %d", st)
+	}
+}
+
+func TestClientIDsUniqueAndStable(t *testing.T) {
+	net := gosmr.NewInprocNetwork()
+	seen := make(map[uint64]bool)
+	for range 50 {
+		cli, err := gosmr.Dial(gosmr.ClientConfig{Addrs: []string{"a"}, Network: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := cli.ID()
+		if id == 0 {
+			t.Fatal("zero client ID generated")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate client ID %d", id)
+		}
+		seen[id] = true
+		cli.Close()
+	}
+	cli, err := gosmr.Dial(gosmr.ClientConfig{Addrs: []string{"a"}, Network: net, ID: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if cli.ID() != 42 {
+		t.Errorf("explicit ID = %d, want 42", cli.ID())
+	}
+}
+
+func TestClientClosedErrors(t *testing.T) {
+	net := gosmr.NewInprocNetwork()
+	cli, err := gosmr.Dial(gosmr.ClientConfig{Addrs: []string{"a"}, Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if _, err := cli.Execute([]byte("x")); !errors.Is(err, gosmr.ErrClientClosed) {
+		t.Fatalf("Execute after Close = %v, want ErrClientClosed", err)
+	}
+	cli.Close() // idempotent
+}
+
+func TestClientBadInitialTargetClamped(t *testing.T) {
+	net := gosmr.NewInprocNetwork()
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs: []string{"a", "b"}, Network: net, InitialTarget: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+}

@@ -1,0 +1,101 @@
+// Command gosmr-client is the closed-loop workload generator of the paper's
+// evaluation (Sec. VI): N client goroutines each send a fixed-size request,
+// wait for the reply, and immediately send the next. It prints achieved
+// throughput and latency percentiles.
+//
+// Example against a local gosmr-replica cluster:
+//
+//	gosmr-client -addrs :8000,:8001,:8002 -clients 100 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosmr"
+)
+
+func main() {
+	var (
+		addrs    = flag.String("addrs", "", "comma-separated client addresses, indexed by replica ID")
+		clients  = flag.Int("clients", 100, "number of closed-loop clients")
+		duration = flag.Duration("duration", 30*time.Second, "run duration")
+		warmup   = flag.Duration("warmup", 3*time.Second, "warm-up discarded from results")
+		payload  = flag.Int("payload", 128, "request payload bytes (paper: 128)")
+	)
+	flag.Parse()
+	if *addrs == "" {
+		fmt.Fprintln(os.Stderr, "usage: gosmr-client -addrs a,b,c [-clients N] [-duration D]")
+		os.Exit(2)
+	}
+	addrList := strings.Split(*addrs, ",")
+
+	var (
+		done      atomic.Bool
+		completed atomic.Uint64
+		measuring atomic.Bool
+		latMu     sync.Mutex
+		lats      []time.Duration
+	)
+	body := make([]byte, *payload)
+
+	var wg sync.WaitGroup
+	for i := range *clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := gosmr.Dial(gosmr.ClientConfig{Addrs: addrList, Timeout: 30 * time.Second})
+			if err != nil {
+				log.Printf("client %d: %v", i, err)
+				return
+			}
+			defer cli.Close()
+			for !done.Load() {
+				start := time.Now()
+				if _, err := cli.Execute(body); err != nil {
+					log.Printf("client %d: %v", i, err)
+					return
+				}
+				if measuring.Load() {
+					completed.Add(1)
+					if i < 32 { // sample latency from a subset of clients
+						latMu.Lock()
+						lats = append(lats, time.Since(start))
+						latMu.Unlock()
+					}
+				}
+			}
+		}(i)
+	}
+
+	log.Printf("warming up for %v...", *warmup)
+	time.Sleep(*warmup)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(*duration)
+	elapsed := time.Since(start)
+	done.Store(true)
+	wg.Wait()
+
+	total := completed.Load()
+	fmt.Printf("clients:    %d\n", *clients)
+	fmt.Printf("duration:   %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("requests:   %d\n", total)
+	fmt.Printf("throughput: %.0f req/s\n", float64(total)/elapsed.Seconds())
+	latMu.Lock()
+	defer latMu.Unlock()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+		fmt.Printf("latency:    p50=%v p95=%v p99=%v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,80 @@
+// Kvstore: a replicated coordination store under concurrent writers with a
+// leader crash mid-run — the ZooKeeper-style workload the paper benchmarks
+// against. Demonstrates failover: the cluster elects a new leader and the
+// clients keep going without losing acknowledged writes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"gosmr"
+	"gosmr/internal/service"
+)
+
+func main() {
+	net := gosmr.NewInprocNetwork()
+	peers := []string{"kv-r0", "kv-r1", "kv-r2"}
+	stores := make([]*service.KV, 3)
+	replicas := make([]*gosmr.Replica, 3)
+	for i := range 3 {
+		stores[i] = service.NewKV()
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID: i, Peers: peers, ClientAddr: fmt.Sprintf("kv-c%d", i),
+			Network:           net,
+			BatchDelay:        time.Millisecond,
+			HeartbeatInterval: 20 * time.Millisecond,
+			SuspectTimeout:    200 * time.Millisecond,
+		}, stores[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			log.Fatal(err)
+		}
+		replicas[i] = rep
+	}
+	addrs := []string{"kv-c0", "kv-c1", "kv-c2"}
+
+	const writers, writes = 4, 50
+	var wg sync.WaitGroup
+	for w := range writers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli, err := gosmr.Dial(gosmr.ClientConfig{Addrs: addrs, Network: net, Timeout: 20 * time.Second})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer cli.Close()
+			for i := range writes {
+				key := fmt.Sprintf("writer-%d/key-%d", w, i)
+				if _, err := cli.Execute(service.EncodePut(key, []byte("v"))); err != nil {
+					log.Fatalf("writer %d: %v", w, err)
+				}
+			}
+		}(w)
+	}
+
+	// Crash the leader while the writers are running.
+	time.Sleep(20 * time.Millisecond)
+	fmt.Println("crashing the leader (replica 0)...")
+	replicas[0].Stop()
+	wg.Wait()
+
+	// The survivors converge on the full write set.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if stores[1].Len() == writers*writes && stores[2].Len() == writers*writes {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("replica 1 has %d keys, replica 2 has %d keys (want %d)\n",
+		stores[1].Len(), stores[2].Len(), writers*writes)
+	fmt.Printf("new leader: replica %d (view %d)\n", replicas[1].Leader(), replicas[1].View())
+	replicas[1].Stop()
+	replicas[2].Stop()
+}

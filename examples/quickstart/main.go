@@ -1,0 +1,62 @@
+// Quickstart: a three-replica replicated key-value store and a client, all
+// in one process over the in-process transport. This is the smallest
+// complete use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gosmr"
+	"gosmr/internal/service"
+)
+
+func main() {
+	net := gosmr.NewInprocNetwork()
+	peers := []string{"replica-0", "replica-1", "replica-2"}
+
+	// Start n = 2f+1 = 3 replicas: the cluster survives one crash.
+	var replicas []*gosmr.Replica
+	for i := range 3 {
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID:         i,
+			Peers:      peers,
+			ClientAddr: fmt.Sprintf("client-%d", i),
+			Network:    net,
+			BatchDelay: time.Millisecond,
+		}, service.NewKV())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			log.Fatal(err)
+		}
+		defer rep.Stop()
+		replicas = append(replicas, rep)
+	}
+
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:   []string{"client-0", "client-1", "client-2"},
+		Network: net,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Every Execute is ordered by Paxos and applied on all three replicas.
+	if _, err := cli.Execute(service.EncodePut("greeting", []byte("hello, replicated world"))); err != nil {
+		log.Fatal(err)
+	}
+	reply, err := cli.Execute(service.EncodeGet("greeting"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, value := service.DecodeReply(reply)
+	if status != service.KVOK {
+		log.Fatalf("GET failed with status %d", status)
+	}
+	fmt.Printf("GET greeting = %q\n", value)
+	fmt.Printf("leader is replica %d; view %d\n", replicas[0].Leader(), replicas[0].View())
+}

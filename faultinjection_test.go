@@ -1,0 +1,159 @@
+package gosmr_test
+
+// Failure-injection tests: the full replica pipeline under a lossy,
+// duplicating network. The retransmitter (Sec. V-C4) and the catch-up
+// protocol must mask the losses; duplication must be absorbed by the
+// protocol's idempotent handlers and the reply cache.
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gosmr"
+	"gosmr/internal/service"
+	"gosmr/internal/transport"
+)
+
+// lossyCluster boots 3 replicas over an inproc network with the given fault
+// function installed for inter-replica traffic only (client traffic stays
+// clean so the test measures protocol-level recovery, not client retries).
+func lossyCluster(t *testing.T, fault transport.FaultFunc) (*gosmr.Client, []*service.KV, func() []*gosmr.Replica) {
+	t.Helper()
+	net := transport.NewInproc(0)
+	net.SetFault(func(from, to string, frame []byte) (bool, bool) {
+		if strings.HasPrefix(from, "fi-r") && strings.HasPrefix(to, "fi-r") {
+			return fault(from, to, frame)
+		}
+		return false, false
+	})
+	peers := []string{"fi-r0", "fi-r1", "fi-r2"}
+	var reps []*gosmr.Replica
+	var stores []*service.KV
+	for i := range 3 {
+		kv := service.NewKV()
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID: i, Peers: peers, ClientAddr: fmt.Sprintf("fi-c%d", i),
+			Network:           net,
+			BatchDelay:        time.Millisecond,
+			HeartbeatInterval: 20 * time.Millisecond,
+			SuspectTimeout:    400 * time.Millisecond,
+		}, kv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+		stores = append(stores, kv)
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:   []string{"fi-c0", "fi-c1", "fi-c2"},
+		Network: net, Timeout: 30 * time.Second, AttemptTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+	return cli, stores, func() []*gosmr.Replica { return reps }
+}
+
+func TestProgressUnderMessageLoss(t *testing.T) {
+	// Drop 20% of inter-replica frames, deterministically spread.
+	var n atomic.Uint64
+	cli, stores, _ := lossyCluster(t, func(from, to string, frame []byte) (bool, bool) {
+		return n.Add(1)%5 == 0, false
+	})
+	for i := range 30 {
+		key := fmt.Sprintf("lossy-%d", i)
+		reply, err := cli.Execute(service.EncodePut(key, []byte("v")))
+		if err != nil {
+			t.Fatalf("PUT %d under loss: %v", i, err)
+		}
+		if st, _ := service.DecodeReply(reply); st != service.KVOK {
+			t.Fatalf("PUT %d status %d", i, st)
+		}
+	}
+	// All replicas converge despite the losses (watermarks + catch-up).
+	waitKV(t, stores, 30, 15*time.Second)
+}
+
+func TestProgressUnderDuplication(t *testing.T) {
+	// Duplicate every third inter-replica frame.
+	var n atomic.Uint64
+	cli, stores, reps := lossyCluster(t, func(from, to string, frame []byte) (bool, bool) {
+		return false, n.Add(1)%3 == 0
+	})
+	for i := range 30 {
+		if _, err := cli.Execute(service.EncodePut(fmt.Sprintf("dup-%d", i), []byte("v"))); err != nil {
+			t.Fatalf("PUT %d under duplication: %v", i, err)
+		}
+	}
+	waitKV(t, stores, 30, 15*time.Second)
+	// Exactly 30 executions at the leader: duplicates never re-execute.
+	if got := reps()[0].Executed(); got != 30 {
+		t.Errorf("leader executed %d, want 30", got)
+	}
+}
+
+func TestProgressUnderLossAndDuplication(t *testing.T) {
+	var n atomic.Uint64
+	cli, stores, _ := lossyCluster(t, func(from, to string, frame []byte) (bool, bool) {
+		i := n.Add(1)
+		return i%7 == 0, i%3 == 0
+	})
+	for i := range 20 {
+		if _, err := cli.Execute(service.EncodePut(fmt.Sprintf("chaos-%d", i), []byte("v"))); err != nil {
+			t.Fatalf("PUT %d under chaos: %v", i, err)
+		}
+	}
+	waitKV(t, stores, 20, 15*time.Second)
+}
+
+// waitKV waits until every store holds `keys` keys and their snapshots are
+// identical.
+func waitKV(t *testing.T, stores []*service.KV, keys int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, s := range stores {
+			if s.Len() != keys {
+				all = false
+			}
+		}
+		if all {
+			ref, err := stores[0].Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			same := true
+			for _, s := range stores[1:] {
+				got, err := s.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, ref) {
+					same = false
+				}
+			}
+			if same {
+				return
+			}
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	for i, s := range stores {
+		t.Logf("store %d: %d keys", i, s.Len())
+	}
+	t.Fatalf("stores did not converge to %d identical keys within %v", keys, timeout)
+}

@@ -1,0 +1,162 @@
+// Package gosmr is a high-throughput, multi-core-scalable state machine
+// replication (SMR) library — a Go reproduction of "Achieving
+// High-Throughput State Machine Replication in Multi-core Systems"
+// (Santos & Schiper, ICDCS 2013), the JPaxos threading-architecture paper.
+//
+// A cluster of n = 2f+1 replicas runs MultiPaxos (with batching and
+// pipelining) to agree on the order of client requests and applies them to
+// a deterministic Service. Internally each replica is a pipeline of
+// goroutine-owning modules connected by bounded queues — ClientIO pool,
+// Batcher, Protocol, ServiceManager, per-peer ReplicaIO threads, plus
+// FailureDetector and Retransmitter satellites — designed so throughput
+// scales with available cores while end-to-end backpressure bounds memory.
+//
+// Quickstart:
+//
+//	svc := &myService{}                        // implements gosmr.Service
+//	rep, err := gosmr.NewReplica(gosmr.Config{
+//	    ID:         0,
+//	    Peers:      []string{"h0:7000", "h1:7000", "h2:7000"},
+//	    ClientAddr: "h0:8000",
+//	}, svc)
+//	...
+//	rep.Start()
+//	defer rep.Stop()
+//
+//	cli, err := gosmr.Dial(gosmr.ClientConfig{
+//	    Addrs: []string{"h0:8000", "h1:8000", "h2:8000"},
+//	})
+//	reply, err := cli.Execute([]byte("incr"))
+package gosmr
+
+import (
+	"time"
+
+	"gosmr/internal/batch"
+	"gosmr/internal/core"
+	"gosmr/internal/profiling"
+	"gosmr/internal/transport"
+)
+
+// Service is the deterministic application replicated across the cluster.
+// Execute must be a pure function of the service state and the request:
+// every replica applies the same sequence of requests, so any
+// non-determinism diverges the replicas.
+type Service interface {
+	// Execute applies one request and returns its reply.
+	Execute(req []byte) []byte
+	// Snapshot serializes the full service state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the service state from a Snapshot blob.
+	Restore(snapshot []byte) error
+}
+
+// Network is a transport for a cluster: TCP in production, in-process for
+// tests and single-host experiments. Obtain one from TCPNetwork or
+// NewInprocNetwork.
+type Network = transport.Network
+
+// TCPNetwork returns the production TCP transport.
+func TCPNetwork() Network { return &transport.TCP{} }
+
+// NewInprocNetwork returns an in-process transport: replicas and clients
+// created with the same Network value connect to each other by name, with
+// no sockets involved. Useful for tests and single-process clusters.
+func NewInprocNetwork() Network { return transport.NewInproc(0) }
+
+// Config configures one replica. ID, Peers and ClientAddr are required.
+type Config struct {
+	// ID is this replica's index into Peers.
+	ID int
+	// Peers lists every replica's inter-replica address, indexed by ID.
+	Peers []string
+	// ClientAddr is this replica's client-facing listen address.
+	ClientAddr string
+	// Network selects the transport; nil means TCP.
+	Network Network
+
+	// ClientIOWorkers sizes the ClientIO thread pool (default 4, the
+	// paper's measured optimum on their hardware — Fig. 9).
+	ClientIOWorkers int
+	// Window is the pipelining limit WND: the maximum number of consensus
+	// instances in flight (default 10).
+	Window int
+	// BatchBytes is the batching limit BSZ in encoded bytes (default 1300:
+	// one Ethernet frame's worth, the paper's baseline).
+	BatchBytes int
+	// BatchDelay flushes an underfull batch after this delay (default 5ms).
+	BatchDelay time.Duration
+
+	// SnapshotEvery snapshots the service every that many decided
+	// instances, enabling log truncation and fast state transfer
+	// (0 disables).
+	SnapshotEvery int
+
+	// HeartbeatInterval and SuspectTimeout tune the failure detector.
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+
+	// Profiling, when non-nil, receives per-module-thread accounting
+	// (busy/blocked/waiting/other) like the paper's measurements.
+	Profiling *profiling.Registry
+}
+
+// Replica is one member of the replicated state machine.
+type Replica struct {
+	inner *core.Replica
+}
+
+// NewReplica builds an unstarted replica around svc.
+func NewReplica(cfg Config, svc Service) (*Replica, error) {
+	inner, err := core.NewReplica(core.Config{
+		ID:                cfg.ID,
+		PeerAddrs:         cfg.Peers,
+		ClientAddr:        cfg.ClientAddr,
+		Network:           cfg.Network,
+		ClientIOWorkers:   cfg.ClientIOWorkers,
+		Window:            cfg.Window,
+		Batch:             batch.Policy{MaxBytes: cfg.BatchBytes, MaxDelay: cfg.BatchDelay},
+		SnapshotEvery:     cfg.SnapshotEvery,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		SuspectTimeout:    cfg.SuspectTimeout,
+		Profiling:         cfg.Profiling,
+	}, svc)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{inner: inner}, nil
+}
+
+// Start launches all replica modules and binds its listeners.
+func (r *Replica) Start() error { return r.inner.Start() }
+
+// Stop shuts the replica down and waits for all of its goroutines.
+func (r *Replica) Stop() { r.inner.Stop() }
+
+// ID returns the replica's ID.
+func (r *Replica) ID() int { return r.inner.ID() }
+
+// IsLeader reports whether this replica is the established leader.
+func (r *Replica) IsLeader() bool { return r.inner.IsLeader() }
+
+// Leader returns the current leader's replica ID (a lock-free hint).
+func (r *Replica) Leader() int { return r.inner.Leader() }
+
+// View returns the current view number.
+func (r *Replica) View() int32 { return int32(r.inner.View()) }
+
+// Executed returns the number of requests executed by the local service.
+func (r *Replica) Executed() uint64 { return r.inner.Executed() }
+
+// ClientAddr returns the bound client-facing address (resolves ephemeral
+// ports).
+func (r *Replica) ClientAddr() string { return r.inner.ClientAddr() }
+
+// QueueStats returns the time-averaged lengths of the internal queues
+// (RequestQueue, ProposalQueue, DispatcherQueue, DecisionQueue) — the
+// statistics of the paper's Table I.
+func (r *Replica) QueueStats() map[string]float64 { return r.inner.QueueStats() }
+
+// NewProfilingRegistry returns a registry to pass in Config.Profiling; its
+// Snapshot method reports per-thread busy/blocked/waiting/other times.
+func NewProfilingRegistry() *profiling.Registry { return profiling.NewRegistry() }

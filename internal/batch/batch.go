@@ -1,0 +1,103 @@
+// Package batch implements the batching policy of Sec. III-A/V-C1: client
+// requests are grouped into batches of at most MaxBytes (the paper's BSZ
+// parameter) or flushed after MaxDelay, whichever comes first. Batches are
+// the unit of ordering — one consensus instance carries one batch.
+package batch
+
+import (
+	"time"
+
+	"gosmr/internal/wire"
+)
+
+// DefaultMaxBytes matches the paper's baseline batch size (BSZ = 1300 bytes:
+// one Ethernet frame of requests, Sec. VI).
+const DefaultMaxBytes = 1300
+
+// DefaultMaxDelay bounds request latency under light load.
+const DefaultMaxDelay = 5 * time.Millisecond
+
+// Policy configures the batcher.
+type Policy struct {
+	// MaxBytes is the batch size budget in encoded wire bytes (BSZ).
+	MaxBytes int
+	// MaxDelay flushes a non-empty batch that has waited this long.
+	MaxDelay time.Duration
+}
+
+// withDefaults fills zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.MaxBytes <= 0 {
+		p.MaxBytes = DefaultMaxBytes
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	return p
+}
+
+// Builder accumulates requests into a batch under a Policy. Not safe for
+// concurrent use; it is owned by the Batcher thread.
+type Builder struct {
+	policy Policy
+	reqs   []*wire.ClientRequest
+	bytes  int
+	since  time.Time
+}
+
+// NewBuilder returns an empty builder with p (zero fields defaulted).
+func NewBuilder(p Policy) *Builder {
+	return &Builder{policy: p.withDefaults(), bytes: wire.BatchOverhead}
+}
+
+// Policy returns the effective (defaulted) policy.
+func (b *Builder) Policy() Policy { return b.policy }
+
+// Len returns the number of buffered requests.
+func (b *Builder) Len() int { return len(b.reqs) }
+
+// Bytes returns the encoded size of the current batch.
+func (b *Builder) Bytes() int { return b.bytes }
+
+// Fits reports whether req can join the current batch without exceeding
+// MaxBytes. A request larger than the whole budget always "fits" into an
+// empty batch so oversized requests are not starved.
+func (b *Builder) Fits(req *wire.ClientRequest) bool {
+	sz := wire.EncodedRequestSize(len(req.Payload))
+	if len(b.reqs) == 0 {
+		return true
+	}
+	return b.bytes+sz <= b.policy.MaxBytes
+}
+
+// Add appends req and reports whether the batch is now at or over budget
+// and should be flushed. The first Add starts the MaxDelay clock.
+func (b *Builder) Add(req *wire.ClientRequest) (full bool) {
+	if len(b.reqs) == 0 {
+		b.since = time.Now()
+	}
+	b.reqs = append(b.reqs, req)
+	b.bytes += wire.EncodedRequestSize(len(req.Payload))
+	return b.bytes >= b.policy.MaxBytes
+}
+
+// Deadline returns the flush deadline for the current batch, valid only when
+// Len() > 0.
+func (b *Builder) Deadline() time.Time { return b.since.Add(b.policy.MaxDelay) }
+
+// Expired reports whether a non-empty batch has passed its deadline.
+func (b *Builder) Expired(now time.Time) bool {
+	return len(b.reqs) > 0 && !now.Before(b.Deadline())
+}
+
+// Flush encodes and returns the batch, resetting the builder. It returns
+// nil when empty.
+func (b *Builder) Flush() []byte {
+	if len(b.reqs) == 0 {
+		return nil
+	}
+	enc := wire.EncodeBatch(b.reqs)
+	b.reqs = b.reqs[:0]
+	b.bytes = wire.BatchOverhead
+	return enc
+}

@@ -1,0 +1,98 @@
+package batch
+
+import (
+	"testing"
+	"time"
+
+	"gosmr/internal/wire"
+)
+
+func req(payload int) *wire.ClientRequest {
+	return &wire.ClientRequest{ClientID: 1, Seq: 1, Payload: make([]byte, payload)}
+}
+
+func TestDefaults(t *testing.T) {
+	b := NewBuilder(Policy{})
+	if p := b.Policy(); p.MaxBytes != DefaultMaxBytes || p.MaxDelay != DefaultMaxDelay {
+		t.Errorf("defaulted policy = %+v", p)
+	}
+}
+
+func TestAddUntilFull(t *testing.T) {
+	// 128-byte requests, 1300-byte budget: like the paper's workload, about
+	// 8-9 requests fit ((1300-4)/(128+20) = 8.7).
+	b := NewBuilder(Policy{MaxBytes: 1300})
+	n := 0
+	for !b.Add(req(128)) {
+		n++
+		if n > 100 {
+			t.Fatal("batch never filled")
+		}
+	}
+	total := n + 1
+	if total < 8 || total > 9 {
+		t.Errorf("batch holds %d requests, want 8-9", total)
+	}
+	enc := b.Flush()
+	if len(enc) < 1300-148 || len(enc) > 1300+148 {
+		t.Errorf("encoded size = %d, want ~1300", len(enc))
+	}
+	if b.Len() != 0 || b.Bytes() != wire.BatchOverhead {
+		t.Errorf("after Flush: Len %d Bytes %d", b.Len(), b.Bytes())
+	}
+	reqs, err := wire.DecodeBatch(enc)
+	if err != nil || len(reqs) != total {
+		t.Errorf("decode: %d reqs err %v, want %d", len(reqs), err, total)
+	}
+}
+
+func TestOversizedRequestFitsEmptyBatch(t *testing.T) {
+	b := NewBuilder(Policy{MaxBytes: 100})
+	big := req(500)
+	if !b.Fits(big) {
+		t.Error("oversized request does not fit empty batch")
+	}
+	if full := b.Add(big); !full {
+		t.Error("oversized request did not mark batch full")
+	}
+	if b.Fits(req(1)) {
+		t.Error("request fits a full batch")
+	}
+}
+
+func TestFlushEmptyReturnsNil(t *testing.T) {
+	b := NewBuilder(Policy{})
+	if got := b.Flush(); got != nil {
+		t.Errorf("Flush on empty = %v, want nil", got)
+	}
+}
+
+func TestDeadlineAndExpired(t *testing.T) {
+	b := NewBuilder(Policy{MaxDelay: 10 * time.Millisecond})
+	now := time.Now()
+	if b.Expired(now.Add(time.Hour)) {
+		t.Error("empty batch reported expired")
+	}
+	b.Add(req(8))
+	if b.Expired(time.Now()) {
+		t.Error("fresh batch reported expired")
+	}
+	if b.Expired(b.Deadline().Add(-time.Nanosecond)) {
+		t.Error("batch expired before deadline")
+	}
+	if !b.Expired(b.Deadline()) {
+		t.Error("batch not expired at deadline")
+	}
+}
+
+func TestDelayClockRestartsPerBatch(t *testing.T) {
+	b := NewBuilder(Policy{MaxDelay: 50 * time.Millisecond})
+	b.Add(req(4))
+	first := b.Deadline()
+	b.Flush()
+	time.Sleep(5 * time.Millisecond)
+	b.Add(req(4))
+	if !b.Deadline().After(first) {
+		t.Error("second batch deadline did not restart")
+	}
+}

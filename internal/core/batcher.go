@@ -1,0 +1,60 @@
+package core
+
+import (
+	"time"
+
+	"gosmr/internal/batch"
+	"gosmr/internal/profiling"
+)
+
+// runBatcher is the Batcher thread (Sec. V-C1): it drains the RequestQueue,
+// forms batches under the batching policy, and feeds the ProposalQueue.
+// Building batches here — concurrently with the ordering protocol — takes
+// that work off the Protocol thread's critical path; when the Protocol
+// thread wants to start a ballot it simply takes a ready batch.
+//
+// Blocking on a full ProposalQueue is the second stage of the flow-control
+// chain (Sec. V-E): a stalled Protocol thread stops the Batcher, which stops
+// draining the RequestQueue, which stalls the ClientIO workers.
+func (r *Replica) runBatcher() {
+	defer r.wg.Done()
+	th := r.profThread("Batcher")
+	th.Transition(profiling.StateBusy)
+	defer th.Transition(profiling.StateOther)
+
+	b := batch.NewBuilder(r.cfg.Batch)
+	for {
+		// First request opens the batch (blocking take).
+		req, err := r.requestQ.Take(th)
+		if err != nil {
+			return
+		}
+		full := b.Add(req)
+		// Keep filling until the size budget or the batch delay runs out.
+		for !full {
+			remaining := time.Until(b.Deadline())
+			if remaining <= 0 {
+				break
+			}
+			next, ok, err := r.requestQ.Poll(th, remaining)
+			if err != nil {
+				break // shutting down: flush what we have
+			}
+			if !ok {
+				break // deadline expired
+			}
+			full = b.Add(next)
+		}
+		value := b.Flush()
+		if value == nil {
+			continue
+		}
+		r.batchesMade.Add(1)
+		if err := r.proposalQ.Put(th, value); err != nil {
+			return
+		}
+		// Nudge the Protocol thread; if the DispatcherQueue is busy it will
+		// drain the ProposalQueue on its next event anyway.
+		_, _ = r.dispatchQ.TryPut(event{kind: evProposalReady})
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gosmr/internal/profiling"
+	"gosmr/internal/queue"
+	"gosmr/internal/replycache"
+	"gosmr/internal/transport"
+	"gosmr/internal/wire"
+)
+
+// clientWork is one raw inbound frame with the connection it arrived on.
+type clientWork struct {
+	frame []byte
+	cc    *clientConn
+}
+
+// clientIO is the ClientIO module (Sec. V-A): a listener, a pool of worker
+// threads that do the CPU work (deserialization, reply-cache check, request
+// hand-off), and per-connection reader/writer goroutines standing in for the
+// non-blocking I/O event loop of the Java implementation. Connections are
+// assigned to workers round-robin, exactly as the paper describes.
+type clientIO struct {
+	r        *Replica
+	listener transport.Listener
+	workers  []*queue.Bounded[clientWork]
+
+	mu    sync.Mutex
+	conns map[*clientConn]struct{}
+	next  int // round-robin worker assignment
+
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newClientIO binds the client listener and starts the module's goroutines.
+func newClientIO(r *Replica) (*clientIO, error) {
+	l, err := r.cfg.Network.Listen(r.cfg.ClientAddr)
+	if err != nil {
+		return nil, fmt.Errorf("core: client listener: %w", err)
+	}
+	c := &clientIO{
+		r:        r,
+		listener: l,
+		conns:    make(map[*clientConn]struct{}),
+	}
+	for i := range r.cfg.ClientIOWorkers {
+		q := queue.NewBounded[clientWork](fmt.Sprintf("ClientIOQueue-%d", i), 512)
+		c.workers = append(c.workers, q)
+		th := r.profThread(fmt.Sprintf("ClientIO-%d", i))
+		c.wg.Add(1)
+		go c.runWorker(q, th)
+	}
+	c.wg.Add(1)
+	go c.runAcceptLoop()
+	return c, nil
+}
+
+// Addr returns the bound client-facing address.
+func (c *clientIO) Addr() string { return c.listener.Addr() }
+
+// runAcceptLoop accepts client connections and assigns them to workers.
+func (c *clientIO) runAcceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		cc := &clientConn{
+			conn:    conn,
+			replies: queue.NewBounded[*wire.ClientReply]("replies", c.r.cfg.ReplyQueueCap),
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		c.conns[cc] = struct{}{}
+		w := c.workers[c.next%len(c.workers)]
+		c.next++
+		c.mu.Unlock()
+
+		c.wg.Add(2)
+		go c.runConnReader(cc, w)
+		go c.runConnWriter(cc)
+	}
+}
+
+// runConnReader pumps raw frames from one client connection to its assigned
+// worker. Blocking on a full worker queue is the first stage of the flow
+// control chain: it stops this connection's reads and lets TCP push back.
+func (c *clientIO) runConnReader(cc *clientConn, w *queue.Bounded[clientWork]) {
+	defer c.wg.Done()
+	defer func() {
+		cc.replies.Close()
+		_ = cc.conn.Close()
+		c.mu.Lock()
+		delete(c.conns, cc)
+		c.mu.Unlock()
+	}()
+	for {
+		frame, err := cc.conn.ReadFrame()
+		if err != nil {
+			return
+		}
+		if err := w.Put(nil, clientWork{frame: frame, cc: cc}); err != nil {
+			return // module shutting down
+		}
+	}
+}
+
+// runConnWriter serializes and sends queued replies for one connection.
+func (c *clientIO) runConnWriter(cc *clientConn) {
+	defer c.wg.Done()
+	for {
+		reply, err := cc.replies.Take(nil)
+		if err != nil {
+			return
+		}
+		if err := cc.conn.WriteFrame(wire.Marshal(reply)); err != nil {
+			return
+		}
+	}
+}
+
+// runWorker is one ClientIO thread: deserialize, consult the reply cache,
+// and either answer directly or push the request toward the Batcher.
+func (c *clientIO) runWorker(q *queue.Bounded[clientWork], th *profiling.Thread) {
+	defer c.wg.Done()
+	th.Transition(profiling.StateBusy)
+	defer th.Transition(profiling.StateOther)
+	for {
+		work, err := q.Take(th)
+		if err != nil {
+			return
+		}
+		msg, err := wire.Unmarshal(work.frame)
+		if err != nil {
+			continue // malformed frame: drop
+		}
+		req, ok := msg.(*wire.ClientRequest)
+		if !ok {
+			continue
+		}
+		c.handleRequest(req, work.cc, th)
+	}
+}
+
+// handleRequest implements the per-request ClientIO logic of Sec. III-B.
+func (c *clientIO) handleRequest(req *wire.ClientRequest, cc *clientConn, th *profiling.Thread) {
+	r := c.r
+	// Remember where to send this client's replies.
+	r.registry.set(req.ClientID, cc)
+
+	cached, status := r.replyCache.Lookup(th, req.ClientID, req.Seq)
+	switch status {
+	case replycache.StatusCached:
+		c.reply(cc, &wire.ClientReply{
+			ClientID: req.ClientID, Seq: req.Seq, OK: true,
+			Redirect: wire.NoRedirect, Payload: cached,
+		})
+		return
+	case replycache.StatusStale:
+		return // older than the last executed request: nothing to say
+	case replycache.StatusNew:
+	}
+	if !r.isLeader.Load() {
+		c.reply(cc, &wire.ClientReply{
+			ClientID: req.ClientID, Seq: req.Seq, OK: false,
+			Redirect: r.leaderHint.Load(),
+		})
+		return
+	}
+	// Blocking put: backpressure propagates to this worker, then to the
+	// connection readers feeding it (Sec. V-E).
+	if err := r.requestQ.Put(th, req); err != nil {
+		return
+	}
+}
+
+// reply enqueues a reply without blocking; a stalled client loses replies
+// and must retry (its request stays deduplicated by the reply cache).
+func (c *clientIO) reply(cc *clientConn, reply *wire.ClientReply) {
+	if ok, _ := cc.replies.TryPut(reply); ok {
+		c.r.repliesSent.Add(1)
+	}
+}
+
+// close shuts the module down: stop accepting, close every connection, stop
+// the workers, and wait for all goroutines.
+func (c *clientIO) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	conns := make([]*clientConn, 0, len(c.conns))
+	for cc := range c.conns {
+		conns = append(conns, cc)
+	}
+	c.mu.Unlock()
+
+	_ = c.listener.Close()
+	for _, cc := range conns {
+		_ = cc.conn.Close()
+		cc.replies.Close()
+	}
+	for _, w := range c.workers {
+		w.Close()
+	}
+	c.wg.Wait()
+}

@@ -1,0 +1,267 @@
+// Package core implements the paper's multi-core scalable threading
+// architecture for a replicated state machine (Sec. V, Fig. 3).
+//
+// A Replica is a set of goroutine-owning modules connected by bounded
+// queues:
+//
+//	ClientIO workers ──RequestQueue──▶ Batcher ──ProposalQueue──▶ Protocol
+//	ReplicaIORcv-j  ──DispatcherQueue───────────────────────────▶ Protocol
+//	Protocol ──SendQueue-j──▶ ReplicaIOSnd-j (one per peer)
+//	Protocol ──DecisionQueue──▶ ServiceManager ──reply queues──▶ ClientIO
+//
+// plus the satellite FailureDetector and Retransmitter threads. Each module
+// encapsulates its own state; cross-module communication is message passing
+// through the queues, with the few lock-free shared variables the paper
+// allows (failure-detector timestamps, the current view/leader hints, the
+// decision watermark). Bounded queues implement backpressure flow control
+// end to end (Sec. V-E): when the Protocol thread falls behind, the
+// ProposalQueue fills, the Batcher stalls, the RequestQueue fills, ClientIO
+// stops reading and TCP pushes back on the clients.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gosmr/internal/batch"
+	"gosmr/internal/profiling"
+	"gosmr/internal/queue"
+	"gosmr/internal/transport"
+	"gosmr/internal/wire"
+)
+
+// Service is the deterministic application replicated by the state machine
+// (Sec. III-A). Execute must be deterministic: every replica applies the
+// same requests in the same order.
+type Service interface {
+	// Execute applies one request and returns its reply.
+	Execute(req []byte) []byte
+	// Snapshot serializes the service state (for state transfer and log
+	// truncation).
+	Snapshot() ([]byte, error)
+	// Restore replaces the service state from a snapshot.
+	Restore(snapshot []byte) error
+}
+
+// Config configures a Replica. Zero fields take the documented defaults.
+type Config struct {
+	// ID is this replica's index in PeerAddrs.
+	ID int
+	// PeerAddrs lists the replica-to-replica addresses of the whole cluster,
+	// indexed by replica ID.
+	PeerAddrs []string
+	// ClientAddr is this replica's client-facing listen address.
+	ClientAddr string
+	// Network supplies the transport (default: TCP).
+	Network transport.Network
+
+	// ClientIOWorkers is the size of the ClientIO thread pool (the paper's
+	// key tunable, Fig. 9). Default 4 — the measured optimum.
+	ClientIOWorkers int
+	// Window is the pipelining limit WND (max concurrent instances).
+	// Default 10, the paper's baseline.
+	Window int
+	// Batch is the batching policy (BSZ and flush delay).
+	Batch batch.Policy
+
+	// Queue capacities (defaults follow the paper's setup where reported:
+	// RequestQueue 1000, ProposalQueue 20).
+	RequestQueueCap  int
+	ProposalQueueCap int
+	DispatchQueueCap int
+	DecisionQueueCap int
+	SendQueueCap     int
+	ReplyQueueCap    int
+
+	// Failure-detector timing.
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+	// RetransPeriod is the initial retransmission period.
+	RetransPeriod time.Duration
+	// CatchUpTimeout re-arms an unanswered catch-up query.
+	CatchUpTimeout time.Duration
+
+	// SnapshotEvery triggers a service snapshot (and log truncation) every
+	// that many executed instances; 0 disables snapshotting.
+	SnapshotEvery int
+
+	// CoarseReplyCache switches the reply cache to the single-lock variant
+	// (ablation of Sec. V-D).
+	CoarseReplyCache bool
+
+	// Profiling optionally receives per-thread accounting; nil disables.
+	Profiling *profiling.Registry
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Network == nil {
+		c.Network = &transport.TCP{}
+	}
+	if c.ClientIOWorkers <= 0 {
+		c.ClientIOWorkers = 4
+	}
+	if c.Window <= 0 {
+		c.Window = 10
+	}
+	if c.RequestQueueCap <= 0 {
+		c.RequestQueueCap = 1000
+	}
+	if c.ProposalQueueCap <= 0 {
+		c.ProposalQueueCap = 20
+	}
+	if c.DispatchQueueCap <= 0 {
+		c.DispatchQueueCap = 4096
+	}
+	if c.DecisionQueueCap <= 0 {
+		c.DecisionQueueCap = 512
+	}
+	if c.SendQueueCap <= 0 {
+		c.SendQueueCap = 1024
+	}
+	if c.ReplyQueueCap <= 0 {
+		c.ReplyQueueCap = 256
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if c.SuspectTimeout <= 0 {
+		c.SuspectTimeout = 500 * time.Millisecond
+	}
+	if c.RetransPeriod <= 0 {
+		c.RetransPeriod = 100 * time.Millisecond
+	}
+	if c.CatchUpTimeout <= 0 {
+		c.CatchUpTimeout = 250 * time.Millisecond
+	}
+	return c
+}
+
+// validate rejects unusable configurations.
+func (c Config) validate() error {
+	n := len(c.PeerAddrs)
+	if n == 0 {
+		return fmt.Errorf("core: PeerAddrs is empty")
+	}
+	if c.ID < 0 || c.ID >= n {
+		return fmt.Errorf("core: ID %d out of range [0,%d)", c.ID, n)
+	}
+	if c.ClientAddr == "" {
+		return fmt.Errorf("core: ClientAddr is empty")
+	}
+	return nil
+}
+
+// eventKind discriminates DispatcherQueue events (Sec. V-C2: "messages from
+// other replicas, suspicions raised by the failure detector, batches ready
+// to be proposed, and other housekeeping events").
+type eventKind uint8
+
+const (
+	evPeerMsg eventKind = iota + 1
+	evSuspect
+	evProposalReady
+	evCatchUpTimer
+	evTruncate
+)
+
+// event is one DispatcherQueue item.
+type event struct {
+	kind eventKind
+	from int
+	msg  wire.Message
+	view wire.View       // evSuspect
+	upTo wire.InstanceID // evTruncate
+}
+
+// decisionItem is one DecisionQueue item: either a decided batch or a
+// snapshot to install (from catch-up state transfer).
+type decisionItem struct {
+	id       wire.InstanceID
+	value    []byte // encoded batch
+	snapshot *wire.Snapshot
+}
+
+// clientConn is one connected client: its transport connection plus the
+// bounded reply queue drained by the connection's writer goroutine.
+type clientConn struct {
+	conn    transport.FrameConn
+	replies *queue.Bounded[*wire.ClientReply]
+}
+
+// clientRegistry maps client IDs to their current connection so the
+// ServiceManager can route replies to the right ClientIO writer. Sharded to
+// keep ClientIO threads from contending (same rationale as the reply cache).
+type clientRegistry struct {
+	shards [16]struct {
+		mu sync.Mutex
+		m  map[uint64]*clientConn
+	}
+}
+
+func newClientRegistry() *clientRegistry {
+	r := &clientRegistry{}
+	for i := range r.shards {
+		r.shards[i].m = make(map[uint64]*clientConn)
+	}
+	return r
+}
+
+func (r *clientRegistry) shard(client uint64) *struct {
+	mu sync.Mutex
+	m  map[uint64]*clientConn
+} {
+	return &r.shards[(client*0x9E3779B97F4A7C15)>>60]
+}
+
+// set binds client to cc (overwriting any previous connection).
+func (r *clientRegistry) set(client uint64, cc *clientConn) {
+	s := r.shard(client)
+	s.mu.Lock()
+	s.m[client] = cc
+	s.mu.Unlock()
+}
+
+// get returns the client's connection, or nil.
+func (r *clientRegistry) get(client uint64) *clientConn {
+	s := r.shard(client)
+	s.mu.Lock()
+	cc := s.m[client]
+	s.mu.Unlock()
+	return cc
+}
+
+// drop removes the binding if it still points at cc.
+func (r *clientRegistry) drop(client uint64, cc *clientConn) {
+	s := r.shard(client)
+	s.mu.Lock()
+	if s.m[client] == cc {
+		delete(s.m, client)
+	}
+	s.mu.Unlock()
+}
+
+// snapshotStore holds the most recent service snapshot, written by the
+// ServiceManager thread and read by the Protocol thread when answering
+// catch-up queries that need state transfer. This is one of the paper's
+// sanctioned shared-state exceptions: a single value behind a small mutex,
+// never held across blocking operations.
+type snapshotStore struct {
+	mu   sync.Mutex
+	snap wire.Snapshot
+	ok   bool
+}
+
+func (s *snapshotStore) put(snap wire.Snapshot) {
+	s.mu.Lock()
+	s.snap = snap
+	s.ok = true
+	s.mu.Unlock()
+}
+
+func (s *snapshotStore) get() (wire.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap, s.ok
+}

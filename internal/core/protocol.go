@@ -1,0 +1,131 @@
+package core
+
+import (
+	"time"
+
+	"gosmr/internal/paxos"
+	"gosmr/internal/profiling"
+	"gosmr/internal/retrans"
+)
+
+// runProtocol is the Protocol thread (Sec. V-C2): a single event loop with
+// exclusive write access to the replicated log and all protocol state. It
+// consumes the DispatcherQueue (peer messages, suspicions, proposal hints,
+// housekeeping), drives the paxos.Node pure state machine, and applies its
+// effects: enqueue sends (never blocking on sockets), register/cancel
+// retransmissions, push decisions to the ServiceManager, and maintain the
+// lock-free view/leader/watermark hints that other modules read.
+func (r *Replica) runProtocol(node *paxos.Node) {
+	defer r.wg.Done()
+	th := r.profThread("Protocol")
+	th.Transition(profiling.StateBusy)
+	defer th.Transition(profiling.StateOther)
+
+	handles := make(map[paxos.RetransKey]*retrans.Handle)
+
+	apply := func(e paxos.Effects) { r.applyEffects(th, node, handles, e) }
+
+	apply(node.Start())
+	r.refreshHints(node)
+
+	for {
+		ev, err := r.dispatchQ.Take(th)
+		if err != nil {
+			return
+		}
+		switch ev.kind {
+		case evPeerMsg:
+			apply(node.HandleMessage(ev.from, ev.msg))
+		case evSuspect:
+			apply(node.OnSuspect(ev.view))
+		case evProposalReady:
+			// Handled by the drain below.
+		case evCatchUpTimer:
+			apply(node.CatchUpTimeout())
+		case evTruncate:
+			node.TruncateLog(ev.upTo)
+		}
+		// Start new ballots whenever leadership and the window allow: a
+		// decision that just freed a slot, or a fresh batch, both land here.
+		for node.WindowOpen() {
+			value, ok := r.proposalQ.TryTake()
+			if !ok {
+				break
+			}
+			e, accepted := node.ProposeBatch(value)
+			if !accepted {
+				break
+			}
+			apply(e)
+		}
+		r.decidedUpTo.Store(int64(node.DecidedUpTo()))
+	}
+}
+
+// applyEffects executes one Effects value from the protocol state machine.
+func (r *Replica) applyEffects(th *profiling.Thread, node *paxos.Node,
+	handles map[paxos.RetransKey]*retrans.Handle, e paxos.Effects) {
+
+	// Cancels first: the lock-free flag flip of Sec. V-C4.
+	for _, k := range e.CancelRetrans {
+		if h, ok := handles[k]; ok {
+			h.Cancel()
+			delete(handles, k)
+		}
+	}
+
+	for _, s := range e.Sends {
+		to, msg := s.To, s.Msg
+		send := func() {
+			if to == paxos.Broadcast {
+				r.broadcast(msg)
+			} else {
+				r.enqueueSend(to, msg)
+			}
+		}
+		send()
+		if s.Retrans != nil {
+			if old, ok := handles[*s.Retrans]; ok {
+				old.Cancel()
+			}
+			handles[*s.Retrans] = r.retr.Add(send)
+		}
+	}
+
+	if e.ViewChanged {
+		r.refreshHints(node)
+		r.detector.UpdateView(node.View())
+	}
+
+	// Snapshot install must precede the decisions that follow it.
+	if e.InstallSnapshot != nil {
+		if err := r.decisionQ.Put(th, decisionItem{snapshot: e.InstallSnapshot}); err != nil {
+			return
+		}
+	}
+	for _, d := range e.Decisions {
+		if err := r.decisionQ.Put(th, decisionItem{id: d.ID, value: d.Value}); err != nil {
+			return
+		}
+	}
+
+	if e.CatchUp != nil {
+		leader := node.Leader()
+		if leader != r.cfg.ID {
+			r.enqueueSend(leader, e.CatchUp)
+		}
+		// Re-arm: if the response never comes, the state machine re-issues.
+		timeout := r.cfg.CatchUpTimeout
+		time.AfterFunc(timeout, func() {
+			_, _ = r.dispatchQ.TryPut(event{kind: evCatchUpTimer})
+		})
+	}
+}
+
+// refreshHints publishes the view/leader/leadership hints read lock-free by
+// ClientIO (redirects) and the failure detector (heartbeats).
+func (r *Replica) refreshHints(node *paxos.Node) {
+	r.viewHint.Store(int32(node.View()))
+	r.leaderHint.Store(int32(node.Leader()))
+	r.isLeader.Store(node.IsLeader())
+}

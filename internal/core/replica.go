@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gosmr/internal/fd"
+	"gosmr/internal/paxos"
+	"gosmr/internal/profiling"
+	"gosmr/internal/queue"
+	"gosmr/internal/replycache"
+	"gosmr/internal/retrans"
+	"gosmr/internal/wire"
+)
+
+// Replica is one node of the replicated state machine, wired per Fig. 3 of
+// the paper. Construct with NewReplica, then Start; Stop shuts every module
+// down and waits for all goroutines.
+type Replica struct {
+	cfg Config
+	svc Service
+	n   int
+
+	// Queues (Fig. 3).
+	requestQ  *queue.Bounded[*wire.ClientRequest]
+	proposalQ *queue.Bounded[[]byte]
+	dispatchQ *queue.Bounded[event]
+	decisionQ *queue.Bounded[decisionItem]
+	sendQ     []*queue.Bounded[wire.Message] // per peer; nil at own index
+
+	// Modules.
+	clientIO *clientIO
+	peerIO   *replicaIO
+	detector *fd.Detector
+	retr     *retrans.Retransmitter
+
+	// Shared lock-free hints (the paper's "volatile variable" exceptions).
+	viewHint    atomic.Int32 // current view
+	leaderHint  atomic.Int32 // current leader ID
+	isLeader    atomic.Bool  // leadership established
+	decidedUpTo atomic.Int64 // decision watermark (for heartbeats)
+
+	// Snapshot hand-off between ServiceManager and Protocol threads.
+	snapshots *snapshotStore
+
+	replyCache replycache.Cache
+	registry   *clientRegistry
+
+	// Counters for metrics and experiments.
+	executed     atomic.Uint64 // requests executed
+	repliesSent  atomic.Uint64
+	batchesMade  atomic.Uint64
+	droppedSends atomic.Uint64
+
+	stop    chan struct{}
+	stopped sync.Once
+	started bool
+	wg      sync.WaitGroup
+}
+
+// NewReplica validates cfg and builds an unstarted replica around svc.
+func NewReplica(cfg Config, svc Service) (*Replica, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if svc == nil {
+		return nil, fmt.Errorf("core: nil Service")
+	}
+	cfg = cfg.withDefaults()
+	n := len(cfg.PeerAddrs)
+
+	r := &Replica{
+		cfg:       cfg,
+		svc:       svc,
+		n:         n,
+		requestQ:  queue.NewBounded[*wire.ClientRequest]("RequestQueue", cfg.RequestQueueCap),
+		proposalQ: queue.NewBounded[[]byte]("ProposalQueue", cfg.ProposalQueueCap),
+		dispatchQ: queue.NewBounded[event]("DispatcherQueue", cfg.DispatchQueueCap),
+		decisionQ: queue.NewBounded[decisionItem]("DecisionQueue", cfg.DecisionQueueCap),
+		sendQ:     make([]*queue.Bounded[wire.Message], n),
+		snapshots: &snapshotStore{},
+		registry:  newClientRegistry(),
+		stop:      make(chan struct{}),
+	}
+	for p := range n {
+		if p != cfg.ID {
+			r.sendQ[p] = queue.NewBounded[wire.Message](fmt.Sprintf("SendQueue-%d", p), cfg.SendQueueCap)
+		}
+	}
+	if cfg.CoarseReplyCache {
+		r.replyCache = replycache.NewCoarse()
+	} else {
+		r.replyCache = replycache.NewSharded()
+	}
+	r.leaderHint.Store(0) // leader of view 0
+	return r, nil
+}
+
+// ID returns this replica's ID.
+func (r *Replica) ID() int { return r.cfg.ID }
+
+// N returns the cluster size.
+func (r *Replica) N() int { return r.n }
+
+// View returns the replica's current view (lock-free hint).
+func (r *Replica) View() wire.View { return wire.View(r.viewHint.Load()) }
+
+// Leader returns the current leader's ID (lock-free hint).
+func (r *Replica) Leader() int { return int(r.leaderHint.Load()) }
+
+// IsLeader reports whether this replica currently leads (Phase 1 complete).
+func (r *Replica) IsLeader() bool { return r.isLeader.Load() }
+
+// DecidedUpTo returns the decision watermark.
+func (r *Replica) DecidedUpTo() wire.InstanceID {
+	return wire.InstanceID(r.decidedUpTo.Load())
+}
+
+// Executed returns the number of requests executed so far.
+func (r *Replica) Executed() uint64 { return r.executed.Load() }
+
+// QueueStats reports the time-averaged lengths of the three queues of
+// Table I plus the decision queue.
+func (r *Replica) QueueStats() map[string]float64 {
+	return map[string]float64{
+		"RequestQueue":    r.requestQ.AvgLen(),
+		"ProposalQueue":   r.proposalQ.AvgLen(),
+		"DispatcherQueue": r.dispatchQ.AvgLen(),
+		"DecisionQueue":   r.decisionQ.AvgLen(),
+	}
+}
+
+// ResetQueueStats restarts queue-average tracking (to discard warm-up).
+func (r *Replica) ResetQueueStats() {
+	r.requestQ.ResetStats()
+	r.proposalQ.ResetStats()
+	r.dispatchQ.ResetStats()
+	r.decisionQ.ResetStats()
+}
+
+// Start launches every module. It returns once all listeners are bound and
+// all module goroutines are running.
+func (r *Replica) Start() error {
+	if r.started {
+		return fmt.Errorf("core: replica already started")
+	}
+	r.started = true
+
+	node := paxos.NewNode(paxos.Options{
+		ID:        r.cfg.ID,
+		N:         r.n,
+		Window:    r.cfg.Window,
+		Snapshots: r.snapshots.get,
+	})
+
+	r.retr = retrans.New(retrans.Options{
+		Period: r.cfg.RetransPeriod,
+		Thread: r.cfg.Profiling.Register("Retransmitter"),
+	})
+
+	r.detector = fd.New(fd.Options{
+		ID: r.cfg.ID, N: r.n,
+		HeartbeatInterval: r.cfg.HeartbeatInterval,
+		SuspectTimeout:    r.cfg.SuspectTimeout,
+		SendHeartbeat:     r.sendHeartbeat,
+		Suspect: func(v wire.View) {
+			_, _ = r.dispatchQ.TryPut(event{kind: evSuspect, view: v})
+		},
+		Thread: r.cfg.Profiling.Register("FailureDetector"),
+	})
+
+	// ReplicaIO first: the protocol needs peer links to exist (sends to a
+	// not-yet-connected peer are buffered in its SendQueue).
+	peerIO, err := newReplicaIO(r)
+	if err != nil {
+		r.retr.Stop()
+		r.detector.Stop()
+		return err
+	}
+	r.peerIO = peerIO
+
+	clientIO, err := newClientIO(r)
+	if err != nil {
+		r.peerIO.close()
+		r.retr.Stop()
+		r.detector.Stop()
+		return err
+	}
+	r.clientIO = clientIO
+
+	// Batcher thread (Sec. V-C1).
+	r.wg.Add(1)
+	go r.runBatcher()
+
+	// Protocol thread (Sec. V-C2).
+	r.wg.Add(1)
+	go r.runProtocol(node)
+
+	// ServiceManager thread (Sec. V-D).
+	r.wg.Add(1)
+	go r.runServiceManager()
+
+	return nil
+}
+
+// Stop shuts the replica down and waits for every goroutine to exit. Safe to
+// call more than once.
+func (r *Replica) Stop() {
+	r.stopped.Do(func() {
+		close(r.stop)
+		// Closing the queues unblocks every module loop; closing the
+		// transports unblocks every I/O goroutine.
+		r.requestQ.Close()
+		r.proposalQ.Close()
+		r.dispatchQ.Close()
+		r.decisionQ.Close()
+		for _, q := range r.sendQ {
+			if q != nil {
+				q.Close()
+			}
+		}
+		if r.clientIO != nil {
+			r.clientIO.close()
+		}
+		if r.peerIO != nil {
+			r.peerIO.close()
+		}
+		if r.detector != nil {
+			r.detector.Stop()
+		}
+		if r.retr != nil {
+			r.retr.Stop()
+		}
+	})
+	r.wg.Wait()
+}
+
+// sendHeartbeat is the failure detector's leader-role callback: it emits a
+// heartbeat carrying the decision watermark straight onto the peer's
+// SendQueue, without involving the Protocol thread.
+func (r *Replica) sendHeartbeat(peer int) {
+	if !r.isLeader.Load() {
+		return
+	}
+	hb := &wire.Heartbeat{
+		View:        wire.View(r.viewHint.Load()),
+		DecidedUpTo: wire.InstanceID(r.decidedUpTo.Load()),
+	}
+	r.enqueueSend(peer, hb)
+}
+
+// enqueueSend places msg on peer's SendQueue without blocking; under
+// overload messages are dropped and recovered by retransmission (the paper's
+// Protocol thread never blocks on socket writes, Sec. V-B).
+func (r *Replica) enqueueSend(peer int, msg wire.Message) {
+	q := r.sendQ[peer]
+	if q == nil {
+		return
+	}
+	if ok, _ := q.TryPut(msg); !ok {
+		r.droppedSends.Add(1)
+	}
+}
+
+// broadcast enqueues msg to every peer.
+func (r *Replica) broadcast(msg wire.Message) {
+	for p, q := range r.sendQ {
+		if q != nil {
+			r.enqueueSend(p, msg)
+		}
+	}
+}
+
+// ClientAddr returns the bound client-facing address (useful when the
+// configured address used an ephemeral port).
+func (r *Replica) ClientAddr() string {
+	if r.clientIO == nil {
+		return r.cfg.ClientAddr
+	}
+	return r.clientIO.Addr()
+}
+
+// profThread registers a named thread when profiling is enabled.
+func (r *Replica) profThread(name string) *profiling.Thread {
+	return r.cfg.Profiling.Register(name)
+}

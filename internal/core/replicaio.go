@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gosmr/internal/profiling"
+	"gosmr/internal/transport"
+	"gosmr/internal/wire"
+)
+
+// peerLink manages the single connection to one peer, surviving reconnects.
+// The replica with the higher ID dials; the lower-ID side accepts, so each
+// pair has exactly one canonical connection.
+type peerLink struct {
+	peer   int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	conn   transport.FrameConn
+	gen    int // bumped on every (re)connect, to pair failures with conns
+	closed bool
+}
+
+func newPeerLink(peer int) *peerLink {
+	l := &peerLink{peer: peer}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// get blocks until a connection is available (or the link is closed).
+func (l *peerLink) get() (transport.FrameConn, int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.conn == nil && !l.closed {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return nil, 0, false
+	}
+	return l.conn, l.gen, true
+}
+
+// current returns the connection without blocking (nil if none).
+func (l *peerLink) current() (transport.FrameConn, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn, l.gen
+}
+
+// set installs a fresh connection, replacing (and closing) any previous one.
+func (l *peerLink) set(conn transport.FrameConn) {
+	l.mu.Lock()
+	old := l.conn
+	if l.closed {
+		l.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	l.conn = conn
+	l.gen++
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+}
+
+// fail reports that the connection of generation gen broke; stale reports
+// (about already-replaced connections) are ignored.
+func (l *peerLink) fail(gen int) {
+	l.mu.Lock()
+	if l.gen != gen || l.conn == nil {
+		l.mu.Unlock()
+		return
+	}
+	old := l.conn
+	l.conn = nil
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	_ = old.Close()
+}
+
+// close tears the link down permanently.
+func (l *peerLink) close() {
+	l.mu.Lock()
+	l.closed = true
+	old := l.conn
+	l.conn = nil
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+}
+
+// disconnected reports whether the link currently has no connection.
+func (l *peerLink) disconnected() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn == nil && !l.closed
+}
+
+// replicaIO is the ReplicaIO module (Sec. V-B): blocking I/O with two
+// dedicated threads per peer socket — a reader that deserializes into the
+// DispatcherQueue and a sender that drains the peer's SendQueue. The
+// dedicated sender prevents the Protocol thread from ever blocking on a
+// socket write to a slow or crashed peer (the distributed-deadlock scenario
+// of Sec. V-B).
+type replicaIO struct {
+	r        *Replica
+	listener transport.Listener
+	links    []*peerLink
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// newReplicaIO binds the peer listener, starts dialers toward lower-ID
+// peers, and launches the per-peer reader/sender threads.
+func newReplicaIO(r *Replica) (*replicaIO, error) {
+	io := &replicaIO{
+		r:     r,
+		links: make([]*peerLink, r.n),
+		stop:  make(chan struct{}),
+	}
+	if r.n > 1 {
+		l, err := r.cfg.Network.Listen(r.cfg.PeerAddrs[r.cfg.ID])
+		if err != nil {
+			return nil, fmt.Errorf("core: peer listener: %w", err)
+		}
+		io.listener = l
+		io.wg.Add(1)
+		go io.runAcceptLoop()
+	}
+	for p := range r.n {
+		if p == r.cfg.ID {
+			continue
+		}
+		io.links[p] = newPeerLink(p)
+		if p < r.cfg.ID {
+			io.wg.Add(1)
+			go io.runDialer(p)
+		}
+		io.wg.Add(2)
+		go io.runReader(p, r.profThread(fmt.Sprintf("ReplicaIORcv-%d", p)))
+		go io.runSender(p, r.profThread(fmt.Sprintf("ReplicaIOSnd-%d", p)))
+	}
+	return io, nil
+}
+
+// runAcceptLoop accepts connections from higher-ID peers; the first frame
+// must be a Hello identifying the dialer.
+func (io *replicaIO) runAcceptLoop() {
+	defer io.wg.Done()
+	for {
+		conn, err := io.listener.Accept()
+		if err != nil {
+			return
+		}
+		io.wg.Add(1)
+		go func() {
+			defer io.wg.Done()
+			frame, err := conn.ReadFrame()
+			if err != nil {
+				_ = conn.Close()
+				return
+			}
+			msg, err := wire.Unmarshal(frame)
+			if err != nil {
+				_ = conn.Close()
+				return
+			}
+			hello, ok := msg.(*wire.Hello)
+			if !ok || int(hello.ID) <= io.r.cfg.ID || int(hello.ID) >= io.r.n {
+				_ = conn.Close()
+				return
+			}
+			io.links[hello.ID].set(conn)
+		}()
+	}
+}
+
+// runDialer maintains the outbound connection to a lower-ID peer,
+// redialling with backoff whenever it drops.
+func (io *replicaIO) runDialer(peer int) {
+	defer io.wg.Done()
+	link := io.links[peer]
+	backoff := 10 * time.Millisecond
+	const maxBackoff = time.Second
+	for {
+		select {
+		case <-io.stop:
+			return
+		default:
+		}
+		if !link.disconnected() {
+			// Connected: poll for failure. The reader/sender call fail() on
+			// error, flipping disconnected back to true.
+			select {
+			case <-io.stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			continue
+		}
+		conn, err := io.r.cfg.Network.Dial(io.r.cfg.PeerAddrs[peer])
+		if err == nil {
+			err = conn.WriteFrame(wire.Marshal(&wire.Hello{ID: int32(io.r.cfg.ID)}))
+			if err == nil {
+				link.set(conn)
+				backoff = 10 * time.Millisecond
+				continue
+			}
+			_ = conn.Close()
+		}
+		select {
+		case <-io.stop:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// runReader is the ReplicaIORcv thread for one peer: read, deserialize,
+// touch the failure detector, dispatch to the Protocol thread.
+func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
+	defer io.wg.Done()
+	th.Transition(profiling.StateBusy)
+	defer th.Transition(profiling.StateOther)
+	link := io.links[peer]
+	for {
+		th.Transition(profiling.StateOther) // blocked on socket read
+		conn, gen, ok := link.get()
+		if !ok {
+			return
+		}
+		frame, err := conn.ReadFrame()
+		th.Transition(profiling.StateBusy)
+		if err != nil {
+			link.fail(gen)
+			continue
+		}
+		msg, err := wire.Unmarshal(frame)
+		if err != nil {
+			continue
+		}
+		io.r.detector.TouchRecv(peer)
+		if err := io.r.dispatchQ.Put(th, event{kind: evPeerMsg, from: peer, msg: msg}); err != nil {
+			return
+		}
+	}
+}
+
+// runSender is the ReplicaIOSnd thread for one peer: take from the
+// SendQueue, serialize, write.
+func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
+	defer io.wg.Done()
+	th.Transition(profiling.StateBusy)
+	defer th.Transition(profiling.StateOther)
+	link := io.links[peer]
+	q := io.r.sendQ[peer]
+	for {
+		msg, err := q.Take(th)
+		if err != nil {
+			return
+		}
+		frame := wire.Marshal(msg)
+		th.Transition(profiling.StateOther) // possibly blocked on socket write
+		conn, gen, ok := link.get()
+		if !ok {
+			return
+		}
+		werr := conn.WriteFrame(frame)
+		th.Transition(profiling.StateBusy)
+		if werr != nil {
+			link.fail(gen)
+			continue // message dropped; retransmission recovers it
+		}
+		io.r.detector.TouchSent(peer)
+	}
+}
+
+// close tears down the module and waits for all its goroutines.
+func (io *replicaIO) close() {
+	io.once.Do(func() {
+		close(io.stop)
+		if io.listener != nil {
+			_ = io.listener.Close()
+		}
+		for _, l := range io.links {
+			if l != nil {
+				l.close()
+			}
+		}
+	})
+	io.wg.Wait()
+}

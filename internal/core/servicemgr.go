@@ -1,0 +1,94 @@
+package core
+
+import (
+	"gosmr/internal/profiling"
+	"gosmr/internal/replycache"
+	"gosmr/internal/wire"
+)
+
+// runServiceManager is the ServiceManager module's thread (Sec. V-D; the
+// paper's profiles label it "Replica"). It drains the DecisionQueue in log
+// order, executes each request exactly once against the service, updates
+// the reply cache, and hands replies to the ClientIO writer of the
+// connection owning each client. Periodically it snapshots the service and
+// asks the Protocol thread to truncate the log.
+func (r *Replica) runServiceManager() {
+	defer r.wg.Done()
+	th := r.profThread("Replica")
+	th.Transition(profiling.StateBusy)
+	defer th.Transition(profiling.StateOther)
+
+	for {
+		item, err := r.decisionQ.Take(th)
+		if err != nil {
+			return
+		}
+		if item.snapshot != nil {
+			r.installSnapshot(item.snapshot)
+			continue
+		}
+		reqs, err := wire.DecodeBatch(item.value)
+		if err != nil {
+			continue // corrupt batch cannot happen with our own leader; skip
+		}
+		for _, req := range reqs {
+			r.executeOne(th, req)
+		}
+		r.maybeSnapshot(item.id)
+	}
+}
+
+// executeOne applies one request with at-most-once semantics.
+func (r *Replica) executeOne(th *profiling.Thread, req *wire.ClientRequest) {
+	reply, status := r.replyCache.Lookup(th, req.ClientID, req.Seq)
+	switch status {
+	case replycache.StatusStale:
+		return // superseded; the reply is gone
+	case replycache.StatusCached:
+		// Duplicate of the most recent execution (e.g. a client retry that
+		// got ordered twice): do not re-execute, just resend the reply.
+	case replycache.StatusNew:
+		reply = r.svc.Execute(req.Payload)
+		r.replyCache.Update(th, req.ClientID, req.Seq, reply)
+		r.executed.Add(1)
+	}
+	cc := r.registry.get(req.ClientID)
+	if cc == nil {
+		return // client not connected here (we may be a follower)
+	}
+	out := &wire.ClientReply{
+		ClientID: req.ClientID, Seq: req.Seq, OK: true,
+		Redirect: wire.NoRedirect, Payload: reply,
+	}
+	if ok, _ := cc.replies.TryPut(out); ok {
+		r.repliesSent.Add(1)
+	}
+}
+
+// installSnapshot replaces service and reply-cache state from a transferred
+// snapshot (the replica was too far behind for log catch-up).
+func (r *Replica) installSnapshot(snap *wire.Snapshot) {
+	_ = r.svc.Restore(snap.ServiceState)
+	_ = r.replyCache.Restore(snap.ReplyCache)
+	r.snapshots.put(*snap)
+}
+
+// maybeSnapshot takes a service snapshot every SnapshotEvery instances and
+// asks the Protocol thread to truncate the log below it.
+func (r *Replica) maybeSnapshot(executedID wire.InstanceID) {
+	every := r.cfg.SnapshotEvery
+	if every <= 0 || (int64(executedID)+1)%int64(every) != 0 {
+		return
+	}
+	state, err := r.svc.Snapshot()
+	if err != nil {
+		return // service cannot snapshot now; try again next interval
+	}
+	snap := wire.Snapshot{
+		LastIncluded: executedID,
+		ServiceState: state,
+		ReplyCache:   r.replyCache.Marshal(),
+	}
+	r.snapshots.put(snap)
+	_, _ = r.dispatchQ.TryPut(event{kind: evTruncate, upTo: executedID + 1})
+}

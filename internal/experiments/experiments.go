@@ -1,0 +1,651 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (Sec. VI) on the simulation substrate. Each runner returns a
+// typed result with a formatted Report, printing the same rows/series the
+// paper plots. A Suite memoizes the underlying parameter sweeps so figures
+// that share data (e.g. Fig. 4 and Fig. 5) run once.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gosmr/internal/sim"
+	"gosmr/internal/simrsm"
+)
+
+// Options controls experiment fidelity.
+type Options struct {
+	// Warmup is discarded virtual time per run (default 150ms).
+	Warmup time.Duration
+	// Measure is the measured virtual window per run (default 400ms; the
+	// paper ran 3 wall-clock minutes, but the simulator is deterministic so
+	// steady state needs far less).
+	Measure time.Duration
+	// Cores lists the x-axis for scalability sweeps (default
+	// 1,2,4,6,8,12,16,20,24 — the parapluie machine).
+	Cores []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Warmup <= 0 {
+		o.Warmup = 150 * time.Millisecond
+	}
+	if o.Measure <= 0 {
+		o.Measure = 400 * time.Millisecond
+	}
+	if len(o.Cores) == 0 {
+		o.Cores = []int{1, 2, 4, 6, 8, 12, 16, 20, 24}
+	}
+	return o
+}
+
+// Suite runs experiments with memoized sweeps.
+type Suite struct {
+	opts Options
+
+	jp map[string][]simrsm.Results // per sweep key
+	zk []simrsm.ZKResults
+}
+
+// NewSuite returns a Suite with the given options.
+func NewSuite(opts Options) *Suite {
+	return &Suite{opts: opts.withDefaults(), jp: make(map[string][]simrsm.Results)}
+}
+
+// edelCostFactor slows per-core costs to model the edel cluster (whose
+// measured single-core throughput was lower than parapluie's despite the
+// higher clock — Fig. 6).
+const edelCostFactor = 1.35
+
+// jpSweep runs (and memoizes) a JPaxos cores-sweep.
+func (s *Suite) jpSweep(n int, cores []int, costScale float64) []simrsm.Results {
+	key := fmt.Sprintf("n%d-s%.2f-%v", n, costScale, cores)
+	if res, ok := s.jp[key]; ok {
+		return res
+	}
+	out := make([]simrsm.Results, 0, len(cores))
+	for _, c := range cores {
+		cfg := simrsm.Config{N: n, Cores: c}
+		if costScale != 1 {
+			cfg.Costs = simrsm.DefaultCosts().Scale(costScale)
+		}
+		out = append(out, simrsm.RunJPaxos(cfg, s.opts.Warmup, s.opts.Measure))
+	}
+	s.jp[key] = out
+	return out
+}
+
+// zkSweep runs (and memoizes) the ZooKeeper-baseline cores-sweep.
+func (s *Suite) zkSweep(cores []int) []simrsm.ZKResults {
+	if s.zk != nil {
+		return s.zk
+	}
+	out := make([]simrsm.ZKResults, 0, len(cores))
+	for _, c := range cores {
+		out = append(out, simrsm.RunZK(simrsm.ZKConfig{Cores: c}, s.opts.Warmup, s.opts.Measure))
+	}
+	s.zk = out
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Report formatting helpers.
+
+type table struct {
+	b strings.Builder
+}
+
+func newTable(id, title string) *table {
+	t := &table{}
+	fmt.Fprintf(&t.b, "== %s: %s ==\n", id, title)
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	t.b.WriteString(strings.Join(cells, "  "))
+	t.b.WriteByte('\n')
+}
+
+func (t *table) note(format string, args ...any) {
+	fmt.Fprintf(&t.b, "   %s\n", fmt.Sprintf(format, args...))
+}
+
+func (t *table) String() string { return t.b.String() }
+
+func threadRows(t *table, threads []sim.Stats, window time.Duration) {
+	t.row(fmt.Sprintf("%-18s", "thread"), "busy%", "blocked%", "waiting%", "other%")
+	for _, st := range threads {
+		den := float64(window)
+		t.row(fmt.Sprintf("%-18s", st.Name),
+			fmt.Sprintf("%5.1f", 100*float64(st.Busy)/den),
+			fmt.Sprintf("%8.1f", 100*float64(st.Blocked)/den),
+			fmt.Sprintf("%8.1f", 100*float64(st.Waiting)/den),
+			fmt.Sprintf("%6.1f", 100*float64(st.Other)/den))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures.
+
+// ScalabilityResult holds a throughput-vs-cores curve (Figs. 1a, 4, 6, 12).
+type ScalabilityResult struct {
+	Cores      []int
+	Throughput []float64 // requests/second
+	Speedup    []float64 // vs the 1-core point
+	Report     string
+}
+
+func scalability(cores []int, tput []float64) ([]float64, []float64) {
+	speedup := make([]float64, len(tput))
+	base := tput[0]
+	for i, v := range tput {
+		if base > 0 {
+			speedup[i] = v / base
+		}
+	}
+	return tput, speedup
+}
+
+// Fig1 reproduces Figure 1: ZooKeeper throughput vs cores (a) and the
+// leader's per-thread profile at 24 cores (b).
+func (s *Suite) Fig1() ScalabilityResult {
+	res := s.zkSweep(s.opts.Cores)
+	var tput []float64
+	for _, r := range res {
+		tput = append(tput, r.Throughput)
+	}
+	tput, speedup := scalability(s.opts.Cores, tput)
+	t := newTable("Fig 1", "ZooKeeper performance with increasing cores (n=3, 128B writes)")
+	t.row("cores", "req/s", "speedup")
+	for i, c := range s.opts.Cores {
+		t.row(fmt.Sprintf("%5d", c), fmt.Sprintf("%8.0f", tput[i]), fmt.Sprintf("%5.2f", speedup[i]))
+	}
+	last := res[len(res)-1]
+	t.note("(b) leader per-thread states at %d cores:", s.opts.Cores[len(s.opts.Cores)-1])
+	threadRows(t, last.LeaderThreads, last.Window)
+	return ScalabilityResult{Cores: s.opts.Cores, Throughput: tput, Speedup: speedup, Report: t.String()}
+}
+
+// Fig4Result holds the JPaxos n=3 and n=5 scalability curves.
+type Fig4Result struct {
+	Cores   []int
+	N3, N5  []float64
+	SpeedN3 []float64
+	SpeedN5 []float64
+	Report  string
+}
+
+// Fig4 reproduces Figure 4: JPaxos throughput and speedup vs cores on the
+// 24-core parapluie machine, n=3 and n=5.
+func (s *Suite) Fig4() Fig4Result {
+	r3 := s.jpSweep(3, s.opts.Cores, 1)
+	r5 := s.jpSweep(5, s.opts.Cores, 1)
+	out := Fig4Result{Cores: s.opts.Cores}
+	for i := range s.opts.Cores {
+		out.N3 = append(out.N3, r3[i].Throughput)
+		out.N5 = append(out.N5, r5[i].Throughput)
+	}
+	_, out.SpeedN3 = scalability(s.opts.Cores, out.N3)
+	_, out.SpeedN5 = scalability(s.opts.Cores, out.N5)
+	t := newTable("Fig 4", "JPaxos throughput & speedup vs cores (parapluie)")
+	t.row("cores", "n=3 req/s", "n=3 speedup", "n=5 req/s", "n=5 speedup")
+	for i, c := range s.opts.Cores {
+		t.row(fmt.Sprintf("%5d", c),
+			fmt.Sprintf("%9.0f", out.N3[i]), fmt.Sprintf("%11.2f", out.SpeedN3[i]),
+			fmt.Sprintf("%9.0f", out.N5[i]), fmt.Sprintf("%11.2f", out.SpeedN5[i]))
+	}
+	out.Report = t.String()
+	return out
+}
+
+// UtilizationResult holds per-replica CPU and blocked-time curves
+// (Figs. 5, 7, 13).
+type UtilizationResult struct {
+	Cores   []int
+	CPU     [][]float64 // [replica][corePoint] % of one core
+	Blocked [][]float64
+	Report  string
+}
+
+func utilization(id, title string, cores []int, cpu, blocked [][]float64) UtilizationResult {
+	t := newTable(id, title)
+	hdr := []string{"cores"}
+	for r := range cpu {
+		hdr = append(hdr, fmt.Sprintf("cpu-R%d%%", r+1), fmt.Sprintf("blk-R%d%%", r+1))
+	}
+	t.row(hdr...)
+	for i, c := range cores {
+		cells := []string{fmt.Sprintf("%5d", c)}
+		for r := range cpu {
+			cells = append(cells, fmt.Sprintf("%7.0f", cpu[r][i]), fmt.Sprintf("%7.1f", blocked[r][i]))
+		}
+		t.row(cells...)
+	}
+	return UtilizationResult{Cores: cores, CPU: cpu, Blocked: blocked, Report: t.String()}
+}
+
+// Fig5 reproduces Figure 5: JPaxos per-replica CPU utilization and total
+// blocked time vs cores (n=3 and n=5; the leader is the last replica in the
+// paper's numbering, the first in ours).
+func (s *Suite) Fig5() (n3, n5 UtilizationResult) {
+	for _, n := range []int{3, 5} {
+		res := s.jpSweep(n, s.opts.Cores, 1)
+		cpu := make([][]float64, n)
+		blk := make([][]float64, n)
+		for i := range res {
+			for r := range n {
+				cpu[r] = append(cpu[r], res[i].CPUPercent[r])
+				blk[r] = append(blk[r], res[i].BlockedPercent[r])
+			}
+		}
+		u := utilization("Fig 5", fmt.Sprintf("JPaxos CPU usage and contention (n=%d, parapluie; R1 is the leader)", n),
+			s.opts.Cores, cpu, blk)
+		if n == 3 {
+			n3 = u
+		} else {
+			n5 = u
+		}
+	}
+	return n3, n5
+}
+
+// edelCores is the edel machine's core axis.
+var edelCores = []int{1, 2, 3, 4, 5, 6, 7, 8}
+
+// Fig6 reproduces Figure 6: throughput and speedup on the 8-core edel
+// cluster.
+func (s *Suite) Fig6() Fig4Result {
+	r3 := s.jpSweep(3, edelCores, edelCostFactor)
+	r5 := s.jpSweep(5, edelCores, edelCostFactor)
+	out := Fig4Result{Cores: edelCores}
+	for i := range edelCores {
+		out.N3 = append(out.N3, r3[i].Throughput)
+		out.N5 = append(out.N5, r5[i].Throughput)
+	}
+	_, out.SpeedN3 = scalability(edelCores, out.N3)
+	_, out.SpeedN5 = scalability(edelCores, out.N5)
+	t := newTable("Fig 6", "JPaxos throughput & speedup vs cores (edel, 8-core nodes)")
+	t.row("cores", "n=3 req/s", "n=3 speedup", "n=5 req/s", "n=5 speedup")
+	for i, c := range edelCores {
+		t.row(fmt.Sprintf("%5d", c),
+			fmt.Sprintf("%9.0f", out.N3[i]), fmt.Sprintf("%11.2f", out.SpeedN3[i]),
+			fmt.Sprintf("%9.0f", out.N5[i]), fmt.Sprintf("%11.2f", out.SpeedN5[i]))
+	}
+	out.Report = t.String()
+	return out
+}
+
+// Fig7 reproduces Figure 7: CPU usage and blocked time on edel.
+func (s *Suite) Fig7() (n3, n5 UtilizationResult) {
+	for _, n := range []int{3, 5} {
+		res := s.jpSweep(n, edelCores, edelCostFactor)
+		cpu := make([][]float64, n)
+		blk := make([][]float64, n)
+		for i := range res {
+			for r := range n {
+				cpu[r] = append(cpu[r], res[i].CPUPercent[r])
+				blk[r] = append(blk[r], res[i].BlockedPercent[r])
+			}
+		}
+		u := utilization("Fig 7", fmt.Sprintf("JPaxos CPU usage and blocked time (n=%d, edel; R1 is the leader)", n),
+			edelCores, cpu, blk)
+		if n == 3 {
+			n3 = u
+		} else {
+			n5 = u
+		}
+	}
+	return n3, n5
+}
+
+// ThreadProfileResult is a per-thread state breakdown (Figs. 8 and 14).
+type ThreadProfileResult struct {
+	Label   string
+	Threads []sim.Stats
+	Window  time.Duration
+	Report  string
+}
+
+// Fig8 reproduces Figure 8: the leader's per-thread CPU utilization at 1
+// core and at full core count, for both machine models.
+func (s *Suite) Fig8() []ThreadProfileResult {
+	cases := []struct {
+		label string
+		cores int
+		scale float64
+	}{
+		{"parapluie-1core", 1, 1},
+		{"parapluie-24cores", 24, 1},
+		{"edel-1core", 1, edelCostFactor},
+		{"edel-8cores", 8, edelCostFactor},
+	}
+	var out []ThreadProfileResult
+	for _, cs := range cases {
+		res := s.jpSweep(3, []int{cs.cores}, cs.scale)[0]
+		t := newTable("Fig 8", "JPaxos leader per-thread utilization — "+cs.label)
+		threadRows(t, res.LeaderThreads, res.Window)
+		out = append(out, ThreadProfileResult{
+			Label: cs.label, Threads: res.LeaderThreads, Window: res.Window, Report: t.String(),
+		})
+	}
+	return out
+}
+
+// SweepResult is a generic x-vs-metrics table (Figs. 9, 10, 11).
+type SweepResult struct {
+	X       []float64
+	Tput    []float64
+	Lat     []time.Duration
+	Batch   []float64
+	Window  []float64
+	CPU     []float64
+	PktsOut []float64
+	Report  string
+}
+
+// Fig9 reproduces Figure 9: throughput and leader CPU vs the number of
+// ClientIO threads at full cores.
+func (s *Suite) Fig9() SweepResult {
+	threads := []int{1, 2, 3, 4, 6, 8, 12, 16, 20, 24}
+	out := SweepResult{}
+	t := newTable("Fig 9", "Varying the number of ClientIO threads (24 cores, n=3)")
+	t.row("threads", "req/s", "leader CPU%")
+	for _, k := range threads {
+		res := simrsm.RunJPaxos(simrsm.Config{ClientIOThreads: k}, s.opts.Warmup, s.opts.Measure)
+		out.X = append(out.X, float64(k))
+		out.Tput = append(out.Tput, res.Throughput)
+		out.CPU = append(out.CPU, res.CPUPercent[0])
+		t.row(fmt.Sprintf("%7d", k), fmt.Sprintf("%8.0f", res.Throughput),
+			fmt.Sprintf("%11.0f", res.CPUPercent[0]))
+	}
+	out.Report = t.String()
+	return out
+}
+
+// Fig10 reproduces Figure 10: performance as a function of the window size
+// WND (throughput, instance latency, avg batch size, avg window).
+func (s *Suite) Fig10() SweepResult {
+	wnds := []int{10, 15, 20, 25, 30, 35, 40, 45, 50}
+	out := SweepResult{}
+	t := newTable("Fig 10", "Performance vs window size WND (24 cores, n=3, BSZ=1300)")
+	t.row("WND", "req/s", "latency", "avg batch", "avg window")
+	for _, wnd := range wnds {
+		res := simrsm.RunJPaxos(simrsm.Config{Window: wnd}, s.opts.Warmup, s.opts.Measure)
+		out.X = append(out.X, float64(wnd))
+		out.Tput = append(out.Tput, res.Throughput)
+		out.Lat = append(out.Lat, res.InstanceLatency)
+		out.Batch = append(out.Batch, res.AvgBatchReqs)
+		out.Window = append(out.Window, res.AvgWindow)
+		t.row(fmt.Sprintf("%3d", wnd), fmt.Sprintf("%8.0f", res.Throughput),
+			fmt.Sprintf("%10v", res.InstanceLatency.Round(time.Microsecond)),
+			fmt.Sprintf("%9.2f", res.AvgBatchReqs), fmt.Sprintf("%10.2f", res.AvgWindow))
+	}
+	out.Report = t.String()
+	return out
+}
+
+// Fig11 reproduces Figure 11: performance as a function of the batch size
+// BSZ at WND=35.
+func (s *Suite) Fig11() SweepResult {
+	bszs := []int{1300, 2600, 5200, 10400}
+	out := SweepResult{}
+	t := newTable("Fig 11", "Performance vs batch size BSZ (24 cores, n=3, WND=35)")
+	t.row("BSZ", "req/s", "latency", "avg batch KB", "avg window")
+	for _, bsz := range bszs {
+		res := simrsm.RunJPaxos(simrsm.Config{Window: 35, BatchBytes: bsz}, s.opts.Warmup, s.opts.Measure)
+		out.X = append(out.X, float64(bsz))
+		out.Tput = append(out.Tput, res.Throughput)
+		out.Lat = append(out.Lat, res.InstanceLatency)
+		out.Batch = append(out.Batch, res.AvgBatchReqs)
+		out.Window = append(out.Window, res.AvgWindow)
+		t.row(fmt.Sprintf("%5d", bsz), fmt.Sprintf("%8.0f", res.Throughput),
+			fmt.Sprintf("%10v", res.InstanceLatency.Round(time.Microsecond)),
+			fmt.Sprintf("%12.2f", res.AvgBatchReqs*133.0/1024),
+			fmt.Sprintf("%10.2f", res.AvgWindow))
+	}
+	out.Report = t.String()
+	return out
+}
+
+// Fig12Result compares JPaxos and the baseline.
+type Fig12Result struct {
+	Cores     []int
+	JPaxos    []float64
+	ZooKeeper []float64
+	Report    string
+}
+
+// Fig12 reproduces Figure 12: JPaxos vs ZooKeeper throughput and speedup
+// with increasing cores.
+func (s *Suite) Fig12() Fig12Result {
+	jp := s.jpSweep(3, s.opts.Cores, 1)
+	zk := s.zkSweep(s.opts.Cores)
+	out := Fig12Result{Cores: s.opts.Cores}
+	t := newTable("Fig 12", "JPaxos vs ZooKeeper with increasing cores (n=3)")
+	t.row("cores", "jpaxos req/s", "jp speedup", "zk req/s", "zk speedup")
+	for i, c := range s.opts.Cores {
+		out.JPaxos = append(out.JPaxos, jp[i].Throughput)
+		out.ZooKeeper = append(out.ZooKeeper, zk[i].Throughput)
+		t.row(fmt.Sprintf("%5d", c),
+			fmt.Sprintf("%12.0f", jp[i].Throughput),
+			fmt.Sprintf("%10.2f", jp[i].Throughput/jp[0].Throughput),
+			fmt.Sprintf("%8.0f", zk[i].Throughput),
+			fmt.Sprintf("%10.2f", zk[i].Throughput/zk[0].Throughput))
+	}
+	out.Report = t.String()
+	return out
+}
+
+// Fig13 reproduces Figure 13: ZooKeeper CPU usage and contention.
+func (s *Suite) Fig13() UtilizationResult {
+	res := s.zkSweep(s.opts.Cores)
+	n := len(res[0].CPUPercent)
+	cpu := make([][]float64, n)
+	blk := make([][]float64, n)
+	for i := range res {
+		for r := range n {
+			cpu[r] = append(cpu[r], res[i].CPUPercent[r])
+			blk[r] = append(blk[r], res[i].BlockedPercent[r])
+		}
+	}
+	return utilization("Fig 13",
+		fmt.Sprintf("ZooKeeper CPU usage and contention (n=%d; R%d is the leader)", n, n),
+		s.opts.Cores, cpu, blk)
+}
+
+// Fig14 reproduces Figure 14: the ZooKeeper leader's per-thread states at 1
+// core and at full cores.
+func (s *Suite) Fig14() []ThreadProfileResult {
+	var out []ThreadProfileResult
+	maxCores := s.opts.Cores[len(s.opts.Cores)-1]
+	for _, cores := range []int{1, maxCores} {
+		var res simrsm.ZKResults
+		if idx := indexOf(s.opts.Cores, cores); idx >= 0 {
+			res = s.zkSweep(s.opts.Cores)[idx]
+		} else {
+			res = simrsm.RunZK(simrsm.ZKConfig{Cores: cores}, s.opts.Warmup, s.opts.Measure)
+		}
+		label := fmt.Sprintf("%d-core(s)", cores)
+		t := newTable("Fig 14", "ZooKeeper leader per-thread utilization — "+label)
+		threadRows(t, res.LeaderThreads, res.Window)
+		out = append(out, ThreadProfileResult{
+			Label: label, Threads: res.LeaderThreads, Window: res.Window, Report: t.String(),
+		})
+	}
+	return out
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------------
+// Tables.
+
+// TableIResult holds the internal-queue averages per WND.
+type TableIResult struct {
+	WND        []int
+	RequestQ   []float64
+	ProposalQ  []float64
+	DispatchQ  []float64
+	AvgBallots []float64
+	Report     string
+}
+
+// TableI reproduces Table I: average internal queue sizes and parallel
+// ballots for varying WND.
+func (s *Suite) TableI() TableIResult {
+	wnds := []int{10, 35, 40, 45, 50}
+	out := TableIResult{WND: wnds}
+	t := newTable("Table I", "Average internal queue sizes and parallel ballots (24 cores, n=3, BSZ=1300)")
+	t.row("WND", "RequestQueue", "ProposalQueue", "DispatcherQueue", "avg ballots")
+	for _, wnd := range wnds {
+		res := simrsm.RunJPaxos(simrsm.Config{Window: wnd}, s.opts.Warmup, s.opts.Measure)
+		out.RequestQ = append(out.RequestQ, res.QueueAvg["RequestQueue"])
+		out.ProposalQ = append(out.ProposalQ, res.QueueAvg["ProposalQueue"])
+		out.DispatchQ = append(out.DispatchQ, res.QueueAvg["DispatcherQueue"])
+		out.AvgBallots = append(out.AvgBallots, res.AvgWindow)
+		t.row(fmt.Sprintf("%3d", wnd),
+			fmt.Sprintf("%12.2f", res.QueueAvg["RequestQueue"]),
+			fmt.Sprintf("%13.2f", res.QueueAvg["ProposalQueue"]),
+			fmt.Sprintf("%15.2f", res.QueueAvg["DispatcherQueue"]),
+			fmt.Sprintf("%11.2f", res.AvgWindow))
+	}
+	out.Report = t.String()
+	return out
+}
+
+// TableIIResult holds ping RTTs idle and under load.
+type TableIIResult struct {
+	Idle           time.Duration
+	LeaderToAny    time.Duration
+	FollowerToPeer time.Duration
+	Report         string
+}
+
+// TableII reproduces Table II: ping RTTs while idle and during an
+// experiment (WND=35, BSZ=1300): the leader's RTT inflates by orders of
+// magnitude; follower links barely move.
+func (s *Suite) TableII() TableIIResult {
+	idle := simrsm.IdlePing()
+	res := simrsm.RunJPaxos(simrsm.Config{Window: 35}, s.opts.Warmup, s.opts.Measure)
+	out := TableIIResult{
+		Idle:           idle,
+		LeaderToAny:    res.PingLeaderRTT,
+		FollowerToPeer: res.PingFollowerRTT,
+	}
+	t := newTable("Table II", "Ping RTT between nodes (WND=35, BSZ=1300, n=3)")
+	t.row("idle, any<->any:        ", idle.Round(time.Microsecond).String())
+	t.row("experiment, fol<->fol:  ", res.PingFollowerRTT.Round(time.Microsecond).String())
+	t.row("experiment, leader<->any:", res.PingLeaderRTT.Round(time.Microsecond).String())
+	out.Report = t.String()
+	return out
+}
+
+// TableIIIResult holds packet/bandwidth accounting per BSZ.
+type TableIIIResult struct {
+	BSZ     []int
+	Tput    []float64
+	PktsOut []float64 // per second
+	PktsIn  []float64
+	MBOut   []float64 // MB/s
+	MBIn    []float64
+	Report  string
+}
+
+// TableIII reproduces Table III: throughput and leader network utilization
+// for varying BSZ — the out-packet rate pins at the kernel's per-packet
+// ceiling regardless of batch size.
+func (s *Suite) TableIII() TableIIIResult {
+	bszs := []int{650, 1300, 2600, 5200}
+	out := TableIIIResult{BSZ: bszs}
+	t := newTable("Table III", "Throughput and network utilization vs BSZ (24 cores, n=3, WND=35)")
+	t.row("BSZ", "req/s", "pkts/s out", "pkts/s in", "MB/s out", "MB/s in")
+	for _, bsz := range bszs {
+		res := simrsm.RunJPaxos(simrsm.Config{Window: 35, BatchBytes: bsz}, s.opts.Warmup, s.opts.Measure)
+		secs := res.Window.Seconds()
+		pOut := float64(res.LeaderNIC.PktsOut) / secs
+		pIn := float64(res.LeaderNIC.PktsIn) / secs
+		mbOut := float64(res.LeaderNIC.BytesOut) / secs / 1e6
+		mbIn := float64(res.LeaderNIC.BytesIn) / secs / 1e6
+		out.Tput = append(out.Tput, res.Throughput)
+		out.PktsOut = append(out.PktsOut, pOut)
+		out.PktsIn = append(out.PktsIn, pIn)
+		out.MBOut = append(out.MBOut, mbOut)
+		out.MBIn = append(out.MBIn, mbIn)
+		t.row(fmt.Sprintf("%5d", bsz), fmt.Sprintf("%8.0f", res.Throughput),
+			fmt.Sprintf("%10.0f", pOut), fmt.Sprintf("%9.0f", pIn),
+			fmt.Sprintf("%8.1f", mbOut), fmt.Sprintf("%7.1f", mbIn))
+	}
+	out.Report = t.String()
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Ablations.
+
+// AblationResult compares two configurations.
+type AblationResult struct {
+	Baseline, Variant float64 // throughput
+	Report            string
+}
+
+// AblationRSS reproduces footnote 5: enabling RSS/RPS (multi-queue packet
+// processing) roughly doubles peak throughput.
+func (s *Suite) AblationRSS() AblationResult {
+	off := simrsm.RunJPaxos(simrsm.Config{Window: 35}, s.opts.Warmup, s.opts.Measure)
+	on := simrsm.RunJPaxos(simrsm.Config{Window: 35, RSS: true}, s.opts.Warmup, s.opts.Measure)
+	t := newTable("Ablation RSS", "Single-queue kernel vs RSS/RPS (24 cores, n=3, WND=35)")
+	t.row(fmt.Sprintf("single-queue: %8.0f req/s", off.Throughput))
+	t.row(fmt.Sprintf("RSS enabled:  %8.0f req/s (x%.2f)", on.Throughput, on.Throughput/off.Throughput))
+	return AblationResult{Baseline: off.Throughput, Variant: on.Throughput, Report: t.String()}
+}
+
+// AblationNoBatcher removes the dedicated Batcher thread (Sec. V-C1),
+// charging batch building to the Protocol thread's critical path.
+func (s *Suite) AblationNoBatcher() AblationResult {
+	with := simrsm.RunJPaxos(simrsm.Config{}, s.opts.Warmup, s.opts.Measure)
+	without := simrsm.RunJPaxos(simrsm.Config{NoBatcher: true}, s.opts.Warmup, s.opts.Measure)
+	t := newTable("Ablation Batcher", "Dedicated Batcher thread vs batching on the Protocol thread (24 cores, n=3)")
+	t.row(fmt.Sprintf("with Batcher thread:    %8.0f req/s", with.Throughput))
+	t.row(fmt.Sprintf("batching on Protocol:   %8.0f req/s (x%.2f)", without.Throughput, without.Throughput/with.Throughput))
+	return AblationResult{Baseline: with.Throughput, Variant: without.Throughput, Report: t.String()}
+}
+
+// All runs every experiment and returns the concatenated reports in paper
+// order.
+func (s *Suite) All() string {
+	var b strings.Builder
+	b.WriteString(s.Fig1().Report)
+	b.WriteString(s.Fig4().Report)
+	n3, n5 := s.Fig5()
+	b.WriteString(n3.Report)
+	b.WriteString(n5.Report)
+	b.WriteString(s.Fig6().Report)
+	e3, e5 := s.Fig7()
+	b.WriteString(e3.Report)
+	b.WriteString(e5.Report)
+	for _, p := range s.Fig8() {
+		b.WriteString(p.Report)
+	}
+	b.WriteString(s.Fig9().Report)
+	b.WriteString(s.Fig10().Report)
+	b.WriteString(s.Fig11().Report)
+	b.WriteString(s.Fig12().Report)
+	b.WriteString(s.Fig13().Report)
+	for _, p := range s.Fig14() {
+		b.WriteString(p.Report)
+	}
+	b.WriteString(s.TableI().Report)
+	b.WriteString(s.TableII().Report)
+	b.WriteString(s.TableIII().Report)
+	b.WriteString(s.AblationRSS().Report)
+	b.WriteString(s.AblationNoBatcher().Report)
+	return b.String()
+}

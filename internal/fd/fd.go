@@ -1,0 +1,183 @@
+// Package fd implements the FailureDetector thread of Sec. V-C3. The leader
+// sends heartbeats when its connections have been idle; followers suspect
+// the leader when nothing has been received from it within the timeout.
+//
+// As in the paper, the per-peer send/receive timestamps are updated directly
+// by the ReplicaIO threads using atomics, with no notification to the
+// detector: since timestamps only ever move forward, an update can only
+// delay the next action, so the detector can safely sleep until the
+// originally computed deadline and re-evaluate then. This avoids a context
+// switch per message.
+package fd
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosmr/internal/profiling"
+	"gosmr/internal/wire"
+)
+
+// Default intervals. The suspect timeout must comfortably exceed the
+// heartbeat interval to tolerate scheduling jitter under load.
+const (
+	DefaultHeartbeatInterval = 50 * time.Millisecond
+	DefaultSuspectTimeout    = 500 * time.Millisecond
+)
+
+// Options configures a Detector.
+type Options struct {
+	// ID is this replica's ID; N the cluster size.
+	ID, N int
+	// HeartbeatInterval is the maximum idle time before the leader sends a
+	// heartbeat to a peer.
+	HeartbeatInterval time.Duration
+	// SuspectTimeout is how long a follower waits for leader traffic before
+	// suspecting it.
+	SuspectTimeout time.Duration
+	// SendHeartbeat sends a heartbeat to peer (called from the detector
+	// goroutine, must not block indefinitely).
+	SendHeartbeat func(peer int)
+	// Suspect reports that the leader of view is suspected. Called at most
+	// once per view, from the detector goroutine.
+	Suspect func(view wire.View)
+	// Thread receives profiling accounting (may be nil).
+	Thread *profiling.Thread
+}
+
+// Detector is the failure-detector thread. Construct with New, stop with
+// Stop.
+type Detector struct {
+	opts Options
+
+	lastRecv []atomic.Int64 // unix nanos of last message received from peer
+	lastSent []atomic.Int64 // unix nanos of last message sent to peer
+
+	view      atomic.Int32 // current view
+	suspected atomic.Int32 // highest view already reported suspected; -1 none
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// New returns a started Detector.
+func New(opts Options) *Detector {
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if opts.SuspectTimeout <= 0 {
+		opts.SuspectTimeout = DefaultSuspectTimeout
+	}
+	d := &Detector{
+		opts:     opts,
+		lastRecv: make([]atomic.Int64, opts.N),
+		lastSent: make([]atomic.Int64, opts.N),
+		stop:     make(chan struct{}),
+	}
+	d.suspected.Store(-1)
+	now := time.Now().UnixNano()
+	for i := range d.lastRecv {
+		d.lastRecv[i].Store(now)
+		d.lastSent[i].Store(now)
+	}
+	d.wg.Add(1)
+	go d.run()
+	return d
+}
+
+// TouchRecv records that a message from peer was just received. Called by
+// ReplicaIO reader threads; lock-free.
+func (d *Detector) TouchRecv(peer int) {
+	if peer >= 0 && peer < len(d.lastRecv) {
+		d.lastRecv[peer].Store(time.Now().UnixNano())
+	}
+}
+
+// TouchSent records that a message to peer was just sent. Called by
+// ReplicaIO sender threads; lock-free.
+func (d *Detector) TouchSent(peer int) {
+	if peer >= 0 && peer < len(d.lastSent) {
+		d.lastSent[peer].Store(time.Now().UnixNano())
+	}
+}
+
+// UpdateView tells the detector the protocol moved to view v, resetting
+// suspicion for the new leader.
+func (d *Detector) UpdateView(v wire.View) {
+	d.view.Store(int32(v))
+	// Give the new leader a full timeout from now.
+	now := time.Now().UnixNano()
+	leader := int(int32(v)) % d.opts.N
+	if leader >= 0 && leader < len(d.lastRecv) {
+		d.lastRecv[leader].Store(now)
+	}
+}
+
+// View returns the detector's current view.
+func (d *Detector) View() wire.View { return wire.View(d.view.Load()) }
+
+// Stop terminates the detector thread and waits for it.
+func (d *Detector) Stop() {
+	d.once.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}
+
+// run is the FailureDetector thread body: sleep until the earliest possible
+// deadline, then re-evaluate against the current timestamps.
+func (d *Detector) run() {
+	defer d.wg.Done()
+	th := d.opts.Thread
+	// Polling at a fraction of the heartbeat interval implements the
+	// "sleep until original deadline, then re-check" rule with enough
+	// resolution for both roles.
+	tick := d.opts.HeartbeatInterval / 2
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		th.Transition(profiling.StateOther) // sleeping
+		select {
+		case <-d.stop:
+			th.Transition(profiling.StateWaiting)
+			return
+		case <-ticker.C:
+		}
+		th.Transition(profiling.StateBusy)
+		d.evaluate(time.Now())
+	}
+}
+
+// evaluate performs one leader-heartbeat / follower-suspicion pass.
+func (d *Detector) evaluate(now time.Time) {
+	view := wire.View(d.view.Load())
+	leader := int(view) % d.opts.N
+	if leader < 0 {
+		leader = -leader // defensive; views are non-negative in practice
+	}
+	if leader == d.opts.ID {
+		// Leader role: heartbeat any peer whose connection has been idle.
+		cutoff := now.Add(-d.opts.HeartbeatInterval).UnixNano()
+		for p := range d.opts.N {
+			if p == d.opts.ID {
+				continue
+			}
+			if d.lastSent[p].Load() <= cutoff && d.opts.SendHeartbeat != nil {
+				d.opts.SendHeartbeat(p)
+				d.lastSent[p].Store(now.UnixNano())
+			}
+		}
+		return
+	}
+	// Follower role: suspect a silent leader, once per view.
+	cutoff := now.Add(-d.opts.SuspectTimeout).UnixNano()
+	if d.lastRecv[leader].Load() <= cutoff && d.suspected.Load() < int32(view) {
+		d.suspected.Store(int32(view))
+		if d.opts.Suspect != nil {
+			d.opts.Suspect(view)
+		}
+	}
+}

@@ -1,0 +1,593 @@
+// Package paxos implements the MultiPaxos protocol state machine that the
+// Protocol thread executes (Sec. III-A and V-C2), including the batching and
+// pipelining optimizations the paper assumes throughout ([12]):
+//
+//   - Views number leadership epochs; the leader of view v is replica
+//     v mod n. A replica that suspects the leader advances to the next view
+//     and, if it is that view's leader, runs Phase 1 over the unstable log
+//     suffix (one Prepare for all instances, as in JPaxos).
+//   - Phase 2 runs per instance; each instance carries one batch. Up to
+//     `window` instances (the paper's WND parameter) are in flight at once.
+//   - Followers send Phase 2b (Accept) only to the leader. They learn
+//     decisions from the DecidedUpTo watermark piggybacked on Propose and
+//     Heartbeat messages, and fill gaps via catch-up.
+//
+// The Node is a pure state machine: it performs no I/O and starts no
+// goroutines. Every event handler returns an Effects value describing what
+// the caller must do (send messages, deliver decisions, cancel
+// retransmissions, ...). It is owned by a single goroutine — the Protocol
+// thread — which is what makes the replication core thread-safe without
+// locks (the paper's "no-lock rule").
+package paxos
+
+import (
+	"fmt"
+
+	"gosmr/internal/storage"
+	"gosmr/internal/wire"
+)
+
+// Broadcast as a SendEffect target means "all peers".
+const Broadcast = -1
+
+// RetransKind distinguishes retransmittable message classes.
+type RetransKind uint8
+
+// Retransmission key kinds.
+const (
+	RetransPrepare RetransKind = iota + 1
+	RetransPropose
+)
+
+// RetransKey identifies one retransmittable message so the caller can pair
+// registration with the lock-free cancel of Sec. V-C4.
+type RetransKey struct {
+	Kind RetransKind
+	View wire.View
+	ID   wire.InstanceID
+}
+
+// String formats the key for logs.
+func (k RetransKey) String() string {
+	switch k.Kind {
+	case RetransPrepare:
+		return fmt.Sprintf("prepare/v%d", k.View)
+	case RetransPropose:
+		return fmt.Sprintf("propose/%d", k.ID)
+	default:
+		return fmt.Sprintf("retrans(%d)/v%d/%d", k.Kind, k.View, k.ID)
+	}
+}
+
+// SendEffect instructs the caller to transmit Msg. If Retrans is non-nil the
+// message must be registered for retransmission under that key.
+type SendEffect struct {
+	To      int // peer ID, or Broadcast
+	Msg     wire.Message
+	Retrans *RetransKey
+}
+
+// Decision is one decided instance, emitted in strict log order.
+type Decision struct {
+	ID    wire.InstanceID
+	Value []byte // an encoded batch (possibly empty: a no-op)
+}
+
+// Effects is everything an event handler asks the caller to do. The zero
+// value means "nothing".
+type Effects struct {
+	// Sends lists messages to transmit, in order.
+	Sends []SendEffect
+	// Decisions lists newly decided instances, contiguous and in order.
+	Decisions []Decision
+	// CancelRetrans lists retransmissions to cancel.
+	CancelRetrans []RetransKey
+	// ViewChanged reports that View()/IsLeader() changed; the caller should
+	// inform the failure detector.
+	ViewChanged bool
+	// CatchUp, if non-nil, asks the caller to send this query to a peer that
+	// is likely to have the decided values (normally the leader).
+	CatchUp *wire.CatchUpQuery
+	// InstallSnapshot, if non-nil, carries a snapshot that must be installed
+	// into the service before any of the Decisions in this Effects.
+	InstallSnapshot *wire.Snapshot
+}
+
+func (e *Effects) send(to int, msg wire.Message) {
+	e.Sends = append(e.Sends, SendEffect{To: to, Msg: msg})
+}
+
+func (e *Effects) sendReliable(to int, msg wire.Message, key RetransKey) {
+	e.Sends = append(e.Sends, SendEffect{To: to, Msg: msg, Retrans: &key})
+}
+
+// SnapshotProvider supplies the most recent service snapshot for catch-up
+// responses that need state transfer. It must be cheap and safe to call
+// from the Protocol thread; nil Snapshot data means "no snapshot available"
+// (the responder then sends whatever decided values it retains).
+type SnapshotProvider func() (wire.Snapshot, bool)
+
+// openInstance tracks a leader's in-flight Phase 2 instance.
+type openInstance struct {
+	value []byte
+	acks  map[int]bool
+}
+
+// Node is the per-replica protocol state machine. Not safe for concurrent
+// use: it is owned by the Protocol thread.
+type Node struct {
+	id     int
+	n      int
+	window int
+
+	log *storage.Log
+
+	view      wire.View
+	leading   bool // leader of view with Phase 1 complete
+	preparing bool // Prepare sent for view, awaiting majority
+
+	prepareOKs    map[int]bool
+	prepareMerged map[wire.InstanceID]wire.InstanceState
+
+	open map[wire.InstanceID]*openInstance
+
+	lastDelivered  wire.InstanceID // all instances below have been emitted
+	leaderUpTo     wire.InstanceID // highest decision watermark seen from a leader
+	catchUpPending bool
+
+	snapshots SnapshotProvider
+}
+
+// Options configures a Node.
+type Options struct {
+	// ID is this replica's ID in [0, N).
+	ID int
+	// N is the cluster size.
+	N int
+	// Window is the maximum number of concurrently executing instances
+	// (the paper's WND); defaults to 10, the paper's baseline.
+	Window int
+	// Snapshots supplies snapshots for catch-up state transfer (may be nil).
+	Snapshots SnapshotProvider
+}
+
+// NewNode returns a Node in view 0 with an empty log. No messages are sent
+// until an event requires them; if this replica is the leader of view 0 it
+// establishes leadership lazily via Start.
+func NewNode(opts Options) *Node {
+	if opts.Window <= 0 {
+		opts.Window = 10
+	}
+	if opts.N <= 0 {
+		panic("paxos: N must be positive")
+	}
+	if opts.ID < 0 || opts.ID >= opts.N {
+		panic(fmt.Sprintf("paxos: ID %d out of range [0,%d)", opts.ID, opts.N))
+	}
+	return &Node{
+		id:        opts.ID,
+		n:         opts.N,
+		window:    opts.Window,
+		log:       storage.NewLog(),
+		open:      make(map[wire.InstanceID]*openInstance),
+		snapshots: opts.Snapshots,
+	}
+}
+
+// ID returns this replica's ID.
+func (nd *Node) ID() int { return nd.id }
+
+// N returns the cluster size.
+func (nd *Node) N() int { return nd.n }
+
+// View returns the current view.
+func (nd *Node) View() wire.View { return nd.view }
+
+// Leader returns the leader of the current view.
+func (nd *Node) Leader() int { return LeaderOf(nd.view, nd.n) }
+
+// LeaderOf returns the leader of view v in an n-replica cluster.
+func LeaderOf(v wire.View, n int) int { return int(v) % n }
+
+// IsLeader reports whether this replica is the established leader (Phase 1
+// complete) of the current view.
+func (nd *Node) IsLeader() bool { return nd.leading }
+
+// Preparing reports whether this replica is a candidate awaiting Phase 1b
+// responses.
+func (nd *Node) Preparing() bool { return nd.preparing }
+
+// Log exposes the replicated log (for catch-up service and tests). Callers
+// must run on the Protocol thread.
+func (nd *Node) Log() *storage.Log { return nd.log }
+
+// DecidedUpTo returns the watermark below which every instance is decided.
+func (nd *Node) DecidedUpTo() wire.InstanceID { return nd.log.FirstUndecided() }
+
+// InFlight returns the number of open (undecided, leader-proposed)
+// instances.
+func (nd *Node) InFlight() int { return len(nd.open) }
+
+// WindowOpen reports whether the leader may start another instance
+// (pipelining limit WND, Sec. VI-D2).
+func (nd *Node) WindowOpen() bool { return nd.leading && len(nd.open) < nd.window }
+
+// majority returns the quorum size.
+func (nd *Node) majority() int { return nd.n/2 + 1 }
+
+// Start bootstraps the protocol: the leader of view 0 establishes itself.
+// Other replicas do nothing until traffic or suspicion arrives.
+func (nd *Node) Start() Effects {
+	var e Effects
+	if LeaderOf(nd.view, nd.n) == nd.id {
+		nd.becomeCandidate(nd.view, &e)
+	}
+	return e
+}
+
+// OnSuspect handles a failure-detector suspicion of the leader of view v.
+// Stale suspicions are ignored.
+func (nd *Node) OnSuspect(v wire.View) Effects {
+	var e Effects
+	if v != nd.view {
+		return e
+	}
+	nd.advanceView(nd.view+1, &e)
+	return e
+}
+
+// advanceView moves to view v (> current), becoming candidate if this
+// replica leads v.
+func (nd *Node) advanceView(v wire.View, e *Effects) {
+	if v <= nd.view {
+		return
+	}
+	nd.abandonViewState(e)
+	nd.view = v
+	e.ViewChanged = true
+	if LeaderOf(v, nd.n) == nd.id {
+		nd.becomeCandidate(v, e)
+	}
+}
+
+// abandonViewState drops leader/candidate state of the old view and cancels
+// its retransmissions.
+func (nd *Node) abandonViewState(e *Effects) {
+	if nd.preparing {
+		e.CancelRetrans = append(e.CancelRetrans, RetransKey{Kind: RetransPrepare, View: nd.view})
+	}
+	for id := range nd.open {
+		e.CancelRetrans = append(e.CancelRetrans, RetransKey{Kind: RetransPropose, View: nd.view, ID: id})
+	}
+	nd.preparing = false
+	nd.leading = false
+	nd.prepareOKs = nil
+	nd.prepareMerged = nil
+	nd.open = make(map[wire.InstanceID]*openInstance)
+}
+
+// becomeCandidate starts Phase 1 for view v (leader(v) == nd.id).
+func (nd *Node) becomeCandidate(v wire.View, e *Effects) {
+	nd.preparing = true
+	nd.leading = false
+	nd.prepareOKs = map[int]bool{nd.id: true}
+	nd.prepareMerged = make(map[wire.InstanceID]wire.InstanceState)
+	first := nd.log.FirstUndecided()
+	// Merge our own acceptor state first.
+	nd.mergePrepareEntries(nd.log.SuffixFrom(first), e)
+	msg := &wire.Prepare{View: v, FirstUnstable: first}
+	key := RetransKey{Kind: RetransPrepare, View: v}
+	nd.sendToPeers(e, msg, &key)
+	nd.maybeFinishPrepare(e)
+}
+
+// sendToPeers broadcasts msg to all other replicas (with optional
+// retransmission). With n == 1 there are no peers and nothing is sent.
+func (nd *Node) sendToPeers(e *Effects, msg wire.Message, key *RetransKey) {
+	if nd.n == 1 {
+		return
+	}
+	if key != nil {
+		e.sendReliable(Broadcast, msg, *key)
+	} else {
+		e.send(Broadcast, msg)
+	}
+}
+
+// HandleMessage dispatches a peer message to its handler.
+func (nd *Node) HandleMessage(from int, msg wire.Message) Effects {
+	var e Effects
+	switch m := msg.(type) {
+	case *wire.Prepare:
+		nd.handlePrepare(from, m, &e)
+	case *wire.PrepareOK:
+		nd.handlePrepareOK(from, m, &e)
+	case *wire.Propose:
+		nd.handlePropose(from, m, &e)
+	case *wire.Accept:
+		nd.handleAccept(from, m, &e)
+	case *wire.Heartbeat:
+		nd.handleHeartbeat(from, m, &e)
+	case *wire.CatchUpQuery:
+		nd.handleCatchUpQuery(from, m, &e)
+	case *wire.CatchUpResp:
+		nd.handleCatchUpResp(m, &e)
+	}
+	return e
+}
+
+// adoptView follows a higher view observed in a peer message.
+func (nd *Node) adoptView(v wire.View, e *Effects) {
+	if v <= nd.view {
+		return
+	}
+	nd.abandonViewState(e)
+	nd.view = v
+	e.ViewChanged = true
+}
+
+// handlePrepare is Phase 1b: promise and return the unstable suffix.
+func (nd *Node) handlePrepare(from int, m *wire.Prepare, e *Effects) {
+	if m.View < nd.view {
+		return // stale candidate; our FD will sort out leadership
+	}
+	if LeaderOf(m.View, nd.n) != from {
+		return // not the leader of that view: ignore forged/buggy prepare
+	}
+	nd.adoptView(m.View, e)
+	// m.View == nd.view now (adoptView is a no-op for equal views).
+	ok := &wire.PrepareOK{View: m.View, Entries: nd.log.SuffixFrom(m.FirstUnstable)}
+	e.send(from, ok)
+}
+
+// handlePrepareOK collects Phase 1b responses and completes leadership on
+// majority.
+func (nd *Node) handlePrepareOK(from int, m *wire.PrepareOK, e *Effects) {
+	if m.View != nd.view || !nd.preparing {
+		return
+	}
+	if nd.prepareOKs[from] {
+		return // duplicate
+	}
+	nd.prepareOKs[from] = true
+	nd.mergePrepareEntries(m.Entries, e)
+	nd.maybeFinishPrepare(e)
+}
+
+// mergePrepareEntries folds Phase 1b acceptor states into the candidate's
+// merge table, keeping the value accepted in the highest view (Paxos value
+// selection), and learning decided instances immediately.
+func (nd *Node) mergePrepareEntries(entries []wire.InstanceState, e *Effects) {
+	for _, st := range entries {
+		if st.ID < nd.log.Base() {
+			continue
+		}
+		if st.Decided {
+			nd.log.MarkDecided(st.ID, st.Value)
+			continue
+		}
+		prev, ok := nd.prepareMerged[st.ID]
+		if !ok || st.AcceptedView > prev.AcceptedView {
+			nd.prepareMerged[st.ID] = st
+		}
+	}
+	nd.emitDecisions(e)
+}
+
+// maybeFinishPrepare completes Phase 1 once a majority has promised,
+// re-proposing merged values and filling gaps with no-ops.
+func (nd *Node) maybeFinishPrepare(e *Effects) {
+	if !nd.preparing || len(nd.prepareOKs) < nd.majority() {
+		return
+	}
+	nd.preparing = false
+	nd.leading = true
+	e.ViewChanged = true // leadership established
+	e.CancelRetrans = append(e.CancelRetrans, RetransKey{Kind: RetransPrepare, View: nd.view})
+
+	// Determine the range to recover: everything from the first undecided
+	// instance up to the highest instance seen anywhere.
+	first := nd.log.FirstUndecided()
+	maxSeen := nd.log.Next() - 1
+	for id := range nd.prepareMerged {
+		if id > maxSeen {
+			maxSeen = id
+		}
+	}
+	for id := first; id <= maxSeen; id++ {
+		if entry := nd.log.Get(id); entry != nil && entry.Decided {
+			continue
+		}
+		value := wire.EncodeBatch(nil) // no-op filler
+		if st, ok := nd.prepareMerged[id]; ok && st.AcceptedView != storage.NoView {
+			value = st.Value
+		}
+		nd.proposeInstance(id, value, e)
+	}
+	nd.prepareMerged = nil
+	nd.emitDecisions(e)
+}
+
+// ProposeBatch starts Phase 2 for a new batch. It returns false (and does
+// nothing) when this replica is not an established leader or the pipeline
+// window is full — the caller keeps the batch queued.
+func (nd *Node) ProposeBatch(value []byte) (Effects, bool) {
+	var e Effects
+	if !nd.WindowOpen() {
+		return e, false
+	}
+	id := nd.log.Next()
+	if id < nd.log.FirstUndecided() {
+		id = nd.log.FirstUndecided()
+	}
+	nd.proposeInstance(id, value, &e)
+	return e, true
+}
+
+// proposeInstance runs Phase 2a for (id, value) in the current view.
+func (nd *Node) proposeInstance(id wire.InstanceID, value []byte, e *Effects) {
+	nd.log.Accept(id, nd.view, value) // leader accepts its own proposal
+	inst := &openInstance{value: value, acks: map[int]bool{nd.id: true}}
+	nd.open[id] = inst
+	msg := &wire.Propose{View: nd.view, ID: id, DecidedUpTo: nd.log.FirstUndecided(), Value: value}
+	key := RetransKey{Kind: RetransPropose, View: nd.view, ID: id}
+	nd.sendToPeers(e, msg, &key)
+	nd.maybeDecide(id, inst, e)
+}
+
+// handlePropose is Phase 2b on the follower side.
+func (nd *Node) handlePropose(from int, m *wire.Propose, e *Effects) {
+	if m.View < nd.view {
+		return
+	}
+	if LeaderOf(m.View, nd.n) != from {
+		return
+	}
+	// A Propose implies its sender established leadership of m.View, so
+	// following a higher view here is safe.
+	nd.adoptView(m.View, e)
+	if m.ID >= nd.log.Base() {
+		nd.log.Accept(m.ID, m.View, m.Value)
+		e.send(from, &wire.Accept{View: m.View, ID: m.ID})
+	}
+	nd.observeWatermark(m.View, m.DecidedUpTo, e)
+}
+
+// handleAccept counts Phase 2b acknowledgements at the leader.
+func (nd *Node) handleAccept(from int, m *wire.Accept, e *Effects) {
+	if m.View != nd.view || !nd.leading {
+		return
+	}
+	inst, ok := nd.open[m.ID]
+	if !ok {
+		return // already decided or never ours
+	}
+	inst.acks[from] = true
+	nd.maybeDecide(m.ID, inst, e)
+}
+
+// maybeDecide finalizes an instance once a majority has accepted it.
+func (nd *Node) maybeDecide(id wire.InstanceID, inst *openInstance, e *Effects) {
+	if len(inst.acks) < nd.majority() {
+		return
+	}
+	delete(nd.open, id)
+	e.CancelRetrans = append(e.CancelRetrans, RetransKey{Kind: RetransPropose, View: nd.view, ID: id})
+	nd.log.MarkDecided(id, inst.value)
+	nd.emitDecisions(e)
+}
+
+// handleHeartbeat processes the leader's liveness/watermark message.
+func (nd *Node) handleHeartbeat(from int, m *wire.Heartbeat, e *Effects) {
+	if m.View < nd.view {
+		return
+	}
+	if LeaderOf(m.View, nd.n) != from {
+		return
+	}
+	nd.adoptView(m.View, e)
+	nd.observeWatermark(m.View, m.DecidedUpTo, e)
+}
+
+// observeWatermark learns decisions from the leader's DecidedUpTo: every
+// instance below it that we accepted in the same view is decided with our
+// accepted value; anything else below it is a gap to catch up on.
+func (nd *Node) observeWatermark(view wire.View, upTo wire.InstanceID, e *Effects) {
+	if upTo > nd.leaderUpTo {
+		nd.leaderUpTo = upTo
+	}
+	for id := nd.log.FirstUndecided(); id < upTo; id++ {
+		entry := nd.log.Get(id)
+		if entry == nil || entry.Decided {
+			continue
+		}
+		if entry.AcceptedView == view {
+			nd.log.MarkDecided(id, nil)
+		}
+	}
+	nd.emitDecisions(e)
+	nd.maybeCatchUp(e)
+}
+
+// maybeCatchUp issues a catch-up query if decided instances are missing and
+// no query is outstanding.
+func (nd *Node) maybeCatchUp(e *Effects) {
+	if nd.catchUpPending || nd.leaderUpTo <= nd.log.FirstUndecided() {
+		return
+	}
+	missing := nd.log.MissingDecidedBelow(nd.leaderUpTo)
+	if len(missing) == 0 {
+		return
+	}
+	nd.catchUpPending = true
+	e.CatchUp = &wire.CatchUpQuery{From: missing[0], To: nd.leaderUpTo}
+}
+
+// CatchUpTimeout re-arms catch-up after the caller's response timer expires
+// without an answer.
+func (nd *Node) CatchUpTimeout() Effects {
+	var e Effects
+	nd.catchUpPending = false
+	nd.maybeCatchUp(&e)
+	return e
+}
+
+// handleCatchUpQuery serves decided values (and a snapshot if part of the
+// range was truncated away) to a lagging replica.
+func (nd *Node) handleCatchUpQuery(from int, m *wire.CatchUpQuery, e *Effects) {
+	to := m.To
+	if to > nd.log.FirstUndecided() {
+		to = nd.log.FirstUndecided()
+	}
+	vals, truncated := nd.log.DecidedInRange(m.From, to)
+	resp := &wire.CatchUpResp{Entries: vals}
+	if truncated && nd.snapshots != nil {
+		if snap, ok := nd.snapshots(); ok {
+			resp.HasSnapshot = true
+			resp.Snapshot = snap
+		}
+	}
+	e.send(from, resp)
+}
+
+// handleCatchUpResp installs fetched decided values (and snapshot, if any).
+func (nd *Node) handleCatchUpResp(m *wire.CatchUpResp, e *Effects) {
+	nd.catchUpPending = false
+	if m.HasSnapshot && m.Snapshot.LastIncluded >= nd.log.Base() {
+		nd.log.InstallSnapshot(m.Snapshot.LastIncluded)
+		if nd.lastDelivered < m.Snapshot.LastIncluded+1 {
+			nd.lastDelivered = m.Snapshot.LastIncluded + 1
+		}
+		snap := m.Snapshot
+		e.InstallSnapshot = &snap
+	}
+	for _, dv := range m.Entries {
+		if dv.ID < nd.log.Base() {
+			continue
+		}
+		nd.log.MarkDecided(dv.ID, dv.Value)
+	}
+	nd.emitDecisions(e)
+	nd.maybeCatchUp(e)
+}
+
+// TruncateLog discards log entries below id (after the service snapshotted
+// through id-1). Called by the owner thread on snapshot completion.
+func (nd *Node) TruncateLog(id wire.InstanceID) {
+	nd.log.TruncateBelow(id)
+}
+
+// emitDecisions appends all newly contiguous decisions to e, in log order.
+func (nd *Node) emitDecisions(e *Effects) {
+	for nd.lastDelivered < nd.log.FirstUndecided() {
+		id := nd.lastDelivered
+		if id < nd.log.Base() {
+			// Covered by an installed snapshot; skip.
+			nd.lastDelivered = nd.log.Base()
+			continue
+		}
+		entry := nd.log.Get(id)
+		e.Decisions = append(e.Decisions, Decision{ID: id, Value: entry.Value})
+		nd.lastDelivered++
+	}
+}

@@ -1,0 +1,236 @@
+// Package profiling provides per-thread (goroutine) state accounting for the
+// replica pipeline, mirroring the ThreadMXBean-based measurements of the
+// paper (Sec. VI): for every named module thread it tracks the time spent
+// busy (executing), blocked (acquiring a contended lock), waiting (idle on an
+// empty/full queue or condition), and other (sleeping, scheduled out, I/O).
+//
+// A nil *Thread or *Registry is valid and disables accounting at near-zero
+// cost, so production code paths can share the instrumented hot path with
+// experiment runs.
+package profiling
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State classifies what a module thread is doing at an instant. It matches
+// the four categories reported in Figures 1b, 8 and 14 of the paper.
+type State uint8
+
+// Thread states. StateOther covers sleeping, system calls, and time spent
+// runnable but descheduled.
+const (
+	StateBusy State = iota + 1
+	StateBlocked
+	StateWaiting
+	StateOther
+)
+
+// numStates is the number of valid states plus one for 1-based indexing.
+const numStates = 5
+
+// String returns the lower-case label used in experiment output.
+func (s State) String() string {
+	switch s {
+	case StateBusy:
+		return "busy"
+	case StateBlocked:
+		return "blocked"
+	case StateWaiting:
+		return "waiting"
+	case StateOther:
+		return "other"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Thread accumulates per-state durations for one named module thread. All
+// methods are safe for concurrent use and safe on a nil receiver.
+type Thread struct {
+	name string
+
+	mu     sync.Mutex
+	state  State
+	since  time.Time
+	totals [numStates]time.Duration
+}
+
+// Name returns the thread's registered name, or "" for a nil thread.
+func (t *Thread) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Transition switches the thread to state s, crediting the elapsed time to
+// the previous state.
+func (t *Thread) Transition(s State) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.totals[t.state] += now.Sub(t.since)
+	t.state = s
+	t.since = now
+	t.mu.Unlock()
+}
+
+// stats returns a snapshot including the in-progress interval.
+func (t *Thread) stats(now time.Time) ThreadStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	totals := t.totals
+	totals[t.state] += now.Sub(t.since)
+	return ThreadStats{
+		Name:    t.name,
+		Busy:    totals[StateBusy],
+		Blocked: totals[StateBlocked],
+		Waiting: totals[StateWaiting],
+		Other:   totals[StateOther],
+	}
+}
+
+// reset zeroes the accumulated totals and restarts the current interval,
+// used to discard warm-up time.
+func (t *Thread) reset(now time.Time) {
+	t.mu.Lock()
+	t.totals = [numStates]time.Duration{}
+	t.since = now
+	t.mu.Unlock()
+}
+
+// ThreadStats is a point-in-time snapshot of one thread's accounting.
+type ThreadStats struct {
+	Name    string
+	Busy    time.Duration
+	Blocked time.Duration
+	Waiting time.Duration
+	Other   time.Duration
+}
+
+// Total returns the sum over all states (the wall time observed).
+func (s ThreadStats) Total() time.Duration {
+	return s.Busy + s.Blocked + s.Waiting + s.Other
+}
+
+// Fractions returns each state as a fraction of the observation window d.
+// If d is zero the thread's own total is used.
+func (s ThreadStats) Fractions(d time.Duration) (busy, blocked, waiting, other float64) {
+	if d <= 0 {
+		d = s.Total()
+	}
+	if d <= 0 {
+		return 0, 0, 0, 0
+	}
+	den := float64(d)
+	return float64(s.Busy) / den, float64(s.Blocked) / den,
+		float64(s.Waiting) / den, float64(s.Other) / den
+}
+
+// Registry holds the threads of one replica process. The zero value is not
+// usable; construct with NewRegistry. A nil registry disables profiling.
+type Registry struct {
+	mu      sync.Mutex
+	start   time.Time
+	threads []*Thread
+}
+
+// NewRegistry returns an empty registry whose observation window starts now.
+func NewRegistry() *Registry {
+	return &Registry{start: time.Now()}
+}
+
+// Register creates and tracks a thread named name, initially in StateOther.
+// Returns nil when the registry is nil.
+func (r *Registry) Register(name string) *Thread {
+	if r == nil {
+		return nil
+	}
+	t := &Thread{name: name, state: StateOther, since: time.Now()}
+	r.mu.Lock()
+	r.threads = append(r.threads, t)
+	r.mu.Unlock()
+	return t
+}
+
+// Window returns the duration since the registry was created or last reset.
+func (r *Registry) Window() time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Since(r.start)
+}
+
+// Reset discards all accumulated totals and restarts the observation window.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.start = now
+	threads := append([]*Thread(nil), r.threads...)
+	r.mu.Unlock()
+	for _, t := range threads {
+		t.reset(now)
+	}
+}
+
+// Snapshot returns stats for every registered thread, sorted by name for
+// stable experiment output.
+func (r *Registry) Snapshot() []ThreadStats {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	r.mu.Lock()
+	threads := append([]*Thread(nil), r.threads...)
+	r.mu.Unlock()
+	out := make([]ThreadStats, 0, len(threads))
+	for _, t := range threads {
+		out = append(out, t.stats(now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TotalBlocked returns the sum of blocked time across all threads — the
+// "total blocked time" contention metric of Figures 5b/5d, 7 and 13b.
+func (r *Registry) TotalBlocked() time.Duration {
+	var sum time.Duration
+	for _, s := range r.Snapshot() {
+		sum += s.Blocked
+	}
+	return sum
+}
+
+// Mutex is a sync.Mutex that credits contended acquisition time to the
+// calling thread's blocked state, so coarse-grained locking shows up exactly
+// the way the paper's ThreadMXBean measurements report it.
+type Mutex struct {
+	mu sync.Mutex
+}
+
+// Lock acquires the mutex, recording contention against th (which may be
+// nil).
+func (m *Mutex) Lock(th *Thread) {
+	if m.mu.TryLock() {
+		return
+	}
+	th.Transition(StateBlocked)
+	m.mu.Lock()
+	th.Transition(StateBusy)
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() {
+	m.mu.Unlock()
+}

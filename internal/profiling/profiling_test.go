@@ -1,0 +1,184 @@
+package profiling
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStateString(t *testing.T) {
+	tests := []struct {
+		s    State
+		want string
+	}{
+		{StateBusy, "busy"},
+		{StateBlocked, "blocked"},
+		{StateWaiting, "waiting"},
+		{StateOther, "other"},
+		{State(99), "state(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("State(%d).String() = %q, want %q", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	th := r.Register("x")
+	if th != nil {
+		t.Fatalf("nil registry Register = %v, want nil", th)
+	}
+	// All of these must not panic.
+	th.Transition(StateBusy)
+	if got := th.Name(); got != "" {
+		t.Errorf("nil thread Name = %q, want empty", got)
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil registry Snapshot = %v, want nil", got)
+	}
+	if got := r.Window(); got != 0 {
+		t.Errorf("nil registry Window = %v, want 0", got)
+	}
+	r.Reset()
+}
+
+func TestTransitionAccounting(t *testing.T) {
+	r := NewRegistry()
+	th := r.Register("worker")
+	th.Transition(StateBusy)
+	time.Sleep(20 * time.Millisecond)
+	th.Transition(StateWaiting)
+	time.Sleep(10 * time.Millisecond)
+	th.Transition(StateBusy)
+
+	snaps := r.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("Snapshot returned %d threads, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Name != "worker" {
+		t.Errorf("Name = %q, want worker", s.Name)
+	}
+	if s.Busy < 15*time.Millisecond {
+		t.Errorf("Busy = %v, want >= 15ms", s.Busy)
+	}
+	if s.Waiting < 5*time.Millisecond {
+		t.Errorf("Waiting = %v, want >= 5ms", s.Waiting)
+	}
+	if s.Total() <= 0 {
+		t.Errorf("Total = %v, want > 0", s.Total())
+	}
+}
+
+func TestFractions(t *testing.T) {
+	s := ThreadStats{Busy: 60 * time.Millisecond, Blocked: 20 * time.Millisecond,
+		Waiting: 15 * time.Millisecond, Other: 5 * time.Millisecond}
+	busy, blocked, waiting, other := s.Fractions(100 * time.Millisecond)
+	if busy != 0.6 || blocked != 0.2 || waiting != 0.15 || other != 0.05 {
+		t.Errorf("Fractions = %v %v %v %v, want 0.6 0.2 0.15 0.05", busy, blocked, waiting, other)
+	}
+	// Zero window falls back to the thread's own total.
+	busy, _, _, _ = s.Fractions(0)
+	if busy != 0.6 {
+		t.Errorf("Fractions(0) busy = %v, want 0.6", busy)
+	}
+	var zero ThreadStats
+	busy, blocked, waiting, other = zero.Fractions(0)
+	if busy != 0 || blocked != 0 || waiting != 0 || other != 0 {
+		t.Errorf("zero stats Fractions = %v %v %v %v, want all 0", busy, blocked, waiting, other)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	th := r.Register("a")
+	th.Transition(StateBusy)
+	time.Sleep(10 * time.Millisecond)
+	r.Reset()
+	s := r.Snapshot()[0]
+	if s.Busy > 5*time.Millisecond {
+		t.Errorf("after Reset Busy = %v, want ~0", s.Busy)
+	}
+	if w := r.Window(); w > 5*time.Millisecond {
+		t.Errorf("after Reset Window = %v, want ~0", w)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Register(name)
+	}
+	snaps := r.Snapshot()
+	want := []string{"alpha", "mid", "zeta"}
+	for i, s := range snaps {
+		if s.Name != want[i] {
+			t.Errorf("snapshot[%d] = %q, want %q", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestTotalBlockedAndMutex(t *testing.T) {
+	r := NewRegistry()
+	holder := r.Register("holder")
+	contender := r.Register("contender")
+	holder.Transition(StateBusy)
+	contender.Transition(StateBusy)
+
+	var m Mutex
+	m.Lock(holder)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Lock(contender) // must block ~20ms
+		m.Unlock()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	m.Unlock()
+	wg.Wait()
+
+	if got := r.TotalBlocked(); got < 10*time.Millisecond {
+		t.Errorf("TotalBlocked = %v, want >= 10ms", got)
+	}
+}
+
+func TestMutexUncontendedNoBlocking(t *testing.T) {
+	r := NewRegistry()
+	th := r.Register("solo")
+	th.Transition(StateBusy)
+	var m Mutex
+	for range 100 {
+		m.Lock(th)
+		m.Unlock()
+	}
+	s := r.Snapshot()[0]
+	if s.Blocked > time.Millisecond {
+		t.Errorf("uncontended Blocked = %v, want ~0", s.Blocked)
+	}
+}
+
+func TestConcurrentTransitions(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := range 8 {
+		th := r.Register("t")
+		wg.Add(1)
+		go func(th *Thread, i int) {
+			defer wg.Done()
+			for j := range 1000 {
+				th.Transition(State(1 + (i+j)%4))
+			}
+		}(th, i)
+	}
+	// Snapshot concurrently with transitions to catch races.
+	for range 10 {
+		r.Snapshot()
+	}
+	wg.Wait()
+	if n := len(r.Snapshot()); n != 8 {
+		t.Errorf("got %d threads, want 8", n)
+	}
+}

@@ -1,0 +1,263 @@
+// Package queue implements the bounded blocking message queues that connect
+// the replica's module threads (RequestQueue, ProposalQueue, DispatcherQueue,
+// DecisionQueue, per-peer SendQueues — Fig. 3 of the paper).
+//
+// Bounded capacities are the flow-control mechanism of Sec. V-E: when a stage
+// cannot keep up, its input queue fills and upstream stages block, which
+// ultimately pushes back on the clients through TCP. Queues integrate with
+// package profiling: time blocked on a full/empty queue is credited to the
+// calling thread's "waiting" state, matching the paper's measurements.
+//
+// Each queue also tracks its time-averaged length, which is the statistic
+// reported in Table I of the paper.
+package queue
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"gosmr/internal/profiling"
+)
+
+// ErrClosed is returned by Put after Close, and by Take once the queue is
+// closed and drained.
+var ErrClosed = errors.New("queue: closed")
+
+// Bounded is a multi-producer multi-consumer FIFO queue with a fixed
+// capacity. The zero value is not usable; construct with NewBounded.
+type Bounded[T any] struct {
+	name string
+	ch   chan T
+	done chan struct{}
+
+	closeOnce sync.Once
+
+	statsMu    sync.Mutex
+	lastChange time.Time
+	lenSeconds float64 // integral of queue length over time
+	trackStart time.Time
+	puts       uint64
+	takes      uint64
+}
+
+// NewBounded returns an empty queue with the given capacity (minimum 1).
+// The name is used in experiment output.
+func NewBounded[T any](name string, capacity int) *Bounded[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	now := time.Now()
+	return &Bounded[T]{
+		name:       name,
+		ch:         make(chan T, capacity),
+		done:       make(chan struct{}),
+		lastChange: now,
+		trackStart: now,
+	}
+}
+
+// Name returns the queue's name.
+func (q *Bounded[T]) Name() string { return q.name }
+
+// Cap returns the queue's capacity.
+func (q *Bounded[T]) Cap() int { return cap(q.ch) }
+
+// Len returns the current number of queued items.
+func (q *Bounded[T]) Len() int { return len(q.ch) }
+
+// account records a length change for the time-averaged length statistic.
+func (q *Bounded[T]) account(isPut bool) {
+	now := time.Now()
+	q.statsMu.Lock()
+	// Length *before* this op decided the integral contribution; len(q.ch)
+	// already reflects the op, so back it out.
+	l := float64(len(q.ch))
+	if isPut {
+		l--
+		q.puts++
+	} else {
+		l++
+		q.takes++
+	}
+	if l < 0 {
+		l = 0
+	}
+	q.lenSeconds += l * now.Sub(q.lastChange).Seconds()
+	q.lastChange = now
+	q.statsMu.Unlock()
+}
+
+// AvgLen returns the time-averaged queue length since construction or the
+// last ResetStats call (Table I's statistic).
+func (q *Bounded[T]) AvgLen() float64 {
+	now := time.Now()
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	total := q.lenSeconds + float64(len(q.ch))*now.Sub(q.lastChange).Seconds()
+	window := now.Sub(q.trackStart).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	return total / window
+}
+
+// Puts returns the number of successful Put/TryPut operations.
+func (q *Bounded[T]) Puts() uint64 {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.puts
+}
+
+// Takes returns the number of successful Take/TryTake operations.
+func (q *Bounded[T]) Takes() uint64 {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.takes
+}
+
+// ResetStats restarts average-length tracking, discarding warm-up effects.
+func (q *Bounded[T]) ResetStats() {
+	now := time.Now()
+	q.statsMu.Lock()
+	q.lenSeconds = 0
+	q.lastChange = now
+	q.trackStart = now
+	q.puts = 0
+	q.takes = 0
+	q.statsMu.Unlock()
+}
+
+// Put appends v, blocking while the queue is full. Time spent blocked is
+// credited to th's waiting state. Returns ErrClosed once the queue is closed.
+func (q *Bounded[T]) Put(th *profiling.Thread, v T) error {
+	select {
+	case <-q.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case q.ch <- v: // fast path: space available
+		q.account(true)
+		return nil
+	default:
+	}
+	th.Transition(profiling.StateWaiting)
+	defer th.Transition(profiling.StateBusy)
+	select {
+	case q.ch <- v:
+		q.account(true)
+		return nil
+	case <-q.done:
+		return ErrClosed
+	}
+}
+
+// TryPut appends v without blocking. It reports whether the item was
+// accepted; err is ErrClosed if the queue has been closed.
+func (q *Bounded[T]) TryPut(v T) (ok bool, err error) {
+	select {
+	case <-q.done:
+		return false, ErrClosed
+	default:
+	}
+	select {
+	case q.ch <- v:
+		q.account(true)
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// Take removes and returns the oldest item, blocking while the queue is
+// empty. Time spent blocked is credited to th's waiting state. Once the
+// queue is closed, remaining items are drained before ErrClosed is returned.
+func (q *Bounded[T]) Take(th *profiling.Thread) (T, error) {
+	select {
+	case v := <-q.ch: // fast path: item available
+		q.account(false)
+		return v, nil
+	default:
+	}
+	th.Transition(profiling.StateWaiting)
+	defer th.Transition(profiling.StateBusy)
+	for {
+		select {
+		case v := <-q.ch:
+			q.account(false)
+			return v, nil
+		case <-q.done:
+			// Closed: drain anything that raced in, then report closed.
+			select {
+			case v := <-q.ch:
+				q.account(false)
+				return v, nil
+			default:
+				var zero T
+				return zero, ErrClosed
+			}
+		}
+	}
+}
+
+// TryTake removes and returns the oldest item without blocking.
+func (q *Bounded[T]) TryTake() (T, bool) {
+	select {
+	case v := <-q.ch:
+		q.account(false)
+		return v, true
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// Poll is Take with a deadline: it waits up to d for an item. It reports
+// ok=false on timeout, and ErrClosed once the queue is closed and drained.
+func (q *Bounded[T]) Poll(th *profiling.Thread, d time.Duration) (v T, ok bool, err error) {
+	select {
+	case v := <-q.ch:
+		q.account(false)
+		return v, true, nil
+	default:
+	}
+	th.Transition(profiling.StateWaiting)
+	defer th.Transition(profiling.StateBusy)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case v := <-q.ch:
+		q.account(false)
+		return v, true, nil
+	case <-timer.C:
+		var zero T
+		return zero, false, nil
+	case <-q.done:
+		select {
+		case v := <-q.ch:
+			q.account(false)
+			return v, true, nil
+		default:
+			var zero T
+			return zero, false, ErrClosed
+		}
+	}
+}
+
+// Close marks the queue closed: subsequent Puts fail immediately and blocked
+// Puts unblock with ErrClosed; Takes drain remaining items first. Close is
+// idempotent and safe to call concurrently with any operation.
+func (q *Bounded[T]) Close() {
+	q.closeOnce.Do(func() { close(q.done) })
+}
+
+// Closed reports whether Close has been called.
+func (q *Bounded[T]) Closed() bool {
+	select {
+	case <-q.done:
+		return true
+	default:
+		return false
+	}
+}

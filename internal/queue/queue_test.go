@@ -1,0 +1,330 @@
+package queue
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gosmr/internal/profiling"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewBounded[int]("q", 16)
+	for i := range 10 {
+		if err := q.Put(nil, i); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	for i := range 10 {
+		v, err := q.Take(nil)
+		if err != nil {
+			t.Fatalf("Take: %v", err)
+		}
+		if v != i {
+			t.Fatalf("Take = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestCapacityMinimum(t *testing.T) {
+	q := NewBounded[int]("q", 0)
+	if q.Cap() != 1 {
+		t.Errorf("Cap = %d, want 1", q.Cap())
+	}
+}
+
+func TestTryPutFullAndTryTakeEmpty(t *testing.T) {
+	q := NewBounded[string]("q", 2)
+	if _, ok := q.TryTake(); ok {
+		t.Error("TryTake on empty queue succeeded")
+	}
+	for _, s := range []string{"a", "b"} {
+		ok, err := q.TryPut(s)
+		if !ok || err != nil {
+			t.Fatalf("TryPut(%q) = %v, %v", s, ok, err)
+		}
+	}
+	if ok, err := q.TryPut("c"); ok || err != nil {
+		t.Errorf("TryPut on full queue = %v, %v; want false, nil", ok, err)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+}
+
+func TestPutBlocksUntilTake(t *testing.T) {
+	q := NewBounded[int]("q", 1)
+	if err := q.Put(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.Put(nil, 2) }()
+	select {
+	case <-done:
+		t.Fatal("Put returned while queue was full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, err := q.Take(nil); err != nil || v != 1 {
+		t.Fatalf("Take = %d, %v; want 1, nil", v, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocked Put returned %v", err)
+	}
+	if v, err := q.Take(nil); err != nil || v != 2 {
+		t.Fatalf("Take = %d, %v; want 2, nil", v, err)
+	}
+}
+
+func TestTakeBlocksUntilPut(t *testing.T) {
+	q := NewBounded[int]("q", 1)
+	got := make(chan int, 1)
+	go func() {
+		v, err := q.Take(nil)
+		if err != nil {
+			t.Errorf("Take: %v", err)
+		}
+		got <- v
+	}()
+	select {
+	case <-got:
+		t.Fatal("Take returned on empty queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := q.Put(nil, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != 42 {
+		t.Fatalf("Take = %d, want 42", v)
+	}
+}
+
+func TestCloseUnblocksPut(t *testing.T) {
+	q := NewBounded[int]("q", 1)
+	_ = q.Put(nil, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- q.Put(nil, 2) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("blocked Put after Close = %v, want ErrClosed", err)
+	}
+	if err := q.Put(nil, 3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	if ok, err := q.TryPut(3); ok || !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryPut after Close = %v, %v; want false, ErrClosed", ok, err)
+	}
+}
+
+func TestCloseDrainsThenFails(t *testing.T) {
+	q := NewBounded[int]("q", 4)
+	for i := range 3 {
+		_ = q.Put(nil, i)
+	}
+	q.Close()
+	for i := range 3 {
+		v, err := q.Take(nil)
+		if err != nil || v != i {
+			t.Fatalf("Take after Close = %d, %v; want %d, nil", v, err, i)
+		}
+	}
+	if _, err := q.Take(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Take on drained closed queue = %v, want ErrClosed", err)
+	}
+	if !q.Closed() {
+		t.Error("Closed = false after Close")
+	}
+	q.Close() // idempotent
+}
+
+func TestCloseUnblocksTake(t *testing.T) {
+	q := NewBounded[int]("q", 1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := q.Take(nil)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("blocked Take after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPoll(t *testing.T) {
+	q := NewBounded[int]("q", 1)
+	start := time.Now()
+	if _, ok, err := q.Poll(nil, 15*time.Millisecond); ok || err != nil {
+		t.Fatalf("Poll on empty = %v, %v; want false, nil", ok, err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("Poll returned after %v, want >= 10ms", elapsed)
+	}
+	_ = q.Put(nil, 7)
+	if v, ok, err := q.Poll(nil, time.Second); !ok || err != nil || v != 7 {
+		t.Fatalf("Poll = %d, %v, %v; want 7, true, nil", v, ok, err)
+	}
+	q.Close()
+	if _, ok, err := q.Poll(nil, time.Millisecond); ok || !errors.Is(err, ErrClosed) {
+		t.Fatalf("Poll after Close = %v, %v; want false, ErrClosed", ok, err)
+	}
+}
+
+func TestWaitingAccounting(t *testing.T) {
+	r := profiling.NewRegistry()
+	th := r.Register("consumer")
+	th.Transition(profiling.StateBusy)
+	q := NewBounded[int]("q", 1)
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		_ = q.Put(nil, 1)
+	}()
+	if _, err := q.Take(th); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Snapshot()[0]
+	if s.Waiting < 15*time.Millisecond {
+		t.Errorf("Waiting = %v, want >= 15ms", s.Waiting)
+	}
+}
+
+func TestAvgLen(t *testing.T) {
+	q := NewBounded[int]("q", 10)
+	// Hold length 5 for a while; average should approach 5.
+	for i := range 5 {
+		_ = q.Put(nil, i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	avg := q.AvgLen()
+	if avg < 3.5 || avg > 5.5 {
+		t.Errorf("AvgLen = %v, want ~5", avg)
+	}
+	q.ResetStats()
+	time.Sleep(10 * time.Millisecond)
+	avg = q.AvgLen()
+	if avg < 4 || avg > 6 {
+		t.Errorf("AvgLen after ResetStats = %v, want ~5", avg)
+	}
+}
+
+func TestPutsTakesCounters(t *testing.T) {
+	q := NewBounded[int]("q", 8)
+	for i := range 6 {
+		_ = q.Put(nil, i)
+	}
+	for range 4 {
+		_, _ = q.Take(nil)
+	}
+	if q.Puts() != 6 {
+		t.Errorf("Puts = %d, want 6", q.Puts())
+	}
+	if q.Takes() != 4 {
+		t.Errorf("Takes = %d, want 4", q.Takes())
+	}
+	q.ResetStats()
+	if q.Puts() != 0 || q.Takes() != 0 {
+		t.Errorf("after ResetStats Puts,Takes = %d,%d; want 0,0", q.Puts(), q.Takes())
+	}
+}
+
+// TestConcurrentProducersConsumers checks that no item is lost or duplicated
+// under concurrent access.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const (
+		producers    = 4
+		itemsPerProd = 500
+	)
+	q := NewBounded[int]("q", 7)
+	var wg sync.WaitGroup
+	for p := range producers {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := range itemsPerProd {
+				if err := q.Put(nil, p*itemsPerProd+i); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]bool, producers*itemsPerProd)
+	var cwg sync.WaitGroup
+	for range 3 {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, err := q.Take(nil)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate item %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if len(seen) != producers*itemsPerProd {
+		t.Errorf("received %d items, want %d", len(seen), producers*itemsPerProd)
+	}
+}
+
+// TestPropertyFIFOSingleThreaded property-tests that for any sequence of
+// puts, takes return the same values in the same order.
+func TestPropertyFIFOSingleThreaded(t *testing.T) {
+	f := func(items []int64) bool {
+		if len(items) > 256 {
+			items = items[:256]
+		}
+		q := NewBounded[int64]("q", 256)
+		for _, v := range items {
+			if err := q.Put(nil, v); err != nil {
+				return false
+			}
+		}
+		for _, want := range items {
+			v, err := q.Take(nil)
+			if err != nil || v != want {
+				return false
+			}
+		}
+		_, ok := q.TryTake()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLenNeverExceedsCap property-tests the capacity bound under
+// random interleavings of TryPut/TryTake.
+func TestPropertyLenNeverExceedsCap(t *testing.T) {
+	f := func(ops []bool, capacity uint8) bool {
+		c := int(capacity%16) + 1
+		q := NewBounded[int]("q", c)
+		for i, put := range ops {
+			if put {
+				_, _ = q.TryPut(i)
+			} else {
+				_, _ = q.TryTake()
+			}
+			if q.Len() > c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package retrans implements the Retransmitter thread of Sec. V-C4: messages
+// essential to protocol progress are re-sent until cancelled. The design
+// follows the paper exactly:
+//
+//   - a priority queue orders pending messages by retransmission deadline;
+//   - cancellation is lock-free: the Protocol thread flips an atomic flag on
+//     the message's handle without waking the Retransmitter, which lazily
+//     drops cancelled entries when their deadline fires. This keeps the
+//     per-decision cancel — executed for every message sent — off the
+//     critical path.
+package retrans
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosmr/internal/profiling"
+)
+
+// DefaultPeriod is the initial retransmission delay.
+const DefaultPeriod = 100 * time.Millisecond
+
+// DefaultMaxPeriod caps exponential backoff.
+const DefaultMaxPeriod = 2 * time.Second
+
+// Handle identifies one scheduled retransmission. Cancel may be called from
+// any goroutine, any number of times, without locking.
+type Handle struct {
+	cancelled atomic.Bool
+	send      func()
+	period    time.Duration
+	deadline  time.Time
+	index     int // heap index; owned by the Retransmitter
+}
+
+// Cancel stops future retransmissions of the message. It never blocks.
+func (h *Handle) Cancel() { h.cancelled.Store(true) }
+
+// Cancelled reports whether Cancel has been called.
+func (h *Handle) Cancelled() bool { return h.cancelled.Load() }
+
+// pq is a deadline-ordered heap of handles.
+type pq []*Handle
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].deadline.Before(q[j].deadline) }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *pq) Push(x any)        { h := x.(*Handle); h.index = len(*q); *q = append(*q, h) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	h := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return h
+}
+
+// Options configures a Retransmitter.
+type Options struct {
+	// Period is the initial retransmission delay (DefaultPeriod if zero).
+	Period time.Duration
+	// MaxPeriod caps the exponential backoff (DefaultMaxPeriod if zero).
+	MaxPeriod time.Duration
+	// Thread receives profiling accounting (may be nil).
+	Thread *profiling.Thread
+}
+
+// Retransmitter runs the retransmission loop. Construct with New, stop with
+// Stop.
+type Retransmitter struct {
+	period    time.Duration
+	maxPeriod time.Duration
+	th        *profiling.Thread
+
+	mu   sync.Mutex
+	q    pq
+	wake chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	resends atomic.Uint64
+}
+
+// New returns a started Retransmitter.
+func New(opts Options) *Retransmitter {
+	if opts.Period <= 0 {
+		opts.Period = DefaultPeriod
+	}
+	if opts.MaxPeriod <= 0 {
+		opts.MaxPeriod = DefaultMaxPeriod
+	}
+	r := &Retransmitter{
+		period:    opts.Period,
+		maxPeriod: opts.MaxPeriod,
+		th:        opts.Thread,
+		wake:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.run()
+	return r
+}
+
+// Add schedules send to be called every backoff period until the returned
+// handle is cancelled. send must be safe to call from the Retransmitter
+// goroutine. The first retransmission fires one period from now (the caller
+// has just sent the original message).
+func (r *Retransmitter) Add(send func()) *Handle {
+	h := &Handle{send: send, period: r.period, deadline: time.Now().Add(r.period)}
+	r.mu.Lock()
+	heap.Push(&r.q, h)
+	front := r.q[0] == h
+	r.mu.Unlock()
+	if front {
+		// New earliest deadline: wake the loop to re-arm its timer.
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+	return h
+}
+
+// Resends returns the number of retransmissions performed (for tests and
+// metrics).
+func (r *Retransmitter) Resends() uint64 { return r.resends.Load() }
+
+// Pending returns the number of queued (possibly cancelled) entries.
+func (r *Retransmitter) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.q)
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (r *Retransmitter) Stop() {
+	select {
+	case <-r.stop:
+		return // already stopped
+	default:
+	}
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// run is the Retransmitter thread body.
+func (r *Retransmitter) run() {
+	defer r.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		next, ok := r.fireDue()
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		if ok {
+			timer.Reset(time.Until(next))
+		} else {
+			timer.Reset(time.Hour)
+		}
+		r.th.Transition(profiling.StateOther) // idle: sleeping until deadline
+		select {
+		case <-timer.C:
+		case <-r.wake:
+		case <-r.stop:
+			r.th.Transition(profiling.StateWaiting)
+			return
+		}
+		r.th.Transition(profiling.StateBusy)
+	}
+}
+
+// fireDue sends every due, non-cancelled entry and reschedules it with
+// exponential backoff; cancelled entries are dropped. It returns the next
+// deadline, if any.
+func (r *Retransmitter) fireDue() (next time.Time, ok bool) {
+	now := time.Now()
+	for {
+		r.mu.Lock()
+		if len(r.q) == 0 {
+			r.mu.Unlock()
+			return time.Time{}, false
+		}
+		h := r.q[0]
+		if h.deadline.After(now) {
+			r.mu.Unlock()
+			return h.deadline, true
+		}
+		heap.Pop(&r.q)
+		if h.cancelled.Load() {
+			r.mu.Unlock()
+			continue // lazy removal of cancelled entries
+		}
+		// Reschedule with backoff before sending so Cancel during send still
+		// takes effect at the next deadline.
+		h.period *= 2
+		if h.period > r.maxPeriod {
+			h.period = r.maxPeriod
+		}
+		h.deadline = now.Add(h.period)
+		heap.Push(&r.q, h)
+		r.mu.Unlock()
+
+		r.resends.Add(1)
+		h.send()
+	}
+}

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// KV command opcodes.
+const (
+	kvPut byte = iota + 1
+	kvGet
+	kvDel
+)
+
+// KV status bytes returned as the first byte of every reply.
+const (
+	KVOK       byte = 1
+	KVNotFound byte = 2
+	KVBadCmd   byte = 3
+)
+
+// KV is a deterministic key-value store service (the coordination-service
+// workload of the paper's introduction). Commands and replies are binary;
+// use EncodePut/EncodeGet/EncodeDel to build requests.
+//
+// The replica applies commands from a single ServiceManager thread; KV is
+// nevertheless internally synchronized so examples and tests can observe
+// state (Len, Snapshot) while the replica runs.
+type KV struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewKV returns an empty store.
+func NewKV() *KV { return &KV{m: make(map[string][]byte)} }
+
+// Len returns the number of keys.
+func (s *KV) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// EncodePut builds a PUT command.
+func EncodePut(key string, value []byte) []byte {
+	b := []byte{kvPut}
+	b = appendBytes(b, []byte(key))
+	b = appendBytes(b, value)
+	return b
+}
+
+// EncodeGet builds a GET command.
+func EncodeGet(key string) []byte {
+	return appendBytes([]byte{kvGet}, []byte(key))
+}
+
+// EncodeDel builds a DEL command.
+func EncodeDel(key string) []byte {
+	return appendBytes([]byte{kvDel}, []byte(key))
+}
+
+// DecodeReply splits a KV reply into status and value.
+func DecodeReply(reply []byte) (status byte, value []byte) {
+	if len(reply) == 0 {
+		return KVBadCmd, nil
+	}
+	return reply[0], reply[1:]
+}
+
+// Execute implements the service.
+func (s *KV) Execute(req []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(req) == 0 {
+		return []byte{KVBadCmd}
+	}
+	op, rest := req[0], req[1:]
+	key, rest, ok := takeBytes(rest)
+	if !ok {
+		return []byte{KVBadCmd}
+	}
+	switch op {
+	case kvPut:
+		value, _, ok := takeBytes(rest)
+		if !ok {
+			return []byte{KVBadCmd}
+		}
+		cp := make([]byte, len(value))
+		copy(cp, value)
+		s.m[string(key)] = cp
+		return []byte{KVOK}
+	case kvGet:
+		v, ok := s.m[string(key)]
+		if !ok {
+			return []byte{KVNotFound}
+		}
+		return append([]byte{KVOK}, v...)
+	case kvDel:
+		if _, ok := s.m[string(key)]; !ok {
+			return []byte{KVNotFound}
+		}
+		delete(s.m, string(key))
+		return []byte{KVOK}
+	default:
+		return []byte{KVBadCmd}
+	}
+}
+
+// Snapshot implements the service: keys serialized in sorted order so the
+// blob is deterministic across replicas.
+func (s *KV) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := appendU32(nil, uint32(len(keys)))
+	for _, k := range keys {
+		b = appendBytes(b, []byte(k))
+		b = appendBytes(b, s.m[k])
+	}
+	return b, nil
+}
+
+// Restore implements the service.
+func (s *KV) Restore(snap []byte) error {
+	n, rest, ok := takeU32(snap)
+	if !ok {
+		return ErrCorruptSnapshot
+	}
+	m := make(map[string][]byte, n)
+	for range n {
+		var key, value []byte
+		key, rest, ok = takeBytes(rest)
+		if !ok {
+			return ErrCorruptSnapshot
+		}
+		value, rest, ok = takeBytes(rest)
+		if !ok {
+			return ErrCorruptSnapshot
+		}
+		m[string(key)] = value
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorruptSnapshot, len(rest))
+	}
+	s.mu.Lock()
+	s.m = m
+	s.mu.Unlock()
+	return nil
+}
+
+// appendU32/appendBytes/takeU32/takeBytes are tiny length-prefixed codec
+// helpers shared by the services.
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = appendU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+func takeU32(b []byte) (uint32, []byte, bool) {
+	if len(b) < 4 {
+		return 0, nil, false
+	}
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return v, b[4:], true
+}
+
+func takeBytes(b []byte) ([]byte, []byte, bool) {
+	n, rest, ok := takeU32(b)
+	if !ok || uint64(n) > uint64(len(rest)) {
+		return nil, nil, false
+	}
+	return rest[:n], rest[n:], true
+}

@@ -1,0 +1,158 @@
+package service
+
+import "sync"
+
+// Lock command opcodes.
+const (
+	lockAcquire byte = iota + 1
+	lockRelease
+	lockHolder
+)
+
+// Lock status bytes.
+const (
+	LockGranted  byte = 1
+	LockBusy     byte = 2
+	LockReleased byte = 3
+	LockNotHeld  byte = 4
+	LockFree     byte = 5
+	LockHeldBy   byte = 6
+	LockBadCmd   byte = 7
+)
+
+// LockServer is a deterministic try-lock service (the Chubby-style
+// lock-server workload of the paper's introduction [1]). Each lock is owned
+// by at most one session token; acquire is non-blocking (the client polls),
+// which keeps the service deterministic.
+type LockServer struct {
+	mu     sync.Mutex
+	owners map[string]uint64
+}
+
+// NewLockServer returns an empty lock table.
+func NewLockServer() *LockServer {
+	return &LockServer{owners: make(map[string]uint64)}
+}
+
+// Held returns the number of currently held locks.
+func (s *LockServer) Held() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.owners)
+}
+
+// EncodeAcquire builds a try-acquire command for the given session token.
+func EncodeAcquire(name string, session uint64) []byte {
+	b := appendBytes([]byte{lockAcquire}, []byte(name))
+	return appendU64(b, session)
+}
+
+// EncodeRelease builds a release command.
+func EncodeRelease(name string, session uint64) []byte {
+	b := appendBytes([]byte{lockRelease}, []byte(name))
+	return appendU64(b, session)
+}
+
+// EncodeHolder builds a holder query.
+func EncodeHolder(name string) []byte {
+	return appendBytes([]byte{lockHolder}, []byte(name))
+}
+
+// DecodeLockReply splits a lock reply into status and the session it
+// mentions (owner for LockHeldBy/LockBusy, zero otherwise).
+func DecodeLockReply(reply []byte) (status byte, session uint64) {
+	if len(reply) == 0 {
+		return LockBadCmd, 0
+	}
+	status = reply[0]
+	if len(reply) >= 9 {
+		session = takeU64(reply[1:])
+	}
+	return status, session
+}
+
+// Execute implements the service.
+func (s *LockServer) Execute(req []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(req) == 0 {
+		return []byte{LockBadCmd}
+	}
+	op, rest := req[0], req[1:]
+	name, rest, ok := takeBytes(rest)
+	if !ok {
+		return []byte{LockBadCmd}
+	}
+	switch op {
+	case lockAcquire:
+		if len(rest) < 8 {
+			return []byte{LockBadCmd}
+		}
+		session := takeU64(rest)
+		owner, held := s.owners[string(name)]
+		if !held || owner == session {
+			s.owners[string(name)] = session
+			return appendU64([]byte{LockGranted}, session)
+		}
+		return appendU64([]byte{LockBusy}, owner)
+	case lockRelease:
+		if len(rest) < 8 {
+			return []byte{LockBadCmd}
+		}
+		session := takeU64(rest)
+		owner, held := s.owners[string(name)]
+		if !held || owner != session {
+			return []byte{LockNotHeld}
+		}
+		delete(s.owners, string(name))
+		return []byte{LockReleased}
+	case lockHolder:
+		owner, held := s.owners[string(name)]
+		if !held {
+			return []byte{LockFree}
+		}
+		return appendU64([]byte{LockHeldBy}, owner)
+	default:
+		return []byte{LockBadCmd}
+	}
+}
+
+// Snapshot implements the service (sorted for determinism).
+func (s *LockServer) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kv := &KV{m: make(map[string][]byte, len(s.owners))}
+	for name, owner := range s.owners {
+		kv.m[name] = appendU64(nil, owner)
+	}
+	return kv.Snapshot()
+}
+
+// Restore implements the service.
+func (s *LockServer) Restore(snap []byte) error {
+	kv := NewKV()
+	if err := kv.Restore(snap); err != nil {
+		return err
+	}
+	owners := make(map[string]uint64, len(kv.m))
+	for name, blob := range kv.m {
+		if len(blob) != 8 {
+			return ErrCorruptSnapshot
+		}
+		owners[name] = takeU64(blob)
+	}
+	s.mu.Lock()
+	s.owners = owners
+	s.mu.Unlock()
+	return nil
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func takeU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,52 @@
+// Package service provides deterministic services to replicate: the null
+// service used by the paper's evaluation (Sec. VI: "a null service, which
+// discards the payload of the request and sends back a byte array of the
+// size required by the test"), plus the two workloads the paper's
+// introduction motivates — a key-value/coordination store (ZooKeeper-style)
+// and a lock server (Chubby-style).
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrCorruptSnapshot reports a malformed snapshot blob.
+var ErrCorruptSnapshot = errors.New("service: corrupt snapshot")
+
+// Null is the paper's evaluation service: it ignores the request payload
+// and returns ReplySize zero bytes (default 8, the paper's answer size).
+// Safe for concurrent observation while the replica executes.
+type Null struct {
+	// ReplySize is the reply length in bytes (default 8).
+	ReplySize int
+	executed  atomic.Uint64
+}
+
+// Execute implements the service.
+func (s *Null) Execute(req []byte) []byte {
+	s.executed.Add(1)
+	n := s.ReplySize
+	if n <= 0 {
+		n = 8
+	}
+	return make([]byte, n)
+}
+
+// Executed returns the number of requests executed.
+func (s *Null) Executed() uint64 { return s.executed.Load() }
+
+// Snapshot implements the service.
+func (s *Null) Snapshot() ([]byte, error) {
+	return binary.LittleEndian.AppendUint64(nil, s.executed.Load()), nil
+}
+
+// Restore implements the service.
+func (s *Null) Restore(snap []byte) error {
+	if len(snap) != 8 {
+		return ErrCorruptSnapshot
+	}
+	s.executed.Store(binary.LittleEndian.Uint64(snap))
+	return nil
+}

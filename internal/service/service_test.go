@@ -1,0 +1,213 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNullService(t *testing.T) {
+	s := &Null{}
+	reply := s.Execute([]byte("anything at all"))
+	if len(reply) != 8 {
+		t.Errorf("default reply size = %d, want 8", len(reply))
+	}
+	s2 := &Null{ReplySize: 64}
+	if got := len(s2.Execute(nil)); got != 64 {
+		t.Errorf("reply size = %d, want 64", got)
+	}
+	if s.Executed() != 1 {
+		t.Errorf("Executed = %d, want 1", s.Executed())
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := &Null{}
+	if err := s3.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s3.Executed() != 1 {
+		t.Errorf("restored Executed = %d, want 1", s3.Executed())
+	}
+	if err := s3.Restore([]byte{1, 2}); err == nil {
+		t.Error("Restore of corrupt snapshot succeeded")
+	}
+}
+
+func TestKVBasicOps(t *testing.T) {
+	s := NewKV()
+	if st, _ := DecodeReply(s.Execute(EncodeGet("missing"))); st != KVNotFound {
+		t.Errorf("GET missing = %d, want NotFound", st)
+	}
+	if st, _ := DecodeReply(s.Execute(EncodePut("k", []byte("v1")))); st != KVOK {
+		t.Errorf("PUT = %d, want OK", st)
+	}
+	st, v := DecodeReply(s.Execute(EncodeGet("k")))
+	if st != KVOK || string(v) != "v1" {
+		t.Errorf("GET = %d %q, want OK v1", st, v)
+	}
+	if st, _ := DecodeReply(s.Execute(EncodePut("k", []byte("v2")))); st != KVOK {
+		t.Errorf("overwrite = %d, want OK", st)
+	}
+	if _, v := DecodeReply(s.Execute(EncodeGet("k"))); string(v) != "v2" {
+		t.Errorf("GET after overwrite = %q, want v2", v)
+	}
+	if st, _ := DecodeReply(s.Execute(EncodeDel("k"))); st != KVOK {
+		t.Errorf("DEL = %d, want OK", st)
+	}
+	if st, _ := DecodeReply(s.Execute(EncodeDel("k"))); st != KVNotFound {
+		t.Errorf("DEL again = %d, want NotFound", st)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestKVMalformedCommands(t *testing.T) {
+	s := NewKV()
+	for _, req := range [][]byte{nil, {}, {99}, {1, 5, 0, 0, 0}, {1, 255, 255, 255, 255, 1}} {
+		if st, _ := DecodeReply(s.Execute(req)); st != KVBadCmd {
+			t.Errorf("Execute(%v) = %d, want BadCmd", req, st)
+		}
+	}
+	if st, _ := DecodeReply(nil); st != KVBadCmd {
+		t.Errorf("DecodeReply(nil) = %d, want BadCmd", st)
+	}
+}
+
+func TestKVSnapshotRoundTrip(t *testing.T) {
+	s := NewKV()
+	s.Execute(EncodePut("a", []byte("1")))
+	s.Execute(EncodePut("b", []byte("2")))
+	s.Execute(EncodePut("c", nil))
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewKV()
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		st1, v1 := DecodeReply(s.Execute(EncodeGet(k)))
+		st2, v2 := DecodeReply(s2.Execute(EncodeGet(k)))
+		if st1 != st2 || !bytes.Equal(v1, v2) {
+			t.Errorf("key %q differs after restore: %d %q vs %d %q", k, st1, v1, st2, v2)
+		}
+	}
+	// Snapshot is deterministic (sorted keys).
+	snapB, _ := s2.Snapshot()
+	if !bytes.Equal(snap, snapB) {
+		t.Error("snapshots of identical state differ")
+	}
+	for _, bad := range [][]byte{{1}, {1, 0, 0, 0}, append(append([]byte{}, snap...), 9)} {
+		if err := s2.Restore(bad); err == nil {
+			t.Errorf("Restore(%v) succeeded", bad)
+		}
+	}
+}
+
+func TestPropertyKVPutGet(t *testing.T) {
+	f := func(key string, value []byte) bool {
+		s := NewKV()
+		s.Execute(EncodePut(key, value))
+		st, v := DecodeReply(s.Execute(EncodeGet(key)))
+		return st == KVOK && bytes.Equal(v, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyKVSnapshotPreservesState(t *testing.T) {
+	f := func(keys []string, value []byte) bool {
+		s := NewKV()
+		for _, k := range keys {
+			s.Execute(EncodePut(k, value))
+		}
+		snap, err := s.Snapshot()
+		if err != nil {
+			return false
+		}
+		s2 := NewKV()
+		if err := s2.Restore(snap); err != nil {
+			return false
+		}
+		return s2.Len() == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLockServer(t *testing.T) {
+	s := NewLockServer()
+	const alice, bob = 1, 2
+
+	st, owner := DecodeLockReply(s.Execute(EncodeAcquire("L", alice)))
+	if st != LockGranted || owner != alice {
+		t.Fatalf("acquire = %d %d, want granted to alice", st, owner)
+	}
+	// Re-acquire by the owner is idempotent.
+	if st, _ := DecodeLockReply(s.Execute(EncodeAcquire("L", alice))); st != LockGranted {
+		t.Errorf("re-acquire = %d, want granted", st)
+	}
+	st, owner = DecodeLockReply(s.Execute(EncodeAcquire("L", bob)))
+	if st != LockBusy || owner != alice {
+		t.Errorf("contended acquire = %d %d, want busy/alice", st, owner)
+	}
+	st, owner = DecodeLockReply(s.Execute(EncodeHolder("L")))
+	if st != LockHeldBy || owner != alice {
+		t.Errorf("holder = %d %d, want alice", st, owner)
+	}
+	if st, _ := DecodeLockReply(s.Execute(EncodeRelease("L", bob))); st != LockNotHeld {
+		t.Errorf("release by non-owner = %d, want not-held", st)
+	}
+	if st, _ := DecodeLockReply(s.Execute(EncodeRelease("L", alice))); st != LockReleased {
+		t.Errorf("release = %d, want released", st)
+	}
+	if st, _ := DecodeLockReply(s.Execute(EncodeHolder("L"))); st != LockFree {
+		t.Errorf("holder after release = %d, want free", st)
+	}
+	// Bob can take it now.
+	if st, _ := DecodeLockReply(s.Execute(EncodeAcquire("L", bob))); st != LockGranted {
+		t.Errorf("acquire after release = %d, want granted", st)
+	}
+	if s.Held() != 1 {
+		t.Errorf("Held = %d, want 1", s.Held())
+	}
+}
+
+func TestLockServerMalformed(t *testing.T) {
+	s := NewLockServer()
+	for _, req := range [][]byte{nil, {}, {99}, {1, 1, 0, 0, 0, 'x'}, {1, 1, 0, 0, 0, 'x', 1, 2}} {
+		if st, _ := DecodeLockReply(s.Execute(req)); st != LockBadCmd {
+			t.Errorf("Execute(%v) = %d, want BadCmd", req, st)
+		}
+	}
+}
+
+func TestLockServerSnapshot(t *testing.T) {
+	s := NewLockServer()
+	s.Execute(EncodeAcquire("a", 10))
+	s.Execute(EncodeAcquire("b", 20))
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewLockServer()
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Held() != 2 {
+		t.Fatalf("restored Held = %d, want 2", s2.Held())
+	}
+	st, owner := DecodeLockReply(s2.Execute(EncodeHolder("a")))
+	if st != LockHeldBy || owner != 10 {
+		t.Errorf("holder(a) = %d %d, want 10", st, owner)
+	}
+	if err := s2.Restore([]byte{7}); err == nil {
+		t.Error("Restore of garbage succeeded")
+	}
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+	"time"
+)
+
+// Network constants mirroring the paper's testbed (Sec. VI: 1 GbE with
+// ~114 MB/s effective bandwidth, 0.06 ms idle RTT).
+const (
+	// DefaultMTU is the Ethernet frame payload budget.
+	DefaultMTU = 1500
+	// DefaultPropDelay is the one-way propagation delay (0.06 ms RTT idle).
+	DefaultPropDelay = 28 * time.Microsecond
+	// DefaultPacketService is the per-packet kernel processing time with
+	// the single interrupt queue of Linux < 2.6.35 ([14]): ~6.45 µs/packet
+	// ≈ 155K packets/s, the ceiling the paper measures in Table III.
+	DefaultPacketService = 6450 * time.Nanosecond
+	// AckBytes is the size of a pure TCP ACK frame.
+	AckBytes = 66
+)
+
+// NICConfig configures a node's network interface.
+type NICConfig struct {
+	// MTU is the maximum frame payload (DefaultMTU if zero).
+	MTU int
+	// PacketService is the per-packet kernel processing cost in the single
+	// interrupt queue (DefaultPacketService if zero).
+	PacketService time.Duration
+	// PropDelay is the one-way wire latency to any other node
+	// (DefaultPropDelay if zero).
+	PropDelay time.Duration
+	// RSSQueues spreads packet processing over min(RSSQueues, cores) queues
+	// (the RSS/RPS ablation of the paper's footnote 5); 0 or 1 means the
+	// single-queue bottleneck.
+	RSSQueues int
+	// AckEvery emits one pure-ACK frame back per AckEvery data frames
+	// received (delayed ACK coalescing); 0 disables ACK modeling.
+	AckEvery int
+	// Coalesce adds a fixed interrupt-coalescing delay between a frame's
+	// ingress processing and its delivery to the application — latency
+	// without throughput cost, as NIC interrupt moderation behaves.
+	Coalesce time.Duration
+	// ServiceOverheadPerThread adds a fractional per-packet overhead for
+	// each I/O thread beyond 8 hammering the stack concurrently — the
+	// kernel-contention effect behind the throughput drop at high ClientIO
+	// counts (Fig. 9). Typical value 0.04 (4% per extra thread).
+	ServiceOverheadPerThread float64
+	// IOThreads is the number of application I/O threads using this NIC
+	// (feeds ServiceOverheadPerThread).
+	IOThreads int
+}
+
+// NIC models one machine's network path: an egress and an ingress packet
+// queue, each served at a fixed per-packet rate by the kernel. Queueing
+// delay under saturation is what produces the paper's 2.5 ms leader RTT
+// (Table II) and the instance-latency growth of Fig. 10b.
+type NIC struct {
+	w    *World
+	node *Node
+	cfg  NICConfig
+
+	svc time.Duration // effective per-packet service time
+
+	outBusyUntil Time
+	inBusyUntil  Time
+
+	// Stats.
+	pktsOut, pktsIn   uint64
+	bytesOut, bytesIn uint64
+	outDelaySum       Time
+	outDelayCnt       uint64
+	ackPending        int
+
+	statsFrom Time
+}
+
+// NewNIC attaches a network interface to n.
+func (w *World) NewNIC(n *Node, cfg NICConfig) *NIC {
+	if cfg.MTU <= 0 {
+		cfg.MTU = DefaultMTU
+	}
+	if cfg.PacketService <= 0 {
+		cfg.PacketService = DefaultPacketService
+	}
+	if cfg.PropDelay <= 0 {
+		cfg.PropDelay = DefaultPropDelay
+	}
+	nic := &NIC{w: w, node: n, cfg: cfg}
+	nic.svc = nic.effectiveService()
+	n.NIC = nic
+	return nic
+}
+
+// effectiveService derives the per-packet service time from the RSS mode
+// and the I/O-thread contention overhead.
+func (nic *NIC) effectiveService() time.Duration {
+	svc := float64(nic.cfg.PacketService)
+	if q := nic.cfg.RSSQueues; q > 1 {
+		spread := min(q, nic.node.cores)
+		if spread > 1 {
+			svc /= float64(spread)
+		}
+	}
+	if extra := nic.cfg.IOThreads - 8; extra > 0 && nic.cfg.ServiceOverheadPerThread > 0 {
+		svc *= 1 + nic.cfg.ServiceOverheadPerThread*float64(extra)
+	}
+	return time.Duration(svc)
+}
+
+// Frames returns how many MTU-sized frames a payload of the given size
+// occupies on the wire.
+func (nic *NIC) Frames(bytes int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	return int(math.Ceil(float64(bytes) / float64(nic.cfg.MTU)))
+}
+
+// Send transmits a message of the given size to dst, invoking deliver at
+// dst once the last frame has been processed by its ingress path. deliver
+// may be nil (fire-and-forget, e.g. ACKs).
+func (nic *NIC) Send(dst *NIC, bytes int, deliver func()) {
+	frames := nic.Frames(bytes)
+	remaining := bytes
+	for i := range frames {
+		sz := min(remaining, nic.cfg.MTU)
+		remaining -= sz
+		last := i == frames-1
+		var cb func()
+		if last {
+			cb = deliver
+		}
+		nic.sendFrame(sz, dst, cb, true)
+	}
+}
+
+// sendFrame pushes one frame through egress service, the wire, and the
+// destination's ingress service.
+func (nic *NIC) sendFrame(bytes int, dst *NIC, deliver func(), wantAck bool) {
+	now := nic.w.now
+	start := now
+	if nic.outBusyUntil > start {
+		start = nic.outBusyUntil
+	}
+	done := start + nic.svc
+	nic.outBusyUntil = done
+	nic.pktsOut++
+	nic.bytesOut += uint64(bytes)
+	nic.outDelaySum += done - now
+	nic.outDelayCnt++
+	arrival := done + nic.cfg.PropDelay
+	nic.w.At(arrival, func() { dst.receiveFrame(bytes, nic, deliver, wantAck) })
+}
+
+// receiveFrame runs a frame through the ingress packet queue, then delivers
+// and possibly emits a coalesced ACK.
+func (nic *NIC) receiveFrame(bytes int, from *NIC, deliver func(), wantAck bool) {
+	now := nic.w.now
+	start := now
+	if nic.inBusyUntil > start {
+		start = nic.inBusyUntil
+	}
+	done := start + nic.svc
+	nic.inBusyUntil = done
+	nic.pktsIn++
+	nic.bytesIn += uint64(bytes)
+	nic.w.At(done+nic.cfg.Coalesce, func() {
+		if wantAck && nic.cfg.AckEvery > 0 {
+			nic.ackPending++
+			if nic.ackPending >= nic.cfg.AckEvery {
+				nic.ackPending = 0
+				nic.sendFrame(AckBytes, from, nil, false)
+			}
+		}
+		if deliver != nil {
+			deliver()
+		}
+	})
+}
+
+// Ping measures the round-trip time of one small frame to dst and back,
+// calling done with the result. Like ICMP it bypasses application threads:
+// only the kernel NIC queues are involved — exactly the paper's Table II
+// methodology.
+func (nic *NIC) Ping(dst *NIC, done func(rtt time.Duration)) {
+	start := nic.w.now
+	nic.sendFrame(AckBytes, dst, func() {
+		dst.sendFrame(AckBytes, nic, func() {
+			done(nic.w.now - start)
+		}, false)
+	}, false)
+}
+
+// NICStats is a snapshot of a NIC's counters.
+type NICStats struct {
+	PktsOut, PktsIn   uint64
+	BytesOut, BytesIn uint64
+	// AvgOutDelay is the mean egress queueing+service delay per packet.
+	AvgOutDelay time.Duration
+	// Window is the observation window (since last ResetStats).
+	Window time.Duration
+}
+
+// Stats returns the NIC's counters since the last reset.
+func (nic *NIC) Stats() NICStats {
+	s := NICStats{
+		PktsOut: nic.pktsOut, PktsIn: nic.pktsIn,
+		BytesOut: nic.bytesOut, BytesIn: nic.bytesIn,
+		Window: nic.w.now - nic.statsFrom,
+	}
+	if nic.outDelayCnt > 0 {
+		s.AvgOutDelay = nic.outDelaySum / Time(nic.outDelayCnt)
+	}
+	return s
+}
+
+// ResetStats zeroes the counters (warm-up discard).
+func (nic *NIC) ResetStats() {
+	nic.pktsOut, nic.pktsIn = 0, 0
+	nic.bytesOut, nic.bytesIn = 0, 0
+	nic.outDelaySum, nic.outDelayCnt = 0, 0
+	nic.statsFrom = nic.w.now
+}

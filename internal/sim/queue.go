@@ -1,0 +1,198 @@
+package sim
+
+// Queue is a bounded FIFO connecting simulated threads, the analogue of the
+// replica's message queues. Takes on an empty queue and puts on a full one
+// park the thread in the waiting state — the paper's "waiting" profile
+// category — and wake in FIFO order. It also integrates average length over
+// virtual time (Table I's statistic).
+type Queue struct {
+	w    *World
+	name string
+	cap  int
+
+	items []any
+
+	takeWaiters []*Thread
+	putWaiters  []putWaiter
+
+	lastChange Time
+	trackFrom  Time
+	lenIntegrl float64 // length × seconds
+	puts       uint64
+	takes      uint64
+}
+
+type putWaiter struct {
+	t *Thread
+	v any
+}
+
+// NewQueue creates a bounded queue (capacity >= 1).
+func (w *World) NewQueue(name string, capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{w: w, name: name, cap: capacity, lastChange: w.now, trackFrom: w.now}
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.name }
+
+// Len returns the instantaneous queue length.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Cap returns the capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// note integrates the current length before a change.
+func (q *Queue) note() {
+	now := q.w.now
+	q.lenIntegrl += float64(len(q.items)) * (now - q.lastChange).Seconds()
+	q.lastChange = now
+}
+
+// AvgLen returns the time-averaged length since tracking started.
+func (q *Queue) AvgLen() float64 {
+	q.note()
+	window := (q.w.now - q.trackFrom).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	return q.lenIntegrl / window
+}
+
+// Puts returns the number of completed put operations.
+func (q *Queue) Puts() uint64 { return q.puts }
+
+// Takes returns the number of completed take operations.
+func (q *Queue) Takes() uint64 { return q.takes }
+
+// ResetStats restarts average tracking (warm-up discard).
+func (q *Queue) ResetStats() {
+	q.lenIntegrl = 0
+	q.lastChange = q.w.now
+	q.trackFrom = q.w.now
+	q.puts = 0
+	q.takes = 0
+}
+
+// Put appends v, parking the thread while the queue is full.
+func (q *Queue) Put(t *Thread, v any) {
+	q.puts++
+	// Direct hand-off to a parked taker keeps the queue length at zero.
+	if len(q.takeWaiters) > 0 {
+		tw := q.takeWaiters[0]
+		q.takeWaiters = q.takeWaiters[1:]
+		tw.out = v
+		q.takes++
+		tw.node.makeRunnable(tw)
+		return
+	}
+	if len(q.items) < q.cap {
+		q.note()
+		q.items = append(q.items, v)
+		return
+	}
+	q.putWaiters = append(q.putWaiters, putWaiter{t: t, v: v})
+	t.block(StateWaiting)
+}
+
+// TryPut appends v without blocking, reporting success.
+func (q *Queue) TryPut(v any) bool {
+	if len(q.takeWaiters) > 0 || len(q.items) < q.cap {
+		q.Put(nil, v)
+		return true
+	}
+	return false
+}
+
+// Take removes the oldest item, parking the thread while the queue is empty.
+func (q *Queue) Take(t *Thread) any {
+	if len(q.items) > 0 {
+		q.note()
+		v := q.items[0]
+		q.items = q.items[1:]
+		q.takes++
+		// A parked putter can now deposit.
+		if len(q.putWaiters) > 0 {
+			pw := q.putWaiters[0]
+			q.putWaiters = q.putWaiters[1:]
+			q.note()
+			q.items = append(q.items, pw.v)
+			pw.t.node.makeRunnable(pw.t)
+		}
+		return v
+	}
+	q.takeWaiters = append(q.takeWaiters, t)
+	t.block(StateWaiting)
+	// The putter counted this take when it handed the value over.
+	out := t.out
+	t.out = nil
+	return out
+}
+
+// TryTake removes the oldest item without blocking.
+func (q *Queue) TryTake() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	return q.Take(nil), true
+}
+
+// Lock is a mutex between simulated threads; contended acquisition parks
+// the thread in the blocked state — the paper's contention metric.
+type Lock struct {
+	w       *World
+	name    string
+	holder  *Thread
+	waiters []*Thread
+
+	contended uint64
+	acquired  uint64
+}
+
+// NewLock creates a lock.
+func (w *World) NewLock(name string) *Lock {
+	return &Lock{w: w, name: name}
+}
+
+// Lock acquires, parking the thread (state blocked) while held elsewhere.
+// The lock barges like JVM/pthread mutexes: a running thread can take a
+// just-released lock ahead of parked waiters, which avoids the pathological
+// convoy a strict FIFO hand-off would create on few cores; a woken waiter
+// re-checks and may park again (that re-parking is how contention shows up
+// as blocked time on many cores).
+func (l *Lock) Lock(t *Thread) {
+	l.acquired++
+	for l.holder != nil {
+		l.contended++
+		l.waiters = append(l.waiters, t)
+		t.block(StateBlocked)
+	}
+	l.holder = t
+}
+
+// Unlock releases and wakes one parked waiter to retry. The waiter's
+// blocked accounting ends at the wake: the run-queue delay before it
+// actually retries is scheduling time, not lock contention.
+func (l *Lock) Unlock() {
+	l.holder = nil
+	if len(l.waiters) > 0 {
+		next := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		next.transition(StateOther)
+		next.node.makeRunnable(next)
+	}
+}
+
+// Held reports whether the lock is currently held (used by spin models).
+func (l *Lock) Held() bool { return l.holder != nil }
+
+// Waiters returns the number of threads parked on the lock.
+func (l *Lock) Waiters() int { return len(l.waiters) }
+
+// Contended returns how many acquisitions had to park.
+func (l *Lock) Contended() uint64 { return l.contended }
+
+// Acquired returns total acquisitions.
+func (l *Lock) Acquired() uint64 { return l.acquired }

@@ -1,0 +1,240 @@
+// Package sim is a deterministic discrete-event simulator of the paper's
+// testbed: multi-core nodes running cooperating threads, connected by a
+// Gigabit network whose kernel packet-processing path has the pre-2.6.35
+// Linux single-interrupt-queue bottleneck the paper identifies in Sec. VI-D.
+//
+// It substitutes for the Grid5000 clusters the paper measured on (this
+// reproduction runs on arbitrary hosts, including single-core ones): cores,
+// context switches, queues, locks and NIC service are modeled in virtual
+// time, so every scalability figure is regenerated deterministically,
+// byte-identical across runs and machines.
+//
+// # Execution model
+//
+// A World owns a virtual clock and an event heap. Threads are real
+// goroutines, but exactly one runs at a time: the scheduler resumes a
+// thread and waits for it to yield (Work, Sleep, blocking queue/lock op, or
+// exit). Between yields a thread may freely mutate simulation state — the
+// handshake makes execution single-threaded and deterministic. A Node
+// schedules its threads onto a fixed number of cores with a round-robin run
+// queue, charging a context-switch cost on every dispatch from the run
+// queue; threads that exhaust their time slice while others wait are
+// preempted. This mechanistically produces the paper's observation that CPU
+// utilization grows more slowly than throughput: more cores mean fewer
+// switches.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is virtual time since the start of the run.
+type Time = time.Duration
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// World is one simulation run.
+type World struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	nodes   []*Node
+	threads []*Thread
+
+	// dispatch work list: nodes with runnable threads and free cores.
+	pending []*Node
+
+	stopped bool
+}
+
+// NewWorld returns an empty simulation at time zero.
+func NewWorld() *World {
+	return &World{}
+}
+
+// Now returns the current virtual time.
+func (w *World) Now() Time { return w.now }
+
+// At schedules fn at time t (>= now).
+func (w *World) At(t Time, fn func()) {
+	if t < w.now {
+		t = w.now
+	}
+	w.seq++
+	heap.Push(&w.events, event{at: t, seq: w.seq, fn: fn})
+}
+
+// After schedules fn after duration d.
+func (w *World) After(d time.Duration, fn func()) { w.At(w.now+d, fn) }
+
+// Run executes events until the clock reaches `until` (events at exactly
+// `until` are executed) or no events remain.
+func (w *World) Run(until Time) {
+	for {
+		w.drainDispatch()
+		if len(w.events) == 0 {
+			w.now = until
+			return
+		}
+		next := w.events.peek()
+		if next.at > until {
+			w.now = until
+			return
+		}
+		heap.Pop(&w.events)
+		w.now = next.at
+		next.fn()
+	}
+}
+
+// Stop makes Run return after the current event (used by tests).
+func (w *World) Stop() { w.stopped = true }
+
+// markPending notes that node may have dispatchable threads.
+func (w *World) markPending(n *Node) {
+	if !n.inPending {
+		n.inPending = true
+		w.pending = append(w.pending, n)
+	}
+}
+
+// drainDispatch grants free cores to runnable threads on all pending nodes.
+func (w *World) drainDispatch() {
+	for len(w.pending) > 0 {
+		n := w.pending[0]
+		w.pending = w.pending[1:]
+		n.inPending = false
+		n.dispatch()
+	}
+}
+
+// Shutdown releases all thread goroutines. Call once the run is complete;
+// the World is unusable afterwards.
+func (w *World) Shutdown() {
+	for _, t := range w.threads {
+		t.shutdown()
+	}
+}
+
+// Node is one machine with a fixed number of cores.
+type Node struct {
+	w    *World
+	name string
+
+	cores   int
+	running int
+	runq    []*Thread
+
+	// ctxSwitch is charged whenever a thread is dispatched after having
+	// waited in the run queue (it was descheduled while runnable, so its
+	// cache state is cold). Dispatches onto an idle core — a plain wakeup —
+	// cost ctxSwitch/10. This asymmetry is what makes low-core-count runs
+	// pay heavy switching overhead while many-core runs do not, producing
+	// the paper's "CPU grows slower than throughput" effect.
+	ctxSwitch time.Duration
+	// quantum is the maximum time slice before a thread is preempted when
+	// other threads are waiting for a core.
+	quantum time.Duration
+
+	inPending bool
+
+	// busy accumulates core-busy time (thread work + context switches) for
+	// CPU-utilization reporting.
+	busy Time
+
+	// NIC is this machine's network interface (assigned by NewNIC).
+	NIC *NIC
+}
+
+// NodeConfig configures a simulated machine.
+type NodeConfig struct {
+	// Name identifies the node in stats.
+	Name string
+	// Cores is the number of cores (the experiments' x-axis).
+	Cores int
+	// CtxSwitch is the context-switch cost (default 3µs).
+	CtxSwitch time.Duration
+	// Quantum is the preemption time slice (default 1ms).
+	Quantum time.Duration
+}
+
+// NewNode adds a machine to the world.
+func (w *World) NewNode(cfg NodeConfig) *Node {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.CtxSwitch <= 0 {
+		cfg.CtxSwitch = 3 * time.Microsecond
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = time.Millisecond
+	}
+	n := &Node{
+		w:         w,
+		name:      cfg.Name,
+		cores:     cfg.Cores,
+		ctxSwitch: cfg.CtxSwitch,
+		quantum:   cfg.Quantum,
+	}
+	w.nodes = append(w.nodes, n)
+	return n
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Cores returns the node's core count.
+func (n *Node) Cores() int { return n.cores }
+
+// BusyTime returns total core-busy time accumulated (across all cores), the
+// basis of the paper's "% of single core time" CPU-utilization metric.
+func (n *Node) BusyTime() Time { return n.busy }
+
+// ResetStats clears the node's busy accounting (warm-up discard).
+func (n *Node) ResetStats() { n.busy = 0 }
+
+// dispatch grants free cores to run-queued threads.
+func (n *Node) dispatch() {
+	for n.running < n.cores && len(n.runq) > 0 {
+		t := n.runq[0]
+		n.runq = n.runq[1:]
+		n.running++
+		sw := n.ctxSwitch
+		if t.runqSince == n.w.now {
+			sw = n.ctxSwitch / 10 // wakeup onto an idle core: cache still warm
+		}
+		// The core is occupied for the switch itself, then the thread runs.
+		n.busy += sw
+		n.w.At(n.w.now+sw, func() { t.beginSlice() })
+	}
+}
+
+// makeRunnable queues t for a core.
+func (n *Node) makeRunnable(t *Thread) {
+	t.runqSince = n.w.now
+	n.runq = append(n.runq, t)
+	n.w.markPending(n)
+}
+
+func (n *Node) String() string { return fmt.Sprintf("node(%s,%dc)", n.name, n.cores) }

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// State mirrors the four thread states of the paper's profiles.
+type State uint8
+
+// Thread states: busy (on core, working), blocked (lock), waiting (queue),
+// other (sleeping, switching, or runnable-but-descheduled).
+const (
+	StateBusy State = iota + 1
+	StateBlocked
+	StateWaiting
+	StateOther
+)
+
+// String returns the profile label.
+func (s State) String() string {
+	switch s {
+	case StateBusy:
+		return "busy"
+	case StateBlocked:
+		return "blocked"
+	case StateWaiting:
+		return "waiting"
+	case StateOther:
+		return "other"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// reqKind tags a thread's yield reason.
+type reqKind uint8
+
+const (
+	reqNone reqKind = iota
+	reqWork
+	reqSleep
+	reqBlocked // waiting on queue/lock; external code wakes the thread
+	reqExit
+)
+
+// Thread is one simulated thread. Bodies run in a dedicated goroutine but
+// only while the scheduler waits on them — execution is serialized.
+type Thread struct {
+	node *Node
+	name string
+
+	resume chan struct{}
+	yield  chan struct{}
+
+	kind reqKind
+	dur  time.Duration // reqWork/reqSleep
+	out  any           // value deposited by a waker (queue take)
+
+	state      State
+	stateSince Time
+	totals     [5]Time
+
+	sliceStart Time
+	runqSince  Time // when the thread entered the run queue
+	finished   bool
+	dead       bool
+}
+
+// Spawn starts a thread on node n running body. The body runs when the
+// simulation first dispatches it; it must use only the Thread's API (and
+// other sim types) to interact with virtual time, and should return when
+// done.
+func (n *Node) Spawn(name string, body func(t *Thread)) *Thread {
+	t := &Thread{
+		node:   n,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		state:  StateOther,
+	}
+	n.w.threads = append(n.w.threads, t)
+	go func() {
+		<-t.resume
+		if t.dead {
+			return
+		}
+		runBody(t, body)
+		if t.dead {
+			return // unwound by Shutdown; the scheduler is gone
+		}
+		t.kind = reqExit
+		t.yield <- struct{}{}
+	}()
+	n.makeRunnable(t)
+	return t
+}
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Node returns the thread's machine.
+func (t *Thread) Node() *Node { return t.node }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() Time { return t.node.w.now }
+
+// transition charges elapsed virtual time to the current state.
+func (t *Thread) transition(s State) {
+	now := t.node.w.now
+	t.totals[t.state] += now - t.stateSince
+	t.state = s
+	t.stateSince = now
+}
+
+// Stats is a snapshot of one thread's accounting.
+type Stats struct {
+	Name    string
+	Node    string
+	Busy    Time
+	Blocked Time
+	Waiting Time
+	Other   Time
+}
+
+// Total sums all states.
+func (s Stats) Total() Time { return s.Busy + s.Blocked + s.Waiting + s.Other }
+
+// Stats returns the thread's accumulated state times including the current
+// interval.
+func (t *Thread) Stats() Stats {
+	totals := t.totals
+	totals[t.state] += t.node.w.now - t.stateSince
+	return Stats{
+		Name:    t.name,
+		Node:    t.node.name,
+		Busy:    totals[StateBusy],
+		Blocked: totals[StateBlocked],
+		Waiting: totals[StateWaiting],
+		Other:   totals[StateOther],
+	}
+}
+
+// ResetStats zeroes accounting (warm-up discard).
+func (t *Thread) ResetStats() {
+	t.totals = [5]Time{}
+	t.stateSince = t.node.w.now
+}
+
+// ThreadStats returns stats for every thread in the world, in spawn order.
+func (w *World) ThreadStats() []Stats {
+	out := make([]Stats, 0, len(w.threads))
+	for _, t := range w.threads {
+		out = append(out, t.Stats())
+	}
+	return out
+}
+
+// ResetAllStats clears thread, node and NIC statistics (warm-up discard).
+func (w *World) ResetAllStats() {
+	for _, t := range w.threads {
+		t.ResetStats()
+	}
+	for _, n := range w.nodes {
+		n.ResetStats()
+		if n.NIC != nil {
+			n.NIC.ResetStats()
+		}
+	}
+}
+
+// beginSlice resumes the thread after a dispatch; runs its slice to the next
+// yield and processes the yield reason. Runs in scheduler context.
+func (t *Thread) beginSlice() {
+	t.transition(StateBusy)
+	t.sliceStart = t.node.w.now
+	t.runSlice()
+}
+
+// runSlice hands control to the thread goroutine and handles its next yield.
+func (t *Thread) runSlice() {
+	t.resume <- struct{}{}
+	<-t.yield
+	w := t.node.w
+	switch t.kind {
+	case reqWork:
+		d := t.dur
+		t.node.busy += d
+		w.At(w.now+d, func() { t.afterWork() })
+	case reqSleep:
+		t.node.running--
+		t.transition(StateOther)
+		w.markPending(t.node)
+		d := t.dur
+		w.At(w.now+d, func() { t.node.makeRunnable(t) })
+	case reqBlocked:
+		// Queue/lock code already recorded the wait state and will wake us
+		// via makeRunnable.
+		t.node.running--
+		w.markPending(t.node)
+	case reqExit:
+		t.finished = true
+		t.node.running--
+		t.transition(StateOther)
+		w.markPending(t.node)
+	}
+}
+
+// afterWork continues the thread once a Work interval finishes, preempting
+// it if its slice is up and other threads wait for a core.
+func (t *Thread) afterWork() {
+	n := t.node
+	if n.w.now-t.sliceStart >= n.quantum && len(n.runq) > 0 {
+		t.transition(StateOther) // preempted: runnable but off core
+		n.running--
+		n.makeRunnable(t) // will re-dispatch with a context switch
+		return
+	}
+	t.runSlice()
+}
+
+// Work consumes d of CPU on the thread's core.
+func (t *Thread) Work(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.kind = reqWork
+	t.dur = d
+	t.yieldAndWait()
+}
+
+// Sleep releases the core for d.
+func (t *Thread) Sleep(d time.Duration) {
+	t.kind = reqSleep
+	t.dur = d
+	t.yieldAndWait()
+}
+
+// block parks the thread in state s until some other code wakes it with
+// makeRunnable; the waker may deposit a value in t.out first.
+func (t *Thread) block(s State) {
+	t.transition(s)
+	t.kind = reqBlocked
+	t.yieldAndWait()
+}
+
+// yieldAndWait hands control back to the scheduler until resumed. When the
+// thread was off-core (sleep/block), resumption goes through the run queue
+// and beginSlice; Work resumptions keep the core and come back directly.
+func (t *Thread) yieldAndWait() {
+	t.yield <- struct{}{}
+	<-t.resume
+	if t.dead {
+		// World shut down: unwind the goroutine via panic recovered in a
+		// wrapper… simpler: park forever is a leak, so use runtime.Goexit.
+		panic(threadShutdown{})
+	}
+}
+
+// threadShutdown unwinds a thread goroutine at World.Shutdown.
+type threadShutdown struct{}
+
+// shutdown releases the thread goroutine if it is still parked. Every
+// non-finished thread goroutine is blocked receiving on t.resume (that is
+// the only way a thread parks), so the send below wakes it; the dead flag
+// then unwinds it without yielding back.
+func (t *Thread) shutdown() {
+	if t.finished {
+		return
+	}
+	t.dead = true
+	select {
+	case t.resume <- struct{}{}:
+	default:
+	}
+}
+
+// Spawned bodies run under this recover so Shutdown can unwind them.
+func runBody(t *Thread, body func(*Thread)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(threadShutdown); !ok {
+				panic(r)
+			}
+		}
+	}()
+	body(t)
+}

@@ -1,0 +1,33 @@
+package simrsm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCalibrationCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, cores := range []int{1, 2, 4, 6, 8, 12, 16, 24} {
+		res := RunJPaxos(Config{Cores: cores}, 200*time.Millisecond, 500*time.Millisecond)
+		fmt.Printf("cores=%2d tput=%8.0f lat=%8v win=%5.1f batch=%4.1f cpu=%6.0f%% blocked=%5.1f%% pktsOut/s=%8.0f reqQ=%6.1f propQ=%5.1f ldrRTT=%v\n",
+			cores, res.Throughput, res.InstanceLatency, res.AvgWindow, res.AvgBatchReqs,
+			res.CPUPercent[0], res.BlockedPercent[0],
+			float64(res.LeaderNIC.PktsOut)/res.Window.Seconds(),
+			res.QueueAvg["RequestQueue"], res.QueueAvg["ProposalQueue"], res.PingLeaderRTT)
+	}
+}
+
+func TestZKCalibrationCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, cores := range []int{1, 2, 4, 8, 16, 24} {
+		res := RunZK(ZKConfig{Cores: cores}, 200*time.Millisecond, 500*time.Millisecond)
+		lead := len(res.CPUPercent) - 1
+		fmt.Printf("cores=%2d tput=%8.0f cpu(leader)=%6.0f%% blocked(leader)=%6.1f%%\n",
+			cores, res.Throughput, res.CPUPercent[lead], res.BlockedPercent[lead])
+	}
+}

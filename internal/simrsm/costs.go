@@ -1,0 +1,162 @@
+// Package simrsm models the two systems the paper measures on the sim
+// substrate: the JPaxos multi-core threading architecture (Fig. 3) and the
+// ZooKeeper-style coarse-locked baseline (Fig. 1/13/14). Thread structure,
+// queues and message flows mirror the real implementations; per-operation
+// CPU costs are calibrated once (this file) so the single-core throughput
+// matches the paper's parapluie cluster, and every scalability curve is
+// then *generated* by the model, not fitted.
+package simrsm
+
+import "time"
+
+// Costs are the calibrated per-operation CPU costs of the JPaxos model,
+// chosen to reproduce the leader-side cost profile of Fig. 8 (ClientIO and
+// Batcher dominate; Replica second; Protocol and ReplicaIO light) and the
+// ~15K req/s single-core throughput of Fig. 4 (parapluie, n=3).
+type Costs struct {
+	// ClientIO worker: per-request ingress (read+deserialize+reply-cache)
+	// and egress (serialize+write reply).
+	CIOIngress time.Duration
+	CIOEgress  time.Duration
+
+	// Batcher: per request folded into a batch, plus per-batch overhead.
+	BatchPerReq time.Duration
+	BatchBase   time.Duration
+
+	// Protocol thread: starting a ballot, handling one Phase 2b, and the
+	// per-open-instance bookkeeping that grows with the window (the WND>35
+	// throughput dip of Fig. 10a).
+	Propose     time.Duration
+	Accept2b    time.Duration
+	PerInstance time.Duration
+
+	// ReplicaIO: serializing one outbound batch, deserializing one 2b at
+	// the leader; follower-side propose deserialize and 2b serialize.
+	SndSerialize time.Duration
+	RcvDeser2b   time.Duration
+	FolRcvProp   time.Duration
+	FolSnd2b     time.Duration
+	FolPropose   time.Duration
+
+	// ServiceManager (the "Replica" thread): per-request execution +
+	// reply-cache update; follower executions are slightly cheaper (no
+	// reply routing).
+	Exec    time.Duration
+	FolExec time.Duration
+
+	// Node scheduling.
+	CtxSwitch time.Duration
+	Quantum   time.Duration
+
+	// Wire sizes (bytes on the wire including headers).
+	ReqWire   int
+	ReplyWire int
+	Wire2b    int
+	HdrBatch  int
+}
+
+// DefaultCosts returns the parapluie-calibrated constants.
+func DefaultCosts() Costs {
+	return Costs{
+		CIOIngress: 16 * time.Microsecond,
+		CIOEgress:  10 * time.Microsecond,
+
+		BatchPerReq: 3500 * time.Nanosecond,
+		BatchBase:   3 * time.Microsecond,
+
+		Propose:     10 * time.Microsecond,
+		Accept2b:    4 * time.Microsecond,
+		PerInstance: 800 * time.Nanosecond,
+
+		SndSerialize: 7 * time.Microsecond,
+		RcvDeser2b:   4 * time.Microsecond,
+		FolRcvProp:   6 * time.Microsecond,
+		FolSnd2b:     5 * time.Microsecond,
+		FolPropose:   8 * time.Microsecond,
+
+		Exec:    6 * time.Microsecond,
+		FolExec: 5 * time.Microsecond,
+
+		CtxSwitch: 30 * time.Microsecond,
+		Quantum:   120 * time.Microsecond,
+
+		ReqWire:   160, // 128 B payload + framing/TCP-IP headers
+		ReplyWire: 48,  // 8 B payload + headers
+		Wire2b:    64,
+		HdrBatch:  40,
+	}
+}
+
+// Scale returns a copy with every CPU cost multiplied by f (used to model
+// the edel cluster's different per-core speed; wire sizes are unchanged).
+func (c Costs) Scale(f float64) Costs {
+	s := c
+	mul := func(d time.Duration) time.Duration { return time.Duration(float64(d) * f) }
+	s.CIOIngress = mul(c.CIOIngress)
+	s.CIOEgress = mul(c.CIOEgress)
+	s.BatchPerReq = mul(c.BatchPerReq)
+	s.BatchBase = mul(c.BatchBase)
+	s.Propose = mul(c.Propose)
+	s.Accept2b = mul(c.Accept2b)
+	s.PerInstance = mul(c.PerInstance)
+	s.SndSerialize = mul(c.SndSerialize)
+	s.RcvDeser2b = mul(c.RcvDeser2b)
+	s.FolRcvProp = mul(c.FolRcvProp)
+	s.FolSnd2b = mul(c.FolSnd2b)
+	s.FolPropose = mul(c.FolPropose)
+	s.Exec = mul(c.Exec)
+	s.FolExec = mul(c.FolExec)
+	return s
+}
+
+// ZKCosts are the calibrated constants of the ZooKeeper-style baseline: the
+// same Paxos-shaped message flow, but a monolithic pipeline where every
+// stage serializes on one global lock, the CommitProcessor does the heavy
+// lifting, and lock hand-offs pay a convoy/cache penalty that grows with
+// the number of waiters — the mechanism behind Fig. 1a's collapse.
+type ZKCosts struct {
+	// Per-request work by each leader thread (outside the lock).
+	Process   time.Duration // ProcessThread: proposal creation
+	Learner   time.Duration // LearnerHandler: one follower ack
+	Commit    time.Duration // CommitProcessor: commit + apply
+	Sync      time.Duration // SyncThread: txn log (ramdisk)
+	Sender    time.Duration // Sender: serialize one outbound message
+	FolWork   time.Duration // follower per request total
+	ReplyWork time.Duration // follower reply path
+	// Critical sections (inside the global lock) per stage.
+	CSProcess time.Duration
+	CSLearner time.Duration
+	CSCommit  time.Duration
+	CSSync    time.Duration
+	// Handoff is the extra work the next lock holder pays per queued
+	// waiter when the lock is handed over contended (cache-line bouncing /
+	// convoying).
+	Handoff time.Duration
+
+	CtxSwitch time.Duration
+	Quantum   time.Duration
+}
+
+// DefaultZKCosts returns constants calibrated to Fig. 1a (peak ~50K req/s
+// at 4 cores, under 30K at 24) with 128-byte writes.
+func DefaultZKCosts() ZKCosts {
+	return ZKCosts{
+		Process:   10 * time.Microsecond,
+		Learner:   7 * time.Microsecond,
+		Commit:    10 * time.Microsecond,
+		Sync:      8 * time.Microsecond,
+		Sender:    4 * time.Microsecond,
+		FolWork:   30 * time.Microsecond,
+		ReplyWork: 10 * time.Microsecond,
+
+		CSProcess: 1000 * time.Nanosecond,
+		CSLearner: 800 * time.Nanosecond,
+		CSCommit:  1200 * time.Nanosecond,
+		CSSync:    800 * time.Nanosecond,
+
+		Handoff: 400 * time.Nanosecond,
+
+		CtxSwitch: 30 * time.Microsecond,
+		Quantum:   120 * time.Microsecond,
+	}
+}

@@ -1,0 +1,486 @@
+package simrsm
+
+import (
+	"fmt"
+	"time"
+
+	"gosmr/internal/sim"
+)
+
+// Config describes one simulated JPaxos experiment (defaults match the
+// paper's baseline setup of Sec. VI: n=3, 1800 closed-loop clients over 6
+// machines, 128 B requests, 8 B replies, WND=10, BSZ=1300, 24-core nodes).
+type Config struct {
+	N               int // replicas
+	Cores           int // cores per replica node
+	ClientIOThreads int
+	Window          int // WND
+	BatchBytes      int // BSZ
+	Clients         int
+	ClientMachines  int
+	ReqPayload      int
+
+	// RSS enables the multi-queue NIC ablation (footnote 5).
+	RSS bool
+	// NoBatcher folds batch building into the Protocol thread (ablation of
+	// the Sec. V-C1 design decision: no dedicated Batcher thread).
+	NoBatcher bool
+	// PacketService overrides the NIC per-packet cost (0 = default).
+	PacketService time.Duration
+
+	Costs Costs
+}
+
+// withDefaults fills in the paper's baseline parameters.
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 3
+	}
+	if c.Cores == 0 {
+		c.Cores = 24
+	}
+	if c.ClientIOThreads == 0 {
+		c.ClientIOThreads = 5
+	}
+	if c.Window == 0 {
+		c.Window = 10
+	}
+	if c.BatchBytes == 0 {
+		c.BatchBytes = 1300
+	}
+	if c.Clients == 0 {
+		c.Clients = 1800
+	}
+	if c.ClientMachines == 0 {
+		c.ClientMachines = 6
+	}
+	if c.ReqPayload == 0 {
+		c.ReqPayload = 128
+	}
+	if c.Costs == (Costs{}) {
+		c.Costs = DefaultCosts()
+	}
+	return c
+}
+
+// batchReqs returns how many requests fill one batch (the paper packs
+// ~1300/128 ≈ 10 requests per baseline batch, i.e. small per-request
+// framing overhead).
+func (c Config) batchReqs() int {
+	per := c.ReqPayload + 5
+	n := (c.BatchBytes - 4) / per
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// event types flowing through the model's queues.
+type reqEv struct {
+	group *clientGroup
+	slot  int
+}
+
+type batchEv struct {
+	reqs    []reqEv
+	propose sim.Time // when the leader proposed it (latency tracking)
+}
+
+type accept2bEv struct {
+	id int64
+}
+
+type proposalHint struct{}
+
+// replicaNode is one replica's thread/queue structure in the model.
+type replicaNode struct {
+	id   int
+	node *sim.Node
+	nic  *sim.NIC
+
+	// Leader-side queues (allocated for every node; only used when leading
+	// — leadership is fixed to node 0 for these steady-state experiments,
+	// as in the paper's measurements).
+	cioIn     []*sim.Queue // per ClientIO worker: socket events
+	requestQ  *sim.Queue
+	proposalQ *sim.Queue
+	dispatchQ *sim.Queue
+	decisionQ *sim.Queue
+	sendQ     []*sim.Queue // per peer
+
+	// Follower-side.
+	rcvQ            *sim.Queue // socket frames from leader
+	toLeaderDeliver func(id int64)
+}
+
+// Cluster is a running JPaxos model.
+type Cluster struct {
+	w   *sim.World
+	cfg Config
+
+	replicas []*replicaNode
+	groups   []*clientGroup
+
+	// Leader protocol state.
+	nextInstance int64
+	open         map[int64]*instance
+	openIntegral float64
+	openLast     sim.Time
+
+	// Metrics.
+	replies     uint64
+	batchSizes  uint64
+	batchCount  uint64
+	latencySum  sim.Time
+	latencyCnt  uint64
+	measureFrom sim.Time
+}
+
+type instance struct {
+	id       int64
+	batch    batchEv
+	acks     int
+	proposed sim.Time
+}
+
+// clientGroup is one client machine: `slots` closed-loop clients sharing a
+// NIC. Clients are reactive (no CPU model): on reply, send the next request
+// immediately — the paper's zero-think-time loop.
+type clientGroup struct {
+	c    *Cluster
+	idx  int
+	nic  *sim.NIC
+	slot int
+}
+
+// New builds the model in w.
+func New(w *sim.World, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		w:    w,
+		cfg:  cfg,
+		open: make(map[int64]*instance),
+	}
+	k := cfg.ClientIOThreads
+	for i := range cfg.N {
+		node := w.NewNode(sim.NodeConfig{
+			Name:      fmt.Sprintf("replica-%d", i+1),
+			Cores:     cfg.Cores,
+			CtxSwitch: cfg.Costs.CtxSwitch,
+			Quantum:   cfg.Costs.Quantum,
+		})
+		nicCfg := sim.NICConfig{
+			AckEvery:                 12,
+			Coalesce:                 400 * time.Microsecond,
+			PacketService:            cfg.PacketService,
+			IOThreads:                k,
+			ServiceOverheadPerThread: 0.045,
+		}
+		if cfg.RSS {
+			nicCfg.RSSQueues = cfg.Cores
+		}
+		nic := w.NewNIC(node, nicCfg)
+		r := &replicaNode{id: i, node: node, nic: nic}
+		c.replicas = append(c.replicas, r)
+	}
+	c.buildLeader(c.replicas[0])
+	for _, r := range c.replicas[1:] {
+		c.buildFollower(r)
+	}
+	// Client machines.
+	perMachine := cfg.Clients / cfg.ClientMachines
+	for m := range cfg.ClientMachines {
+		node := w.NewNode(sim.NodeConfig{Name: fmt.Sprintf("clients-%d", m+1), Cores: 8})
+		nic := w.NewNIC(node, sim.NICConfig{AckEvery: 12, Coalesce: 40 * time.Microsecond})
+		g := &clientGroup{c: c, idx: m, nic: nic, slot: perMachine}
+		c.groups = append(c.groups, g)
+	}
+	// Kick off the closed loop.
+	w.At(0, func() {
+		for _, g := range c.groups {
+			for s := range g.slot {
+				g.send(s)
+			}
+		}
+	})
+	return c
+}
+
+// buildLeader spawns the full Fig. 3 thread set on r.
+func (c *Cluster) buildLeader(r *replicaNode) {
+	w, cfg, cost := c.w, c.cfg, c.cfg.Costs
+	k := cfg.ClientIOThreads
+	// Sharded reply cache: ClientIO lookups and ServiceManager updates
+	// contend mildly (Sec. V-D) — 8 shards keep blocked time small.
+	replyShards := make([]*sim.Lock, 16)
+	for i := range replyShards {
+		replyShards[i] = w.NewLock(fmt.Sprintf("replycache-%d", i))
+	}
+	replyCache := func(t *sim.Thread, key int) {
+		l := replyShards[key%len(replyShards)]
+		l.Lock(t)
+		t.Work(300 * time.Nanosecond)
+		l.Unlock()
+	}
+	batchReqs := cfg.batchReqs()
+	r.cioIn = make([]*sim.Queue, k)
+	for i := range k {
+		r.cioIn[i] = w.NewQueue(fmt.Sprintf("ClientIOQueue-%d", i), 1<<20)
+	}
+	r.requestQ = w.NewQueue("RequestQueue", 1000)
+	r.proposalQ = w.NewQueue("ProposalQueue", 20)
+	r.dispatchQ = w.NewQueue("DispatcherQueue", 1<<20)
+	r.decisionQ = w.NewQueue("DecisionQueue", 512)
+	r.sendQ = make([]*sim.Queue, cfg.N)
+	for p := 1; p < cfg.N; p++ {
+		r.sendQ[p] = w.NewQueue(fmt.Sprintf("SendQueue-%d", p), 1024)
+	}
+
+	// ClientIO workers.
+	for i := range k {
+		q := r.cioIn[i]
+		r.node.Spawn(fmt.Sprintf("ClientIO-%d", i), func(t *sim.Thread) {
+			for {
+				switch ev := q.Take(t).(type) {
+				case reqEv:
+					t.Work(cost.CIOIngress)
+					replyCache(t, ev.group.idx*1000+ev.slot)
+					r.requestQ.Put(t, ev)
+					if cfg.NoBatcher {
+						r.dispatchQ.TryPut(proposalHint{})
+					}
+				case replyEv:
+					t.Work(cost.CIOEgress)
+					g := ev.group
+					slot := ev.slot
+					r.nic.Send(g.nic, cost.ReplyWire, func() { g.onReply(slot) })
+				}
+			}
+		})
+	}
+
+	// Batcher (unless ablated away — then the Protocol thread builds
+	// batches itself, paying the batching CPU on the critical path).
+	if !cfg.NoBatcher {
+		r.node.Spawn("Batcher", func(t *sim.Thread) {
+			for {
+				first := r.requestQ.Take(t).(reqEv)
+				reqs := []reqEv{first}
+				for len(reqs) < batchReqs {
+					v, ok := r.requestQ.TryTake()
+					if !ok {
+						break
+					}
+					reqs = append(reqs, v.(reqEv))
+				}
+				t.Work(cost.BatchBase + time.Duration(len(reqs))*cost.BatchPerReq)
+				r.proposalQ.Put(t, batchEv{reqs: reqs})
+				r.dispatchQ.TryPut(proposalHint{})
+			}
+		})
+	}
+
+	// Protocol.
+	r.node.Spawn("Protocol", func(t *sim.Thread) {
+		for {
+			switch ev := r.dispatchQ.Take(t).(type) {
+			case proposalHint:
+				// handled by the drain below
+			case accept2bEv:
+				t.Work(cost.Accept2b)
+				if inst, ok := c.open[ev.id]; ok {
+					inst.acks++
+					if inst.acks >= cfg.N/2+1 {
+						c.noteOpenChange()
+						delete(c.open, ev.id)
+						c.latencySum += t.Now() - inst.proposed
+						c.latencyCnt++
+						r.decisionQ.Put(t, inst.batch)
+					}
+				}
+			}
+			for len(c.open) < cfg.Window {
+				var b batchEv
+				if cfg.NoBatcher {
+					first, ok := r.requestQ.TryTake()
+					if !ok {
+						break
+					}
+					reqs := []reqEv{first.(reqEv)}
+					for len(reqs) < batchReqs {
+						v, ok := r.requestQ.TryTake()
+						if !ok {
+							break
+						}
+						reqs = append(reqs, v.(reqEv))
+					}
+					t.Work(cost.BatchBase + time.Duration(len(reqs))*cost.BatchPerReq)
+					b = batchEv{reqs: reqs}
+				} else {
+					v, ok := r.proposalQ.TryTake()
+					if !ok {
+						break
+					}
+					b = v.(batchEv)
+				}
+				t.Work(cost.Propose + time.Duration(len(c.open))*cost.PerInstance)
+				id := c.nextInstance
+				c.nextInstance++
+				c.noteOpenChange()
+				inst := &instance{id: id, batch: b, acks: 1, proposed: t.Now()}
+				c.open[id] = inst
+				c.batchSizes += uint64(len(b.reqs))
+				c.batchCount++
+				for p := 1; p < cfg.N; p++ {
+					r.sendQ[p].Put(t, inst)
+				}
+				if cfg.N == 1 {
+					c.noteOpenChange()
+					delete(c.open, id)
+					r.decisionQ.Put(t, b)
+				}
+			}
+		}
+	})
+
+	// Per-peer sender and receiver threads.
+	for p := 1; p < cfg.N; p++ {
+		peer := c.replicas[p]
+		sq := r.sendQ[p]
+		r.node.Spawn(fmt.Sprintf("ReplicaIOSnd-%d", p-1), func(t *sim.Thread) {
+			for {
+				inst := sq.Take(t).(*instance)
+				t.Work(cost.SndSerialize)
+				size := cfg.HdrSize() + 4 + len(inst.batch.reqs)*(cfg.ReqPayload+5)
+				id := inst.id
+				r.nic.Send(peer.nic, size, func() {
+					peer.rcvQ.TryPut(folProposeEv{id: id, reqs: len(inst.batch.reqs)})
+				})
+			}
+		})
+		rq := w.NewQueue(fmt.Sprintf("LdrRcvQueue-%d", p), 1<<20)
+		peer.toLeaderDeliver = func(id int64) { rq.TryPut(accept2bEv{id: id}) }
+		r.node.Spawn(fmt.Sprintf("ReplicaIORcv-%d", p-1), func(t *sim.Thread) {
+			for {
+				ev := rq.Take(t).(accept2bEv)
+				t.Work(cost.RcvDeser2b)
+				r.dispatchQ.Put(t, ev)
+			}
+		})
+	}
+
+	// ServiceManager ("Replica" thread).
+	r.node.Spawn("Replica", func(t *sim.Thread) {
+		for {
+			b := r.decisionQ.Take(t).(batchEv)
+			t.Work(time.Duration(len(b.reqs)) * cost.Exec)
+			for _, req := range b.reqs {
+				replyCache(t, req.group.idx*1000+req.slot)
+				worker := (req.group.idx*100003 + req.slot) % len(r.cioIn)
+				r.cioIn[worker].Put(t, replyEv(req))
+			}
+		}
+	})
+
+	// Satellites: mostly-idle FailureDetector and Retransmitter.
+	r.node.Spawn("FailureDetector", func(t *sim.Thread) {
+		for {
+			t.Sleep(50 * time.Millisecond)
+			t.Work(20 * time.Microsecond)
+		}
+	})
+	r.node.Spawn("Retransmitter", func(t *sim.Thread) {
+		for {
+			t.Sleep(100 * time.Millisecond)
+			t.Work(10 * time.Microsecond)
+		}
+	})
+}
+
+// replyEv routes one executed request's reply back through ClientIO.
+type replyEv reqEv
+
+// folProposeEv is a batch arriving at a follower.
+type folProposeEv struct {
+	id   int64
+	reqs int
+}
+
+// HdrSize returns the wire overhead of one batch message.
+func (c Config) HdrSize() int { return c.Costs.HdrBatch }
+
+// buildFollower spawns the follower thread set on r.
+func (c *Cluster) buildFollower(r *replicaNode) {
+	w, cost := c.w, c.cfg.Costs
+	r.rcvQ = w.NewQueue(fmt.Sprintf("FolRcvQueue-%d", r.id), 1<<20)
+	protoQ := w.NewQueue(fmt.Sprintf("FolDispatch-%d", r.id), 1<<20)
+	sndQ := w.NewQueue(fmt.Sprintf("FolSendQueue-%d", r.id), 1024)
+	execQ := w.NewQueue(fmt.Sprintf("FolDecision-%d", r.id), 512)
+	leader := c.replicas[0]
+
+	r.node.Spawn("ReplicaIORcv-0", func(t *sim.Thread) {
+		for {
+			ev := r.rcvQ.Take(t).(folProposeEv)
+			t.Work(cost.FolRcvProp)
+			protoQ.Put(t, ev)
+		}
+	})
+	r.node.Spawn("Protocol", func(t *sim.Thread) {
+		for {
+			ev := protoQ.Take(t).(folProposeEv)
+			t.Work(cost.FolPropose)
+			sndQ.Put(t, ev)
+			execQ.TryPut(ev)
+		}
+	})
+	r.node.Spawn("ReplicaIOSnd-0", func(t *sim.Thread) {
+		for {
+			ev := sndQ.Take(t).(folProposeEv)
+			t.Work(cost.FolSnd2b)
+			id := ev.id
+			r.nic.Send(leader.nic, cost.Wire2b, func() {
+				if r.toLeaderDeliver != nil {
+					r.toLeaderDeliver(id)
+				}
+			})
+		}
+	})
+	r.node.Spawn("Replica", func(t *sim.Thread) {
+		for {
+			ev := execQ.Take(t).(folProposeEv)
+			t.Work(time.Duration(ev.reqs) * cost.FolExec)
+		}
+	})
+	r.node.Spawn("FailureDetector", func(t *sim.Thread) {
+		for {
+			t.Sleep(50 * time.Millisecond)
+			t.Work(15 * time.Microsecond)
+		}
+	})
+}
+
+// send issues one request from a client slot to the leader.
+func (g *clientGroup) send(slot int) {
+	c := g.c
+	leader := c.replicas[0]
+	worker := (g.idx*100003 + slot) % len(leader.cioIn)
+	g.nic.Send(leader.nic, c.cfg.Costs.ReqWire, func() {
+		leader.cioIn[worker].TryPut(reqEv{group: g, slot: slot})
+	})
+}
+
+// onReply closes the loop: count and send the next request.
+func (g *clientGroup) onReply(slot int) {
+	c := g.c
+	if c.w.Now() >= c.measureFrom {
+		c.replies++
+	}
+	g.send(slot)
+}
+
+// noteOpenChange integrates the open-instance count (avg window, Fig. 10d).
+func (c *Cluster) noteOpenChange() {
+	now := c.w.Now()
+	c.openIntegral += float64(len(c.open)) * (now - c.openLast).Seconds()
+	c.openLast = now
+}

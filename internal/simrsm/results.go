@@ -1,0 +1,158 @@
+package simrsm
+
+import (
+	"time"
+
+	"gosmr/internal/sim"
+)
+
+// Results is everything one experiment run measures, covering all the
+// quantities the paper reports across Figs. 4-11 and Tables I-III.
+type Results struct {
+	// Throughput in requests/second over the measurement window.
+	Throughput float64
+	// InstanceLatency is the mean propose→decide latency (Fig. 10b).
+	InstanceLatency time.Duration
+	// AvgBatchReqs is the mean number of requests per batch (Fig. 10c).
+	AvgBatchReqs float64
+	// AvgWindow is the time-averaged number of parallel ballots (Fig. 10d,
+	// Table I).
+	AvgWindow float64
+	// QueueAvg holds time-averaged lengths of the leader's RequestQueue,
+	// ProposalQueue and DispatcherQueue (Table I).
+	QueueAvg map[string]float64
+	// CPUPercent is each replica's CPU utilization as % of one core
+	// (Fig. 5a/5c), indexed by replica (leader first... replica order as
+	// built, leader is index 0).
+	CPUPercent []float64
+	// BlockedPercent is each replica's total thread blocked time as % of
+	// the run (Fig. 5b/5d).
+	BlockedPercent []float64
+	// WaitingPercent is like BlockedPercent for queue waits.
+	WaitingPercent []float64
+	// LeaderThreads is the per-thread profile of the leader (Fig. 8).
+	LeaderThreads []sim.Stats
+	// LeaderNIC counts the leader's packets/bytes (Table III).
+	LeaderNIC sim.NICStats
+	// PingLeaderRTT and PingFollowerRTT are in-experiment ping times
+	// (Table II).
+	PingLeaderRTT   time.Duration
+	PingFollowerRTT time.Duration
+	// Window is the measurement window.
+	Window time.Duration
+}
+
+// Run executes the model: warm up, reset statistics, measure. It returns
+// the collected results and shuts the world down.
+func (c *Cluster) Run(warmup, measure time.Duration) Results {
+	w := c.w
+	w.Run(warmup)
+	// Discard warm-up.
+	w.ResetAllStats()
+	c.replies = 0
+	c.batchSizes, c.batchCount = 0, 0
+	c.latencySum, c.latencyCnt = 0, 0
+	c.openIntegral, c.openLast = 0, w.Now()
+	c.measureFrom = w.Now()
+	leader := c.replicas[0]
+	leader.requestQ.ResetStats()
+	leader.proposalQ.ResetStats()
+	leader.dispatchQ.ResetStats()
+	leader.decisionQ.ResetStats()
+
+	// In-experiment pings every 5 ms (Table II methodology).
+	var (
+		ldrSum, folSum time.Duration
+		ldrCnt, folCnt int
+	)
+	if c.cfg.N >= 2 {
+		var pinger func()
+		pinger = func() {
+			leader.nic.Ping(c.replicas[1].nic, func(rtt time.Duration) {
+				ldrSum += rtt
+				ldrCnt++
+			})
+			if c.cfg.N >= 3 {
+				c.replicas[1].nic.Ping(c.replicas[2].nic, func(rtt time.Duration) {
+					folSum += rtt
+					folCnt++
+				})
+			}
+			w.After(5*time.Millisecond, pinger)
+		}
+		w.After(time.Millisecond, pinger)
+	}
+
+	end := w.Now() + measure
+	w.Run(end)
+	c.noteOpenChange()
+
+	res := Results{
+		Throughput: float64(c.replies) / measure.Seconds(),
+		AvgWindow:  c.openIntegral / measure.Seconds(),
+		QueueAvg: map[string]float64{
+			"RequestQueue":    leader.requestQ.AvgLen(),
+			"ProposalQueue":   leader.proposalQ.AvgLen(),
+			"DispatcherQueue": leader.dispatchQ.AvgLen(),
+		},
+		LeaderNIC: leader.nic.Stats(),
+		Window:    measure,
+	}
+	if c.batchCount > 0 {
+		res.AvgBatchReqs = float64(c.batchSizes) / float64(c.batchCount)
+	}
+	if c.latencyCnt > 0 {
+		res.InstanceLatency = c.latencySum / sim.Time(c.latencyCnt)
+	}
+	if ldrCnt > 0 {
+		res.PingLeaderRTT = ldrSum / time.Duration(ldrCnt)
+	}
+	if folCnt > 0 {
+		res.PingFollowerRTT = folSum / time.Duration(folCnt)
+	}
+	// Per-replica CPU and contention, plus the leader's thread profile.
+	for _, r := range c.replicas {
+		res.CPUPercent = append(res.CPUPercent,
+			100*float64(r.node.BusyTime())/float64(measure))
+		var blocked, waiting sim.Time
+		for _, st := range w.ThreadStats() {
+			if st.Node == r.node.Name() {
+				blocked += st.Blocked
+				waiting += st.Waiting
+			}
+		}
+		res.BlockedPercent = append(res.BlockedPercent,
+			100*float64(blocked)/float64(measure))
+		res.WaitingPercent = append(res.WaitingPercent,
+			100*float64(waiting)/float64(measure))
+	}
+	for _, st := range w.ThreadStats() {
+		if st.Node == leader.node.Name() {
+			res.LeaderThreads = append(res.LeaderThreads, st)
+		}
+	}
+	w.Shutdown()
+	return res
+}
+
+// RunJPaxos builds and runs one JPaxos experiment with the given config.
+func RunJPaxos(cfg Config, warmup, measure time.Duration) Results {
+	w := sim.NewWorld()
+	c := New(w, cfg)
+	return c.Run(warmup, measure)
+}
+
+// IdlePing measures the idle network RTT (Table II's baseline row) in a
+// fresh world with no workload.
+func IdlePing() time.Duration {
+	w := sim.NewWorld()
+	a := w.NewNode(sim.NodeConfig{Name: "a", Cores: 1})
+	b := w.NewNode(sim.NodeConfig{Name: "b", Cores: 1})
+	an := w.NewNIC(a, sim.NICConfig{})
+	bn := w.NewNIC(b, sim.NICConfig{})
+	var rtt time.Duration
+	an.Ping(bn, func(d time.Duration) { rtt = d })
+	w.Run(time.Second)
+	w.Shutdown()
+	return rtt
+}

@@ -1,0 +1,389 @@
+package simrsm
+
+import (
+	"fmt"
+	"time"
+
+	"gosmr/internal/sim"
+)
+
+// ZKConfig describes one simulated ZooKeeper-baseline experiment (Fig. 1,
+// 12, 13, 14): n replicas, clients connected to the followers only (the
+// paper configures the leader to refuse clients), 128 B write requests.
+type ZKConfig struct {
+	N              int
+	Cores          int
+	Clients        int
+	ClientMachines int
+
+	Costs ZKCosts
+}
+
+func (c ZKConfig) withDefaults() ZKConfig {
+	if c.N == 0 {
+		c.N = 3
+	}
+	if c.Cores == 0 {
+		c.Cores = 24
+	}
+	if c.Clients == 0 {
+		c.Clients = 1800
+	}
+	if c.ClientMachines == 0 {
+		c.ClientMachines = 6
+	}
+	if c.Costs == (ZKCosts{}) {
+		c.Costs = DefaultZKCosts()
+	}
+	return c
+}
+
+// ZKResults is what the baseline experiments report.
+type ZKResults struct {
+	Throughput     float64
+	CPUPercent     []float64 // per replica, leader last (replica N-1 leads, as in Fig. 13)
+	BlockedPercent []float64
+	LeaderThreads  []sim.Stats
+	Window         time.Duration
+}
+
+// zkRequest tracks one request through the leader pipeline.
+type zkRequest struct {
+	group *clientGroup2
+	slot  int
+	acks  int
+}
+
+// clientGroup2 is a closed-loop client machine for the baseline (clients
+// talk to followers).
+type clientGroup2 struct {
+	z    *zkCluster
+	idx  int
+	nic  *sim.NIC
+	fol  int // follower index this machine's clients connect to
+	slot int
+}
+
+// zkCluster is the running baseline model.
+type zkCluster struct {
+	w   *sim.World
+	cfg ZKConfig
+
+	leaderNode *sim.Node
+	leaderNIC  *sim.NIC
+	folNodes   []*sim.Node
+	folNICs    []*sim.NIC
+
+	// Leader pipeline.
+	processQ *sim.Queue   // forwarded client requests
+	learnerQ []*sim.Queue // per-follower ack queues
+	commitQ  *sim.Queue
+	syncQ    *sim.Queue
+	sendQ    []*sim.Queue // per-follower sender queues
+
+	// Follower pipelines: inbound client requests and inbound commits.
+	folInQ     []*sim.Queue
+	folCommitQ []*sim.Queue
+	folFwdQ    []*sim.Queue
+
+	groups []*clientGroup2
+
+	replies     uint64
+	measureFrom sim.Time
+}
+
+// NewZK builds the baseline model in w.
+func NewZK(w *sim.World, cfg ZKConfig) *zkCluster {
+	cfg = cfg.withDefaults()
+	z := &zkCluster{w: w, cfg: cfg}
+	cost := cfg.Costs
+
+	followers := cfg.N - 1
+	// Follower nodes first (replica 1..N-1 in Fig. 13 numbering; the leader
+	// is the last replica).
+	for f := range followers {
+		node := w.NewNode(sim.NodeConfig{
+			Name:      fmt.Sprintf("replica-%d", f+1),
+			Cores:     cfg.Cores,
+			CtxSwitch: cost.CtxSwitch,
+			Quantum:   cost.Quantum,
+		})
+		nic := w.NewNIC(node, sim.NICConfig{AckEvery: 12, Coalesce: 100 * time.Microsecond})
+		z.folNodes = append(z.folNodes, node)
+		z.folNICs = append(z.folNICs, nic)
+	}
+	z.leaderNode = w.NewNode(sim.NodeConfig{
+		Name:      fmt.Sprintf("replica-%d", cfg.N),
+		Cores:     cfg.Cores,
+		CtxSwitch: cost.CtxSwitch,
+		Quantum:   cost.Quantum,
+	})
+	z.leaderNIC = w.NewNIC(z.leaderNode, sim.NICConfig{AckEvery: 12, Coalesce: 100 * time.Microsecond})
+
+	z.buildLeader()
+	for f := range followers {
+		z.buildFollower(f)
+	}
+
+	perMachine := cfg.Clients / cfg.ClientMachines
+	for m := range cfg.ClientMachines {
+		node := w.NewNode(sim.NodeConfig{Name: fmt.Sprintf("clients-%d", m+1), Cores: 8})
+		nic := w.NewNIC(node, sim.NICConfig{AckEvery: 12, Coalesce: 40 * time.Microsecond})
+		g := &clientGroup2{z: z, idx: m, nic: nic, fol: m % followers, slot: perMachine}
+		z.groups = append(z.groups, g)
+	}
+	w.At(0, func() {
+		for _, g := range z.groups {
+			for s := range g.slot {
+				g.send(s)
+			}
+		}
+	})
+	return z
+}
+
+// buildLeader spawns the ZooKeeper leader's thread set (Fig. 1b/14):
+// ProcessThread, LearnerHandler per follower, CommitProcessor, SyncThread,
+// Sender per follower — all serializing on one global lock, with a hand-off
+// penalty growing with the number of waiters.
+func (z *zkCluster) buildLeader() {
+	w, cfg, cost := z.w, z.cfg, z.cfg.Costs
+	followers := cfg.N - 1
+	node := z.leaderNode
+
+	z.processQ = w.NewQueue("zk-process", 1<<20)
+	z.commitQ = w.NewQueue("zk-commit", 1<<20)
+	z.syncQ = w.NewQueue("zk-sync", 1<<20)
+	for f := range followers {
+		z.learnerQ = append(z.learnerQ, w.NewQueue(fmt.Sprintf("zk-learner-%d", f), 1<<20))
+		z.sendQ = append(z.sendQ, w.NewQueue(fmt.Sprintf("zk-send-%d", f), 1<<20))
+	}
+
+	g := w.NewLock("zk-global")
+	// critical runs a critical section under the global lock. Beyond the
+	// queued-waiter hand-off penalty, every active core adds cache-coherence
+	// traffic on the lock word and the shared structures it guards (the
+	// leader is a 2-socket NUMA machine): the per-core coherence penalty is
+	// what collapses throughput past ~4 cores in Fig. 1a while CPU
+	// utilization keeps rising (Fig. 13a) — cycles burned on contention.
+	coherence := time.Duration(cfg.Cores-1) * 300 * time.Nanosecond
+	critical := func(t *sim.Thread, cs time.Duration) {
+		// Adaptive spinning before parking burns CPU under contention —
+		// this is why ZooKeeper's CPU utilization keeps climbing while its
+		// throughput falls (Fig. 13a): the extra cycles go to contention.
+		if g.Held() {
+			t.Work(3 * time.Microsecond)
+		}
+		g.Lock(t)
+		t.Work(cs + coherence + time.Duration(g.Waiters())*cost.Handoff)
+		g.Unlock()
+	}
+
+	node.Spawn("ProcessThread", func(t *sim.Thread) {
+		for {
+			req := z.processQ.Take(t).(*zkRequest)
+			critical(t, cost.CSProcess)
+			t.Work(cost.Process)
+			for f := range followers {
+				z.sendQ[f].Put(t, proposalMsg{req: req})
+			}
+			z.syncQ.Put(t, req)
+		}
+	})
+
+	node.Spawn("SyncThread", func(t *sim.Thread) {
+		for {
+			_ = z.syncQ.Take(t)
+			critical(t, cost.CSSync)
+			t.Work(cost.Sync)
+		}
+	})
+
+	for f := range followers {
+		lq := z.learnerQ[f]
+		node.Spawn(fmt.Sprintf("LearnerHandler:%d", f+1), func(t *sim.Thread) {
+			for {
+				req := lq.Take(t).(*zkRequest)
+				critical(t, cost.CSLearner)
+				t.Work(cost.Learner)
+				req.acks++
+				if req.acks == 1 { // leader + first follower = majority (n=3)
+					z.commitQ.Put(t, req)
+				}
+			}
+		})
+		sq := z.sendQ[f]
+		folIdx := f
+		node.Spawn(fmt.Sprintf("Sender:%d", f+1), func(t *sim.Thread) {
+			for {
+				first := sq.Take(t)
+				msgs := []any{first}
+				for len(msgs) < 10 {
+					v, ok := sq.TryTake()
+					if !ok {
+						break
+					}
+					msgs = append(msgs, v)
+				}
+				t.Work(time.Duration(len(msgs)) * cost.Sender)
+				size := 0
+				for _, m := range msgs {
+					if _, isProp := m.(proposalMsg); isProp {
+						size += 180
+					} else {
+						size += 40
+					}
+				}
+				batch := msgs
+				z.leaderNIC.Send(z.folNICs[folIdx], size, func() {
+					for _, m := range batch {
+						z.folDeliver(folIdx, m)
+					}
+				})
+			}
+		})
+	}
+
+	node.Spawn("CommitProcessor", func(t *sim.Thread) {
+		for {
+			req := z.commitQ.Take(t).(*zkRequest)
+			critical(t, cost.CSCommit)
+			t.Work(cost.Commit)
+			for f := range followers {
+				z.sendQ[f].Put(t, commitMsg{req: req})
+			}
+		}
+	})
+}
+
+type proposalMsg struct{ req *zkRequest }
+type commitMsg struct{ req *zkRequest }
+
+// folDeliver routes a leader message into follower f's queues.
+func (z *zkCluster) folDeliver(f int, m any) {
+	switch msg := m.(type) {
+	case proposalMsg:
+		z.folInQ[f].TryPut(msg)
+	case commitMsg:
+		z.folCommitQ[f].TryPut(msg)
+	}
+}
+
+// buildFollower spawns follower f's threads: request forwarding, proposal
+// ack, commit+reply.
+func (z *zkCluster) buildFollower(f int) {
+	w, cost := z.w, z.cfg.Costs
+	if z.folInQ == nil {
+		z.folInQ = make([]*sim.Queue, z.cfg.N-1)
+		z.folCommitQ = make([]*sim.Queue, z.cfg.N-1)
+		z.folFwdQ = make([]*sim.Queue, z.cfg.N-1)
+	}
+	z.folInQ[f] = w.NewQueue(fmt.Sprintf("fol%d-in", f), 1<<20)
+	z.folCommitQ[f] = w.NewQueue(fmt.Sprintf("fol%d-commit", f), 1<<20)
+	z.folFwdQ[f] = w.NewQueue(fmt.Sprintf("fol%d-fwd", f), 1<<20)
+	node := z.folNodes[f]
+	nic := z.folNICs[f]
+
+	// Forwarder: client request → leader, batched like the Senders.
+	node.Spawn("Forwarder", func(t *sim.Thread) {
+		for {
+			first := z.folFwdQ[f].Take(t)
+			reqs := []any{first}
+			for len(reqs) < 10 {
+				v, ok := z.folFwdQ[f].TryTake()
+				if !ok {
+					break
+				}
+				reqs = append(reqs, v)
+			}
+			t.Work(time.Duration(len(reqs)) * cost.FolWork / 3)
+			batch := reqs
+			nic.Send(z.leaderNIC, len(reqs)*170, func() {
+				for _, r := range batch {
+					z.processQ.TryPut(r)
+				}
+			})
+		}
+	})
+	// Acker: proposal → ack to leader.
+	node.Spawn("Acker", func(t *sim.Thread) {
+		for {
+			msg := z.folInQ[f].Take(t).(proposalMsg)
+			t.Work(cost.FolWork / 3)
+			req := msg.req
+			nic.Send(z.leaderNIC, 60, func() {
+				z.learnerQ[f].TryPut(req)
+			})
+		}
+	})
+	// Committer: commit → execute → reply to the owning client.
+	node.Spawn("Committer", func(t *sim.Thread) {
+		for {
+			msg := z.folCommitQ[f].Take(t).(commitMsg)
+			t.Work(cost.FolWork/3 + cost.ReplyWork)
+			req := msg.req
+			if req.group.fol == f {
+				nic.Send(req.group.nic, 48, func() {
+					req.group.onReply(req.slot)
+				})
+			}
+		}
+	})
+}
+
+// send issues one request from a client slot to its follower.
+func (g *clientGroup2) send(slot int) {
+	z := g.z
+	g.nic.Send(z.folNICs[g.fol], 170, func() {
+		z.folFwdQ[g.fol].TryPut(&zkRequest{group: g, slot: slot})
+	})
+}
+
+// onReply closes the loop.
+func (g *clientGroup2) onReply(slot int) {
+	z := g.z
+	if z.w.Now() >= z.measureFrom {
+		z.replies++
+	}
+	g.send(slot)
+}
+
+// Run executes the baseline model and collects results.
+func (z *zkCluster) Run(warmup, measure time.Duration) ZKResults {
+	w := z.w
+	w.Run(warmup)
+	w.ResetAllStats()
+	z.replies = 0
+	z.measureFrom = w.Now()
+	w.Run(w.Now() + measure)
+
+	res := ZKResults{
+		Throughput: float64(z.replies) / measure.Seconds(),
+		Window:     measure,
+	}
+	nodes := append(append([]*sim.Node{}, z.folNodes...), z.leaderNode)
+	for _, n := range nodes {
+		res.CPUPercent = append(res.CPUPercent, 100*float64(n.BusyTime())/float64(measure))
+		var blocked sim.Time
+		for _, st := range w.ThreadStats() {
+			if st.Node == n.Name() {
+				blocked += st.Blocked
+			}
+		}
+		res.BlockedPercent = append(res.BlockedPercent, 100*float64(blocked)/float64(measure))
+	}
+	for _, st := range w.ThreadStats() {
+		if st.Node == z.leaderNode.Name() {
+			res.LeaderThreads = append(res.LeaderThreads, st)
+		}
+	}
+	w.Shutdown()
+	return res
+}
+
+// RunZK builds and runs one baseline experiment.
+func RunZK(cfg ZKConfig, warmup, measure time.Duration) ZKResults {
+	w := sim.NewWorld()
+	z := NewZK(w, cfg)
+	return z.Run(warmup, measure)
+}

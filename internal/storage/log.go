@@ -1,0 +1,215 @@
+// Package storage implements the replicated log: one entry per consensus
+// instance, holding the acceptor state (accepted view and value) and the
+// decided flag (Sec. III-C, "Log management"). The log supports truncation
+// below a snapshot point and suffix extraction for Phase 1 and catch-up.
+//
+// A Log is owned by the Protocol thread and is deliberately NOT safe for
+// concurrent use: the paper's architecture gives the Protocol thread
+// exclusive write access to the replicated log (Sec. V-C2), which is what
+// makes the core thread-safe without locks.
+package storage
+
+import (
+	"fmt"
+
+	"gosmr/internal/wire"
+)
+
+// NoView marks an entry that has not accepted any value yet.
+const NoView wire.View = -1
+
+// Entry is one slot of the replicated log.
+type Entry struct {
+	ID           wire.InstanceID
+	AcceptedView wire.View // view in which Value was accepted; NoView if none
+	Value        []byte
+	Decided      bool
+}
+
+// Log is the replicated log of one replica.
+type Log struct {
+	base           wire.InstanceID // lowest retained instance
+	entries        []*Entry        // entries[i] is instance base+int64(i)
+	firstUndecided wire.InstanceID
+	next           wire.InstanceID // lowest never-used instance id
+}
+
+// NewLog returns an empty log starting at instance 0.
+func NewLog() *Log {
+	return &Log{}
+}
+
+// Base returns the lowest retained instance ID.
+func (l *Log) Base() wire.InstanceID { return l.base }
+
+// Next returns the lowest instance ID that has never been touched.
+func (l *Log) Next() wire.InstanceID { return l.next }
+
+// FirstUndecided returns the lowest instance not yet known decided. All
+// instances below it are decided (and executable in order).
+func (l *Log) FirstUndecided() wire.InstanceID { return l.firstUndecided }
+
+// Len returns the number of retained slots.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Ensure returns the entry for id, creating empty slots as needed. It panics
+// if id is below the truncation base: callers must check Base first.
+func (l *Log) Ensure(id wire.InstanceID) *Entry {
+	if id < l.base {
+		panic(fmt.Sprintf("storage: Ensure(%d) below base %d", id, l.base))
+	}
+	for wire.InstanceID(len(l.entries)) <= id-l.base {
+		slot := l.base + wire.InstanceID(len(l.entries))
+		l.entries = append(l.entries, &Entry{ID: slot, AcceptedView: NoView})
+	}
+	if id >= l.next {
+		l.next = id + 1
+	}
+	return l.entries[id-l.base]
+}
+
+// Get returns the entry for id, or nil if id is below the base or has never
+// been created.
+func (l *Log) Get(id wire.InstanceID) *Entry {
+	if id < l.base || id-l.base >= wire.InstanceID(len(l.entries)) {
+		return nil
+	}
+	return l.entries[id-l.base]
+}
+
+// Accept records that value was accepted for instance id in view. A decided
+// entry is never overwritten (Paxos safety: decisions are final).
+func (l *Log) Accept(id wire.InstanceID, view wire.View, value []byte) *Entry {
+	e := l.Ensure(id)
+	if e.Decided {
+		return e
+	}
+	e.AcceptedView = view
+	e.Value = value
+	return e
+}
+
+// MarkDecided records that instance id was decided with value, then advances
+// the first-undecided watermark across any contiguous decided prefix. If
+// value is nil, the entry's accepted value is kept (used when the decision
+// is learned via watermark and the value was accepted earlier).
+func (l *Log) MarkDecided(id wire.InstanceID, value []byte) *Entry {
+	e := l.Ensure(id)
+	if !e.Decided {
+		e.Decided = true
+		if value != nil {
+			e.Value = value
+		}
+	}
+	l.advance()
+	return e
+}
+
+// advance moves firstUndecided over the contiguous decided prefix.
+func (l *Log) advance() {
+	for {
+		e := l.Get(l.firstUndecided)
+		if e == nil || !e.Decided {
+			return
+		}
+		l.firstUndecided++
+	}
+}
+
+// TruncateBelow drops all entries with ID < id, typically after a snapshot
+// covering instances below id. Truncation never crosses the undecided
+// watermark: it is capped at FirstUndecided.
+func (l *Log) TruncateBelow(id wire.InstanceID) {
+	if id > l.firstUndecided {
+		id = l.firstUndecided
+	}
+	if id <= l.base {
+		return
+	}
+	n := id - l.base
+	if n >= wire.InstanceID(len(l.entries)) {
+		l.entries = l.entries[:0]
+	} else {
+		// Copy down to release references to truncated entries.
+		kept := copy(l.entries, l.entries[n:])
+		for i := kept; i < len(l.entries); i++ {
+			l.entries[i] = nil
+		}
+		l.entries = l.entries[:kept]
+	}
+	l.base = id
+	if l.next < l.base {
+		l.next = l.base
+	}
+}
+
+// InstallSnapshot resets the log after installing a snapshot covering all
+// instances <= lastIncluded: everything at or below it is discarded and
+// considered decided.
+func (l *Log) InstallSnapshot(lastIncluded wire.InstanceID) {
+	if lastIncluded+1 <= l.base {
+		return
+	}
+	l.entries = l.entries[:0]
+	l.base = lastIncluded + 1
+	if l.firstUndecided < l.base {
+		l.firstUndecided = l.base
+	}
+	if l.next < l.base {
+		l.next = l.base
+	}
+}
+
+// SuffixFrom returns the entries with ID >= id that carry an accepted or
+// decided value, for inclusion in PrepareOK (Phase 1b).
+func (l *Log) SuffixFrom(id wire.InstanceID) []wire.InstanceState {
+	if id < l.base {
+		id = l.base
+	}
+	var out []wire.InstanceState
+	for ; id-l.base < wire.InstanceID(len(l.entries)); id++ {
+		e := l.entries[id-l.base]
+		if e.AcceptedView == NoView && !e.Decided {
+			continue
+		}
+		out = append(out, wire.InstanceState{
+			ID:           e.ID,
+			AcceptedView: e.AcceptedView,
+			Decided:      e.Decided,
+			Value:        e.Value,
+		})
+	}
+	return out
+}
+
+// DecidedInRange returns the decided values with From <= ID < To that are
+// still retained, for catch-up responses. The second result reports whether
+// part of the range was truncated (the requester needs a snapshot).
+func (l *Log) DecidedInRange(from, to wire.InstanceID) (vals []wire.DecidedValue, truncated bool) {
+	if from < l.base {
+		truncated = true
+		from = l.base
+	}
+	for id := from; id < to; id++ {
+		e := l.Get(id)
+		if e == nil || !e.Decided {
+			continue
+		}
+		vals = append(vals, wire.DecidedValue{ID: e.ID, Value: e.Value})
+	}
+	return vals, truncated
+}
+
+// MissingDecidedBelow returns the instances below the watermark upTo whose
+// values this replica does not have decided yet — the gaps catch-up must
+// fill. Instances below the base are covered by a snapshot and not missing.
+func (l *Log) MissingDecidedBelow(upTo wire.InstanceID) []wire.InstanceID {
+	var out []wire.InstanceID
+	for id := max(l.firstUndecided, l.base); id < upTo; id++ {
+		e := l.Get(id)
+		if e == nil || !e.Decided {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gosmr/internal/wire"
+)
+
+func TestEmptyLog(t *testing.T) {
+	l := NewLog()
+	if l.Base() != 0 || l.Next() != 0 || l.FirstUndecided() != 0 || l.Len() != 0 {
+		t.Errorf("empty log = base %d next %d fu %d len %d, want all 0",
+			l.Base(), l.Next(), l.FirstUndecided(), l.Len())
+	}
+	if l.Get(0) != nil {
+		t.Error("Get(0) on empty log != nil")
+	}
+}
+
+func TestEnsureCreatesSlots(t *testing.T) {
+	l := NewLog()
+	e := l.Ensure(3)
+	if e.ID != 3 || e.AcceptedView != NoView || e.Decided {
+		t.Errorf("Ensure(3) = %+v", e)
+	}
+	if l.Len() != 4 || l.Next() != 4 {
+		t.Errorf("Len = %d Next = %d, want 4, 4", l.Len(), l.Next())
+	}
+	for i := wire.InstanceID(0); i < 4; i++ {
+		if g := l.Get(i); g == nil || g.ID != i {
+			t.Errorf("Get(%d) = %+v", i, g)
+		}
+	}
+	if l.Ensure(3) != e {
+		t.Error("Ensure(3) twice returned different entries")
+	}
+}
+
+func TestEnsureBelowBasePanics(t *testing.T) {
+	l := NewLog()
+	for i := wire.InstanceID(0); i < 5; i++ {
+		l.MarkDecided(i, []byte{byte(i)})
+	}
+	l.TruncateBelow(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Ensure below base did not panic")
+		}
+	}()
+	l.Ensure(1)
+}
+
+func TestAcceptAndDecide(t *testing.T) {
+	l := NewLog()
+	l.Accept(0, 2, []byte("v0"))
+	e := l.Get(0)
+	if e.AcceptedView != 2 || string(e.Value) != "v0" || e.Decided {
+		t.Errorf("after Accept: %+v", e)
+	}
+	// Higher view overwrites an undecided value.
+	l.Accept(0, 3, []byte("v0b"))
+	if e.AcceptedView != 3 || string(e.Value) != "v0b" {
+		t.Errorf("after re-Accept: %+v", e)
+	}
+	l.MarkDecided(0, nil) // decide with accepted value
+	if !e.Decided || string(e.Value) != "v0b" {
+		t.Errorf("after MarkDecided(nil): %+v", e)
+	}
+	// Decided entries are immutable.
+	l.Accept(0, 9, []byte("evil"))
+	if string(e.Value) != "v0b" {
+		t.Errorf("Accept overwrote decided value: %q", e.Value)
+	}
+	l.MarkDecided(0, []byte("evil2"))
+	if string(e.Value) != "v0b" {
+		t.Errorf("MarkDecided overwrote decided value: %q", e.Value)
+	}
+}
+
+func TestFirstUndecidedAdvances(t *testing.T) {
+	l := NewLog()
+	l.MarkDecided(1, []byte("b")) // gap at 0
+	if l.FirstUndecided() != 0 {
+		t.Errorf("FirstUndecided = %d, want 0 (gap)", l.FirstUndecided())
+	}
+	l.MarkDecided(0, []byte("a"))
+	if l.FirstUndecided() != 2 {
+		t.Errorf("FirstUndecided = %d, want 2 after filling gap", l.FirstUndecided())
+	}
+	l.MarkDecided(2, []byte("c"))
+	if l.FirstUndecided() != 3 {
+		t.Errorf("FirstUndecided = %d, want 3", l.FirstUndecided())
+	}
+}
+
+func TestTruncateBelow(t *testing.T) {
+	l := NewLog()
+	for i := wire.InstanceID(0); i < 10; i++ {
+		l.MarkDecided(i, []byte{byte(i)})
+	}
+	l.TruncateBelow(5)
+	if l.Base() != 5 {
+		t.Errorf("Base = %d, want 5", l.Base())
+	}
+	if l.Get(4) != nil {
+		t.Error("Get(4) survived truncation")
+	}
+	if e := l.Get(5); e == nil || e.Value[0] != 5 {
+		t.Errorf("Get(5) = %+v", e)
+	}
+	// Truncation never crosses the undecided watermark.
+	l.Ensure(12)
+	l.TruncateBelow(12)
+	if l.Base() != 10 {
+		t.Errorf("Base = %d, want 10 (capped at FirstUndecided)", l.Base())
+	}
+	// Truncating below base is a no-op.
+	l.TruncateBelow(3)
+	if l.Base() != 10 {
+		t.Errorf("Base = %d after no-op truncate, want 10", l.Base())
+	}
+}
+
+func TestInstallSnapshot(t *testing.T) {
+	l := NewLog()
+	l.Accept(0, 1, []byte("x"))
+	l.Accept(7, 1, []byte("y"))
+	l.InstallSnapshot(9)
+	if l.Base() != 10 || l.FirstUndecided() != 10 || l.Next() != 10 {
+		t.Errorf("after snapshot: base %d fu %d next %d, want 10,10,10",
+			l.Base(), l.FirstUndecided(), l.Next())
+	}
+	if l.Get(7) != nil {
+		t.Error("entry below snapshot survived")
+	}
+	// Installing an older snapshot is a no-op.
+	l.InstallSnapshot(5)
+	if l.Base() != 10 {
+		t.Errorf("Base = %d after stale snapshot, want 10", l.Base())
+	}
+}
+
+func TestSuffixFrom(t *testing.T) {
+	l := NewLog()
+	l.Accept(0, 1, []byte("a"))
+	l.Ensure(1) // empty slot: excluded from suffix
+	l.Accept(2, 2, []byte("c"))
+	l.MarkDecided(2, nil)
+	suffix := l.SuffixFrom(0)
+	if len(suffix) != 2 {
+		t.Fatalf("suffix len = %d, want 2", len(suffix))
+	}
+	if suffix[0].ID != 0 || suffix[0].AcceptedView != 1 || suffix[0].Decided {
+		t.Errorf("suffix[0] = %+v", suffix[0])
+	}
+	if suffix[1].ID != 2 || !suffix[1].Decided {
+		t.Errorf("suffix[1] = %+v", suffix[1])
+	}
+	if got := l.SuffixFrom(3); len(got) != 0 {
+		t.Errorf("SuffixFrom(3) = %v, want empty", got)
+	}
+	// From below base clamps.
+	l.MarkDecided(0, nil)
+	l.MarkDecided(1, []byte("b"))
+	l.TruncateBelow(2)
+	if got := l.SuffixFrom(0); len(got) != 1 || got[0].ID != 2 {
+		t.Errorf("SuffixFrom(0) after truncate = %+v", got)
+	}
+}
+
+func TestDecidedInRange(t *testing.T) {
+	l := NewLog()
+	for i := wire.InstanceID(0); i < 6; i++ {
+		l.MarkDecided(i, []byte{byte(i)})
+	}
+	l.Accept(6, 1, []byte("undecided"))
+	vals, truncated := l.DecidedInRange(2, 7)
+	if truncated {
+		t.Error("truncated = true, want false")
+	}
+	if len(vals) != 4 || vals[0].ID != 2 || vals[3].ID != 5 {
+		t.Errorf("vals = %+v", vals)
+	}
+	l.TruncateBelow(4)
+	vals, truncated = l.DecidedInRange(0, 6)
+	if !truncated {
+		t.Error("truncated = false after truncation, want true")
+	}
+	if len(vals) != 2 || vals[0].ID != 4 {
+		t.Errorf("vals after truncate = %+v", vals)
+	}
+}
+
+func TestMissingDecidedBelow(t *testing.T) {
+	l := NewLog()
+	l.MarkDecided(0, []byte("a"))
+	l.MarkDecided(2, []byte("c")) // 1 missing
+	missing := l.MissingDecidedBelow(5)
+	want := []wire.InstanceID{1, 3, 4}
+	if len(missing) != len(want) {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+	for i := range want {
+		if missing[i] != want[i] {
+			t.Errorf("missing[%d] = %d, want %d", i, missing[i], want[i])
+		}
+	}
+	if got := l.MissingDecidedBelow(0); len(got) != 0 {
+		t.Errorf("MissingDecidedBelow(0) = %v, want empty", got)
+	}
+}
+
+// TestPropertyWatermarkInvariant checks that after any sequence of decides,
+// every instance below FirstUndecided is decided and the one at it (if
+// present) is not.
+func TestPropertyWatermarkInvariant(t *testing.T) {
+	f := func(ids []uint8) bool {
+		l := NewLog()
+		for _, raw := range ids {
+			l.MarkDecided(wire.InstanceID(raw%32), []byte{raw})
+		}
+		fu := l.FirstUndecided()
+		for i := wire.InstanceID(0); i < fu; i++ {
+			e := l.Get(i)
+			if e == nil || !e.Decided {
+				return false
+			}
+		}
+		if e := l.Get(fu); e != nil && e.Decided {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTruncatePreservesRetained checks truncation never loses
+// entries at or above the new base and never moves the watermark.
+func TestPropertyTruncatePreservesRetained(t *testing.T) {
+	f := func(decideUpTo, truncAt uint8) bool {
+		n := wire.InstanceID(decideUpTo % 40)
+		l := NewLog()
+		for i := wire.InstanceID(0); i < n; i++ {
+			l.MarkDecided(i, []byte{byte(i)})
+		}
+		fuBefore := l.FirstUndecided()
+		l.TruncateBelow(wire.InstanceID(truncAt % 50))
+		if l.FirstUndecided() != fuBefore {
+			return false
+		}
+		for i := l.Base(); i < n; i++ {
+			e := l.Get(i)
+			if e == nil || !e.Decided || e.Value[0] != byte(i) {
+				return false
+			}
+		}
+		return l.Base() <= fuBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

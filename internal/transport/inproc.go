@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Inproc errors.
+var (
+	ErrConnClosed  = errors.New("transport: connection closed")
+	ErrAddrInUse   = errors.New("transport: address already in use")
+	ErrNoListener  = errors.New("transport: no listener at address")
+	ErrNetClosed   = errors.New("transport: network closed")
+	errFrameQueued = errors.New("transport: frame queue full") // internal backpressure sentinel
+)
+
+// FaultFunc inspects a frame in flight and decides its fate. Returning
+// drop=true discards the frame; duplicate=true delivers it twice. Used by
+// tests to inject message loss and duplication under the real pipeline.
+type FaultFunc func(from, to string, frame []byte) (drop, duplicate bool)
+
+// Inproc is an in-process Network: connections are pairs of buffered frame
+// queues. It supports optional fault injection and is safe for concurrent
+// use.
+type Inproc struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	fault     FaultFunc
+	queueCap  int
+	nextConn  int
+}
+
+var _ Network = (*Inproc)(nil)
+
+// NewInproc returns an empty in-process network. queueCap bounds each
+// direction's frame queue (default 1024); a full queue blocks the writer,
+// modeling TCP backpressure.
+func NewInproc(queueCap int) *Inproc {
+	if queueCap <= 0 {
+		queueCap = 1024
+	}
+	return &Inproc{
+		listeners: make(map[string]*inprocListener),
+		queueCap:  queueCap,
+	}
+}
+
+// SetFault installs f as the fault injector (nil disables).
+func (n *Inproc) SetFault(f FaultFunc) {
+	n.mu.Lock()
+	n.fault = f
+	n.mu.Unlock()
+}
+
+func (n *Inproc) getFault() FaultFunc {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fault
+}
+
+// Listen implements Network.
+func (n *Inproc) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	l := &inprocListener{
+		net:     n,
+		addr:    addr,
+		backlog: make(chan *inprocConn, 64),
+		done:    make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *Inproc) Dial(addr string) (FrameConn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.nextConn++
+	id := n.nextConn
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoListener, addr)
+	}
+	clientAddr := fmt.Sprintf("inproc-client-%d", id)
+	client, server := newInprocPair(n, clientAddr, addr)
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("%w: %s", ErrNoListener, addr)
+	}
+}
+
+// removeListener unregisters a closed listener.
+func (n *Inproc) removeListener(addr string) {
+	n.mu.Lock()
+	delete(n.listeners, addr)
+	n.mu.Unlock()
+}
+
+type inprocListener struct {
+	net     *Inproc
+	addr    string
+	backlog chan *inprocConn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *inprocListener) Accept() (FrameConn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrNetClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.removeListener(l.addr)
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+// inprocConn is one endpoint of an in-process connection pair.
+type inprocConn struct {
+	net        *Inproc
+	localAddr  string
+	remoteAddr string
+	in         chan []byte   // frames to read
+	peerIn     chan []byte   // peer's read queue (we write here)
+	closed     chan struct{} // our closed signal
+	peerClosed chan struct{} // peer's closed signal
+	once       sync.Once
+}
+
+// newInprocPair builds both endpoints of a connection.
+func newInprocPair(n *Inproc, addrA, addrB string) (a, b *inprocConn) {
+	qa := make(chan []byte, n.queueCap)
+	qb := make(chan []byte, n.queueCap)
+	ca := make(chan struct{})
+	cb := make(chan struct{})
+	a = &inprocConn{net: n, localAddr: addrA, remoteAddr: addrB,
+		in: qa, peerIn: qb, closed: ca, peerClosed: cb}
+	b = &inprocConn{net: n, localAddr: addrB, remoteAddr: addrA,
+		in: qb, peerIn: qa, closed: cb, peerClosed: ca}
+	return a, b
+}
+
+func (c *inprocConn) WriteFrame(frame []byte) error {
+	select {
+	case <-c.closed:
+		return ErrConnClosed
+	case <-c.peerClosed:
+		return ErrConnClosed
+	default:
+	}
+	dup := 1
+	if f := c.net.getFault(); f != nil {
+		drop, duplicate := f(c.localAddr, c.remoteAddr, frame)
+		if drop {
+			return nil // silently lost in the network
+		}
+		if duplicate {
+			dup = 2
+		}
+	}
+	// Copy at the boundary: the caller may reuse its buffer.
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	for range dup {
+		select {
+		case c.peerIn <- cp:
+		case <-c.closed:
+			return ErrConnClosed
+		case <-c.peerClosed:
+			return ErrConnClosed
+		}
+	}
+	return nil
+}
+
+func (c *inprocConn) ReadFrame() ([]byte, error) {
+	select {
+	case f := <-c.in:
+		return f, nil
+	default:
+	}
+	select {
+	case f := <-c.in:
+		return f, nil
+	case <-c.closed:
+		return nil, ErrConnClosed
+	case <-c.peerClosed:
+		// Drain anything already delivered before reporting EOF-like close.
+		select {
+		case f := <-c.in:
+			return f, nil
+		default:
+			return nil, ErrConnClosed
+		}
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *inprocConn) RemoteAddr() string { return c.remoteAddr }

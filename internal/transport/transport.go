@@ -1,0 +1,119 @@
+// Package transport abstracts the byte transport under the ClientIO and
+// ReplicaIO modules, so the same replica pipeline runs over real TCP
+// (production, Sec. V-A/V-B) or over an in-process network (tests, single-
+// host benchmarks, fault injection).
+//
+// Connections are frame-oriented: each frame carries one wire message. A
+// FrameConn is safe for one concurrent reader plus one concurrent writer —
+// exactly the paper's threading discipline (one reader thread and one sender
+// thread per socket).
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"gosmr/internal/wire"
+)
+
+// FrameConn is a bidirectional, frame-oriented connection.
+type FrameConn interface {
+	// WriteFrame sends one frame. Not safe for concurrent writers.
+	WriteFrame(frame []byte) error
+	// ReadFrame receives one frame. Not safe for concurrent readers.
+	ReadFrame() ([]byte, error)
+	// Close shuts down the connection, unblocking pending reads/writes.
+	Close() error
+	// RemoteAddr describes the peer, for logging.
+	RemoteAddr() string
+}
+
+// Listener accepts inbound FrameConns.
+type Listener interface {
+	Accept() (FrameConn, error)
+	Close() error
+	Addr() string
+}
+
+// Network creates listeners and outbound connections.
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (FrameConn, error)
+}
+
+// TCP is the production transport, using one TCP connection per peer/client
+// with TCP_NODELAY set (small-request latency matters more than packing,
+// Sec. VI-D3).
+type TCP struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+var _ Network = (*TCP)(nil)
+
+// Listen implements Network.
+func (t *TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Network.
+func (t *TCP) Dial(addr string) (FrameConn, error) {
+	timeout := t.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (tl *tcpListener) Accept() (FrameConn, error) {
+	c, err := tl.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (tl *tcpListener) Close() error { return tl.l.Close() }
+func (tl *tcpListener) Addr() string { return tl.l.Addr().String() }
+
+type tcpConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return &tcpConn{
+		c: c,
+		r: bufio.NewReaderSize(c, 64<<10),
+		w: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+func (tc *tcpConn) WriteFrame(frame []byte) error {
+	if err := wire.WriteFrame(tc.w, frame); err != nil {
+		return err
+	}
+	return tc.w.Flush()
+}
+
+func (tc *tcpConn) ReadFrame() ([]byte, error) { return wire.ReadFrame(tc.r) }
+func (tc *tcpConn) Close() error               { return tc.c.Close() }
+func (tc *tcpConn) RemoteAddr() string         { return tc.c.RemoteAddr().String() }

@@ -1,0 +1,332 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// networks returns both implementations with a fresh address namespace.
+func networks(t *testing.T) map[string]Network {
+	t.Helper()
+	return map[string]Network{
+		"tcp":    &TCP{},
+		"inproc": NewInproc(0),
+	}
+}
+
+// listenAddr returns a suitable listen address for the given network kind.
+func listenAddr(kind string) string {
+	if kind == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return "node-a"
+}
+
+func TestRoundTrip(t *testing.T) {
+	for kind, nw := range networks(t) {
+		t.Run(kind, func(t *testing.T) {
+			l, err := nw.Listen(listenAddr(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := l.Accept()
+				if err != nil {
+					t.Errorf("Accept: %v", err)
+					return
+				}
+				defer c.Close()
+				for {
+					f, err := c.ReadFrame()
+					if err != nil {
+						return
+					}
+					if err := c.WriteFrame(append([]byte("echo:"), f...)); err != nil {
+						t.Errorf("echo write: %v", err)
+						return
+					}
+				}
+			}()
+
+			c, err := nw.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range 100 {
+				msg := []byte(fmt.Sprintf("frame-%d", i))
+				if err := c.WriteFrame(msg); err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.ReadFrame()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := append([]byte("echo:"), msg...); !bytes.Equal(got, want) {
+					t.Fatalf("frame %d = %q, want %q", i, got, want)
+				}
+			}
+			c.Close()
+			wg.Wait()
+		})
+	}
+}
+
+func TestLargeFrames(t *testing.T) {
+	for kind, nw := range networks(t) {
+		t.Run(kind, func(t *testing.T) {
+			l, err := nw.Listen(listenAddr(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			big := bytes.Repeat([]byte{0xAB}, 4<<20)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				defer c.Close()
+				f, err := c.ReadFrame()
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if !bytes.Equal(f, big) {
+					t.Errorf("large frame corrupted: len %d", len(f))
+				}
+				_ = c.WriteFrame([]byte("ok"))
+			}()
+			c, err := nw.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.WriteFrame(big); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.ReadFrame(); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestDialNoListener(t *testing.T) {
+	nw := NewInproc(0)
+	if _, err := nw.Dial("nowhere"); !errors.Is(err, ErrNoListener) {
+		t.Errorf("Dial = %v, want ErrNoListener", err)
+	}
+	tcp := &TCP{}
+	if _, err := tcp.Dial("127.0.0.1:1"); err == nil {
+		t.Error("TCP dial to closed port succeeded")
+	}
+}
+
+func TestInprocAddrInUse(t *testing.T) {
+	nw := NewInproc(0)
+	l, err := nw.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Listen("a"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("second Listen = %v, want ErrAddrInUse", err)
+	}
+	l.Close()
+	// Address is reusable after close.
+	l2, err := nw.Listen("a")
+	if err != nil {
+		t.Fatalf("Listen after Close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestCloseUnblocksReader(t *testing.T) {
+	for kind, nw := range networks(t) {
+		t.Run(kind, func(t *testing.T) {
+			l, err := nw.Listen(listenAddr(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			accepted := make(chan FrameConn, 1)
+			go func() {
+				c, err := l.Accept()
+				if err == nil {
+					accepted <- c
+				}
+			}()
+			c, err := nw.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := <-accepted
+			errc := make(chan error, 1)
+			go func() {
+				_, err := srv.ReadFrame()
+				errc <- err
+			}()
+			c.Close()
+			if err := <-errc; err == nil {
+				t.Error("ReadFrame returned nil after peer close")
+			}
+			srv.Close()
+		})
+	}
+}
+
+func TestPeerCloseDrainsPendingFrames(t *testing.T) {
+	nw := NewInproc(8)
+	l, _ := nw.Listen("srv")
+	defer l.Close()
+	accepted := make(chan FrameConn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := nw.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	for i := range 3 {
+		if err := c.WriteFrame([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	for i := range 3 {
+		f, err := srv.ReadFrame()
+		if err != nil || f[0] != byte(i) {
+			t.Fatalf("frame %d = %v, %v", i, f, err)
+		}
+	}
+	if _, err := srv.ReadFrame(); !errors.Is(err, ErrConnClosed) {
+		t.Errorf("after drain: %v, want ErrConnClosed", err)
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	for kind, nw := range networks(t) {
+		t.Run(kind, func(t *testing.T) {
+			l, err := nw.Listen(listenAddr(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			errc := make(chan error, 1)
+			go func() {
+				_, err := l.Accept()
+				errc <- err
+			}()
+			l.Close()
+			if err := <-errc; err == nil {
+				t.Error("Accept returned nil after listener close")
+			}
+		})
+	}
+}
+
+func TestFaultInjectionDropAndDuplicate(t *testing.T) {
+	nw := NewInproc(64)
+	var mu sync.Mutex
+	mode := "none"
+	nw.SetFault(func(from, to string, frame []byte) (bool, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch mode {
+		case "drop":
+			return true, false
+		case "dup":
+			return false, true
+		default:
+			return false, false
+		}
+	})
+	l, _ := nw.Listen("srv")
+	defer l.Close()
+	accepted := make(chan FrameConn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := nw.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := <-accepted
+	defer srv.Close()
+
+	setMode := func(m string) { mu.Lock(); mode = m; mu.Unlock() }
+
+	setMode("drop")
+	if err := c.WriteFrame([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	setMode("dup")
+	if err := c.WriteFrame([]byte("twice")); err != nil {
+		t.Fatal(err)
+	}
+	setMode("none")
+	if err := c.WriteFrame([]byte("final")); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"twice", "twice", "final"} // "lost" never arrives
+	for i, w := range want {
+		f, err := srv.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(f) != w {
+			t.Fatalf("frame %d = %q, want %q", i, f, w)
+		}
+	}
+}
+
+func TestWriteFrameCopiesBuffer(t *testing.T) {
+	nw := NewInproc(8)
+	l, _ := nw.Listen("srv")
+	defer l.Close()
+	accepted := make(chan FrameConn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := nw.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := <-accepted
+	buf := []byte("mutate-me")
+	if err := c.WriteFrame(buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 'X'
+	}
+	f, err := srv.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f) != "mutate-me" {
+		t.Errorf("frame = %q: WriteFrame aliased the caller's buffer", f)
+	}
+}

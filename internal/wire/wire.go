@@ -1,0 +1,551 @@
+// Package wire defines the messages exchanged by replicas and clients and a
+// compact binary codec for them (encoding/binary, little-endian).
+//
+// The protocol is the MultiPaxos variant the paper builds on (Sec. III-A with
+// the batching and pipelining optimizations of [12]): views number leadership
+// epochs (the leader of view v is replica v mod n), Phase 1 runs once per
+// view over the unstable log suffix, and Phase 2 runs per instance, each
+// instance carrying one *batch* of client requests. Followers send Phase 2b
+// acknowledgements only to the leader (matching the packet accounting of
+// Table III); they learn decisions through the DecidedUpTo watermark
+// piggybacked on Propose and Heartbeat messages, and fetch anything they
+// missed with the catch-up messages.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// View numbers leadership epochs. The leader of view v in an n-replica
+// cluster is replica v mod n.
+type View int32
+
+// InstanceID identifies one consensus instance (one slot of the replicated
+// log; each slot holds a batch).
+type InstanceID int64
+
+// MsgType discriminates messages on the wire.
+type MsgType uint8
+
+// Message type tags.
+const (
+	THello MsgType = iota + 1
+	TPrepare
+	TPrepareOK
+	TPropose
+	TAccept
+	THeartbeat
+	TCatchUpQuery
+	TCatchUpResp
+	TClientRequest
+	TClientReply
+)
+
+// String returns the message type name.
+func (t MsgType) String() string {
+	switch t {
+	case THello:
+		return "Hello"
+	case TPrepare:
+		return "Prepare"
+	case TPrepareOK:
+		return "PrepareOK"
+	case TPropose:
+		return "Propose"
+	case TAccept:
+		return "Accept"
+	case THeartbeat:
+		return "Heartbeat"
+	case TCatchUpQuery:
+		return "CatchUpQuery"
+	case TCatchUpResp:
+		return "CatchUpResp"
+	case TClientRequest:
+		return "ClientRequest"
+	case TClientReply:
+		return "ClientReply"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	Type() MsgType
+}
+
+// Hello is the first frame on a freshly established replica connection,
+// identifying the sender.
+type Hello struct {
+	ID int32
+}
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return THello }
+
+// Prepare is Phase 1a: a replica that believes itself leader of View asks
+// the others for their accepted state from FirstUnstable onward.
+type Prepare struct {
+	View          View
+	FirstUnstable InstanceID
+}
+
+// Type implements Message.
+func (*Prepare) Type() MsgType { return TPrepare }
+
+// InstanceState carries one log slot's acceptor state inside PrepareOK.
+type InstanceState struct {
+	ID           InstanceID
+	AcceptedView View
+	Decided      bool
+	Value        []byte
+}
+
+// PrepareOK is Phase 1b: the acceptor's promise for View together with every
+// instance it has accepted or decided at or above the leader's FirstUnstable.
+type PrepareOK struct {
+	View    View
+	Entries []InstanceState
+}
+
+// Type implements Message.
+func (*PrepareOK) Type() MsgType { return TPrepareOK }
+
+// Propose is Phase 2a: the leader of View proposes Value (a batch) for
+// instance ID. DecidedUpTo piggybacks the leader's decision watermark: every
+// instance below it is decided, letting followers learn decisions without
+// extra messages.
+type Propose struct {
+	View        View
+	ID          InstanceID
+	DecidedUpTo InstanceID
+	Value       []byte
+}
+
+// Type implements Message.
+func (*Propose) Type() MsgType { return TPropose }
+
+// Accept is Phase 2b, sent only to the leader (Sec. VI-D3: "replicas send a
+// single Phase 2b message to the leader in response to each batch").
+type Accept struct {
+	View View
+	ID   InstanceID
+}
+
+// Type implements Message.
+func (*Accept) Type() MsgType { return TAccept }
+
+// Heartbeat is sent by the leader when idle; it drives the failure detector
+// and carries the decision watermark so followers keep learning decisions
+// even without new proposals.
+type Heartbeat struct {
+	View        View
+	DecidedUpTo InstanceID
+}
+
+// Type implements Message.
+func (*Heartbeat) Type() MsgType { return THeartbeat }
+
+// CatchUpQuery asks a peer for the decided values of instances in
+// [From, To). Sent by a replica that has learned instances are decided but
+// is missing their values (Sec. III-C's catch-up/state-transfer service).
+type CatchUpQuery struct {
+	From InstanceID
+	To   InstanceID
+}
+
+// Type implements Message.
+func (*CatchUpQuery) Type() MsgType { return TCatchUpQuery }
+
+// DecidedValue is one decided instance inside CatchUpResp.
+type DecidedValue struct {
+	ID    InstanceID
+	Value []byte
+}
+
+// Snapshot transfers service state when the responder has truncated the log
+// below the requested range.
+type Snapshot struct {
+	LastIncluded InstanceID // state covers all instances <= LastIncluded
+	ServiceState []byte
+	ReplyCache   []byte
+}
+
+// CatchUpResp answers a CatchUpQuery with decided values and, if the
+// responder's log no longer retains part of the range, a snapshot.
+type CatchUpResp struct {
+	Entries     []DecidedValue
+	HasSnapshot bool
+	Snapshot    Snapshot
+}
+
+// Type implements Message.
+func (*CatchUpResp) Type() MsgType { return TCatchUpResp }
+
+// ClientRequest is one client command. ClientID must be unique per client;
+// Seq increases by one per request, giving at-most-once execution through
+// the reply cache.
+type ClientRequest struct {
+	ClientID uint64
+	Seq      uint64
+	Payload  []byte
+}
+
+// Type implements Message.
+func (*ClientRequest) Type() MsgType { return TClientRequest }
+
+// NoRedirect in ClientReply.Redirect means the replica served the request.
+const NoRedirect int32 = -1
+
+// ClientReply answers a ClientRequest. If OK is false and Redirect is a
+// replica ID, the client should retry at that replica (the current leader).
+type ClientReply struct {
+	ClientID uint64
+	Seq      uint64
+	OK       bool
+	Redirect int32
+	Payload  []byte
+}
+
+// Type implements Message.
+func (*ClientReply) Type() MsgType { return TClientReply }
+
+// Interface compliance checks.
+var (
+	_ Message = (*Hello)(nil)
+	_ Message = (*Prepare)(nil)
+	_ Message = (*PrepareOK)(nil)
+	_ Message = (*Propose)(nil)
+	_ Message = (*Accept)(nil)
+	_ Message = (*Heartbeat)(nil)
+	_ Message = (*CatchUpQuery)(nil)
+	_ Message = (*CatchUpResp)(nil)
+	_ Message = (*ClientRequest)(nil)
+	_ Message = (*ClientReply)(nil)
+)
+
+// Codec errors.
+var (
+	ErrShortBuffer  = errors.New("wire: short buffer")
+	ErrUnknownType  = errors.New("wire: unknown message type")
+	ErrFrameTooBig  = errors.New("wire: frame exceeds maximum size")
+	ErrTrailingData = errors.New("wire: trailing bytes after message")
+)
+
+// MaxFrameSize bounds a single frame; larger frames are rejected to protect
+// against corrupt length prefixes.
+const MaxFrameSize = 64 << 20
+
+// appender accumulates the encoded form.
+type appender struct{ b []byte }
+
+func (a *appender) u8(v uint8)   { a.b = append(a.b, v) }
+func (a *appender) u32(v uint32) { a.b = binary.LittleEndian.AppendUint32(a.b, v) }
+func (a *appender) u64(v uint64) { a.b = binary.LittleEndian.AppendUint64(a.b, v) }
+func (a *appender) i32(v int32)  { a.u32(uint32(v)) }
+func (a *appender) i64(v int64)  { a.u64(uint64(v)) }
+func (a *appender) bool(v bool) {
+	if v {
+		a.u8(1)
+	} else {
+		a.u8(0)
+	}
+}
+func (a *appender) bytes(v []byte) {
+	a.u32(uint32(len(v)))
+	a.b = append(a.b, v...)
+}
+
+// reader consumes the encoded form with a sticky error.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) i32() int32  { return int32(r.u32()) }
+func (r *reader) i64() int64  { return int64(r.u64()) }
+func (r *reader) bool() bool  { return r.u8() != 0 }
+func (r *reader) fail()       { r.err = ErrShortBuffer; r.b = nil }
+func (r *reader) len() uint32 { return uint32(len(r.b)) }
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil || n > r.len() {
+		r.fail()
+		return nil
+	}
+	// Copy out so decoded messages do not alias transport buffers
+	// (copy-slices-at-boundaries).
+	v := make([]byte, n)
+	copy(v, r.b[:n])
+	r.b = r.b[n:]
+	return v
+}
+
+// Marshal encodes m as a self-describing byte slice (type tag + body).
+func Marshal(m Message) []byte {
+	a := appender{b: make([]byte, 0, 64)}
+	a.u8(uint8(m.Type()))
+	switch v := m.(type) {
+	case *Hello:
+		a.i32(v.ID)
+	case *Prepare:
+		a.i32(int32(v.View))
+		a.i64(int64(v.FirstUnstable))
+	case *PrepareOK:
+		a.i32(int32(v.View))
+		a.u32(uint32(len(v.Entries)))
+		for _, e := range v.Entries {
+			a.i64(int64(e.ID))
+			a.i32(int32(e.AcceptedView))
+			a.bool(e.Decided)
+			a.bytes(e.Value)
+		}
+	case *Propose:
+		a.i32(int32(v.View))
+		a.i64(int64(v.ID))
+		a.i64(int64(v.DecidedUpTo))
+		a.bytes(v.Value)
+	case *Accept:
+		a.i32(int32(v.View))
+		a.i64(int64(v.ID))
+	case *Heartbeat:
+		a.i32(int32(v.View))
+		a.i64(int64(v.DecidedUpTo))
+	case *CatchUpQuery:
+		a.i64(int64(v.From))
+		a.i64(int64(v.To))
+	case *CatchUpResp:
+		a.u32(uint32(len(v.Entries)))
+		for _, e := range v.Entries {
+			a.i64(int64(e.ID))
+			a.bytes(e.Value)
+		}
+		a.bool(v.HasSnapshot)
+		if v.HasSnapshot {
+			a.i64(int64(v.Snapshot.LastIncluded))
+			a.bytes(v.Snapshot.ServiceState)
+			a.bytes(v.Snapshot.ReplyCache)
+		}
+	case *ClientRequest:
+		a.u64(v.ClientID)
+		a.u64(v.Seq)
+		a.bytes(v.Payload)
+	case *ClientReply:
+		a.u64(v.ClientID)
+		a.u64(v.Seq)
+		a.bool(v.OK)
+		a.i32(v.Redirect)
+		a.bytes(v.Payload)
+	default:
+		panic(fmt.Sprintf("wire: Marshal of unknown message %T", m))
+	}
+	return a.b
+}
+
+// Unmarshal decodes a message produced by Marshal. The returned message owns
+// its memory (no aliasing of b).
+func Unmarshal(b []byte) (Message, error) {
+	r := reader{b: b}
+	t := MsgType(r.u8())
+	if r.err != nil {
+		return nil, r.err
+	}
+	var m Message
+	switch t {
+	case THello:
+		m = &Hello{ID: r.i32()}
+	case TPrepare:
+		m = &Prepare{View: View(r.i32()), FirstUnstable: InstanceID(r.i64())}
+	case TPrepareOK:
+		v := &PrepareOK{View: View(r.i32())}
+		n := r.u32()
+		if r.err == nil && n <= r.len() { // each entry is >= 1 byte
+			v.Entries = make([]InstanceState, 0, n)
+			for range n {
+				v.Entries = append(v.Entries, InstanceState{
+					ID:           InstanceID(r.i64()),
+					AcceptedView: View(r.i32()),
+					Decided:      r.bool(),
+					Value:        r.bytes(),
+				})
+			}
+		} else if n > 0 {
+			r.fail()
+		}
+		m = v
+	case TPropose:
+		m = &Propose{
+			View:        View(r.i32()),
+			ID:          InstanceID(r.i64()),
+			DecidedUpTo: InstanceID(r.i64()),
+			Value:       r.bytes(),
+		}
+	case TAccept:
+		m = &Accept{View: View(r.i32()), ID: InstanceID(r.i64())}
+	case THeartbeat:
+		m = &Heartbeat{View: View(r.i32()), DecidedUpTo: InstanceID(r.i64())}
+	case TCatchUpQuery:
+		m = &CatchUpQuery{From: InstanceID(r.i64()), To: InstanceID(r.i64())}
+	case TCatchUpResp:
+		v := &CatchUpResp{}
+		n := r.u32()
+		if r.err == nil && n <= r.len() {
+			v.Entries = make([]DecidedValue, 0, n)
+			for range n {
+				v.Entries = append(v.Entries, DecidedValue{
+					ID:    InstanceID(r.i64()),
+					Value: r.bytes(),
+				})
+			}
+		} else if n > 0 {
+			r.fail()
+		}
+		v.HasSnapshot = r.bool()
+		if v.HasSnapshot {
+			v.Snapshot = Snapshot{
+				LastIncluded: InstanceID(r.i64()),
+				ServiceState: r.bytes(),
+				ReplyCache:   r.bytes(),
+			}
+		}
+		m = v
+	case TClientRequest:
+		m = &ClientRequest{ClientID: r.u64(), Seq: r.u64(), Payload: r.bytes()}
+	case TClientReply:
+		m = &ClientReply{
+			ClientID: r.u64(),
+			Seq:      r.u64(),
+			OK:       r.bool(),
+			Redirect: r.i32(),
+			Payload:  r.bytes(),
+		}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, ErrTrailingData
+	}
+	return m, nil
+}
+
+// EncodeBatch serializes a batch of client requests into one consensus value
+// (Sec. III-B: requests are grouped into batches, the unit of ordering).
+func EncodeBatch(reqs []*ClientRequest) []byte {
+	a := appender{b: make([]byte, 0, 32*len(reqs)+4)}
+	a.u32(uint32(len(reqs)))
+	for _, req := range reqs {
+		a.u64(req.ClientID)
+		a.u64(req.Seq)
+		a.bytes(req.Payload)
+	}
+	return a.b
+}
+
+// DecodeBatch parses a consensus value back into client requests.
+func DecodeBatch(b []byte) ([]*ClientRequest, error) {
+	r := reader{b: b}
+	n := r.u32()
+	if r.err != nil || uint64(n) > uint64(r.len()) {
+		return nil, ErrShortBuffer
+	}
+	reqs := make([]*ClientRequest, 0, n)
+	for range n {
+		reqs = append(reqs, &ClientRequest{
+			ClientID: r.u64(),
+			Seq:      r.u64(),
+			Payload:  r.bytes(),
+		})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, ErrTrailingData
+	}
+	return reqs, nil
+}
+
+// BatchOverhead is the encoded size overhead per batch, and RequestOverhead
+// per request within it; used by the batching policy to respect the BSZ
+// budget in wire bytes.
+const (
+	BatchOverhead   = 4
+	RequestOverhead = 8 + 8 + 4
+)
+
+// EncodedRequestSize returns the wire size of one request inside a batch.
+func EncodedRequestSize(payload int) int { return RequestOverhead + payload }
+
+// WriteFrame writes payload to w prefixed with its uint32 length.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooBig
+	}
+	if n > math.MaxInt32 {
+		return nil, ErrFrameTooBig
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: read frame payload: %w", err)
+	}
+	return payload, nil
+}

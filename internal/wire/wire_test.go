@@ -1,0 +1,308 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// allMessages returns one populated instance of every message type.
+func allMessages() []Message {
+	return []Message{
+		&Hello{ID: 2},
+		&Prepare{View: 7, FirstUnstable: 42},
+		&PrepareOK{View: 7, Entries: []InstanceState{
+			{ID: 42, AcceptedView: 3, Decided: true, Value: []byte("abc")},
+			{ID: 43, AcceptedView: 6, Decided: false, Value: nil},
+		}},
+		&Propose{View: 7, ID: 44, DecidedUpTo: 41, Value: []byte{1, 2, 3, 4}},
+		&Accept{View: 7, ID: 44},
+		&Heartbeat{View: 7, DecidedUpTo: 43},
+		&CatchUpQuery{From: 10, To: 20},
+		&CatchUpResp{Entries: []DecidedValue{{ID: 10, Value: []byte("x")}}},
+		&CatchUpResp{HasSnapshot: true, Snapshot: Snapshot{
+			LastIncluded: 9, ServiceState: []byte("svc"), ReplyCache: []byte("rc")}},
+		&ClientRequest{ClientID: 0xdeadbeef, Seq: 17, Payload: []byte("hello")},
+		&ClientReply{ClientID: 0xdeadbeef, Seq: 17, OK: true, Redirect: NoRedirect, Payload: []byte("ok")},
+		&ClientReply{ClientID: 1, Seq: 2, OK: false, Redirect: 2},
+	}
+}
+
+// normalize maps empty slices to nil so reflect.DeepEqual treats a
+// round-tripped empty value as equal to the original.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case *PrepareOK:
+		for i := range v.Entries {
+			if len(v.Entries[i].Value) == 0 {
+				v.Entries[i].Value = nil
+			}
+		}
+		if len(v.Entries) == 0 {
+			v.Entries = nil
+		}
+	case *CatchUpResp:
+		for i := range v.Entries {
+			if len(v.Entries[i].Value) == 0 {
+				v.Entries[i].Value = nil
+			}
+		}
+		if len(v.Entries) == 0 {
+			v.Entries = nil
+		}
+		if len(v.Snapshot.ServiceState) == 0 {
+			v.Snapshot.ServiceState = nil
+		}
+		if len(v.Snapshot.ReplyCache) == 0 {
+			v.Snapshot.ReplyCache = nil
+		}
+	case *Propose:
+		if len(v.Value) == 0 {
+			v.Value = nil
+		}
+	case *ClientRequest:
+		if len(v.Payload) == 0 {
+			v.Payload = nil
+		}
+	case *ClientReply:
+		if len(v.Payload) == 0 {
+			v.Payload = nil
+		}
+	}
+	return m
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, m := range allMessages() {
+		b := Marshal(m)
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Errorf("Unmarshal(%s): %v", m.Type(), err)
+			continue
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(m)) {
+			t.Errorf("round trip %s:\n got %+v\nwant %+v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrShortBuffer},
+		{"unknown type", []byte{0xff}, ErrUnknownType},
+		{"truncated prepare", []byte{byte(TPrepare), 1, 2}, ErrShortBuffer},
+		{"trailing bytes", append(Marshal(&Accept{View: 1, ID: 2}), 0xAB), ErrTrailingData},
+		{"huge entry count", append(Marshal(&PrepareOK{View: 1})[:5], 0xff, 0xff, 0xff, 0xff), ErrShortBuffer},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Unmarshal(tt.b)
+			if !errors.Is(err, tt.want) {
+				t.Errorf("Unmarshal = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestUnmarshalTruncationNeverPanics(t *testing.T) {
+	for _, m := range allMessages() {
+		b := Marshal(m)
+		for i := range b {
+			if _, err := Unmarshal(b[:i]); err == nil {
+				t.Errorf("%s truncated to %d bytes decoded without error", m.Type(), i)
+			}
+		}
+	}
+}
+
+func TestDecodedMessageDoesNotAliasBuffer(t *testing.T) {
+	b := Marshal(&ClientRequest{ClientID: 1, Seq: 1, Payload: []byte("orig")})
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		b[i] = 0xFF
+	}
+	req := m.(*ClientRequest)
+	if string(req.Payload) != "orig" {
+		t.Errorf("payload aliased the input buffer: %q", req.Payload)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		reqs []*ClientRequest
+	}{
+		{"empty", nil},
+		{"one", []*ClientRequest{{ClientID: 1, Seq: 2, Payload: []byte("a")}}},
+		{"several", []*ClientRequest{
+			{ClientID: 1, Seq: 1, Payload: bytes.Repeat([]byte("x"), 128)},
+			{ClientID: 2, Seq: 9, Payload: nil},
+			{ClientID: 3, Seq: 100, Payload: []byte{0}},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := EncodeBatch(tt.reqs)
+			got, err := DecodeBatch(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tt.reqs) {
+				t.Fatalf("decoded %d requests, want %d", len(got), len(tt.reqs))
+			}
+			for i := range got {
+				if got[i].ClientID != tt.reqs[i].ClientID || got[i].Seq != tt.reqs[i].Seq ||
+					!bytes.Equal(got[i].Payload, tt.reqs[i].Payload) {
+					t.Errorf("request %d = %+v, want %+v", i, got[i], tt.reqs[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeBatchErrors(t *testing.T) {
+	if _, err := DecodeBatch(nil); err == nil {
+		t.Error("DecodeBatch(nil) succeeded")
+	}
+	if _, err := DecodeBatch([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("DecodeBatch with huge count succeeded")
+	}
+	b := EncodeBatch([]*ClientRequest{{ClientID: 1, Seq: 1}})
+	if _, err := DecodeBatch(append(b, 1)); !errors.Is(err, ErrTrailingData) {
+		t.Errorf("trailing data err = %v, want ErrTrailingData", err)
+	}
+}
+
+func TestEncodedRequestSize(t *testing.T) {
+	reqs := []*ClientRequest{{ClientID: 1, Seq: 1, Payload: make([]byte, 128)}}
+	want := BatchOverhead + EncodedRequestSize(128)
+	if got := len(EncodeBatch(reqs)); got != want {
+		t.Errorf("encoded batch size = %d, want %d", got, want)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("first"), {}, bytes.Repeat([]byte("z"), 10000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame = %q, want %q", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("ReadFrame on empty = %v, want EOF", err)
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooBig) {
+		t.Errorf("ReadFrame = %v, want ErrFrameTooBig", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Errorf("WriteFrame = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-2])
+	if _, err := ReadFrame(trunc); err == nil {
+		t.Error("ReadFrame on truncated payload succeeded")
+	}
+}
+
+// TestPropertyClientRequestRoundTrip property-tests the codec on arbitrary
+// client requests.
+func TestPropertyClientRequestRoundTrip(t *testing.T) {
+	f := func(id, seq uint64, payload []byte) bool {
+		m := &ClientRequest{ClientID: id, Seq: seq, Payload: payload}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			return false
+		}
+		r, ok := got.(*ClientRequest)
+		return ok && r.ClientID == id && r.Seq == seq && bytes.Equal(r.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBatchRoundTrip property-tests batch encoding on arbitrary
+// request sets.
+func TestPropertyBatchRoundTrip(t *testing.T) {
+	f := func(ids []uint64, payload []byte) bool {
+		reqs := make([]*ClientRequest, len(ids))
+		for i, id := range ids {
+			reqs[i] = &ClientRequest{ClientID: id, Seq: uint64(i), Payload: payload}
+		}
+		got, err := DecodeBatch(EncodeBatch(reqs))
+		if err != nil || len(got) != len(reqs) {
+			return false
+		}
+		for i := range got {
+			if got[i].ClientID != reqs[i].ClientID || got[i].Seq != reqs[i].Seq ||
+				!bytes.Equal(got[i].Payload, reqs[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyProposeRoundTrip property-tests Propose with arbitrary fields,
+// the hottest message on the wire.
+func TestPropertyProposeRoundTrip(t *testing.T) {
+	f := func(view int32, id, upto int64, val []byte) bool {
+		m := &Propose{View: View(view), ID: InstanceID(id), DecidedUpTo: InstanceID(upto), Value: val}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			return false
+		}
+		p, ok := got.(*Propose)
+		return ok && p.View == m.View && p.ID == m.ID && p.DecidedUpTo == m.DecidedUpTo &&
+			bytes.Equal(p.Value, m.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyUnmarshalRandomBytesNeverPanics fuzzes the decoder with random
+// byte strings; any outcome but a panic is acceptable.
+func TestPropertyUnmarshalRandomBytesNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
