@@ -17,6 +17,7 @@ import (
 
 	"gosmr"
 	"gosmr/internal/batch"
+	"gosmr/internal/executor"
 	"gosmr/internal/experiments"
 	"gosmr/internal/paxos"
 	"gosmr/internal/profiling"
@@ -263,6 +264,56 @@ func BenchmarkRealOrderingThroughput(b *testing.B) {
 	elapsed := time.Since(start)
 	if elapsed > 0 {
 		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
+	}
+}
+
+// BenchmarkExecutorConflictRate is the executor-scaling tracking benchmark:
+// executed throughput of the real pipeline (in-proc transport, conflict-aware
+// KV with non-trivial per-command cost) at 0%, 10% and 100% conflicting keys,
+// for the sequential baseline (1 worker) and 8 workers. On multi-core hosts
+// the 0%-conflict rows should show workers=8 clearly above workers=1, while
+// 100% conflicts serialize on the hot key and gain nothing; on a single-core
+// host the rows converge. Compare executed/s across BENCH_*.json over time.
+func BenchmarkExecutorConflictRate(b *testing.B) {
+	for _, pct := range []int{0, 10, 100} {
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("conflict=%d%%/workers=%d", pct, workers), func(b *testing.B) {
+				for b.Loop() {
+					r := experiments.ExecutorScaling(experiments.ExecutorOptions{
+						Workers:     []int{workers},
+						ConflictPct: []int{pct},
+						Clients:     16,
+						Measure:     150 * time.Millisecond,
+					})
+					b.ReportMetric(r.Tput[0][0], "executed/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExecutorDispatch measures the scheduler's per-request dispatch
+// overhead (key hashing + FIFO handoff) against the inline sequential path —
+// the fixed cost parallel execution must amortize.
+func BenchmarkExecutorDispatch(b *testing.B) {
+	keys := func(req []byte) []string { return []string{string(req)} }
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := executor.New(executor.Config{Workers: workers, Keys: keys})
+			e.Start()
+			defer e.Stop()
+			th := profiling.NewRegistry().Register("bench-scheduler")
+			reqs := make([][]byte, 64)
+			for i := range reqs {
+				reqs[i] = []byte(fmt.Sprintf("key-%d", i))
+			}
+			task := executor.Task(func(*profiling.Thread) {})
+			b.ResetTimer()
+			for i := 0; b.Loop(); i++ {
+				e.Submit(th, reqs[i%len(reqs)], task)
+			}
+			e.Quiesce(th)
+		})
 	}
 }
 

@@ -25,7 +25,7 @@ func main() {
 		warmup  = flag.Duration("warmup", 200*time.Millisecond, "virtual warm-up per run (discarded)")
 		measure = flag.Duration("measure", 500*time.Millisecond, "virtual measurement window per run")
 		which   = flag.String("experiment", "all",
-			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher")
+			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor")
 	)
 	flag.Parse()
 
@@ -74,6 +74,12 @@ func main() {
 		fmt.Print(s.AblationRSS().Report)
 	case "nobatcher":
 		fmt.Print(s.AblationNoBatcher().Report)
+	case "executor":
+		// Runs on the real pipeline (not the simulator): executed throughput
+		// vs executor workers and workload conflict rate.
+		fmt.Print(experiments.ExecutorScaling(experiments.ExecutorOptions{
+			Warmup: *warmup, Measure: *measure,
+		}).Report)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
 		os.Exit(2)

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"gosmr"
+	"gosmr/internal/service"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 		duration = flag.Duration("duration", 30*time.Second, "run duration")
 		warmup   = flag.Duration("warmup", 3*time.Second, "warm-up discarded from results")
 		payload  = flag.Int("payload", 128, "request payload bytes (paper: 128)")
+		kvKeys   = flag.Int("kv-keys", 0, "send well-formed KV PUTs over this many keys per client instead of raw payloads (exercises conflict-aware parallel execution; 0 = raw)")
 	)
 	flag.Parse()
 	if *addrs == "" {
@@ -57,9 +59,13 @@ func main() {
 				return
 			}
 			defer cli.Close()
-			for !done.Load() {
+			for n := 0; !done.Load(); n++ {
+				req := body
+				if *kvKeys > 0 {
+					req = service.EncodePut(fmt.Sprintf("c%d-k%d", i, n%*kvKeys), body)
+				}
 				start := time.Now()
-				if _, err := cli.Execute(body); err != nil {
+				if _, err := cli.Execute(req); err != nil {
 					log.Printf("client %d: %v", i, err)
 					return
 				}

@@ -25,14 +25,15 @@ import (
 
 func main() {
 	var (
-		id         = flag.Int("id", 0, "replica ID (index into -peers)")
-		peers      = flag.String("peers", "", "comma-separated replica addresses, indexed by ID")
-		clientAddr = flag.String("client", "", "client-facing listen address")
-		workers    = flag.Int("clientio", 4, "ClientIO worker pool size")
-		window     = flag.Int("window", 10, "pipelining window WND")
-		batchBytes = flag.Int("batch", 1300, "batch size budget BSZ in bytes")
-		snapEvery  = flag.Int("snapshot-every", 10000, "snapshot every N instances (0 = off)")
-		stats      = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+		id          = flag.Int("id", 0, "replica ID (index into -peers)")
+		peers       = flag.String("peers", "", "comma-separated replica addresses, indexed by ID")
+		clientAddr  = flag.String("client", "", "client-facing listen address")
+		workers     = flag.Int("clientio", 4, "ClientIO worker pool size")
+		window      = flag.Int("window", 10, "pipelining window WND")
+		batchBytes  = flag.Int("batch", 1300, "batch size budget BSZ in bytes")
+		snapEvery   = flag.Int("snapshot-every", 10000, "snapshot every N instances (0 = off)")
+		execWorkers = flag.Int("executor-workers", 1, "parallel execution workers (KV declares per-key conflicts; 1 = sequential)")
+		stats       = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 		Window:          *window,
 		BatchBytes:      *batchBytes,
 		SnapshotEvery:   *snapEvery,
+		ExecutorWorkers: *execWorkers,
 	}, service.NewKV())
 	if err != nil {
 		log.Fatalf("configuring replica: %v", err)

@@ -1,0 +1,3 @@
+module gosmr
+
+go 1.24

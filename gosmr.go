@@ -51,6 +51,24 @@ type Service interface {
 	Restore(snapshot []byte) error
 }
 
+// ConflictAware is an optional Service extension that unlocks parallel
+// execution. A conflict-aware service declares, for each request, the set of
+// state keys the request reads or writes; two requests conflict iff their
+// key sets intersect. When the service implements ConflictAware and
+// Config.ExecutorWorkers > 1, the replica executes non-conflicting requests
+// concurrently on multiple workers while guaranteeing that conflicting
+// requests run in log order on every replica — the observable state stays
+// equivalent to a serial execution.
+//
+// Keys must be a pure function of the request bytes (never of service
+// state). Returning nil or an empty slice marks the request "global": it
+// acts as a barrier, serialized against every other request — the safe
+// answer for unparseable or whole-state commands. Services that do not
+// implement ConflictAware always execute sequentially, exactly as before.
+type ConflictAware interface {
+	Keys(req []byte) []string
+}
+
 // Network is a transport for a cluster: TCP in production, in-process for
 // tests and single-host experiments. Obtain one from TCPNetwork or
 // NewInprocNetwork.
@@ -92,6 +110,11 @@ type Config struct {
 	// (0 disables).
 	SnapshotEvery int
 
+	// ExecutorWorkers sets the number of parallel execution workers. It
+	// takes effect only when the Service also implements ConflictAware;
+	// 0 or 1 (the default) keeps the classic single-threaded execution.
+	ExecutorWorkers int
+
 	// HeartbeatInterval and SuspectTimeout tune the failure detector.
 	HeartbeatInterval time.Duration
 	SuspectTimeout    time.Duration
@@ -117,6 +140,7 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		Window:            cfg.Window,
 		Batch:             batch.Policy{MaxBytes: cfg.BatchBytes, MaxDelay: cfg.BatchDelay},
 		SnapshotEvery:     cfg.SnapshotEvery,
+		ExecutorWorkers:   cfg.ExecutorWorkers,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		SuspectTimeout:    cfg.SuspectTimeout,
 		Profiling:         cfg.Profiling,
@@ -153,8 +177,9 @@ func (r *Replica) Executed() uint64 { return r.inner.Executed() }
 func (r *Replica) ClientAddr() string { return r.inner.ClientAddr() }
 
 // QueueStats returns the time-averaged lengths of the internal queues
-// (RequestQueue, ProposalQueue, DispatcherQueue, DecisionQueue) — the
-// statistics of the paper's Table I.
+// (RequestQueue, ProposalQueue, DispatcherQueue, DecisionQueue, and the
+// per-worker ExecutorQueue-i when parallel execution is enabled) — the
+// statistics of the paper's Table I, extended with the executor stage.
 func (r *Replica) QueueStats() map[string]float64 { return r.inner.QueueStats() }
 
 // NewProfilingRegistry returns a registry to pass in Config.Profiling; its

@@ -23,8 +23,9 @@ type cluster struct {
 
 // clusterConfig tweaks startCluster.
 type clusterConfig struct {
-	snapshotEvery int
-	window        int
+	snapshotEvery   int
+	window          int
+	executorWorkers int
 }
 
 // startCluster boots an n-replica in-process cluster with fast failure
@@ -46,6 +47,7 @@ func startCluster(t *testing.T, n int, cc clusterConfig) *cluster {
 			Network:           net,
 			Window:            cc.window,
 			SnapshotEvery:     cc.snapshotEvery,
+			ExecutorWorkers:   cc.executorWorkers,
 			BatchDelay:        time.Millisecond,
 			HeartbeatInterval: 20 * time.Millisecond,
 			SuspectTimeout:    200 * time.Millisecond,
@@ -213,6 +215,67 @@ func TestManyClientsConcurrent(t *testing.T) {
 	c.waitConverged(clients*each, 10*time.Second)
 	if c.services[0].Len() != clients*each {
 		t.Errorf("keys = %d, want %d", c.services[0].Len(), clients*each)
+	}
+}
+
+// TestParallelExecutionPublicAPI exercises the ConflictAware + ExecutorWorkers
+// surface end to end: a cluster running the conflict-aware KV service with 4
+// execution workers must serve a concurrent mixed-conflict workload (shared
+// hot keys + private keys + snapshots) and converge every replica to
+// byte-identical state.
+func TestParallelExecutionPublicAPI(t *testing.T) {
+	c := startCluster(t, 3, clusterConfig{executorWorkers: 4, snapshotEvery: 10})
+	const (
+		clients = 6
+		each    = 30
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := range clients {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cli := c.client()
+			defer cli.Close()
+			for i := range each {
+				key := fmt.Sprintf("shared-%d", i%3) // conflicting across clients
+				if i%2 == 0 {
+					key = fmt.Sprintf("c%d-k%d", ci, i) // private
+				}
+				reply, err := cli.Execute(service.EncodePut(key, []byte(fmt.Sprintf("c%d-i%d", ci, i))))
+				if err != nil {
+					errs <- fmt.Errorf("client %d op %d: %w", ci, i, err)
+					return
+				}
+				if st, _ := service.DecodeReply(reply); st != service.KVOK {
+					errs <- fmt.Errorf("client %d op %d: status %d", ci, i, st)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	c.waitConverged(clients*each, 10*time.Second)
+	want, err := c.services[0].Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		got, err := c.services[i].Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("replica %d state diverged under parallel execution", i)
+		}
+	}
+	// The executor stage surfaces in the public queue statistics.
+	if _, ok := c.replicas[0].QueueStats()["ExecutorQueue-0"]; !ok {
+		t.Error("QueueStats missing ExecutorQueue-0")
 	}
 }
 

@@ -44,6 +44,14 @@ type Service interface {
 	Restore(snapshot []byte) error
 }
 
+// ConflictAware is the optional Service extension that unlocks parallel
+// execution: a service that declares, per request, the conflict keys the
+// request touches (see package executor). When the service implements it and
+// Config.ExecutorWorkers > 1, non-conflicting requests execute concurrently.
+type ConflictAware interface {
+	Keys(req []byte) []string
+}
+
 // Config configures a Replica. Zero fields take the documented defaults.
 type Config struct {
 	// ID is this replica's index in PeerAddrs.
@@ -85,6 +93,15 @@ type Config struct {
 	// SnapshotEvery triggers a service snapshot (and log truncation) every
 	// that many executed instances; 0 disables snapshotting.
 	SnapshotEvery int
+
+	// ExecutorWorkers is the number of execution worker goroutines. It takes
+	// effect only when the service implements ConflictAware; the default (and
+	// any value <= 1) keeps the original single-threaded ServiceManager
+	// execution path.
+	ExecutorWorkers int
+	// ExecutorQueueCap bounds each execution worker's input queue
+	// (default 256).
+	ExecutorQueueCap int
 
 	// CoarseReplyCache switches the reply cache to the single-lock variant
 	// (ablation of Sec. V-D).

@@ -93,6 +93,9 @@ func startReplica(t *testing.T, net transport.Network, profile *profiling.Regist
 		t.Fatal(err)
 	}
 	t.Cleanup(r.Stop)
+	// A solo replica leads as soon as Phase 1 completes; wait for it so
+	// requests sent right away are accepted instead of redirected.
+	waitLeader(t, r)
 	return r
 }
 
@@ -125,6 +128,7 @@ func TestSingleReplicaPipelineAndProfiling(t *testing.T) {
 	if err := r.Start(); err == nil {
 		t.Error("double Start accepted")
 	}
+	waitLeader(t, r)
 
 	// Raw wire-level client: send one request, expect an OK reply.
 	conn, err := net.Dial("solo-client")

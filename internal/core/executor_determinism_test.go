@@ -1,0 +1,209 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gosmr/internal/profiling"
+	"gosmr/internal/service"
+	"gosmr/internal/transport"
+	"gosmr/internal/wire"
+)
+
+// TestExecutorClusterDeterminism drives a randomized mixed-conflict KV
+// workload through a 3-replica cluster at executor worker counts 1, 2 and 8
+// and requires every replica to end with byte-identical service snapshots
+// and reply caches. Conflicts are real: several clients hammer shared "hot"
+// keys concurrently with private keys, plus malformed (global/barrier)
+// commands.
+func TestExecutorClusterDeterminism(t *testing.T) {
+	const (
+		clients        = 8
+		reqsPerClient  = 40
+		sharedKeys     = 3
+		privatePerConn = 4
+	)
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			net := transport.NewInproc(0)
+			peers := []string{"det-0", "det-1", "det-2"}
+			svcs := make([]*service.KV, 3)
+			reps := make([]*Replica, 3)
+			for i := range 3 {
+				svcs[i] = service.NewKV()
+				r, err := NewReplica(Config{
+					ID: i, PeerAddrs: peers, ClientAddr: fmt.Sprintf("det-c%d", i),
+					Network: net, Batch: batchPolicy(), ExecutorWorkers: workers,
+				}, svcs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Start(); err != nil {
+					t.Fatal(err)
+				}
+				defer r.Stop()
+				reps[i] = r
+			}
+			waitLeader(t, reps[0])
+
+			var wg sync.WaitGroup
+			for c := range clients {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(1000*workers + c)))
+					conn, err := net.Dial("det-c0")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer conn.Close()
+					for seq := 1; seq <= reqsPerClient; seq++ {
+						var payload []byte
+						switch p := rng.Intn(100); {
+						case p < 5:
+							payload = []byte{0xEE} // unknown opcode: global barrier
+						case p < 40:
+							key := fmt.Sprintf("hot-%d", rng.Intn(sharedKeys))
+							payload = service.EncodePut(key, []byte(fmt.Sprintf("c%d-s%d", c, seq)))
+						case p < 55:
+							payload = service.EncodeGet(fmt.Sprintf("hot-%d", rng.Intn(sharedKeys)))
+						case p < 65:
+							payload = service.EncodeDel(fmt.Sprintf("hot-%d", rng.Intn(sharedKeys)))
+						default:
+							key := fmt.Sprintf("c%d-k%d", c, rng.Intn(privatePerConn))
+							payload = service.EncodePut(key, []byte(fmt.Sprintf("v%d", seq)))
+						}
+						req := &wire.ClientRequest{ClientID: uint64(100 + c), Seq: uint64(seq), Payload: payload}
+						if err := conn.WriteFrame(wire.Marshal(req)); err != nil {
+							t.Error(err)
+							return
+						}
+						if _, err := conn.ReadFrame(); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			// Every replica (leader and followers) must execute the full log.
+			total := uint64(clients * reqsPerClient)
+			deadline := time.Now().Add(15 * time.Second)
+			for _, r := range reps {
+				for r.Executed() < total && time.Now().Before(deadline) {
+					time.Sleep(2 * time.Millisecond)
+				}
+				if got := r.Executed(); got != total {
+					t.Fatalf("replica %d executed %d of %d", r.ID(), got, total)
+				}
+			}
+
+			// Byte-identical service snapshots and reply caches across the
+			// cluster: parallel execution preserved the serial-equivalent
+			// order everywhere.
+			wantSnap, err := svcs[0].Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCache := reps[0].replyCache.Marshal()
+			for i := 1; i < 3; i++ {
+				snap, err := svcs[i].Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(wantSnap, snap) {
+					t.Errorf("replica %d service snapshot diverged from replica 0", i)
+				}
+				if !bytes.Equal(wantCache, reps[i].replyCache.Marshal()) {
+					t.Errorf("replica %d reply cache diverged from replica 0", i)
+				}
+			}
+		})
+	}
+}
+
+// waitLeader blocks until r establishes leadership.
+func waitLeader(t *testing.T, r *Replica) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !r.IsLeader() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !r.IsLeader() {
+		t.Fatal("replica never became leader")
+	}
+}
+
+// TestExecutorObservability verifies the executor stage shows up in the
+// replica's Table-I statistics and thread profile: per-worker queues in
+// QueueStats and Executor-i worker threads in the profiling registry.
+func TestExecutorObservability(t *testing.T) {
+	net := transport.NewInproc(0)
+	reg := profiling.NewRegistry()
+	r, err := NewReplica(Config{
+		ID: 0, PeerAddrs: []string{"obs-peer"}, ClientAddr: "obs-client",
+		Network: net, Batch: batchPolicy(), ExecutorWorkers: 3, Profiling: reg,
+	}, service.NewKV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	waitLeader(t, r)
+
+	conn, err := net.Dial("obs-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for seq := 1; seq <= 10; seq++ {
+		req := &wire.ClientRequest{ClientID: 77, Seq: uint64(seq),
+			Payload: service.EncodePut(fmt.Sprintf("k%d", seq), []byte("v"))}
+		if err := conn.WriteFrame(wire.Marshal(req)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.ReadFrame(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats := r.QueueStats()
+	for _, name := range []string{"ExecutorQueue-0", "ExecutorQueue-1", "ExecutorQueue-2"} {
+		if _, ok := stats[name]; !ok {
+			t.Errorf("QueueStats missing %s (have %v)", name, stats)
+		}
+	}
+	names := make(map[string]bool)
+	for _, st := range reg.Snapshot() {
+		names[st.Name] = true
+	}
+	for _, want := range []string{"Executor-0", "Executor-1", "Executor-2"} {
+		if !names[want] {
+			t.Errorf("thread %q not registered", want)
+		}
+	}
+	r.ResetQueueStats()
+
+	// A plain (non-ConflictAware) service must stay sequential even with
+	// workers configured: no executor queues appear.
+	r2, err := NewReplica(Config{
+		ID: 0, PeerAddrs: []string{"obs2-peer"}, ClientAddr: "obs2-client",
+		Network: net, Batch: batchPolicy(), ExecutorWorkers: 8,
+	}, &service.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range r2.QueueStats() {
+		if name == "ExecutorQueue-0" {
+			t.Error("plain Service got a parallel executor")
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gosmr/internal/executor"
 	"gosmr/internal/fd"
 	"gosmr/internal/paxos"
 	"gosmr/internal/profiling"
@@ -34,6 +35,7 @@ type Replica struct {
 	peerIO   *replicaIO
 	detector *fd.Detector
 	retr     *retrans.Retransmitter
+	exec     *executor.Executor
 
 	// Shared lock-free hints (the paper's "volatile variable" exceptions).
 	viewHint    atomic.Int32 // current view
@@ -46,6 +48,11 @@ type Replica struct {
 
 	replyCache replycache.Cache
 	registry   *clientRegistry
+
+	// execSeq is the execution scheduler's at-most-once table (client →
+	// highest scheduled seq + assigned worker). Owned exclusively by the
+	// ServiceManager thread; never touched elsewhere.
+	execSeq map[uint64]schedEntry
 
 	// Counters for metrics and experiments.
 	executed     atomic.Uint64 // requests executed
@@ -81,6 +88,7 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		sendQ:     make([]*queue.Bounded[wire.Message], n),
 		snapshots: &snapshotStore{},
 		registry:  newClientRegistry(),
+		execSeq:   make(map[uint64]schedEntry),
 		stop:      make(chan struct{}),
 	}
 	for p := range n {
@@ -93,6 +101,19 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 	} else {
 		r.replyCache = replycache.NewSharded()
 	}
+	// Execution stage: parallel when the service declares conflicts and more
+	// than one worker is configured, otherwise the sequential fallback that
+	// runs inline on the ServiceManager thread.
+	var keys func([]byte) []string
+	if ca, ok := svc.(ConflictAware); ok {
+		keys = ca.Keys
+	}
+	r.exec = executor.New(executor.Config{
+		Workers:   cfg.ExecutorWorkers,
+		Keys:      keys,
+		QueueCap:  cfg.ExecutorQueueCap,
+		Profiling: cfg.Profiling,
+	})
 	r.leaderHint.Store(0) // leader of view 0
 	return r, nil
 }
@@ -121,14 +142,19 @@ func (r *Replica) DecidedUpTo() wire.InstanceID {
 func (r *Replica) Executed() uint64 { return r.executed.Load() }
 
 // QueueStats reports the time-averaged lengths of the three queues of
-// Table I plus the decision queue.
+// Table I plus the decision queue and, when parallel execution is enabled,
+// each executor worker's queue (ExecutorQueue-i).
 func (r *Replica) QueueStats() map[string]float64 {
-	return map[string]float64{
+	stats := map[string]float64{
 		"RequestQueue":    r.requestQ.AvgLen(),
 		"ProposalQueue":   r.proposalQ.AvgLen(),
 		"DispatcherQueue": r.dispatchQ.AvgLen(),
 		"DecisionQueue":   r.decisionQ.AvgLen(),
 	}
+	for name, avg := range r.exec.QueueStats() {
+		stats[name] = avg
+	}
+	return stats
 }
 
 // ResetQueueStats restarts queue-average tracking (to discard warm-up).
@@ -137,6 +163,7 @@ func (r *Replica) ResetQueueStats() {
 	r.proposalQ.ResetStats()
 	r.dispatchQ.ResetStats()
 	r.decisionQ.ResetStats()
+	r.exec.ResetQueueStats()
 }
 
 // Start launches every module. It returns once all listeners are bound and
@@ -197,7 +224,9 @@ func (r *Replica) Start() error {
 	r.wg.Add(1)
 	go r.runProtocol(node)
 
-	// ServiceManager thread (Sec. V-D).
+	// Execution workers (parallel mode only), then the ServiceManager
+	// thread (Sec. V-D) that schedules onto them.
+	r.exec.Start()
 	r.wg.Add(1)
 	go r.runServiceManager()
 
@@ -220,6 +249,13 @@ func (r *Replica) Stop() {
 				q.Close()
 			}
 		}
+		// The executor is NOT stopped here: Submit and Stop would race on
+		// the worker queues (a Put slipping into a just-closed queue after
+		// its worker exited would leak an inflight count and hang Quiesce).
+		// Instead the ServiceManager — the only Submit caller — stops the
+		// executor itself once the closed DecisionQueue drains. Workers
+		// never block (replies use TryPut), so a scheduler blocked on a
+		// full worker queue always unblocks without intervention.
 		if r.clientIO != nil {
 			r.clientIO.close()
 		}

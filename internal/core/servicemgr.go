@@ -1,19 +1,36 @@
 package core
 
 import (
+	"gosmr/internal/executor"
 	"gosmr/internal/profiling"
 	"gosmr/internal/replycache"
 	"gosmr/internal/wire"
 )
 
+// schedEntry is the scheduler's per-client at-most-once record: the highest
+// sequence number scheduled so far and the worker its execution was
+// dispatched to (executor.Inline for inline/global execution and entries
+// rebuilt from a snapshot).
+type schedEntry struct {
+	seq    uint64
+	worker int
+}
+
 // runServiceManager is the ServiceManager module's thread (Sec. V-D; the
 // paper's profiles label it "Replica"). It drains the DecisionQueue in log
-// order, executes each request exactly once against the service, updates
-// the reply cache, and hands replies to the ClientIO writer of the
-// connection owning each client. Periodically it snapshots the service and
-// asks the Protocol thread to truncate the log.
+// order and acts as the execution scheduler: each request is classified for
+// at-most-once semantics and handed to the executor, which either runs it
+// inline (sequential fallback — the paper's original single-threaded design)
+// or dispatches it to a conflict-keyed worker goroutine so independent
+// requests execute concurrently. Snapshot points quiesce the workers first,
+// so a snapshot always captures a state equivalent to a serial prefix of the
+// log.
 func (r *Replica) runServiceManager() {
 	defer r.wg.Done()
+	// The scheduler owns executor shutdown: it is the only goroutine that
+	// submits, so stopping from here (after the DecisionQueue drains) can
+	// never race with a submit — see Replica.Stop.
+	defer r.exec.Stop()
 	th := r.profThread("Replica")
 	th.Transition(profiling.StateBusy)
 	defer th.Transition(profiling.StateOther)
@@ -24,7 +41,7 @@ func (r *Replica) runServiceManager() {
 			return
 		}
 		if item.snapshot != nil {
-			r.installSnapshot(item.snapshot)
+			r.installSnapshot(th, item.snapshot)
 			continue
 		}
 		reqs, err := wire.DecodeBatch(item.value)
@@ -32,26 +49,72 @@ func (r *Replica) runServiceManager() {
 			continue // corrupt batch cannot happen with our own leader; skip
 		}
 		for _, req := range reqs {
-			r.executeOne(th, req)
+			r.scheduleOne(th, req)
 		}
-		r.maybeSnapshot(item.id)
+		r.maybeSnapshot(th, item.id)
 	}
 }
 
-// executeOne applies one request with at-most-once semantics.
-func (r *Replica) executeOne(th *profiling.Thread, req *wire.ClientRequest) {
-	reply, status := r.replyCache.Lookup(th, req.ClientID, req.Seq)
-	switch status {
-	case replycache.StatusStale:
-		return // superseded; the reply is gone
-	case replycache.StatusCached:
-		// Duplicate of the most recent execution (e.g. a client retry that
-		// got ordered twice): do not re-execute, just resend the reply.
-	case replycache.StatusNew:
-		reply = r.svc.Execute(req.Payload)
-		r.replyCache.Update(th, req.ClientID, req.Seq, reply)
-		r.executed.Add(1)
+// scheduleOne classifies one decided request and dispatches it. The
+// classification (execute / resend cached reply / drop as stale) is a pure
+// function of the log prefix — the scheduler sees the log in order on every
+// replica and keeps its own table — so all replicas make identical
+// decisions regardless of how worker execution interleaves. (Classifying at
+// execution time against the shared reply cache would be racy under
+// parallel execution: a client's seq n+1 on one worker could outrun its seq
+// n on another and flip n's status on some replicas but not others.)
+func (r *Replica) scheduleOne(th *profiling.Thread, req *wire.ClientRequest) {
+	last, seen := r.execSeq[req.ClientID]
+	switch {
+	case !seen || req.Seq > last.seq:
+		// New request: execute. Record the worker so a later duplicate can
+		// be ordered behind this execution.
+		w := r.exec.Submit(th, req.Payload, func(wth *profiling.Thread) {
+			r.executeNew(wth, req)
+		})
+		r.execSeq[req.ClientID] = schedEntry{seq: req.Seq, worker: w}
+	case req.Seq == last.seq:
+		// Duplicate of the client's most recent request (e.g. a retry that
+		// got ordered twice): do not re-execute; resend the cached reply,
+		// ordered behind the original execution on its worker.
+		r.exec.SubmitTo(th, last.worker, func(wth *profiling.Thread) {
+			r.resendCached(wth, req)
+		})
+	default:
+		// Stale: older than the client's most recent request. The reply is
+		// gone; ignore.
 	}
+}
+
+// executeNew applies a request the scheduler classified as new and routes
+// the reply. It runs on the ServiceManager thread in sequential mode and on
+// executor workers in parallel mode; everything it touches is safe for that
+// (sharded reply cache, atomic counters, lock-free registry reads,
+// non-blocking reply enqueue). Reply-cache updates from the same client's
+// consecutive requests may race across workers, but Update keeps the
+// highest sequence number, so every replica converges to the same cache.
+func (r *Replica) executeNew(th *profiling.Thread, req *wire.ClientRequest) {
+	reply := r.svc.Execute(req.Payload)
+	r.replyCache.Update(th, req.ClientID, req.Seq, reply)
+	r.executed.Add(1)
+	r.sendReply(req, reply)
+}
+
+// resendCached re-sends the reply of an already-executed request. Scheduled
+// behind the original execution, so the cache normally holds it; a later
+// request from the same client may have overwritten it meanwhile, in which
+// case the client has moved on and nothing needs sending.
+func (r *Replica) resendCached(th *profiling.Thread, req *wire.ClientRequest) {
+	reply, status := r.replyCache.Lookup(th, req.ClientID, req.Seq)
+	if status != replycache.StatusCached {
+		return
+	}
+	r.sendReply(req, reply)
+}
+
+// sendReply hands a reply to the ClientIO writer of the connection owning
+// the client, if it is connected here.
+func (r *Replica) sendReply(req *wire.ClientRequest, reply []byte) {
 	cc := r.registry.get(req.ClientID)
 	if cc == nil {
 		return // client not connected here (we may be a follower)
@@ -66,20 +129,33 @@ func (r *Replica) executeOne(th *profiling.Thread, req *wire.ClientRequest) {
 }
 
 // installSnapshot replaces service and reply-cache state from a transferred
-// snapshot (the replica was too far behind for log catch-up).
-func (r *Replica) installSnapshot(snap *wire.Snapshot) {
+// snapshot (the replica was too far behind for log catch-up). Workers are
+// quiesced first so no in-flight execution observes the swap, and the
+// scheduler's at-most-once table is rebuilt from the restored reply cache
+// (with Inline workers: those executions are part of the snapshot, so
+// nothing needs ordering behind them).
+func (r *Replica) installSnapshot(th *profiling.Thread, snap *wire.Snapshot) {
+	r.exec.Quiesce(th)
 	_ = r.svc.Restore(snap.ServiceState)
 	_ = r.replyCache.Restore(snap.ReplyCache)
+	r.execSeq = make(map[uint64]schedEntry)
+	for client, seq := range r.replyCache.LastSeqs() {
+		r.execSeq[client] = schedEntry{seq: seq, worker: executor.Inline}
+	}
 	r.snapshots.put(*snap)
 }
 
 // maybeSnapshot takes a service snapshot every SnapshotEvery instances and
-// asks the Protocol thread to truncate the log below it.
-func (r *Replica) maybeSnapshot(executedID wire.InstanceID) {
+// asks the Protocol thread to truncate the log below it. The executor is
+// quiesced first: all requests up to and including executedID have finished,
+// and none beyond it have been dispatched (the scheduler processes the log
+// in order), so the snapshot is exactly the serial state after executedID.
+func (r *Replica) maybeSnapshot(th *profiling.Thread, executedID wire.InstanceID) {
 	every := r.cfg.SnapshotEvery
 	if every <= 0 || (int64(executedID)+1)%int64(every) != 0 {
 		return
 	}
+	r.exec.Quiesce(th)
 	state, err := r.svc.Snapshot()
 	if err != nil {
 		return // service cannot snapshot now; try again next interval

@@ -1,0 +1,278 @@
+// Package executor implements the replica's execution stage as a
+// deterministic, conflict-aware multi-worker scheduler — the parallel
+// successor to the paper's single ServiceManager thread (Sec. V-D).
+//
+// The paper scales everything *around* execution (ClientIO pools, Batcher,
+// Protocol, per-peer ReplicaIO) but applies decided requests on one thread,
+// which caps replica throughput once ordering is no longer the bottleneck.
+// Following the parallel-SMR line of work (Marandi et al., "Rethinking
+// State-Machine Replication for Parallelism"; Alchieri et al., "Early
+// Scheduling in Parallel State Machine Replication"), this package executes
+// independent requests concurrently while keeping every replica's observable
+// state equivalent to a serial execution of the log:
+//
+//   - A single scheduler (the ServiceManager thread) drains decided requests
+//     in log order and dispatches each one by its declared conflict keys.
+//   - Every key is hashed to one of N workers; requests whose keys all land
+//     on the same worker are appended to that worker's FIFO queue. Two
+//     conflicting requests share a key, hash to the same worker, and thus
+//     execute in log order.
+//   - Requests with no keys, undeclarable keys, or keys spanning several
+//     workers are "global": the scheduler quiesces all workers and executes
+//     them inline, acting as a barrier (early-scheduling style), so they are
+//     totally ordered against everything else.
+//
+// Non-conflicting requests commute, so any interleaving of the worker FIFOs
+// yields the same service state; conflicting requests are serialized per
+// worker in log order. Every replica therefore converges to the same state —
+// see the determinism tests.
+//
+// The executor deliberately orders only by conflict keys. Decisions that
+// must be deterministic but span keys — per-client at-most-once
+// classification (new vs duplicate vs stale) — belong to the scheduler,
+// which makes them in log order before dispatch and uses SubmitTo to order
+// a duplicate's reply resend behind its original execution.
+//
+// When the service does not declare conflicts (no Keys function) or only one
+// worker is configured, the executor degrades to executing inline on the
+// scheduler thread, byte-for-byte the behavior of the original single
+// ServiceManager thread.
+package executor
+
+import (
+	"fmt"
+	"sync"
+
+	"gosmr/internal/profiling"
+	"gosmr/internal/queue"
+)
+
+// ConflictAware is the optional service extension consumed by the executor:
+// a service that can declare, per request, the set of state keys the request
+// reads or writes. Two requests conflict iff their key sets intersect; the
+// executor guarantees conflicting requests execute in log order. Returning
+// nil (or an empty set) marks the request "global": it is serialized against
+// every other request. Keys must be deterministic and must not depend on
+// service state.
+type ConflictAware interface {
+	Keys(req []byte) []string
+}
+
+// Task is one scheduled unit of execution. Run receives the profiling thread
+// of whichever goroutine executes it (a worker, or the scheduler for
+// sequential/global execution).
+type Task func(th *profiling.Thread)
+
+// Config configures an Executor.
+type Config struct {
+	// Workers is the number of execution goroutines. Values <= 1 select the
+	// sequential fallback (no goroutines; Submit runs tasks inline).
+	Workers int
+	// Keys extracts a request's conflict keys. nil selects the sequential
+	// fallback regardless of Workers.
+	Keys func(req []byte) []string
+	// QueueCap bounds each worker's input queue (default 256); a full queue
+	// blocks the scheduler, propagating backpressure to the DecisionQueue.
+	QueueCap int
+	// Profiling optionally registers the worker threads (Executor-i).
+	Profiling *profiling.Registry
+}
+
+// Executor dispatches decided requests across worker goroutines. Submit and
+// Quiesce must be called from a single scheduler goroutine; dispatch order is
+// the deterministic log order that replicas agree on.
+type Executor struct {
+	keys    func(req []byte) []string
+	queues  []*queue.Bounded[Task]
+	threads []*profiling.Thread
+
+	// inflight counts dispatched-but-unfinished tasks. Add is called only by
+	// the scheduler goroutine (which is also the only Wait caller), Done by
+	// workers, so the WaitGroup reuse is race-free.
+	inflight sync.WaitGroup
+	workers  sync.WaitGroup
+	stopOnce sync.Once
+
+	// Counters (read via Stats).
+	dispatched uint64 // tasks handed to workers
+	barriers   uint64 // global commands executed inline behind a quiesce
+}
+
+// New builds an executor. A nil Keys function or Workers <= 1 yields a
+// sequential executor that never spawns goroutines.
+func New(cfg Config) *Executor {
+	e := &Executor{keys: cfg.Keys}
+	if cfg.Workers <= 1 || cfg.Keys == nil {
+		return e
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	e.queues = make([]*queue.Bounded[Task], cfg.Workers)
+	e.threads = make([]*profiling.Thread, cfg.Workers)
+	for i := range e.queues {
+		e.queues[i] = queue.NewBounded[Task](fmt.Sprintf("ExecutorQueue-%d", i), cfg.QueueCap)
+		e.threads[i] = cfg.Profiling.Register(fmt.Sprintf("Executor-%d", i))
+	}
+	return e
+}
+
+// Parallel reports whether the executor dispatches to worker goroutines
+// (false for the sequential fallback).
+func (e *Executor) Parallel() bool { return len(e.queues) > 0 }
+
+// Workers returns the number of worker goroutines (0 when sequential).
+func (e *Executor) Workers() int { return len(e.queues) }
+
+// Start launches the worker goroutines. It is a no-op when sequential.
+func (e *Executor) Start() {
+	for i := range e.queues {
+		e.workers.Add(1)
+		go e.run(i)
+	}
+}
+
+// run is one worker's loop: drain the FIFO, execute, acknowledge.
+func (e *Executor) run(i int) {
+	defer e.workers.Done()
+	th := e.threads[i]
+	th.Transition(profiling.StateBusy)
+	defer th.Transition(profiling.StateOther)
+	for {
+		task, err := e.queues[i].Take(th)
+		if err != nil {
+			return // closed and drained
+		}
+		task(th)
+		e.inflight.Done()
+	}
+}
+
+// workerFor hashes a conflict key to a worker index with FNV-1a, which is
+// stable across replicas, processes, and architectures — the same key maps
+// to the same worker everywhere, so conflicting requests serialize
+// identically cluster-wide.
+func (e *Executor) workerFor(key string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(e.queues)))
+}
+
+// Inline is the pseudo-worker index Submit returns for tasks executed on the
+// scheduler itself (sequential mode and global commands). SubmitTo accepts it
+// and likewise runs inline.
+const Inline = -1
+
+// Submit schedules one request in log order and returns the worker index the
+// task was assigned to (Inline when it ran on the scheduler). It must be
+// called from the single scheduler goroutine. th is the scheduler's
+// profiling thread; time blocked on a full worker queue is credited to it as
+// waiting (backpressure).
+//
+// Sequential executors and global requests run inline on the scheduler;
+// single-worker requests are enqueued to their worker's FIFO.
+func (e *Executor) Submit(th *profiling.Thread, req []byte, task Task) int {
+	if !e.Parallel() {
+		task(th)
+		return Inline
+	}
+	keys := e.keys(req)
+	w := Inline
+	for _, k := range keys {
+		kw := e.workerFor(k)
+		if w == Inline {
+			w = kw
+		} else if w != kw {
+			w = Inline // keys span workers: treat as global
+			break
+		}
+	}
+	if w == Inline {
+		// Global command: barrier. Wait for every dispatched task, then
+		// execute inline so the command observes (and is observed by) a fully
+		// serial prefix.
+		e.Quiesce(th)
+		e.barriers++
+		task(th)
+		return Inline
+	}
+	e.SubmitTo(th, w, task)
+	return w
+}
+
+// SubmitTo enqueues a task to a specific worker's FIFO (or runs it inline
+// for worker == Inline), bypassing key hashing. The scheduler uses it to
+// order a request behind an earlier one whose worker assignment it recorded
+// — e.g. a duplicate's reply resend behind its original execution.
+func (e *Executor) SubmitTo(th *profiling.Thread, worker int, task Task) {
+	if !e.Parallel() || worker == Inline {
+		task(th)
+		return
+	}
+	e.inflight.Add(1)
+	if err := e.queues[worker].Put(th, task); err != nil {
+		// Shutting down: the task will never run. Balance the counter so a
+		// concurrent Quiesce cannot hang.
+		e.inflight.Done()
+		return
+	}
+	e.dispatched++
+}
+
+// Quiesce blocks until every dispatched task has finished executing. Called
+// by the scheduler before snapshots, state installs, and global commands.
+func (e *Executor) Quiesce(th *profiling.Thread) {
+	if !e.Parallel() {
+		return
+	}
+	th.Transition(profiling.StateWaiting)
+	e.inflight.Wait()
+	th.Transition(profiling.StateBusy)
+}
+
+// Stop closes the worker queues and waits for the workers to drain and exit.
+// Safe to call more than once. Call it from the scheduler goroutine itself,
+// after the scheduler's input is drained: closing the queues concurrently
+// with an in-flight Submit has a narrow window where a task is accepted by a
+// queue whose worker already exited — it would never run, and its inflight
+// count would hang the next Quiesce. (A Submit issued after Stop returns is
+// safe: it observes the closed queue and drops the task.)
+func (e *Executor) Stop() {
+	e.stopOnce.Do(func() {
+		for _, q := range e.queues {
+			q.Close()
+		}
+	})
+	e.workers.Wait()
+}
+
+// QueueStats returns the time-averaged length of each worker queue, keyed by
+// queue name (ExecutorQueue-i) — the executor's extension of the paper's
+// Table I statistics. Empty when sequential.
+func (e *Executor) QueueStats() map[string]float64 {
+	if !e.Parallel() {
+		return nil
+	}
+	out := make(map[string]float64, len(e.queues))
+	for _, q := range e.queues {
+		out[q.Name()] = q.AvgLen()
+	}
+	return out
+}
+
+// ResetQueueStats restarts the per-worker queue averages.
+func (e *Executor) ResetQueueStats() {
+	for _, q := range e.queues {
+		q.ResetStats()
+	}
+}
+
+// Stats reports scheduler counters: tasks dispatched to workers and global
+// commands executed behind a barrier. Must be called from the scheduler
+// goroutine or after Stop.
+func (e *Executor) Stats() (dispatched, barriers uint64) {
+	return e.dispatched, e.barriers
+}

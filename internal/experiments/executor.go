@@ -1,0 +1,171 @@
+package experiments
+
+// Executor-scaling experiment: unlike the figure/table runners above, which
+// regenerate the paper's results on the simulator, this one drives the real
+// goroutine pipeline (in-process transport) to measure the executed-request
+// throughput of the parallel execution stage — the dimension the paper left
+// single-threaded. It parameterizes the conflict rate of a KV workload and
+// sweeps the executor worker count, the Fig. 4-style scalability curve for
+// the execution layer.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosmr/internal/batch"
+	"gosmr/internal/core"
+	"gosmr/internal/service"
+	"gosmr/internal/transport"
+	"gosmr/internal/wire"
+)
+
+// ExecutorOptions configures the executor-scaling workload.
+type ExecutorOptions struct {
+	// Workers lists the executor worker counts to sweep (default 1, 2, 4, 8).
+	Workers []int
+	// ConflictPct lists workload conflict rates in percent: the probability
+	// that a command targets the single shared hot key instead of a key
+	// private to its client (default 0, 10, 100).
+	ConflictPct []int
+	// Clients is the number of closed-loop clients (default 32).
+	Clients int
+	// ExecuteCost is the KV per-command processing cost in hash-mix rounds
+	// (default 2000, ≈ tens of microseconds — a service where execution,
+	// not ordering, is the bottleneck).
+	ExecuteCost int
+	// Warmup is discarded time per cell before measuring (client ramp-up
+	// and leader election; default 100ms).
+	Warmup time.Duration
+	// Measure is the measurement window per cell (default 300ms).
+	Measure time.Duration
+}
+
+func (o ExecutorOptions) withDefaults() ExecutorOptions {
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4, 8}
+	}
+	if len(o.ConflictPct) == 0 {
+		o.ConflictPct = []int{0, 10, 100}
+	}
+	if o.Clients <= 0 {
+		o.Clients = 32
+	}
+	if o.ExecuteCost <= 0 {
+		o.ExecuteCost = 2000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 100 * time.Millisecond
+	}
+	if o.Measure <= 0 {
+		o.Measure = 300 * time.Millisecond
+	}
+	return o
+}
+
+// ExecutorResult holds executed-throughput cells indexed
+// [conflict][workers].
+type ExecutorResult struct {
+	Workers     []int
+	ConflictPct []int
+	Tput        [][]float64 // executed requests/second
+	Report      string
+}
+
+// ExecutorScaling sweeps executor worker counts against workload conflict
+// rates on a single-replica in-process pipeline and reports executed
+// throughput. At low conflict rates throughput should grow with workers (up
+// to the machine's cores); at 100% conflicts every command hits the same
+// key, serializes onto one worker, and parallelism buys nothing.
+func ExecutorScaling(opts ExecutorOptions) ExecutorResult {
+	opts = opts.withDefaults()
+	out := ExecutorResult{Workers: opts.Workers, ConflictPct: opts.ConflictPct}
+	t := newTable("Executor", fmt.Sprintf(
+		"Executed throughput vs executor workers and conflict rate (req/s; %d clients, cost=%d)",
+		opts.Clients, opts.ExecuteCost))
+	hdr := []string{"conflict"}
+	for _, w := range opts.Workers {
+		hdr = append(hdr, fmt.Sprintf("%d worker(s)", w))
+	}
+	t.row(hdr...)
+	for _, pct := range opts.ConflictPct {
+		row := make([]float64, 0, len(opts.Workers))
+		cells := []string{fmt.Sprintf("%7d%%", pct)}
+		for _, w := range opts.Workers {
+			tput := runExecutorCell(opts, w, pct)
+			row = append(row, tput)
+			cells = append(cells, fmt.Sprintf("%11.0f", tput))
+		}
+		out.Tput = append(out.Tput, row)
+		t.row(cells...)
+	}
+	out.Report = t.String()
+	return out
+}
+
+// runExecutorCell measures one (workers, conflict%) cell: a single-replica
+// cluster (ordering is local, so execution dominates) under closed-loop
+// clients for the measurement window.
+func runExecutorCell(opts ExecutorOptions, workers, conflictPct int) float64 {
+	net := transport.NewInproc(0)
+	svc := service.NewKV()
+	svc.ExecuteCost = opts.ExecuteCost
+	rep, err := core.NewReplica(core.Config{
+		ID: 0, PeerAddrs: []string{"exp-peer"}, ClientAddr: "exp-client",
+		Network:         net,
+		Batch:           batch.Policy{MaxBytes: 1300, MaxDelay: time.Millisecond},
+		ExecutorWorkers: workers,
+	}, svc)
+	if err != nil {
+		panic(err) // static config; cannot fail
+	}
+	if err := rep.Start(); err != nil {
+		panic(err)
+	}
+	defer rep.Stop()
+	for deadline := time.Now().Add(5 * time.Second); !rep.IsLeader() && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := range opts.Clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7*workers + 1000*conflictPct + c)))
+			conn, err := net.Dial("exp-client")
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			value := []byte("executor-scaling-value")
+			for seq := uint64(1); !stop.Load(); seq++ {
+				key := fmt.Sprintf("client%d-key%d", c, seq%8)
+				if rng.Intn(100) < conflictPct {
+					key = "hot"
+				}
+				req := &wire.ClientRequest{ClientID: uint64(1 + c), Seq: seq,
+					Payload: service.EncodePut(key, value)}
+				if err := conn.WriteFrame(wire.Marshal(req)); err != nil {
+					return
+				}
+				if _, err := conn.ReadFrame(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	// Discard client ramp-up, then measure the executed-counter delta.
+	time.Sleep(opts.Warmup)
+	startExecuted := rep.Executed()
+	start := time.Now()
+	time.Sleep(opts.Measure)
+	executed := rep.Executed() - startExecuted
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	return float64(executed) / elapsed.Seconds()
+}

@@ -19,6 +19,7 @@ package replycache
 import (
 	"encoding/binary"
 	"errors"
+	"sort"
 
 	"gosmr/internal/profiling"
 )
@@ -63,6 +64,10 @@ type Cache interface {
 	Update(th *profiling.Thread, client, seq uint64, reply []byte)
 	// Len returns the number of clients tracked.
 	Len() int
+	// LastSeqs returns every client's last recorded sequence number — used
+	// to rebuild the execution scheduler's at-most-once table after a
+	// snapshot install.
+	LastSeqs() map[uint64]uint64
 	// Marshal serializes the cache for snapshots/state transfer.
 	Marshal() []byte
 	// Restore replaces the contents from a Marshal-ed blob.
@@ -139,6 +144,20 @@ func (c *Sharded) Len() int {
 	return n
 }
 
+// LastSeqs implements Cache.
+func (c *Sharded) LastSeqs() map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock(nil)
+		for k, v := range s.m {
+			out[k] = v.seq
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Marshal implements Cache.
 func (c *Sharded) Marshal() []byte {
 	merged := make(map[uint64]entry)
@@ -206,6 +225,17 @@ func (c *Coarse) Len() int {
 	return len(c.m)
 }
 
+// LastSeqs implements Cache.
+func (c *Coarse) LastSeqs() map[uint64]uint64 {
+	c.mu.Lock(nil)
+	defer c.mu.Unlock()
+	out := make(map[uint64]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v.seq
+	}
+	return out
+}
+
 // Marshal implements Cache.
 func (c *Coarse) Marshal() []byte {
 	c.mu.Lock(nil)
@@ -247,9 +277,18 @@ func store(m map[uint64]entry, client, seq uint64, reply []byte) {
 // ErrCorrupt reports a malformed marshaled cache.
 var ErrCorrupt = errors.New("replycache: corrupt snapshot")
 
+// marshalMap serializes entries in ascending client order, so two caches
+// with equal contents produce byte-identical blobs — required for comparing
+// snapshots across replicas (and worker counts) in the determinism tests.
 func marshalMap(m map[uint64]entry) []byte {
+	clients := make([]uint64, 0, len(m))
+	for k := range m {
+		clients = append(clients, k)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
 	b := binary.LittleEndian.AppendUint32(nil, uint32(len(m)))
-	for k, v := range m {
+	for _, k := range clients {
+		v := m[k]
 		b = binary.LittleEndian.AppendUint64(b, k)
 		b = binary.LittleEndian.AppendUint64(b, v.seq)
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(v.reply)))

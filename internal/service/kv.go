@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // KV command opcodes.
@@ -24,10 +25,18 @@ const (
 // workload of the paper's introduction). Commands and replies are binary;
 // use EncodePut/EncodeGet/EncodeDel to build requests.
 //
-// The replica applies commands from a single ServiceManager thread; KV is
-// nevertheless internally synchronized so examples and tests can observe
-// state (Len, Snapshot) while the replica runs.
+// KV implements ConflictAware (Keys): each command declares the single key
+// it touches, so a replica configured with ExecutorWorkers > 1 executes
+// commands on different keys concurrently. KV is internally synchronized so
+// executor workers, examples, and tests can all touch it safely.
 type KV struct {
+	// ExecuteCost adds that many rounds of hash mixing per command before
+	// the state update, emulating a service with non-trivial per-command
+	// processing (the knob behind the executor-scaling experiments; 0 for
+	// the plain store). The work depends only on the request bytes, so it is
+	// deterministic, and it runs outside the state lock, so it parallelizes.
+	ExecuteCost int
+
 	mu sync.Mutex
 	m  map[string][]byte
 }
@@ -68,8 +77,27 @@ func DecodeReply(reply []byte) (status byte, value []byte) {
 	return reply[0], reply[1:]
 }
 
+// Keys implements ConflictAware: every well-formed command conflicts exactly
+// on the key it addresses. Malformed commands return nil, which the executor
+// treats as a global barrier — the conservative answer.
+func (s *KV) Keys(req []byte) []string {
+	if len(req) == 0 {
+		return nil
+	}
+	switch req[0] {
+	case kvPut, kvGet, kvDel:
+		if key, _, ok := takeBytes(req[1:]); ok {
+			return []string{string(key)}
+		}
+	}
+	return nil
+}
+
 // Execute implements the service.
 func (s *KV) Execute(req []byte) []byte {
+	if s.ExecuteCost > 0 {
+		spin(req, s.ExecuteCost)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(req) == 0 {
@@ -152,6 +180,23 @@ func (s *KV) Restore(snap []byte) error {
 	s.mu.Unlock()
 	return nil
 }
+
+// spin burns rounds of FNV-1a mixing over req — pure CPU work with no
+// allocation, the stand-in for real command processing. It runs on
+// concurrent executor workers, so the sink write is atomic.
+func spin(req []byte, rounds int) {
+	h := uint64(14695981039346656037)
+	for range rounds {
+		for _, b := range req {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+	}
+	spinSink.Store(h)
+}
+
+// spinSink keeps the compiler from eliminating spin's loop.
+var spinSink atomic.Uint64
 
 // appendU32/appendBytes/takeU32/takeBytes are tiny length-prefixed codec
 // helpers shared by the services.

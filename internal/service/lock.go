@@ -71,6 +71,21 @@ func DecodeLockReply(reply []byte) (status byte, session uint64) {
 	return status, session
 }
 
+// Keys implements ConflictAware: every well-formed command conflicts exactly
+// on the lock it names; malformed commands are global (nil).
+func (s *LockServer) Keys(req []byte) []string {
+	if len(req) == 0 {
+		return nil
+	}
+	switch req[0] {
+	case lockAcquire, lockRelease, lockHolder:
+		if name, _, ok := takeBytes(req[1:]); ok {
+			return []string{string(name)}
+		}
+	}
+	return nil
+}
+
 // Execute implements the service.
 func (s *LockServer) Execute(req []byte) []byte {
 	s.mu.Lock()

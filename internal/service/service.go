@@ -10,10 +10,19 @@ import (
 	"encoding/binary"
 	"errors"
 	"sync/atomic"
+
+	"gosmr/internal/executor"
 )
 
 // ErrCorruptSnapshot reports a malformed snapshot blob.
 var ErrCorruptSnapshot = errors.New("service: corrupt snapshot")
+
+// KV and LockServer declare per-key conflicts, enabling parallel execution;
+// Null deliberately does not (it is the sequential-baseline workload).
+var (
+	_ executor.ConflictAware = (*KV)(nil)
+	_ executor.ConflictAware = (*LockServer)(nil)
+)
 
 // Null is the paper's evaluation service: it ignores the request payload
 // and returns ReplySize zero bytes (default 8, the paper's answer size).
