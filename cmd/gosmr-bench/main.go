@@ -25,7 +25,7 @@ func main() {
 		warmup  = flag.Duration("warmup", 200*time.Millisecond, "virtual warm-up per run (discarded)")
 		measure = flag.Duration("measure", 500*time.Millisecond, "virtual measurement window per run")
 		which   = flag.String("experiment", "all",
-			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor")
+			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor, groupscaling")
 	)
 	flag.Parse()
 
@@ -78,6 +78,12 @@ func main() {
 		// Runs on the real pipeline (not the simulator): executed throughput
 		// vs executor workers and workload conflict rate.
 		fmt.Print(experiments.ExecutorScaling(experiments.ExecutorOptions{
+			Warmup: *warmup, Measure: *measure,
+		}).Report)
+	case "groupscaling":
+		// Runs on the real pipeline: decided-batch throughput vs ordering
+		// groups, window size, and workload conflict rate.
+		fmt.Print(experiments.GroupScaling(experiments.GroupOptions{
 			Warmup: *warmup, Measure: *measure,
 		}).Report)
 	default:

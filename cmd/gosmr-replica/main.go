@@ -29,7 +29,8 @@ func main() {
 		peers       = flag.String("peers", "", "comma-separated replica addresses, indexed by ID")
 		clientAddr  = flag.String("client", "", "client-facing listen address")
 		workers     = flag.Int("clientio", 4, "ClientIO worker pool size")
-		window      = flag.Int("window", 10, "pipelining window WND")
+		groups      = flag.Int("groups", 1, "parallel ordering (Paxos) groups; must match on every replica")
+		window      = flag.Int("window", 10, "pipelining window WND per ordering group")
 		batchBytes  = flag.Int("batch", 1300, "batch size budget BSZ in bytes")
 		snapEvery   = flag.Int("snapshot-every", 10000, "snapshot every N instances (0 = off)")
 		execWorkers = flag.Int("executor-workers", 1, "parallel execution workers (KV declares per-key conflicts; 1 = sequential)")
@@ -48,6 +49,7 @@ func main() {
 		Peers:           peerList,
 		ClientAddr:      *clientAddr,
 		ClientIOWorkers: *workers,
+		Groups:          *groups,
 		Window:          *window,
 		BatchBytes:      *batchBytes,
 		SnapshotEvery:   *snapEvery,
@@ -71,9 +73,9 @@ func main() {
 			select {
 			case <-ticker.C:
 				cur := rep.Executed()
-				log.Printf("leader=%d view=%d executed=%d (+%.0f/s) queues=%v",
+				log.Printf("leader=%d view=%d executed=%d (+%.0f/s) decided-batches=%d queues=%v",
 					rep.Leader(), rep.View(), cur,
-					float64(cur-last)/stats.Seconds(), rep.QueueStats())
+					float64(cur-last)/stats.Seconds(), rep.DecidedBatches(), rep.QueueStats())
 				last = cur
 			case <-stop:
 				log.Printf("shutting down")

@@ -18,10 +18,11 @@ import (
 	"gosmr/internal/transport"
 )
 
-// lossyCluster boots 3 replicas over an inproc network with the given fault
-// function installed for inter-replica traffic only (client traffic stays
-// clean so the test measures protocol-level recovery, not client retries).
-func lossyCluster(t *testing.T, fault transport.FaultFunc) (*gosmr.Client, []*service.KV, func() []*gosmr.Replica) {
+// lossyCluster boots 3 replicas (with `groups` ordering groups each) over an
+// inproc network with the given fault function installed for inter-replica
+// traffic only (client traffic stays clean so the test measures
+// protocol-level recovery, not client retries).
+func lossyCluster(t *testing.T, groups int, fault transport.FaultFunc) (*gosmr.Client, []*service.KV, func() []*gosmr.Replica) {
 	t.Helper()
 	net := transport.NewInproc(0)
 	net.SetFault(func(from, to string, frame []byte) (bool, bool) {
@@ -38,6 +39,7 @@ func lossyCluster(t *testing.T, fault transport.FaultFunc) (*gosmr.Client, []*se
 		rep, err := gosmr.NewReplica(gosmr.Config{
 			ID: i, Peers: peers, ClientAddr: fmt.Sprintf("fi-c%d", i),
 			Network:           net,
+			Groups:            groups,
 			BatchDelay:        time.Millisecond,
 			HeartbeatInterval: 20 * time.Millisecond,
 			SuspectTimeout:    400 * time.Millisecond,
@@ -70,7 +72,7 @@ func lossyCluster(t *testing.T, fault transport.FaultFunc) (*gosmr.Client, []*se
 func TestProgressUnderMessageLoss(t *testing.T) {
 	// Drop 20% of inter-replica frames, deterministically spread.
 	var n atomic.Uint64
-	cli, stores, _ := lossyCluster(t, func(from, to string, frame []byte) (bool, bool) {
+	cli, stores, _ := lossyCluster(t, 1, func(from, to string, frame []byte) (bool, bool) {
 		return n.Add(1)%5 == 0, false
 	})
 	for i := range 30 {
@@ -90,7 +92,7 @@ func TestProgressUnderMessageLoss(t *testing.T) {
 func TestProgressUnderDuplication(t *testing.T) {
 	// Duplicate every third inter-replica frame.
 	var n atomic.Uint64
-	cli, stores, reps := lossyCluster(t, func(from, to string, frame []byte) (bool, bool) {
+	cli, stores, reps := lossyCluster(t, 1, func(from, to string, frame []byte) (bool, bool) {
 		return false, n.Add(1)%3 == 0
 	})
 	for i := range 30 {
@@ -107,7 +109,7 @@ func TestProgressUnderDuplication(t *testing.T) {
 
 func TestProgressUnderLossAndDuplication(t *testing.T) {
 	var n atomic.Uint64
-	cli, stores, _ := lossyCluster(t, func(from, to string, frame []byte) (bool, bool) {
+	cli, stores, _ := lossyCluster(t, 1, func(from, to string, frame []byte) (bool, bool) {
 		i := n.Add(1)
 		return i%7 == 0, i%3 == 0
 	})
@@ -156,4 +158,69 @@ func waitKV(t *testing.T, stores []*service.KV, keys int, timeout time.Duration)
 		t.Logf("store %d: %d keys", i, s.Len())
 	}
 	t.Fatalf("stores did not converge to %d identical keys within %v", keys, timeout)
+}
+
+func TestMultiGroupProgressUnderLoss(t *testing.T) {
+	// Multi-group ordering under 20% inter-replica frame loss: per-group
+	// retransmission and catch-up must recover every group's stream, and
+	// the merge must still deliver one identical total order everywhere.
+	var n atomic.Uint64
+	cli, stores, reps := lossyCluster(t, 2, func(from, to string, frame []byte) (bool, bool) {
+		return n.Add(1)%5 == 0, false
+	})
+	for i := range 30 {
+		key := fmt.Sprintf("mg-lossy-%d", i)
+		reply, err := cli.Execute(service.EncodePut(key, []byte("v")))
+		if err != nil {
+			t.Fatalf("PUT %d under loss: %v", i, err)
+		}
+		if st, _ := service.DecodeReply(reply); st != service.KVOK {
+			t.Fatalf("PUT %d status %d", i, st)
+		}
+	}
+	waitKV(t, stores, 30, 15*time.Second)
+	if g := reps()[0].Groups(); g != 2 {
+		t.Errorf("Groups() = %d, want 2", g)
+	}
+}
+
+func TestMultiGroupSnapshotTruncationConverges(t *testing.T) {
+	// A clean multi-group cluster snapshotting aggressively: snapshots are
+	// cut at merged indices, each group truncates its own log at its share
+	// of the prefix, and replicas stay byte-identical throughout.
+	net := transport.NewInproc(0)
+	peers := []string{"mgs-r0", "mgs-r1", "mgs-r2"}
+	var stores []*service.KV
+	for i := range 3 {
+		kv := service.NewKV()
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID: i, Peers: peers, ClientAddr: fmt.Sprintf("mgs-c%d", i),
+			Network:       net,
+			Groups:        4,
+			SnapshotEvery: 10,
+			BatchDelay:    time.Millisecond,
+		}, kv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(rep.Stop)
+		stores = append(stores, kv)
+	}
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:   []string{"mgs-c0", "mgs-c1", "mgs-c2"},
+		Network: net, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+	for i := range 60 {
+		if _, err := cli.Execute(service.EncodePut(fmt.Sprintf("mgs-%d", i), []byte("v"))); err != nil {
+			t.Fatalf("PUT %d: %v", i, err)
+		}
+	}
+	waitKV(t, stores, 60, 15*time.Second)
 }

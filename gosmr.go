@@ -96,8 +96,18 @@ type Config struct {
 	// ClientIOWorkers sizes the ClientIO thread pool (default 4, the
 	// paper's measured optimum on their hardware — Fig. 9).
 	ClientIOWorkers int
+	// Groups partitions ordering across that many parallel Paxos groups,
+	// each with its own Batcher, Protocol thread, replicated log, and
+	// retransmission state; a deterministic merge stage recombines the
+	// per-group decision streams into one total order, so execution,
+	// at-most-once semantics, and snapshots behave exactly as with a single
+	// group. Requests route to a group by conflict key (keyless requests —
+	// and all requests of a non-ConflictAware service — order in group 0).
+	// Default 1: the paper's single ordering pipeline, wire-compatible with
+	// pre-group replicas. Must be identical on every replica.
+	Groups int
 	// Window is the pipelining limit WND: the maximum number of consensus
-	// instances in flight (default 10).
+	// instances in flight per ordering group (default 10).
 	Window int
 	// BatchBytes is the batching limit BSZ in encoded bytes (default 1300:
 	// one Ethernet frame's worth, the paper's baseline).
@@ -137,6 +147,7 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		ClientAddr:        cfg.ClientAddr,
 		Network:           cfg.Network,
 		ClientIOWorkers:   cfg.ClientIOWorkers,
+		Groups:            cfg.Groups,
 		Window:            cfg.Window,
 		Batch:             batch.Policy{MaxBytes: cfg.BatchBytes, MaxDelay: cfg.BatchDelay},
 		SnapshotEvery:     cfg.SnapshotEvery,
@@ -171,6 +182,13 @@ func (r *Replica) View() int32 { return int32(r.inner.View()) }
 
 // Executed returns the number of requests executed by the local service.
 func (r *Replica) Executed() uint64 { return r.inner.Executed() }
+
+// Groups returns the number of ordering groups the replica runs.
+func (r *Replica) Groups() int { return r.inner.Groups() }
+
+// DecidedBatches returns the number of non-empty batches delivered in merged
+// order — the ordering layer's useful output rate.
+func (r *Replica) DecidedBatches() uint64 { return r.inner.DecidedBatches() }
 
 // ClientAddr returns the bound client-facing address (resolves ephemeral
 // ports).

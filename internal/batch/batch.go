@@ -71,7 +71,11 @@ func (b *Builder) Fits(req *wire.ClientRequest) bool {
 }
 
 // Add appends req and reports whether the batch is now at or over budget
-// and should be flushed. The first Add starts the MaxDelay clock.
+// and should be flushed. The MaxDelay clock starts at the first appended
+// request of each batch — never at builder creation or at the previous
+// flush — so time the batcher spends idle waiting for traffic can not eat
+// into a later batch's flush delay (see the idle-then-burst regression
+// test).
 func (b *Builder) Add(req *wire.ClientRequest) (full bool) {
 	if len(b.reqs) == 0 {
 		b.since = time.Now()
@@ -81,16 +85,24 @@ func (b *Builder) Add(req *wire.ClientRequest) (full bool) {
 	return b.bytes >= b.policy.MaxBytes
 }
 
-// Deadline returns the flush deadline for the current batch, valid only when
-// Len() > 0.
-func (b *Builder) Deadline() time.Time { return b.since.Add(b.policy.MaxDelay) }
+// Deadline returns the flush deadline for the current batch. While the
+// builder is empty there is no pending batch and therefore no deadline; the
+// far future is returned so a caller polling Deadline cannot spuriously
+// flush-expire a batch that has not started.
+func (b *Builder) Deadline() time.Time {
+	if len(b.reqs) == 0 {
+		return time.Now().Add(365 * 24 * time.Hour)
+	}
+	return b.since.Add(b.policy.MaxDelay)
+}
 
 // Expired reports whether a non-empty batch has passed its deadline.
 func (b *Builder) Expired(now time.Time) bool {
 	return len(b.reqs) > 0 && !now.Before(b.Deadline())
 }
 
-// Flush encodes and returns the batch, resetting the builder. It returns
+// Flush encodes and returns the batch, resetting the builder (including the
+// MaxDelay clock, which the next batch's first Add restarts). It returns
 // nil when empty.
 func (b *Builder) Flush() []byte {
 	if len(b.reqs) == 0 {
@@ -99,5 +111,6 @@ func (b *Builder) Flush() []byte {
 	enc := wire.EncodeBatch(b.reqs)
 	b.reqs = b.reqs[:0]
 	b.bytes = wire.BatchOverhead
+	b.since = time.Time{}
 	return enc
 }

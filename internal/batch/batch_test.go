@@ -96,3 +96,42 @@ func TestDelayClockRestartsPerBatch(t *testing.T) {
 		t.Error("second batch deadline did not restart")
 	}
 }
+
+func TestIdleThenBurstStartsDelayClockAtFirstAdd(t *testing.T) {
+	// Regression: an idle stretch before the first request of a batch must
+	// not count against the batch's MaxDelay — the flush clock starts at
+	// the first appended request, never at builder creation or at the
+	// previous flush.
+	const delay = 50 * time.Millisecond
+	b := NewBuilder(Policy{MaxBytes: 1 << 20, MaxDelay: delay})
+
+	// While empty there is no deadline to expire against.
+	if !b.Deadline().After(time.Now().Add(time.Hour)) {
+		t.Error("empty builder has a near deadline; idle time would eat the delay budget")
+	}
+
+	// Builder sits idle, then a burst arrives: the deadline must be a full
+	// MaxDelay away from the first Add, not from creation.
+	created := time.Now()
+	time.Sleep(20 * time.Millisecond)
+	before := time.Now()
+	b.Add(req(8))
+	b.Add(req(8))
+	if dl := b.Deadline(); dl.Before(before.Add(delay)) {
+		t.Errorf("deadline %v is before firstAdd+MaxDelay %v (clock started too early, creation was %v)",
+			dl, before.Add(delay), created)
+	}
+	if b.Expired(time.Now()) {
+		t.Error("burst batch already expired: idle time was charged to it")
+	}
+
+	// After a flush the clock resets again: another idle stretch, another
+	// burst, and the second batch gets its own full delay budget.
+	b.Flush()
+	time.Sleep(20 * time.Millisecond)
+	before = time.Now()
+	b.Add(req(8))
+	if dl := b.Deadline(); dl.Before(before.Add(delay)) {
+		t.Errorf("post-flush deadline %v is before firstAdd+MaxDelay %v", dl, before.Add(delay))
+	}
+}

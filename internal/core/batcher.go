@@ -7,25 +7,28 @@ import (
 	"gosmr/internal/profiling"
 )
 
-// runBatcher is the Batcher thread (Sec. V-C1): it drains the RequestQueue,
-// forms batches under the batching policy, and feeds the ProposalQueue.
-// Building batches here — concurrently with the ordering protocol — takes
-// that work off the Protocol thread's critical path; when the Protocol
-// thread wants to start a ballot it simply takes a ready batch.
+// runBatcher is one ordering group's Batcher thread (Sec. V-C1): it drains
+// the group's RequestQueue, forms batches under the batching policy, and
+// feeds the group's ProposalQueue. Building batches here — concurrently with
+// the ordering protocol — takes that work off the Protocol thread's critical
+// path; when the Protocol thread wants to start a ballot it simply takes a
+// ready batch.
 //
 // Blocking on a full ProposalQueue is the second stage of the flow-control
 // chain (Sec. V-E): a stalled Protocol thread stops the Batcher, which stops
 // draining the RequestQueue, which stalls the ClientIO workers.
-func (r *Replica) runBatcher() {
+func (r *Replica) runBatcher(g *ordGroup) {
 	defer r.wg.Done()
-	th := r.profThread("Batcher")
+	th := r.profThread(gname("Batcher", g.idx))
 	th.Transition(profiling.StateBusy)
 	defer th.Transition(profiling.StateOther)
 
 	b := batch.NewBuilder(r.cfg.Batch)
 	for {
-		// First request opens the batch (blocking take).
-		req, err := r.requestQ.Take(th)
+		// First request opens the batch (blocking take) and starts the
+		// MaxDelay clock — an idle stretch before it never counts against
+		// the batch's flush deadline.
+		req, err := g.requestQ.Take(th)
 		if err != nil {
 			return
 		}
@@ -36,7 +39,7 @@ func (r *Replica) runBatcher() {
 			if remaining <= 0 {
 				break
 			}
-			next, ok, err := r.requestQ.Poll(th, remaining)
+			next, ok, err := g.requestQ.Poll(th, remaining)
 			if err != nil {
 				break // shutting down: flush what we have
 			}
@@ -50,11 +53,11 @@ func (r *Replica) runBatcher() {
 			continue
 		}
 		r.batchesMade.Add(1)
-		if err := r.proposalQ.Put(th, value); err != nil {
+		if err := g.proposalQ.Put(th, value); err != nil {
 			return
 		}
 		// Nudge the Protocol thread; if the DispatcherQueue is busy it will
 		// drain the ProposalQueue on its next event anyway.
-		_, _ = r.dispatchQ.TryPut(event{kind: evProposalReady})
+		_, _ = g.dispatchQ.TryPut(event{kind: evProposalReady})
 	}
 }

@@ -168,16 +168,25 @@ func (c *clientIO) handleRequest(req *wire.ClientRequest, cc *clientConn, th *pr
 		return // older than the last executed request: nothing to say
 	case replycache.StatusNew:
 	}
-	if !r.isLeader.Load() {
+	// Route to an ordering group by conflict key, then gate on that group's
+	// leadership (groups normally share a leader; per-group hints keep
+	// redirects correct even when views drift apart).
+	g := r.groups[r.groupFor(req.Payload)]
+	if !g.isLeader.Load() {
 		c.reply(cc, &wire.ClientReply{
 			ClientID: req.ClientID, Seq: req.Seq, OK: false,
-			Redirect: r.leaderHint.Load(),
+			Redirect: g.leaderHint.Load(),
 		})
+		// Wake the group's Protocol thread: if its view lags group 0's
+		// (a missed suspicion), the wake-up lets it re-synchronize and —
+		// when this replica leads the current view — claim the group, so
+		// clients are not bounced to a dead leader forever.
+		_, _ = g.dispatchQ.TryPut(event{kind: evProposalReady})
 		return
 	}
 	// Blocking put: backpressure propagates to this worker, then to the
 	// connection readers feeding it (Sec. V-E).
-	if err := r.requestQ.Put(th, req); err != nil {
+	if err := g.requestQ.Put(th, req); err != nil {
 		return
 	}
 }

@@ -67,8 +67,16 @@ type Config struct {
 	// ClientIOWorkers is the size of the ClientIO thread pool (the paper's
 	// key tunable, Fig. 9). Default 4 — the measured optimum.
 	ClientIOWorkers int
-	// Window is the pipelining limit WND (max concurrent instances).
-	// Default 10, the paper's baseline.
+	// Groups is the number of independent ordering (Paxos) groups. Each
+	// group runs its own Batcher, Protocol thread, replicated log, and
+	// retransmission state, multiplexed over the shared per-peer
+	// connections; a deterministic merge stage recombines the per-group
+	// decision streams into the single total order the execution stage
+	// consumes. Default 1, the paper's single-ordering-thread architecture
+	// (and its wire format). Must be identical on every replica.
+	Groups int
+	// Window is the pipelining limit WND (max concurrent instances) — per
+	// ordering group. Default 10, the paper's baseline.
 	Window int
 	// Batch is the batching policy (BSZ and flush delay).
 	Batch batch.Policy
@@ -100,7 +108,7 @@ type Config struct {
 	// execution path.
 	ExecutorWorkers int
 	// ExecutorQueueCap bounds each execution worker's input queue
-	// (default 256).
+	// (default 256, applied by withDefaults like every other queue cap).
 	ExecutorQueueCap int
 
 	// CoarseReplyCache switches the reply cache to the single-lock variant
@@ -119,8 +127,14 @@ func (c Config) withDefaults() Config {
 	if c.ClientIOWorkers <= 0 {
 		c.ClientIOWorkers = 4
 	}
+	if c.Groups <= 0 {
+		c.Groups = 1
+	}
 	if c.Window <= 0 {
 		c.Window = 10
+	}
+	if c.ExecutorQueueCap <= 0 {
+		c.ExecutorQueueCap = 256
 	}
 	if c.RequestQueueCap <= 0 {
 		c.RequestQueueCap = 1000
@@ -181,6 +195,7 @@ const (
 	evProposalReady
 	evCatchUpTimer
 	evTruncate
+	evFastForward
 )
 
 // event is one DispatcherQueue item.
@@ -189,15 +204,24 @@ type event struct {
 	from int
 	msg  wire.Message
 	view wire.View       // evSuspect
-	upTo wire.InstanceID // evTruncate
+	upTo wire.InstanceID // evTruncate, evFastForward
 }
 
-// decisionItem is one DecisionQueue item: either a decided batch or a
-// snapshot to install (from catch-up state transfer).
+// decisionItem is one decision-stream item: either a decided batch or a
+// snapshot to install (from catch-up state transfer). Per-group streams
+// carry group-local instance IDs; after the merge stage the ID is an index
+// into the merged total order.
 type decisionItem struct {
 	id       wire.InstanceID
 	value    []byte // encoded batch
 	snapshot *wire.Snapshot
+}
+
+// groupDecision is one MergeQueue item: a per-group decision-stream item
+// tagged with its ordering group.
+type groupDecision struct {
+	group int
+	item  decisionItem
 }
 
 // clientConn is one connected client: its transport connection plus the

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"time"
+
+	"gosmr/internal/paxos"
+	"gosmr/internal/profiling"
+	"gosmr/internal/wire"
+)
+
+// The merge stage recombines the per-group decision streams into the single
+// total order the ServiceManager consumes. The merged order is a fixed
+// round-robin over decided instance slots: merged index m holds ordering
+// group m % G, group-local slot m / G. Because every group's decision stream
+// is itself deterministic (it is a replicated log), the merged sequence is a
+// pure function of the per-group logs — identical on every replica no matter
+// how the streams' deliveries interleave in time (see mergeState and its
+// property test).
+//
+// Liveness across idle groups: round-robin can only emit group g's slot s
+// after every earlier group filled slot s (and every group filled slot s-1).
+// If a group has no traffic while its siblings do, the merge would stall, so
+// a leader whose merge stage is blocked on a group it leads proposes an
+// empty (no-op) batch in that group — the Mencius-style "skip" — which is
+// decided through consensus like any batch and therefore unstalls every
+// replica's merge identically.
+
+// mergedDecision is one emitted slot of the merged total order.
+type mergedDecision struct {
+	id    wire.InstanceID // merged index
+	value []byte          // encoded batch
+}
+
+// mergeState is the pure merge state machine: feed it per-group decision
+// stream items in any arrival order and it emits the deterministic merged
+// sequence. It is owned by the Merger goroutine; tests drive it directly.
+type mergeState struct {
+	groups int
+	next   int64             // next merged index to emit
+	expect []wire.InstanceID // next group-local slot to emit, per group
+	// pending buffers decisions that arrived ahead of their merge turn,
+	// keyed by group-local slot.
+	pending []map[wire.InstanceID][]byte
+}
+
+// newMergeState returns an empty merge over `groups` streams.
+func newMergeState(groups int) *mergeState {
+	m := &mergeState{
+		groups:  groups,
+		expect:  make([]wire.InstanceID, groups),
+		pending: make([]map[wire.InstanceID][]byte, groups),
+	}
+	for i := range m.pending {
+		m.pending[i] = make(map[wire.InstanceID][]byte)
+	}
+	return m
+}
+
+// cursor returns the group the next merged slot belongs to.
+func (m *mergeState) cursor() int { return int(m.next % int64(m.groups)) }
+
+// feed accepts one decision from group g's stream and returns every merged
+// slot it unlocks, in merged order. Stale slots (below the group's expected
+// position, e.g. replayed after a snapshot install) are dropped.
+func (m *mergeState) feed(g int, id wire.InstanceID, value []byte) []mergedDecision {
+	if id >= m.expect[g] {
+		m.pending[g][id] = value
+	}
+	return m.drain()
+}
+
+// drain emits every buffered decision the merge position has reached, in
+// merged order. Called from feed, and directly after a snapshot jump —
+// which may land the cursor on a slot that was already buffered.
+func (m *mergeState) drain() []mergedDecision {
+	var out []mergedDecision
+	for {
+		cur := m.cursor()
+		v, ok := m.pending[cur][m.expect[cur]]
+		if !ok {
+			return out
+		}
+		delete(m.pending[cur], m.expect[cur])
+		out = append(out, mergedDecision{id: wire.InstanceID(m.next), value: v})
+		m.expect[cur]++
+		m.next++
+	}
+}
+
+// feedSnapshot handles a snapshot surfacing in group g's stream (catch-up
+// state transfer). If it advances the merge, every group's position jumps to
+// its share of the covered prefix and true is returned: the caller must
+// install the snapshot downstream and fast-forward the sibling groups'
+// logs. Snapshots at or behind the current merge position are stale (the
+// local state already covers them) and are dropped.
+func (m *mergeState) feedSnapshot(snap *wire.Snapshot) bool {
+	if snap.GroupCount() != m.groups || int64(snap.LastIncluded) < m.next {
+		return false
+	}
+	m.next = int64(snap.LastIncluded) + 1
+	for g := range m.expect {
+		m.expect[g] = wire.GroupCut(snap.LastIncluded, m.groups, g)
+		for id := range m.pending[g] {
+			if id < m.expect[g] {
+				delete(m.pending[g], id)
+			}
+		}
+	}
+	return true
+}
+
+// stalled reports that the merge cannot advance (the cursor group's next
+// slot is missing) while at least one other group already has decisions
+// waiting — the condition under which a leader should pad the cursor group.
+func (m *mergeState) stalled() bool {
+	cur := m.cursor()
+	for g, p := range m.pending {
+		if g != cur && len(p) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// mergePadRetry bounds how often a stalled merge re-issues its no-op pad
+// while waiting for the padded instance to come back decided.
+const mergePadRetry = 5 * time.Millisecond
+
+// runMerger is the Merger thread: it drains the MergeQueue (all groups'
+// decision streams), advances the deterministic merge, and feeds the merged
+// total order into the DecisionQueue for the ServiceManager. With a single
+// ordering group it degenerates to a pass-through. Blocking on a full
+// DecisionQueue extends the flow-control chain across the merge stage.
+func (r *Replica) runMerger() {
+	defer r.wg.Done()
+	th := r.profThread("Merger")
+	th.Transition(profiling.StateBusy)
+	defer th.Transition(profiling.StateOther)
+
+	m := newMergeState(len(r.groups))
+	// emit delivers merged slots to the ServiceManager and publishes each
+	// group's consumed position, which the Protocol threads' merge-backlog
+	// gate reads to keep the pending buffers bounded.
+	emit := func(ds []mergedDecision) bool {
+		for _, d := range ds {
+			if err := r.decisionQ.Put(th, decisionItem{id: d.id, value: d.value}); err != nil {
+				return false
+			}
+		}
+		if len(ds) > 0 {
+			for _, g := range r.groups {
+				g.mergedUpTo.Store(int64(m.expect[g.idx]))
+			}
+		}
+		return true
+	}
+	for {
+		var gd groupDecision
+		if m.stalled() {
+			v, ok, err := r.mergeQ.Poll(th, mergePadRetry)
+			if err != nil {
+				return
+			}
+			if !ok {
+				// Nothing arrived for a whole retry period while siblings
+				// have decisions waiting: the cursor group is genuinely
+				// quiet, so pad it (and keep re-padding each period until
+				// the stall breaks). Padding on every stalled iteration
+				// instead — while sibling decisions stream in — would storm
+				// the quiet group with no-ops faster than they can decide.
+				r.maybePad(m)
+				continue
+			}
+			gd = v
+		} else {
+			v, err := r.mergeQ.Take(th)
+			if err != nil {
+				return
+			}
+			gd = v
+		}
+
+		if gd.item.snapshot != nil {
+			if !m.feedSnapshot(gd.item.snapshot) {
+				continue // stale snapshot: local state already covers it
+			}
+			// Install downstream, then fast-forward the sibling groups'
+			// logs past the covered prefix (the originating group already
+			// jumped inside its catch-up handler; FastForward is
+			// idempotent, so telling every group is safe).
+			if err := r.decisionQ.Put(th, decisionItem{snapshot: gd.item.snapshot}); err != nil {
+				return
+			}
+			for _, g := range r.groups {
+				cut := wire.GroupCut(gd.item.snapshot.LastIncluded, len(r.groups), g.idx)
+				_, _ = g.dispatchQ.TryPut(event{kind: evFastForward, upTo: cut})
+				g.mergedUpTo.Store(int64(m.expect[g.idx]))
+			}
+			// The jump may have landed the cursor on an already-buffered
+			// slot; emit everything reachable before blocking again.
+			if !emit(m.drain()) {
+				return
+			}
+			continue
+		}
+
+		if !emit(m.feed(gd.group, gd.item.id, gd.item.value)) {
+			return
+		}
+	}
+}
+
+// maybePad proposes an empty batch in the merge's cursor group when this
+// replica leads it: the group has nothing in flight while its siblings have
+// decided ahead, so a no-op instance is the cheapest way to fill the slot
+// the whole cluster's merge is waiting on. Followers do nothing — the
+// group's leader (wherever it is) pads, and the decision reaches everyone.
+// This is the reactive safety net behind the proactive alignGroup below; it
+// matters mostly when group leadership is split across replicas.
+func (r *Replica) maybePad(m *mergeState) {
+	g := r.groups[m.cursor()]
+	if !g.isLeader.Load() {
+		return
+	}
+	if ok, _ := g.proposalQ.TryPut(wire.EncodeBatch(nil)); ok {
+		r.padsProposed.Add(1)
+		_, _ = g.dispatchQ.TryPut(event{kind: evProposalReady})
+	}
+}
+
+// alignGroup keeps the ordering groups' logs advancing in rough lockstep —
+// the Mencius-style "skip" that keeps the round-robin merge from waiting a
+// consensus round-trip on a group with no traffic. Called by each group's
+// Protocol thread after it drains its ProposalQueue: a leader that opened
+// new slots publishes the frontier and nudges siblings that have fallen
+// behind it; a leader lagging the frontier by more than the slack fills the
+// excess with no-op proposals immediately, so the padding's consensus
+// round-trip overlaps the real instances' instead of starting after the
+// merge has stalled. The slack (two windows plus a scheduler-burst floor,
+// see below) absorbs the natural in-flight jitter between evenly loaded
+// groups — those never pad; only genuinely idle or starved groups do.
+func (r *Replica) alignGroup(g *ordGroup, node *paxos.Node, apply func(paxos.Effects)) {
+	if len(r.groups) == 1 {
+		return
+	}
+	// Slack absorbs benign skew so only genuinely starved groups pad: two
+	// windows for the natural in-flight difference between evenly loaded
+	// groups, plus a floor for scheduler bursts (a Protocol thread that
+	// just got the CPU can open tens of slots at once before its siblings
+	// run). Padding below that threshold would displace immediately
+	// proposable real batches one-for-one and oscillate the groups.
+	slack := 2*int64(r.cfg.Window) + 16
+	// Publish the frontier from followers too: a group's log advances as it
+	// accepts another replica's Proposes, and under split group leadership
+	// (views drifted) the local leader of a quiet group must still see the
+	// busy groups' frontier to pad against it.
+	next := int64(node.Log().Next())
+	g.nextSlot.Store(next)
+	for {
+		cur := r.maxSlot.Load()
+		if next <= cur {
+			break
+		}
+		if r.maxSlot.CompareAndSwap(cur, next) {
+			// Frontier extended: wake sibling Protocol threads that lag it
+			// by more than the slack (a plain proposal-ready nudge re-runs
+			// this alignment on their event loop, even when idle).
+			for _, h := range r.groups {
+				if h != g && next-h.nextSlot.Load() > slack {
+					_, _ = h.dispatchQ.TryPut(event{kind: evProposalReady})
+				}
+			}
+			break
+		}
+	}
+	if !node.IsLeader() {
+		return
+	}
+	// Cap the pads per pass: catching up gradually keeps window slots
+	// available for real batches that arrive mid-catch-up, and the next
+	// event (each pad's own decision, a nudge, a heartbeat) re-runs this,
+	// so a truly idle group still pads at the busy groups' full rate.
+	for pads := 0; pads < 4 && int64(node.Log().Next())+slack < r.maxSlot.Load() && node.WindowOpen(); pads++ {
+		e, ok := node.ProposeBatch(wire.EncodeBatch(nil))
+		if !ok {
+			break
+		}
+		r.padsProposed.Add(1)
+		apply(e)
+	}
+	g.nextSlot.Store(int64(node.Log().Next()))
+}

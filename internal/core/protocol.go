@@ -6,30 +6,32 @@ import (
 	"gosmr/internal/paxos"
 	"gosmr/internal/profiling"
 	"gosmr/internal/retrans"
+	"gosmr/internal/wire"
 )
 
-// runProtocol is the Protocol thread (Sec. V-C2): a single event loop with
-// exclusive write access to the replicated log and all protocol state. It
-// consumes the DispatcherQueue (peer messages, suspicions, proposal hints,
-// housekeeping), drives the paxos.Node pure state machine, and applies its
-// effects: enqueue sends (never blocking on sockets), register/cancel
-// retransmissions, push decisions to the ServiceManager, and maintain the
-// lock-free view/leader/watermark hints that other modules read.
-func (r *Replica) runProtocol(node *paxos.Node) {
+// runProtocol is one ordering group's Protocol thread (Sec. V-C2): a single
+// event loop with exclusive write access to the group's replicated log and
+// all its protocol state. It consumes the group's DispatcherQueue (peer
+// messages, suspicions, proposal hints, housekeeping), drives the group's
+// paxos.Node pure state machine, and applies its effects: enqueue sends
+// (never blocking on sockets), register/cancel retransmissions, push the
+// group's decisions toward the merge stage, and maintain the lock-free
+// view/leader/watermark hints that other modules read.
+func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 	defer r.wg.Done()
-	th := r.profThread("Protocol")
+	th := r.profThread(gname("Protocol", g.idx))
 	th.Transition(profiling.StateBusy)
 	defer th.Transition(profiling.StateOther)
 
 	handles := make(map[paxos.RetransKey]*retrans.Handle)
 
-	apply := func(e paxos.Effects) { r.applyEffects(th, node, handles, e) }
+	apply := func(e paxos.Effects) { r.applyEffects(th, g, node, handles, e) }
 
 	apply(node.Start())
-	r.refreshHints(node)
+	r.refreshHints(g, node)
 
 	for {
-		ev, err := r.dispatchQ.Take(th)
+		ev, err := g.dispatchQ.Take(th)
 		if err != nil {
 			return
 		}
@@ -37,18 +39,55 @@ func (r *Replica) runProtocol(node *paxos.Node) {
 		case evPeerMsg:
 			apply(node.HandleMessage(ev.from, ev.msg))
 		case evSuspect:
-			apply(node.OnSuspect(ev.view))
+			// The shared failure detector suspects the leader of group 0's
+			// view ev.view. Each group maps the suspicion onto its own view:
+			// group 0 requires an exact view match (the original semantics);
+			// sibling groups act iff their current leader is the suspected
+			// replica, so a group whose view drifted still rotates away from
+			// a dead leader.
+			if g.idx == 0 {
+				apply(node.OnSuspect(ev.view))
+			} else if paxos.LeaderOf(ev.view, r.n) == node.Leader() {
+				apply(node.OnSuspect(node.View()))
+			}
 		case evProposalReady:
 			// Handled by the drain below.
 		case evCatchUpTimer:
 			apply(node.CatchUpTimeout())
 		case evTruncate:
 			node.TruncateLog(ev.upTo)
+		case evFastForward:
+			// A snapshot installed via a sibling group's catch-up covers
+			// this group's log below ev.upTo.
+			apply(node.FastForward(ev.upTo))
+		}
+		// Sibling groups keep their view epoch converged on group 0's (the
+		// view the shared failure detector tracks). Suspicion fan-out is
+		// best-effort (TryPut), so a group can miss one; this check makes
+		// recovery self-healing: any event — a peer message, an alignment
+		// nudge, a redirect wake-up from ClientIO — re-synchronizes the
+		// view, and if this replica leads the new view it starts Phase 1
+		// for this group too.
+		if g.idx != 0 {
+			if v0 := wire.View(r.groups[0].viewHint.Load()); v0 > node.View() {
+				apply(node.AdvanceTo(v0))
+			}
 		}
 		// Start new ballots whenever leadership and the window allow: a
 		// decision that just freed a slot, or a fresh batch, both land here.
-		for node.WindowOpen() {
-			value, ok := r.proposalQ.TryTake()
+		// The merge-backlog gate bounds how far this group's decided slots
+		// may run ahead of what the merge stage has consumed: while a
+		// sibling group stalls (lossy link, dead sub-leader), the Merger
+		// must buffer this group's decisions, so without the gate a busy
+		// group would grow that buffer without bound. Closing the gate
+		// throttles only new proposals — the ProposalQueue fills, the
+		// Batcher stalls, backpressure reaches the clients (Sec. V-E) —
+		// while event processing continues, so the stalled sibling still
+		// recovers and reopens the gate.
+		backlogCap := int64(4*r.cfg.Window + 256)
+		for node.WindowOpen() &&
+			int64(node.DecidedUpTo())-g.mergedUpTo.Load() < backlogCap {
+			value, ok := g.proposalQ.TryTake()
 			if !ok {
 				break
 			}
@@ -58,12 +97,15 @@ func (r *Replica) runProtocol(node *paxos.Node) {
 			}
 			apply(e)
 		}
-		r.decidedUpTo.Store(int64(node.DecidedUpTo()))
+		r.alignGroup(g, node, apply)
+		g.decidedUpTo.Store(int64(node.DecidedUpTo()))
 	}
 }
 
-// applyEffects executes one Effects value from the protocol state machine.
-func (r *Replica) applyEffects(th *profiling.Thread, node *paxos.Node,
+// applyEffects executes one Effects value from a group's protocol state
+// machine. Peer-bound messages are tagged with the group (group 0 stays
+// unwrapped), and decisions flow into the MergeQueue for the merge stage.
+func (r *Replica) applyEffects(th *profiling.Thread, g *ordGroup, node *paxos.Node,
 	handles map[paxos.RetransKey]*retrans.Handle, e paxos.Effects) {
 
 	// Cancels first: the lock-free flag flip of Sec. V-C4.
@@ -75,7 +117,7 @@ func (r *Replica) applyEffects(th *profiling.Thread, node *paxos.Node,
 	}
 
 	for _, s := range e.Sends {
-		to, msg := s.To, s.Msg
+		to, msg := s.To, wrapGroup(g.idx, s.Msg)
 		send := func() {
 			if to == paxos.Broadcast {
 				r.broadcast(msg)
@@ -88,23 +130,27 @@ func (r *Replica) applyEffects(th *profiling.Thread, node *paxos.Node,
 			if old, ok := handles[*s.Retrans]; ok {
 				old.Cancel()
 			}
-			handles[*s.Retrans] = r.retr.Add(send)
+			handles[*s.Retrans] = g.retr.Add(send)
 		}
 	}
 
 	if e.ViewChanged {
-		r.refreshHints(node)
-		r.detector.UpdateView(node.View())
+		r.refreshHints(g, node)
+		if g.idx == 0 {
+			r.detector.UpdateView(node.View())
+		}
 	}
 
 	// Snapshot install must precede the decisions that follow it.
 	if e.InstallSnapshot != nil {
-		if err := r.decisionQ.Put(th, decisionItem{snapshot: e.InstallSnapshot}); err != nil {
+		if err := r.mergeQ.Put(th, groupDecision{group: g.idx,
+			item: decisionItem{snapshot: e.InstallSnapshot}}); err != nil {
 			return
 		}
 	}
 	for _, d := range e.Decisions {
-		if err := r.decisionQ.Put(th, decisionItem{id: d.ID, value: d.Value}); err != nil {
+		if err := r.mergeQ.Put(th, groupDecision{group: g.idx,
+			item: decisionItem{id: d.ID, value: d.Value}}); err != nil {
 			return
 		}
 	}
@@ -112,20 +158,21 @@ func (r *Replica) applyEffects(th *profiling.Thread, node *paxos.Node,
 	if e.CatchUp != nil {
 		leader := node.Leader()
 		if leader != r.cfg.ID {
-			r.enqueueSend(leader, e.CatchUp)
+			r.enqueueSend(leader, wrapGroup(g.idx, e.CatchUp))
 		}
 		// Re-arm: if the response never comes, the state machine re-issues.
 		timeout := r.cfg.CatchUpTimeout
 		time.AfterFunc(timeout, func() {
-			_, _ = r.dispatchQ.TryPut(event{kind: evCatchUpTimer})
+			_, _ = g.dispatchQ.TryPut(event{kind: evCatchUpTimer})
 		})
 	}
 }
 
-// refreshHints publishes the view/leader/leadership hints read lock-free by
-// ClientIO (redirects) and the failure detector (heartbeats).
-func (r *Replica) refreshHints(node *paxos.Node) {
-	r.viewHint.Store(int32(node.View()))
-	r.leaderHint.Store(int32(node.Leader()))
-	r.isLeader.Store(node.IsLeader())
+// refreshHints publishes the group's view/leader/leadership hints read
+// lock-free by ClientIO (redirects) and — for group 0 — the failure detector
+// (heartbeats).
+func (r *Replica) refreshHints(g *ordGroup, node *paxos.Node) {
+	g.viewHint.Store(int32(node.View()))
+	g.leaderHint.Store(int32(node.Leader()))
+	g.isLeader.Store(node.IsLeader())
 }

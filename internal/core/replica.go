@@ -15,18 +15,56 @@ import (
 	"gosmr/internal/wire"
 )
 
+// ordGroup is one ordering group: an independent Batcher → Protocol pipeline
+// with its own queues, replicated log (owned by its Protocol goroutine's
+// paxos.Node), retransmitter, and lock-free view/leader/watermark hints. A
+// replica runs Config.Groups of these; their decision streams meet in the
+// merge stage (merger.go), which recombines them into the single total order
+// the ServiceManager consumes.
+type ordGroup struct {
+	idx int
+
+	requestQ  *queue.Bounded[*wire.ClientRequest]
+	proposalQ *queue.Bounded[[]byte]
+	dispatchQ *queue.Bounded[event]
+
+	retr *retrans.Retransmitter
+
+	// Shared lock-free hints (the paper's "volatile variable" exceptions),
+	// one set per group because views and watermarks are per group.
+	viewHint    atomic.Int32
+	leaderHint  atomic.Int32
+	isLeader    atomic.Bool
+	decidedUpTo atomic.Int64
+	nextSlot    atomic.Int64 // log frontier hint, for cross-group alignment
+	mergedUpTo  atomic.Int64 // slots of this group the merge stage has consumed
+}
+
+// gname derives a per-group thread/queue name; group 0 keeps the paper's
+// original names so single-group profiles and statistics read unchanged.
+func gname(base string, idx int) string {
+	if idx == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s-g%d", base, idx)
+}
+
 // Replica is one node of the replicated state machine, wired per Fig. 3 of
-// the paper. Construct with NewReplica, then Start; Stop shuts every module
-// down and waits for all goroutines.
+// the paper, with the ordering layer generalized to Config.Groups parallel
+// Paxos groups feeding a deterministic merge stage. Construct with
+// NewReplica, then Start; Stop shuts every module down and waits for all
+// goroutines.
 type Replica struct {
 	cfg Config
 	svc Service
 	n   int
 
-	// Queues (Fig. 3).
-	requestQ  *queue.Bounded[*wire.ClientRequest]
-	proposalQ *queue.Bounded[[]byte]
-	dispatchQ *queue.Bounded[event]
+	// Ordering groups (Batcher + Protocol pipelines).
+	groups []*ordGroup
+
+	// MergeQueue: per-group decision streams → Merger; DecisionQueue:
+	// merged total order → ServiceManager; SendQueues: per peer.
+	mergeQ    *queue.Bounded[groupDecision]
 	decisionQ *queue.Bounded[decisionItem]
 	sendQ     []*queue.Bounded[wire.Message] // per peer; nil at own index
 
@@ -34,14 +72,11 @@ type Replica struct {
 	clientIO *clientIO
 	peerIO   *replicaIO
 	detector *fd.Detector
-	retr     *retrans.Retransmitter
 	exec     *executor.Executor
 
-	// Shared lock-free hints (the paper's "volatile variable" exceptions).
-	viewHint    atomic.Int32 // current view
-	leaderHint  atomic.Int32 // current leader ID
-	isLeader    atomic.Bool  // leadership established
-	decidedUpTo atomic.Int64 // decision watermark (for heartbeats)
+	// groupKeys extracts conflict keys for group routing (nil when the
+	// service is not ConflictAware; all requests then order in group 0).
+	groupKeys func([]byte) []string
 
 	// Snapshot hand-off between ServiceManager and Protocol threads.
 	snapshots *snapshotStore
@@ -54,11 +89,19 @@ type Replica struct {
 	// ServiceManager thread; never touched elsewhere.
 	execSeq map[uint64]schedEntry
 
+	// maxSlot is the highest group-local slot any group has opened — the
+	// proposal frontier. Group leaders align to it by proposing no-ops
+	// (Mencius-style skips) so the round-robin merge never waits a full
+	// consensus round-trip on an idle group (see alignGroup in merger.go).
+	maxSlot atomic.Int64
+
 	// Counters for metrics and experiments.
-	executed     atomic.Uint64 // requests executed
-	repliesSent  atomic.Uint64
-	batchesMade  atomic.Uint64
-	droppedSends atomic.Uint64
+	executed      atomic.Uint64 // requests executed
+	repliesSent   atomic.Uint64
+	batchesMade   atomic.Uint64
+	decidedMerged atomic.Uint64 // non-empty batches delivered in merged order
+	padsProposed  atomic.Uint64 // no-op batches proposed to unstall the merge
+	droppedSends  atomic.Uint64
 
 	stop    chan struct{}
 	stopped sync.Once
@@ -81,15 +124,22 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		cfg:       cfg,
 		svc:       svc,
 		n:         n,
-		requestQ:  queue.NewBounded[*wire.ClientRequest]("RequestQueue", cfg.RequestQueueCap),
-		proposalQ: queue.NewBounded[[]byte]("ProposalQueue", cfg.ProposalQueueCap),
-		dispatchQ: queue.NewBounded[event]("DispatcherQueue", cfg.DispatchQueueCap),
+		groups:    make([]*ordGroup, cfg.Groups),
+		mergeQ:    queue.NewBounded[groupDecision]("MergeQueue", cfg.DecisionQueueCap),
 		decisionQ: queue.NewBounded[decisionItem]("DecisionQueue", cfg.DecisionQueueCap),
 		sendQ:     make([]*queue.Bounded[wire.Message], n),
 		snapshots: &snapshotStore{},
 		registry:  newClientRegistry(),
 		execSeq:   make(map[uint64]schedEntry),
 		stop:      make(chan struct{}),
+	}
+	for i := range r.groups {
+		r.groups[i] = &ordGroup{
+			idx:       i,
+			requestQ:  queue.NewBounded[*wire.ClientRequest](gname("RequestQueue", i), cfg.RequestQueueCap),
+			proposalQ: queue.NewBounded[[]byte](gname("ProposalQueue", i), cfg.ProposalQueueCap),
+			dispatchQ: queue.NewBounded[event](gname("DispatcherQueue", i), cfg.DispatchQueueCap),
+		}
 	}
 	for p := range n {
 		if p != cfg.ID {
@@ -104,17 +154,18 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 	// Execution stage: parallel when the service declares conflicts and more
 	// than one worker is configured, otherwise the sequential fallback that
 	// runs inline on the ServiceManager thread.
-	var keys func([]byte) []string
 	if ca, ok := svc.(ConflictAware); ok {
-		keys = ca.Keys
+		r.groupKeys = ca.Keys
 	}
 	r.exec = executor.New(executor.Config{
 		Workers:   cfg.ExecutorWorkers,
-		Keys:      keys,
+		Keys:      r.groupKeys,
 		QueueCap:  cfg.ExecutorQueueCap,
 		Profiling: cfg.Profiling,
 	})
-	r.leaderHint.Store(0) // leader of view 0
+	for _, g := range r.groups {
+		g.leaderHint.Store(0) // leader of view 0
+	}
 	return r, nil
 }
 
@@ -124,32 +175,50 @@ func (r *Replica) ID() int { return r.cfg.ID }
 // N returns the cluster size.
 func (r *Replica) N() int { return r.n }
 
-// View returns the replica's current view (lock-free hint).
-func (r *Replica) View() wire.View { return wire.View(r.viewHint.Load()) }
+// Groups returns the number of ordering groups.
+func (r *Replica) Groups() int { return len(r.groups) }
 
-// Leader returns the current leader's ID (lock-free hint).
-func (r *Replica) Leader() int { return int(r.leaderHint.Load()) }
+// View returns group 0's current view (lock-free hint).
+func (r *Replica) View() wire.View { return wire.View(r.groups[0].viewHint.Load()) }
 
-// IsLeader reports whether this replica currently leads (Phase 1 complete).
-func (r *Replica) IsLeader() bool { return r.isLeader.Load() }
+// Leader returns group 0's current leader ID (lock-free hint). Groups
+// normally share leadership since one failure detector drives them all.
+func (r *Replica) Leader() int { return int(r.groups[0].leaderHint.Load()) }
 
-// DecidedUpTo returns the decision watermark.
+// IsLeader reports whether this replica currently leads group 0 (Phase 1
+// complete).
+func (r *Replica) IsLeader() bool { return r.groups[0].isLeader.Load() }
+
+// DecidedUpTo returns group 0's decision watermark.
 func (r *Replica) DecidedUpTo() wire.InstanceID {
-	return wire.InstanceID(r.decidedUpTo.Load())
+	return wire.InstanceID(r.groups[0].decidedUpTo.Load())
 }
 
 // Executed returns the number of requests executed so far.
 func (r *Replica) Executed() uint64 { return r.executed.Load() }
 
+// DecidedBatches returns the number of non-empty batches delivered in merged
+// order so far (the ordering layer's useful output; merge-padding no-ops are
+// excluded).
+func (r *Replica) DecidedBatches() uint64 { return r.decidedMerged.Load() }
+
+// PadsProposed returns the number of no-op batches this replica proposed to
+// keep the merge stage advancing across idle groups.
+func (r *Replica) PadsProposed() uint64 { return r.padsProposed.Load() }
+
 // QueueStats reports the time-averaged lengths of the three queues of
-// Table I plus the decision queue and, when parallel execution is enabled,
-// each executor worker's queue (ExecutorQueue-i).
+// Table I (per ordering group) plus the merge and decision queues and, when
+// parallel execution is enabled, each executor worker's queue
+// (ExecutorQueue-i).
 func (r *Replica) QueueStats() map[string]float64 {
 	stats := map[string]float64{
-		"RequestQueue":    r.requestQ.AvgLen(),
-		"ProposalQueue":   r.proposalQ.AvgLen(),
-		"DispatcherQueue": r.dispatchQ.AvgLen(),
-		"DecisionQueue":   r.decisionQ.AvgLen(),
+		"MergeQueue":    r.mergeQ.AvgLen(),
+		"DecisionQueue": r.decisionQ.AvgLen(),
+	}
+	for _, g := range r.groups {
+		stats[g.requestQ.Name()] = g.requestQ.AvgLen()
+		stats[g.proposalQ.Name()] = g.proposalQ.AvgLen()
+		stats[g.dispatchQ.Name()] = g.dispatchQ.AvgLen()
 	}
 	for name, avg := range r.exec.QueueStats() {
 		stats[name] = avg
@@ -159,9 +228,12 @@ func (r *Replica) QueueStats() map[string]float64 {
 
 // ResetQueueStats restarts queue-average tracking (to discard warm-up).
 func (r *Replica) ResetQueueStats() {
-	r.requestQ.ResetStats()
-	r.proposalQ.ResetStats()
-	r.dispatchQ.ResetStats()
+	for _, g := range r.groups {
+		g.requestQ.ResetStats()
+		g.proposalQ.ResetStats()
+		g.dispatchQ.ResetStats()
+	}
+	r.mergeQ.ResetStats()
 	r.decisionQ.ResetStats()
 	r.exec.ResetQueueStats()
 }
@@ -174,17 +246,12 @@ func (r *Replica) Start() error {
 	}
 	r.started = true
 
-	node := paxos.NewNode(paxos.Options{
-		ID:        r.cfg.ID,
-		N:         r.n,
-		Window:    r.cfg.Window,
-		Snapshots: r.snapshots.get,
-	})
-
-	r.retr = retrans.New(retrans.Options{
-		Period: r.cfg.RetransPeriod,
-		Thread: r.cfg.Profiling.Register("Retransmitter"),
-	})
+	for _, g := range r.groups {
+		g.retr = retrans.New(retrans.Options{
+			Period: r.cfg.RetransPeriod,
+			Thread: r.cfg.Profiling.Register(gname("Retransmitter", g.idx)),
+		})
+	}
 
 	r.detector = fd.New(fd.Options{
 		ID: r.cfg.ID, N: r.n,
@@ -192,17 +259,27 @@ func (r *Replica) Start() error {
 		SuspectTimeout:    r.cfg.SuspectTimeout,
 		SendHeartbeat:     r.sendHeartbeat,
 		Suspect: func(v wire.View) {
-			_, _ = r.dispatchQ.TryPut(event{kind: evSuspect, view: v})
+			// One failure detector serves every group: each maps the
+			// suspicion onto its own view (see runProtocol).
+			for _, g := range r.groups {
+				_, _ = g.dispatchQ.TryPut(event{kind: evSuspect, view: v})
+			}
 		},
 		Thread: r.cfg.Profiling.Register("FailureDetector"),
 	})
+
+	stopSatellites := func() {
+		r.detector.Stop()
+		for _, g := range r.groups {
+			g.retr.Stop()
+		}
+	}
 
 	// ReplicaIO first: the protocol needs peer links to exist (sends to a
 	// not-yet-connected peer are buffered in its SendQueue).
 	peerIO, err := newReplicaIO(r)
 	if err != nil {
-		r.retr.Stop()
-		r.detector.Stop()
+		stopSatellites()
 		return err
 	}
 	r.peerIO = peerIO
@@ -210,19 +287,30 @@ func (r *Replica) Start() error {
 	clientIO, err := newClientIO(r)
 	if err != nil {
 		r.peerIO.close()
-		r.retr.Stop()
-		r.detector.Stop()
+		stopSatellites()
 		return err
 	}
 	r.clientIO = clientIO
 
-	// Batcher thread (Sec. V-C1).
-	r.wg.Add(1)
-	go r.runBatcher()
+	// Per-group Batcher and Protocol threads (Sec. V-C1/V-C2, one pipeline
+	// per ordering group).
+	for _, g := range r.groups {
+		node := paxos.NewNode(paxos.Options{
+			ID:        r.cfg.ID,
+			N:         r.n,
+			Window:    r.cfg.Window,
+			Group:     g.idx,
+			Groups:    len(r.groups),
+			Snapshots: r.snapshots.get,
+		})
+		r.wg.Add(2)
+		go r.runBatcher(g)
+		go r.runProtocol(g, node)
+	}
 
-	// Protocol thread (Sec. V-C2).
+	// Merge stage: recombines the per-group decision streams.
 	r.wg.Add(1)
-	go r.runProtocol(node)
+	go r.runMerger()
 
 	// Execution workers (parallel mode only), then the ServiceManager
 	// thread (Sec. V-D) that schedules onto them.
@@ -240,9 +328,12 @@ func (r *Replica) Stop() {
 		close(r.stop)
 		// Closing the queues unblocks every module loop; closing the
 		// transports unblocks every I/O goroutine.
-		r.requestQ.Close()
-		r.proposalQ.Close()
-		r.dispatchQ.Close()
+		for _, g := range r.groups {
+			g.requestQ.Close()
+			g.proposalQ.Close()
+			g.dispatchQ.Close()
+		}
+		r.mergeQ.Close()
 		r.decisionQ.Close()
 		for _, q := range r.sendQ {
 			if q != nil {
@@ -265,25 +356,60 @@ func (r *Replica) Stop() {
 		if r.detector != nil {
 			r.detector.Stop()
 		}
-		if r.retr != nil {
-			r.retr.Stop()
+		for _, g := range r.groups {
+			if g.retr != nil {
+				g.retr.Stop()
+			}
 		}
 	})
 	r.wg.Wait()
 }
 
-// sendHeartbeat is the failure detector's leader-role callback: it emits a
-// heartbeat carrying the decision watermark straight onto the peer's
-// SendQueue, without involving the Protocol thread.
+// sendHeartbeat is the failure detector's leader-role callback: for every
+// group this replica leads it emits a heartbeat carrying that group's
+// decision watermark straight onto the peer's SendQueue, without involving
+// the Protocol threads.
 func (r *Replica) sendHeartbeat(peer int) {
-	if !r.isLeader.Load() {
-		return
+	for _, g := range r.groups {
+		if !g.isLeader.Load() {
+			continue
+		}
+		hb := &wire.Heartbeat{
+			View:        wire.View(g.viewHint.Load()),
+			DecidedUpTo: wire.InstanceID(g.decidedUpTo.Load()),
+		}
+		r.enqueueSend(peer, wrapGroup(g.idx, hb))
 	}
-	hb := &wire.Heartbeat{
-		View:        wire.View(r.viewHint.Load()),
-		DecidedUpTo: wire.InstanceID(r.decidedUpTo.Load()),
+}
+
+// wrapGroup tags a consensus message with its ordering group. Group 0 stays
+// unwrapped: a single-group cluster speaks exactly the pre-group wire format.
+func wrapGroup(group int, msg wire.Message) wire.Message {
+	if group == 0 {
+		return msg
 	}
-	r.enqueueSend(peer, hb)
+	return &wire.GroupMsg{Group: int32(group), Msg: msg}
+}
+
+// groupFor routes a client request to an ordering group by its first
+// conflict key (executor.KeyHash, stable across replicas). Keyless/global
+// requests — and every request of a non-ConflictAware service — order in
+// group 0. Routing only balances load; the merge stage makes the total
+// order deterministic regardless of where a request was ordered.
+//
+// Note the leader pays one extra Keys() extraction per request here, on the
+// ClientIO path, in addition to the executor's post-consensus extraction —
+// the two run in different pipeline stages, and carrying keys across
+// consensus would put them on the wire. Keep Keys cheap.
+func (r *Replica) groupFor(payload []byte) int {
+	if len(r.groups) == 1 || r.groupKeys == nil {
+		return 0
+	}
+	keys := r.groupKeys(payload)
+	if len(keys) == 0 {
+		return 0
+	}
+	return int(executor.KeyHash(keys[0]) % uint64(len(r.groups)))
 }
 
 // enqueueSend places msg on peer's SendQueue without blocking; under

@@ -228,7 +228,9 @@ func (io *replicaIO) runDialer(peer int) {
 }
 
 // runReader is the ReplicaIORcv thread for one peer: read, deserialize,
-// touch the failure detector, dispatch to the Protocol thread.
+// touch the failure detector, and dispatch to the owning group's Protocol
+// thread (GroupMsg envelopes demultiplex the shared connection; bare
+// consensus messages belong to group 0, the pre-group wire format).
 func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 	defer io.wg.Done()
 	th.Transition(profiling.StateBusy)
@@ -250,8 +252,16 @@ func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 		if err != nil {
 			continue
 		}
+		group := 0
+		if gm, ok := msg.(*wire.GroupMsg); ok {
+			group = int(gm.Group)
+			msg = gm.Msg
+			if group < 0 || group >= len(io.r.groups) {
+				continue // unknown group: misconfigured peer; drop
+			}
+		}
 		io.r.detector.TouchRecv(peer)
-		if err := io.r.dispatchQ.Put(th, event{kind: evPeerMsg, from: peer, msg: msg}); err != nil {
+		if err := io.r.groups[group].dispatchQ.Put(th, event{kind: evPeerMsg, from: peer, msg: msg}); err != nil {
 			return
 		}
 	}

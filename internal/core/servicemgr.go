@@ -48,6 +48,9 @@ func (r *Replica) runServiceManager() {
 		if err != nil {
 			continue // corrupt batch cannot happen with our own leader; skip
 		}
+		if len(reqs) > 0 {
+			r.decidedMerged.Add(1)
+		}
 		for _, req := range reqs {
 			r.scheduleOne(th, req)
 		}
@@ -145,11 +148,14 @@ func (r *Replica) installSnapshot(th *profiling.Thread, snap *wire.Snapshot) {
 	r.snapshots.put(*snap)
 }
 
-// maybeSnapshot takes a service snapshot every SnapshotEvery instances and
-// asks the Protocol thread to truncate the log below it. The executor is
-// quiesced first: all requests up to and including executedID have finished,
-// and none beyond it have been dispatched (the scheduler processes the log
-// in order), so the snapshot is exactly the serial state after executedID.
+// maybeSnapshot takes a service snapshot every SnapshotEvery merged
+// instances and asks each group's Protocol thread to truncate its log below
+// its share of the covered prefix. The executor is quiesced first: all
+// requests up to and including merged index executedID have finished, and
+// none beyond it have been dispatched (the scheduler processes the merged
+// order in sequence), so the snapshot is exactly the serial state after
+// executedID. Every replica cuts at the same merged indices, so snapshots
+// stay byte-identical cluster-wide.
 func (r *Replica) maybeSnapshot(th *profiling.Thread, executedID wire.InstanceID) {
 	every := r.cfg.SnapshotEvery
 	if every <= 0 || (int64(executedID)+1)%int64(every) != 0 {
@@ -164,7 +170,11 @@ func (r *Replica) maybeSnapshot(th *profiling.Thread, executedID wire.InstanceID
 		LastIncluded: executedID,
 		ServiceState: state,
 		ReplyCache:   r.replyCache.Marshal(),
+		Groups:       int32(len(r.groups)),
 	}
 	r.snapshots.put(snap)
-	_, _ = r.dispatchQ.TryPut(event{kind: evTruncate, upTo: executedID + 1})
+	for _, g := range r.groups {
+		cut := wire.GroupCut(executedID, len(r.groups), g.idx)
+		_, _ = g.dispatchQ.TryPut(event{kind: evTruncate, upTo: cut})
+	}
 }

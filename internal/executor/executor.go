@@ -148,17 +148,24 @@ func (e *Executor) run(i int) {
 	}
 }
 
-// workerFor hashes a conflict key to a worker index with FNV-1a, which is
-// stable across replicas, processes, and architectures — the same key maps
-// to the same worker everywhere, so conflicting requests serialize
-// identically cluster-wide.
-func (e *Executor) workerFor(key string) int {
+// KeyHash is the conflict-key hash shared by every key-routed stage (worker
+// assignment here, ordering-group assignment in core): FNV-1a, stable across
+// replicas, processes, and architectures, so the same key routes identically
+// cluster-wide. Both sites must use the same function — conflicting requests
+// serialize correctly only because their key lands in the same place on
+// every replica.
+func KeyHash(key string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
 		h *= 1099511628211
 	}
-	return int(h % uint64(len(e.queues)))
+	return h
+}
+
+// workerFor hashes a conflict key to a worker index.
+func (e *Executor) workerFor(key string) int {
+	return int(KeyHash(key) % uint64(len(e.queues)))
 }
 
 // Inline is the pseudo-worker index Submit returns for tasks executed on the

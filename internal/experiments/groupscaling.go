@@ -1,0 +1,256 @@
+package experiments
+
+// Group-scaling experiment: drives the real goroutine pipeline (in-process
+// transport) to measure how decided-batch throughput scales with the number
+// of ordering (Paxos) groups. A single Protocol thread and its single
+// replicated log bound a replica's ordering rate twice over: by the CPU one
+// protocol thread can spend, and by the pipelining window — at most WND
+// consensus instances overlap one group's round-trip. Multi-group ordering
+// multiplies both limits; the deterministic merge stage recombines the
+// per-group decisions into one total order, so the execution layer is
+// unchanged.
+//
+// The harness runs a 3-replica cluster over an in-process transport with a
+// configurable one-way delivery delay (modeling the network RTT that makes
+// windowing matter) and sweeps groups × window × conflict rate. Small
+// batches (one request per batch) keep the workload ordering-bound. At 100%
+// conflict every request carries the same key, routes to one group, and the
+// sibling groups only contribute merge-padding no-ops — the honest worst
+// case for group partitioning.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosmr/internal/batch"
+	"gosmr/internal/core"
+	"gosmr/internal/service"
+	"gosmr/internal/transport"
+	"gosmr/internal/wire"
+)
+
+// GroupOptions configures the group-scaling sweep.
+type GroupOptions struct {
+	// Groups lists the ordering-group counts to sweep (default 1, 2, 4).
+	Groups []int
+	// Windows lists per-group pipelining windows WND to sweep (default
+	// 2, 8: a tight window where the consensus round-trip binds a single
+	// group, and a looser one where CPU starts to).
+	Windows []int
+	// ConflictPct lists workload conflict rates in percent: the probability
+	// that a request targets the single shared hot key (routing everything
+	// to one group) instead of a key private to its client (default 0, 100).
+	ConflictPct []int
+	// Clients is the number of open-loop sender connections (default 16).
+	// Senders fire requests as fast as the replica's backpressure admits
+	// and never wait for replies: the cell measures ordering capacity, not
+	// request latency.
+	Clients int
+	// Delay is the in-process transport's one-way delivery delay, modeling
+	// the network (default 2ms).
+	Delay time.Duration
+	// BatchBytes is the batch budget; the default 48 bytes makes every
+	// request its own batch, so decided batches == ordered requests.
+	BatchBytes int
+	// Warmup is discarded time per cell (leader election and client
+	// ramp-up; default 150ms). Measure is the measurement window per cell
+	// (default 400ms).
+	Warmup  time.Duration
+	Measure time.Duration
+}
+
+func (o GroupOptions) withDefaults() GroupOptions {
+	if len(o.Groups) == 0 {
+		o.Groups = []int{1, 2, 4}
+	}
+	if len(o.Windows) == 0 {
+		o.Windows = []int{2, 8}
+	}
+	if len(o.ConflictPct) == 0 {
+		o.ConflictPct = []int{0, 100}
+	}
+	if o.Clients <= 0 {
+		o.Clients = 16
+	}
+	if o.Delay <= 0 {
+		o.Delay = 2 * time.Millisecond
+	}
+	if o.BatchBytes <= 0 {
+		o.BatchBytes = 48
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 150 * time.Millisecond
+	}
+	if o.Measure <= 0 {
+		o.Measure = 400 * time.Millisecond
+	}
+	return o
+}
+
+// GroupCell is one measured configuration.
+type GroupCell struct {
+	Groups      int
+	Window      int
+	ConflictPct int
+	Batches     float64 // decided non-empty batches per second (merged order)
+	Executed    float64 // executed requests per second
+	Pads        float64 // merge-padding no-ops proposed per second
+}
+
+// GroupResult holds the sweep, indexed [conflict][window][groups] in the
+// order of the options slices.
+type GroupResult struct {
+	Groups      []int
+	Windows     []int
+	ConflictPct []int
+	Cells       []GroupCell
+	Report      string
+}
+
+// Speedup returns the decided-batch throughput of (groups, window, conflict)
+// relative to the single-group cell with the same window and conflict rate,
+// or 0 when either cell is missing.
+func (r GroupResult) Speedup(groups, window, conflict int) float64 {
+	var base, cell float64
+	for _, c := range r.Cells {
+		if c.Window != window || c.ConflictPct != conflict {
+			continue
+		}
+		if c.Groups == 1 {
+			base = c.Batches
+		}
+		if c.Groups == groups {
+			cell = c.Batches
+		}
+	}
+	if base <= 0 {
+		return 0
+	}
+	return cell / base
+}
+
+// GroupScaling sweeps ordering-group counts against window sizes and
+// workload conflict rates on a 3-replica in-process cluster and reports
+// decided-batch throughput. With private keys and a tight window, a single
+// group is bound by WND instances per consensus round-trip and throughput
+// grows with G; at 100% conflict every request routes to one group and the
+// siblings contribute only padding.
+func GroupScaling(opts GroupOptions) GroupResult {
+	opts = opts.withDefaults()
+	out := GroupResult{Groups: opts.Groups, Windows: opts.Windows, ConflictPct: opts.ConflictPct}
+	t := newTable("GroupScaling", fmt.Sprintf(
+		"Decided-batch throughput vs ordering groups (batches/s; n=3, delay=%v, %d clients, 1 req/batch)",
+		opts.Delay, opts.Clients))
+	hdr := []string{"conflict", "WND"}
+	for _, g := range opts.Groups {
+		hdr = append(hdr, fmt.Sprintf("G=%d", g), "speedup", "pads/s")
+	}
+	t.row(hdr...)
+	for _, pct := range opts.ConflictPct {
+		for _, wnd := range opts.Windows {
+			cells := []string{fmt.Sprintf("%7d%%", pct), fmt.Sprintf("%3d", wnd)}
+			var base float64
+			for _, g := range opts.Groups {
+				cell := runGroupCell(opts, g, wnd, pct)
+				out.Cells = append(out.Cells, cell)
+				if g == opts.Groups[0] {
+					base = cell.Batches
+				}
+				speed := 0.0
+				if base > 0 {
+					speed = cell.Batches / base
+				}
+				cells = append(cells, fmt.Sprintf("%8.0f", cell.Batches),
+					fmt.Sprintf("%5.2fx", speed), fmt.Sprintf("%6.0f", cell.Pads))
+			}
+			t.row(cells...)
+		}
+	}
+	t.note("speedup is vs the G=%d cell of the same row; padding no-ops are excluded from batch counts", opts.Groups[0])
+	t.note("a single group is bound by WND instances per consensus round-trip; groups multiply the in-flight budget")
+	out.Report = t.String()
+	return out
+}
+
+// runGroupCell measures one (groups, window, conflict%) cell.
+func runGroupCell(opts GroupOptions, groups, window, conflictPct int) GroupCell {
+	net := transport.NewInproc(0)
+	net.SetDelay(opts.Delay)
+	peers := []string{"gs-0", "gs-1", "gs-2"}
+	reps := make([]*core.Replica, len(peers))
+	for i := range peers {
+		svc := service.NewKV()
+		svc.ExecuteCost = 1
+		rep, err := core.NewReplica(core.Config{
+			ID: i, PeerAddrs: peers, ClientAddr: fmt.Sprintf("gs-c%d", i),
+			Network: net,
+			Groups:  groups,
+			Window:  window,
+			Batch:   batch.Policy{MaxBytes: opts.BatchBytes, MaxDelay: time.Millisecond},
+		}, svc)
+		if err != nil {
+			panic(err) // static config; cannot fail
+		}
+		if err := rep.Start(); err != nil {
+			panic(err)
+		}
+		defer rep.Stop()
+		reps[i] = rep
+	}
+	leader := reps[0]
+	for deadline := time.Now().Add(5 * time.Second); !leader.IsLeader() && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Open-loop senders: write as fast as backpressure admits (full request
+	// queues block the ClientIO workers, which block the connection reads),
+	// never reading replies. Decided-batch throughput then measures the
+	// ordering layer's capacity rather than closed-loop request latency.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := range opts.Clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(31*groups + 17*window + 1000*conflictPct + c)))
+			conn, err := net.Dial("gs-c0")
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			value := []byte("gsval")
+			for seq := uint64(1); !stop.Load(); seq++ {
+				key := fmt.Sprintf("c%d-k%d", c, seq%64)
+				if rng.Intn(100) < conflictPct {
+					key = "hot"
+				}
+				req := &wire.ClientRequest{ClientID: uint64(1 + c), Seq: seq,
+					Payload: service.EncodePut(key, value)}
+				if err := conn.WriteFrame(wire.Marshal(req)); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(opts.Warmup)
+	startBatches := leader.DecidedBatches()
+	startExecuted := leader.Executed()
+	startPads := leader.PadsProposed()
+	start := time.Now()
+	time.Sleep(opts.Measure)
+	batches := leader.DecidedBatches() - startBatches
+	executed := leader.Executed() - startExecuted
+	pads := leader.PadsProposed() - startPads
+	secs := time.Since(start).Seconds()
+	stop.Store(true)
+	wg.Wait()
+	return GroupCell{
+		Groups: groups, Window: window, ConflictPct: conflictPct,
+		Batches:  float64(batches) / secs,
+		Executed: float64(executed) / secs,
+		Pads:     float64(pads) / secs,
+	}
+}

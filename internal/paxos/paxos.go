@@ -113,12 +113,14 @@ type openInstance struct {
 	acks  map[int]bool
 }
 
-// Node is the per-replica protocol state machine. Not safe for concurrent
-// use: it is owned by the Protocol thread.
+// Node is the per-replica, per-group protocol state machine. Not safe for
+// concurrent use: it is owned by its group's Protocol thread.
 type Node struct {
 	id     int
 	n      int
 	window int
+	group  int // ordering group this node runs
+	groups int // total ordering groups in the replica
 
 	log *storage.Log
 
@@ -147,6 +149,13 @@ type Options struct {
 	// Window is the maximum number of concurrently executing instances
 	// (the paper's WND); defaults to 10, the paper's baseline.
 	Window int
+	// Group is the ordering group this node runs, in [0, Groups); Groups is
+	// the replica's total group count (both default to the single-group
+	// configuration). They scope snapshot positions: a transferred snapshot
+	// is cut at a *merged* index, and the node derives its own log's cut
+	// with wire.GroupCut.
+	Group  int
+	Groups int
 	// Snapshots supplies snapshots for catch-up state transfer (may be nil).
 	Snapshots SnapshotProvider
 }
@@ -164,10 +173,18 @@ func NewNode(opts Options) *Node {
 	if opts.ID < 0 || opts.ID >= opts.N {
 		panic(fmt.Sprintf("paxos: ID %d out of range [0,%d)", opts.ID, opts.N))
 	}
+	if opts.Groups <= 0 {
+		opts.Groups = 1
+	}
+	if opts.Group < 0 || opts.Group >= opts.Groups {
+		panic(fmt.Sprintf("paxos: Group %d out of range [0,%d)", opts.Group, opts.Groups))
+	}
 	return &Node{
 		id:        opts.ID,
 		n:         opts.N,
 		window:    opts.Window,
+		group:     opts.Group,
+		groups:    opts.Groups,
 		log:       storage.NewLog(),
 		open:      make(map[wire.InstanceID]*openInstance),
 		snapshots: opts.Snapshots,
@@ -176,6 +193,9 @@ func NewNode(opts Options) *Node {
 
 // ID returns this replica's ID.
 func (nd *Node) ID() int { return nd.id }
+
+// Group returns the ordering group this node runs.
+func (nd *Node) Group() int { return nd.group }
 
 // N returns the cluster size.
 func (nd *Node) N() int { return nd.n }
@@ -233,6 +253,19 @@ func (nd *Node) OnSuspect(v wire.View) Effects {
 		return e
 	}
 	nd.advanceView(nd.view+1, &e)
+	return e
+}
+
+// AdvanceTo moves the node to view v if it is still below it, becoming
+// candidate when this replica leads v. Multi-group replicas use it to keep
+// sibling groups' view epochs converged on group 0's (the view the shared
+// failure detector tracks): a group that missed a suspicion fan-out —
+// delivery is best-effort — re-synchronizes on its next event instead of
+// waiting forever on a dead leader. Advancing a view is always safe in
+// Paxos; a no-op when v <= the current view.
+func (nd *Node) AdvanceTo(v wire.View) Effects {
+	var e Effects
+	nd.advanceView(v, &e)
 	return e
 }
 
@@ -551,24 +584,75 @@ func (nd *Node) handleCatchUpQuery(from int, m *wire.CatchUpQuery, e *Effects) {
 }
 
 // handleCatchUpResp installs fetched decided values (and snapshot, if any).
+// A snapshot's LastIncluded is a merged-order index; this node fast-forwards
+// its own log to its group's share of that prefix and surfaces the snapshot
+// so the merge stage can install it (and fast-forward the sibling groups).
+//
+// A follow-up query for the remaining gap is issued immediately only when
+// this response made progress (filled a missing instance or installed a
+// snapshot). A useless response — the responder may simply not have the
+// values, e.g. a just-elected leader behind the watermark we chased — must
+// wait for the caller's catch-up timer instead: re-querying synchronously
+// would ping-pong query/response at network speed until the responder
+// catches up (a livelock the randomized-schedule property test reproduces).
 func (nd *Node) handleCatchUpResp(m *wire.CatchUpResp, e *Effects) {
 	nd.catchUpPending = false
-	if m.HasSnapshot && m.Snapshot.LastIncluded >= nd.log.Base() {
-		nd.log.InstallSnapshot(m.Snapshot.LastIncluded)
-		if nd.lastDelivered < m.Snapshot.LastIncluded+1 {
-			nd.lastDelivered = m.Snapshot.LastIncluded + 1
+	progress := false
+	if m.HasSnapshot && m.Snapshot.GroupCount() == nd.groups {
+		cut := wire.GroupCut(m.Snapshot.LastIncluded, nd.groups, nd.group)
+		if cut > nd.log.Base() {
+			nd.fastForward(cut, e)
+			snap := m.Snapshot
+			e.InstallSnapshot = &snap
+			progress = true
 		}
-		snap := m.Snapshot
-		e.InstallSnapshot = &snap
 	}
 	for _, dv := range m.Entries {
 		if dv.ID < nd.log.Base() {
 			continue
 		}
+		if entry := nd.log.Get(dv.ID); entry == nil || !entry.Decided {
+			progress = true
+		}
 		nd.log.MarkDecided(dv.ID, dv.Value)
 	}
 	nd.emitDecisions(e)
-	nd.maybeCatchUp(e)
+	if progress {
+		nd.maybeCatchUp(e)
+	}
+}
+
+// FastForward advances the log past everything below cut, which an installed
+// snapshot covers: covered entries are discarded, delivery resumes at cut,
+// and stale open proposals below it are dropped with their retransmissions
+// cancelled (their instances are already decided in the snapshot; keeping
+// them could trip a below-base decide on a late Accept, and an uncancelled
+// handle would re-broadcast the dead Propose forever). Acceptor state at or
+// above cut is retained — the snapshot says nothing about those slots, and
+// wiping a promised value there would violate Paxos quorum intersection
+// (the merge stage fast-forwards healthy sibling groups whose logs hold
+// live in-flight accepts). The caller must apply the returned Effects.
+func (nd *Node) FastForward(cut wire.InstanceID) Effects {
+	var e Effects
+	nd.fastForward(cut, &e)
+	return e
+}
+
+func (nd *Node) fastForward(cut wire.InstanceID, e *Effects) {
+	if cut <= nd.log.Base() {
+		return
+	}
+	nd.log.CoverPrefix(cut)
+	if nd.lastDelivered < cut {
+		nd.lastDelivered = cut
+	}
+	for id := range nd.open {
+		if id < cut {
+			delete(nd.open, id)
+			e.CancelRetrans = append(e.CancelRetrans,
+				RetransKey{Kind: RetransPropose, View: nd.view, ID: id})
+		}
+	}
 }
 
 // TruncateLog discards log entries below id (after the service snapshotted

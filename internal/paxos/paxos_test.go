@@ -743,3 +743,133 @@ func TestPropertyRandomScheduleAgreementN5(t *testing.T) {
 		runRandomizedSchedule(t, 5, seed, 1500)
 	}
 }
+
+func TestGroupScopedSnapshotInstall(t *testing.T) {
+	// A node running group 1 of 4 receives a snapshot cut at merged index
+	// 99. Its share of the covered prefix is GroupCut(99, 4, 1) = 25 slots,
+	// so its log must fast-forward to base 25, not 100.
+	f := NewNode(Options{ID: 2, N: 3, Group: 1, Groups: 4})
+	resp := &wire.CatchUpResp{HasSnapshot: true, Snapshot: wire.Snapshot{
+		LastIncluded: 99, Groups: 4, ServiceState: []byte("s")}}
+	e := f.HandleMessage(0, resp)
+	if e.InstallSnapshot == nil || e.InstallSnapshot.LastIncluded != 99 {
+		t.Fatalf("InstallSnapshot effect = %+v", e.InstallSnapshot)
+	}
+	if got, want := f.Log().Base(), wire.GroupCut(99, 4, 1); got != want {
+		t.Errorf("log base = %d, want %d", got, want)
+	}
+
+	// A topology-mismatched snapshot must not touch the log.
+	f2 := NewNode(Options{ID: 2, N: 3, Group: 1, Groups: 4})
+	bad := &wire.CatchUpResp{HasSnapshot: true, Snapshot: wire.Snapshot{
+		LastIncluded: 99, Groups: 2, ServiceState: []byte("s")}}
+	e = f2.HandleMessage(0, bad)
+	if e.InstallSnapshot != nil {
+		t.Error("mismatched-groups snapshot installed")
+	}
+	if f2.Log().Base() != 0 {
+		t.Errorf("log base = %d after mismatched snapshot, want 0", f2.Log().Base())
+	}
+}
+
+func TestFastForward(t *testing.T) {
+	// A leader with open in-flight instances fast-forwards past some of
+	// them (a sibling group's catch-up installed a snapshot): the covered
+	// instances are dropped from the log and the open table, and delivery
+	// resumes at the cut.
+	l, f1, _ := establish3(t, 8)
+	for i := range 4 {
+		e, ok := l.ProposeBatch(wire.EncodeBatch([]*wire.ClientRequest{{ClientID: 1, Seq: uint64(i + 1)}}))
+		if !ok {
+			t.Fatalf("propose %d rejected", i)
+		}
+		_ = e
+	}
+	if l.InFlight() != 4 {
+		t.Fatalf("in flight = %d, want 4", l.InFlight())
+	}
+	eff := l.FastForward(2)
+	if l.Log().Base() != 2 {
+		t.Errorf("log base = %d, want 2", l.Log().Base())
+	}
+	if l.InFlight() != 2 {
+		t.Errorf("in flight after fast-forward = %d, want 2", l.InFlight())
+	}
+	// The dropped in-flight instances' retransmissions must be cancelled,
+	// or the dead Proposes would re-broadcast every period forever.
+	if len(eff.CancelRetrans) != 2 {
+		t.Errorf("CancelRetrans = %v, want the 2 covered proposes", eff.CancelRetrans)
+	}
+	for _, k := range eff.CancelRetrans {
+		if k.Kind != RetransPropose || k.ID >= 2 {
+			t.Errorf("unexpected cancel %v", k)
+		}
+	}
+	// A late Accept for a covered instance is harmless (no below-base
+	// decide), and the surviving instances still decide normally.
+	if e := l.HandleMessage(1, &wire.Accept{View: l.View(), ID: 0}); len(e.Decisions) != 0 {
+		t.Errorf("covered instance decided after fast-forward: %+v", e.Decisions)
+	}
+	e := l.HandleMessage(1, &wire.Accept{View: l.View(), ID: 2})
+	if len(e.Decisions) != 1 || e.Decisions[0].ID != 2 {
+		t.Fatalf("decisions after fast-forward = %+v, want instance 2", e.Decisions)
+	}
+	// Fast-forwarding backwards is a no-op.
+	l.FastForward(1)
+	if l.Log().Base() != 2 {
+		t.Errorf("log base moved backwards to %d", l.Log().Base())
+	}
+	_ = f1
+}
+
+func TestAdvanceToResynchronizesMissedViewChange(t *testing.T) {
+	// A sibling-group node that missed the suspicion fan-out sits at view 0
+	// believing the dead replica 0 leads. AdvanceTo(group 0's view) must
+	// move it to the new view — and start Phase 1 when this replica leads
+	// it — so the group heals without another suspicion.
+	n := NewNode(Options{ID: 1, N: 3, Group: 1, Groups: 2})
+	e := n.AdvanceTo(1) // leader(1) = 1: this node
+	if n.View() != 1 || !e.ViewChanged {
+		t.Fatalf("view = %d, changed = %v, want view 1 changed", n.View(), e.ViewChanged)
+	}
+	if !n.Preparing() {
+		t.Error("new-view leader did not start Phase 1")
+	}
+	if len(e.Sends) == 0 {
+		t.Error("no Prepare sent")
+	}
+	// Stale and equal targets are no-ops.
+	if e := n.AdvanceTo(1); e.ViewChanged {
+		t.Error("AdvanceTo(current view) changed state")
+	}
+	if e := n.AdvanceTo(0); e.ViewChanged {
+		t.Error("AdvanceTo(older view) changed state")
+	}
+	// A non-leader of the target view just follows.
+	f := NewNode(Options{ID: 2, N: 3, Group: 1, Groups: 2})
+	if e := f.AdvanceTo(1); !e.ViewChanged || f.Preparing() {
+		t.Errorf("follower AdvanceTo: changed=%v preparing=%v", e.ViewChanged, f.Preparing())
+	}
+}
+
+func TestFastForwardRetainsAcceptorStateAboveCut(t *testing.T) {
+	// A follower accepted slots 0..3 in view 0; a sibling group's snapshot
+	// covers only slots < 2. Fast-forwarding must keep the promises for
+	// slots 2..3 — wiping them would let a future leader's Phase 1 miss a
+	// possibly-decided value.
+	f := NewNode(Options{ID: 1, N: 3})
+	for i := range 4 {
+		f.HandleMessage(0, &wire.Propose{View: 0, ID: wire.InstanceID(i), Value: []byte{byte(i)}})
+	}
+	f.FastForward(2)
+	if f.Log().Base() != 2 {
+		t.Fatalf("base = %d, want 2", f.Log().Base())
+	}
+	suffix := f.Log().SuffixFrom(0)
+	if len(suffix) != 2 || suffix[0].ID != 2 || suffix[1].ID != 3 {
+		t.Fatalf("suffix after fast-forward = %+v, want accepted slots 2 and 3", suffix)
+	}
+	if suffix[0].Value[0] != 2 || suffix[1].Value[0] != 3 {
+		t.Fatalf("accepted values lost: %+v", suffix)
+	}
+}

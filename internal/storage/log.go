@@ -143,6 +143,39 @@ func (l *Log) TruncateBelow(id wire.InstanceID) {
 	}
 }
 
+// CoverPrefix marks every instance below cut as covered by an installed
+// snapshot: entries below cut are discarded and considered decided, while
+// entries at or above cut — including undecided acceptor state — are
+// retained. This is the safe fast-forward for a log that may hold live
+// accepted values above the snapshot's cut (wiping them, as InstallSnapshot
+// does, would break Paxos quorum intersection: an acceptor could "forget" a
+// value it promised, letting a later leader decide a different value for a
+// slot that was already decided and acknowledged).
+func (l *Log) CoverPrefix(cut wire.InstanceID) {
+	if cut <= l.base {
+		return
+	}
+	n := cut - l.base
+	if n >= wire.InstanceID(len(l.entries)) {
+		l.entries = l.entries[:0]
+	} else {
+		kept := copy(l.entries, l.entries[n:])
+		for i := kept; i < len(l.entries); i++ {
+			l.entries[i] = nil
+		}
+		l.entries = l.entries[:kept]
+	}
+	l.base = cut
+	if l.firstUndecided < cut {
+		l.firstUndecided = cut
+	}
+	if l.next < cut {
+		l.next = cut
+	}
+	// Retained entries from cut onward may already be decided.
+	l.advance()
+}
+
 // InstallSnapshot resets the log after installing a snapshot covering all
 // instances <= lastIncluded: everything at or below it is discarded and
 // considered decided.

@@ -263,3 +263,53 @@ func TestPropertyTruncatePreservesRetained(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCoverPrefixRetainsSuffixState(t *testing.T) {
+	l := NewLog()
+	for i := range 6 {
+		l.Accept(wire.InstanceID(i), 3, []byte{byte(i)})
+	}
+	l.MarkDecided(0, nil)
+	l.MarkDecided(1, nil)
+
+	// Cover instances below 4: unlike InstallSnapshot, acceptor state at
+	// and above the cut must survive (Paxos quorum intersection).
+	l.CoverPrefix(4)
+	if l.Base() != 4 || l.FirstUndecided() != 4 || l.Next() != 6 {
+		t.Fatalf("base=%d firstUndecided=%d next=%d, want 4/4/6", l.Base(), l.FirstUndecided(), l.Next())
+	}
+	for i := 4; i < 6; i++ {
+		e := l.Get(wire.InstanceID(i))
+		if e == nil || e.AcceptedView != 3 || len(e.Value) != 1 || e.Value[0] != byte(i) {
+			t.Fatalf("entry %d lost after CoverPrefix: %+v", i, e)
+		}
+	}
+	if got := l.SuffixFrom(0); len(got) != 2 || got[0].ID != 4 {
+		t.Fatalf("SuffixFrom after CoverPrefix = %+v, want entries 4 and 5", got)
+	}
+
+	// Covering past every entry leaves an empty log at the cut.
+	l.CoverPrefix(10)
+	if l.Base() != 10 || l.FirstUndecided() != 10 || l.Next() != 10 || l.Len() != 0 {
+		t.Fatalf("after CoverPrefix(10): base=%d fu=%d next=%d len=%d", l.Base(), l.FirstUndecided(), l.Next(), l.Len())
+	}
+	// Backwards cover is a no-op.
+	l.CoverPrefix(5)
+	if l.Base() != 10 {
+		t.Errorf("backwards CoverPrefix moved base to %d", l.Base())
+	}
+}
+
+func TestCoverPrefixAdvancesOverDecidedSuffix(t *testing.T) {
+	l := NewLog()
+	for i := range 4 {
+		l.Accept(wire.InstanceID(i), 1, []byte("v"))
+	}
+	l.MarkDecided(2, nil)
+	l.MarkDecided(3, nil)
+	// Covering 0..1 exposes the already-decided 2..3 as the new prefix.
+	l.CoverPrefix(2)
+	if l.FirstUndecided() != 4 {
+		t.Errorf("FirstUndecided = %d, want 4 (decided suffix)", l.FirstUndecided())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Inproc errors.
@@ -28,6 +29,7 @@ type Inproc struct {
 	listeners map[string]*inprocListener
 	fault     FaultFunc
 	queueCap  int
+	delay     time.Duration
 	nextConn  int
 }
 
@@ -51,6 +53,24 @@ func (n *Inproc) SetFault(f FaultFunc) {
 	n.mu.Lock()
 	n.fault = f
 	n.mu.Unlock()
+}
+
+// SetDelay installs a one-way frame delivery delay (0 disables), modeling
+// network latency: a frame written at t becomes readable at t+d. Writers are
+// never blocked by the delay and deliveries stay ordered, so pipelined
+// traffic overlaps its latencies exactly as on a real network. Used by
+// experiments that study windowing and multi-group ordering, where the
+// consensus round trip — not CPU — bounds a single ordering pipeline.
+func (n *Inproc) SetDelay(d time.Duration) {
+	n.mu.Lock()
+	n.delay = d
+	n.mu.Unlock()
+}
+
+func (n *Inproc) getDelay() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delay
 }
 
 func (n *Inproc) getFault() FaultFunc {
@@ -130,22 +150,29 @@ func (l *inprocListener) Close() error {
 
 func (l *inprocListener) Addr() string { return l.addr }
 
+// timedFrame is one queued frame with its earliest delivery time (zero when
+// the network has no configured delay).
+type timedFrame struct {
+	at time.Time
+	b  []byte
+}
+
 // inprocConn is one endpoint of an in-process connection pair.
 type inprocConn struct {
 	net        *Inproc
 	localAddr  string
 	remoteAddr string
-	in         chan []byte   // frames to read
-	peerIn     chan []byte   // peer's read queue (we write here)
-	closed     chan struct{} // our closed signal
-	peerClosed chan struct{} // peer's closed signal
+	in         chan timedFrame // frames to read
+	peerIn     chan timedFrame // peer's read queue (we write here)
+	closed     chan struct{}   // our closed signal
+	peerClosed chan struct{}   // peer's closed signal
 	once       sync.Once
 }
 
 // newInprocPair builds both endpoints of a connection.
 func newInprocPair(n *Inproc, addrA, addrB string) (a, b *inprocConn) {
-	qa := make(chan []byte, n.queueCap)
-	qb := make(chan []byte, n.queueCap)
+	qa := make(chan timedFrame, n.queueCap)
+	qb := make(chan timedFrame, n.queueCap)
 	ca := make(chan struct{})
 	cb := make(chan struct{})
 	a = &inprocConn{net: n, localAddr: addrA, remoteAddr: addrB,
@@ -176,9 +203,13 @@ func (c *inprocConn) WriteFrame(frame []byte) error {
 	// Copy at the boundary: the caller may reuse its buffer.
 	cp := make([]byte, len(frame))
 	copy(cp, frame)
+	tf := timedFrame{b: cp}
+	if d := c.net.getDelay(); d > 0 {
+		tf.at = time.Now().Add(d)
+	}
 	for range dup {
 		select {
-		case c.peerIn <- cp:
+		case c.peerIn <- tf:
 		case <-c.closed:
 			return ErrConnClosed
 		case <-c.peerClosed:
@@ -188,22 +219,34 @@ func (c *inprocConn) WriteFrame(frame []byte) error {
 	return nil
 }
 
+// deliver holds a popped frame until its delivery time. Frames are enqueued
+// in send order with monotonically increasing delivery times, so waiting on
+// the head never delays a frame behind it past its own deadline.
+func (c *inprocConn) deliver(f timedFrame) []byte {
+	if !f.at.IsZero() {
+		if d := time.Until(f.at); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return f.b
+}
+
 func (c *inprocConn) ReadFrame() ([]byte, error) {
 	select {
 	case f := <-c.in:
-		return f, nil
+		return c.deliver(f), nil
 	default:
 	}
 	select {
 	case f := <-c.in:
-		return f, nil
+		return c.deliver(f), nil
 	case <-c.closed:
 		return nil, ErrConnClosed
 	case <-c.peerClosed:
 		// Drain anything already delivered before reporting EOF-like close.
 		select {
 		case f := <-c.in:
-			return f, nil
+			return c.deliver(f), nil
 		default:
 			return nil, ErrConnClosed
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // networks returns both implementations with a fresh address namespace.
@@ -328,5 +329,65 @@ func TestWriteFrameCopiesBuffer(t *testing.T) {
 	}
 	if string(f) != "mutate-me" {
 		t.Errorf("frame = %q: WriteFrame aliased the caller's buffer", f)
+	}
+}
+
+func TestInprocDelayedDelivery(t *testing.T) {
+	net := NewInproc(0)
+	const delay = 20 * time.Millisecond
+	net.SetDelay(delay)
+	l, err := net.Listen("delayed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan FrameConn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cli, err := net.Dial("delayed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv := <-accepted
+	defer srv.Close()
+
+	// A frame becomes readable no earlier than one delay after the write,
+	// and the writer is not blocked by the delay.
+	start := time.Now()
+	if err := cli.WriteFrame([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if wrote := time.Since(start); wrote > delay/2 {
+		t.Errorf("WriteFrame blocked %v; the delay must not block writers", wrote)
+	}
+	frame, err := srv.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("frame delivered after %v, want >= %v", elapsed, delay)
+	}
+	if string(frame) != "one" {
+		t.Errorf("frame = %q", frame)
+	}
+
+	// Pipelined frames overlap their latencies: two frames written
+	// back-to-back arrive ~one delay later, not two.
+	start = time.Now()
+	_ = cli.WriteFrame([]byte("a"))
+	_ = cli.WriteFrame([]byte("b"))
+	if _, err := srv.ReadFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ReadFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*delay {
+		t.Errorf("two pipelined frames took %v, want ~%v (latencies must overlap)", elapsed, delay)
 	}
 }

@@ -43,6 +43,7 @@ const (
 	TCatchUpResp
 	TClientRequest
 	TClientReply
+	TGroupMsg
 )
 
 // String returns the message type name.
@@ -68,6 +69,8 @@ func (t MsgType) String() string {
 		return "ClientRequest"
 	case TClientReply:
 		return "ClientReply"
+	case TGroupMsg:
+		return "GroupMsg"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -168,11 +171,46 @@ type DecidedValue struct {
 }
 
 // Snapshot transfers service state when the responder has truncated the log
-// below the requested range.
+// below the requested range. LastIncluded is an index into the replica's
+// *merged* total order: with multi-group ordering the per-group log positions
+// it covers are derived with GroupCut.
 type Snapshot struct {
-	LastIncluded InstanceID // state covers all instances <= LastIncluded
+	LastIncluded InstanceID // state covers all merged instances <= LastIncluded
 	ServiceState []byte
 	ReplyCache   []byte
+	// Groups records how many ordering groups produced the merged order the
+	// snapshot was cut from. 0 and 1 both mean single-group; values > 1 are
+	// appended to the encoding (single-group snapshots stay byte-identical to
+	// the pre-group wire format).
+	Groups int32
+}
+
+// GroupCount normalizes the snapshot's group topology: 0 (a legacy frame
+// with no metadata) and 1 both mean single-group. Every consumer must use
+// this — a snapshot is only installable on a replica running the same
+// number of ordering groups.
+func (s Snapshot) GroupCount() int {
+	if s.Groups <= 1 {
+		return 1
+	}
+	return int(s.Groups)
+}
+
+// GroupCut returns the first group-local instance of group g that is NOT
+// covered by a snapshot through merged index lastIncluded, under the
+// deterministic round-robin merge: merged index m holds group m%groups,
+// group-local slot m/groups. Equivalently it is the number of group-g slots
+// the merged prefix [0, lastIncluded] consumed. With groups <= 1 it reduces
+// to lastIncluded+1, the classic single-log cut.
+func GroupCut(lastIncluded InstanceID, groups, g int) InstanceID {
+	if groups <= 1 {
+		return lastIncluded + 1
+	}
+	m := int64(lastIncluded)
+	if m < int64(g) {
+		return 0
+	}
+	return InstanceID((m-int64(g))/int64(groups) + 1)
 }
 
 // CatchUpResp answers a CatchUpQuery with decided values and, if the
@@ -214,6 +252,18 @@ type ClientReply struct {
 // Type implements Message.
 func (*ClientReply) Type() MsgType { return TClientReply }
 
+// GroupMsg multiplexes multi-group consensus traffic over the single
+// per-peer connection: it wraps a consensus message with the ordering group
+// it belongs to. Group-0 messages are always sent unwrapped, so a cluster
+// configured with one group speaks exactly the pre-group wire format.
+type GroupMsg struct {
+	Group int32
+	Msg   Message
+}
+
+// Type implements Message.
+func (*GroupMsg) Type() MsgType { return TGroupMsg }
+
 // Interface compliance checks.
 var (
 	_ Message = (*Hello)(nil)
@@ -226,6 +276,7 @@ var (
 	_ Message = (*CatchUpResp)(nil)
 	_ Message = (*ClientRequest)(nil)
 	_ Message = (*ClientReply)(nil)
+	_ Message = (*GroupMsg)(nil)
 )
 
 // Codec errors.
@@ -360,6 +411,11 @@ func Marshal(m Message) []byte {
 			a.i64(int64(v.Snapshot.LastIncluded))
 			a.bytes(v.Snapshot.ServiceState)
 			a.bytes(v.Snapshot.ReplyCache)
+			// Multi-group metadata is appended only when present, keeping
+			// single-group snapshots byte-identical to the legacy format.
+			if v.Snapshot.Groups > 1 {
+				a.i32(v.Snapshot.Groups)
+			}
 		}
 	case *ClientRequest:
 		a.u64(v.ClientID)
@@ -371,6 +427,12 @@ func Marshal(m Message) []byte {
 		a.bool(v.OK)
 		a.i32(v.Redirect)
 		a.bytes(v.Payload)
+	case *GroupMsg:
+		if _, nested := v.Msg.(*GroupMsg); nested {
+			panic("wire: Marshal of nested GroupMsg")
+		}
+		a.i32(v.Group)
+		a.bytes(Marshal(v.Msg))
 	default:
 		panic(fmt.Sprintf("wire: Marshal of unknown message %T", m))
 	}
@@ -442,6 +504,9 @@ func Unmarshal(b []byte) (Message, error) {
 				ServiceState: r.bytes(),
 				ReplyCache:   r.bytes(),
 			}
+			if r.err == nil && r.len() > 0 {
+				v.Snapshot.Groups = r.i32()
+			}
 		}
 		m = v
 	case TClientRequest:
@@ -454,6 +519,20 @@ func Unmarshal(b []byte) (Message, error) {
 			Redirect: r.i32(),
 			Payload:  r.bytes(),
 		}
+	case TGroupMsg:
+		group := r.i32()
+		body := r.bytes()
+		if r.err != nil {
+			return nil, r.err
+		}
+		inner, err := Unmarshal(body)
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := inner.(*GroupMsg); nested {
+			return nil, fmt.Errorf("%w: nested GroupMsg", ErrUnknownType)
+		}
+		m = &GroupMsg{Group: group, Msg: inner}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
 	}

@@ -306,3 +306,102 @@ func TestPropertyUnmarshalRandomBytesNeverPanics(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGroupMsgRoundTrip(t *testing.T) {
+	for _, inner := range []Message{
+		&Propose{View: 3, ID: 9, DecidedUpTo: 8, Value: []byte("batch")},
+		&Accept{View: 3, ID: 9},
+		&Heartbeat{View: 1, DecidedUpTo: 4},
+		&CatchUpQuery{From: 1, To: 5},
+	} {
+		m := &GroupMsg{Group: 3, Msg: inner}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			t.Fatalf("%T: %v", inner, err)
+		}
+		gm, ok := got.(*GroupMsg)
+		if !ok || gm.Group != 3 {
+			t.Fatalf("round trip = %#v", got)
+		}
+		if !reflect.DeepEqual(normalize(gm.Msg), normalize(inner)) {
+			t.Errorf("inner %T round trip = %#v, want %#v", inner, gm.Msg, inner)
+		}
+	}
+}
+
+func TestNestedGroupMsgRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Marshal of nested GroupMsg did not panic")
+		}
+	}()
+	Marshal(&GroupMsg{Group: 1, Msg: &GroupMsg{Group: 2, Msg: &Accept{}}})
+}
+
+func TestSnapshotGroupsEncoding(t *testing.T) {
+	// Single-group snapshots (Groups 0 or 1) must encode byte-identically to
+	// the pre-group wire format: no trailing metadata.
+	legacy := Marshal(&CatchUpResp{HasSnapshot: true, Snapshot: Snapshot{
+		LastIncluded: 9, ServiceState: []byte("svc"), ReplyCache: []byte("rc")}})
+	oneGroup := Marshal(&CatchUpResp{HasSnapshot: true, Snapshot: Snapshot{
+		LastIncluded: 9, ServiceState: []byte("svc"), ReplyCache: []byte("rc"), Groups: 1}})
+	if !bytes.Equal(legacy, oneGroup) {
+		t.Error("Groups=1 snapshot encoding differs from the legacy format")
+	}
+	// Multi-group snapshots carry the group count through a round trip.
+	multi := &CatchUpResp{HasSnapshot: true, Snapshot: Snapshot{
+		LastIncluded: 41, ServiceState: []byte("svc"), ReplyCache: []byte("rc"), Groups: 4}}
+	got, err := Unmarshal(Marshal(multi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := got.(*CatchUpResp); resp.Snapshot.Groups != 4 {
+		t.Errorf("Groups = %d after round trip, want 4", resp.Snapshot.Groups)
+	}
+	// A legacy frame (no metadata) decodes with Groups = 0 (single-group).
+	got, err = Unmarshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := got.(*CatchUpResp); resp.Snapshot.Groups != 0 {
+		t.Errorf("legacy decode Groups = %d, want 0", resp.Snapshot.Groups)
+	}
+}
+
+func TestGroupCut(t *testing.T) {
+	// Single group: the classic cut.
+	for _, last := range []InstanceID{-1, 0, 5, 100} {
+		if got := GroupCut(last, 1, 0); got != last+1 {
+			t.Errorf("GroupCut(%d,1,0) = %d, want %d", last, got, last+1)
+		}
+	}
+	// Multi-group: GroupCut(M, G, g) counts merged indices m <= M with
+	// m % G == g. Check against direct enumeration.
+	for _, groups := range []int{2, 3, 4} {
+		for last := InstanceID(-1); last < 40; last++ {
+			for g := 0; g < groups; g++ {
+				want := InstanceID(0)
+				for m := InstanceID(0); m <= last; m++ {
+					if int(m)%groups == g {
+						want++
+					}
+				}
+				if got := GroupCut(last, groups, g); got != want {
+					t.Fatalf("GroupCut(%d,%d,%d) = %d, want %d", last, groups, g, got, want)
+				}
+			}
+		}
+	}
+	// The cuts of all groups partition the merged prefix exactly.
+	for _, groups := range []int{2, 4, 7} {
+		for _, last := range []InstanceID{0, 13, 999} {
+			var sum InstanceID
+			for g := 0; g < groups; g++ {
+				sum += GroupCut(last, groups, g)
+			}
+			if sum != last+1 {
+				t.Errorf("cuts for M=%d G=%d sum to %d, want %d", last, groups, sum, last+1)
+			}
+		}
+	}
+}
