@@ -26,6 +26,7 @@ import (
 	"gosmr/internal/retrans"
 	"gosmr/internal/service"
 	"gosmr/internal/simrsm"
+	"gosmr/internal/wal"
 	"gosmr/internal/wire"
 )
 
@@ -289,6 +290,28 @@ func BenchmarkExecutorConflictRate(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkDurabilitySyncPolicy is the WAL bench smoke: decided-batch
+// throughput with SyncPolicy=batch (group commit) against the no-fsync
+// SyncPolicy=none baseline, on the real pipeline writing real data
+// directories. The reported ratio is the number to watch — per-record
+// fsyncs (a SyncAlways-like regression) collapse it by an order of
+// magnitude; healthy group commit keeps it near 1 on multi-core hosts.
+func BenchmarkDurabilitySyncPolicy(b *testing.B) {
+	for b.Loop() {
+		r, err := experiments.DurabilitySmoke(experiments.DurabilityOptions{
+			Dir:     b.TempDir(),
+			Clients: 8,
+			Warmup:  100 * time.Millisecond,
+			Measure: 250 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Cells[len(r.Cells)-1].Batches, "batch-decided/s")
+		b.ReportMetric(r.Ratio(wal.SyncBatch), "batch/none-ratio")
 	}
 }
 

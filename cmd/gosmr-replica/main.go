@@ -34,6 +34,8 @@ func main() {
 		batchBytes  = flag.Int("batch", 1300, "batch size budget BSZ in bytes")
 		snapEvery   = flag.Int("snapshot-every", 10000, "snapshot every N instances (0 = off)")
 		execWorkers = flag.Int("executor-workers", 1, "parallel execution workers (KV declares per-key conflicts; 1 = sequential)")
+		dataDir     = flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty = in-memory replica, no crash recovery)")
+		syncPolicy  = flag.String("sync", "batch", "WAL fsync policy: batch (group commit), always, or none")
 		stats       = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 	)
 	flag.Parse()
@@ -53,6 +55,8 @@ func main() {
 		Window:          *window,
 		BatchBytes:      *batchBytes,
 		SnapshotEvery:   *snapEvery,
+		DataDir:         *dataDir,
+		SyncPolicy:      *syncPolicy,
 		ExecutorWorkers: *execWorkers,
 	}, service.NewKV())
 	if err != nil {

@@ -184,6 +184,271 @@ func TestMultiGroupProgressUnderLoss(t *testing.T) {
 	}
 }
 
+// durableCluster boots a 3-replica durable cluster (DataDir per replica,
+// SyncPolicy=batch) on an inproc network and returns a restart function
+// that builds replica i again from its data directory with a fresh service
+// — the in-process stand-in for kill -9 + restart: the old object's entire
+// in-memory state is discarded and only the DataDir survives.
+type durableCluster struct {
+	t      *testing.T
+	net    *transport.Inproc
+	peers  []string
+	dirs   []string
+	cfg    gosmr.Config
+	reps   []*gosmr.Replica
+	stores []*service.KV
+}
+
+func newDurableCluster(t *testing.T, prefix string, groups, workers, snapshotEvery int) *durableCluster {
+	t.Helper()
+	c := &durableCluster{
+		t:     t,
+		net:   transport.NewInproc(0),
+		peers: []string{prefix + "-r0", prefix + "-r1", prefix + "-r2"},
+	}
+	c.cfg = gosmr.Config{
+		Peers:             c.peers,
+		Network:           c.net,
+		Groups:            groups,
+		ExecutorWorkers:   workers,
+		SnapshotEvery:     snapshotEvery,
+		SyncPolicy:        "batch",
+		BatchDelay:        time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		SuspectTimeout:    400 * time.Millisecond,
+	}
+	c.reps = make([]*gosmr.Replica, 3)
+	c.stores = make([]*service.KV, 3)
+	c.dirs = make([]string, 3)
+	for i := range 3 {
+		c.dirs[i] = t.TempDir()
+		c.boot(i, prefix)
+	}
+	t.Cleanup(func() {
+		for _, r := range c.reps {
+			if r != nil {
+				r.Stop()
+			}
+		}
+	})
+	return c
+}
+
+// boot builds and starts replica i from its (possibly already written)
+// DataDir with a brand-new service instance.
+func (c *durableCluster) boot(i int, prefix string) {
+	c.t.Helper()
+	cfg := c.cfg
+	cfg.ID = i
+	cfg.ClientAddr = fmt.Sprintf("%s-c%d", prefix, i)
+	cfg.DataDir = c.dirs[i]
+	kv := service.NewKV()
+	rep, err := gosmr.NewReplica(cfg, kv)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if err := rep.Start(); err != nil {
+		c.t.Fatal(err)
+	}
+	c.reps[i] = rep
+	c.stores[i] = kv
+}
+
+// kill stops replica i and discards every in-memory structure; only its
+// DataDir remains.
+func (c *durableCluster) kill(i int) {
+	c.t.Helper()
+	c.reps[i].Stop()
+	c.reps[i] = nil
+	c.stores[i] = nil
+}
+
+// client dials the cluster.
+func (c *durableCluster) client(prefix string) *gosmr.Client {
+	c.t.Helper()
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:   []string{prefix + "-c0", prefix + "-c1", prefix + "-c2"},
+		Network: c.net, Timeout: 30 * time.Second, AttemptTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.t.Cleanup(cli.Close)
+	return cli
+}
+
+// put writes n sequential keys through cli and fails the test on any error.
+func putKeys(t *testing.T, cli *gosmr.Client, prefix string, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		reply, err := cli.Execute(service.EncodePut(fmt.Sprintf("%s-%d", prefix, i), []byte("v")))
+		if err != nil {
+			t.Fatalf("PUT %d: %v", i, err)
+		}
+		if st, _ := service.DecodeReply(reply); st != service.KVOK {
+			t.Fatalf("PUT %d status %d", i, st)
+		}
+	}
+}
+
+// waitReplyCaches waits until every replica's marshaled reply cache is
+// byte-identical to replica 0's.
+func waitReplyCaches(t *testing.T, reps []*gosmr.Replica, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ref := reps[0].ReplyCacheBytes()
+		same := len(ref) > 0
+		for _, r := range reps[1:] {
+			if !bytes.Equal(ref, r.ReplyCacheBytes()) {
+				same = false
+			}
+		}
+		if same {
+			return
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	for i, r := range reps {
+		t.Logf("replica %d reply cache: %d bytes", i, len(r.ReplyCacheBytes()))
+	}
+	t.Fatal("reply caches did not converge to identical bytes")
+}
+
+// TestReplicaKillRestartRecovery kills a replica mid-run (its full
+// in-memory state discarded), restarts it from its DataDir, and asserts it
+// rejoins with service snapshots and reply caches byte-identical to the
+// survivors — across the Groups×ExecutorWorkers matrix. Snapshots are
+// disabled so the survivors retain full logs: the restarted replica must
+// recover its durable prefix from its own WAL and fetch only the tail via
+// catch-up, never a state transfer (StateTransfers stays 0).
+func TestReplicaKillRestartRecovery(t *testing.T) {
+	for _, groups := range []int{1, 2} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("groups=%d_workers=%d", groups, workers), func(t *testing.T) {
+				prefix := fmt.Sprintf("krr-g%d-w%d", groups, workers)
+				c := newDurableCluster(t, prefix, groups, workers, 0)
+				cli := c.client(prefix)
+
+				putKeys(t, cli, "pre", 0, 15)
+				waitKV(t, c.stores, 15, 15*time.Second)
+
+				// Kill follower 2: everything it knew is gone but the WAL.
+				c.kill(2)
+
+				// The cluster keeps committing on the surviving majority.
+				putKeys(t, cli, "mid", 0, 15)
+
+				// Restart from the data directory and let it rejoin.
+				c.boot(2, prefix)
+				putKeys(t, cli, "post", 0, 5)
+
+				waitKV(t, c.stores, 35, 20*time.Second)
+				waitReplyCaches(t, c.reps, 20*time.Second)
+				if n := c.reps[2].StateTransfers(); n != 0 {
+					t.Errorf("restarted replica used %d state transfers; its durable prefix should come from the WAL", n)
+				}
+				if g := c.reps[2].Groups(); g != groups {
+					t.Errorf("Groups() = %d, want %d", g, groups)
+				}
+			})
+		}
+	}
+}
+
+// TestClusterRestartDurability commits commands, stops the whole cluster,
+// and reboots every replica from its DataDir: all committed KV state must
+// survive — the client saw a reply for each command, so each had been
+// fsynced by the group-commit Syncer before the reply could exist. Runs
+// with snapshots enabled so boot exercises the snapshot + WAL-suffix path,
+// and at 2 ordering groups so per-group logs and the merge position all
+// recover.
+func TestClusterRestartDurability(t *testing.T) {
+	const prefix = "crd"
+	c := newDurableCluster(t, prefix, 2, 2, 10)
+	cli := c.client(prefix)
+	putKeys(t, cli, "dur", 0, 30)
+	waitKV(t, c.stores, 30, 15*time.Second)
+	cli.Close()
+
+	for i := range 3 {
+		c.kill(i)
+	}
+	for i := range 3 {
+		c.boot(i, prefix)
+	}
+
+	// Recovery replays snapshots + WAL suffixes; the cluster re-elects and
+	// converges on exactly the committed state.
+	waitKV(t, c.stores, 30, 20*time.Second)
+	waitReplyCaches(t, c.reps, 20*time.Second)
+
+	// And it still makes progress: new commands commit after the restart.
+	cli2 := c.client(prefix)
+	putKeys(t, cli2, "dur", 30, 5)
+	waitKV(t, c.stores, 35, 15*time.Second)
+}
+
+// TestSingleReplicaRestartRecoversFromWAL is the isolation proof for local
+// recovery: with n=1 there is no peer to catch up from, so every recovered
+// command can only have come from the data directory.
+func TestSingleReplicaRestartRecoversFromWAL(t *testing.T) {
+	net := transport.NewInproc(0)
+	dir := t.TempDir()
+	boot := func() (*gosmr.Replica, *service.KV) {
+		kv := service.NewKV()
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID: 0, Peers: []string{"solo-r0"}, ClientAddr: "solo-c0",
+			Network: net, DataDir: dir, SyncPolicy: "batch",
+			BatchDelay: time.Millisecond,
+		}, kv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return rep, kv
+	}
+	rep, kv := boot()
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs: []string{"solo-c0"}, Network: net, Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	putKeys(t, cli, "solo", 0, 12)
+	wantSnap, err := kv.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCache := rep.ReplyCacheBytes()
+	cli.Close()
+	rep.Stop()
+
+	rep2, kv2 := boot()
+	defer rep2.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for kv2.Len() < 12 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	gotSnap, err := kv2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotSnap, wantSnap) {
+		t.Errorf("recovered KV state diverged from pre-restart state (%d keys, want 12)", kv2.Len())
+	}
+	gotCache := rep2.ReplyCacheBytes()
+	for !bytes.Equal(gotCache, wantCache) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		gotCache = rep2.ReplyCacheBytes()
+	}
+	if !bytes.Equal(gotCache, wantCache) {
+		t.Error("recovered reply cache diverged from pre-restart cache")
+	}
+}
+
 func TestMultiGroupSnapshotTruncationConverges(t *testing.T) {
 	// A clean multi-group cluster snapshotting aggressively: snapshots are
 	// cut at merged indices, each group truncates its own log at its share

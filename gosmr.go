@@ -36,6 +36,7 @@ import (
 	"gosmr/internal/core"
 	"gosmr/internal/profiling"
 	"gosmr/internal/transport"
+	"gosmr/internal/wal"
 )
 
 // Service is the deterministic application replicated across the cluster.
@@ -120,6 +121,24 @@ type Config struct {
 	// (0 disables).
 	SnapshotEvery int
 
+	// DataDir, when non-empty, makes the replica durable: acceptor state
+	// (promised view, accepted values, decided markers) is journaled to
+	// per-group write-ahead logs and snapshots are persisted under this
+	// directory. A replica killed mid-run and restarted from the same
+	// DataDir replays its logs, rejoins without state transfer of the
+	// durable prefix, and a full-cluster restart preserves every
+	// acknowledged command. Empty (the default) keeps the purely in-memory
+	// replica.
+	DataDir string
+	// SyncPolicy selects when WAL appends are fsynced: "batch" (default —
+	// group commit: a per-group Syncer thread coalesces pending appends
+	// into one fsync and protocol output waits for it, so the ordering
+	// threads never block on disk), "always" (fsync inline on every
+	// record), or "none" (never fsync and never wait: best-effort recovery
+	// after clean shutdowns and most process kills, but no durability
+	// guarantee). Ignored without DataDir.
+	SyncPolicy string
+
 	// ExecutorWorkers sets the number of parallel execution workers. It
 	// takes effect only when the Service also implements ConflictAware;
 	// 0 or 1 (the default) keeps the classic single-threaded execution.
@@ -141,6 +160,10 @@ type Replica struct {
 
 // NewReplica builds an unstarted replica around svc.
 func NewReplica(cfg Config, svc Service) (*Replica, error) {
+	policy, err := wal.ParsePolicy(cfg.SyncPolicy)
+	if err != nil {
+		return nil, err
+	}
 	inner, err := core.NewReplica(core.Config{
 		ID:                cfg.ID,
 		PeerAddrs:         cfg.Peers,
@@ -151,6 +174,8 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		Window:            cfg.Window,
 		Batch:             batch.Policy{MaxBytes: cfg.BatchBytes, MaxDelay: cfg.BatchDelay},
 		SnapshotEvery:     cfg.SnapshotEvery,
+		DataDir:           cfg.DataDir,
+		SyncPolicy:        policy,
 		ExecutorWorkers:   cfg.ExecutorWorkers,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		SuspectTimeout:    cfg.SuspectTimeout,
@@ -189,6 +214,18 @@ func (r *Replica) Groups() int { return r.inner.Groups() }
 // DecidedBatches returns the number of non-empty batches delivered in merged
 // order — the ordering layer's useful output rate.
 func (r *Replica) DecidedBatches() uint64 { return r.inner.DecidedBatches() }
+
+// StateTransfers returns the number of snapshots installed from peers
+// (catch-up state transfer). A durable replica restarted from its DataDir
+// recovers its own prefix locally, so this stays zero unless the replica
+// fell behind a truncation horizon.
+func (r *Replica) StateTransfers() uint64 { return r.inner.StateTransfers() }
+
+// ReplyCacheBytes returns the deterministic marshaled reply cache — equal
+// byte-for-byte across the replicas of a converged cluster, which makes it
+// a convenient operational check for divergence (the determinism and
+// crash-restart tests rely on it).
+func (r *Replica) ReplyCacheBytes() []byte { return r.inner.ReplyCacheBytes() }
 
 // ClientAddr returns the bound client-facing address (resolves ephemeral
 // ports).

@@ -114,14 +114,35 @@ func (c *clientIO) runConnReader(cc *clientConn, w *queue.Bounded[clientWork]) {
 }
 
 // runConnWriter serializes and sends queued replies for one connection.
+// Back-to-back replies (a pipelining client, a post-stall burst) coalesce
+// into one flush when the transport buffers writes.
 func (c *clientIO) runConnWriter(cc *clientConn) {
 	defer c.wg.Done()
+	bw, buffered := cc.conn.(transport.BatchWriter)
 	for {
 		reply, err := cc.replies.Take(nil)
 		if err != nil {
 			return
 		}
-		if err := cc.conn.WriteFrame(wire.Marshal(reply)); err != nil {
+		if !buffered {
+			if err := cc.conn.WriteFrame(wire.Marshal(reply)); err != nil {
+				return
+			}
+			continue
+		}
+		if err := bw.WriteFrameNoFlush(wire.Marshal(reply)); err != nil {
+			return
+		}
+		for {
+			next, ok := cc.replies.TryTake()
+			if !ok {
+				break
+			}
+			if err := bw.WriteFrameNoFlush(wire.Marshal(next)); err != nil {
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 	}

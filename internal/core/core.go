@@ -28,6 +28,7 @@ import (
 	"gosmr/internal/profiling"
 	"gosmr/internal/queue"
 	"gosmr/internal/transport"
+	"gosmr/internal/wal"
 	"gosmr/internal/wire"
 )
 
@@ -101,6 +102,17 @@ type Config struct {
 	// SnapshotEvery triggers a service snapshot (and log truncation) every
 	// that many executed instances; 0 disables snapshotting.
 	SnapshotEvery int
+
+	// DataDir, when non-empty, enables crash-restart recovery: each
+	// ordering group journals its acceptor state to a write-ahead log under
+	// this directory and snapshots are persisted there, so a killed replica
+	// restarted from the same DataDir rejoins without state transfer of its
+	// durable prefix. Empty keeps the in-memory (seed) behavior.
+	DataDir string
+	// SyncPolicy selects the WAL fsync discipline (wal.SyncBatch — group
+	// commit, the default — wal.SyncAlways, or wal.SyncNone). Only
+	// meaningful with DataDir set.
+	SyncPolicy wal.SyncPolicy
 
 	// ExecutorWorkers is the number of execution worker goroutines. It takes
 	// effect only when the service implements ConflictAware; the default (and
@@ -196,6 +208,10 @@ const (
 	evCatchUpTimer
 	evTruncate
 	evFastForward
+	// evDurable wakes the Protocol thread after the group's WAL Syncer
+	// advanced the durable watermark, so effects gated on durability are
+	// released. Carries no payload: the thread re-reads the watermark.
+	evDurable
 )
 
 // event is one DispatcherQueue item.

@@ -138,6 +138,17 @@ func (r *Replica) runMerger() {
 	defer th.Transition(profiling.StateOther)
 
 	m := newMergeState(len(r.groups))
+	if r.bootSnap != nil {
+		// Crash-restart recovery: the service was restored from this
+		// snapshot before any module started, so merging resumes right
+		// after its cut — the same position jump a live snapshot install
+		// performs. Each group's Protocol thread re-emits its decided
+		// suffix from the matching group-local position.
+		m.feedSnapshot(r.bootSnap)
+		for g := range m.expect {
+			r.groups[g].mergedUpTo.Store(int64(m.expect[g]))
+		}
+	}
 	// emit delivers merged slots to the ServiceManager and publishes each
 	// group's consumed position, which the Protocol threads' merge-backlog
 	// gate reads to keep the pending buffers bounded.

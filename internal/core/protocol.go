@@ -6,8 +6,35 @@ import (
 	"gosmr/internal/paxos"
 	"gosmr/internal/profiling"
 	"gosmr/internal/retrans"
+	"gosmr/internal/wal"
 	"gosmr/internal/wire"
 )
+
+// protoState is the Protocol thread's private bookkeeping: retransmission
+// handles and — when the group's WAL runs under group commit — the durable
+// gate holding effects whose WAL records have not been fsynced yet.
+type protoState struct {
+	handles map[paxos.RetransKey]*retrans.Handle
+	// gate is a FIFO of effect batches parked until the WAL's durable
+	// watermark reaches their lsn. Owned exclusively by the Protocol
+	// thread; the WAL Syncer only nudges the thread with evDurable.
+	gate []gatedEffects
+}
+
+// gatedSend is one peer-bound message awaiting durability.
+type gatedSend struct {
+	to  int // peer ID or paxos.Broadcast
+	msg wire.Message
+	key *paxos.RetransKey
+}
+
+// gatedEffects is the output of one protocol event, parked until the WAL is
+// durable up to lsn.
+type gatedEffects struct {
+	lsn   int64
+	sends []gatedSend
+	items []decisionItem // snapshot installs and decisions, in order
+}
 
 // runProtocol is one ordering group's Protocol thread (Sec. V-C2): a single
 // event loop with exclusive write access to the group's replicated log and
@@ -17,15 +44,22 @@ import (
 // (never blocking on sockets), register/cancel retransmissions, push the
 // group's decisions toward the merge stage, and maintain the lock-free
 // view/leader/watermark hints that other modules read.
+//
+// With a WAL under group commit, every effect whose event journaled new
+// records is parked in the durable gate and released once the Syncer's
+// fsync covers it. This is what makes a kill -9 safe: no promise, accepted
+// value, or decision leaves this replica — as a message or as an executed
+// request — before it is on disk. The Protocol thread itself never waits
+// for the disk; it parks the output and moves to the next event.
 func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 	defer r.wg.Done()
 	th := r.profThread(gname("Protocol", g.idx))
 	th.Transition(profiling.StateBusy)
 	defer th.Transition(profiling.StateOther)
 
-	handles := make(map[paxos.RetransKey]*retrans.Handle)
+	ps := &protoState{handles: make(map[paxos.RetransKey]*retrans.Handle)}
 
-	apply := func(e paxos.Effects) { r.applyEffects(th, g, node, handles, e) }
+	apply := func(e paxos.Effects) { r.applyEffects(th, g, node, ps, e) }
 
 	apply(node.Start())
 	r.refreshHints(g, node)
@@ -56,10 +90,27 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 			apply(node.CatchUpTimeout())
 		case evTruncate:
 			node.TruncateLog(ev.upTo)
+			if g.wal != nil {
+				// The snapshot covering the truncated prefix is durable
+				// (the ServiceManager persists it before asking for the
+				// cut), so compact the WAL: one checkpoint segment holding
+				// the retained live state replaces everything older. The
+				// current view leads the dump — the promise lived in
+				// RecView records of the discarded segments, and an
+				// acceptor that forgot its promise across a restart could
+				// double-promise an older ballot. The one deliberate disk
+				// access on this thread; snapshots are rare.
+				states := append([]wal.Record{{Type: wal.RecView, View: node.View()}},
+					suffixStates(node.Log())...)
+				g.wal.Checkpoint(node.Log().Base(), states)
+			}
 		case evFastForward:
 			// A snapshot installed via a sibling group's catch-up covers
 			// this group's log below ev.upTo.
 			apply(node.FastForward(ev.upTo))
+		case evDurable:
+			// The WAL Syncer advanced the durable watermark; the release
+			// check below the switch does the work.
 		}
 		// Sibling groups keep their view epoch converged on group 0's (the
 		// view the shared failure detector tracks). Suspicion fan-out is
@@ -98,6 +149,9 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 			apply(e)
 		}
 		r.alignGroup(g, node, apply)
+		if !r.releaseDurable(th, g, ps) {
+			return
+		}
 		g.decidedUpTo.Store(int64(node.DecidedUpTo()))
 	}
 }
@@ -105,57 +159,87 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 // applyEffects executes one Effects value from a group's protocol state
 // machine. Peer-bound messages are tagged with the group (group 0 stays
 // unwrapped), and decisions flow into the MergeQueue for the merge stage.
+// Under group commit the sends and decisions are parked in the durable gate
+// instead, until the WAL covers the records this event journaled.
 func (r *Replica) applyEffects(th *profiling.Thread, g *ordGroup, node *paxos.Node,
-	handles map[paxos.RetransKey]*retrans.Handle, e paxos.Effects) {
+	ps *protoState, e paxos.Effects) {
 
-	// Cancels first: the lock-free flag flip of Sec. V-C4.
+	// Cancels first: the lock-free flag flip of Sec. V-C4. A cancelled
+	// message still parked in the durable gate must not be sent at release
+	// (nothing would ever cancel its retransmission), so the gate is
+	// scrubbed too.
 	for _, k := range e.CancelRetrans {
-		if h, ok := handles[k]; ok {
+		if h, ok := ps.handles[k]; ok {
 			h.Cancel()
-			delete(handles, k)
+			delete(ps.handles, k)
 		}
-	}
-
-	for _, s := range e.Sends {
-		to, msg := s.To, wrapGroup(g.idx, s.Msg)
-		send := func() {
-			if to == paxos.Broadcast {
-				r.broadcast(msg)
-			} else {
-				r.enqueueSend(to, msg)
+		for gi := range ps.gate {
+			sends := ps.gate[gi].sends[:0]
+			for _, s := range ps.gate[gi].sends {
+				if s.key == nil || *s.key != k {
+					sends = append(sends, s)
+				}
 			}
-		}
-		send()
-		if s.Retrans != nil {
-			if old, ok := handles[*s.Retrans]; ok {
-				old.Cancel()
-			}
-			handles[*s.Retrans] = g.retr.Add(send)
+			ps.gate[gi].sends = sends
 		}
 	}
 
 	if e.ViewChanged {
+		// Journal the promise before any output of this event computes its
+		// gate position: the new view must be durable before a PrepareOK or
+		// Accept sent under it reaches a peer.
+		if g.wal != nil {
+			g.wal.Append(wal.Record{Type: wal.RecView, View: node.View()})
+		}
 		r.refreshHints(g, node)
 		if g.idx == 0 {
 			r.detector.UpdateView(node.View())
 		}
 	}
 
-	// Snapshot install must precede the decisions that follow it.
-	if e.InstallSnapshot != nil {
-		if err := r.mergeQ.Put(th, groupDecision{group: g.idx,
-			item: decisionItem{snapshot: e.InstallSnapshot}}); err != nil {
+	if g.gated {
+		sends := make([]gatedSend, 0, len(e.Sends))
+		for _, s := range e.Sends {
+			sends = append(sends, gatedSend{to: s.To, msg: wrapGroup(g.idx, s.Msg), key: s.Retrans})
+		}
+		var items []decisionItem
+		// Snapshot install must precede the decisions that follow it.
+		if e.InstallSnapshot != nil {
+			items = append(items, decisionItem{snapshot: e.InstallSnapshot})
+		}
+		for _, d := range e.Decisions {
+			items = append(items, decisionItem{id: d.ID, value: d.Value})
+		}
+		lsn := g.wal.AppendedLSN()
+		if len(ps.gate) > 0 || g.wal.DurableLSN() < lsn {
+			// Park. FIFO order through the gate preserves the per-group
+			// decision order the merge stage depends on.
+			ps.gate = append(ps.gate, gatedEffects{lsn: lsn, sends: sends, items: items})
+		} else if !r.emitEffects(th, g, ps, sends, items) {
 			return
 		}
-	}
-	for _, d := range e.Decisions {
-		if err := r.mergeQ.Put(th, groupDecision{group: g.idx,
-			item: decisionItem{id: d.ID, value: d.Value}}); err != nil {
-			return
+	} else {
+		// Direct path (no gating — the default in-memory replica and the
+		// always/none policies): no intermediate slices on the hot path.
+		for _, s := range e.Sends {
+			r.sendOne(g, ps, s.To, wrapGroup(g.idx, s.Msg), s.Retrans)
+		}
+		if e.InstallSnapshot != nil {
+			if err := r.mergeQ.Put(th, groupDecision{group: g.idx,
+				item: decisionItem{snapshot: e.InstallSnapshot}}); err != nil {
+				return
+			}
+		}
+		for _, d := range e.Decisions {
+			if err := r.mergeQ.Put(th, groupDecision{group: g.idx,
+				item: decisionItem{id: d.ID, value: d.Value}}); err != nil {
+				return
+			}
 		}
 	}
 
 	if e.CatchUp != nil {
+		// Catch-up queries carry no acceptor state; they go out ungated.
 		leader := node.Leader()
 		if leader != r.cfg.ID {
 			r.enqueueSend(leader, wrapGroup(g.idx, e.CatchUp))
@@ -166,6 +250,69 @@ func (r *Replica) applyEffects(th *profiling.Thread, g *ordGroup, node *paxos.No
 			_, _ = g.dispatchQ.TryPut(event{kind: evCatchUpTimer})
 		})
 	}
+}
+
+// sendOne transmits a (group-wrapped) message and registers its
+// retransmission when key is non-nil.
+func (r *Replica) sendOne(g *ordGroup, ps *protoState, to int, msg wire.Message, key *paxos.RetransKey) {
+	send := func() {
+		if to == paxos.Broadcast {
+			r.broadcast(msg)
+		} else {
+			r.enqueueSend(to, msg)
+		}
+	}
+	send()
+	if key != nil {
+		if old, ok := ps.handles[*key]; ok {
+			old.Cancel()
+		}
+		ps.handles[*key] = g.retr.Add(send)
+	}
+}
+
+// emitEffects transmits sends (registering retransmissions) and pushes
+// items to the merge stage. Returns false when the replica is shutting down
+// (MergeQueue closed).
+func (r *Replica) emitEffects(th *profiling.Thread, g *ordGroup, ps *protoState,
+	sends []gatedSend, items []decisionItem) bool {
+
+	for _, s := range sends {
+		r.sendOne(g, ps, s.to, s.msg, s.key)
+	}
+	for _, it := range items {
+		if err := r.mergeQ.Put(th, groupDecision{group: g.idx, item: it}); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseDurable emits every gated effect batch the WAL's durable watermark
+// has reached, in park order. Returns false on shutdown.
+func (r *Replica) releaseDurable(th *profiling.Thread, g *ordGroup, ps *protoState) bool {
+	if len(ps.gate) == 0 {
+		return true
+	}
+	durable := g.wal.DurableLSN()
+	n := 0
+	for _, ge := range ps.gate {
+		if ge.lsn > durable {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return true
+	}
+	released := ps.gate[:n]
+	ps.gate = append([]gatedEffects(nil), ps.gate[n:]...)
+	for _, ge := range released {
+		if !r.emitEffects(th, g, ps, ge.sends, ge.items) {
+			return false
+		}
+	}
+	return true
 }
 
 // refreshHints publishes the group's view/leader/leadership hints read

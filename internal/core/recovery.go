@@ -1,0 +1,366 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gosmr/internal/storage"
+	"gosmr/internal/wal"
+	"gosmr/internal/wire"
+)
+
+// Crash-restart recovery. With Config.DataDir set, each ordering group
+// journals its acceptor state transitions to a write-ahead log
+// (internal/wal) and the ServiceManager persists every snapshot cut, laid
+// out as
+//
+//	DataDir/
+//	  snapshots/snap-<merged index>.snap   (checksummed wire.Snapshot)
+//	  group-0/wal-00000001.seg ...         (per-group WAL segments)
+//	  group-1/...
+//
+// Boot loads the newest intact snapshot, replays each group's WAL suffix on
+// top of its share of the covered prefix, and hands the rebuilt logs, views
+// and merge position to the normal pipeline: the decided prefix re-executes
+// from the snapshot (rebuilding service state and reply cache exactly), and
+// anything decided by the rest of the cluster while this replica was down
+// arrives through the existing catch-up path — no state transfer is needed
+// for the locally durable prefix.
+
+// walJournal adapts one group's WAL to the storage.Journal interface.
+type walJournal struct{ w *wal.WAL }
+
+func (j walJournal) JournalAccept(id wire.InstanceID, view wire.View, value []byte) {
+	j.w.Append(wal.Record{Type: wal.RecAccept, ID: id, View: view, Value: value})
+}
+
+func (j walJournal) JournalDecide(id wire.InstanceID, value []byte, hasValue bool) {
+	j.w.Append(wal.Record{Type: wal.RecDecide, ID: id, Value: value, HasValue: hasValue})
+}
+
+func (j walJournal) JournalCut(cut wire.InstanceID) {
+	j.w.Append(wal.Record{Type: wal.RecCut, ID: cut})
+}
+
+// groupBoot is one group's recovered durable state.
+type groupBoot struct {
+	wal  *wal.WAL
+	log  *storage.Log
+	view wire.View
+}
+
+// bootState is everything recovery rebuilt before the pipeline starts.
+type bootState struct {
+	snap   *wire.Snapshot // newest durable snapshot, nil if none
+	groups []groupBoot
+}
+
+// closeWALs releases the opened WALs (Start error paths).
+func (b *bootState) closeWALs() {
+	if b == nil {
+		return
+	}
+	for _, g := range b.groups {
+		if g.wal != nil {
+			g.wal.Close()
+		}
+	}
+}
+
+// recover opens the data directory and rebuilds per-group logs and views.
+// The returned WALs have no journal attached yet (replay must not
+// re-journal); the caller attaches them once the logs are final.
+func (r *Replica) recoverBoot() (*bootState, error) {
+	dir := r.cfg.DataDir
+	b := &bootState{groups: make([]groupBoot, len(r.groups))}
+	snap, err := loadNewestSnapshot(filepath.Join(dir, "snapshots"))
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		if snap.GroupCount() != len(r.groups) {
+			return nil, fmt.Errorf("core: data dir %s was written with %d ordering groups, replica configured with %d",
+				dir, snap.GroupCount(), len(r.groups))
+		}
+		b.snap = snap
+	}
+	for i := range r.groups {
+		g := i // group index
+		w, recs, err := wal.Open(wal.Options{
+			Dir:    filepath.Join(dir, fmt.Sprintf("group-%d", g)),
+			Policy: r.cfg.SyncPolicy,
+			OnDurable: func(int64) {
+				// Wake the group's Protocol thread so it releases effects
+				// gated on this sync. TryPut suffices: a full DispatcherQueue
+				// means the thread is already awake and re-checks the durable
+				// watermark after every event.
+				_, _ = r.groups[g].dispatchQ.TryPut(event{kind: evDurable})
+			},
+		})
+		if err != nil {
+			b.closeWALs()
+			return nil, err
+		}
+		log := storage.NewLog()
+		bootCut := wire.InstanceID(0)
+		if b.snap != nil {
+			bootCut = wire.GroupCut(b.snap.LastIncluded, len(r.groups), g)
+			log.CoverPrefix(bootCut)
+		}
+		view, err := replayWAL(log, recs)
+		if err != nil {
+			w.Close()
+			b.closeWALs()
+			return nil, fmt.Errorf("core: group %d: %w", g, err)
+		}
+		if log.Base() > bootCut {
+			// The WAL records a snapshot cut that is not on disk (a crash
+			// between a group's cut and the snapshot write — possible for
+			// transferred snapshots — or manual deletion). State below the
+			// base is unrecoverable locally; refuse to boot half-blind
+			// rather than silently execute from the wrong prefix.
+			w.Close()
+			b.closeWALs()
+			return nil, fmt.Errorf("core: group %d WAL is cut at %d but the newest snapshot covers only %d; clear %s to rejoin via state transfer",
+				g, log.Base(), bootCut, dir)
+		}
+		b.groups[i] = groupBoot{wal: w, log: log, view: view}
+	}
+	return b, nil
+}
+
+// replayWAL applies intact WAL records to log and returns the recovered
+// view (the acceptor's durable promise: the highest view it ever adopted or
+// accepted in).
+func replayWAL(log *storage.Log, recs []wal.Record) (wire.View, error) {
+	var view wire.View
+	for _, rec := range recs {
+		switch rec.Type {
+		case wal.RecView:
+			if rec.View > view {
+				view = rec.View
+			}
+		case wal.RecCut:
+			if rec.ID > log.Base() {
+				log.CoverPrefix(rec.ID)
+			}
+		case wal.RecAccept:
+			if rec.View > view {
+				view = rec.View
+			}
+			if rec.ID >= log.Base() {
+				log.Accept(rec.ID, rec.View, rec.Value)
+			}
+		case wal.RecDecide:
+			if rec.ID < log.Base() {
+				continue
+			}
+			if rec.HasValue {
+				log.MarkDecided(rec.ID, rec.Value)
+				continue
+			}
+			// Watermark decide: the value rides the earlier accept record.
+			// The WAL is a prefix, so the accept is always there; tolerate
+			// its absence anyway (catch-up refills) rather than deciding a
+			// slot with no value.
+			if e := log.Get(rec.ID); e != nil && (e.AcceptedView != storage.NoView || e.Decided) {
+				log.MarkDecided(rec.ID, nil)
+			}
+		case wal.RecState:
+			log.RestoreEntry(wire.InstanceState{
+				ID:           rec.ID,
+				AcceptedView: rec.View,
+				Decided:      rec.Decided,
+				Value:        rec.Value,
+			})
+		default:
+			return 0, fmt.Errorf("wal replay: unknown record type %d", rec.Type)
+		}
+	}
+	return view, nil
+}
+
+// suffixStates converts the log's retained acceptor state into checkpoint
+// records for wal.Checkpoint.
+func suffixStates(log *storage.Log) []wal.Record {
+	states := log.SuffixFrom(log.Base())
+	out := make([]wal.Record, 0, len(states))
+	for _, st := range states {
+		out = append(out, wal.Record{
+			Type:    wal.RecState,
+			ID:      st.ID,
+			View:    st.AcceptedView,
+			Decided: st.Decided,
+			Value:   st.Value,
+		})
+	}
+	return out
+}
+
+// Snapshot files: a fixed header (magic, version), the wire-encoded
+// snapshot, and a trailing CRC32 of everything before it.
+const (
+	snapMagic   = 0x50414E53 // "SNAP"
+	snapVersion = 1
+)
+
+// encodeSnapshotFile serializes snap for durable storage.
+func encodeSnapshotFile(snap wire.Snapshot) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, snapMagic)
+	b = binary.LittleEndian.AppendUint32(b, snapVersion)
+	b = binary.LittleEndian.AppendUint64(b, uint64(snap.LastIncluded))
+	b = binary.LittleEndian.AppendUint32(b, uint32(snap.Groups))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(snap.ServiceState)))
+	b = append(b, snap.ServiceState...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(snap.ReplyCache)))
+	b = append(b, snap.ReplyCache...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// decodeSnapshotFile parses and verifies a snapshot file image. Length
+// fields are validated against the remaining bytes before any allocation.
+func decodeSnapshotFile(b []byte) (wire.Snapshot, error) {
+	var snap wire.Snapshot
+	if len(b) < 24 {
+		return snap, fmt.Errorf("snapshot file too short")
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return snap, fmt.Errorf("snapshot file checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(body) != snapMagic ||
+		binary.LittleEndian.Uint32(body[4:]) != snapVersion {
+		return snap, fmt.Errorf("snapshot file bad header")
+	}
+	snap.LastIncluded = wire.InstanceID(binary.LittleEndian.Uint64(body[8:]))
+	snap.Groups = int32(binary.LittleEndian.Uint32(body[16:]))
+	rest := body[20:]
+	take := func() ([]byte, error) {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("snapshot file truncated")
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(n) > uint64(len(rest)) {
+			return nil, fmt.Errorf("snapshot file truncated")
+		}
+		v := make([]byte, n)
+		copy(v, rest[:n])
+		rest = rest[n:]
+		return v, nil
+	}
+	var err error
+	if snap.ServiceState, err = take(); err != nil {
+		return snap, err
+	}
+	if snap.ReplyCache, err = take(); err != nil {
+		return snap, err
+	}
+	if len(rest) != 0 {
+		return snap, fmt.Errorf("snapshot file trailing bytes")
+	}
+	return snap, nil
+}
+
+// snapName formats a snapshot file name; lexical order is cut order.
+func snapName(last wire.InstanceID) string { return fmt.Sprintf("snap-%016x.snap", uint64(last)) }
+
+// persistSnapshot durably writes snap (write temp, fsync, rename, fsync
+// dir) and prunes all but the two newest snapshots. Runs on the
+// ServiceManager thread — off the Protocol threads' critical path. Errors
+// are returned, not fatal: a replica that cannot persist a snapshot keeps
+// running on its WAL.
+func persistSnapshot(dir string, snap wire.Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, snapName(snap.LastIncluded))
+	tmp := path + ".tmp"
+	data := encodeSnapshotFile(snap)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	// Keep the two newest cuts: the newest, plus one fallback in case a
+	// crash interleaved with the WAL checkpoints that reference it.
+	names, err := snapshotFiles(dir)
+	if err == nil {
+		for _, name := range names[:max(0, len(names)-2)] {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return nil
+}
+
+// snapshotFiles lists snapshot file names in ascending cut order.
+func snapshotFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		// Exact-suffix check first: Sscanf would prefix-match a torn
+		// "snap-....snap.tmp" left by a crash mid-persist, letting it
+		// count against the two-newest retention and evict an intact
+		// fallback.
+		if !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		var u uint64
+		if _, err := fmt.Sscanf(e.Name(), "snap-%016x.snap", &u); err == nil {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loadNewestSnapshot returns the newest intact snapshot in dir, or nil when
+// none exists. Corrupt files (a crash mid-write) are skipped in favor of
+// older intact ones.
+func loadNewestSnapshot(dir string) (*wire.Snapshot, error) {
+	names, err := snapshotFiles(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(dir, names[i]))
+		if err != nil {
+			continue
+		}
+		snap, err := decodeSnapshotFile(data)
+		if err != nil {
+			continue
+		}
+		return &snap, nil
+	}
+	return nil, nil
+}

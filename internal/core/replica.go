@@ -12,6 +12,7 @@ import (
 	"gosmr/internal/queue"
 	"gosmr/internal/replycache"
 	"gosmr/internal/retrans"
+	"gosmr/internal/wal"
 	"gosmr/internal/wire"
 )
 
@@ -29,6 +30,13 @@ type ordGroup struct {
 	dispatchQ *queue.Bounded[event]
 
 	retr *retrans.Retransmitter
+
+	// wal is the group's write-ahead log (nil without Config.DataDir).
+	// gated reports that protocol output must wait for the WAL's durable
+	// watermark (SyncBatch group commit; SyncAlways is durable inline and
+	// SyncNone opts out of the guarantee).
+	wal   *wal.WAL
+	gated bool
 
 	// Shared lock-free hints (the paper's "volatile variable" exceptions),
 	// one set per group because views and watermarks are per group.
@@ -95,13 +103,18 @@ type Replica struct {
 	// consensus round-trip on an idle group (see alignGroup in merger.go).
 	maxSlot atomic.Int64
 
+	// bootSnap is the snapshot recovery booted from (nil without DataDir or
+	// on a fresh start); the Merger seeds its position from it.
+	bootSnap *wire.Snapshot
+
 	// Counters for metrics and experiments.
-	executed      atomic.Uint64 // requests executed
-	repliesSent   atomic.Uint64
-	batchesMade   atomic.Uint64
-	decidedMerged atomic.Uint64 // non-empty batches delivered in merged order
-	padsProposed  atomic.Uint64 // no-op batches proposed to unstall the merge
-	droppedSends  atomic.Uint64
+	executed       atomic.Uint64 // requests executed
+	repliesSent    atomic.Uint64
+	batchesMade    atomic.Uint64
+	decidedMerged  atomic.Uint64 // non-empty batches delivered in merged order
+	padsProposed   atomic.Uint64 // no-op batches proposed to unstall the merge
+	droppedSends   atomic.Uint64
+	stateTransfers atomic.Uint64 // snapshots installed from peers (catch-up)
 
 	stop    chan struct{}
 	stopped sync.Once
@@ -206,6 +219,17 @@ func (r *Replica) DecidedBatches() uint64 { return r.decidedMerged.Load() }
 // keep the merge stage advancing across idle groups.
 func (r *Replica) PadsProposed() uint64 { return r.padsProposed.Load() }
 
+// StateTransfers returns the number of snapshots this replica installed
+// from peers (catch-up state transfer). A replica restarted from its own
+// DataDir recovers its durable prefix locally, so the restart tests assert
+// this stays zero while survivors retain their logs.
+func (r *Replica) StateTransfers() uint64 { return r.stateTransfers.Load() }
+
+// ReplyCacheBytes returns the canonical (sorted, deterministic) marshaled
+// reply cache — the byte string the cluster determinism tests compare
+// across replicas, worker counts, and restarts.
+func (r *Replica) ReplyCacheBytes() []byte { return r.replyCache.Marshal() }
+
 // QueueStats reports the time-averaged lengths of the three queues of
 // Table I (per ordering group) plus the merge and decision queues and, when
 // parallel execution is enabled, each executor worker's queue
@@ -246,6 +270,35 @@ func (r *Replica) Start() error {
 	}
 	r.started = true
 
+	// Crash-restart recovery: rebuild per-group logs and views from the
+	// data directory before any module runs, and restore the service from
+	// the newest durable snapshot so re-emitted decisions apply on top of
+	// exactly the state they followed.
+	var boot *bootState
+	if r.cfg.DataDir != "" {
+		b, err := r.recoverBoot()
+		if err != nil {
+			return err
+		}
+		boot = b
+		if b.snap != nil {
+			if err := r.restoreFromSnapshot(*b.snap); err != nil {
+				b.closeWALs()
+				return err
+			}
+			r.bootSnap = b.snap
+		}
+		for i, g := range r.groups {
+			gb := boot.groups[i]
+			g.wal = gb.wal
+			g.gated = r.cfg.SyncPolicy == wal.SyncBatch
+			g.decidedUpTo.Store(int64(gb.log.FirstUndecided()))
+			g.nextSlot.Store(int64(gb.log.Next()))
+			g.viewHint.Store(int32(gb.view))
+			g.leaderHint.Store(int32(paxos.LeaderOf(gb.view, r.n)))
+		}
+	}
+
 	for _, g := range r.groups {
 		g.retr = retrans.New(retrans.Options{
 			Period: r.cfg.RetransPeriod,
@@ -267,12 +320,18 @@ func (r *Replica) Start() error {
 		},
 		Thread: r.cfg.Profiling.Register("FailureDetector"),
 	})
+	if boot != nil {
+		// The failure detector resumes from the recovered view: if that
+		// view's leader is gone, the suspect timeout rotates past it.
+		r.detector.UpdateView(boot.groups[0].view)
+	}
 
 	stopSatellites := func() {
 		r.detector.Stop()
 		for _, g := range r.groups {
 			g.retr.Stop()
 		}
+		boot.closeWALs()
 	}
 
 	// ReplicaIO first: the protocol needs peer links to exist (sends to a
@@ -293,16 +352,25 @@ func (r *Replica) Start() error {
 	r.clientIO = clientIO
 
 	// Per-group Batcher and Protocol threads (Sec. V-C1/V-C2, one pipeline
-	// per ordering group).
+	// per ordering group). With a data directory, each node boots from its
+	// recovered log and view, and the log starts journaling to the group's
+	// WAL from here on (replay itself is never re-journaled).
 	for _, g := range r.groups {
-		node := paxos.NewNode(paxos.Options{
+		opts := paxos.Options{
 			ID:        r.cfg.ID,
 			N:         r.n,
 			Window:    r.cfg.Window,
 			Group:     g.idx,
 			Groups:    len(r.groups),
 			Snapshots: r.snapshots.get,
-		})
+		}
+		if boot != nil {
+			gb := boot.groups[g.idx]
+			gb.log.SetJournal(walJournal{w: gb.wal})
+			opts.Log = gb.log
+			opts.View = gb.view
+		}
+		node := paxos.NewNode(opts)
 		r.wg.Add(2)
 		go r.runBatcher(g)
 		go r.runProtocol(g, node)
@@ -363,6 +431,14 @@ func (r *Replica) Stop() {
 		}
 	})
 	r.wg.Wait()
+	// WALs close only after every journaling goroutine has exited. A
+	// graceful close drains pending appends; anything it would lose was
+	// never observable outside this process (output is durability-gated).
+	for _, g := range r.groups {
+		if g.wal != nil {
+			g.wal.Close()
+		}
+	}
 }
 
 // sendHeartbeat is the failure detector's leader-role callback: for every

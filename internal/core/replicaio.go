@@ -268,7 +268,11 @@ func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 }
 
 // runSender is the ReplicaIOSnd thread for one peer: take from the
-// SendQueue, serialize, write.
+// SendQueue, serialize, write. When the transport buffers writes
+// (transport.BatchWriter), the sender keeps draining the queue without
+// flushing and flushes only once the queue is empty, so a burst of
+// back-to-back frames — a window's worth of Proposes, a batch of Accepts —
+// coalesces into one syscall instead of one per message.
 func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
 	defer io.wg.Done()
 	th.Transition(profiling.StateBusy)
@@ -280,20 +284,44 @@ func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
 		if err != nil {
 			return
 		}
-		frame := wire.Marshal(msg)
 		th.Transition(profiling.StateOther) // possibly blocked on socket write
 		conn, gen, ok := link.get()
 		if !ok {
 			return
 		}
-		werr := conn.WriteFrame(frame)
+		bw, buffered := conn.(transport.BatchWriter)
+		werr := writeMsg(conn, bw, buffered, msg)
+		if werr == nil && buffered {
+			// Drain the backlog into the write buffer before flushing.
+			for {
+				next, ok := q.TryTake()
+				if !ok {
+					break
+				}
+				if werr = writeMsg(conn, bw, true, next); werr != nil {
+					break
+				}
+			}
+			if werr == nil {
+				werr = bw.Flush()
+			}
+		}
 		th.Transition(profiling.StateBusy)
 		if werr != nil {
 			link.fail(gen)
-			continue // message dropped; retransmission recovers it
+			continue // messages dropped; retransmission recovers them
 		}
 		io.r.detector.TouchSent(peer)
 	}
+}
+
+// writeMsg serializes and writes one message, buffered when supported.
+func writeMsg(conn transport.FrameConn, bw transport.BatchWriter, buffered bool, msg wire.Message) error {
+	frame := wire.Marshal(msg)
+	if buffered {
+		return bw.WriteFrameNoFlush(frame)
+	}
+	return conn.WriteFrame(frame)
 }
 
 // close tears down the module and waits for all its goroutines.

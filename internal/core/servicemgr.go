@@ -1,6 +1,10 @@
 package core
 
 import (
+	"fmt"
+	"log"
+	"path/filepath"
+
 	"gosmr/internal/executor"
 	"gosmr/internal/profiling"
 	"gosmr/internal/replycache"
@@ -139,13 +143,19 @@ func (r *Replica) sendReply(req *wire.ClientRequest, reply []byte) {
 // nothing needs ordering behind them).
 func (r *Replica) installSnapshot(th *profiling.Thread, snap *wire.Snapshot) {
 	r.exec.Quiesce(th)
-	_ = r.svc.Restore(snap.ServiceState)
-	_ = r.replyCache.Restore(snap.ReplyCache)
-	r.execSeq = make(map[uint64]schedEntry)
-	for client, seq := range r.replyCache.LastSeqs() {
-		r.execSeq[client] = schedEntry{seq: seq, worker: executor.Inline}
+	_ = r.restoreFromSnapshot(*snap)
+	r.stateTransfers.Add(1)
+	// A transferred snapshot is as much a durable cut as a local one: the
+	// groups journal their cuts when they fast-forward past it, and a
+	// restart needs the snapshot on disk to boot from that base. A failed
+	// persist therefore means the next boot will refuse this DataDir —
+	// say so now, at fault time, instead of leaving the operator a
+	// mystery.
+	if err := r.persistIfDurable(*snap); err != nil {
+		log.Printf("gosmr: replica %d: persisting transferred snapshot (cut %d) to %s failed (%v); "+
+			"a restart from this data dir will require clearing it",
+			r.cfg.ID, snap.LastIncluded, r.cfg.DataDir, err)
 	}
-	r.snapshots.put(*snap)
 }
 
 // maybeSnapshot takes a service snapshot every SnapshotEvery merged
@@ -173,8 +183,49 @@ func (r *Replica) maybeSnapshot(th *profiling.Thread, executedID wire.InstanceID
 		Groups:       int32(len(r.groups)),
 	}
 	r.snapshots.put(snap)
+	// Persist the snapshot before asking the groups to truncate: a WAL
+	// checkpoint discards the journaled prefix on the assumption the
+	// snapshot covering it is already on disk.
+	if err := r.persistIfDurable(snap); err != nil {
+		// Keep the full WAL until a snapshot lands durably.
+		log.Printf("gosmr: replica %d: persisting snapshot (cut %d) to %s failed (%v); keeping full WAL",
+			r.cfg.ID, snap.LastIncluded, r.cfg.DataDir, err)
+		return
+	}
 	for _, g := range r.groups {
 		cut := wire.GroupCut(executedID, len(r.groups), g.idx)
 		_, _ = g.dispatchQ.TryPut(event{kind: evTruncate, upTo: cut})
 	}
+}
+
+// restoreFromSnapshot replaces service, reply-cache, and execution-scheduler
+// state from snap, and publishes it for catch-up responders — the one
+// sequence shared by live snapshot installs and crash-restart boot, so both
+// paths rebuild byte-identical state (restart determinism depends on it).
+// Entries rebuilt from a snapshot carry executor.Inline: those executions
+// are part of the snapshot, so nothing needs ordering behind them.
+func (r *Replica) restoreFromSnapshot(snap wire.Snapshot) error {
+	if err := r.svc.Restore(snap.ServiceState); err != nil {
+		return fmt.Errorf("core: restore service from snapshot: %w", err)
+	}
+	if err := r.replyCache.Restore(snap.ReplyCache); err != nil {
+		return fmt.Errorf("core: restore reply cache from snapshot: %w", err)
+	}
+	r.execSeq = make(map[uint64]schedEntry)
+	for client, seq := range r.replyCache.LastSeqs() {
+		r.execSeq[client] = schedEntry{seq: seq, worker: executor.Inline}
+	}
+	r.snapshots.put(snap)
+	return nil
+}
+
+// persistIfDurable writes snap to the data directory when durability is
+// enabled. A nil result means truncating state covered by snap is safe:
+// with no DataDir there is nothing on disk to contradict, and with one the
+// write succeeded.
+func (r *Replica) persistIfDurable(snap wire.Snapshot) error {
+	if r.cfg.DataDir == "" {
+		return nil
+	}
+	return persistSnapshot(filepath.Join(r.cfg.DataDir, "snapshots"), snap)
 }

@@ -1,0 +1,192 @@
+package experiments
+
+// Durability experiment: measures what the write-ahead log costs the
+// ordering layer. Group commit (SyncPolicy=batch) is designed to keep the
+// fsync rate decoupled from the decision rate — the Syncer coalesces
+// everything that accumulated during the previous fsync into the next one,
+// and only protocol *output* waits for the disk — so decided-batch
+// throughput should track the no-fsync baseline (SyncPolicy=none) closely,
+// paying only latency. A regression that re-couples fsyncs to the critical
+// path (one fsync per record, a gate that serializes the pipeline) shows up
+// here as a collapsed ratio.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosmr/internal/batch"
+	"gosmr/internal/core"
+	"gosmr/internal/service"
+	"gosmr/internal/transport"
+	"gosmr/internal/wal"
+	"gosmr/internal/wire"
+)
+
+// DurabilityOptions configures the smoke.
+type DurabilityOptions struct {
+	// Dir is the parent directory for the replicas' data dirs (required;
+	// each cell uses a fresh subdirectory).
+	Dir string
+	// Policies lists the WAL sync policies to measure (default none, batch
+	// — the baseline first).
+	Policies []wal.SyncPolicy
+	// Clients is the number of open-loop sender connections (default 12).
+	Clients int
+	// Window is the pipelining window WND (default 128: enough in-flight
+	// instances that group commit has appends to coalesce).
+	Window int
+	// Warmup and Measure bound each cell (defaults 150ms / 400ms).
+	Warmup  time.Duration
+	Measure time.Duration
+}
+
+func (o DurabilityOptions) withDefaults() DurabilityOptions {
+	if len(o.Policies) == 0 {
+		o.Policies = []wal.SyncPolicy{wal.SyncNone, wal.SyncBatch}
+	}
+	if o.Clients <= 0 {
+		o.Clients = 12
+	}
+	if o.Window <= 0 {
+		o.Window = 128
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 150 * time.Millisecond
+	}
+	if o.Measure <= 0 {
+		o.Measure = 400 * time.Millisecond
+	}
+	return o
+}
+
+// DurabilityCell is one measured policy.
+type DurabilityCell struct {
+	Policy   wal.SyncPolicy
+	Batches  float64 // decided non-empty batches per second
+	Executed float64 // executed requests per second
+}
+
+// DurabilityResult holds the sweep.
+type DurabilityResult struct {
+	Cells  []DurabilityCell
+	Report string
+}
+
+// Ratio returns policy's decided-batch throughput relative to the first
+// (baseline) cell, or 0 when missing.
+func (r DurabilityResult) Ratio(policy wal.SyncPolicy) float64 {
+	if len(r.Cells) == 0 || r.Cells[0].Batches <= 0 {
+		return 0
+	}
+	for _, c := range r.Cells {
+		if c.Policy == policy {
+			return c.Batches / r.Cells[0].Batches
+		}
+	}
+	return 0
+}
+
+// DurabilitySmoke measures decided-batch throughput per WAL sync policy on
+// a 3-replica in-process cluster writing real data directories.
+func DurabilitySmoke(opts DurabilityOptions) (DurabilityResult, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return DurabilityResult{}, fmt.Errorf("experiments: DurabilityOptions.Dir is required")
+	}
+	var out DurabilityResult
+	t := newTable("Durability", fmt.Sprintf(
+		"Decided-batch throughput vs WAL sync policy (batches/s; n=3, %d clients, WND=%d, 1 req/batch)",
+		opts.Clients, opts.Window))
+	t.row("policy", "batches/s", "executed/s", "vs baseline")
+	for i, policy := range opts.Policies {
+		cellDir := filepath.Join(opts.Dir, fmt.Sprintf("cell-%d-%s", i, policy))
+		cell, err := runDurabilityCell(opts, policy, cellDir)
+		if err != nil {
+			return out, err
+		}
+		out.Cells = append(out.Cells, cell)
+		ratio := out.Ratio(policy)
+		t.row(policy.String(), fmt.Sprintf("%8.0f", cell.Batches),
+			fmt.Sprintf("%8.0f", cell.Executed), fmt.Sprintf("%5.2fx", ratio))
+	}
+	t.note("baseline is the first policy; group commit should stay within ~25%% of it")
+	out.Report = t.String()
+	return out, nil
+}
+
+// runDurabilityCell measures one policy.
+func runDurabilityCell(opts DurabilityOptions, policy wal.SyncPolicy, dir string) (DurabilityCell, error) {
+	net := transport.NewInproc(0)
+	peers := []string{"dur-0", "dur-1", "dur-2"}
+	reps := make([]*core.Replica, len(peers))
+	for i := range peers {
+		dataDir := filepath.Join(dir, fmt.Sprintf("r%d", i))
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return DurabilityCell{}, err
+		}
+		rep, err := core.NewReplica(core.Config{
+			ID: i, PeerAddrs: peers, ClientAddr: fmt.Sprintf("dur-c%d", i),
+			Network:          net,
+			Window:           opts.Window,
+			ProposalQueueCap: 2 * opts.Window,
+			Batch:            batch.Policy{MaxBytes: 48, MaxDelay: time.Millisecond},
+			DataDir:          dataDir,
+			SyncPolicy:       policy,
+		}, service.NewKV())
+		if err != nil {
+			return DurabilityCell{}, err
+		}
+		if err := rep.Start(); err != nil {
+			return DurabilityCell{}, err
+		}
+		defer rep.Stop()
+		reps[i] = rep
+	}
+	leader := reps[0]
+	for deadline := time.Now().Add(5 * time.Second); !leader.IsLeader() && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Open-loop senders, as in the group-scaling harness: the cell measures
+	// ordering capacity under backpressure, not request latency.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := range opts.Clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("dur-c0")
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			value := []byte("dv")
+			for seq := uint64(1); !stop.Load(); seq++ {
+				req := &wire.ClientRequest{ClientID: uint64(1 + c), Seq: seq,
+					Payload: service.EncodePut(fmt.Sprintf("c%d-k%d", c, seq%64), value)}
+				if err := conn.WriteFrame(wire.Marshal(req)); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(opts.Warmup)
+	startBatches := leader.DecidedBatches()
+	startExecuted := leader.Executed()
+	start := time.Now()
+	time.Sleep(opts.Measure)
+	batches := leader.DecidedBatches() - startBatches
+	executed := leader.Executed() - startExecuted
+	secs := time.Since(start).Seconds()
+	stop.Store(true)
+	wg.Wait()
+	return DurabilityCell{
+		Policy:   policy,
+		Batches:  float64(batches) / secs,
+		Executed: float64(executed) / secs,
+	}, nil
+}

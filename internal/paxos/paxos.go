@@ -158,6 +158,14 @@ type Options struct {
 	Groups int
 	// Snapshots supplies snapshots for catch-up state transfer (may be nil).
 	Snapshots SnapshotProvider
+	// Log, when non-nil, seeds the node with a recovered replicated log
+	// (crash-restart recovery): delivery resumes at the log's base and
+	// Start re-emits the already-decided prefix so the execution stage can
+	// rebuild its state. Nil starts with an empty log.
+	Log *storage.Log
+	// View is the initial (recovered) view — the acceptor's durable
+	// promise. Zero for a fresh node.
+	View wire.View
 }
 
 // NewNode returns a Node in view 0 with an empty log. No messages are sent
@@ -179,15 +187,24 @@ func NewNode(opts Options) *Node {
 	if opts.Group < 0 || opts.Group >= opts.Groups {
 		panic(fmt.Sprintf("paxos: Group %d out of range [0,%d)", opts.Group, opts.Groups))
 	}
+	log := opts.Log
+	if log == nil {
+		log = storage.NewLog()
+	}
 	return &Node{
-		id:        opts.ID,
-		n:         opts.N,
-		window:    opts.Window,
-		group:     opts.Group,
-		groups:    opts.Groups,
-		log:       storage.NewLog(),
-		open:      make(map[wire.InstanceID]*openInstance),
-		snapshots: opts.Snapshots,
+		id:     opts.ID,
+		n:      opts.N,
+		window: opts.Window,
+		group:  opts.Group,
+		groups: opts.Groups,
+		log:    log,
+		view:   opts.View,
+		open:   make(map[wire.InstanceID]*openInstance),
+		// Delivery resumes at the recovered log's base: the decided prefix
+		// between base and the watermark is re-emitted by Start so the
+		// service can be rebuilt from the last durable snapshot.
+		lastDelivered: log.Base(),
+		snapshots:     opts.Snapshots,
 	}
 }
 
@@ -235,10 +252,16 @@ func (nd *Node) WindowOpen() bool { return nd.leading && len(nd.open) < nd.windo
 // majority returns the quorum size.
 func (nd *Node) majority() int { return nd.n/2 + 1 }
 
-// Start bootstraps the protocol: the leader of view 0 establishes itself.
-// Other replicas do nothing until traffic or suspicion arrives.
+// Start bootstraps the protocol: the decided prefix of a recovered log is
+// re-emitted (so the caller can rebuild service state), and the leader of
+// the current view — view 0 on a fresh start, the recovered promise after a
+// restart — establishes itself. Other replicas do nothing until traffic or
+// suspicion arrives. Re-running Phase 1 for a view this replica already led
+// is safe: any value a peer could have observed was durably accepted by the
+// Phase 2 quorum, so the merge re-proposes it unchanged.
 func (nd *Node) Start() Effects {
 	var e Effects
+	nd.emitDecisions(&e)
 	if LeaderOf(nd.view, nd.n) == nd.id {
 		nd.becomeCandidate(nd.view, &e)
 	}

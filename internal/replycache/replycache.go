@@ -303,6 +303,13 @@ func unmarshalMap(b []byte) (map[uint64]entry, error) {
 	}
 	n := binary.LittleEndian.Uint32(b)
 	b = b[4:]
+	// Validate the untrusted count against the remaining bytes before
+	// allocating: every entry occupies at least 20 bytes (client + seq +
+	// reply length), so a corrupt or malicious blob with a huge count is
+	// rejected here instead of ballooning the map pre-allocation.
+	if uint64(n)*20 > uint64(len(b)) {
+		return nil, ErrCorrupt
+	}
 	m := make(map[uint64]entry, n)
 	for range n {
 		if len(b) < 20 {

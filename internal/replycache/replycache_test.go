@@ -1,6 +1,7 @@
 package replycache
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"testing"
@@ -127,6 +128,34 @@ func TestRestoreCorrupt(t *testing.T) {
 			good.Update(nil, 1, 1, []byte("x"))
 			if err := c.Restore(append(good.Marshal(), 0xFF)); err == nil {
 				t.Error("Restore with trailing bytes succeeded")
+			}
+		})
+	}
+}
+
+// TestRestoreHugeCountRejectedBeforeAlloc feeds blobs whose length prefix
+// claims up to 2^32-1 entries backed by almost no bytes. The count must be
+// rejected by the bounds check up front — pre-allocating a map for it would
+// balloon memory before the per-entry parsing ever failed. Run with a tight
+// memory ceiling this is the regression test for the untrusted-length
+// guard; here we assert rejection and that allocations stay sane.
+func TestRestoreHugeCountRejectedBeforeAlloc(t *testing.T) {
+	for name, mk := range caches() {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []uint32{21, 1 << 20, 1 << 31, ^uint32(0)} {
+				blob := binary.LittleEndian.AppendUint32(nil, n)
+				blob = append(blob, make([]byte, 20)...) // room for one entry at most
+				allocs := testing.AllocsPerRun(10, func() {
+					c := mk()
+					if err := c.Restore(blob); err == nil {
+						t.Fatalf("Restore with claimed count %d succeeded", n)
+					}
+				})
+				// A guarded failure allocates the cache shell and little
+				// else; a 2^32-entry map pre-allocation would dwarf this.
+				if allocs > 100 {
+					t.Errorf("count %d: %v allocations before rejection", n, allocs)
+				}
 			}
 		})
 	}

@@ -74,11 +74,12 @@ type Retransmitter struct {
 	maxPeriod time.Duration
 	th        *profiling.Thread
 
-	mu   sync.Mutex
-	q    pq
-	wake chan struct{}
-	stop chan struct{}
-	wg   sync.WaitGroup
+	mu      sync.Mutex
+	q       pq
+	stopped bool // set under mu by Stop; Add after Stop is a no-op
+	wake    chan struct{}
+	stop    chan struct{}
+	wg      sync.WaitGroup
 
 	resends atomic.Uint64
 }
@@ -107,9 +108,19 @@ func New(opts Options) *Retransmitter {
 // handle is cancelled. send must be safe to call from the Retransmitter
 // goroutine. The first retransmission fires one period from now (the caller
 // has just sent the original message).
+//
+// After Stop, Add returns an already-cancelled handle without enqueuing
+// anything: the loop that would drain the heap is gone, so a handle parked
+// there would count as Pending forever and its message would silently never
+// retransmit — the caller observes the truth (cancelled) instead.
 func (r *Retransmitter) Add(send func()) *Handle {
 	h := &Handle{send: send, period: r.period, deadline: time.Now().Add(r.period)}
 	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		h.Cancel()
+		return h
+	}
 	heap.Push(&r.q, h)
 	front := r.q[0] == h
 	r.mu.Unlock()
@@ -134,12 +145,15 @@ func (r *Retransmitter) Pending() int {
 	return len(r.q)
 }
 
-// Stop terminates the loop and waits for it to exit.
+// Stop terminates the loop and waits for it to exit. Add calls that race
+// with or follow Stop return already-cancelled handles.
 func (r *Retransmitter) Stop() {
-	select {
-	case <-r.stop:
-		return // already stopped
-	default:
+	r.mu.Lock()
+	already := r.stopped
+	r.stopped = true
+	r.mu.Unlock()
+	if already {
+		return
 	}
 	close(r.stop)
 	r.wg.Wait()

@@ -133,3 +133,34 @@ func TestAddAfterEarlierDeadlineWakes(t *testing.T) {
 		t.Error("second entry never fired")
 	}
 }
+
+// TestAddAfterStopReturnsCancelledHandle is the regression test for the
+// shutdown race: an Add that loses the race with Stop used to park its
+// handle on a heap no goroutine would ever drain — "scheduled" forever,
+// with Pending() lying about it. Post-Stop Adds must come back already
+// cancelled, never fire, and leave nothing pending.
+func TestAddAfterStopReturnsCancelledHandle(t *testing.T) {
+	r := New(Options{Period: time.Millisecond})
+	r.Stop()
+
+	var fired atomic.Int64
+	h := r.Add(func() { fired.Add(1) })
+	if h == nil {
+		t.Fatal("Add after Stop returned nil handle")
+	}
+	if !h.Cancelled() {
+		t.Error("Add after Stop returned a live handle")
+	}
+	if got := r.Pending(); got != 0 {
+		t.Errorf("Pending() = %d after post-Stop Add, want 0", got)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if got := fired.Load(); got != 0 {
+		t.Errorf("post-Stop Add fired %d times", got)
+	}
+	// Cancel stays idempotent on the dead handle.
+	h.Cancel()
+	if !h.Cancelled() {
+		t.Error("Cancel lost the cancelled state")
+	}
+}

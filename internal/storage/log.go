@@ -10,6 +10,7 @@
 package storage
 
 import (
+	"bytes"
 	"fmt"
 
 	"gosmr/internal/wire"
@@ -17,6 +18,24 @@ import (
 
 // NoView marks an entry that has not accepted any value yet.
 const NoView wire.View = -1
+
+// Journal receives the log's durable state transitions, in the order they
+// happen. A durable Log — one with a journal attached via SetJournal —
+// forwards every accept, decide and truncation to it (the write-ahead log)
+// before the owning Protocol thread's effects become visible to peers; the
+// in-memory Log behaves exactly as before when no journal is attached.
+// (Ensure alone creates only empty slots, which carry no acceptor state
+// and need no journaling: replaying the accepts recreates them.)
+type Journal interface {
+	// JournalAccept records that value was accepted for id in view.
+	JournalAccept(id wire.InstanceID, view wire.View, value []byte)
+	// JournalDecide records that id was decided. hasValue distinguishes an
+	// explicit value from "the value accepted earlier" (already journaled).
+	JournalDecide(id wire.InstanceID, value []byte, hasValue bool)
+	// JournalCut records that everything below cut is covered by a durable
+	// snapshot (truncation, cover-prefix, or snapshot install).
+	JournalCut(cut wire.InstanceID)
+}
 
 // Entry is one slot of the replicated log.
 type Entry struct {
@@ -32,12 +51,19 @@ type Log struct {
 	entries        []*Entry        // entries[i] is instance base+int64(i)
 	firstUndecided wire.InstanceID
 	next           wire.InstanceID // lowest never-used instance id
+	journal        Journal         // nil for the in-memory variant
 }
 
 // NewLog returns an empty log starting at instance 0.
 func NewLog() *Log {
 	return &Log{}
 }
+
+// SetJournal attaches (or detaches, with nil) the journal. Recovery builds
+// the log first — replaying the old journal through RestoreEntry, Accept
+// and MarkDecided — and attaches the journal only afterwards, so replay
+// does not re-journal itself.
+func (l *Log) SetJournal(j Journal) { l.journal = j }
 
 // Base returns the lowest retained instance ID.
 func (l *Log) Base() wire.InstanceID { return l.base }
@@ -86,7 +112,25 @@ func (l *Log) Accept(id wire.InstanceID, view wire.View, value []byte) *Entry {
 	}
 	e.AcceptedView = view
 	e.Value = value
+	if l.journal != nil {
+		l.journal.JournalAccept(id, view, value)
+	}
 	return e
+}
+
+// RestoreEntry reinstalls one slot's acceptor state from a journal replay or
+// a checkpoint dump, bypassing the journal. Slots below the base are skipped.
+func (l *Log) RestoreEntry(st wire.InstanceState) {
+	if st.ID < l.base {
+		return
+	}
+	e := l.Ensure(st.ID)
+	e.AcceptedView = st.AcceptedView
+	e.Value = st.Value
+	e.Decided = st.Decided
+	if st.Decided {
+		l.advance()
+	}
 }
 
 // MarkDecided records that instance id was decided with value, then advances
@@ -96,9 +140,23 @@ func (l *Log) Accept(id wire.InstanceID, view wire.View, value []byte) *Entry {
 func (l *Log) MarkDecided(id wire.InstanceID, value []byte) *Entry {
 	e := l.Ensure(id)
 	if !e.Decided {
+		wasAccepted := e.AcceptedView != NoView
+		sameValue := value == nil || (wasAccepted && bytes.Equal(e.Value, value))
 		e.Decided = true
 		if value != nil {
 			e.Value = value
+		}
+		if l.journal != nil {
+			// When the decided value is the one this replica already
+			// accepted — the common case: the leader decides its own
+			// proposal, a follower learns via watermark — the decide record
+			// references the accept record instead of writing the batch a
+			// second time. Replay then keeps the accepted value.
+			if sameValue && wasAccepted {
+				l.journal.JournalDecide(id, nil, false)
+			} else {
+				l.journal.JournalDecide(id, value, value != nil)
+			}
 		}
 	}
 	l.advance()
@@ -141,6 +199,9 @@ func (l *Log) TruncateBelow(id wire.InstanceID) {
 	if l.next < l.base {
 		l.next = l.base
 	}
+	if l.journal != nil {
+		l.journal.JournalCut(id)
+	}
 }
 
 // CoverPrefix marks every instance below cut as covered by an installed
@@ -172,6 +233,9 @@ func (l *Log) CoverPrefix(cut wire.InstanceID) {
 	if l.next < cut {
 		l.next = cut
 	}
+	if l.journal != nil {
+		l.journal.JournalCut(cut)
+	}
 	// Retained entries from cut onward may already be decided.
 	l.advance()
 }
@@ -190,6 +254,9 @@ func (l *Log) InstallSnapshot(lastIncluded wire.InstanceID) {
 	}
 	if l.next < l.base {
 		l.next = l.base
+	}
+	if l.journal != nil {
+		l.journal.JournalCut(l.base)
 	}
 }
 

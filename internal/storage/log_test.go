@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -311,5 +312,85 @@ func TestCoverPrefixAdvancesOverDecidedSuffix(t *testing.T) {
 	l.CoverPrefix(2)
 	if l.FirstUndecided() != 4 {
 		t.Errorf("FirstUndecided = %d, want 4 (decided suffix)", l.FirstUndecided())
+	}
+}
+
+// recJournal records journal callbacks for assertions.
+type recJournal struct {
+	ops []string
+}
+
+func (j *recJournal) JournalAccept(id wire.InstanceID, view wire.View, value []byte) {
+	j.ops = append(j.ops, fmt.Sprintf("accept(%d,v%d,%q)", id, view, value))
+}
+
+func (j *recJournal) JournalDecide(id wire.InstanceID, value []byte, hasValue bool) {
+	if hasValue {
+		j.ops = append(j.ops, fmt.Sprintf("decide(%d,%q)", id, value))
+	} else {
+		j.ops = append(j.ops, fmt.Sprintf("decide(%d)", id))
+	}
+}
+
+func (j *recJournal) JournalCut(cut wire.InstanceID) {
+	j.ops = append(j.ops, fmt.Sprintf("cut(%d)", cut))
+}
+
+// TestDurableLogJournalsTransitions asserts a journal-attached Log
+// journals exactly the transitions recovery needs: accepts with their
+// values, decides (referencing the accept when the value is unchanged,
+// carrying it when it differs), and truncation cuts — and that re-accepts
+// over a decided slot or duplicate decides journal nothing.
+func TestDurableLogJournalsTransitions(t *testing.T) {
+	j := &recJournal{}
+	l := NewLog()
+	l.SetJournal(j)
+
+	l.Accept(0, 1, []byte("a"))
+	l.MarkDecided(0, []byte("a")) // same value: decide references the accept
+	l.Accept(1, 1, []byte("b"))
+	l.MarkDecided(1, nil)         // watermark decide
+	l.MarkDecided(1, nil)         // duplicate: no journal
+	l.Accept(1, 2, []byte("x"))   // decided slot: no overwrite, no journal
+	l.MarkDecided(2, []byte("c")) // decide without prior accept: carries value
+	l.TruncateBelow(2)
+
+	want := []string{
+		`accept(0,v1,"a")`,
+		`decide(0)`,
+		`accept(1,v1,"b")`,
+		`decide(1)`,
+		`decide(2,"c")`,
+		`cut(2)`,
+	}
+	if fmt.Sprint(j.ops) != fmt.Sprint(want) {
+		t.Errorf("journal ops:\n got %v\nwant %v", j.ops, want)
+	}
+}
+
+// TestRestoreEntryBypassesJournal asserts replay writes (RestoreEntry) are
+// never re-journaled and rebuild watermarks correctly.
+func TestRestoreEntryBypassesJournal(t *testing.T) {
+	j := &recJournal{}
+	l := NewLog()
+	l.SetJournal(j)
+	l.RestoreEntry(wire.InstanceState{ID: 0, AcceptedView: 3, Decided: true, Value: []byte("r")})
+	l.RestoreEntry(wire.InstanceState{ID: 1, AcceptedView: 3, Value: []byte("s")})
+	if len(j.ops) != 0 {
+		t.Errorf("RestoreEntry journaled %v", j.ops)
+	}
+	if l.FirstUndecided() != 1 {
+		t.Errorf("FirstUndecided = %d, want 1", l.FirstUndecided())
+	}
+	if e := l.Get(1); e == nil || e.AcceptedView != 3 || string(e.Value) != "s" {
+		t.Errorf("restored entry 1 = %+v", l.Get(1))
+	}
+	// A journal attached later (post-replay) sees new transitions only.
+	l2 := NewLog()
+	l2.RestoreEntry(wire.InstanceState{ID: 0, AcceptedView: 1, Value: []byte("v")})
+	l2.SetJournal(j)
+	l2.MarkDecided(0, nil)
+	if len(j.ops) != 1 {
+		t.Errorf("post-attach ops = %v, want one decide", j.ops)
 	}
 }

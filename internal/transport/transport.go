@@ -30,6 +30,21 @@ type FrameConn interface {
 	RemoteAddr() string
 }
 
+// BatchWriter is the optional coalescing extension of FrameConn: a sender
+// draining a queue writes each frame with WriteFrameNoFlush and calls Flush
+// once the queue is empty, so back-to-back frames share one syscall (and,
+// with TCP_NODELAY, one packet) instead of one each. Implementations whose
+// WriteFrame has no buffering (the in-process transport) simply do not
+// implement it; senders fall back to WriteFrame.
+type BatchWriter interface {
+	// WriteFrameNoFlush buffers one frame without forcing it onto the wire.
+	// The frame is sent no later than the next Flush (or when the internal
+	// buffer fills). Not safe for concurrent writers.
+	WriteFrameNoFlush(frame []byte) error
+	// Flush pushes all buffered frames to the wire.
+	Flush() error
+}
+
 // Listener accepts inbound FrameConns.
 type Listener interface {
 	Accept() (FrameConn, error)
@@ -113,6 +128,17 @@ func (tc *tcpConn) WriteFrame(frame []byte) error {
 	}
 	return tc.w.Flush()
 }
+
+// WriteFrameNoFlush implements BatchWriter: the frame lands in the 64 KiB
+// write buffer and reaches the socket on Flush (or when the buffer fills).
+func (tc *tcpConn) WriteFrameNoFlush(frame []byte) error {
+	return wire.WriteFrame(tc.w, frame)
+}
+
+// Flush implements BatchWriter.
+func (tc *tcpConn) Flush() error { return tc.w.Flush() }
+
+var _ BatchWriter = (*tcpConn)(nil)
 
 func (tc *tcpConn) ReadFrame() ([]byte, error) { return wire.ReadFrame(tc.r) }
 func (tc *tcpConn) Close() error               { return tc.c.Close() }

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -329,6 +331,81 @@ func TestWriteFrameCopiesBuffer(t *testing.T) {
 	}
 	if string(f) != "mutate-me" {
 		t.Errorf("frame = %q: WriteFrame aliased the caller's buffer", f)
+	}
+}
+
+// countingConn wraps a net.Conn and counts Write syscalls.
+type countingConn struct {
+	net.Conn
+	writes atomic.Int64
+}
+
+func (c *countingConn) Write(b []byte) (int, error) {
+	c.writes.Add(1)
+	return c.Conn.Write(b)
+}
+
+// TestBatchWriterCoalescesFrames asserts that frames written with
+// WriteFrameNoFlush share one underlying write (and hence one syscall/
+// packet) when flushed together — the sender-side fix for the
+// flush-per-frame regression — while WriteFrame still flushes eagerly.
+func TestBatchWriterCoalescesFrames(t *testing.T) {
+	client, server := net.Pipe()
+	cc := &countingConn{Conn: client}
+	conn := newTCPConn(cc)
+	defer conn.Close()
+	defer server.Close()
+
+	// Drain the server side so Pipe writes don't block.
+	received := make(chan []byte, 64)
+	go func() {
+		defer close(received)
+		srv := newTCPConn(server)
+		for {
+			f, err := srv.ReadFrame()
+			if err != nil {
+				return
+			}
+			received <- f
+		}
+	}()
+
+	bw, ok := FrameConn(conn).(BatchWriter)
+	if !ok {
+		t.Fatal("tcpConn does not implement BatchWriter")
+	}
+	const frames = 16
+	for i := range frames {
+		if err := bw.WriteFrameNoFlush([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cc.writes.Load(); got != 0 {
+		t.Errorf("WriteFrameNoFlush hit the socket %d times before Flush", got)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.writes.Load(); got != 1 {
+		t.Errorf("%d frames flushed with %d writes, want 1 shared write", frames, got)
+	}
+	for i := range frames {
+		f := <-received
+		if len(f) != 1 || f[0] != byte(i) {
+			t.Fatalf("frame %d corrupted: %v", i, f)
+		}
+	}
+
+	// The eager path still flushes per frame: two frames, two+ writes.
+	before := cc.writes.Load()
+	for i := range 2 {
+		if err := conn.WriteFrame([]byte{0xF0 ^ byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		<-received
+	}
+	if got := cc.writes.Load() - before; got < 2 {
+		t.Errorf("2 eager WriteFrames produced %d writes, want >= 2", got)
 	}
 }
 

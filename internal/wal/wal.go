@@ -1,0 +1,722 @@
+// Package wal implements the write-ahead log behind crash-restart recovery:
+// a segmented, checksummed, append-only journal of one ordering group's
+// acceptor state transitions (promised view, accepted view/value, decided
+// marker) and snapshot cuts. A replica killed mid-run replays its WAL at
+// boot and rejoins with every durable promise intact, so Paxos safety holds
+// across restarts without state transfer of the already-durable prefix.
+//
+// Durability follows the group-commit design of HT-Paxos: the appender (the
+// group's Protocol thread) only copies encoded records into an in-memory
+// buffer — it never touches the disk — while a dedicated Syncer goroutine
+// drains whatever accumulated into one write and one fsync. Everything that
+// piled up during the previous fsync rides the next one, so the fsync rate
+// is decoupled from the append rate and the disk sees large sequential
+// writes. The caller gates protocol *output* (messages, decisions) on the
+// durable watermark: an acceptor's promise or accept is on disk before any
+// peer can observe it.
+//
+// Three policies trade safety for speed:
+//
+//   - SyncBatch (default): group commit as above. Safe against machine
+//     crashes; output latency grows by at most one fsync.
+//   - SyncAlways: every Append writes and fsyncs inline, on the calling
+//     thread. Maximal paranoia, one fsync per record.
+//   - SyncNone: records are written by the Syncer but never fsynced, and
+//     output is not gated on anything. Best-effort only: a clean Close
+//     loses nothing and a kill usually loses at most the last instants
+//     (records reach the OS within MinSyncInterval), but there is no
+//     durability guarantee of any kind.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosmr/internal/wire"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy uint8
+
+// Sync policies. The zero value is SyncBatch, the recommended default.
+const (
+	// SyncBatch groups pending appends into one fsync issued by the Syncer
+	// goroutine (group commit).
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs inline on every Append.
+	SyncAlways
+	// SyncNone never fsyncs; records reach the OS promptly but nothing is
+	// guaranteed — best-effort recovery only.
+	SyncNone
+)
+
+// String returns the policy's config spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return "batch"
+	}
+}
+
+// ParsePolicy parses a config spelling ("always", "batch", "none"; "" means
+// batch).
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "batch":
+		return SyncBatch, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return SyncBatch, fmt.Errorf("wal: unknown sync policy %q (want always, batch or none)", s)
+	}
+}
+
+// RecordType discriminates WAL records.
+type RecordType uint8
+
+// Record types.
+const (
+	// RecView records a promise: the acceptor moved to View and will reject
+	// lower ballots.
+	RecView RecordType = iota + 1
+	// RecAccept records that Value was accepted for instance ID in View.
+	RecAccept
+	// RecDecide records that instance ID was decided. HasValue distinguishes
+	// an explicit value from "the previously accepted value" (the watermark
+	// learning path, which avoids writing each batch twice).
+	RecDecide
+	// RecCut records that everything below instance ID is covered by a
+	// durable snapshot. Written on truncation and as a checkpoint segment's
+	// header.
+	RecCut
+	// RecState carries one retained log slot inside a checkpoint segment:
+	// the acceptor state that was live when older segments were discarded.
+	RecState
+)
+
+// Record is one WAL entry. Which fields are meaningful depends on Type.
+type Record struct {
+	Type     RecordType
+	View     wire.View       // RecView, RecAccept, RecState (accepted view)
+	ID       wire.InstanceID // RecAccept, RecDecide, RecCut, RecState
+	HasValue bool            // RecDecide: explicit value follows
+	Decided  bool            // RecState
+	Value    []byte          // RecAccept, RecDecide (if HasValue), RecState
+}
+
+// Encoding: each record is
+//
+//	u32 crc   IEEE CRC32 of everything after this field
+//	u32 len   length of the payload (type byte + body)
+//	u8  type
+//	...body (little-endian, per type)
+//
+// and each segment file starts with a fixed 8-byte header (magic + version).
+// Records never span segments.
+const (
+	segMagic      = 0x4C415747 // "GWAL"
+	segVersion    = 1
+	segHeaderSize = 8
+	recHeaderSize = 8
+
+	// maxRecordSize rejects absurd length prefixes before allocating, the
+	// same defense the wire codec and the reply cache apply to untrusted
+	// length fields.
+	maxRecordSize = 64 << 20
+
+	// DefaultSegmentBytes is the segment size the log rolls at.
+	DefaultSegmentBytes = 8 << 20
+)
+
+// DefaultMinSyncInterval spaces consecutive group-commit fsyncs. 500µs adds
+// at most that much output latency under load — far below a consensus round
+// trip — while capping the fsync rate at 2k/s.
+const DefaultMinSyncInterval = 500 * time.Microsecond
+
+// Options configures Open.
+type Options struct {
+	// Dir holds the segment files; created if missing.
+	Dir string
+	// Policy selects the fsync discipline (default SyncBatch).
+	Policy SyncPolicy
+	// SegmentBytes rolls to a new segment once the current one exceeds this
+	// size (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// MinSyncInterval floors the Syncer's fsync rate under sustained load
+	// (default DefaultMinSyncInterval): consecutive fsyncs are spaced at
+	// least this far apart, so more appends coalesce into each one and the
+	// fsync syscall rate stays bounded on busy (or share-one-core) hosts.
+	// The first sync after an idle stretch is never delayed, so lightly
+	// loaded latency is one bare fsync. Zero keeps the default; negative
+	// disables the floor.
+	MinSyncInterval time.Duration
+	// OnDurable, if non-nil, is called from the Syncer goroutine after each
+	// sync advances the durable watermark. Callbacks must not block for
+	// long and must not call back into the WAL.
+	OnDurable func(durable int64)
+}
+
+// WAL is one ordering group's write-ahead log. Append is single-appender
+// (the group's Protocol thread); the Syncer goroutine and Close may run
+// concurrently with it.
+type WAL struct {
+	dir      string
+	policy   SyncPolicy
+	segBytes int64
+	minSync  time.Duration
+	onSync   func(int64)
+
+	// mu guards buf and appended: the only state Append touches.
+	mu       sync.Mutex
+	buf      []byte
+	appended int64 // total encoded bytes handed to Append this run
+
+	durable atomic.Int64 // appended bytes known flushed (and fsynced, unless SyncNone)
+
+	// fileMu serializes all file access: the Syncer's drain, Checkpoint,
+	// SyncAlways appends, and Close.
+	fileMu   sync.Mutex
+	f        *os.File
+	fileSize int64
+	seq      int // current segment sequence number
+
+	wake   chan struct{}
+	stopc  chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// Open creates or reopens the WAL in dir and returns every intact record in
+// append order for replay. A torn tail of the FINAL segment (a crash
+// mid-write) is truncated away — under the batch and always policies,
+// everything at or below the last fsync is intact, and nothing past a torn
+// record was ever observable by a peer. Corruption anywhere else is not a
+// crash artifact (a segment is fsynced before its successor is created): it
+// means fsynced acceptor state this replica may have advertised is gone, so
+// Open refuses to proceed rather than reboot the acceptor with amnesia.
+func Open(opts Options) (*WAL, []Record, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.MinSyncInterval == 0 {
+		opts.MinSyncInterval = DefaultMinSyncInterval
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	w := &WAL{
+		dir:      opts.Dir,
+		policy:   opts.Policy,
+		segBytes: opts.SegmentBytes,
+		minSync:  opts.MinSyncInterval,
+		onSync:   opts.OnDurable,
+		wake:     make(chan struct{}, 1),
+		stopc:    make(chan struct{}),
+	}
+	recs, err := w.replay()
+	if err != nil {
+		return nil, nil, err
+	}
+	if w.policy != SyncAlways {
+		w.wg.Add(1)
+		go w.runSyncer()
+	}
+	return w, recs, nil
+}
+
+// segName formats a segment file name; lexical order is append order.
+func segName(seq int) string { return fmt.Sprintf("wal-%08d.seg", seq) }
+
+// segments lists the existing segment sequence numbers in order.
+func (w *WAL) segments() ([]int, error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &seq); err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// replay scans the segments, collects intact records, repairs a torn tail,
+// and positions the WAL to append after the last intact record.
+func (w *WAL) replay() ([]Record, error) {
+	seqs, err := w.segments()
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for i, seq := range seqs {
+		path := filepath.Join(w.dir, segName(seq))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: read segment: %w", err)
+		}
+		segRecs, valid, intact := scanSegment(data)
+		if !intact && i < len(seqs)-1 {
+			// A torn record below later segments cannot come from a crash
+			// (segments are fsynced before their successors exist): this is
+			// corruption of durable state peers may have observed. Refusing
+			// to boot is the safe outcome; the operator clears the data dir
+			// and the replica rejoins via state transfer.
+			return nil, fmt.Errorf("wal: segment %s is corrupt below later segments; clear the data dir to rejoin via state transfer", path)
+		}
+		recs = append(recs, segRecs...)
+		if intact && i < len(seqs)-1 {
+			continue
+		}
+		// Final segment: truncate a torn tail and append here from now on.
+		if !intact {
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, fmt.Errorf("wal: repair torn segment: %w", err)
+			}
+		}
+		if valid < segHeaderSize {
+			// Not even an intact header (a crash at segment creation):
+			// discard the file; the next append starts a fresh segment.
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("wal: drop headerless segment: %w", err)
+			}
+			w.seq = seq
+			return recs, nil
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopen segment: %w", err)
+		}
+		w.f, w.fileSize, w.seq = f, valid, seq
+		return recs, nil
+	}
+	// Empty directory: the first Append opens segment 1.
+	w.seq = 0
+	return recs, nil
+}
+
+// scanSegment parses one segment image, returning its intact records, the
+// byte offset of the valid prefix, and whether the whole file was intact.
+func scanSegment(data []byte) (recs []Record, valid int64, intact bool) {
+	if len(data) < segHeaderSize {
+		return nil, 0, false
+	}
+	if binary.LittleEndian.Uint32(data) != segMagic ||
+		binary.LittleEndian.Uint32(data[4:]) != segVersion {
+		return nil, 0, false
+	}
+	off := int64(segHeaderSize)
+	rest := data[segHeaderSize:]
+	for len(rest) > 0 {
+		rec, n, ok := decodeRecord(rest)
+		if !ok {
+			return recs, off, false
+		}
+		recs = append(recs, rec)
+		off += int64(n)
+		rest = rest[n:]
+	}
+	return recs, off, true
+}
+
+// encodeRecord appends rec's encoding to b.
+func encodeRecord(b []byte, rec Record) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // crc + len placeholders
+	b = append(b, byte(rec.Type))
+	switch rec.Type {
+	case RecView:
+		b = binary.LittleEndian.AppendUint32(b, uint32(rec.View))
+	case RecAccept:
+		b = binary.LittleEndian.AppendUint64(b, uint64(rec.ID))
+		b = binary.LittleEndian.AppendUint32(b, uint32(rec.View))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(rec.Value)))
+		b = append(b, rec.Value...)
+	case RecDecide:
+		b = binary.LittleEndian.AppendUint64(b, uint64(rec.ID))
+		if rec.HasValue {
+			b = append(b, 1)
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(rec.Value)))
+			b = append(b, rec.Value...)
+		} else {
+			b = append(b, 0)
+		}
+	case RecCut:
+		b = binary.LittleEndian.AppendUint64(b, uint64(rec.ID))
+	case RecState:
+		b = binary.LittleEndian.AppendUint64(b, uint64(rec.ID))
+		b = binary.LittleEndian.AppendUint32(b, uint32(rec.View))
+		if rec.Decided {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(rec.Value)))
+		b = append(b, rec.Value...)
+	default:
+		panic(fmt.Sprintf("wal: encode of unknown record type %d", rec.Type))
+	}
+	payload := b[start+recHeaderSize:]
+	binary.LittleEndian.PutUint32(b[start:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(b[start+4:], uint32(len(payload)))
+	return b
+}
+
+// decodeRecord parses the first record in b, returning its total encoded
+// size. ok is false for a short, oversized, or corrupt record. Every length
+// field is validated against the remaining bytes before any allocation.
+func decodeRecord(b []byte) (rec Record, n int, ok bool) {
+	if len(b) < recHeaderSize {
+		return rec, 0, false
+	}
+	crc := binary.LittleEndian.Uint32(b)
+	plen := binary.LittleEndian.Uint32(b[4:])
+	if plen == 0 || plen > maxRecordSize || uint64(plen) > uint64(len(b)-recHeaderSize) {
+		return rec, 0, false
+	}
+	payload := b[recHeaderSize : recHeaderSize+int(plen)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return rec, 0, false
+	}
+	rec.Type = RecordType(payload[0])
+	body := payload[1:]
+	u32 := func() (uint32, bool) {
+		if len(body) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if len(body) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(body)
+		body = body[8:]
+		return v, true
+	}
+	u8 := func() (byte, bool) {
+		if len(body) < 1 {
+			return 0, false
+		}
+		v := body[0]
+		body = body[1:]
+		return v, true
+	}
+	// bytes validates the length prefix against the remaining body before
+	// allocating (the replycache.unmarshalMap guard, mirrored here).
+	bytes := func() ([]byte, bool) {
+		n, ok := u32()
+		if !ok || uint64(n) > uint64(len(body)) {
+			return nil, false
+		}
+		v := make([]byte, n)
+		copy(v, body[:n])
+		body = body[n:]
+		return v, true
+	}
+	switch rec.Type {
+	case RecView:
+		v, ok := u32()
+		if !ok {
+			return rec, 0, false
+		}
+		rec.View = wire.View(int32(v))
+	case RecAccept:
+		id, ok1 := u64()
+		v, ok2 := u32()
+		val, ok3 := bytes()
+		if !ok1 || !ok2 || !ok3 {
+			return rec, 0, false
+		}
+		rec.ID, rec.View, rec.Value = wire.InstanceID(id), wire.View(int32(v)), val
+	case RecDecide:
+		id, ok1 := u64()
+		has, ok2 := u8()
+		if !ok1 || !ok2 {
+			return rec, 0, false
+		}
+		rec.ID = wire.InstanceID(id)
+		if has != 0 {
+			val, ok := bytes()
+			if !ok {
+				return rec, 0, false
+			}
+			rec.HasValue, rec.Value = true, val
+		}
+	case RecCut:
+		id, ok := u64()
+		if !ok {
+			return rec, 0, false
+		}
+		rec.ID = wire.InstanceID(id)
+	case RecState:
+		id, ok1 := u64()
+		v, ok2 := u32()
+		dec, ok3 := u8()
+		val, ok4 := bytes()
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return rec, 0, false
+		}
+		rec.ID, rec.View, rec.Decided, rec.Value =
+			wire.InstanceID(id), wire.View(int32(v)), dec != 0, val
+	default:
+		return rec, 0, false
+	}
+	if len(body) != 0 {
+		return rec, 0, false
+	}
+	return rec, recHeaderSize + int(plen), true
+}
+
+// Append journals rec. Under SyncBatch and SyncNone it only copies the
+// encoding into the pending buffer and wakes the Syncer — it never blocks
+// on the disk. Under SyncAlways it writes and fsyncs inline. Disk failures
+// panic: an acceptor that cannot persist its promises must stop rather than
+// keep acknowledging ballots it will forget.
+func (w *WAL) Append(rec Record) {
+	w.mu.Lock()
+	w.buf = encodeRecord(w.buf, rec)
+	w.mu.Unlock()
+	if w.policy == SyncAlways {
+		w.syncNow()
+		return
+	}
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// AppendedLSN returns the total encoded bytes appended this run — the gate
+// position callers pair with DurableLSN.
+func (w *WAL) AppendedLSN() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendedLocked()
+}
+
+func (w *WAL) appendedLocked() int64 { return w.appended + int64(len(w.buf)) }
+
+// DurableLSN returns the appended bytes known durable under the policy.
+func (w *WAL) DurableLSN() int64 { return w.durable.Load() }
+
+// runSyncer is the Syncer goroutine: group commit. Each pass drains
+// whatever the appender accumulated — including everything that piled up
+// while the previous fsync was in flight — into one write and one fsync.
+func (w *WAL) runSyncer() {
+	defer w.wg.Done()
+	var lastSync time.Time
+	for {
+		select {
+		case <-w.wake:
+		case <-w.stopc:
+			w.syncNow() // final drain so a graceful Close loses nothing
+			return
+		}
+		// Floor the sync rate under sustained load: waiting out the
+		// remainder of the interval lets more appends pile into this fsync
+		// (the whole point of group commit) and bounds the syscall rate.
+		// After an idle stretch the wait is already elapsed and the sync is
+		// immediate.
+		if w.minSync > 0 {
+			if d := w.minSync - time.Since(lastSync); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-w.stopc:
+					w.syncNow()
+					return
+				}
+			}
+			lastSync = time.Now()
+		}
+		w.syncNow()
+	}
+}
+
+// syncNow drains the pending buffer into the current segment and advances
+// the durable watermark. Safe to call from any goroutine.
+func (w *WAL) syncNow() {
+	w.fileMu.Lock()
+	defer w.fileMu.Unlock()
+	w.drainLocked()
+}
+
+// drainLocked does the work of syncNow with fileMu held.
+func (w *WAL) drainLocked() {
+	w.mu.Lock()
+	pending := w.buf
+	w.buf = nil
+	w.appended += int64(len(pending))
+	lsn := w.appended
+	w.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	w.writeLocked(pending)
+	if w.policy != SyncNone {
+		if err := w.f.Sync(); err != nil {
+			panic(fmt.Sprintf("wal: fsync %s: %v", w.f.Name(), err))
+		}
+	}
+	w.durable.Store(lsn)
+	if w.onSync != nil {
+		w.onSync(lsn)
+	}
+}
+
+// writeLocked writes b to the current segment, rolling first if the segment
+// is full. Requires fileMu.
+func (w *WAL) writeLocked(b []byte) {
+	if w.f == nil || w.fileSize >= w.segBytes {
+		w.rollLocked()
+	}
+	if _, err := w.f.Write(b); err != nil {
+		panic(fmt.Sprintf("wal: write %s: %v", w.f.Name(), err))
+	}
+	w.fileSize += int64(len(b))
+}
+
+// rollLocked closes the current segment (fsyncing it, so only the newest
+// segment ever has a torn tail) and opens the next one. The directory is
+// fsynced after the create: without it the durable watermark could cover
+// records in a file whose directory entry does not survive a machine crash.
+func (w *WAL) rollLocked() {
+	if w.f != nil {
+		if w.policy != SyncNone {
+			if err := w.f.Sync(); err != nil {
+				panic(fmt.Sprintf("wal: fsync %s: %v", w.f.Name(), err))
+			}
+		}
+		_ = w.f.Close()
+	}
+	w.seq++
+	path := filepath.Join(w.dir, segName(w.seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		panic(fmt.Sprintf("wal: create segment %s: %v", path, err))
+	}
+	var hdr [segHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		panic(fmt.Sprintf("wal: write segment header: %v", err))
+	}
+	if w.policy != SyncNone {
+		w.syncDir()
+	}
+	w.f, w.fileSize = f, segHeaderSize
+}
+
+// syncDir fsyncs the WAL directory so segment creations and deletions are
+// themselves durable.
+func (w *WAL) syncDir() {
+	d, err := os.Open(w.dir)
+	if err != nil {
+		panic(fmt.Sprintf("wal: open dir %s: %v", w.dir, err))
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		panic(fmt.Sprintf("wal: fsync dir %s: %v", w.dir, err))
+	}
+}
+
+// Checkpoint compacts the WAL after a snapshot covering everything below
+// cut became durable: pending appends are drained, a fresh segment is
+// started with a RecCut header followed by the retained live state, and all
+// older segments are deleted. Called by the owning Protocol thread on log
+// truncation — the one WAL operation that intentionally touches the disk on
+// that thread (snapshots are rare).
+func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
+	var cp []byte
+	cp = encodeRecord(cp, Record{Type: RecCut, ID: cut})
+	for _, st := range states {
+		cp = encodeRecord(cp, st)
+	}
+
+	w.fileMu.Lock()
+	defer w.fileMu.Unlock()
+	// Everything appended so far belongs before the checkpoint; drain it
+	// into the old segment first so record order matches append order.
+	w.drainLocked()
+	w.mu.Lock()
+	w.appended += int64(len(cp))
+	lsn := w.appended
+	w.mu.Unlock()
+	w.rollLocked()
+	if _, err := w.f.Write(cp); err != nil {
+		panic(fmt.Sprintf("wal: write checkpoint: %v", err))
+	}
+	w.fileSize += int64(len(cp))
+	if w.policy != SyncNone {
+		if err := w.f.Sync(); err != nil {
+			panic(fmt.Sprintf("wal: fsync checkpoint: %v", err))
+		}
+	}
+	w.durable.Store(lsn)
+	// Older segments are fully covered by the snapshot + this checkpoint
+	// (rollLocked already made the new segment's directory entry durable,
+	// so deleting the old prefix cannot strand a crash with neither). If
+	// the deletions themselves do not survive a crash, replay handles the
+	// leftovers: the checkpoint's RecCut covers them idempotently.
+	if seqs, err := w.segments(); err == nil {
+		for _, seq := range seqs {
+			if seq < w.seq {
+				_ = os.Remove(filepath.Join(w.dir, segName(seq)))
+			}
+		}
+		if w.policy != SyncNone {
+			w.syncDir()
+		}
+	}
+	if w.onSync != nil {
+		w.onSync(lsn)
+	}
+}
+
+// Sync forces a full drain and fsync (tests, graceful shutdown).
+func (w *WAL) Sync() {
+	w.syncNow()
+}
+
+// Close drains pending appends, stops the Syncer, and closes the current
+// segment. The WAL must not be appended to afterwards.
+func (w *WAL) Close() {
+	w.fileMu.Lock()
+	already := w.closed
+	w.closed = true
+	w.fileMu.Unlock()
+	if already {
+		return
+	}
+	if w.policy != SyncAlways {
+		close(w.stopc)
+		w.wg.Wait()
+	} else {
+		w.syncNow()
+	}
+	w.fileMu.Lock()
+	defer w.fileMu.Unlock()
+	if w.f != nil {
+		_ = w.f.Close()
+		w.f = nil
+	}
+}

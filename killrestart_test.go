@@ -1,0 +1,197 @@
+package gosmr_test
+
+// True kill -9 crash-restart test: replicas run as real OS processes over
+// TCP and die by SIGKILL, so nothing — not the WAL's pending buffer, not a
+// graceful Close's final drain — survives except what the group-commit
+// Syncer already fsynced. This is the test the in-process restart suite
+// cannot be (an in-process "kill" is a graceful Stop, which drains the WAL
+// and would mask a broken durability gate).
+//
+// The sharp assertion is quorum membership: after replica 2 is SIGKILLed
+// and restarted from its DataDir, replica 1 is SIGKILLed too, leaving a
+// majority only if the restarted replica is a functioning acceptor with its
+// durable promises intact. Committing through that quorum proves recovery,
+// not just catch-up. A final full-cluster SIGKILL + restart proves every
+// acknowledged command is on disk.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gosmr"
+	"gosmr/internal/service"
+)
+
+// freePorts reserves n distinct TCP ports and releases them for the
+// subprocesses to bind. The close-then-bind race is acceptable in a test.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range n {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	return addrs
+}
+
+// replicaProc manages one gosmr-replica subprocess.
+type replicaProc struct {
+	t    *testing.T
+	bin  string
+	args []string
+	log  *os.File
+	cmd  *exec.Cmd
+}
+
+func (p *replicaProc) start() {
+	p.t.Helper()
+	cmd := exec.Command(p.bin, p.args...)
+	cmd.Stdout, cmd.Stderr = p.log, p.log
+	if err := cmd.Start(); err != nil {
+		p.t.Fatal(err)
+	}
+	p.cmd = cmd
+}
+
+// kill9 SIGKILLs the process: no signal handler, no deferred Stop, no WAL
+// drain.
+func (p *replicaProc) kill9() {
+	p.t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		p.t.Fatal(err)
+	}
+	_ = p.cmd.Wait()
+	p.cmd = nil
+}
+
+func TestKillNineProcessRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real replica subprocesses; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "gosmr-replica")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/gosmr-replica")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building replica: %v\n%s", err, out)
+	}
+
+	addrs := freePorts(t, 6)
+	peerAddrs := addrs[0] + "," + addrs[1] + "," + addrs[2]
+	clientAddrs := addrs[3:6]
+	procs := make([]*replicaProc, 3)
+	for i := range 3 {
+		logf, err := os.Create(filepath.Join(t.TempDir(), fmt.Sprintf("r%d.log", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { logf.Close() })
+		procs[i] = &replicaProc{
+			t: t, bin: bin, log: logf,
+			args: []string{
+				"-id", fmt.Sprint(i),
+				"-peers", peerAddrs,
+				"-client", clientAddrs[i],
+				"-data-dir", t.TempDir(),
+				"-sync", "batch",
+				"-snapshot-every", "40",
+				"-groups", "2",
+				"-executor-workers", "2",
+				"-stats", "0",
+			},
+		}
+		procs[i].start()
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p.cmd != nil {
+				_ = p.cmd.Process.Kill()
+				_ = p.cmd.Wait()
+			}
+		}
+	})
+
+	dial := func() *gosmr.Client {
+		t.Helper()
+		cli, err := gosmr.Dial(gosmr.ClientConfig{Addrs: clientAddrs, Timeout: 20 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cli
+	}
+	put := func(cli *gosmr.Client, key string) {
+		t.Helper()
+		reply, err := cli.Execute(service.EncodePut(key, []byte("v-"+key)))
+		if err != nil {
+			t.Fatalf("PUT %s: %v", key, err)
+		}
+		if st, _ := service.DecodeReply(reply); st != service.KVOK {
+			t.Fatalf("PUT %s status %d", key, st)
+		}
+	}
+	get := func(cli *gosmr.Client, key string) {
+		t.Helper()
+		reply, err := cli.Execute(service.EncodeGet(key))
+		if err != nil {
+			t.Fatalf("GET %s: %v", key, err)
+		}
+		st, val := service.DecodeReply(reply)
+		if st != service.KVOK || string(val) != "v-"+key {
+			t.Fatalf("GET %s = status %d value %q, want v-%s", key, st, val, key)
+		}
+	}
+
+	cli := dial()
+	defer cli.Close()
+	for i := range 30 {
+		put(cli, fmt.Sprintf("pre-%d", i))
+	}
+
+	// SIGKILL follower 2 mid-run; the majority keeps committing.
+	procs[2].kill9()
+	for i := range 15 {
+		put(cli, fmt.Sprintf("mid-%d", i))
+	}
+
+	// Restart replica 2 from its data dir, then SIGKILL the LEADER: the
+	// remaining quorum is {1, 2} — commits now require the restarted
+	// replica to be a working acceptor AND force a view change, so the
+	// snapshot checkpoints that follow record promises from a view > 0
+	// (recovering those promises is exactly what WAL checkpointing must
+	// not lose).
+	procs[2].start()
+	time.Sleep(300 * time.Millisecond) // let it bind and start catch-up
+	procs[0].kill9()
+	for i := range 10 {
+		put(cli, fmt.Sprintf("post-%d", i))
+	}
+	get(cli, "pre-0")
+	cli.Close()
+
+	// Full-cluster SIGKILL (replica 0 is already down): every acknowledged
+	// command — and every promise, across the elected view — must come
+	// back from the data directories alone.
+	procs[1].kill9()
+	procs[2].kill9()
+	for _, p := range procs {
+		p.start()
+	}
+	cli2 := dial()
+	defer cli2.Close()
+	for _, key := range []string{"pre-0", "pre-29", "mid-0", "mid-14", "post-0", "post-9"} {
+		get(cli2, key)
+	}
+	put(cli2, "after-restart") // and the cluster still makes progress
+	get(cli2, "after-restart")
+}
