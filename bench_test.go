@@ -354,19 +354,93 @@ func BenchmarkQueuePutTake(b *testing.B) {
 
 func BenchmarkCodecMarshalPropose(b *testing.B) {
 	msg := &wire.Propose{View: 3, ID: 42, DecidedUpTo: 41, Value: make([]byte, 1300)}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for b.Loop() {
 		_ = wire.Marshal(msg)
 	}
 }
 
-func BenchmarkCodecUnmarshalPropose(b *testing.B) {
-	buf := wire.Marshal(&wire.Propose{View: 3, ID: 42, Value: make([]byte, 1300)})
+// BenchmarkCodecAppendPropose is the steady-state encode path the peer
+// senders run: append into a reused buffer. The acceptance bar is 0
+// allocs/op (guarded by TestEncodeHotPathAllocs in internal/wire).
+func BenchmarkCodecAppendPropose(b *testing.B) {
+	msg := &wire.Propose{View: 3, ID: 42, DecidedUpTo: 41, Value: make([]byte, 1300)}
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for b.Loop() {
-		if _, err := wire.Unmarshal(buf); err != nil {
+		buf = wire.AppendMessage(buf[:0], msg)
+	}
+}
+
+// BenchmarkCodecAppendGroupMsg measures the multi-group envelope encode,
+// which the zero-copy path encodes inline (the legacy path nested a full
+// Marshal and copied it).
+func BenchmarkCodecAppendGroupMsg(b *testing.B) {
+	msg := &wire.GroupMsg{Group: 2,
+		Msg: &wire.Propose{View: 3, ID: 42, DecidedUpTo: 41, Value: make([]byte, 1300)}}
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		buf = wire.AppendMessage(buf[:0], msg)
+	}
+}
+
+// BenchmarkCodecUnmarshalPropose is the steady-state decode path the peer
+// readers run: borrow from the frame, hand the struct back to the pool.
+func BenchmarkCodecUnmarshalPropose(b *testing.B) {
+	buf := wire.Marshal(&wire.Propose{View: 3, ID: 42, Value: make([]byte, 1300)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		m, err := wire.Unmarshal(buf)
+		if err != nil {
 			b.Fatal(err)
 		}
+		wire.Release(m)
+	}
+}
+
+// BenchmarkCodecDecodeBatchInto is the deliver path: a decided batch decoded
+// into reused storage, requests released after "execution".
+func BenchmarkCodecDecodeBatchInto(b *testing.B) {
+	value := wire.EncodeBatch([]*wire.ClientRequest{
+		{ClientID: 1, Seq: 1, Payload: make([]byte, 128)},
+		{ClientID: 2, Seq: 2, Payload: make([]byte, 128)},
+		{ClientID: 3, Seq: 3, Payload: make([]byte, 128)},
+	})
+	var reqs []*wire.ClientRequest
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		var err error
+		reqs, err = wire.DecodeBatchInto(reqs, value)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reqs {
+			wire.Release(r)
+		}
+	}
+}
+
+// BenchmarkWALAppend measures the journaling hot path: encode-into-pending
+// under SyncNone (no fsync wait), with the Syncer draining concurrently.
+// Double-buffered pending keeps steady-state appends allocation-free.
+func BenchmarkWALAppend(b *testing.B) {
+	w, _, err := wal.Open(wal.Options{Dir: b.TempDir(), Policy: wal.SyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	rec := wal.Record{Type: wal.RecAccept, ID: 1, View: 1, Value: make([]byte, 1300)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		rec.ID = wire.InstanceID(i)
+		w.Append(rec)
 	}
 }
 

@@ -130,17 +130,21 @@ func (c *Client) Execute(req []byte) ([]byte, error) {
 			c.rotateLocked()
 			continue
 		}
+		// Copy the fields out and release the pooled struct before acting on
+		// it; the retained payload is ours to return.
+		replyOK, redirect, payload := reply.OK, reply.Redirect, reply.Payload
+		wire.Release(reply)
 		switch {
-		case reply.OK:
-			return reply.Payload, nil
-		case reply.Redirect >= 0 && int(reply.Redirect) < len(c.cfg.Addrs):
-			if int(reply.Redirect) == c.target {
+		case replyOK:
+			return payload, nil
+		case redirect >= 0 && int(redirect) < len(c.cfg.Addrs):
+			if int(redirect) == c.target {
 				// The target thinks it will lead but has not established
 				// leadership yet; wait briefly and retry.
 				c.sleepLocked(20 * time.Millisecond)
 			} else {
 				c.dropConnLocked()
-				c.target = int(reply.Redirect)
+				c.target = int(redirect)
 			}
 		default:
 			c.sleepLocked(20 * time.Millisecond)
@@ -163,19 +167,29 @@ func (c *Client) connectLocked() error {
 		defer c.wg.Done()
 		defer close(replies)
 		for {
-			f, err := conn.ReadFrame()
+			f, pooled, err := transport.ReadFrameOwned(conn)
 			if err != nil {
 				return
 			}
 			msg, err := wire.Unmarshal(f)
 			if err != nil {
+				transport.RecycleFrame(f, pooled)
 				continue
 			}
-			if rep, ok := msg.(*wire.ClientReply); ok {
-				select {
-				case replies <- rep:
-				default: // slow consumer: drop; the request layer retries
-				}
+			rep, ok := msg.(*wire.ClientReply)
+			if !ok {
+				wire.Release(msg)
+				transport.RecycleFrame(f, pooled)
+				continue
+			}
+			// The reply outlives the frame (it crosses the channel to
+			// Execute): copy its payload out, then recycle the frame.
+			wire.Retain(rep)
+			transport.RecycleFrame(f, pooled)
+			select {
+			case replies <- rep:
+			default: // slow consumer: drop; the request layer retries
+				wire.Release(rep)
 			}
 		}
 	}()
@@ -197,6 +211,7 @@ func (c *Client) awaitLocked(deadline time.Time) (*wire.ClientReply, bool) {
 				return nil, false // connection died
 			}
 			if rep.ClientID != c.id || rep.Seq != c.seq {
+				wire.Release(rep)
 				continue // stale reply from an earlier attempt
 			}
 			return rep, true

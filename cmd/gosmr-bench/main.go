@@ -8,6 +8,8 @@
 //	gosmr-bench                      # run everything at full fidelity
 //	gosmr-bench -experiment fig10    # one experiment
 //	gosmr-bench -measure 1s          # longer measurement windows
+//	gosmr-bench -json BENCH_PR4.json # machine-readable perf snapshot
+//	                                 # (decided-batch throughput + allocs/op)
 package main
 
 import (
@@ -26,11 +28,34 @@ func main() {
 		measure = flag.Duration("measure", 500*time.Millisecond, "virtual measurement window per run")
 		which   = flag.String("experiment", "all",
 			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor, groupscaling")
+		jsonPath = flag.String("json", "",
+			"write a machine-readable perf snapshot (group-scaling + durability decided-batch throughput, codec/WAL allocs/op) to this path and exit")
 	)
 	flag.Parse()
 
-	s := experiments.NewSuite(experiments.Options{Warmup: *warmup, Measure: *measure})
 	start := time.Now()
+	if *jsonPath != "" {
+		// The perf snapshot runs on the real pipeline (not the simulator):
+		// decided-batch throughput across groups/durability plus the
+		// zero-copy hot-path alloc probes.
+		snap, gr, dr, err := experiments.BenchSnapshot(
+			experiments.GroupOptions{Warmup: *warmup, Measure: *measure},
+			experiments.DurabilityOptions{Warmup: *warmup, Measure: *measure},
+		)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteBenchJSON(*jsonPath, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(gr.Report, dr.Report)
+		fmt.Printf("\nwrote %s (done in %v)\n", *jsonPath, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	s := experiments.NewSuite(experiments.Options{Warmup: *warmup, Measure: *measure})
 	switch strings.ToLower(*which) {
 	case "all":
 		fmt.Print(s.All())

@@ -39,10 +39,11 @@ func (p Policy) withDefaults() Policy {
 // Builder accumulates requests into a batch under a Policy. Not safe for
 // concurrent use; it is owned by the Batcher thread.
 type Builder struct {
-	policy Policy
-	reqs   []*wire.ClientRequest
-	bytes  int
-	since  time.Time
+	policy  Policy
+	reqs    []*wire.ClientRequest
+	bytes   int
+	since   time.Time
+	recycle func(*wire.ClientRequest)
 }
 
 // NewBuilder returns an empty builder with p (zero fields defaulted).
@@ -52,6 +53,13 @@ func NewBuilder(p Policy) *Builder {
 
 // Policy returns the effective (defaulted) policy.
 func (b *Builder) Policy() Policy { return b.policy }
+
+// SetRecycle installs f to be called with each request after Flush has
+// encoded it into the batch — the hand-back point of the pipeline's request
+// ownership chain (typically wire.Release, returning the struct to the
+// decode pool). The caller must not touch flushed requests afterwards. Nil
+// (the default) disables recycling.
+func (b *Builder) SetRecycle(f func(*wire.ClientRequest)) { b.recycle = f }
 
 // Len returns the number of buffered requests.
 func (b *Builder) Len() int { return len(b.reqs) }
@@ -103,12 +111,21 @@ func (b *Builder) Expired(now time.Time) bool {
 
 // Flush encodes and returns the batch, resetting the builder (including the
 // MaxDelay clock, which the next batch's first Add restarts). It returns
-// nil when empty.
+// nil when empty. The request slice is reused across flushes and the batch
+// value is allocated at its exact encoded size (b.bytes tracks it
+// incrementally) — the one allocation per batch that is inherent, since the
+// value is retained by the replicated log.
 func (b *Builder) Flush() []byte {
 	if len(b.reqs) == 0 {
 		return nil
 	}
-	enc := wire.EncodeBatch(b.reqs)
+	enc := wire.AppendBatch(make([]byte, 0, b.bytes), b.reqs)
+	if b.recycle != nil {
+		for i, req := range b.reqs {
+			b.recycle(req)
+			b.reqs[i] = nil
+		}
+	}
 	b.reqs = b.reqs[:0]
 	b.bytes = wire.BatchOverhead
 	b.since = time.Time{}

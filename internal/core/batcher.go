@@ -5,6 +5,7 @@ import (
 
 	"gosmr/internal/batch"
 	"gosmr/internal/profiling"
+	"gosmr/internal/wire"
 )
 
 // runBatcher is one ordering group's Batcher thread (Sec. V-C1): it drains
@@ -24,6 +25,10 @@ func (r *Replica) runBatcher(g *ordGroup) {
 	defer th.Transition(profiling.StateOther)
 
 	b := batch.NewBuilder(r.cfg.Batch)
+	// Requests reach this thread Retained (owned payloads) from the ClientIO
+	// workers; once Flush copies them into the batch value their structs go
+	// back to the decode pool.
+	b.SetRecycle(func(req *wire.ClientRequest) { wire.Release(req) })
 	for {
 		// First request opens the batch (blocking take) and starts the
 		// MaxDelay clock — an idle stretch before it never counts against

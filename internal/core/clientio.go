@@ -12,9 +12,14 @@ import (
 )
 
 // clientWork is one raw inbound frame with the connection it arrived on.
+// The frame buffer's ownership travels with it: the connection reader hands
+// it off, the worker recycles it once the decoded request is retained or
+// dead (pooled is false for transports without the pooled-read extension —
+// recycling their fresh buffers is still correct, just not required).
 type clientWork struct {
-	frame []byte
-	cc    *clientConn
+	frame  []byte
+	pooled bool
+	cc     *clientConn
 }
 
 // clientIO is the ClientIO module (Sec. V-A): a listener, a pool of worker
@@ -103,11 +108,12 @@ func (c *clientIO) runConnReader(cc *clientConn, w *queue.Bounded[clientWork]) {
 		c.mu.Unlock()
 	}()
 	for {
-		frame, err := cc.conn.ReadFrame()
+		frame, pooled, err := transport.ReadFrameOwned(cc.conn)
 		if err != nil {
 			return
 		}
-		if err := w.Put(nil, clientWork{frame: frame, cc: cc}); err != nil {
+		if err := w.Put(nil, clientWork{frame: frame, pooled: pooled, cc: cc}); err != nil {
+			transport.RecycleFrame(frame, pooled)
 			return // module shutting down
 		}
 	}
@@ -115,41 +121,47 @@ func (c *clientIO) runConnReader(cc *clientConn, w *queue.Bounded[clientWork]) {
 
 // runConnWriter serializes and sends queued replies for one connection.
 // Back-to-back replies (a pipelining client, a post-stall burst) coalesce
-// into one flush when the transport buffers writes.
+// into one flush when the transport buffers writes; each reply is encoded
+// straight into the transport's write buffer (or a reused scratch) and its
+// pooled struct is released after encoding.
 func (c *clientIO) runConnWriter(cc *clientConn) {
 	defer c.wg.Done()
-	bw, buffered := cc.conn.(transport.BatchWriter)
+	var mc msgConn
+	mc.bind(cc.conn)
 	for {
 		reply, err := cc.replies.Take(nil)
 		if err != nil {
 			return
 		}
-		if !buffered {
-			if err := cc.conn.WriteFrame(wire.Marshal(reply)); err != nil {
-				return
-			}
-			continue
-		}
-		if err := bw.WriteFrameNoFlush(wire.Marshal(reply)); err != nil {
+		werr := mc.write(reply)
+		wire.Release(reply)
+		if werr != nil {
 			return
 		}
-		for {
-			next, ok := cc.replies.TryTake()
-			if !ok {
-				break
+		if mc.buffered() {
+			for {
+				next, ok := cc.replies.TryTake()
+				if !ok {
+					break
+				}
+				werr = mc.write(next)
+				wire.Release(next)
+				if werr != nil {
+					return
+				}
 			}
-			if err := bw.WriteFrameNoFlush(wire.Marshal(next)); err != nil {
+			if err := mc.flush(); err != nil {
 				return
 			}
-		}
-		if err := bw.Flush(); err != nil {
-			return
 		}
 	}
 }
 
 // runWorker is one ClientIO thread: deserialize, consult the reply cache,
-// and either answer directly or push the request toward the Batcher.
+// and either answer directly or push the request toward the Batcher. The
+// worker owns the frame buffer: a request bound for the Batcher is Retained
+// (its payload copied out) before the frame is recycled; a request answered
+// or dropped here dies with it and its struct goes back to the pool.
 func (c *clientIO) runWorker(q *queue.Bounded[clientWork], th *profiling.Thread) {
 	defer c.wg.Done()
 	th.Transition(profiling.StateBusy)
@@ -161,18 +173,28 @@ func (c *clientIO) runWorker(q *queue.Bounded[clientWork], th *profiling.Thread)
 		}
 		msg, err := wire.Unmarshal(work.frame)
 		if err != nil {
+			transport.RecycleFrame(work.frame, work.pooled)
 			continue // malformed frame: drop
 		}
 		req, ok := msg.(*wire.ClientRequest)
 		if !ok {
+			wire.Release(msg)
+			transport.RecycleFrame(work.frame, work.pooled)
 			continue
 		}
-		c.handleRequest(req, work.cc, th)
+		enqueued := c.handleRequest(req, work.cc, th)
+		transport.RecycleFrame(work.frame, work.pooled)
+		if !enqueued {
+			wire.Release(req)
+		}
 	}
 }
 
-// handleRequest implements the per-request ClientIO logic of Sec. III-B.
-func (c *clientIO) handleRequest(req *wire.ClientRequest, cc *clientConn, th *profiling.Thread) {
+// handleRequest implements the per-request ClientIO logic of Sec. III-B. It
+// reports whether req was handed to the Batcher pipeline (which then owns
+// the struct until the batch encode); a false return leaves the caller
+// owning a request whose payload still borrows from the frame.
+func (c *clientIO) handleRequest(req *wire.ClientRequest, cc *clientConn, th *profiling.Thread) bool {
 	r := c.r
 	// Remember where to send this client's replies.
 	r.registry.set(req.ClientID, cc)
@@ -180,13 +202,13 @@ func (c *clientIO) handleRequest(req *wire.ClientRequest, cc *clientConn, th *pr
 	cached, status := r.replyCache.Lookup(th, req.ClientID, req.Seq)
 	switch status {
 	case replycache.StatusCached:
-		c.reply(cc, &wire.ClientReply{
-			ClientID: req.ClientID, Seq: req.Seq, OK: true,
-			Redirect: wire.NoRedirect, Payload: cached,
-		})
-		return
+		reply := wire.NewClientReply()
+		reply.ClientID, reply.Seq = req.ClientID, req.Seq
+		reply.OK, reply.Redirect, reply.Payload = true, wire.NoRedirect, cached
+		c.reply(cc, reply)
+		return false
 	case replycache.StatusStale:
-		return // older than the last executed request: nothing to say
+		return false // older than the last executed request: nothing to say
 	case replycache.StatusNew:
 	}
 	// Route to an ordering group by conflict key, then gate on that group's
@@ -194,22 +216,26 @@ func (c *clientIO) handleRequest(req *wire.ClientRequest, cc *clientConn, th *pr
 	// redirects correct even when views drift apart).
 	g := r.groups[r.groupFor(req.Payload)]
 	if !g.isLeader.Load() {
-		c.reply(cc, &wire.ClientReply{
-			ClientID: req.ClientID, Seq: req.Seq, OK: false,
-			Redirect: g.leaderHint.Load(),
-		})
+		reply := wire.NewClientReply()
+		reply.ClientID, reply.Seq = req.ClientID, req.Seq
+		reply.Redirect = g.leaderHint.Load()
+		c.reply(cc, reply)
 		// Wake the group's Protocol thread: if its view lags group 0's
 		// (a missed suspicion), the wake-up lets it re-synchronize and —
 		// when this replica leads the current view — claim the group, so
 		// clients are not bounced to a dead leader forever.
 		_, _ = g.dispatchQ.TryPut(event{kind: evProposalReady})
-		return
+		return false
 	}
+	// The request outlives the frame from here (RequestQueue → Batcher):
+	// copy the payload out before the caller recycles the frame.
+	wire.Retain(req)
 	// Blocking put: backpressure propagates to this worker, then to the
 	// connection readers feeding it (Sec. V-E).
 	if err := g.requestQ.Put(th, req); err != nil {
-		return
+		return false // queue closed on shutdown; the caller reclaims the struct
 	}
+	return true
 }
 
 // reply enqueues a reply without blocking; a stalled client loses replies
@@ -217,6 +243,8 @@ func (c *clientIO) handleRequest(req *wire.ClientRequest, cc *clientConn, th *pr
 func (c *clientIO) reply(cc *clientConn, reply *wire.ClientReply) {
 	if ok, _ := cc.replies.TryPut(reply); ok {
 		c.r.repliesSent.Add(1)
+	} else {
+		wire.Release(reply)
 	}
 }
 

@@ -72,6 +72,10 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 		switch ev.kind {
 		case evPeerMsg:
 			apply(node.HandleMessage(ev.from, ev.msg))
+			// The reader Retained the message before dispatch, so the state
+			// machine kept only owned memory (log values, snapshot bytes);
+			// the struct itself is dead now and goes back to its pool.
+			wire.Release(ev.msg)
 		case evSuspect:
 			// The shared failure detector suspects the leader of group 0's
 			// view ev.view. Each group maps the suspicion onto its own view:

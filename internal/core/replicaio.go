@@ -231,6 +231,12 @@ func (io *replicaIO) runDialer(peer int) {
 // touch the failure detector, and dispatch to the owning group's Protocol
 // thread (GroupMsg envelopes demultiplex the shared connection; bare
 // consensus messages belong to group 0, the pre-group wire format).
+//
+// Ownership: the frame buffer is pooled, the decoded message borrows from
+// it, and the dispatched event outlives this loop iteration — so the reader
+// Retains the message (copying only the byte fields the Protocol thread
+// will store, e.g. a Propose's batch) and recycles the frame immediately.
+// The Protocol thread Releases the message struct after handling it.
 func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 	defer io.wg.Done()
 	th.Transition(profiling.StateBusy)
@@ -242,7 +248,7 @@ func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 		if !ok {
 			return
 		}
-		frame, err := conn.ReadFrame()
+		frame, pooled, err := transport.ReadFrameOwned(conn)
 		th.Transition(profiling.StateBusy)
 		if err != nil {
 			link.fail(gen)
@@ -250,16 +256,22 @@ func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 		}
 		msg, err := wire.Unmarshal(frame)
 		if err != nil {
+			transport.RecycleFrame(frame, pooled)
 			continue
 		}
 		group := 0
 		if gm, ok := msg.(*wire.GroupMsg); ok {
 			group = int(gm.Group)
 			msg = gm.Msg
+			wire.Release(gm) // envelope consumed; the wrapped message lives on
 			if group < 0 || group >= len(io.r.groups) {
+				wire.Release(msg)
+				transport.RecycleFrame(frame, pooled)
 				continue // unknown group: misconfigured peer; drop
 			}
 		}
+		wire.Retain(msg)
+		transport.RecycleFrame(frame, pooled)
 		io.r.detector.TouchRecv(peer)
 		if err := io.r.groups[group].dispatchQ.Put(th, event{kind: evPeerMsg, from: peer, msg: msg}); err != nil {
 			return
@@ -267,18 +279,24 @@ func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 	}
 }
 
+
 // runSender is the ReplicaIOSnd thread for one peer: take from the
 // SendQueue, serialize, write. When the transport buffers writes
 // (transport.BatchWriter), the sender keeps draining the queue without
 // flushing and flushes only once the queue is empty, so a burst of
 // back-to-back frames — a window's worth of Proposes, a batch of Accepts —
-// coalesces into one syscall instead of one per message.
+// coalesces into one syscall instead of one per message. With the
+// zero-copy extension (transport.MessageWriter) each message is encoded
+// straight into the transport's write buffer; otherwise it is encoded into
+// a per-sender scratch buffer reused across messages — either way the hot
+// send path allocates nothing.
 func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
 	defer io.wg.Done()
 	th.Transition(profiling.StateBusy)
 	defer th.Transition(profiling.StateOther)
 	link := io.links[peer]
 	q := io.r.sendQ[peer]
+	var mc msgConn
 	for {
 		msg, err := q.Take(th)
 		if err != nil {
@@ -289,21 +307,21 @@ func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
 		if !ok {
 			return
 		}
-		bw, buffered := conn.(transport.BatchWriter)
-		werr := writeMsg(conn, bw, buffered, msg)
-		if werr == nil && buffered {
+		mc.bind(conn)
+		werr := mc.write(msg)
+		if werr == nil && mc.buffered() {
 			// Drain the backlog into the write buffer before flushing.
 			for {
 				next, ok := q.TryTake()
 				if !ok {
 					break
 				}
-				if werr = writeMsg(conn, bw, true, next); werr != nil {
+				if werr = mc.write(next); werr != nil {
 					break
 				}
 			}
 			if werr == nil {
-				werr = bw.Flush()
+				werr = mc.flush()
 			}
 		}
 		th.Transition(profiling.StateBusy)
@@ -315,13 +333,56 @@ func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
 	}
 }
 
-// writeMsg serializes and writes one message, buffered when supported.
-func writeMsg(conn transport.FrameConn, bw transport.BatchWriter, buffered bool, msg wire.Message) error {
-	frame := wire.Marshal(msg)
-	if buffered {
-		return bw.WriteFrameNoFlush(frame)
+// msgConn wraps one connection with the best available write path: direct
+// message encoding (MessageWriter), buffered frames (BatchWriter, via a
+// reused scratch buffer), or eager frames. The scratch persists across
+// reconnects; bind is cheap for an unchanged connection.
+type msgConn struct {
+	conn    transport.FrameConn
+	mw      transport.MessageWriter
+	bw      transport.BatchWriter
+	scratch []byte
+}
+
+// bind points the writer at conn, re-detecting the extensions only when the
+// connection changed.
+func (m *msgConn) bind(conn transport.FrameConn) {
+	if conn == m.conn {
+		return
 	}
-	return conn.WriteFrame(frame)
+	m.conn = conn
+	m.mw, _ = conn.(transport.MessageWriter)
+	m.bw, _ = conn.(transport.BatchWriter)
+}
+
+// buffered reports whether writes are staged until flush.
+func (m *msgConn) buffered() bool { return m.mw != nil || m.bw != nil }
+
+// write encodes and stages (or eagerly sends) one message.
+func (m *msgConn) write(msg wire.Message) error {
+	if m.mw != nil {
+		return m.mw.WriteMessageNoFlush(msg)
+	}
+	m.scratch = wire.AppendMessage(m.scratch[:0], msg)
+	var err error
+	if m.bw != nil {
+		err = m.bw.WriteFrameNoFlush(m.scratch)
+	} else {
+		err = m.conn.WriteFrame(m.scratch)
+	}
+	m.scratch = transport.TrimScratch(m.scratch)
+	return err
+}
+
+// flush pushes staged messages to the wire.
+func (m *msgConn) flush() error {
+	if m.mw != nil {
+		return m.mw.Flush()
+	}
+	if m.bw != nil {
+		return m.bw.Flush()
+	}
+	return nil
 }
 
 // close tears down the module and waits for all its goroutines.

@@ -39,6 +39,12 @@ func (r *Replica) runServiceManager() {
 	th.Transition(profiling.StateBusy)
 	defer th.Transition(profiling.StateOther)
 
+	// reqScratch is the deliver path's reused decode storage: the slice
+	// cycles across batches and the request structs come from the shared
+	// pool, released by whichever execution path finishes with each one.
+	// Payloads borrow from the batch value, which the replicated log owns
+	// and never mutates.
+	var reqScratch []*wire.ClientRequest
 	for {
 		item, err := r.decisionQ.Take(th)
 		if err != nil {
@@ -48,15 +54,17 @@ func (r *Replica) runServiceManager() {
 			r.installSnapshot(th, item.snapshot)
 			continue
 		}
-		reqs, err := wire.DecodeBatch(item.value)
+		reqs, err := wire.DecodeBatchInto(reqScratch, item.value)
 		if err != nil {
 			continue // corrupt batch cannot happen with our own leader; skip
 		}
+		reqScratch = reqs
 		if len(reqs) > 0 {
 			r.decidedMerged.Add(1)
 		}
-		for _, req := range reqs {
+		for i, req := range reqs {
 			r.scheduleOne(th, req)
+			reqs[i] = nil
 		}
 		r.maybeSnapshot(th, item.id)
 	}
@@ -75,21 +83,28 @@ func (r *Replica) scheduleOne(th *profiling.Thread, req *wire.ClientRequest) {
 	switch {
 	case !seen || req.Seq > last.seq:
 		// New request: execute. Record the worker so a later duplicate can
-		// be ordered behind this execution.
+		// be ordered behind this execution. The executed closure owns the
+		// pooled request struct and releases it when done — in inline mode
+		// that happens during Submit, so the scheduler reads its copy of
+		// the identity fields, never the struct, afterwards.
+		clientID, seq := req.ClientID, req.Seq
 		w := r.exec.Submit(th, req.Payload, func(wth *profiling.Thread) {
 			r.executeNew(wth, req)
+			wire.Release(req)
 		})
-		r.execSeq[req.ClientID] = schedEntry{seq: req.Seq, worker: w}
+		r.execSeq[clientID] = schedEntry{seq: seq, worker: w}
 	case req.Seq == last.seq:
 		// Duplicate of the client's most recent request (e.g. a retry that
 		// got ordered twice): do not re-execute; resend the cached reply,
 		// ordered behind the original execution on its worker.
 		r.exec.SubmitTo(th, last.worker, func(wth *profiling.Thread) {
 			r.resendCached(wth, req)
+			wire.Release(req)
 		})
 	default:
 		// Stale: older than the client's most recent request. The reply is
 		// gone; ignore.
+		wire.Release(req)
 	}
 }
 
@@ -126,12 +141,13 @@ func (r *Replica) sendReply(req *wire.ClientRequest, reply []byte) {
 	if cc == nil {
 		return // client not connected here (we may be a follower)
 	}
-	out := &wire.ClientReply{
-		ClientID: req.ClientID, Seq: req.Seq, OK: true,
-		Redirect: wire.NoRedirect, Payload: reply,
-	}
+	out := wire.NewClientReply()
+	out.ClientID, out.Seq = req.ClientID, req.Seq
+	out.OK, out.Redirect, out.Payload = true, wire.NoRedirect, reply
 	if ok, _ := cc.replies.TryPut(out); ok {
 		r.repliesSent.Add(1)
+	} else {
+		wire.Release(out)
 	}
 }
 

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"gosmr/internal/wal"
+	"gosmr/internal/wire"
+)
+
+// BenchJSON is the machine-readable perf snapshot gosmr-bench emits (the
+// BENCH_PR4.json artifact): decided-batch throughput of the real pipeline
+// plus allocs/op of the codec hot paths, so successive PRs can diff
+// performance numerically instead of eyeballing reports.
+type BenchJSON struct {
+	Schema string `json:"schema"` // "gosmr-bench/pr4"
+
+	// GroupScaling: decided-batch throughput per (groups, window, conflict)
+	// cell with the speedup vs the single-group cell.
+	GroupScaling []GroupScalingJSON `json:"group_scaling"`
+
+	// Durability: decided-batch throughput per WAL sync policy and the
+	// group-commit ratio (batch vs none).
+	Durability     []DurabilityJSON `json:"durability"`
+	BatchNoneRatio float64          `json:"durability_batch_none_ratio"`
+
+	// AllocsPerOp: steady-state allocations per operation on the encode and
+	// decode/deliver hot paths (the PR 4 acceptance metric: encode 0,
+	// decode <= 2).
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+}
+
+// GroupScalingJSON is one group-scaling cell.
+type GroupScalingJSON struct {
+	Groups      int     `json:"groups"`
+	Window      int     `json:"window"`
+	ConflictPct int     `json:"conflict_pct"`
+	BatchesPerS float64 `json:"decided_batches_per_sec"`
+	Speedup     float64 `json:"speedup_vs_one_group"`
+}
+
+// DurabilityJSON is one durability cell.
+type DurabilityJSON struct {
+	Policy      string  `json:"policy"`
+	BatchesPerS float64 `json:"decided_batches_per_sec"`
+}
+
+// allocsPerOp measures steady-state heap allocations of one call to f
+// (testing.AllocsPerRun without importing testing into the binary).
+func allocsPerOp(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm pools and scratch capacity
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for range runs {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// codecAllocs probes the wire codec's hot paths.
+func codecAllocs() map[string]float64 {
+	out := map[string]float64{}
+	propose := &wire.Propose{View: 3, ID: 42, DecidedUpTo: 41, Value: make([]byte, 1300)}
+	grouped := &wire.GroupMsg{Group: 2, Msg: propose}
+	reqs := []*wire.ClientRequest{
+		{ClientID: 1, Seq: 1, Payload: make([]byte, 128)},
+		{ClientID: 2, Seq: 7, Payload: make([]byte, 128)},
+	}
+	buf := make([]byte, 0, 4096)
+	out["encode_propose"] = allocsPerOp(200, func() { buf = wire.AppendMessage(buf[:0], propose) })
+	out["encode_groupmsg_propose"] = allocsPerOp(200, func() { buf = wire.AppendMessage(buf[:0], grouped) })
+	out["encode_batch"] = allocsPerOp(200, func() { buf = wire.AppendBatch(buf[:0], reqs) })
+
+	proposeFrame := wire.Marshal(propose)
+	acceptFrame := wire.Marshal(&wire.Accept{View: 3, ID: 42})
+	batchValue := wire.EncodeBatch(reqs)
+	out["decode_propose_release"] = allocsPerOp(200, func() {
+		m, err := wire.Unmarshal(proposeFrame)
+		if err != nil {
+			panic(err)
+		}
+		wire.Release(m)
+	})
+	out["decode_accept_release"] = allocsPerOp(200, func() {
+		m, err := wire.Unmarshal(acceptFrame)
+		if err != nil {
+			panic(err)
+		}
+		wire.Release(m)
+	})
+	var scratch []*wire.ClientRequest
+	out["decode_batch_into_release"] = allocsPerOp(200, func() {
+		var err error
+		scratch, err = wire.DecodeBatchInto(scratch, batchValue)
+		if err != nil {
+			panic(err)
+		}
+		for _, r := range scratch {
+			wire.Release(r)
+		}
+	})
+	return out
+}
+
+// walAppendAllocs probes the WAL's append hot path (pending-buffer double
+// buffering): steady-state appends should not allocate.
+func walAppendAllocs() (float64, error) {
+	dir, err := os.MkdirTemp("", "gosmr-bench-wal")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	w, _, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNone})
+	if err != nil {
+		return 0, err
+	}
+	defer w.Close()
+	rec := wal.Record{Type: wal.RecAccept, ID: 1, View: 1, Value: make([]byte, 1300)}
+	// Warm until the pending buffer has grown to its steady size.
+	for range 64 {
+		w.Append(rec)
+	}
+	w.Sync()
+	i := 0
+	got := allocsPerOp(200, func() {
+		rec.ID = wire.InstanceID(i)
+		i++
+		w.Append(rec)
+		if i%16 == 0 {
+			w.Sync() // drain so the buffer cycles like under the real Syncer
+		}
+	})
+	return got, nil
+}
+
+// BenchSnapshot runs the PR 4 perf suite — group-scaling and durability
+// sweeps on the real pipeline plus the codec/WAL alloc probes — and returns
+// the JSON payload.
+func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions) (BenchJSON, GroupResult, DurabilityResult, error) {
+	out := BenchJSON{Schema: "gosmr-bench/pr4", AllocsPerOp: codecAllocs()}
+	if wa, err := walAppendAllocs(); err == nil {
+		out.AllocsPerOp["wal_append"] = wa
+	}
+
+	gr := GroupScaling(gOpts)
+	for _, c := range gr.Cells {
+		out.GroupScaling = append(out.GroupScaling, GroupScalingJSON{
+			Groups:      c.Groups,
+			Window:      c.Window,
+			ConflictPct: c.ConflictPct,
+			BatchesPerS: c.Batches,
+			Speedup:     gr.Speedup(c.Groups, c.Window, c.ConflictPct),
+		})
+	}
+
+	if dOpts.Dir == "" {
+		dir, err := os.MkdirTemp("", "gosmr-bench-durability")
+		if err != nil {
+			return out, gr, DurabilityResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		dOpts.Dir = dir
+	}
+	dr, err := DurabilitySmoke(dOpts)
+	if err != nil {
+		return out, gr, dr, err
+	}
+	for _, c := range dr.Cells {
+		out.Durability = append(out.Durability, DurabilityJSON{
+			Policy:      c.Policy.String(),
+			BatchesPerS: c.Batches,
+		})
+	}
+	out.BatchNoneRatio = dr.Ratio(wal.SyncBatch)
+	return out, gr, dr, nil
+}
+
+// WriteBenchJSON writes the snapshot to path (indented, trailing newline).
+func WriteBenchJSON(path string, r BenchJSON) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: marshal bench json: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -7,6 +7,15 @@
 // concurrent use: the paper's architecture gives the Protocol thread
 // exclusive write access to the replicated log (Sec. V-C2), which is what
 // makes the core thread-safe without locks.
+//
+// Value ownership: the log stores the []byte values it is handed (Accept,
+// MarkDecided, RestoreEntry) without copying, retains them until truncation,
+// and shares them freely — with PrepareOK/catch-up responses, the decision
+// stream, and the WAL journal. Callers must therefore hand it OWNED,
+// immutable memory, never a transport frame that will be recycled: the
+// Protocol thread's reader Retains value-carrying messages (see wire.Retain)
+// before they reach the log. This is the storage end of the wire package's
+// borrow/retain rule.
 package storage
 
 import (

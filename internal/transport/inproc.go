@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"gosmr/internal/wire"
 )
 
 // Inproc errors.
@@ -167,6 +169,16 @@ type inprocConn struct {
 	closed     chan struct{}   // our closed signal
 	peerClosed chan struct{}   // peer's closed signal
 	once       sync.Once
+
+	// pending stages frames between WriteFrameNoFlush/WriteMessageNoFlush
+	// and Flush, mirroring the TCP transport's write buffer so in-proc
+	// sweeps exercise the same coalescing send path as real TCP. The
+	// staged buffers come from the shared frame pool; pendMu lets Close
+	// (any goroutine) reclaim them under the single-writer contract, and
+	// pendSpare double-buffers the slice across flushes.
+	pendMu    sync.Mutex
+	pending   [][]byte
+	pendSpare [][]byte
 }
 
 // newInprocPair builds both endpoints of a connection.
@@ -182,11 +194,101 @@ func newInprocPair(n *Inproc, addrA, addrB string) (a, b *inprocConn) {
 	return a, b
 }
 
+var (
+	_ BatchWriter   = (*inprocConn)(nil)
+	_ MessageWriter = (*inprocConn)(nil)
+	_ PooledReader  = (*inprocConn)(nil)
+)
+
 func (c *inprocConn) WriteFrame(frame []byte) error {
+	if err := c.WriteFrameNoFlush(frame); err != nil {
+		return err
+	}
+	return c.Flush()
+}
+
+// WriteFrameNoFlush implements BatchWriter: the frame is copied into a
+// pooled buffer (the caller may reuse its own) and staged until Flush.
+func (c *inprocConn) WriteFrameNoFlush(frame []byte) error {
+	cp := GetFrameBuf(len(frame))
+	copy(cp, frame)
+	c.stage(cp)
+	return nil
+}
+
+// WriteMessageNoFlush implements MessageWriter: the message is encoded once,
+// directly into a pooled buffer that becomes the delivered frame — the
+// in-proc equivalent of encoding into the TCP write buffer.
+func (c *inprocConn) WriteMessageNoFlush(m wire.Message) error {
+	n := wire.Size(m)
+	if n > wire.MaxFrameSize {
+		return wire.ErrFrameTooBig
+	}
+	buf := GetFrameBuf(n)
+	buf = wire.AppendMessage(buf[:0], m)
+	c.stage(buf)
+	return nil
+}
+
+// stage appends one owned frame to the pending batch.
+func (c *inprocConn) stage(frame []byte) {
+	c.pendMu.Lock()
+	c.pending = append(c.pending, frame)
+	c.pendMu.Unlock()
+}
+
+// takePending detaches the staged batch (double-buffering the slice).
+func (c *inprocConn) takePending() [][]byte {
+	c.pendMu.Lock()
+	pending := c.pending
+	c.pending = c.pendSpare[:0]
+	c.pendSpare = nil
+	c.pendMu.Unlock()
+	return pending
+}
+
+// returnPending hands the drained slice back for reuse.
+func (c *inprocConn) returnPending(pending [][]byte) {
+	c.pendMu.Lock()
+	if c.pendSpare == nil {
+		c.pendSpare = pending[:0]
+	}
+	c.pendMu.Unlock()
+}
+
+// Flush implements BatchWriter/MessageWriter: every staged frame is pushed
+// through fault injection, stamped with the delivery delay, and enqueued at
+// the peer in order.
+func (c *inprocConn) Flush() error {
+	pending := c.takePending()
+	if len(pending) == 0 {
+		c.returnPending(pending)
+		return nil
+	}
+	for i, frame := range pending {
+		pending[i] = nil
+		if err := c.deliverFrame(frame); err != nil {
+			// Undelivered frames are ours to recycle; delivered ones belong
+			// to the receiver now.
+			for _, rest := range pending[i+1:] {
+				PutFrameBuf(rest)
+			}
+			c.returnPending(pending)
+			return err
+		}
+	}
+	c.returnPending(pending)
+	return nil
+}
+
+// deliverFrame hands one staged frame (ownership included) to the peer.
+func (c *inprocConn) deliverFrame(frame []byte) error {
 	select {
 	case <-c.closed:
+		PutFrameBuf(frame)
 		return ErrConnClosed
 	case <-c.peerClosed:
+		PutFrameBuf(frame)
 		return ErrConnClosed
 	default:
 	}
@@ -194,25 +296,32 @@ func (c *inprocConn) WriteFrame(frame []byte) error {
 	if f := c.net.getFault(); f != nil {
 		drop, duplicate := f(c.localAddr, c.remoteAddr, frame)
 		if drop {
-			return nil // silently lost in the network
+			PutFrameBuf(frame) // silently lost in the network
+			return nil
 		}
 		if duplicate {
 			dup = 2
 		}
 	}
-	// Copy at the boundary: the caller may reuse its buffer.
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
-	tf := timedFrame{b: cp}
+	var at time.Time
 	if d := c.net.getDelay(); d > 0 {
-		tf.at = time.Now().Add(d)
+		at = time.Now().Add(d)
 	}
-	for range dup {
+	for i := range dup {
+		b := frame
+		if i > 0 {
+			// Each delivery owns its bytes: a duplicated frame must not
+			// alias the first copy, which the receiver may recycle.
+			b = GetFrameBuf(len(frame))
+			copy(b, frame)
+		}
 		select {
-		case c.peerIn <- tf:
+		case c.peerIn <- timedFrame{at: at, b: b}:
 		case <-c.closed:
+			PutFrameBuf(b)
 			return ErrConnClosed
 		case <-c.peerClosed:
+			PutFrameBuf(b)
 			return ErrConnClosed
 		}
 	}
@@ -253,8 +362,19 @@ func (c *inprocConn) ReadFrame() ([]byte, error) {
 	}
 }
 
+// ReadFramePooled implements PooledReader. Delivered frames already live in
+// buffers the reader owns, so this is ReadFrame under the pooled-ownership
+// contract: recycle with PutFrameBuf when done.
+func (c *inprocConn) ReadFramePooled() ([]byte, error) { return c.ReadFrame() }
+
 func (c *inprocConn) Close() error {
-	c.once.Do(func() { close(c.closed) })
+	c.once.Do(func() {
+		close(c.closed)
+		// Reclaim staged-but-never-flushed frames (they are still ours).
+		for _, frame := range c.takePending() {
+			PutFrameBuf(frame)
+		}
+	})
 	return nil
 }
 

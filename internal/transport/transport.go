@@ -7,12 +7,26 @@
 // FrameConn is safe for one concurrent reader plus one concurrent writer —
 // exactly the paper's threading discipline (one reader thread and one sender
 // thread per socket).
+//
+// # Buffer ownership
+//
+// The zero-copy extensions make frame-buffer ownership explicit:
+//
+//   - GetFrameBuf/PutFrameBuf manage a shared pool of frame buffers.
+//   - PooledReader.ReadFramePooled returns a frame the CALLER owns; the
+//     caller recycles it with PutFrameBuf once every borrowed reference
+//     into it is dead or retained (wire.Retain). Never recycle twice.
+//   - MessageWriter.WriteMessageNoFlush encodes a wire.Message directly
+//     into the connection's write buffer — no intermediate frame slice.
 package transport
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
+	"sync"
 	"time"
 
 	"gosmr/internal/wire"
@@ -33,16 +47,41 @@ type FrameConn interface {
 // BatchWriter is the optional coalescing extension of FrameConn: a sender
 // draining a queue writes each frame with WriteFrameNoFlush and calls Flush
 // once the queue is empty, so back-to-back frames share one syscall (and,
-// with TCP_NODELAY, one packet) instead of one each. Implementations whose
-// WriteFrame has no buffering (the in-process transport) simply do not
-// implement it; senders fall back to WriteFrame.
+// with TCP_NODELAY, one packet) instead of one each. Both built-in
+// transports implement it; external FrameConns that do not buffer simply
+// skip it and senders fall back to WriteFrame.
 type BatchWriter interface {
 	// WriteFrameNoFlush buffers one frame without forcing it onto the wire.
 	// The frame is sent no later than the next Flush (or when the internal
-	// buffer fills). Not safe for concurrent writers.
+	// buffer fills). The implementation must copy (or fully consume) frame
+	// before returning — callers encode into a reused scratch buffer and
+	// rewrite it immediately, so retaining the slice corrupts later frames.
+	// Not safe for concurrent writers.
 	WriteFrameNoFlush(frame []byte) error
 	// Flush pushes all buffered frames to the wire.
 	Flush() error
+}
+
+// MessageWriter is the zero-copy extension of BatchWriter: the sender hands
+// over the wire.Message itself and the transport encodes it straight into
+// its write buffer (wire.AppendMessage), skipping the intermediate frame
+// slice entirely. Like the rest of the write API it is single-writer.
+type MessageWriter interface {
+	// WriteMessageNoFlush encodes m directly into the connection's write
+	// buffer. The message is sent no later than the next Flush.
+	WriteMessageNoFlush(m wire.Message) error
+	// Flush pushes all buffered frames to the wire.
+	Flush() error
+}
+
+// PooledReader is the zero-copy read extension: frames are returned in
+// pooled buffers the caller owns and recycles with PutFrameBuf.
+type PooledReader interface {
+	// ReadFramePooled reads one frame into a pooled buffer. The caller owns
+	// the returned slice; once every reference into it is dead or retained
+	// it should be handed back with PutFrameBuf. Not safe for concurrent
+	// readers.
+	ReadFramePooled() ([]byte, error)
 }
 
 // Listener accepts inbound FrameConns.
@@ -57,6 +96,86 @@ type Network interface {
 	Listen(addr string) (Listener, error)
 	Dial(addr string) (FrameConn, error)
 }
+
+// ---------------------------------------------------------------------------
+// Frame buffer pool.
+
+// maxPooledFrame caps the buffers the pool retains: the occasional giant
+// frame (a snapshot transfer) is better garbage collected than pinned.
+const maxPooledFrame = 64 << 10
+
+// maxRetainedScratch caps the per-connection encode scratch for the same
+// reason (it only sees frames too large for the write buffer).
+const maxRetainedScratch = 1 << 20
+
+// TrimScratch is the one shared policy for reused encode-scratch buffers:
+// it returns b unchanged while its capacity is reasonable and drops it
+// (returns nil) once a one-off giant frame — a snapshot transfer — has
+// grown it past the retention cap, so senders never pin tens of MB.
+func TrimScratch(b []byte) []byte {
+	if cap(b) > maxRetainedScratch {
+		return nil
+	}
+	return b
+}
+
+// frameBuf wraps a slice so pool Put/Get cycles do not allocate; wrappers
+// shuttle between the two pools.
+type frameBuf struct{ b []byte }
+
+var (
+	framePool   = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 2048)} }}
+	wrapperPool = sync.Pool{New: func() any { return new(frameBuf) }}
+)
+
+// GetFrameBuf returns a pooled buffer of length n (growing it if the pooled
+// capacity is short). The caller owns it until PutFrameBuf.
+func GetFrameBuf(n int) []byte {
+	fb := framePool.Get().(*frameBuf)
+	b := fb.b
+	fb.b = nil
+	wrapperPool.Put(fb)
+	if cap(b) < n {
+		b = make([]byte, n)
+	}
+	return b[:n]
+}
+
+// PutFrameBuf recycles b for a later GetFrameBuf. The caller must not touch
+// b afterwards; b must not be recycled twice. Nil and oversized buffers are
+// dropped on the floor (garbage collected).
+func PutFrameBuf(b []byte) {
+	if b == nil || cap(b) > maxPooledFrame {
+		return
+	}
+	fb := wrapperPool.Get().(*frameBuf)
+	fb.b = b[:0]
+	framePool.Put(fb)
+}
+
+// ReadFrameOwned reads one frame from conn, preferring the pooled-buffer
+// extension; pooled reports whether the frame must eventually go back
+// through RecycleFrame. The one reader-loop entry point shared by the
+// replica modules and the client, so the ownership rule lives in one place.
+func ReadFrameOwned(conn FrameConn) (frame []byte, pooled bool, err error) {
+	if pr, ok := conn.(PooledReader); ok {
+		frame, err = pr.ReadFramePooled()
+		return frame, true, err
+	}
+	frame, err = conn.ReadFrame()
+	return frame, false, err
+}
+
+// RecycleFrame returns a fully-consumed frame from ReadFrameOwned to the
+// shared pool.
+func RecycleFrame(frame []byte, pooled bool) {
+	if pooled {
+		PutFrameBuf(frame)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TCP.
 
 // TCP is the production transport, using one TCP connection per peer/client
 // with TCP_NODELAY set (small-request latency matters more than packing,
@@ -109,6 +228,9 @@ type tcpConn struct {
 	c net.Conn
 	r *bufio.Reader
 	w *bufio.Writer
+	// scratch holds the encoding of messages too large for the write
+	// buffer's free space; it is owned by the single writer goroutine.
+	scratch []byte
 }
 
 func newTCPConn(c net.Conn) *tcpConn {
@@ -135,11 +257,60 @@ func (tc *tcpConn) WriteFrameNoFlush(frame []byte) error {
 	return wire.WriteFrame(tc.w, frame)
 }
 
-// Flush implements BatchWriter.
+// WriteMessageNoFlush implements MessageWriter: the message is appended
+// straight into the bufio writer's free space (header + body), so the send
+// path moves each byte exactly once — encoder to socket buffer.
+func (tc *tcpConn) WriteMessageNoFlush(m wire.Message) error {
+	n := wire.Size(m)
+	if n > wire.MaxFrameSize {
+		return wire.ErrFrameTooBig
+	}
+	if 4+n > tc.w.Available() && tc.w.Buffered() > 0 {
+		if err := tc.w.Flush(); err != nil {
+			return err
+		}
+	}
+	if 4+n <= tc.w.Available() {
+		buf := tc.w.AvailableBuffer()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+		buf = wire.AppendMessage(buf, m)
+		_, err := tc.w.Write(buf)
+		return err
+	}
+	// Larger than the whole write buffer: encode once into the reusable
+	// scratch and frame-write it (bufio passes large writes through).
+	tc.scratch = wire.AppendMessage(tc.scratch[:0], m)
+	err := wire.WriteFrame(tc.w, tc.scratch)
+	tc.scratch = TrimScratch(tc.scratch)
+	return err
+}
+
+// Flush implements BatchWriter and MessageWriter.
 func (tc *tcpConn) Flush() error { return tc.w.Flush() }
 
-var _ BatchWriter = (*tcpConn)(nil)
+var (
+	_ BatchWriter   = (*tcpConn)(nil)
+	_ MessageWriter = (*tcpConn)(nil)
+	_ PooledReader  = (*tcpConn)(nil)
+)
 
 func (tc *tcpConn) ReadFrame() ([]byte, error) { return wire.ReadFrame(tc.r) }
-func (tc *tcpConn) Close() error               { return tc.c.Close() }
-func (tc *tcpConn) RemoteAddr() string         { return tc.c.RemoteAddr().String() }
+
+// ReadFramePooled implements PooledReader: the frame is read into a pooled
+// buffer the caller owns and recycles with PutFrameBuf. The framing itself
+// (header width, size validation) stays in the wire package.
+func (tc *tcpConn) ReadFramePooled() ([]byte, error) {
+	n, err := wire.ReadFrameHeader(tc.r)
+	if err != nil {
+		return nil, err
+	}
+	buf := GetFrameBuf(n)
+	if _, err := io.ReadFull(tc.r, buf); err != nil {
+		PutFrameBuf(buf)
+		return nil, fmt.Errorf("transport: read frame payload: %w", err)
+	}
+	return buf, nil
+}
+
+func (tc *tcpConn) Close() error       { return tc.c.Close() }
+func (tc *tcpConn) RemoteAddr() string { return tc.c.RemoteAddr().String() }

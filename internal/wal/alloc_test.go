@@ -1,0 +1,36 @@
+package wal
+
+import (
+	"testing"
+
+	"gosmr/internal/wire"
+)
+
+// TestAppendHotPathAllocs enforces the PR 4 acceptance budget on the WAL's
+// journaling hot path: steady-state Append must not allocate (the pending
+// buffer and its drained spare double-buffer each other). SyncAlways keeps
+// the whole append→drain→write cycle on this goroutine, so the measurement
+// is deterministic; the budget of 1 absorbs the occasional buffer regrowth
+// after a capacity miss.
+func TestAppendHotPathAllocs(t *testing.T) {
+	w, _, err := Open(Options{Dir: t.TempDir(), Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	rec := Record{Type: RecAccept, ID: 0, View: 1, Value: make([]byte, 1300)}
+	// Warm: grow the pending buffer and its spare to steady size.
+	for i := range 32 {
+		rec.ID = wire.InstanceID(i)
+		w.Append(rec)
+	}
+	i := 0
+	got := testing.AllocsPerRun(150, func() {
+		rec.ID = wire.InstanceID(i)
+		i++
+		w.Append(rec)
+	})
+	if got > 1 {
+		t.Errorf("WAL.Append allocates %.1f allocs/op, budget 1", got)
+	}
+}

@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// filePipeline prepares the next segment file ahead of time, off the fsync
+// path (the etcd wal.filePipeline idea): while the WAL appends to segment N,
+// a background goroutine keeps segment N+1's file ready — preallocated to
+// the segment size and guaranteed zero-filled — so a roll is a rename plus a
+// header write instead of create + block allocation inside the group-commit
+// loop. Files freed by Checkpoint are recycled into spares: their blocks are
+// released and reallocated (Truncate(0) + preallocate), which both reuses
+// the GC'd inode and — critically — guarantees the recycled file reads as
+// zeros past whatever the new incarnation writes. Replay relies on that: a
+// scan of the active segment stops at the zero tail, so stale records from
+// the file's previous life can never resurrect.
+//
+// The pipeline is strictly an optimization: if it falls behind (or died on
+// a disk error) the roll falls back to the direct-create path.
+type filePipeline struct {
+	dir  string
+	size int64
+	sync bool // fsync prepared spares (off under SyncNone)
+
+	recycle chan string // GC'd segment paths offered by Checkpoint
+	ready   chan string // prepared spare paths, consumed by rollLocked
+	stopc   chan struct{}
+	done    chan struct{}
+	n       int // spare name counter
+}
+
+// spareName formats a prepared-file name. The ".tmp" suffix keeps spares
+// invisible to the segment scan; Open removes leftovers (their preparation
+// state is unknown after a crash).
+func spareName(n int) string { return fmt.Sprintf("spare-%d.tmp", n) }
+
+// isSpareName reports whether a directory entry is a pipeline spare.
+func isSpareName(name string) bool {
+	return strings.HasPrefix(name, "spare-") && strings.HasSuffix(name, ".tmp")
+}
+
+// newFilePipeline starts the preparation goroutine with room for `spares`
+// ready files (the "create N+1 ahead" depth).
+func newFilePipeline(dir string, size int64, spares int, sync bool) *filePipeline {
+	p := &filePipeline{
+		dir:     dir,
+		size:    size,
+		sync:    sync,
+		recycle: make(chan string, spares+1),
+		ready:   make(chan string, spares),
+		stopc:   make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// run keeps the ready channel stocked until stopped.
+func (p *filePipeline) run() {
+	defer close(p.done)
+	for {
+		path, err := p.prepareOne()
+		if err != nil {
+			// Disk trouble preparing ahead is not fatal: rolls fall back to
+			// direct creation, which reports errors where they matter.
+			return
+		}
+		select {
+		case p.ready <- path:
+		case <-p.stopc:
+			_ = os.Remove(path)
+			return
+		}
+	}
+}
+
+// prepareOne produces one zeroed, preallocated spare — recycling a GC'd
+// segment when one is queued, creating a fresh file otherwise.
+func (p *filePipeline) prepareOne() (string, error) {
+	var src string
+	select {
+	case src = <-p.recycle:
+	case <-p.stopc:
+		return "", os.ErrClosed
+	default:
+	}
+	spare := filepath.Join(p.dir, spareName(p.n))
+	p.n++
+	if src != "" {
+		// Reuse the GC'd file's inode. A concurrent second Checkpoint may
+		// have removed it already; fall through to plain creation then.
+		if err := os.Rename(src, spare); err != nil {
+			src = ""
+		}
+	}
+	f, err := os.OpenFile(spare, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return "", err
+	}
+	// Discard any previous contents, then preallocate: the resulting file
+	// reads as zeros everywhere it has not been rewritten, even after a
+	// crash (truncation and block allocation are journaled metadata).
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := preallocate(f, p.size); err != nil {
+		f.Close()
+		return "", err
+	}
+	if p.sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return "", err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return spare, nil
+}
+
+// take returns a prepared spare path if one is ready (never blocks the
+// caller — the Protocol thread's fsync loop).
+func (p *filePipeline) take() (string, bool) {
+	select {
+	case path := <-p.ready:
+		return path, true
+	default:
+		return "", false
+	}
+}
+
+// offerRecycle queues a GC'd segment for reuse; false means the queue is
+// full and the caller should just remove the file.
+func (p *filePipeline) offerRecycle(path string) bool {
+	select {
+	case p.recycle <- path:
+		return true
+	default:
+		return false
+	}
+}
+
+// stop shuts the pipeline down and removes files it still owns: prepared
+// spares (unconsumed) and recycled-but-unprocessed segments.
+func (p *filePipeline) stop() {
+	close(p.stopc)
+	<-p.done
+	for {
+		select {
+		case path := <-p.ready:
+			_ = os.Remove(path)
+		case path := <-p.recycle:
+			_ = os.Remove(path)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,26 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// preallocate reserves size bytes for f and extends it to that length; the
+// unwritten range reads as zeros. fallocate allocates real blocks — so the
+// steady-state fsync loop never waits on block allocation — with a sparse
+// fallback for filesystems that do not support it.
+func preallocate(f *os.File, size int64) error {
+	for {
+		err := syscall.Fallocate(int(f.Fd()), 0, 0, size)
+		switch err {
+		case nil:
+			return nil
+		case syscall.EINTR:
+			continue
+		default:
+			return f.Truncate(size)
+		}
+	}
+}

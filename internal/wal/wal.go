@@ -164,6 +164,15 @@ type Options struct {
 	// loaded latency is one bare fsync. Zero keeps the default; negative
 	// disables the floor.
 	MinSyncInterval time.Duration
+	// PreallocSpares is how many segment files a background pipeline keeps
+	// prepared ahead of the writer — preallocated to SegmentBytes and
+	// zero-filled, with files freed by Checkpoint recycled into spares — so
+	// a segment roll is a rename plus header write and the group-commit
+	// fsync loop never pays file creation or block allocation. 0 means the
+	// default of 1 ("create N+1 ahead"); negative disables preallocation
+	// entirely (every roll creates a plain growing file, the pre-PR4
+	// behavior).
+	PreallocSpares int
 	// OnDurable, if non-nil, is called from the Syncer goroutine after each
 	// sync advances the durable watermark. Callbacks must not block for
 	// long and must not call back into the WAL.
@@ -180,10 +189,11 @@ type WAL struct {
 	minSync  time.Duration
 	onSync   func(int64)
 
-	// mu guards buf and appended: the only state Append touches.
+	// mu guards buf, spare and appended: the only state Append touches.
 	mu       sync.Mutex
 	buf      []byte
-	appended int64 // total encoded bytes handed to Append this run
+	spare    []byte // drained buffer cycled back for reuse (double buffering)
+	appended int64  // total encoded bytes handed to Append this run
 
 	durable atomic.Int64 // appended bytes known flushed (and fsynced, unless SyncNone)
 
@@ -191,8 +201,13 @@ type WAL struct {
 	// SyncAlways appends, and Close.
 	fileMu   sync.Mutex
 	f        *os.File
-	fileSize int64
-	seq      int // current segment sequence number
+	fileSize int64 // logical size: header + records written this incarnation
+	prealloc bool  // current segment is preallocated (physical size > logical)
+	seq      int   // current segment sequence number
+
+	// pipeline prepares the next segment file ahead of the writer (nil when
+	// preallocation is disabled).
+	pipeline *filePipeline
 
 	wake   chan struct{}
 	stopc  chan struct{}
@@ -227,9 +242,26 @@ func Open(opts Options) (*WAL, []Record, error) {
 		wake:     make(chan struct{}, 1),
 		stopc:    make(chan struct{}),
 	}
+	// Leftover pipeline spares are in an unknown preparation state after a
+	// crash (their zero fill may not be durable): discard them before
+	// anything else, so a stale spare can never be renamed into a segment.
+	if entries, err := os.ReadDir(opts.Dir); err == nil {
+		for _, e := range entries {
+			if isSpareName(e.Name()) {
+				_ = os.Remove(filepath.Join(opts.Dir, e.Name()))
+			}
+		}
+	}
 	recs, err := w.replay()
 	if err != nil {
 		return nil, nil, err
+	}
+	if opts.PreallocSpares >= 0 {
+		spares := opts.PreallocSpares
+		if spares == 0 {
+			spares = 1
+		}
+		w.pipeline = newFilePipeline(opts.Dir, opts.SegmentBytes, spares, opts.Policy != SyncNone)
 	}
 	if w.policy != SyncAlways {
 		w.wg.Add(1)
@@ -560,15 +592,23 @@ func (w *WAL) syncNow() {
 	w.drainLocked()
 }
 
-// drainLocked does the work of syncNow with fileMu held.
+// maxRecycledBuf caps the pending buffer the WAL keeps for reuse; a one-off
+// giant batch should not pin its buffer forever.
+const maxRecycledBuf = 1 << 20
+
+// drainLocked does the work of syncNow with fileMu held. The pending buffer
+// and its spare double-buffer each other: the appender fills one while the
+// Syncer writes the other, so steady-state appends never allocate.
 func (w *WAL) drainLocked() {
 	w.mu.Lock()
 	pending := w.buf
-	w.buf = nil
+	w.buf = w.spare[:0]
+	w.spare = nil
 	w.appended += int64(len(pending))
 	lsn := w.appended
 	w.mu.Unlock()
 	if len(pending) == 0 {
+		w.recycleBuf(pending)
 		return
 	}
 	w.writeLocked(pending)
@@ -577,10 +617,23 @@ func (w *WAL) drainLocked() {
 			panic(fmt.Sprintf("wal: fsync %s: %v", w.f.Name(), err))
 		}
 	}
+	w.recycleBuf(pending)
 	w.durable.Store(lsn)
 	if w.onSync != nil {
 		w.onSync(lsn)
 	}
+}
+
+// recycleBuf hands a fully-written pending buffer back to the appender.
+func (w *WAL) recycleBuf(b []byte) {
+	if cap(b) > maxRecycledBuf {
+		return
+	}
+	w.mu.Lock()
+	if w.spare == nil {
+		w.spare = b[:0]
+	}
+	w.mu.Unlock()
 }
 
 // writeLocked writes b to the current segment, rolling first if the segment
@@ -595,24 +648,41 @@ func (w *WAL) writeLocked(b []byte) {
 	w.fileSize += int64(len(b))
 }
 
-// rollLocked closes the current segment (fsyncing it, so only the newest
-// segment ever has a torn tail) and opens the next one. The directory is
-// fsynced after the create: without it the durable watermark could cover
-// records in a file whose directory entry does not survive a machine crash.
+// rollLocked seals the current segment and opens the next one. Sealing
+// fsyncs the old segment (so only the newest segment ever has a torn tail)
+// and trims a preallocated segment's zero padding — with a second fsync
+// making the new length durable — so every sealed segment scans intact: the
+// corruption refusal for non-final segments stays sound under recycling.
+// The next file comes from the preallocation pipeline when one is ready
+// (rename + header write, no create or block allocation on this thread) and
+// falls back to plain creation otherwise. The directory is fsynced after
+// the rename/create: without it the durable watermark could cover records
+// in a file whose directory entry does not survive a machine crash.
 func (w *WAL) rollLocked() {
 	if w.f != nil {
-		if w.policy != SyncNone {
-			if err := w.f.Sync(); err != nil {
-				panic(fmt.Sprintf("wal: fsync %s: %v", w.f.Name(), err))
-			}
-		}
-		_ = w.f.Close()
+		w.sealLocked()
 	}
 	w.seq++
 	path := filepath.Join(w.dir, segName(w.seq))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		panic(fmt.Sprintf("wal: create segment %s: %v", path, err))
+	var f *os.File
+	w.prealloc = false
+	if w.pipeline != nil {
+		if spare, ok := w.pipeline.take(); ok {
+			if err := os.Rename(spare, path); err == nil {
+				if ff, err := os.OpenFile(path, os.O_RDWR, 0o644); err == nil {
+					f, w.prealloc = ff, true
+				}
+			} else {
+				_ = os.Remove(spare)
+			}
+		}
+	}
+	if f == nil {
+		ff, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			panic(fmt.Sprintf("wal: create segment %s: %v", path, err))
+		}
+		f = ff
 	}
 	var hdr [segHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[:], segMagic)
@@ -624,6 +694,33 @@ func (w *WAL) rollLocked() {
 		w.syncDir()
 	}
 	w.f, w.fileSize = f, segHeaderSize
+}
+
+// sealLocked finishes the current segment: fsync its records, trim
+// preallocated padding, and close it. After sealing, the file's bytes are
+// exactly its intact records — a later replay must never have to guess
+// where a recycled file's zero tail begins in a non-final segment.
+func (w *WAL) sealLocked() {
+	if w.policy != SyncNone {
+		if err := w.f.Sync(); err != nil {
+			panic(fmt.Sprintf("wal: fsync %s: %v", w.f.Name(), err))
+		}
+	}
+	if w.prealloc {
+		if err := w.f.Truncate(w.fileSize); err != nil {
+			panic(fmt.Sprintf("wal: trim %s: %v", w.f.Name(), err))
+		}
+		if w.policy != SyncNone {
+			// The truncation itself must be durable before a successor
+			// segment exists, or a crash could revive the zero tail under a
+			// non-final segment and trip the corruption refusal.
+			if err := w.f.Sync(); err != nil {
+				panic(fmt.Sprintf("wal: fsync %s: %v", w.f.Name(), err))
+			}
+		}
+	}
+	_ = w.f.Close()
+	w.f, w.prealloc = nil, false
 }
 
 // syncDir fsyncs the WAL directory so segment creations and deletions are
@@ -674,13 +771,19 @@ func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
 	w.durable.Store(lsn)
 	// Older segments are fully covered by the snapshot + this checkpoint
 	// (rollLocked already made the new segment's directory entry durable,
-	// so deleting the old prefix cannot strand a crash with neither). If
-	// the deletions themselves do not survive a crash, replay handles the
+	// so discarding the old prefix cannot strand a crash with neither).
+	// Freed files are offered to the preallocation pipeline for recycling —
+	// it renames them out of the segment namespace, zeroes and reuses them
+	// — with plain removal when the pipeline is full or disabled. If the
+	// removals/renames do not survive a crash, replay handles the
 	// leftovers: the checkpoint's RecCut covers them idempotently.
 	if seqs, err := w.segments(); err == nil {
 		for _, seq := range seqs {
 			if seq < w.seq {
-				_ = os.Remove(filepath.Join(w.dir, segName(seq)))
+				path := filepath.Join(w.dir, segName(seq))
+				if w.pipeline == nil || !w.pipeline.offerRecycle(path) {
+					_ = os.Remove(path)
+				}
 			}
 		}
 		if w.policy != SyncNone {
@@ -713,10 +816,14 @@ func (w *WAL) Close() {
 	} else {
 		w.syncNow()
 	}
+	if w.pipeline != nil {
+		w.pipeline.stop()
+	}
 	w.fileMu.Lock()
 	defer w.fileMu.Unlock()
 	if w.f != nil {
-		_ = w.f.Close()
-		w.f = nil
+		// Seal on the way out: a cleanly closed preallocated segment is
+		// trimmed to its records, so reopening finds only intact bytes.
+		w.sealLocked()
 	}
 }

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -33,6 +34,23 @@ func sample() []Record {
 		{Type: RecCut, ID: 5},
 		{Type: RecState, ID: 9, View: 4, Decided: true, Value: []byte("st")},
 	}
+}
+
+// segFiles lists the wal-*.seg files in dir (pipeline spares excluded).
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &seq); err == nil {
+			segs = append(segs, e.Name())
+		}
+	}
+	return segs
 }
 
 // normalize maps empty and nil Value to nil for comparison.
@@ -98,11 +116,7 @@ func TestSegmentRollover(t *testing.T) {
 	}
 	w.Close()
 
-	segs, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(segs) < 3 {
+	if segs := segFiles(t, dir); len(segs) < 3 {
 		t.Errorf("expected multiple segments, got %d", len(segs))
 	}
 	w2, got := open(t, dir, SyncBatch, 256)
@@ -182,12 +196,8 @@ func TestCheckpointCompactsSegments(t *testing.T) {
 	w.Append(Record{Type: RecAccept, ID: 42, View: 2, Value: []byte("z")})
 	w.Close()
 
-	segs, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(segs) != 1 {
-		t.Errorf("checkpoint left %d segments, want 1", len(segs))
+	if segs := segFiles(t, dir); len(segs) != 1 {
+		t.Errorf("checkpoint left %d segments, want 1: %v", len(segs), segs)
 	}
 	w2, got := open(t, dir, SyncBatch, 0)
 	defer w2.Close()
@@ -274,5 +284,274 @@ func TestCorruptNonFinalSegmentRefusesOpen(t *testing.T) {
 	}
 	if _, _, err := Open(Options{Dir: dir, Policy: SyncBatch, SegmentBytes: 256}); err == nil {
 		t.Fatal("Open succeeded on a WAL with a corrupt non-final segment")
+	}
+}
+
+// crashCopy snapshots dir into a fresh directory, byte for byte — the disk
+// image an abrupt kill would leave (modulo lost page-cache writes, which the
+// recycling design keeps out of the correctness envelope via fsynced zero
+// fill). The WAL stays open; nothing is gracefully flushed.
+func crashCopy(t *testing.T, dir string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// waitForSpare blocks until the preallocation pipeline has a prepared spare
+// on disk, so a subsequent roll deterministically consumes it.
+func waitForSpare(t *testing.T, dir string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if isSpareName(e.Name()) {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("pipeline never prepared a spare file")
+}
+
+// TestSegmentRecyclingAcrossCrashReopen is the PR's recycling acceptance
+// test: roll across >= 3 recycled segments (checkpoints free files, the
+// pipeline zeroes and reuses them), then crash-reopen from a raw copy of the
+// directory and verify replay returns exactly the surviving records — the
+// recycled files' previous lives must not resurrect a single record, even
+// though the active file physically contains preallocated space past its
+// logical tail.
+func TestSegmentRecyclingAcrossCrashReopen(t *testing.T) {
+	dir := t.TempDir()
+	const segBytes = 4 << 10
+	w, _ := open(t, dir, SyncBatch, segBytes)
+	defer w.Close()
+
+	val := make([]byte, 512)
+	for i := range val {
+		val[i] = byte(i) // distinctive non-zero stale bytes for old lives
+	}
+	// everWritten records every record this WAL ever journaled (keyed by
+	// encoding): anything replay returns beyond this set is a resurrected
+	// ghost from a recycled file's previous life.
+	everWritten := map[string]bool{}
+	note := func(rec Record) { everWritten[string(encodeRecord(nil, rec))] = true }
+
+	recycledRolls := 0
+	var lastCut wire.InstanceID
+	id := wire.InstanceID(0)
+	for round := 0; recycledRolls < 3 && round < 40; round++ {
+		waitForSpare(t, dir)
+		// Fill past the segment size to force at least one roll, which
+		// consumes the prepared (possibly recycled) spare.
+		for range (segBytes / len(val)) + 2 {
+			rec := Record{Type: RecAccept, ID: id, View: 1, Value: val}
+			w.Append(rec)
+			note(rec)
+			id++
+		}
+		w.Sync()
+		w.fileMu.Lock()
+		active := w.prealloc
+		w.fileMu.Unlock()
+		if active {
+			recycledRolls++
+		}
+		// Checkpoint everything so far: frees older segments into the
+		// recycle queue and starts a fresh (pipeline-fed) segment.
+		lastCut = id
+		w.Checkpoint(lastCut, nil)
+		note(Record{Type: RecCut, ID: lastCut})
+	}
+	if recycledRolls < 3 {
+		t.Fatalf("only %d rolls landed in preallocated files", recycledRolls)
+	}
+	// A few more durable records on the (preallocated) active segment: the
+	// exact tail a crash replay must reproduce.
+	var tail []Record
+	for range 3 {
+		rec := Record{Type: RecAccept, ID: id, View: 2, Value: val}
+		w.Append(rec)
+		note(rec)
+		tail = append(tail, rec)
+		id++
+	}
+	w.Sync()
+
+	// The active segment is preallocated: physically larger than its
+	// logical content, with a guaranteed-zero tail.
+	w.fileMu.Lock()
+	path := filepath.Join(w.dir, segName(w.seq))
+	logical := w.fileSize
+	active := w.prealloc
+	w.fileMu.Unlock()
+	if !active {
+		t.Fatal("active segment is not preallocated")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) <= logical {
+		t.Fatalf("active segment %d bytes, want > logical %d (preallocated tail)", len(data), logical)
+	}
+	for i := logical; i < int64(len(data)); i++ {
+		if data[i] != 0 {
+			t.Fatalf("recycled segment has non-zero stale byte at %d: stale tails must be zeroed", i)
+		}
+	}
+
+	// Crash: reopen from a raw copy of the directory (no graceful close).
+	// Replay may legitimately include records from GC'd segments the
+	// pipeline had not recycled yet (core recovery covers those through the
+	// checkpoint's RecCut), but it must (a) never return a record this WAL
+	// did not write — no resurrection from recycled files' previous lives —
+	// and (b) reproduce the post-checkpoint tail exactly.
+	crashDir := crashCopy(t, dir)
+	w2, got, err := Open(Options{Dir: crashDir, Policy: SyncBatch, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range got {
+		if !everWritten[string(encodeRecord(nil, rec))] {
+			t.Fatalf("replay record %d was never written (ghost from a recycled file): %+v", i, rec)
+		}
+	}
+	lastCutIdx := -1
+	for i, rec := range got {
+		if rec.Type == RecCut && rec.ID == lastCut {
+			lastCutIdx = i
+		}
+	}
+	if lastCutIdx < 0 {
+		t.Fatalf("replay lost the last checkpoint cut %d", lastCut)
+	}
+	if !reflect.DeepEqual(normalize(got[lastCutIdx+1:]), normalize(tail)) {
+		t.Fatalf("post-checkpoint tail mismatch:\n got %d records\nwant %d records",
+			len(got)-lastCutIdx-1, len(tail))
+	}
+	// The repaired WAL keeps working: append, close, reopen.
+	extra := Record{Type: RecView, View: 9}
+	w2.Append(extra)
+	w2.Close()
+	w3, got3, err := Open(Options{Dir: crashDir, Policy: SyncBatch, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if len(got3) != len(got)+1 || !reflect.DeepEqual(normalize(got3[:len(got)]), normalize(got)) ||
+		!reflect.DeepEqual(normalize(got3[len(got):]), normalize([]Record{extra})) {
+		t.Errorf("append after crash-reopen diverged (%d vs %d records)", len(got3), len(got)+1)
+	}
+}
+
+// TestSealedRecycledSegmentsScanIntact asserts rolls trim the preallocated
+// padding when sealing, so non-final segments keep the strict
+// intact-or-refuse corruption check.
+func TestSealedRecycledSegmentsScanIntact(t *testing.T) {
+	dir := t.TempDir()
+	const segBytes = 2 << 10
+	w, _ := open(t, dir, SyncBatch, segBytes)
+	val := make([]byte, 256)
+	waitForSpare(t, dir)
+	var want []Record
+	for i := range 30 { // enough to roll several times
+		rec := Record{Type: RecAccept, ID: wire.InstanceID(i), View: 1, Value: val}
+		w.Append(rec)
+		want = append(want, rec)
+		w.Sync()
+	}
+	w.fileMu.Lock()
+	cur := w.seq
+	w.fileMu.Unlock()
+	if cur < 3 {
+		t.Fatalf("expected >= 3 segments, at %d", cur)
+	}
+	// Every sealed segment must be exactly its records: intact scan, no
+	// zero padding left behind.
+	for _, name := range segFiles(t, dir) {
+		var seq int
+		fmt.Sscanf(name, "wal-%08d.seg", &seq)
+		if seq == cur {
+			continue // active segment may carry preallocated padding
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, valid, intact := scanSegment(data); !intact {
+			t.Errorf("sealed segment %s not intact (valid prefix %d of %d)", name, valid, len(data))
+		}
+	}
+	w.Close()
+	w2, got := open(t, dir, SyncBatch, segBytes)
+	defer w2.Close()
+	if !reflect.DeepEqual(normalize(got), normalize(want)) {
+		t.Errorf("replay across recycled rolls mismatch: got %d records, want %d", len(got), len(want))
+	}
+}
+
+// TestPreallocDisabled pins the opt-out: negative PreallocSpares keeps the
+// plain growing-file behavior with no pipeline and no spare files.
+func TestPreallocDisabled(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, Policy: SyncBatch, SegmentBytes: 256, PreallocSpares: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 10 {
+		w.Append(Record{Type: RecAccept, ID: wire.InstanceID(i), View: 1, Value: make([]byte, 100)})
+		w.Sync()
+	}
+	w.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if isSpareName(e.Name()) {
+			t.Errorf("preallocation disabled but spare %s exists", e.Name())
+		}
+	}
+	w2, got := open(t, dir, SyncBatch, 256)
+	defer w2.Close()
+	if len(got) != 10 {
+		t.Errorf("replay returned %d records, want 10", len(got))
+	}
+}
+
+// TestStaleSparesRemovedAtOpen asserts leftover spare files — whose zero
+// fill may not have survived a crash — are discarded at Open rather than
+// ever renamed into segments.
+func TestStaleSparesRemovedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	// A "spare" full of stale, CRC-valid-looking bytes from a previous life.
+	stale := encodeRecord(nil, Record{Type: RecAccept, ID: 999, View: 9, Value: []byte("ghost")})
+	if err := os.WriteFile(filepath.Join(dir, spareName(0)), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, recs := open(t, dir, SyncBatch, 0)
+	defer w.Close()
+	if len(recs) != 0 {
+		t.Fatalf("stale spare leaked %d records into replay", len(recs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, spareName(0))); !os.IsNotExist(err) {
+		t.Error("stale spare file survived Open")
 	}
 }

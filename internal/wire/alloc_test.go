@@ -1,0 +1,85 @@
+package wire
+
+import "testing"
+
+// Allocation regression guards for the zero-copy hot path, run by plain
+// `go test` so CI fails the moment pooling or append-encoding rots. The
+// bounds are the PR's acceptance criteria: steady-state encode is
+// allocation-free; decode+deliver stays within a small fixed budget (pool
+// refills after a GC may cost the odd allocation, hence the slack).
+const (
+	maxEncodeAllocs = 0
+	maxDecodeAllocs = 2
+)
+
+func TestEncodeHotPathAllocs(t *testing.T) {
+	propose := &Propose{View: 3, ID: 42, DecidedUpTo: 41, Value: make([]byte, 1300)}
+	grouped := &GroupMsg{Group: 2, Msg: propose}
+	reqs := []*ClientRequest{
+		{ClientID: 1, Seq: 1, Payload: make([]byte, 128)},
+		{ClientID: 2, Seq: 7, Payload: make([]byte, 128)},
+	}
+	buf := make([]byte, 0, 4096)
+	for name, fn := range map[string]func(){
+		"AppendMessage/Propose":  func() { buf = AppendMessage(buf[:0], propose) },
+		"AppendMessage/GroupMsg": func() { buf = AppendMessage(buf[:0], grouped) },
+		"AppendBatch":            func() { buf = AppendBatch(buf[:0], reqs) },
+	} {
+		if got := testing.AllocsPerRun(200, fn); got > maxEncodeAllocs {
+			t.Errorf("%s: %.1f allocs/op, budget %d", name, got, maxEncodeAllocs)
+		}
+	}
+}
+
+func TestDecodeHotPathAllocs(t *testing.T) {
+	propose := Marshal(&Propose{View: 3, ID: 42, DecidedUpTo: 41, Value: make([]byte, 1300)})
+	grouped := Marshal(&GroupMsg{Group: 2, Msg: &Propose{View: 3, ID: 42, Value: make([]byte, 1300)}})
+	accept := Marshal(&Accept{View: 3, ID: 42})
+	batch := EncodeBatch([]*ClientRequest{
+		{ClientID: 1, Seq: 1, Payload: make([]byte, 128)},
+		{ClientID: 2, Seq: 7, Payload: make([]byte, 128)},
+	})
+	var reqs []*ClientRequest
+	for name, fn := range map[string]func(){
+		// The follower's hottest inbound message, borrowed then released.
+		"Unmarshal/Propose": func() {
+			m, err := Unmarshal(propose)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Release(m)
+		},
+		// The multi-group envelope decodes inline: no nested copy.
+		"Unmarshal/GroupMsg": func() {
+			m, err := Unmarshal(grouped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Release(m.(*GroupMsg).Msg)
+			Release(m)
+		},
+		// The leader's hottest inbound message.
+		"Unmarshal/Accept": func() {
+			m, err := Unmarshal(accept)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Release(m)
+		},
+		// The deliver path: decode a decided batch into reused storage.
+		"DecodeBatchInto": func() {
+			var err error
+			reqs, err = DecodeBatchInto(reqs, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range reqs {
+				Release(r)
+			}
+		},
+	} {
+		if got := testing.AllocsPerRun(200, fn); got > maxDecodeAllocs {
+			t.Errorf("%s: %.1f allocs/op, budget %d", name, got, maxDecodeAllocs)
+		}
+	}
+}

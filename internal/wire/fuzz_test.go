@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalRoundTrip guards the borrow-ownership codec against aliasing
+// and round-trip bugs: for every input that decodes, the message must
+// re-encode to the same bytes (the codec has exactly one encoding per
+// message), Size must predict the re-encoded length, and a Retained message
+// must survive the frame buffer being recycled and rewritten — the exact
+// lifecycle of a pooled transport read buffer. Truncated and corrupt inputs
+// must error without panicking.
+func FuzzUnmarshalRoundTrip(f *testing.F) {
+	// Seed with every message type, GroupMsg envelopes, and adversarial
+	// prefixes/truncations.
+	seeds := []Message{
+		&Hello{ID: 2},
+		&Prepare{View: 7, FirstUnstable: 42},
+		&PrepareOK{View: 7, Entries: []InstanceState{
+			{ID: 42, AcceptedView: 3, Decided: true, Value: []byte("abc")},
+			{ID: 43, AcceptedView: 6},
+		}},
+		&Propose{View: 7, ID: 44, DecidedUpTo: 41, Value: []byte{1, 2, 3, 4}},
+		&Accept{View: 7, ID: 44},
+		&Heartbeat{View: 7, DecidedUpTo: 43},
+		&CatchUpQuery{From: 10, To: 20},
+		&CatchUpResp{Entries: []DecidedValue{{ID: 10, Value: []byte("x")}}},
+		&CatchUpResp{HasSnapshot: true, Snapshot: Snapshot{
+			LastIncluded: 9, ServiceState: []byte("svc"), ReplyCache: []byte("rc"), Groups: 4}},
+		&ClientRequest{ClientID: 0xdeadbeef, Seq: 17, Payload: []byte("hello")},
+		&ClientReply{ClientID: 1, Seq: 2, OK: true, Redirect: NoRedirect, Payload: []byte("ok")},
+		&GroupMsg{Group: 3, Msg: &Propose{View: 1, ID: 2, DecidedUpTo: 1, Value: []byte("grouped")}},
+		&GroupMsg{Group: 1, Msg: &Accept{View: 1, ID: 2}},
+	}
+	for _, m := range seeds {
+		b := Marshal(m)
+		f.Add(b)
+		if len(b) > 3 {
+			f.Add(b[:len(b)-3]) // truncated
+		}
+		corrupt := append([]byte(nil), b...)
+		corrupt[0] ^= 0xFF // unknown/confused type tag
+		f.Add(corrupt)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(TGroupMsg), 1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}) // huge inner length
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		m, err := Unmarshal(frame)
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		// Canonical fixed point: re-encoding a decoded message and decoding
+		// it again must converge (non-canonical inputs — bool bytes other
+		// than 0/1, redundant snapshot metadata — canonicalize in one step).
+		enc := Marshal(m)
+		if Size(m) != len(enc) {
+			t.Fatalf("Size = %d, encoded length = %d", Size(m), len(enc))
+		}
+		m2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encode failed to decode: %v\nframe %x\nenc   %x", err, frame, enc)
+		}
+		enc2 := Marshal(m2)
+		if !bytes.Equal(enc2, enc) {
+			t.Fatalf("canonical encoding is not a fixed point:\n enc  %x\n enc2 %x", enc, enc2)
+		}
+		// Borrow rule: m2 borrows from enc; Retain must fully sever it, so
+		// rewriting enc — the lifecycle of a recycled frame buffer — must
+		// not change the retained message.
+		Retain(m2)
+		for i := range enc {
+			enc[i] = 0xA5
+		}
+		if enc3 := Marshal(m2); !bytes.Equal(enc3, enc2) {
+			t.Fatalf("retained message changed after frame rewrite:\n before %x\n after  %x", enc2, enc3)
+		}
+		Release(m)
+		Release(m2)
+	})
+}

@@ -10,6 +10,31 @@
 // Table III); they learn decisions through the DecidedUpTo watermark
 // piggybacked on Propose and Heartbeat messages, and fetch anything they
 // missed with the catch-up messages.
+//
+// # Buffer ownership (the zero-copy contract)
+//
+// The codec is built for an allocation-free steady state, which makes buffer
+// ownership explicit at every boundary the bytes cross:
+//
+//   - AppendMessage encodes into a caller-supplied buffer (append-style);
+//     Marshal is a convenience wrapper that allocates an exact-size buffer.
+//   - Unmarshal BORROWS: every []byte field of the returned message aliases
+//     the input frame, and the message struct itself may come from an
+//     internal pool. The message is valid only while the frame is: a caller
+//     that retains the message (or any of its byte fields) past the point
+//     where the frame is recycled or rewritten must call Retain first.
+//   - Retain(m) copies every borrowed byte field of m into fresh memory, in
+//     place, severing all aliases to the frame.
+//   - Release(m) hands the struct of a hot-path message back to its pool.
+//     Only the sole owner may call it, and never twice; the byte buffers the
+//     fields point at are NOT recycled (they may be shared — Release only
+//     zeroes the struct). Releasing is optional: an unreleased message is
+//     simply garbage collected.
+//
+// The replica pipeline applies the rule as: readers Retain value-carrying
+// messages and recycle the frame immediately; the long-term retainers
+// (storage.Log entries, the reply cache, snapshot stores) therefore always
+// hold owned, immutable memory and never a transport buffer.
 package wire
 
 import (
@@ -18,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // View numbers leadership epochs. The leader of view v in an n-replica
@@ -291,6 +317,105 @@ var (
 // against corrupt length prefixes.
 const MaxFrameSize = 64 << 20
 
+// ---------------------------------------------------------------------------
+// Message struct pools.
+//
+// The steady-state message types — everything the decide hot path touches —
+// are recycled through sync.Pools so a busy replica decodes without
+// allocating. Rare control messages (PrepareOK, CatchUpResp, ...) are
+// allocated normally: pooling them would widen the ownership audit for no
+// measurable gain.
+
+var (
+	proposePool   = sync.Pool{New: func() any { return new(Propose) }}
+	acceptPool    = sync.Pool{New: func() any { return new(Accept) }}
+	heartbeatPool = sync.Pool{New: func() any { return new(Heartbeat) }}
+	requestPool   = sync.Pool{New: func() any { return new(ClientRequest) }}
+	replyPool     = sync.Pool{New: func() any { return new(ClientReply) }}
+	groupMsgPool  = sync.Pool{New: func() any { return new(GroupMsg) }}
+)
+
+// NewClientReply returns a pooled, zeroed ClientReply for callers that build
+// replies on the hot path and Release them after encoding.
+func NewClientReply() *ClientReply {
+	v := replyPool.Get().(*ClientReply)
+	*v = ClientReply{}
+	return v
+}
+
+// Release returns a hot-path message struct to its pool. The caller must be
+// the message's sole owner and must not touch it afterwards. Byte fields are
+// NOT recycled — they may be shared with a log entry or reply cache — so
+// Release only severs the struct's references. Non-pooled message types are
+// ignored (plain garbage collection reclaims them). Releasing a GroupMsg
+// envelope does not release the wrapped message.
+func Release(m Message) {
+	switch v := m.(type) {
+	case *Propose:
+		*v = Propose{}
+		proposePool.Put(v)
+	case *Accept:
+		*v = Accept{}
+		acceptPool.Put(v)
+	case *Heartbeat:
+		*v = Heartbeat{}
+		heartbeatPool.Put(v)
+	case *ClientRequest:
+		*v = ClientRequest{}
+		requestPool.Put(v)
+	case *ClientReply:
+		*v = ClientReply{}
+		replyPool.Put(v)
+	case *GroupMsg:
+		*v = GroupMsg{}
+		groupMsgPool.Put(v)
+	}
+}
+
+// ownedCopy returns an owned copy of b (nil stays nil, so retained messages
+// compare equal to their borrowed originals).
+func ownedCopy(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp
+}
+
+// Retain copies every borrowed byte field of m into fresh memory, in place.
+// After Retain the message no longer aliases the frame it was decoded from
+// and survives the frame being recycled or rewritten. Messages without byte
+// fields (Accept, Heartbeat, ...) are no-ops; retaining a GroupMsg retains
+// the wrapped message.
+func Retain(m Message) {
+	switch v := m.(type) {
+	case *Propose:
+		v.Value = ownedCopy(v.Value)
+	case *PrepareOK:
+		for i := range v.Entries {
+			v.Entries[i].Value = ownedCopy(v.Entries[i].Value)
+		}
+	case *CatchUpResp:
+		for i := range v.Entries {
+			v.Entries[i].Value = ownedCopy(v.Entries[i].Value)
+		}
+		if v.HasSnapshot {
+			v.Snapshot.ServiceState = ownedCopy(v.Snapshot.ServiceState)
+			v.Snapshot.ReplyCache = ownedCopy(v.Snapshot.ReplyCache)
+		}
+	case *ClientRequest:
+		v.Payload = ownedCopy(v.Payload)
+	case *ClientReply:
+		v.Payload = ownedCopy(v.Payload)
+	case *GroupMsg:
+		Retain(v.Msg)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Encoding.
+
 // appender accumulates the encoded form.
 type appender struct{ b []byte }
 
@@ -311,65 +436,63 @@ func (a *appender) bytes(v []byte) {
 	a.b = append(a.b, v...)
 }
 
-// reader consumes the encoded form with a sticky error.
-type reader struct {
-	b   []byte
-	err error
-}
-
-func (r *reader) u8() uint8 {
-	if r.err != nil || len(r.b) < 1 {
-		r.fail()
-		return 0
+// Size returns the exact encoded size of m (type tag + body) — the
+// pre-allocation hint for AppendMessage and the frame length the transport
+// writes without encoding first.
+func Size(m Message) int {
+	switch v := m.(type) {
+	case *Hello:
+		return 1 + 4
+	case *Prepare:
+		return 1 + 4 + 8
+	case *PrepareOK:
+		n := 1 + 4 + 4
+		for i := range v.Entries {
+			n += 8 + 4 + 1 + 4 + len(v.Entries[i].Value)
+		}
+		return n
+	case *Propose:
+		return 1 + 4 + 8 + 8 + 4 + len(v.Value)
+	case *Accept:
+		return 1 + 4 + 8
+	case *Heartbeat:
+		return 1 + 4 + 8
+	case *CatchUpQuery:
+		return 1 + 8 + 8
+	case *CatchUpResp:
+		n := 1 + 4
+		for i := range v.Entries {
+			n += 8 + 4 + len(v.Entries[i].Value)
+		}
+		n++ // HasSnapshot flag
+		if v.HasSnapshot {
+			n += 8 + 4 + len(v.Snapshot.ServiceState) + 4 + len(v.Snapshot.ReplyCache)
+			if v.Snapshot.Groups > 1 {
+				n += 4
+			}
+		}
+		return n
+	case *ClientRequest:
+		return 1 + 8 + 8 + 4 + len(v.Payload)
+	case *ClientReply:
+		return 1 + 8 + 8 + 1 + 4 + 4 + len(v.Payload)
+	case *GroupMsg:
+		if _, nested := v.Msg.(*GroupMsg); nested {
+			panic("wire: Size of nested GroupMsg")
+		}
+		return 1 + 4 + 4 + Size(v.Msg)
+	default:
+		panic(fmt.Sprintf("wire: Size of unknown message %T", m))
 	}
-	v := r.b[0]
-	r.b = r.b[1:]
-	return v
 }
 
-func (r *reader) u32() uint32 {
-	if r.err != nil || len(r.b) < 4 {
-		r.fail()
-		return 0
-	}
-	v := binary.LittleEndian.Uint32(r.b)
-	r.b = r.b[4:]
-	return v
-}
-
-func (r *reader) u64() uint64 {
-	if r.err != nil || len(r.b) < 8 {
-		r.fail()
-		return 0
-	}
-	v := binary.LittleEndian.Uint64(r.b)
-	r.b = r.b[8:]
-	return v
-}
-
-func (r *reader) i32() int32  { return int32(r.u32()) }
-func (r *reader) i64() int64  { return int64(r.u64()) }
-func (r *reader) bool() bool  { return r.u8() != 0 }
-func (r *reader) fail()       { r.err = ErrShortBuffer; r.b = nil }
-func (r *reader) len() uint32 { return uint32(len(r.b)) }
-
-func (r *reader) bytes() []byte {
-	n := r.u32()
-	if r.err != nil || n > r.len() {
-		r.fail()
-		return nil
-	}
-	// Copy out so decoded messages do not alias transport buffers
-	// (copy-slices-at-boundaries).
-	v := make([]byte, n)
-	copy(v, r.b[:n])
-	r.b = r.b[n:]
-	return v
-}
-
-// Marshal encodes m as a self-describing byte slice (type tag + body).
-func Marshal(m Message) []byte {
-	a := appender{b: make([]byte, 0, 64)}
+// AppendMessage appends m's self-describing encoding (type tag + body) to
+// dst and returns the extended slice. With dst pre-sized (Size) the encode
+// is allocation-free; a GroupMsg envelope is encoded inline — no nested
+// marshal, no intermediate copy — and stays byte-identical to the legacy
+// nested encoding.
+func AppendMessage(dst []byte, m Message) []byte {
+	a := appender{b: dst}
 	a.u8(uint8(m.Type()))
 	switch v := m.(type) {
 	case *Hello:
@@ -429,20 +552,105 @@ func Marshal(m Message) []byte {
 		a.bytes(v.Payload)
 	case *GroupMsg:
 		if _, nested := v.Msg.(*GroupMsg); nested {
-			panic("wire: Marshal of nested GroupMsg")
+			panic("wire: AppendMessage of nested GroupMsg")
 		}
 		a.i32(v.Group)
-		a.bytes(Marshal(v.Msg))
+		a.u32(uint32(Size(v.Msg))) // inner length prefix, as the nested encoding wrote
+		a.b = AppendMessage(a.b, v.Msg)
 	default:
-		panic(fmt.Sprintf("wire: Marshal of unknown message %T", m))
+		panic(fmt.Sprintf("wire: AppendMessage of unknown message %T", m))
 	}
 	return a.b
 }
 
-// Unmarshal decodes a message produced by Marshal. The returned message owns
-// its memory (no aliasing of b).
+// Marshal encodes m as a self-describing byte slice (type tag + body). It is
+// the allocating convenience wrapper around AppendMessage; hot paths keep a
+// scratch buffer and append instead.
+func Marshal(m Message) []byte {
+	return AppendMessage(make([]byte, 0, Size(m)), m)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+
+// reader consumes the encoded form with a sticky error.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) i32() int32  { return int32(r.u32()) }
+func (r *reader) i64() int64  { return int64(r.u64()) }
+func (r *reader) bool() bool  { return r.u8() != 0 }
+func (r *reader) fail()       { r.err = ErrShortBuffer; r.b = nil }
+func (r *reader) len() uint32 { return uint32(len(r.b)) }
+
+// bytes returns the next length-prefixed field as a sub-slice of the input
+// — the borrow at the heart of the zero-copy decode path. Callers of
+// Unmarshal that outlive the frame go through Retain.
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil || n > r.len() {
+		r.fail()
+		return nil
+	}
+	v := r.b[:n:n]
+	r.b = r.b[n:]
+	return v
+}
+
+// Unmarshal decodes a message produced by Marshal/AppendMessage.
+//
+// Ownership: the returned message BORROWS from b — its []byte fields alias
+// the input — and its struct may come from an internal pool. It is valid
+// only while b is; callers that retain it past b's reuse must call Retain,
+// and callers that fully consume it may hand the struct back with Release.
 func Unmarshal(b []byte) (Message, error) {
 	r := reader{b: b}
+	m, err := decodeMessage(&r, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.b) != 0 {
+		Release(m) // decoded but rejected: the pooled struct is still ours
+		return nil, ErrTrailingData
+	}
+	return m, nil
+}
+
+// decodeMessage parses one message from r. allowGroup permits a GroupMsg
+// envelope (envelopes never nest).
+func decodeMessage(r *reader, allowGroup bool) (Message, error) {
 	t := MsgType(r.u8())
 	if r.err != nil {
 		return nil, r.err
@@ -471,16 +679,22 @@ func Unmarshal(b []byte) (Message, error) {
 		}
 		m = v
 	case TPropose:
-		m = &Propose{
-			View:        View(r.i32()),
-			ID:          InstanceID(r.i64()),
-			DecidedUpTo: InstanceID(r.i64()),
-			Value:       r.bytes(),
-		}
+		v := proposePool.Get().(*Propose)
+		v.View = View(r.i32())
+		v.ID = InstanceID(r.i64())
+		v.DecidedUpTo = InstanceID(r.i64())
+		v.Value = r.bytes()
+		m = v
 	case TAccept:
-		m = &Accept{View: View(r.i32()), ID: InstanceID(r.i64())}
+		v := acceptPool.Get().(*Accept)
+		v.View = View(r.i32())
+		v.ID = InstanceID(r.i64())
+		m = v
 	case THeartbeat:
-		m = &Heartbeat{View: View(r.i32()), DecidedUpTo: InstanceID(r.i64())}
+		v := heartbeatPool.Get().(*Heartbeat)
+		v.View = View(r.i32())
+		v.DecidedUpTo = InstanceID(r.i64())
+		m = v
 	case TCatchUpQuery:
 		m = &CatchUpQuery{From: InstanceID(r.i64()), To: InstanceID(r.i64())}
 	case TCatchUpResp:
@@ -510,77 +724,63 @@ func Unmarshal(b []byte) (Message, error) {
 		}
 		m = v
 	case TClientRequest:
-		m = &ClientRequest{ClientID: r.u64(), Seq: r.u64(), Payload: r.bytes()}
+		v := requestPool.Get().(*ClientRequest)
+		v.ClientID = r.u64()
+		v.Seq = r.u64()
+		v.Payload = r.bytes()
+		m = v
 	case TClientReply:
-		m = &ClientReply{
-			ClientID: r.u64(),
-			Seq:      r.u64(),
-			OK:       r.bool(),
-			Redirect: r.i32(),
-			Payload:  r.bytes(),
-		}
+		v := replyPool.Get().(*ClientReply)
+		v.ClientID = r.u64()
+		v.Seq = r.u64()
+		v.OK = r.bool()
+		v.Redirect = r.i32()
+		v.Payload = r.bytes()
+		m = v
 	case TGroupMsg:
+		if !allowGroup {
+			return nil, fmt.Errorf("%w: nested GroupMsg", ErrUnknownType)
+		}
 		group := r.i32()
 		body := r.bytes()
 		if r.err != nil {
 			return nil, r.err
 		}
-		inner, err := Unmarshal(body)
+		// Decode the wrapped message inline from the borrowed body — the
+		// legacy path copied the body out and recursed into Unmarshal.
+		sub := reader{b: body}
+		inner, err := decodeMessage(&sub, false)
 		if err != nil {
 			return nil, err
 		}
-		if _, nested := inner.(*GroupMsg); nested {
-			return nil, fmt.Errorf("%w: nested GroupMsg", ErrUnknownType)
+		if len(sub.b) != 0 {
+			Release(inner)
+			return nil, ErrTrailingData
 		}
-		m = &GroupMsg{Group: group, Msg: inner}
+		v := groupMsgPool.Get().(*GroupMsg)
+		v.Group = group
+		v.Msg = inner
+		m = v
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
 	}
 	if r.err != nil {
+		releasePartial(m)
 		return nil, r.err
-	}
-	if len(r.b) != 0 {
-		return nil, ErrTrailingData
 	}
 	return m, nil
 }
 
-// EncodeBatch serializes a batch of client requests into one consensus value
-// (Sec. III-B: requests are grouped into batches, the unit of ordering).
-func EncodeBatch(reqs []*ClientRequest) []byte {
-	a := appender{b: make([]byte, 0, 32*len(reqs)+4)}
-	a.u32(uint32(len(reqs)))
-	for _, req := range reqs {
-		a.u64(req.ClientID)
-		a.u64(req.Seq)
-		a.bytes(req.Payload)
+// releasePartial returns a pooled struct that failed mid-decode. Safe: the
+// struct was never handed to the caller.
+func releasePartial(m Message) {
+	if m != nil {
+		Release(m)
 	}
-	return a.b
 }
 
-// DecodeBatch parses a consensus value back into client requests.
-func DecodeBatch(b []byte) ([]*ClientRequest, error) {
-	r := reader{b: b}
-	n := r.u32()
-	if r.err != nil || uint64(n) > uint64(r.len()) {
-		return nil, ErrShortBuffer
-	}
-	reqs := make([]*ClientRequest, 0, n)
-	for range n {
-		reqs = append(reqs, &ClientRequest{
-			ClientID: r.u64(),
-			Seq:      r.u64(),
-			Payload:  r.bytes(),
-		})
-	}
-	if r.err != nil {
-		return nil, r.err
-	}
-	if len(r.b) != 0 {
-		return nil, ErrTrailingData
-	}
-	return reqs, nil
-}
+// ---------------------------------------------------------------------------
+// Batch encoding.
 
 // BatchOverhead is the encoded size overhead per batch, and RequestOverhead
 // per request within it; used by the batching policy to respect the BSZ
@@ -592,6 +792,85 @@ const (
 
 // EncodedRequestSize returns the wire size of one request inside a batch.
 func EncodedRequestSize(payload int) int { return RequestOverhead + payload }
+
+// BatchSize returns the exact encoded size of a batch of reqs.
+func BatchSize(reqs []*ClientRequest) int {
+	n := BatchOverhead
+	for _, req := range reqs {
+		n += EncodedRequestSize(len(req.Payload))
+	}
+	return n
+}
+
+// AppendBatch appends the batch encoding of reqs to dst.
+func AppendBatch(dst []byte, reqs []*ClientRequest) []byte {
+	a := appender{b: dst}
+	a.u32(uint32(len(reqs)))
+	for _, req := range reqs {
+		a.u64(req.ClientID)
+		a.u64(req.Seq)
+		a.bytes(req.Payload)
+	}
+	return a.b
+}
+
+// EncodeBatch serializes a batch of client requests into one consensus value
+// (Sec. III-B: requests are grouped into batches, the unit of ordering). The
+// result is exact-size: batch values are retained by the replicated log, so
+// the one allocation per batch is inherent — but it never over-allocates.
+func EncodeBatch(reqs []*ClientRequest) []byte {
+	return AppendBatch(make([]byte, 0, BatchSize(reqs)), reqs)
+}
+
+// DecodeBatch parses a consensus value back into client requests. Like
+// Unmarshal it BORROWS: request payloads alias b. Batch values live in the
+// replicated log and are immutable, so borrowing is safe for log-owned
+// values; decode of a transient buffer must Retain what it keeps.
+func DecodeBatch(b []byte) ([]*ClientRequest, error) {
+	return DecodeBatchInto(nil, b)
+}
+
+// DecodeBatchInto is DecodeBatch with caller-managed storage: the request
+// slice reuses dst's capacity and the ClientRequest structs come from the
+// shared pool, so a steady-state decode loop that Releases its requests
+// after execution allocates nothing. Payloads borrow from b.
+func DecodeBatchInto(dst []*ClientRequest, b []byte) ([]*ClientRequest, error) {
+	r := reader{b: b}
+	n := r.u32()
+	if r.err != nil || uint64(n) > uint64(r.len()) {
+		return nil, ErrShortBuffer
+	}
+	reqs := dst[:0]
+	ok := true
+	for range n {
+		req := requestPool.Get().(*ClientRequest)
+		req.ClientID = r.u64()
+		req.Seq = r.u64()
+		req.Payload = r.bytes()
+		reqs = append(reqs, req)
+		if r.err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok && len(r.b) != 0 {
+		r.err = ErrTrailingData
+		ok = false
+	}
+	if !ok {
+		for _, req := range reqs {
+			Release(req)
+		}
+		if r.err == nil {
+			r.err = ErrShortBuffer
+		}
+		return nil, r.err
+	}
+	return reqs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
 
 // WriteFrame writes payload to w prefixed with its uint32 length.
 func WriteFrame(w io.Writer, payload []byte) error {
@@ -609,18 +888,26 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one length-prefixed frame from r.
-func ReadFrame(r io.Reader) ([]byte, error) {
+// ReadFrameHeader reads and validates a frame's length prefix, returning
+// the payload size the caller must read next. The single definition of the
+// framing protocol, shared by ReadFrame and the transports' pooled readers.
+func ReadFrameHeader(r io.Reader) (int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return 0, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
-		return nil, ErrFrameTooBig
+	if n > MaxFrameSize || n > math.MaxInt32 {
+		return 0, ErrFrameTooBig
 	}
-	if n > math.MaxInt32 {
-		return nil, ErrFrameTooBig
+	return int(n), nil
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	n, err := ReadFrameHeader(r)
+	if err != nil {
+		return nil, err
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

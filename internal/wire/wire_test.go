@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"reflect"
@@ -122,18 +123,135 @@ func TestUnmarshalTruncationNeverPanics(t *testing.T) {
 	}
 }
 
-func TestDecodedMessageDoesNotAliasBuffer(t *testing.T) {
+// TestUnmarshalBorrowsAndRetainSevers pins the ownership contract: a decoded
+// message borrows from the frame; Retain copies it out so it survives the
+// frame being recycled and rewritten.
+func TestUnmarshalBorrowsAndRetainSevers(t *testing.T) {
 	b := Marshal(&ClientRequest{ClientID: 1, Seq: 1, Payload: []byte("orig")})
 	m, err := Unmarshal(b)
 	if err != nil {
 		t.Fatal(err)
 	}
+	req := m.(*ClientRequest)
+	if len(req.Payload) > 0 && &req.Payload[0] != &b[len(b)-len(req.Payload)] {
+		t.Error("Unmarshal copied the payload; the zero-copy contract is to borrow")
+	}
+	Retain(m)
 	for i := range b {
 		b[i] = 0xFF
 	}
-	req := m.(*ClientRequest)
 	if string(req.Payload) != "orig" {
-		t.Errorf("payload aliased the input buffer: %q", req.Payload)
+		t.Errorf("retained payload did not survive frame rewrite: %q", req.Payload)
+	}
+}
+
+// TestRetainSeversAllTypes rewrites the frame under every value-carrying
+// message type and checks the retained copy is unaffected.
+func TestRetainSeversAllTypes(t *testing.T) {
+	for _, m := range allMessages() {
+		b := Marshal(m)
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Type(), err)
+		}
+		Retain(got)
+		for i := range b {
+			b[i] = 0xFF
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(m)) {
+			t.Errorf("%s: retained message corrupted by frame rewrite:\n got %+v\nwant %+v",
+				m.Type(), got, m)
+		}
+	}
+}
+
+// TestAppendMessageMatchesMarshalAndSize pins append-style encoding to the
+// legacy wire format: AppendMessage extends dst in place, produces exactly
+// Marshal's bytes, and Size predicts the encoded length exactly.
+func TestAppendMessageMatchesMarshalAndSize(t *testing.T) {
+	msgs := allMessages()
+	msgs = append(msgs,
+		&GroupMsg{Group: 2, Msg: &Propose{View: 1, ID: 3, DecidedUpTo: 2, Value: []byte("vv")}},
+		&GroupMsg{Group: 7, Msg: &Accept{View: 1, ID: 3}},
+	)
+	for _, m := range msgs {
+		want := Marshal(m)
+		if got := Size(m); got != len(want) {
+			t.Errorf("%s: Size = %d, encoded length = %d", m.Type(), got, len(want))
+		}
+		prefix := []byte("prefix")
+		got := AppendMessage(append([]byte(nil), prefix...), m)
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			t.Fatalf("%s: AppendMessage clobbered dst prefix", m.Type())
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			t.Errorf("%s: AppendMessage bytes differ from Marshal", m.Type())
+		}
+	}
+}
+
+// TestGroupMsgInlineEncodingMatchesNested pins the inline GroupMsg envelope
+// encoding to the legacy nested-Marshal format byte for byte.
+func TestGroupMsgInlineEncodingMatchesNested(t *testing.T) {
+	inner := &Propose{View: 5, ID: 77, DecidedUpTo: 70, Value: []byte("payload")}
+	innerBytes := Marshal(inner)
+	// The legacy encoding: tag, group, then the inner marshal as a
+	// length-prefixed byte field.
+	var legacy []byte
+	legacy = append(legacy, byte(TGroupMsg))
+	legacy = binary.LittleEndian.AppendUint32(legacy, uint32(int32(3)))
+	legacy = binary.LittleEndian.AppendUint32(legacy, uint32(len(innerBytes)))
+	legacy = append(legacy, innerBytes...)
+	if got := Marshal(&GroupMsg{Group: 3, Msg: inner}); !bytes.Equal(got, legacy) {
+		t.Errorf("inline GroupMsg encoding differs from the nested format:\n got %x\nwant %x", got, legacy)
+	}
+}
+
+// TestReleaseAndReuse checks the pool round trip: a released struct serves a
+// later decode without corrupting earlier retained state.
+func TestReleaseAndReuse(t *testing.T) {
+	b1 := Marshal(&Propose{View: 1, ID: 1, Value: []byte("one")})
+	m1, err := Unmarshal(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Retain(m1)
+	p1 := m1.(*Propose)
+	val := p1.Value
+	Release(m1)
+	// The pool may hand the same struct to the next decode; the retained
+	// value buffer must be untouched.
+	b2 := Marshal(&Propose{View: 2, ID: 2, Value: []byte("two")})
+	m2, err := Unmarshal(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(val) != "one" {
+		t.Errorf("retained value corrupted after Release+reuse: %q", val)
+	}
+	Release(m2)
+}
+
+// TestDecodeBatchIntoReusesStorage checks the steady-state decode loop:
+// slice capacity is reused and released structs cycle through the pool.
+func TestDecodeBatchIntoReusesStorage(t *testing.T) {
+	batch := EncodeBatch([]*ClientRequest{
+		{ClientID: 1, Seq: 1, Payload: []byte("a")},
+		{ClientID: 2, Seq: 2, Payload: []byte("bb")},
+	})
+	var reqs []*ClientRequest
+	for range 3 {
+		var err error
+		reqs, err = DecodeBatchInto(reqs, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) != 2 || reqs[0].ClientID != 1 || string(reqs[1].Payload) != "bb" {
+			t.Fatalf("decode = %+v", reqs)
+		}
+		for _, r := range reqs {
+			Release(r)
+		}
 	}
 }
 
