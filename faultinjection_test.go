@@ -8,6 +8,8 @@ package gosmr_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -21,7 +23,10 @@ import (
 // lossyCluster boots 3 replicas (with `groups` ordering groups each) over an
 // inproc network with the given fault function installed for inter-replica
 // traffic only (client traffic stays clean so the test measures
-// protocol-level recovery, not client retries).
+// protocol-level recovery, not client retries). Each replica dials through
+// an identity-stamped view of the network (Inproc.As) so BOTH endpoints of
+// peer traffic carry replica names — without it the dialing side is
+// anonymous and a name-filtered fault would match nothing.
 func lossyCluster(t *testing.T, groups int, fault transport.FaultFunc) (*gosmr.Client, []*service.KV, func() []*gosmr.Replica) {
 	t.Helper()
 	net := transport.NewInproc(0)
@@ -38,7 +43,7 @@ func lossyCluster(t *testing.T, groups int, fault transport.FaultFunc) (*gosmr.C
 		kv := service.NewKV()
 		rep, err := gosmr.NewReplica(gosmr.Config{
 			ID: i, Peers: peers, ClientAddr: fmt.Sprintf("fi-c%d", i),
-			Network:           net,
+			Network:           net.As(peers[i]),
 			Groups:            groups,
 			BatchDelay:        time.Millisecond,
 			HeartbeatInterval: 20 * time.Millisecond,
@@ -447,6 +452,108 @@ func TestSingleReplicaRestartRecoversFromWAL(t *testing.T) {
 	if !bytes.Equal(gotCache, wantCache) {
 		t.Error("recovered reply cache diverged from pre-restart cache")
 	}
+}
+
+// TestWALServedCatchUpAvoidsStateTransfer pins catch-up tier 2: a follower
+// whose gap reaches below the responder's in-memory truncation base — but
+// stays inside the WAL's one-checkpoint-generation retention — refills from
+// the responder's DISK, with zero state transfers.
+//
+// The gap is carved deterministically with fault injection: every frame from
+// the leader to follower 2 is dropped for a window of commits, so the
+// follower misses exactly those proposes (nothing is queued for replay on a
+// reconnect — the messages are gone; the retransmitter cancels on decide).
+// Arithmetic (groups=1, sequential client: one instance per command):
+// SnapshotEvery=20 cuts at instances 20 (before the window — the follower
+// holds it) and 40 (inside it). When the window lifts, the leader's memory
+// starts at 40, so the follower's gap [~25, 40) can only come from the
+// leader's WAL — which retains the generation since cut 20 — or from a full
+// snapshot transfer. StateTransfers == 0 proves the disk path served it.
+func TestWALServedCatchUpAvoidsStateTransfer(t *testing.T) {
+	net := transport.NewInproc(0)
+	var dropToVictim atomic.Bool
+	net.SetFault(func(from, to string, frame []byte) (bool, bool) {
+		return dropToVictim.Load() && from == "wcu-r0" && to == "wcu-r2", false
+	})
+	peers := []string{"wcu-r0", "wcu-r1", "wcu-r2"}
+	reps := make([]*gosmr.Replica, 3)
+	stores := make([]*service.KV, 3)
+	dirs := make([]string, 3)
+	for i := range 3 {
+		dirs[i] = t.TempDir()
+		kv := service.NewKV()
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID: i, Peers: peers, ClientAddr: fmt.Sprintf("wcu-c%d", i),
+			Network:           net.As(peers[i]),
+			DataDir:           dirs[i],
+			SyncPolicy:        "batch",
+			SnapshotEvery:     20,
+			BatchDelay:        time.Millisecond,
+			HeartbeatInterval: 20 * time.Millisecond,
+			SuspectTimeout:    400 * time.Millisecond,
+		}, kv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(rep.Stop)
+		reps[i] = rep
+		stores[i] = kv
+	}
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:   []string{"wcu-c0", "wcu-c1", "wcu-c2"},
+		Network: net, Timeout: 30 * time.Second, AttemptTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+
+	// Follower 2 tracks the first 25 instances normally (through the first
+	// snapshot cut at 20).
+	putKeys(t, cli, "pre", 0, 25)
+	waitKV(t, stores, 25, 15*time.Second)
+
+	// Blackout window: follower 2 sees nothing while 30 commands commit on
+	// the majority, crossing the cut at 40 — the leader truncates its
+	// in-memory log past the follower's position.
+	dropToVictim.Store(true)
+	putKeys(t, cli, "mid", 0, 30)
+	// The leader must have persisted the cut-at-40 snapshot (snapshot file
+	// snap-...27.snap, LastIncluded 39) before the window lifts, or the test
+	// would prove nothing.
+	waitForSnapshotCut(t, dirs[0], 39, 15*time.Second)
+	dropToVictim.Store(false)
+
+	putKeys(t, cli, "post", 0, 3)
+	waitKV(t, stores, 58, 20*time.Second)
+	waitReplyCaches(t, reps, 20*time.Second)
+	if n := reps[2].StateTransfers(); n != 0 {
+		t.Errorf("catch-up used %d state transfers; a WAL-coverable gap must be served from the responder's disk", n)
+	}
+}
+
+// waitForSnapshotCut waits until dir holds a persisted snapshot whose cut is
+// at least minCut.
+func waitForSnapshotCut(t *testing.T, dataDir string, minCut uint64, timeout time.Duration) {
+	t.Helper()
+	snapDir := filepath.Join(dataDir, "snapshots")
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		entries, err := os.ReadDir(snapDir)
+		if err == nil {
+			for _, e := range entries {
+				var cut uint64
+				if _, err := fmt.Sscanf(e.Name(), "snap-%016x.snap", &cut); err == nil && cut >= minCut {
+					return
+				}
+			}
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	t.Fatalf("no snapshot with cut >= %d appeared in %s within %v", minCut, snapDir, timeout)
 }
 
 func TestMultiGroupSnapshotTruncationConverges(t *testing.T) {

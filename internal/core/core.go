@@ -207,6 +207,12 @@ const (
 	evProposalReady
 	evCatchUpTimer
 	evTruncate
+	// evFastForward releases a group's fast-forward past a transferred
+	// snapshot's cut. With snap set it is the ServiceManager's install ack —
+	// the snapshot is durably persisted, so journaling the cut is now safe —
+	// and the Protocol thread echoes an installed-marker into its decision
+	// stream so the Merger jumps its position. With snap nil it is the
+	// Merger's idempotent post-jump nudge to sibling groups.
 	evFastForward
 	// evDurable wakes the Protocol thread after the group's WAL Syncer
 	// advanced the durable watermark, so effects gated on durability are
@@ -221,16 +227,24 @@ type event struct {
 	msg  wire.Message
 	view wire.View       // evSuspect
 	upTo wire.InstanceID // evTruncate, evFastForward
+	gen  uint64          // evCatchUpTimer: query generation the timer was armed for
+	snap *wire.Snapshot  // evFastForward: durably installed snapshot (ack), or nil
 }
 
 // decisionItem is one decision-stream item: either a decided batch or a
-// snapshot to install (from catch-up state transfer). Per-group streams
-// carry group-local instance IDs; after the merge stage the ID is an index
-// into the merged total order.
+// snapshot (from catch-up state transfer). Per-group streams carry
+// group-local instance IDs; after the merge stage the ID is an index into
+// the merged total order. A snapshot item travels twice in the two-phase
+// install: first as an install request flowing Merger → ServiceManager
+// (installed=false; the Merger's position does not move yet), then — after
+// the ServiceManager persisted and restored it — as an installed marker
+// flowing each group's Protocol thread → Merger (installed=true), which is
+// what jumps the merge position.
 type decisionItem struct {
-	id       wire.InstanceID
-	value    []byte // encoded batch
-	snapshot *wire.Snapshot
+	id        wire.InstanceID
+	value     []byte // encoded batch
+	snapshot  *wire.Snapshot
+	installed bool
 }
 
 // groupDecision is one MergeQueue item: a per-group decision-stream item

@@ -1,0 +1,21 @@
+package core
+
+import "os"
+
+// crashExitCode is the exit status crashPoint dies with, distinguishable
+// from both a clean shutdown and a startup failure in test assertions.
+const crashExitCode = 137
+
+// crashPoint kills the process abruptly when the named crash point is armed
+// via the GOSMR_CRASHPOINT environment variable — fault injection for the
+// subprocess kill-restart suites, which use it to die deterministically
+// inside windows (e.g. mid snapshot install) that a timed SIGKILL cannot hit
+// reliably. os.Exit skips every deferred function and graceful Stop path, so
+// nothing — not the WAL's pending buffer, not a transport flush — survives
+// beyond what is already on disk, the same post-mortem state a kill -9
+// leaves. A no-op (one getenv) in normal operation.
+func crashPoint(name string) {
+	if name != "" && os.Getenv("GOSMR_CRASHPOINT") == name {
+		os.Exit(crashExitCode)
+	}
+}

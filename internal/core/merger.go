@@ -87,12 +87,12 @@ func (m *mergeState) drain() []mergedDecision {
 	}
 }
 
-// feedSnapshot handles a snapshot surfacing in group g's stream (catch-up
-// state transfer). If it advances the merge, every group's position jumps to
-// its share of the covered prefix and true is returned: the caller must
-// install the snapshot downstream and fast-forward the sibling groups'
-// logs. Snapshots at or behind the current merge position are stale (the
-// local state already covers them) and are dropped.
+// feedSnapshot jumps the merge past an installed snapshot (the boot
+// snapshot, or phase 2 of a transferred-snapshot install — by the time it is
+// called the snapshot is durably persisted and restored). If it advances the
+// merge, every group's position jumps to its share of the covered prefix and
+// true is returned. Snapshots at or behind the current merge position are
+// stale (the local state already covers them) and are dropped.
 func (m *mergeState) feedSnapshot(snap *wire.Snapshot) bool {
 	if snap.GroupCount() != m.groups || int64(snap.LastIncluded) < m.next {
 		return false
@@ -138,6 +138,12 @@ func (r *Replica) runMerger() {
 	defer th.Transition(profiling.StateOther)
 
 	m := newMergeState(len(r.groups))
+	// durableCut is the highest merged index the Merger has WITNESSED as
+	// covered by a durably persisted snapshot: the boot snapshot, and every
+	// installed marker (markers are only emitted after the ServiceManager's
+	// persist). It bounds how far the lost-ack re-nudge below may ask a
+	// group to journal a cut — a cut above it might not be covered on disk.
+	durableCut := int64(-1)
 	if r.bootSnap != nil {
 		// Crash-restart recovery: the service was restored from this
 		// snapshot before any module started, so merging resumes right
@@ -145,6 +151,7 @@ func (r *Replica) runMerger() {
 		// performs. Each group's Protocol thread re-emits its decided
 		// suffix from the matching group-local position.
 		m.feedSnapshot(r.bootSnap)
+		durableCut = int64(r.bootSnap.LastIncluded)
 		for g := range m.expect {
 			r.groups[g].mergedUpTo.Store(int64(m.expect[g]))
 		}
@@ -192,24 +199,61 @@ func (r *Replica) runMerger() {
 		}
 
 		if gd.item.snapshot != nil {
-			if !m.feedSnapshot(gd.item.snapshot) {
-				continue // stale snapshot: local state already covers it
+			snap := gd.item.snapshot
+			if gd.item.installed {
+				// Phase 2: a group's installed marker — the ServiceManager
+				// persisted and restored this snapshot, and the group
+				// journaled its cut. Jump the merge position; duplicate
+				// markers from the other groups are stale and drop here
+				// (but still witness durability).
+				durableCut = max(durableCut, int64(snap.LastIncluded))
+				if !m.feedSnapshot(snap) {
+					continue
+				}
+				// Idempotent nudge to every group: any whose install ack
+				// was lost (TryPut under pressure) still fast-forwards.
+				// Safe — the snapshot is durable, so journaling the cut
+				// cannot outrun it.
+				for _, g := range r.groups {
+					cut := wire.GroupCut(snap.LastIncluded, len(r.groups), g.idx)
+					_, _ = g.dispatchQ.TryPut(event{kind: evFastForward, upTo: cut})
+					g.mergedUpTo.Store(int64(m.expect[g.idx]))
+				}
+				// The jump may have landed the cursor on an already-buffered
+				// slot; emit everything reachable before blocking again.
+				if !emit(m.drain()) {
+					return
+				}
+				continue
 			}
-			// Install downstream, then fast-forward the sibling groups'
-			// logs past the covered prefix (the originating group already
-			// jumped inside its catch-up handler; FastForward is
-			// idempotent, so telling every group is safe).
-			if err := r.decisionQ.Put(th, decisionItem{snapshot: gd.item.snapshot}); err != nil {
-				return
+			// Phase 1: a catch-up snapshot surfaced by a group. The merge
+			// position does NOT move yet — the ServiceManager must persist
+			// the snapshot first (a refusal there simply means catch-up
+			// retries and no state changed anywhere). Forward the install
+			// request downstream; duplicates of an in-flight install are
+			// deduplicated by the ServiceManager against its install floor.
+			if snap.GroupCount() != len(r.groups) {
+				continue
 			}
-			for _, g := range r.groups {
-				cut := wire.GroupCut(gd.item.snapshot.LastIncluded, len(r.groups), g.idx)
-				_, _ = g.dispatchQ.TryPut(event{kind: evFastForward, upTo: cut})
-				g.mergedUpTo.Store(int64(m.expect[g.idx]))
+			if int64(snap.LastIncluded) < m.next {
+				// Stale: the merge already advanced past this cut. When a
+				// WITNESSED durable snapshot covers it (the common cause: a
+				// sibling's marker jumped the merge and this group's
+				// fast-forward ack was TryPut-lost), re-nudge the
+				// originating group — journaling a durably-covered cut is
+				// safe, and the group's catch-up retries this until the
+				// nudge lands. Without the durability witness (the merge
+				// advanced by normal merging after the gap filled), just
+				// drop: the group is not wedged, and an unbacked cut could
+				// strand a crash with a journal ahead of every snapshot on
+				// disk.
+				if int64(snap.LastIncluded) <= durableCut {
+					cut := wire.GroupCut(snap.LastIncluded, len(r.groups), gd.group)
+					_, _ = r.groups[gd.group].dispatchQ.TryPut(event{kind: evFastForward, upTo: cut})
+				}
+				continue
 			}
-			// The jump may have landed the cursor on an already-buffered
-			// slot; emit everything reachable before blocking again.
-			if !emit(m.drain()) {
+			if err := r.decisionQ.Put(th, decisionItem{snapshot: snap}); err != nil {
 				return
 			}
 			continue

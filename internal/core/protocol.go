@@ -91,7 +91,7 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 		case evProposalReady:
 			// Handled by the drain below.
 		case evCatchUpTimer:
-			apply(node.CatchUpTimeout())
+			apply(node.CatchUpTimeout(ev.gen))
 		case evTruncate:
 			node.TruncateLog(ev.upTo)
 			if g.wal != nil {
@@ -109,9 +109,20 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 				g.wal.Checkpoint(node.Log().Base(), states)
 			}
 		case evFastForward:
-			// A snapshot installed via a sibling group's catch-up covers
-			// this group's log below ev.upTo.
+			// A transferred snapshot covering this group's log below ev.upTo
+			// is durably on disk (the ServiceManager persisted it before
+			// sending this event), so the cut this journals can never outrun
+			// its snapshot. Decisions already applied above the cut are
+			// emitted by FastForward itself.
 			apply(node.FastForward(ev.upTo))
+			if ev.snap != nil {
+				// Install ack: echo the installed marker into this group's
+				// decision stream, behind the cut and any decisions this
+				// event released, so the Merger jumps its position in order.
+				if !r.emitItem(th, g, ps, decisionItem{snapshot: ev.snap, installed: true}) {
+					return
+				}
+			}
 		case evDurable:
 			// The WAL Syncer advanced the durable watermark; the release
 			// check below the switch does the work.
@@ -249,11 +260,28 @@ func (r *Replica) applyEffects(th *profiling.Thread, g *ordGroup, node *paxos.No
 			r.enqueueSend(leader, wrapGroup(g.idx, e.CatchUp))
 		}
 		// Re-arm: if the response never comes, the state machine re-issues.
+		// The timer carries the query's generation so a timeout that lost
+		// the race with the response is a no-op instead of a duplicate query.
+		gen := e.CatchUpGen
 		timeout := r.cfg.CatchUpTimeout
 		time.AfterFunc(timeout, func() {
-			_, _ = g.dispatchQ.TryPut(event{kind: evCatchUpTimer})
+			_, _ = g.dispatchQ.TryPut(event{kind: evCatchUpTimer, gen: gen})
 		})
 	}
+}
+
+// emitItem pushes one decision-stream item toward the merge stage, through
+// the durable gate when the group is gated (FIFO with everything already
+// parked, so stream order is preserved). Returns false on shutdown.
+func (r *Replica) emitItem(th *profiling.Thread, g *ordGroup, ps *protoState, item decisionItem) bool {
+	if g.gated {
+		lsn := g.wal.AppendedLSN()
+		if len(ps.gate) > 0 || g.wal.DurableLSN() < lsn {
+			ps.gate = append(ps.gate, gatedEffects{lsn: lsn, items: []decisionItem{item}})
+			return true
+		}
+	}
+	return r.emitEffects(th, g, ps, nil, []decisionItem{item})
 }
 
 // sendOne transmits a (group-wrapped) message and registers its

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -78,7 +79,7 @@ func (b *bootState) closeWALs() {
 func (r *Replica) recoverBoot() (*bootState, error) {
 	dir := r.cfg.DataDir
 	b := &bootState{groups: make([]groupBoot, len(r.groups))}
-	snap, err := loadNewestSnapshot(filepath.Join(dir, "snapshots"))
+	snap, skipped, err := loadNewestSnapshot(filepath.Join(dir, "snapshots"))
 	if err != nil {
 		return nil, err
 	}
@@ -119,15 +120,24 @@ func (r *Replica) recoverBoot() (*bootState, error) {
 			return nil, fmt.Errorf("core: group %d: %w", g, err)
 		}
 		if log.Base() > bootCut {
-			// The WAL records a snapshot cut that is not on disk (a crash
-			// between a group's cut and the snapshot write — possible for
-			// transferred snapshots — or manual deletion). State below the
-			// base is unrecoverable locally; refuse to boot half-blind
-			// rather than silently execute from the wrong prefix.
+			// The WAL records a snapshot cut that is not on disk. With
+			// persist-before-cut ordering no crash produces this state any
+			// more (the snapshot is always durable before any group journals
+			// its cut); reaching it means a snapshot file was corrupted or
+			// deleted after the fact. State below the base is unrecoverable
+			// locally; refuse to boot half-blind rather than silently
+			// execute from the wrong prefix — and if intact-looking
+			// snapshots were skipped on the way here, name them: a skipped
+			// newest snapshot is by far the likeliest culprit.
 			w.Close()
 			b.closeWALs()
-			return nil, fmt.Errorf("core: group %d WAL is cut at %d but the newest snapshot covers only %d; clear %s to rejoin via state transfer",
-				g, log.Base(), bootCut, dir)
+			detail := ""
+			if len(skipped) > 0 {
+				detail = fmt.Sprintf(" (skipped unreadable snapshot(s): %s — see the preceding log lines for each decode error)",
+					strings.Join(skipped, ", "))
+			}
+			return nil, fmt.Errorf("core: group %d WAL is cut at %d but the newest snapshot covers only %d; clear %s to rejoin via state transfer%s",
+				g, log.Base(), bootCut, dir, detail)
 		}
 		b.groups[i] = groupBoot{wal: w, log: log, view: view}
 	}
@@ -145,7 +155,7 @@ func replayWAL(log *storage.Log, recs []wal.Record) (wire.View, error) {
 			if rec.View > view {
 				view = rec.View
 			}
-		case wal.RecCut:
+		case wal.RecCut, wal.RecCkpt:
 			if rec.ID > log.Base() {
 				log.CoverPrefix(rec.ID)
 			}
@@ -341,26 +351,34 @@ func snapshotFiles(dir string) ([]string, error) {
 }
 
 // loadNewestSnapshot returns the newest intact snapshot in dir, or nil when
-// none exists. Corrupt files (a crash mid-write) are skipped in favor of
-// older intact ones.
-func loadNewestSnapshot(dir string) (*wire.Snapshot, error) {
+// none exists, plus the names of any newer files it had to skip. Corrupt
+// files (a crash mid-write) are skipped in favor of older intact ones, but
+// never silently: each skip is logged with its decode error, because a
+// skipped newest snapshot can make boot fall behind the WALs' cuts and the
+// resulting "clear the data dir" refusal is baffling without it.
+func loadNewestSnapshot(dir string) (*wire.Snapshot, []string, error) {
 	names, err := snapshotFiles(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, nil, nil
 		}
-		return nil, err
+		return nil, nil, err
 	}
+	var skipped []string
 	for i := len(names) - 1; i >= 0; i-- {
 		data, err := os.ReadFile(filepath.Join(dir, names[i]))
 		if err != nil {
+			log.Printf("gosmr: skipping snapshot %s: %v", filepath.Join(dir, names[i]), err)
+			skipped = append(skipped, names[i])
 			continue
 		}
 		snap, err := decodeSnapshotFile(data)
 		if err != nil {
+			log.Printf("gosmr: skipping snapshot %s: %v", filepath.Join(dir, names[i]), err)
+			skipped = append(skipped, names[i])
 			continue
 		}
-		return &snap, nil
+		return &snap, skipped, nil
 	}
-	return nil, nil
+	return nil, skipped, nil
 }

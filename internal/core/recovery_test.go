@@ -1,0 +1,54 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gosmr/internal/wire"
+)
+
+// TestLoadNewestSnapshotReportsSkips pins the skip-reporting contract: an
+// unreadable newest snapshot must not be silently passed over — the loader
+// falls back to the older intact one AND names what it skipped, so the
+// boot-time "clear the data dir" refusal can tell the operator why the cuts
+// outran the usable snapshot.
+func TestLoadNewestSnapshotReportsSkips(t *testing.T) {
+	dir := t.TempDir()
+	older := wire.Snapshot{LastIncluded: 9, ServiceState: []byte("old"), ReplyCache: []byte("rc")}
+	if err := persistSnapshot(dir, older); err != nil {
+		t.Fatal(err)
+	}
+	// A newer snapshot whose payload was torn mid-write: the CRC cannot
+	// match.
+	corruptName := snapName(19)
+	if err := os.WriteFile(filepath.Join(dir, corruptName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, skipped, err := loadNewestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.LastIncluded != 9 {
+		t.Fatalf("loaded snapshot = %+v, want fallback with cut 9", snap)
+	}
+	if len(skipped) != 1 || skipped[0] != corruptName {
+		t.Fatalf("skipped = %v, want [%s]", skipped, corruptName)
+	}
+
+	// All-intact directory: nothing skipped.
+	if err := persistSnapshot(dir, wire.Snapshot{LastIncluded: 19, ServiceState: []byte("new")}); err != nil {
+		t.Fatal(err)
+	}
+	snap, skipped, err = loadNewestSnapshot(dir)
+	if err != nil || snap == nil || snap.LastIncluded != 19 || len(skipped) != 0 {
+		t.Fatalf("after repair: snap=%+v skipped=%v err=%v, want cut 19 and no skips", snap, skipped, err)
+	}
+
+	// Empty/missing directory stays a clean no-snapshot boot.
+	snap, skipped, err = loadNewestSnapshot(filepath.Join(dir, "nope"))
+	if err != nil || snap != nil || skipped != nil {
+		t.Fatalf("missing dir: snap=%v skipped=%v err=%v, want nil/nil/nil", snap, skipped, err)
+	}
+}

@@ -369,6 +369,14 @@ func (r *Replica) Start() error {
 			gb.log.SetJournal(walJournal{w: gb.wal})
 			opts.Log = gb.log
 			opts.View = gb.view
+			// Catch-up tier 2: serve decided values the in-memory log has
+			// truncated from the group's WAL (it retains one checkpoint
+			// generation below the cut), so moderately lagging peers refill
+			// from this replica's disk instead of taking a full snapshot.
+			w := gb.wal
+			opts.ColdDecided = func(from, to wire.InstanceID, maxEntries int) ([]wire.DecidedValue, bool) {
+				return w.ReadDecidedRange(from, to, maxEntries)
+			}
 		}
 		node := paxos.NewNode(opts)
 		r.wg.Add(2)

@@ -279,7 +279,6 @@ func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 	}
 }
 
-
 // runSender is the ReplicaIOSnd thread for one peer: take from the
 // SendQueue, serialize, write. When the transport buffers writes
 // (transport.BatchWriter), the sender keeps draining the queue without

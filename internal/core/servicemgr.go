@@ -45,14 +45,26 @@ func (r *Replica) runServiceManager() {
 	// Payloads borrow from the batch value, which the replicated log owns
 	// and never mutates.
 	var reqScratch []*wire.ClientRequest
+	// floor is the merged index of the newest installed snapshot: decisions
+	// at or below it arrive only in the window between this thread's restore
+	// and the Merger's position jump (the two-phase install is asynchronous)
+	// and are already part of the restored state — re-scheduling them would
+	// at best resend cached replies and at worst cut a mislabeled snapshot.
+	floor := int64(-1)
+	if r.bootSnap != nil {
+		floor = int64(r.bootSnap.LastIncluded)
+	}
 	for {
 		item, err := r.decisionQ.Take(th)
 		if err != nil {
 			return
 		}
 		if item.snapshot != nil {
-			r.installSnapshot(th, item.snapshot)
+			floor = r.installSnapshot(th, item.snapshot, floor)
 			continue
+		}
+		if int64(item.id) <= floor {
+			continue // covered by an installed snapshot
 		}
 		reqs, err := wire.DecodeBatchInto(reqScratch, item.value)
 		if err != nil {
@@ -151,26 +163,52 @@ func (r *Replica) sendReply(req *wire.ClientRequest, reply []byte) {
 	}
 }
 
-// installSnapshot replaces service and reply-cache state from a transferred
-// snapshot (the replica was too far behind for log catch-up). Workers are
-// quiesced first so no in-flight execution observes the swap, and the
-// scheduler's at-most-once table is rebuilt from the restored reply cache
-// (with Inline workers: those executions are part of the snapshot, so
-// nothing needs ordering behind them).
-func (r *Replica) installSnapshot(th *profiling.Thread, snap *wire.Snapshot) {
+// installSnapshot is phase 2 of the transferred-snapshot install (the
+// replica was too far behind for log or WAL catch-up): persist FIRST, then
+// restore, then ack. The ordering is the crash-consistency invariant — no
+// group journals its cut (that happens only on the evFastForward ack this
+// sends) until the snapshot covering that cut is durably on disk, so a kill
+// at ANY point in the install reboots cleanly from the DataDir. On persist
+// failure the install is refused outright: nothing restored, no acks, no
+// state changed anywhere; the requesting group's catch-up timer re-surfaces
+// the snapshot and the install retries. Workers are quiesced before the
+// restore so no in-flight execution observes the swap, and the scheduler's
+// at-most-once table is rebuilt from the restored reply cache (with Inline
+// workers: those executions are part of the snapshot, so nothing needs
+// ordering behind them).
+//
+// Returns the new install floor (the merged index the restored state
+// covers). A request at or below the current floor is a duplicate from a
+// catch-up retry: the state is already installed and durable, so only the
+// acks are resent — healing any group whose fast-forward nudge was lost.
+func (r *Replica) installSnapshot(th *profiling.Thread, snap *wire.Snapshot, floor int64) int64 {
+	if int64(snap.LastIncluded) <= floor {
+		r.sendInstallAcks(snap)
+		return floor
+	}
+	crashPoint("transfer-install")
 	r.exec.Quiesce(th)
+	if err := r.persistIfDurable(*snap); err != nil {
+		log.Printf("gosmr: replica %d: refusing transferred snapshot (cut %d): persist to %s failed (%v); catch-up will retry",
+			r.cfg.ID, snap.LastIncluded, r.cfg.DataDir, err)
+		return floor
+	}
+	crashPoint("transfer-persisted")
 	_ = r.restoreFromSnapshot(*snap)
 	r.stateTransfers.Add(1)
-	// A transferred snapshot is as much a durable cut as a local one: the
-	// groups journal their cuts when they fast-forward past it, and a
-	// restart needs the snapshot on disk to boot from that base. A failed
-	// persist therefore means the next boot will refuse this DataDir —
-	// say so now, at fault time, instead of leaving the operator a
-	// mystery.
-	if err := r.persistIfDurable(*snap); err != nil {
-		log.Printf("gosmr: replica %d: persisting transferred snapshot (cut %d) to %s failed (%v); "+
-			"a restart from this data dir will require clearing it",
-			r.cfg.ID, snap.LastIncluded, r.cfg.DataDir, err)
+	r.sendInstallAcks(snap)
+	return int64(snap.LastIncluded)
+}
+
+// sendInstallAcks releases every group's fast-forward past a durably
+// installed snapshot. Best-effort per group (TryPut): the Merger re-nudges
+// all groups when the first marker jumps it, and a duplicate install
+// request from the requester's catch-up retry resends the acks, so a lost
+// nudge heals instead of wedging the group behind the cut.
+func (r *Replica) sendInstallAcks(snap *wire.Snapshot) {
+	for _, g := range r.groups {
+		cut := wire.GroupCut(snap.LastIncluded, len(r.groups), g.idx)
+		_, _ = g.dispatchQ.TryPut(event{kind: evFastForward, upTo: cut, snap: snap})
 	}
 }
 

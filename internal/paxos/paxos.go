@@ -88,8 +88,17 @@ type Effects struct {
 	// CatchUp, if non-nil, asks the caller to send this query to a peer that
 	// is likely to have the decided values (normally the leader).
 	CatchUp *wire.CatchUpQuery
-	// InstallSnapshot, if non-nil, carries a snapshot that must be installed
-	// into the service before any of the Decisions in this Effects.
+	// CatchUpGen identifies the CatchUp query for timeout pairing: the
+	// caller's response timer must hand it back to CatchUpTimeout, which
+	// ignores stale generations (a response already landed and a newer query
+	// may be in flight).
+	CatchUpGen uint64
+	// InstallSnapshot, if non-nil, carries a snapshot this node needs
+	// installed. The node has NOT fast-forwarded its own log: installation is
+	// two-phase — the execution layer persists the snapshot durably first and
+	// only then releases FastForward to every group, so no group ever
+	// journals a cut that outruns the snapshot covering it (a crash between
+	// the two would otherwise leave an unbootable data directory).
 	InstallSnapshot *wire.Snapshot
 }
 
@@ -106,6 +115,24 @@ func (e *Effects) sendReliable(to int, msg wire.Message, key RetransKey) {
 // from the Protocol thread; nil Snapshot data means "no snapshot available"
 // (the responder then sends whatever decided values it retains).
 type SnapshotProvider func() (wire.Snapshot, bool)
+
+// ColdDecidedReader serves decided values below the in-memory log's
+// truncation base from durable storage (the group's WAL retains the previous
+// checkpoint generation). It must return a contiguous decided prefix
+// starting exactly at from, holding at most maxEntries values; ok is false
+// when the store cannot serve `from` at all — the requester then needs a
+// snapshot. A partial prefix (capped or bounded by to) with ok=true is fine:
+// the requester's follow-up query pages through the rest.
+type ColdDecidedReader func(from, to wire.InstanceID, maxEntries int) (vals []wire.DecidedValue, ok bool)
+
+// Catch-up response caps: one CatchUpResp never carries more than this many
+// decided values or (approximately) this many payload bytes. A lagging
+// replica pages through larger gaps with follow-up queries, so a single
+// response cannot balloon into an unbounded frame.
+const (
+	DefaultCatchUpMaxEntries = 512
+	DefaultCatchUpMaxBytes   = 1 << 20
+)
 
 // openInstance tracks a leader's in-flight Phase 2 instance.
 type openInstance struct {
@@ -136,8 +163,18 @@ type Node struct {
 	lastDelivered  wire.InstanceID // all instances below have been emitted
 	leaderUpTo     wire.InstanceID // highest decision watermark seen from a leader
 	catchUpPending bool
+	catchUpGen     uint64 // bumped per issued query; pairs timeouts with queries
+	// pendingInstall is the group-local cut of a snapshot this node surfaced
+	// (InstallSnapshot effect) whose two-phase install has not come back as a
+	// FastForward yet. While set, duplicate catch-up responses do not
+	// re-surface the same snapshot; CatchUpTimeout clears it so a refused
+	// install (persist failure downstream) is retried at timer pace.
+	pendingInstall wire.InstanceID
 
-	snapshots SnapshotProvider
+	snapshots         SnapshotProvider
+	coldDecided       ColdDecidedReader
+	catchUpMaxEntries int
+	catchUpMaxBytes   int
 }
 
 // Options configures a Node.
@@ -158,6 +195,16 @@ type Options struct {
 	Groups int
 	// Snapshots supplies snapshots for catch-up state transfer (may be nil).
 	Snapshots SnapshotProvider
+	// ColdDecided, when non-nil, serves decided values below the log's
+	// truncation base from durable storage (the group's WAL), so a catch-up
+	// query whose gap is disk-covered is answered with values instead of a
+	// full snapshot transfer.
+	ColdDecided ColdDecidedReader
+	// CatchUpMaxEntries and CatchUpMaxBytes cap one catch-up response
+	// (defaults DefaultCatchUpMaxEntries / DefaultCatchUpMaxBytes); larger
+	// gaps are served across progress-gated follow-up queries.
+	CatchUpMaxEntries int
+	CatchUpMaxBytes   int
 	// Log, when non-nil, seeds the node with a recovered replicated log
 	// (crash-restart recovery): delivery resumes at the log's base and
 	// Start re-emits the already-decided prefix so the execution stage can
@@ -191,6 +238,12 @@ func NewNode(opts Options) *Node {
 	if log == nil {
 		log = storage.NewLog()
 	}
+	if opts.CatchUpMaxEntries <= 0 {
+		opts.CatchUpMaxEntries = DefaultCatchUpMaxEntries
+	}
+	if opts.CatchUpMaxBytes <= 0 {
+		opts.CatchUpMaxBytes = DefaultCatchUpMaxBytes
+	}
 	return &Node{
 		id:     opts.ID,
 		n:      opts.N,
@@ -203,8 +256,11 @@ func NewNode(opts Options) *Node {
 		// Delivery resumes at the recovered log's base: the decided prefix
 		// between base and the watermark is re-emitted by Start so the
 		// service can be rebuilt from the last durable snapshot.
-		lastDelivered: log.Base(),
-		snapshots:     opts.Snapshots,
+		lastDelivered:     log.Base(),
+		snapshots:         opts.Snapshots,
+		coldDecided:       opts.ColdDecided,
+		catchUpMaxEntries: opts.CatchUpMaxEntries,
+		catchUpMaxBytes:   opts.CatchUpMaxBytes,
 	}
 }
 
@@ -576,28 +632,77 @@ func (nd *Node) maybeCatchUp(e *Effects) {
 		return
 	}
 	nd.catchUpPending = true
+	nd.catchUpGen++
 	e.CatchUp = &wire.CatchUpQuery{From: missing[0], To: nd.leaderUpTo}
+	e.CatchUpGen = nd.catchUpGen
 }
 
 // CatchUpTimeout re-arms catch-up after the caller's response timer expires
-// without an answer.
-func (nd *Node) CatchUpTimeout() Effects {
+// without an answer. gen is the Effects.CatchUpGen of the query the timer
+// was armed for: a stale timeout — a response landed (and possibly issued a
+// newer query) between the timer firing and this call — never re-queries,
+// so it can never inject a duplicate query alongside a live one.
+func (nd *Node) CatchUpTimeout(gen uint64) Effects {
 	var e Effects
+	// A surfaced snapshot whose install never came back as a FastForward
+	// (lost nudge, or the persist was refused downstream) is re-surfaced at
+	// timer pace rather than per-response. This runs on EVERY timeout,
+	// stale or not: in a healthy-latency cluster responses beat their
+	// timers, so the live-timeout path below may never execute — if the
+	// reset lived only there, a refused install would wedge the replica
+	// behind the cut forever. Clearing on a stale timeout is harmless: the
+	// next response re-surfaces the snapshot and the installer deduplicates
+	// against its floor (resending any lost acks, which is the heal).
+	if nd.log.Base() < nd.pendingInstall {
+		nd.pendingInstall = 0
+	}
+	if !nd.catchUpPending || gen != nd.catchUpGen {
+		return e
+	}
 	nd.catchUpPending = false
 	nd.maybeCatchUp(&e)
 	return e
 }
 
-// handleCatchUpQuery serves decided values (and a snapshot if part of the
-// range was truncated away) to a lagging replica.
+// handleCatchUpQuery serves decided values to a lagging replica, in up to
+// three tiers: the in-memory log for the retained suffix, the cold store
+// (the group's WAL, via Options.ColdDecided) for values between the
+// truncation base and the WAL's own retention horizon, and a full snapshot
+// only when the gap reaches below both. Responses are capped at
+// catchUpMaxEntries/-MaxBytes; the requester pages through larger gaps with
+// follow-up queries (progress-gated, so pagination cannot livelock).
 func (nd *Node) handleCatchUpQuery(from int, m *wire.CatchUpQuery, e *Effects) {
 	to := m.To
 	if to > nd.log.FirstUndecided() {
 		to = nd.log.FirstUndecided()
 	}
-	vals, truncated := nd.log.DecidedInRange(m.From, to)
+	base := nd.log.Base()
+	var vals []wire.DecidedValue
+	needSnap := false
+	if m.From < base {
+		served := false
+		if nd.coldDecided != nil {
+			if cold, ok := nd.coldDecided(m.From, min(base, to), nd.catchUpMaxEntries); ok {
+				vals, served = cold, true
+			}
+		}
+		needSnap = !served
+	}
+	// The in-memory suffix rides along even when a snapshot is attached —
+	// the requester applies whatever reaches above the snapshot cut and
+	// saves itself a round — but only up to the remaining entry budget:
+	// below FirstUndecided everything is decided, so clamping the scan
+	// range is exact, and materializing a suffix the cap would discard
+	// would make every pagination round O(retained log).
+	if remaining := nd.catchUpMaxEntries - len(vals); remaining > 0 {
+		lo := max(m.From, base)
+		memTo := min(to, lo+wire.InstanceID(remaining))
+		mem, _ := nd.log.DecidedInRange(lo, memTo)
+		vals = append(vals, mem...)
+	}
+	vals = capCatchUp(vals, nd.catchUpMaxEntries, nd.catchUpMaxBytes)
 	resp := &wire.CatchUpResp{Entries: vals}
-	if truncated && nd.snapshots != nil {
+	if needSnap && nd.snapshots != nil {
 		if snap, ok := nd.snapshots(); ok {
 			resp.HasSnapshot = true
 			resp.Snapshot = snap
@@ -606,28 +711,47 @@ func (nd *Node) handleCatchUpQuery(from int, m *wire.CatchUpQuery, e *Effects) {
 	e.send(from, resp)
 }
 
-// handleCatchUpResp installs fetched decided values (and snapshot, if any).
-// A snapshot's LastIncluded is a merged-order index; this node fast-forwards
-// its own log to its group's share of that prefix and surfaces the snapshot
-// so the merge stage can install it (and fast-forward the sibling groups).
+// capCatchUp trims a catch-up response to the entry and (approximate) byte
+// caps, always keeping at least one entry so a follow-up query makes
+// progress.
+func capCatchUp(vals []wire.DecidedValue, maxEntries, maxBytes int) []wire.DecidedValue {
+	if len(vals) > maxEntries {
+		vals = vals[:maxEntries]
+	}
+	total := 0
+	for i, v := range vals {
+		total += len(v.Value) + 16
+		if total > maxBytes && i > 0 {
+			return vals[:i]
+		}
+	}
+	return vals
+}
+
+// handleCatchUpResp applies fetched decided values and surfaces a received
+// snapshot for the two-phase install. The node does NOT fast-forward its log
+// here: the cut may only be journaled once the snapshot is durably on disk,
+// so the InstallSnapshot effect travels to the execution layer, which
+// persists it and releases FastForward to every group (see servicemgr.go).
+// pendingInstall suppresses re-surfacing the same snapshot from duplicate
+// responses while that round-trip is in flight.
 //
 // A follow-up query for the remaining gap is issued immediately only when
-// this response made progress (filled a missing instance or installed a
-// snapshot). A useless response — the responder may simply not have the
-// values, e.g. a just-elected leader behind the watermark we chased — must
-// wait for the caller's catch-up timer instead: re-querying synchronously
-// would ping-pong query/response at network speed until the responder
-// catches up (a livelock the randomized-schedule property test reproduces).
+// this response made progress (filled a missing instance). A useless
+// response — the responder may simply not have the values, e.g. a
+// just-elected leader behind the watermark we chased — and the install
+// round-trip both wait for the caller's catch-up timer instead: re-querying
+// synchronously would ping-pong query/response at network speed (a livelock
+// the randomized-schedule property test reproduces).
 func (nd *Node) handleCatchUpResp(m *wire.CatchUpResp, e *Effects) {
 	nd.catchUpPending = false
 	progress := false
 	if m.HasSnapshot && m.Snapshot.GroupCount() == nd.groups {
 		cut := wire.GroupCut(m.Snapshot.LastIncluded, nd.groups, nd.group)
-		if cut > nd.log.Base() {
-			nd.fastForward(cut, e)
+		if cut > nd.log.Base() && cut > nd.pendingInstall {
+			nd.pendingInstall = cut
 			snap := m.Snapshot
 			e.InstallSnapshot = &snap
-			progress = true
 		}
 	}
 	for _, dv := range m.Entries {
@@ -654,10 +778,16 @@ func (nd *Node) handleCatchUpResp(m *wire.CatchUpResp, e *Effects) {
 // above cut is retained — the snapshot says nothing about those slots, and
 // wiping a promised value there would violate Paxos quorum intersection
 // (the merge stage fast-forwards healthy sibling groups whose logs hold
-// live in-flight accepts). The caller must apply the returned Effects.
+// live in-flight accepts). In the two-phase transferred-snapshot install
+// this is the release step: it runs only after the snapshot is durably
+// persisted, and it is the point where the cut reaches the group's journal.
+// Decided entries from cut onward that became contiguous (e.g. catch-up
+// values applied while the install was in flight) are emitted here. The
+// caller must apply the returned Effects.
 func (nd *Node) FastForward(cut wire.InstanceID) Effects {
 	var e Effects
 	nd.fastForward(cut, &e)
+	nd.emitDecisions(&e)
 	return e
 }
 
@@ -668,6 +798,9 @@ func (nd *Node) fastForward(cut wire.InstanceID, e *Effects) {
 	nd.log.CoverPrefix(cut)
 	if nd.lastDelivered < cut {
 		nd.lastDelivered = cut
+	}
+	if nd.pendingInstall <= cut {
+		nd.pendingInstall = 0 // install round-trip completed
 	}
 	for id := range nd.open {
 		if id < cut {

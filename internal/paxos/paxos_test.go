@@ -365,7 +365,7 @@ func TestCatchUpFlow(t *testing.T) {
 		}
 	}
 	// CatchUpTimeout with nothing missing is a no-op.
-	if e := f2.CatchUpTimeout(); e.CatchUp != nil {
+	if e := f2.CatchUpTimeout(e2.CatchUpGen); e.CatchUp != nil {
 		t.Error("CatchUpTimeout re-queried with nothing missing")
 	}
 }
@@ -377,9 +377,180 @@ func TestCatchUpTimeoutRearms(t *testing.T) {
 		t.Fatal("no catch-up query")
 	}
 	// The query was lost; the timeout must re-issue it.
-	e = f2.CatchUpTimeout()
+	e = f2.CatchUpTimeout(e.CatchUpGen)
 	if e.CatchUp == nil {
 		t.Fatal("CatchUpTimeout did not re-issue the query")
+	}
+}
+
+func TestCatchUpTimeoutGenerationChecked(t *testing.T) {
+	l, f1, f2 := establish3(t, 8)
+	val := wire.EncodeBatch([]*wire.ClientRequest{{ClientID: 1, Seq: 1}})
+	e, _ := l.ProposeBatch(val)
+	e1 := f1.HandleMessage(0, e.Sends[0].Msg.(*wire.Propose))
+	l.HandleMessage(1, e1.Sends[0].Msg)
+
+	// f2 misses the instance and issues query generation g1.
+	eq := f2.HandleMessage(0, &wire.Heartbeat{View: 0, DecidedUpTo: 1})
+	if eq.CatchUp == nil {
+		t.Fatal("no catch-up query")
+	}
+	g1 := eq.CatchUpGen
+	// The response lands (useless: no entries), clearing the pending query.
+	f2.HandleMessage(0, &wire.CatchUpResp{})
+	// A stale timeout for g1 fired between response delivery and now — but a
+	// fresh watermark already re-armed a NEW query g2 in the meantime.
+	e2 := f2.HandleMessage(0, &wire.Heartbeat{View: 0, DecidedUpTo: 1})
+	if e2.CatchUp == nil {
+		t.Fatal("no re-query after useless response + watermark")
+	}
+	g2 := e2.CatchUpGen
+	if g2 == g1 {
+		t.Fatalf("generations not distinct: %d", g1)
+	}
+	// The stale g1 timeout must be a no-op — no duplicate query alongside g2.
+	if e := f2.CatchUpTimeout(g1); e.CatchUp != nil {
+		t.Error("stale catch-up timeout issued a duplicate query")
+	}
+	// The live g2 timeout still re-arms.
+	if e := f2.CatchUpTimeout(g2); e.CatchUp == nil {
+		t.Error("live catch-up timeout did not re-issue the query")
+	}
+}
+
+// TestCatchUpRespCapPaginates pins the per-response entry cap: a tiny cap
+// forces the responder to answer a wide gap in chunks, and the requester's
+// progress-gated follow-up queries page through the whole range without ever
+// receiving an oversized response.
+func TestCatchUpRespCapPaginates(t *testing.T) {
+	const capN = 2
+	l := NewNode(Options{ID: 0, N: 3, Window: 16, CatchUpMaxEntries: capN})
+	f1 := NewNode(Options{ID: 1, N: 3})
+	f2 := NewNode(Options{ID: 2, N: 3})
+	e := l.Start()
+	for _, s := range e.Sends {
+		for _, r := range f1.HandleMessage(0, s.Msg).Sends {
+			l.HandleMessage(1, r.Msg)
+		}
+	}
+	const n = 7
+	for i := range n {
+		e, _ := l.ProposeBatch(wire.EncodeBatch([]*wire.ClientRequest{{ClientID: 1, Seq: uint64(i + 1)}}))
+		e1 := f1.HandleMessage(0, e.Sends[0].Msg)
+		l.HandleMessage(1, e1.Sends[0].Msg)
+	}
+	eq := f2.HandleMessage(0, &wire.Heartbeat{View: 0, DecidedUpTo: n})
+	if eq.CatchUp == nil {
+		t.Fatal("no catch-up query")
+	}
+	rounds := 0
+	var decided int
+	for q := eq.CatchUp; q != nil; {
+		rounds++
+		if rounds > n {
+			t.Fatal("pagination did not terminate")
+		}
+		el := l.HandleMessage(2, q)
+		resp := el.Sends[0].Msg.(*wire.CatchUpResp)
+		if len(resp.Entries) > capN {
+			t.Fatalf("response carries %d entries, cap is %d", len(resp.Entries), capN)
+		}
+		ef := f2.HandleMessage(0, resp)
+		decided += len(ef.Decisions)
+		q = ef.CatchUp // progress-gated follow-up for the remaining gap
+	}
+	if decided != n {
+		t.Fatalf("paginated catch-up delivered %d decisions, want %d", decided, n)
+	}
+	if got, want := rounds, (n+capN-1)/capN; got != want {
+		t.Errorf("pagination took %d rounds, want %d", got, want)
+	}
+}
+
+// TestCatchUpByteCapKeepsProgress pins the byte cap's progress guarantee:
+// even when a single entry exceeds the byte budget, the response still
+// carries it (one entry minimum), so pagination cannot wedge.
+func TestCatchUpByteCapKeepsProgress(t *testing.T) {
+	l := NewNode(Options{ID: 0, N: 3, Window: 16, CatchUpMaxBytes: 8})
+	f1 := NewNode(Options{ID: 1, N: 3})
+	e := l.Start()
+	for _, s := range e.Sends {
+		for _, r := range f1.HandleMessage(0, s.Msg).Sends {
+			l.HandleMessage(1, r.Msg)
+		}
+	}
+	big := make([]byte, 100)
+	for i := range 3 {
+		e, _ := l.ProposeBatch(wire.EncodeBatch([]*wire.ClientRequest{{ClientID: 1, Seq: uint64(i + 1), Payload: big}}))
+		e1 := f1.HandleMessage(0, e.Sends[0].Msg)
+		l.HandleMessage(1, e1.Sends[0].Msg)
+	}
+	el := l.HandleMessage(2, &wire.CatchUpQuery{From: 0, To: 3})
+	resp := el.Sends[0].Msg.(*wire.CatchUpResp)
+	if len(resp.Entries) != 1 {
+		t.Fatalf("byte-capped response carries %d entries, want exactly 1", len(resp.Entries))
+	}
+	if resp.Entries[0].ID != 0 {
+		t.Errorf("capped response starts at %d, want 0", resp.Entries[0].ID)
+	}
+}
+
+// TestCatchUpServedFromColdStore pins catch-up tier 2: a gap below the
+// in-memory truncation base that the cold store (the WAL) covers is served
+// as plain decided values — no snapshot rides the response.
+func TestCatchUpServedFromColdStore(t *testing.T) {
+	vals := map[wire.InstanceID][]byte{}
+	cold := func(from, to wire.InstanceID, maxEntries int) ([]wire.DecidedValue, bool) {
+		var out []wire.DecidedValue
+		for id := from; id < to && len(out) < maxEntries; id++ {
+			v, ok := vals[id]
+			if !ok {
+				return nil, false
+			}
+			out = append(out, wire.DecidedValue{ID: id, Value: v})
+		}
+		return out, true
+	}
+	snap := wire.Snapshot{LastIncluded: 4, ServiceState: []byte("state")}
+	l := NewNode(Options{
+		ID: 0, N: 3, Window: 16,
+		Snapshots:   func() (wire.Snapshot, bool) { return snap, true },
+		ColdDecided: cold,
+	})
+	f1 := NewNode(Options{ID: 1, N: 3})
+	e := l.Start()
+	for _, s := range e.Sends {
+		for _, r := range f1.HandleMessage(0, s.Msg).Sends {
+			l.HandleMessage(1, r.Msg)
+		}
+	}
+	for i := range 6 {
+		val := wire.EncodeBatch([]*wire.ClientRequest{{ClientID: 1, Seq: uint64(i + 1)}})
+		e, _ := l.ProposeBatch(val)
+		e1 := f1.HandleMessage(0, e.Sends[0].Msg)
+		l.HandleMessage(1, e1.Sends[0].Msg)
+		vals[wire.InstanceID(i)] = val // "journaled" copy
+	}
+	l.TruncateLog(5) // memory now retains only instance 5
+
+	// Gap [2, 6): [2,5) comes from the cold store, [5,6) from memory —
+	// covered end to end, so no state transfer is needed.
+	el := l.HandleMessage(2, &wire.CatchUpQuery{From: 2, To: 6})
+	resp := el.Sends[0].Msg.(*wire.CatchUpResp)
+	if resp.HasSnapshot {
+		t.Fatal("snapshot attached although the cold store covers the gap")
+	}
+	if len(resp.Entries) != 4 || resp.Entries[0].ID != 2 || resp.Entries[3].ID != 5 {
+		t.Fatalf("cold+memory entries = %+v, want instances 2..5", resp.Entries)
+	}
+
+	// A gap reaching below the cold store's retention still falls back to
+	// state transfer.
+	delete(vals, 0)
+	el = l.HandleMessage(2, &wire.CatchUpQuery{From: 0, To: 6})
+	resp = el.Sends[0].Msg.(*wire.CatchUpResp)
+	if !resp.HasSnapshot || resp.Snapshot.LastIncluded != 4 {
+		t.Fatalf("no snapshot fallback below cold retention: %+v", resp)
 	}
 }
 
@@ -413,17 +584,42 @@ func TestCatchUpWithSnapshot(t *testing.T) {
 	if len(resp.Entries) != 1 || resp.Entries[0].ID != 5 {
 		t.Fatalf("entries = %+v, want only instance 5", resp.Entries)
 	}
-	// Install on a lagging node.
+	// Install on a lagging node. Phase 1: the snapshot is only SURFACED —
+	// the node must not fast-forward (or journal a cut) before the
+	// execution layer has the snapshot durably on disk, so no decisions can
+	// be emitted yet and the log base must not move.
 	f2 := NewNode(Options{ID: 2, N: 3})
 	ef := f2.HandleMessage(0, resp)
 	if ef.InstallSnapshot == nil || ef.InstallSnapshot.LastIncluded != 4 {
 		t.Fatalf("InstallSnapshot effect = %+v", ef.InstallSnapshot)
 	}
+	if f2.Log().Base() != 0 {
+		t.Fatalf("log base = %d before install release, want 0 (persist-before-cut)", f2.Log().Base())
+	}
+	if len(ef.Decisions) != 0 {
+		t.Fatalf("decisions before install release = %+v, want none", ef.Decisions)
+	}
+	// A duplicate response must not re-surface the same pending install.
+	if ef2 := f2.HandleMessage(0, resp); ef2.InstallSnapshot != nil {
+		t.Fatal("duplicate response re-surfaced the pending install")
+	}
+	// Phase 2: the execution layer persisted the snapshot and releases the
+	// fast-forward. Only now does the log jump — and the catch-up value
+	// applied above the cut (instance 5) is emitted.
+	ef = f2.FastForward(5)
+	if f2.Log().Base() != 5 {
+		t.Fatalf("log base = %d after release, want 5", f2.Log().Base())
+	}
 	if len(ef.Decisions) != 1 || ef.Decisions[0].ID != 5 {
-		t.Fatalf("decisions after snapshot = %+v, want instance 5 only", ef.Decisions)
+		t.Fatalf("decisions after release = %+v, want instance 5 only", ef.Decisions)
 	}
 	if f2.DecidedUpTo() != 6 {
 		t.Errorf("DecidedUpTo = %d, want 6", f2.DecidedUpTo())
+	}
+	// With the install complete, a fresh snapshot response for the same cut
+	// is stale (base already past it) and surfaces nothing.
+	if ef3 := f2.HandleMessage(0, resp); ef3.InstallSnapshot != nil {
+		t.Error("stale snapshot re-surfaced after install completed")
 	}
 }
 
@@ -535,6 +731,9 @@ type harness struct {
 	nodes    []*Node
 	inflight []envelope
 	retrans  map[int]map[RetransKey][]envelope
+	// catchGen[i] is node i's latest issued catch-up query generation — what
+	// the caller's response timer would carry back to CatchUpTimeout.
+	catchGen []uint64
 	// delivered[i] is the ordered decision list of node i.
 	delivered [][]Decision
 	// agreed maps instance -> first value seen decided, for agreement checks.
@@ -548,6 +747,7 @@ func newHarness(t *testing.T, n int, seed int64) *harness {
 		n:         n,
 		delivered: make([][]Decision, n),
 		retrans:   make(map[int]map[RetransKey][]envelope),
+		catchGen:  make([]uint64, n),
 		agreed:    make(map[wire.InstanceID][]byte),
 	}
 	for i := range n {
@@ -587,6 +787,7 @@ func (h *harness) apply(node int, e Effects) {
 		}
 	}
 	if e.CatchUp != nil {
+		h.catchGen[node] = e.CatchUpGen
 		// Ask the node's current leader.
 		to := LeaderOf(h.nodes[node].View(), h.n)
 		if to != node {
@@ -685,7 +886,7 @@ func (h *harness) drain() {
 					}
 				}
 			} else {
-				h.apply(i, nd.CatchUpTimeout())
+				h.apply(i, nd.CatchUpTimeout(h.catchGen[i]))
 			}
 		}
 		if len(h.inflight) == 0 {
@@ -744,10 +945,47 @@ func TestPropertyRandomScheduleAgreementN5(t *testing.T) {
 	}
 }
 
+// TestRefusedInstallResurfacesAfterTimeout pins the install retry loop: a
+// surfaced snapshot whose two-phase install never completes (persist
+// refused downstream, or every fast-forward nudge lost) must be surfaced
+// again after a catch-up timeout — including a STALE timeout, because in a
+// healthy-latency cluster responses always beat their timers and a reset
+// gated on a live timeout would never run, wedging the replica behind the
+// cut forever.
+func TestRefusedInstallResurfacesAfterTimeout(t *testing.T) {
+	f2 := NewNode(Options{ID: 2, N: 3})
+	resp := &wire.CatchUpResp{HasSnapshot: true, Snapshot: wire.Snapshot{
+		LastIncluded: 4, ServiceState: []byte("s")}}
+	e := f2.HandleMessage(0, resp)
+	if e.InstallSnapshot == nil {
+		t.Fatal("snapshot not surfaced")
+	}
+	// Install in flight: duplicates do not re-surface.
+	if e2 := f2.HandleMessage(0, resp); e2.InstallSnapshot != nil {
+		t.Fatal("duplicate response re-surfaced a pending install")
+	}
+	// The install was refused (no FastForward ever arrives). A stale
+	// timeout — no query pending, the response long since consumed it —
+	// re-opens the gate, and the next response retries the install.
+	f2.CatchUpTimeout(0)
+	if e3 := f2.HandleMessage(0, resp); e3.InstallSnapshot == nil {
+		t.Fatal("refused install never re-surfaced after a stale timeout")
+	}
+	// Once the install completes (FastForward released), the same snapshot
+	// is stale by log position and stays quiet even after timeouts.
+	f2.FastForward(5)
+	f2.CatchUpTimeout(0)
+	if e4 := f2.HandleMessage(0, resp); e4.InstallSnapshot != nil {
+		t.Fatal("completed install re-surfaced")
+	}
+}
+
 func TestGroupScopedSnapshotInstall(t *testing.T) {
 	// A node running group 1 of 4 receives a snapshot cut at merged index
 	// 99. Its share of the covered prefix is GroupCut(99, 4, 1) = 25 slots,
-	// so its log must fast-forward to base 25, not 100.
+	// so once the two-phase install releases the fast-forward its log must
+	// land at base 25, not 100. (The catch-up response itself only surfaces
+	// the snapshot; the cut is released after the snapshot is durable.)
 	f := NewNode(Options{ID: 2, N: 3, Group: 1, Groups: 4})
 	resp := &wire.CatchUpResp{HasSnapshot: true, Snapshot: wire.Snapshot{
 		LastIncluded: 99, Groups: 4, ServiceState: []byte("s")}}
@@ -755,7 +993,12 @@ func TestGroupScopedSnapshotInstall(t *testing.T) {
 	if e.InstallSnapshot == nil || e.InstallSnapshot.LastIncluded != 99 {
 		t.Fatalf("InstallSnapshot effect = %+v", e.InstallSnapshot)
 	}
-	if got, want := f.Log().Base(), wire.GroupCut(99, 4, 1); got != want {
+	want := wire.GroupCut(99, 4, 1)
+	if f.Log().Base() != 0 {
+		t.Errorf("log base = %d before install release, want 0", f.Log().Base())
+	}
+	f.FastForward(want)
+	if got := f.Log().Base(); got != want {
 		t.Errorf("log base = %d, want %d", got, want)
 	}
 

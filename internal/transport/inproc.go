@@ -21,6 +21,12 @@ var (
 // FaultFunc inspects a frame in flight and decides its fate. Returning
 // drop=true discards the frame; duplicate=true delivers it twice. Used by
 // tests to inject message loss and duplication under the real pipeline.
+//
+// from and to name the frame's endpoints. A listener side is named by its
+// listen address; a plain-Dial side is anonymous ("inproc-client-N"), so a
+// fault injector cannot tell which replica dialed. Replicas that should be
+// matchable by name must dial through the view returned by As, which stamps
+// outbound connections with the caller's identity.
 type FaultFunc func(from, to string, frame []byte) (drop, duplicate bool)
 
 // Inproc is an in-process Network: connections are pairs of buffered frame
@@ -98,8 +104,13 @@ func (n *Inproc) Listen(addr string) (Listener, error) {
 	return l, nil
 }
 
-// Dial implements Network.
+// Dial implements Network. The local endpoint is anonymous; see As for
+// identity-stamped dialing.
 func (n *Inproc) Dial(addr string) (FrameConn, error) {
+	return n.dialAs("", addr)
+}
+
+func (n *Inproc) dialAs(localName, addr string) (FrameConn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[addr]
 	n.nextConn++
@@ -108,8 +119,10 @@ func (n *Inproc) Dial(addr string) (FrameConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoListener, addr)
 	}
-	clientAddr := fmt.Sprintf("inproc-client-%d", id)
-	client, server := newInprocPair(n, clientAddr, addr)
+	if localName == "" {
+		localName = fmt.Sprintf("inproc-client-%d", id)
+	}
+	client, server := newInprocPair(n, localName, addr)
 	select {
 	case l.backlog <- server:
 		return client, nil
@@ -117,6 +130,26 @@ func (n *Inproc) Dial(addr string) (FrameConn, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNoListener, addr)
 	}
 }
+
+// As returns a view of the network that stamps every outbound connection
+// with name as its local endpoint, so a FaultFunc can match directed pairs
+// of named nodes (e.g. "drop everything replica 0 sends to replica 2").
+// Without it the dialing side of a connection is anonymous — a fault
+// injector filtering on replica names would silently match nothing, turning
+// a loss-injection test into a no-op. Listen is unaffected and shared with
+// the underlying network.
+func (n *Inproc) As(name string) Network {
+	return &boundInproc{n: n, name: name}
+}
+
+// boundInproc is an identity-stamped view of an Inproc network.
+type boundInproc struct {
+	n    *Inproc
+	name string
+}
+
+func (b *boundInproc) Listen(addr string) (Listener, error) { return b.n.Listen(addr) }
+func (b *boundInproc) Dial(addr string) (FrameConn, error)  { return b.n.dialAs(b.name, addr) }
 
 // removeListener unregisters a closed listener.
 func (n *Inproc) removeListener(addr string) {

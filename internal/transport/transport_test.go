@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -647,4 +648,87 @@ func TestFrameBufPoolRoundTrip(t *testing.T) {
 		t.Error("oversized buffer was retained by the pool")
 	}
 	PutFrameBuf(next)
+}
+
+// TestInprocAsStampsDialerIdentity pins the As contract: connections dialed
+// through an identity view carry the caller's name as their local endpoint,
+// so a FaultFunc can match directed node pairs. A plain Dial stays
+// anonymous ("inproc-client-N"), which name-filtered fault injectors would
+// silently never match.
+func TestInprocAsStampsDialerIdentity(t *testing.T) {
+	net := NewInproc(0)
+	type seenFrame struct{ from, to string }
+	var mu sync.Mutex
+	var seen []seenFrame
+	net.SetFault(func(from, to string, frame []byte) (bool, bool) {
+		mu.Lock()
+		seen = append(seen, seenFrame{from, to})
+		mu.Unlock()
+		// Drop node-b → node-a traffic, matched by name in BOTH directions
+		// of the same connection.
+		return from == "node-b" && to == "node-a", false
+	})
+	l, err := net.Listen("node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan FrameConn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	dialer, err := net.As("node-b").Dial("node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialer.Close()
+	server := <-accepted
+	defer server.Close()
+
+	// b → a is dropped by the fault...
+	if err := dialer.WriteFrame([]byte("dropped")); err != nil {
+		t.Fatal(err)
+	}
+	// ...while a → b passes.
+	if err := server.WriteFrame([]byte("delivered")); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := dialer.ReadFrame()
+	if err != nil || string(frame) != "delivered" {
+		t.Fatalf("a->b frame = %q, %v", frame, err)
+	}
+	mu.Lock()
+	want := map[seenFrame]bool{
+		{"node-b", "node-a"}: true,
+		{"node-a", "node-b"}: true,
+	}
+	for _, s := range seen {
+		if !want[s] {
+			t.Errorf("fault saw unexpected endpoints %+v (identity not stamped?)", s)
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("fault saw %d frames, want 2", len(seen))
+	}
+	mu.Unlock()
+
+	// Plain Dial stays anonymous: its frames reach the fault under an
+	// inproc-client name, never a node name.
+	anon, err := net.Dial("node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anon.Close()
+	if err := anon.WriteFrame([]byte("anon")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	last := seen[len(seen)-1]
+	mu.Unlock()
+	if !strings.HasPrefix(last.from, "inproc-client-") || last.to != "node-a" {
+		t.Errorf("plain Dial frame endpoints = %+v, want anonymous inproc-client-*", last)
+	}
 }

@@ -106,13 +106,21 @@ const (
 	// RecState carries one retained log slot inside a checkpoint segment:
 	// the acceptor state that was live when older segments were discarded.
 	RecState
+	// RecCkpt heads a checkpoint segment: like RecCut it records that
+	// everything below instance ID is covered by a durable snapshot, but it
+	// additionally marks its segment as self-contained (the RecState dump
+	// that follows holds every live slot), which is what makes the segment a
+	// valid garbage-collection and cold-read boundary. An Append-path RecCut
+	// that happens to land first in a freshly rolled segment must NOT be
+	// mistaken for one — its segment depends on its predecessors.
+	RecCkpt
 )
 
 // Record is one WAL entry. Which fields are meaningful depends on Type.
 type Record struct {
 	Type     RecordType
 	View     wire.View       // RecView, RecAccept, RecState (accepted view)
-	ID       wire.InstanceID // RecAccept, RecDecide, RecCut, RecState
+	ID       wire.InstanceID // RecAccept, RecDecide, RecCut, RecState, RecCkpt
 	HasValue bool            // RecDecide: explicit value follows
 	Decided  bool            // RecState
 	Value    []byte          // RecAccept, RecDecide (if HasValue), RecState
@@ -204,6 +212,18 @@ type WAL struct {
 	fileSize int64 // logical size: header + records written this incarnation
 	prealloc bool  // current segment is preallocated (physical size > logical)
 	seq      int   // current segment sequence number
+
+	// ckptSeq is the sequence number of the newest checkpoint segment (one
+	// headed by RecCkpt + a full live-state dump; 0 = none yet). Garbage
+	// collection keeps every segment from the PREVIOUS checkpoint onward, so
+	// the WAL always retains one full checkpoint generation below the
+	// current cut — the disk-backed catch-up range ReadDecidedRange serves.
+	// retainSeq is that retention floor: segments below it are GC'd (though
+	// a file may linger under its segment name until the recycle pipeline
+	// renames it, so cold reads must not trust the directory listing alone).
+	// Both guarded by fileMu.
+	ckptSeq   int
+	retainSeq int
 
 	// pipeline prepares the next segment file ahead of the writer (nil when
 	// preallocation is disabled).
@@ -305,6 +325,9 @@ func (w *WAL) replay() ([]Record, error) {
 			return nil, fmt.Errorf("wal: read segment: %w", err)
 		}
 		segRecs, valid, intact := scanSegment(data)
+		if len(segRecs) > 0 && segRecs[0].Type == RecCkpt {
+			w.ckptSeq = seq // newest self-contained checkpoint boundary
+		}
 		if !intact && i < len(seqs)-1 {
 			// A torn record below later segments cannot come from a crash
 			// (segments are fsynced before their successors exist): this is
@@ -390,7 +413,7 @@ func encodeRecord(b []byte, rec Record) []byte {
 		} else {
 			b = append(b, 0)
 		}
-	case RecCut:
+	case RecCut, RecCkpt:
 		b = binary.LittleEndian.AppendUint64(b, uint64(rec.ID))
 	case RecState:
 		b = binary.LittleEndian.AppendUint64(b, uint64(rec.ID))
@@ -494,7 +517,7 @@ func decodeRecord(b []byte) (rec Record, n int, ok bool) {
 			}
 			rec.HasValue, rec.Value = true, val
 		}
-	case RecCut:
+	case RecCut, RecCkpt:
 		id, ok := u64()
 		if !ok {
 			return rec, 0, false
@@ -738,13 +761,17 @@ func (w *WAL) syncDir() {
 
 // Checkpoint compacts the WAL after a snapshot covering everything below
 // cut became durable: pending appends are drained, a fresh segment is
-// started with a RecCut header followed by the retained live state, and all
-// older segments are deleted. Called by the owning Protocol thread on log
-// truncation — the one WAL operation that intentionally touches the disk on
-// that thread (snapshots are rare).
+// started with a RecCkpt header followed by the retained live state, and
+// segments older than the PREVIOUS checkpoint are deleted. Keeping one full
+// checkpoint generation on disk is what lets ReadDecidedRange serve
+// catch-up queries for values the in-memory log has already truncated (the
+// retention mirrors the two-newest-snapshots policy of the snapshot store).
+// Called by the owning Protocol thread on log truncation — the one WAL
+// operation that intentionally touches the disk on that thread (snapshots
+// are rare).
 func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
 	var cp []byte
-	cp = encodeRecord(cp, Record{Type: RecCut, ID: cut})
+	cp = encodeRecord(cp, Record{Type: RecCkpt, ID: cut})
 	for _, st := range states {
 		cp = encodeRecord(cp, st)
 	}
@@ -769,17 +796,23 @@ func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
 		}
 	}
 	w.durable.Store(lsn)
-	// Older segments are fully covered by the snapshot + this checkpoint
+	// Segments below the previous checkpoint are fully covered by TWO
+	// durable snapshots and out of the cold-read retention window
 	// (rollLocked already made the new segment's directory entry durable,
 	// so discarding the old prefix cannot strand a crash with neither).
 	// Freed files are offered to the preallocation pipeline for recycling —
 	// it renames them out of the segment namespace, zeroes and reuses them
 	// — with plain removal when the pipeline is full or disabled. If the
 	// removals/renames do not survive a crash, replay handles the
-	// leftovers: the checkpoint's RecCut covers them idempotently.
+	// leftovers: the checkpoints' RecCkpt cuts cover them idempotently.
+	keepFrom := w.ckptSeq // previous checkpoint's segment; 0 keeps everything
+	w.ckptSeq = w.seq
+	if keepFrom > w.retainSeq {
+		w.retainSeq = keepFrom
+	}
 	if seqs, err := w.segments(); err == nil {
 		for _, seq := range seqs {
-			if seq < w.seq {
+			if seq < keepFrom {
 				path := filepath.Join(w.dir, segName(seq))
 				if w.pipeline == nil || !w.pipeline.offerRecycle(path) {
 					_ = os.Remove(path)
@@ -793,6 +826,87 @@ func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
 	if w.onSync != nil {
 		w.onSync(lsn)
 	}
+}
+
+// ReadDecidedRange serves decided values from the WAL's sealed segments —
+// the disk-backed catch-up tier between the in-memory log (truncated at the
+// newest snapshot cut) and full state transfer. It scans every sealed
+// segment in append order, folding RecAccept/RecDecide/RecState records for
+// instances in [from, to) into the latest decided value per slot, and
+// returns the contiguous decided prefix starting exactly at from, capped at
+// maxEntries values. ok is false when the retention window does not reach
+// down to from (the requester needs a snapshot); a shorter-than-requested
+// prefix with ok=true is served and the requester pages through the rest.
+//
+// Cost: one pass over the retained sealed segments (at most one checkpoint
+// generation plus the live one), holding fileMu — which briefly blocks the
+// Syncer's fsync loop. Catch-up is rare and this runs on the owning
+// Protocol thread's schedule, off every per-request hot path.
+func (w *WAL) ReadDecidedRange(from, to wire.InstanceID, maxEntries int) ([]wire.DecidedValue, bool) {
+	if to <= from {
+		return nil, true
+	}
+	if maxEntries > 0 && to-from > wire.InstanceID(maxEntries) {
+		to = from + wire.InstanceID(maxEntries)
+	}
+	w.fileMu.Lock()
+	defer w.fileMu.Unlock()
+	seqs, err := w.segments()
+	if err != nil {
+		return nil, false
+	}
+	acc := make(map[wire.InstanceID][]byte) // latest accepted value per slot
+	dec := make(map[wire.InstanceID][]byte) // decided value per slot
+	inRange := func(id wire.InstanceID) bool { return id >= from && id < to }
+	for _, seq := range seqs {
+		if seq >= w.seq {
+			continue // the unsealed current segment is the Syncer's alone
+		}
+		if seq < w.retainSeq {
+			continue // GC'd: may be mid-recycle (renamed/zeroed any moment)
+		}
+		data, err := os.ReadFile(filepath.Join(w.dir, segName(seq)))
+		if err != nil {
+			return nil, false
+		}
+		recs, _, intact := scanSegment(data)
+		if !intact {
+			return nil, false // sealed segments always scan intact; give up
+		}
+		for _, rec := range recs {
+			if !inRange(rec.ID) {
+				continue
+			}
+			switch rec.Type {
+			case RecAccept:
+				acc[rec.ID] = rec.Value
+			case RecDecide:
+				if rec.HasValue {
+					dec[rec.ID] = rec.Value
+				} else if v, ok := acc[rec.ID]; ok {
+					dec[rec.ID] = v // watermark decide: value rode the accept
+				}
+			case RecState:
+				if rec.Decided {
+					dec[rec.ID] = rec.Value
+				} else {
+					acc[rec.ID] = rec.Value
+				}
+			}
+		}
+	}
+	var out []wire.DecidedValue
+	for id := from; id < to; id++ {
+		v, ok := dec[id]
+		if !ok {
+			break
+		}
+		out = append(out, wire.DecidedValue{ID: id, Value: v})
+	}
+	if len(out) == 0 {
+		return nil, false // cannot serve `from`: below retention (or a hole)
+	}
+	return out, true
 }
 
 // Sync forces a full drain and fsync (tests, graceful shutdown).

@@ -182,6 +182,14 @@ func (*Heartbeat) Type() MsgType { return THeartbeat }
 // CatchUpQuery asks a peer for the decided values of instances in
 // [From, To). Sent by a replica that has learned instances are decided but
 // is missing their values (Sec. III-C's catch-up/state-transfer service).
+//
+// The responder is free to answer with any prefix of the range: responses
+// are capped (entries and bytes — see paxos.DefaultCatchUpMaxEntries), so a
+// wide gap is paginated across several query/response rounds. The requester
+// re-queries from its first still-missing instance whenever a response made
+// progress, and otherwise falls back to its catch-up timer — which is what
+// keeps pagination live without letting a useless response trigger a
+// query/response ping-pong.
 type CatchUpQuery struct {
 	From InstanceID
 	To   InstanceID
@@ -239,8 +247,11 @@ func GroupCut(lastIncluded InstanceID, groups, g int) InstanceID {
 	return InstanceID((m-int64(g))/int64(groups) + 1)
 }
 
-// CatchUpResp answers a CatchUpQuery with decided values and, if the
-// responder's log no longer retains part of the range, a snapshot.
+// CatchUpResp answers a CatchUpQuery with decided values and, if neither
+// the responder's in-memory log nor its WAL (the disk-backed catch-up tier)
+// can serve the start of the range, a snapshot. Entries may cover only a
+// capped prefix of the queried range — the requester pages through the rest
+// with follow-up queries (see CatchUpQuery).
 type CatchUpResp struct {
 	Entries     []DecidedValue
 	HasSnapshot bool

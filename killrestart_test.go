@@ -20,6 +20,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -52,6 +54,7 @@ type replicaProc struct {
 	t    *testing.T
 	bin  string
 	args []string
+	env  []string // extra environment (e.g. an armed GOSMR_CRASHPOINT)
 	log  *os.File
 	cmd  *exec.Cmd
 }
@@ -60,6 +63,9 @@ func (p *replicaProc) start() {
 	p.t.Helper()
 	cmd := exec.Command(p.bin, p.args...)
 	cmd.Stdout, cmd.Stderr = p.log, p.log
+	if len(p.env) > 0 {
+		cmd.Env = append(os.Environ(), p.env...)
+	}
 	if err := cmd.Start(); err != nil {
 		p.t.Fatal(err)
 	}
@@ -77,15 +83,40 @@ func (p *replicaProc) kill9() {
 	p.cmd = nil
 }
 
-func TestKillNineProcessRestartRecovery(t *testing.T) {
-	if testing.Short() {
-		t.Skip("builds and drives real replica subprocesses; skipped in -short")
+// waitExit waits for the process to exit on its own and returns its exit
+// code (-1 on timeout).
+func (p *replicaProc) waitExit(timeout time.Duration) int {
+	p.t.Helper()
+	done := make(chan int, 1)
+	go func() {
+		_ = p.cmd.Wait()
+		done <- p.cmd.ProcessState.ExitCode()
+	}()
+	select {
+	case code := <-done:
+		p.cmd = nil
+		return code
+	case <-time.After(timeout):
+		return -1
 	}
+}
+
+// buildReplicaBin compiles cmd/gosmr-replica into a temp dir.
+func buildReplicaBin(t *testing.T) string {
+	t.Helper()
 	bin := filepath.Join(t.TempDir(), "gosmr-replica")
 	build := exec.Command("go", "build", "-o", bin, "./cmd/gosmr-replica")
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building replica: %v\n%s", err, out)
 	}
+	return bin
+}
+
+func TestKillNineProcessRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real replica subprocesses; skipped in -short")
+	}
+	bin := buildReplicaBin(t)
 
 	addrs := freePorts(t, 6)
 	peerAddrs := addrs[0] + "," + addrs[1] + "," + addrs[2]
@@ -194,4 +225,140 @@ func TestKillNineProcessRestartRecovery(t *testing.T) {
 	}
 	put(cli2, "after-restart") // and the cluster still makes progress
 	get(cli2, "after-restart")
+}
+
+// TestKillInsideSnapshotInstallRestartRecovers closes the transferred-
+// snapshot cut window: a lagging replica is crashed INSIDE the install of a
+// snapshot it received via state transfer, at two deterministic points armed
+// through GOSMR_CRASHPOINT —
+//
+//   - "transfer-install": the snapshot has arrived at the installer but
+//     nothing install-related is on disk yet. Before persist-before-cut, the
+//     ordering groups had already journaled their log cuts by this moment
+//     (the catch-up handler fast-forwarded immediately), so a crash here
+//     left WAL cuts with no covering snapshot and reboot refused the
+//     DataDir ("clear ... to rejoin via state transfer").
+//   - "transfer-persisted": the snapshot is durably on disk, the cuts are
+//     not journaled yet. Reboot must come up from the new snapshot with the
+//     old WAL suffix covered idempotently.
+//
+// After each crash the replica must reboot from its DataDir — no refusal —
+// and after the final (uncrashed) restart it must be a functioning acceptor:
+// the test SIGKILLs the other follower and commits through a quorum that
+// includes the recovered replica.
+func TestKillInsideSnapshotInstallRestartRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real replica subprocesses; skipped in -short")
+	}
+	bin := buildReplicaBin(t)
+	for _, groups := range []int{1, 2} {
+		t.Run(fmt.Sprintf("groups=%d", groups), func(t *testing.T) {
+			addrs := freePorts(t, 6)
+			peerAddrs := strings.Join(addrs[:3], ",")
+			clientAddrs := addrs[3:6]
+			procs := make([]*replicaProc, 3)
+			for i := range 3 {
+				logf, err := os.Create(filepath.Join(t.TempDir(), fmt.Sprintf("r%d.log", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { logf.Close() })
+				procs[i] = &replicaProc{
+					t: t, bin: bin, log: logf,
+					args: []string{
+						"-id", fmt.Sprint(i),
+						"-peers", peerAddrs,
+						"-client", clientAddrs[i],
+						"-data-dir", t.TempDir(),
+						"-sync", "batch",
+						"-snapshot-every", "8",
+						"-groups", fmt.Sprint(groups),
+						"-stats", "0",
+					},
+				}
+				procs[i].start()
+			}
+			t.Cleanup(func() {
+				for _, p := range procs {
+					if p.cmd != nil {
+						_ = p.cmd.Process.Kill()
+						_ = p.cmd.Wait()
+					}
+				}
+			})
+
+			cli, err := gosmr.Dial(gosmr.ClientConfig{Addrs: clientAddrs[:2], Timeout: 30 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cli.Close()
+			put := func(key string) {
+				t.Helper()
+				reply, err := cli.Execute(service.EncodePut(key, []byte("v-"+key)))
+				if err != nil {
+					t.Fatalf("PUT %s: %v", key, err)
+				}
+				if st, _ := service.DecodeReply(reply); st != service.KVOK {
+					t.Fatalf("PUT %s status %d", key, st)
+				}
+			}
+
+			for i := range 10 {
+				put(fmt.Sprintf("pre-%d", i))
+			}
+
+			// SIGKILL follower 2, then push the survivors far ahead. The
+			// count matters: while a peer is down its SendQueue buffers up
+			// to 1024 messages and REPLAYS them on reconnect, so a small gap
+			// is refilled from that backlog without any catch-up at all.
+			// Committing >1200 instances (sequential client: one instance,
+			// one Propose each) overflows the queue, and the victim's real
+			// gap then reaches below both the survivors' in-memory logs and
+			// their WALs' one-generation retention — rejoining requires a
+			// full snapshot transfer.
+			procs[2].kill9()
+			for i := range 1200 {
+				put(fmt.Sprintf("mid-%d", i))
+			}
+
+			// Crash inside the install window, at both armed points in turn.
+			// Each run must die via the crash point (exit code 137), proving
+			// the snapshot transfer actually reached the installer.
+			for _, point := range []string{"transfer-install", "transfer-persisted"} {
+				procs[2].env = []string{"GOSMR_CRASHPOINT=" + point}
+				procs[2].start()
+				if code := procs[2].waitExit(90 * time.Second); code != 137 {
+					if out, err := os.ReadFile(procs[2].log.Name()); err == nil {
+						t.Logf("victim log:\n%s", out)
+					}
+					t.Fatalf("crash point %s: replica exited with %d, want 137 (never reached the install?)", point, code)
+				}
+			}
+
+			// Final restart, crash point disarmed: the replica must boot
+			// from its DataDir — a "clear the data dir" refusal exits
+			// immediately — and finish the interrupted state transfer.
+			procs[2].env = nil
+			procs[2].start()
+			time.Sleep(2 * time.Second)
+			if err := procs[2].cmd.Process.Signal(syscall.Signal(0)); err != nil {
+				t.Fatalf("restarted replica is not running (boot refused its DataDir?): %v", err)
+			}
+
+			// The sharp assertion: SIGKILL the other follower. Committing now
+			// requires a quorum of {leader, recovered replica} — the replica
+			// that crashed twice mid-install must be a working acceptor.
+			procs[1].kill9()
+			for i := range 5 {
+				put(fmt.Sprintf("post-%d", i))
+			}
+			reply, err := cli.Execute(service.EncodeGet("pre-0"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st, val := service.DecodeReply(reply); st != service.KVOK || string(val) != "v-pre-0" {
+				t.Fatalf("GET pre-0 = status %d value %q", st, val)
+			}
+		})
+	}
 }
