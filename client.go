@@ -153,6 +153,60 @@ func (c *Client) Execute(req []byte) ([]byte, error) {
 	return nil, ErrTimeout
 }
 
+// Read submits a read-only request on the read path: the contacted replica
+// answers from local state — leaseholder after a lease check, follower after
+// one read-index round — without ordering the read through the log. When the
+// read path is unavailable (leases disabled, leadership in flux, replica
+// overloaded) Read transparently falls back to Execute, which orders the
+// request like a write. The payload must therefore be read-only: it may be
+// executed through the ordered path, where it runs under the at-most-once
+// machinery like any command.
+//
+// Unlike Execute, Read does not fail over across replicas on its own — the
+// point of follower reads is to read from the replica you picked — so a dead
+// target simply falls back to the ordered path (which does fail over).
+func (c *Client) Read(req []byte, rc ReadConsistency) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.seq++
+	frame := wire.Marshal(&wire.ClientRead{
+		ClientID: c.id, Seq: c.seq, Consistency: uint8(rc), Payload: req,
+	})
+	deadline := time.Now().Add(c.cfg.Timeout)
+	pinned := c.target
+	served, payload := false, []byte(nil)
+	if c.conn != nil || c.connectLocked() == nil {
+		if err := c.conn.WriteFrame(frame); err != nil {
+			c.dropConnLocked()
+		} else if reply, ok := c.awaitLocked(deadline); !ok {
+			c.dropConnLocked()
+		} else {
+			served, payload = reply.OK, reply.Payload
+			wire.Release(reply)
+		}
+	}
+	c.mu.Unlock()
+	if served {
+		return payload, nil
+	}
+	// Bounced or timed out: order the read like a write (always correct;
+	// reads are idempotent, so the retry machinery applies unchanged). The
+	// ordered path redirects toward the leader, so re-pin the client to the
+	// replica it was reading from afterwards — one unavailable read must not
+	// silently turn a follower-reading client into a leader-reading one.
+	out, err := c.Execute(req)
+	c.mu.Lock()
+	if !c.closed && c.target != pinned {
+		c.dropConnLocked()
+		c.target = pinned
+	}
+	c.mu.Unlock()
+	return out, err
+}
+
 // connectLocked dials the current target and starts its reader goroutine.
 func (c *Client) connectLocked() error {
 	conn, err := c.cfg.Network.Dial(c.cfg.Addrs[c.target])

@@ -27,9 +27,9 @@ func main() {
 		warmup  = flag.Duration("warmup", 200*time.Millisecond, "virtual warm-up per run (discarded)")
 		measure = flag.Duration("measure", 500*time.Millisecond, "virtual measurement window per run")
 		which   = flag.String("experiment", "all",
-			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor, groupscaling")
+			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor, groupscaling, readmix")
 		jsonPath = flag.String("json", "",
-			"write a machine-readable perf snapshot (group-scaling + durability decided-batch throughput, codec/WAL allocs/op) to this path and exit")
+			"write a machine-readable perf snapshot (group-scaling + durability + read-mix throughput and latency, codec/WAL allocs/op) to this path and exit")
 	)
 	flag.Parse()
 
@@ -38,9 +38,10 @@ func main() {
 		// The perf snapshot runs on the real pipeline (not the simulator):
 		// decided-batch throughput across groups/durability plus the
 		// zero-copy hot-path alloc probes.
-		snap, gr, dr, err := experiments.BenchSnapshot(
+		snap, gr, dr, rm, err := experiments.BenchSnapshot(
 			experiments.GroupOptions{Warmup: *warmup, Measure: *measure},
 			experiments.DurabilityOptions{Warmup: *warmup, Measure: *measure},
+			experiments.ReadMixOptions{Warmup: *warmup, Measure: *measure},
 		)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
@@ -50,7 +51,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Print(gr.Report, dr.Report)
+		fmt.Print(gr.Report, dr.Report, rm.Report)
 		fmt.Printf("\nwrote %s (done in %v)\n", *jsonPath, time.Since(start).Round(time.Millisecond))
 		return
 	}
@@ -109,6 +110,13 @@ func main() {
 		// Runs on the real pipeline: decided-batch throughput vs ordering
 		// groups, window size, and workload conflict rate.
 		fmt.Print(experiments.GroupScaling(experiments.GroupOptions{
+			Warmup: *warmup, Measure: *measure,
+		}).Report)
+	case "readmix":
+		// Runs on the real pipeline: mixed read/write workload on the
+		// lease / read-index read path, leader-only vs follower reads,
+		// with per-class latency percentiles.
+		fmt.Print(experiments.ReadMix(experiments.ReadMixOptions{
 			Warmup: *warmup, Measure: *measure,
 		}).Report)
 	default:

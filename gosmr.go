@@ -37,6 +37,25 @@ import (
 	"gosmr/internal/profiling"
 	"gosmr/internal/transport"
 	"gosmr/internal/wal"
+	"gosmr/internal/wire"
+)
+
+// ReadConsistency selects the guarantee of Client.Read. Reads at either
+// level never enter the ordering pipeline — they are served from local
+// replica state via the leader-lease / read-index path (or, when that path
+// is unavailable, transparently fall back to an ordered command).
+type ReadConsistency uint8
+
+const (
+	// ReadLinearizable observes every write acknowledged before the read
+	// started. On the leaseholder the read is answered locally after a
+	// lease-validity check; on a follower it waits one read-index round to
+	// the leaseholder and then reads local state.
+	ReadLinearizable ReadConsistency = ReadConsistency(wire.ReadLinearizable)
+	// ReadStable reads whatever state the contacted replica has applied:
+	// no coordination at all, monotonic per replica, but with no bound on
+	// staleness. The cheapest read — and the weakest.
+	ReadStable ReadConsistency = ReadConsistency(wire.ReadStable)
 )
 
 // Service is the deterministic application replicated across the cluster.
@@ -148,6 +167,27 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	SuspectTimeout    time.Duration
 
+	// LeaseDuration is how long a heartbeat-carried leader lease lasts.
+	// While a majority of followers holds unexpired lease promises, the
+	// leader serves linearizable reads from local state — and answers
+	// followers' read-index queries so THEY can serve reads locally too —
+	// without ordering reads through the log. Followers holding a promise
+	// delay elections until it expires, so losing the leader can add up to
+	// one lease duration to failover. 0 takes the default
+	// (6×HeartbeatInterval); negative disables leases, sending every
+	// Client.Read down the ordered fallback path.
+	//
+	// The read path executes read-only requests on non-execution threads,
+	// concurrently with the execution stage: the Service must tolerate
+	// concurrent Execute calls for read-only requests (a service guarding
+	// its state with a mutex, like the bundled KV store, qualifies).
+	LeaseDuration time.Duration
+	// MaxClockSkew bounds clock RATE drift between replicas over one lease
+	// interval (not absolute clock offset — both sides measure durations on
+	// their own clock). The leader stops trusting a promise MaxClockSkew
+	// before the follower stops honoring it. Default 10ms.
+	MaxClockSkew time.Duration
+
 	// Profiling, when non-nil, receives per-module-thread accounting
 	// (busy/blocked/waiting/other) like the paper's measurements.
 	Profiling *profiling.Registry
@@ -179,6 +219,8 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		ExecutorWorkers:   cfg.ExecutorWorkers,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		SuspectTimeout:    cfg.SuspectTimeout,
+		LeaseDuration:     cfg.LeaseDuration,
+		MaxClockSkew:      cfg.MaxClockSkew,
 		Profiling:         cfg.Profiling,
 	}, svc)
 	if err != nil {
@@ -214,6 +256,14 @@ func (r *Replica) Groups() int { return r.inner.Groups() }
 // DecidedBatches returns the number of non-empty batches delivered in merged
 // order — the ordering layer's useful output rate.
 func (r *Replica) DecidedBatches() uint64 { return r.inner.DecidedBatches() }
+
+// LeaseValid reports whether this replica currently holds a valid leader
+// lease (it may serve linearizable reads from local state).
+func (r *Replica) LeaseValid() bool { return r.inner.LeaseValid() }
+
+// LocalReads returns the number of reads this replica served on the
+// lease/read-index path — reads that never entered the ordering pipeline.
+func (r *Replica) LocalReads() uint64 { return r.inner.LocalReads() }
 
 // StateTransfers returns the number of snapshots installed from peers
 // (catch-up state transfer). A durable replica restarted from its DataDir

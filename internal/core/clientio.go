@@ -176,6 +176,14 @@ func (c *clientIO) runWorker(q *queue.Bounded[clientWork], th *profiling.Thread)
 			transport.RecycleFrame(work.frame, work.pooled)
 			continue // malformed frame: drop
 		}
+		if rd, ok := msg.(*wire.ClientRead); ok {
+			enqueued := c.handleRead(rd, work.cc)
+			transport.RecycleFrame(work.frame, work.pooled)
+			if !enqueued {
+				wire.Release(rd)
+			}
+			continue
+		}
 		req, ok := msg.(*wire.ClientRequest)
 		if !ok {
 			wire.Release(msg)
@@ -236,6 +244,26 @@ func (c *clientIO) handleRequest(req *wire.ClientRequest, cc *clientConn, th *pr
 		return false // queue closed on shutdown; the caller reclaims the struct
 	}
 	return true
+}
+
+// handleRead routes one read-only request onto the read path (reads.go).
+// Reads never enter the ordering pipeline and bypass the reply cache (they
+// are idempotent); one the replica cannot serve is bounced — !OK plus the
+// leader hint — and the client falls back to an ordered Execute. Reports
+// whether the pooled struct was handed off.
+func (c *clientIO) handleRead(rd *wire.ClientRead, cc *clientConn) bool {
+	r := c.r
+	r.registry.set(rd.ClientID, cc)
+	wire.Retain(rd) // the read outlives the frame in the ReadManager
+	if ok, _ := r.reads.q.TryPut(readEvent{kind: rSubmit, req: rd, cc: cc}); ok {
+		return true
+	}
+	// Read path overloaded: bounce rather than block the worker.
+	reply := wire.NewClientReply()
+	reply.ClientID, reply.Seq = rd.ClientID, rd.Seq
+	reply.Redirect = r.groups[0].leaderHint.Load()
+	c.reply(cc, reply)
+	return false
 }
 
 // reply enqueues a reply without blocking; a stalled client loses replies

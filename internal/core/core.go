@@ -94,6 +94,18 @@ type Config struct {
 	// Failure-detector timing.
 	HeartbeatInterval time.Duration
 	SuspectTimeout    time.Duration
+	// LeaseDuration is how long a heartbeat-carried leader lease lasts. While
+	// a quorum of followers holds unexpired lease promises, the leader serves
+	// linearizable reads locally (and answers followers' read-index queries)
+	// without ordering them through the log. 0 takes the default
+	// (6×HeartbeatInterval); negative disables leases — every read falls back
+	// to an ordered command.
+	LeaseDuration time.Duration
+	// MaxClockSkew bounds how much faster a follower's clock may run than the
+	// leader's over one lease: the leader expires its own view of a promise
+	// MaxClockSkew early, so a promise always outlives the leader's reliance
+	// on it without synchronized clocks. Default 10ms.
+	MaxClockSkew time.Duration
 	// RetransPeriod is the initial retransmission period.
 	RetransPeriod time.Duration
 	// CatchUpTimeout re-arms an unanswered catch-up query.
@@ -171,6 +183,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SuspectTimeout <= 0 {
 		c.SuspectTimeout = 500 * time.Millisecond
+	}
+	if c.LeaseDuration == 0 {
+		c.LeaseDuration = 6 * c.HeartbeatInterval
+	}
+	if c.MaxClockSkew <= 0 {
+		c.MaxClockSkew = 10 * time.Millisecond
+	}
+	if c.LeaseDuration > 0 && c.LeaseDuration <= c.MaxClockSkew {
+		// A lease shorter than the skew bound can never be relied on;
+		// treat it as disabled rather than granting dead leases.
+		c.LeaseDuration = -1
 	}
 	if c.RetransPeriod <= 0 {
 		c.RetransPeriod = 100 * time.Millisecond

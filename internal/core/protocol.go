@@ -71,6 +71,19 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 		}
 		switch ev.kind {
 		case evPeerMsg:
+			// Honor the local lease promise in EVERY group: a Prepare from
+			// anyone but the promised leader is deferred until the promise
+			// expires (a sibling-group election completing early could
+			// commit writes the leaseholder's local reads would miss). The
+			// event is re-injected whole; a drop on a full queue is safe —
+			// the candidate retransmits its Prepare.
+			if _, isPrep := ev.msg.(*wire.Prepare); isPrep {
+				if d := r.leases.holdPrepare(ev.from, time.Now()); d > 0 {
+					rev := ev
+					time.AfterFunc(d, func() { _, _ = g.dispatchQ.TryPut(rev) })
+					continue
+				}
+			}
 			apply(node.HandleMessage(ev.from, ev.msg))
 			// The reader Retained the message before dispatch, so the state
 			// machine kept only owned memory (log values, snapshot bytes);
@@ -253,6 +266,15 @@ func (r *Replica) applyEffects(th *profiling.Thread, g *ordGroup, node *paxos.No
 		}
 	}
 
+	if e.Lease != nil {
+		// A heartbeat-carried lease grant from the current leader. Promise
+		// bookkeeping only — no acceptor state — so the ack goes out
+		// ungated (LeaseAck is group-agnostic and stays unwrapped).
+		if ack := r.leases.onGrant(e.Lease.From, e.Lease.View, e.Lease.DurationMS, e.Lease.Seq); ack != nil {
+			r.enqueueSend(e.Lease.From, ack)
+		}
+	}
+
 	if e.CatchUp != nil {
 		// Catch-up queries carry no acceptor state; they go out ungated.
 		leader := node.Leader()
@@ -354,4 +376,9 @@ func (r *Replica) refreshHints(g *ordGroup, node *paxos.Node) {
 	g.viewHint.Store(int32(node.View()))
 	g.leaderHint.Store(int32(node.Leader()))
 	g.isLeader.Store(node.IsLeader())
+	g.readBarrier.Store(int64(node.ReadBarrier()))
+	// Ordering note (lease safety): applyEffects calls this BEFORE emitting
+	// any send of the same event, so when this replica abandons leadership
+	// by adopting a higher view, its lease reads go invalid before the
+	// PrepareOK helping the new leader can leave the building.
 }

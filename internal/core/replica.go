@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gosmr/internal/executor"
 	"gosmr/internal/fd"
@@ -46,6 +47,7 @@ type ordGroup struct {
 	decidedUpTo atomic.Int64
 	nextSlot    atomic.Int64 // log frontier hint, for cross-group alignment
 	mergedUpTo  atomic.Int64 // slots of this group the merge stage has consumed
+	readBarrier atomic.Int64 // first fresh instance of this leadership (lease reads)
 }
 
 // gname derives a per-group thread/queue name; group 0 keeps the paper's
@@ -82,6 +84,12 @@ type Replica struct {
 	detector *fd.Detector
 	exec     *executor.Executor
 
+	// Read path: leader-lease state and the ReadManager thread (lease.go,
+	// reads.go), plus the applied-index waiter registry reads park in.
+	leases  *leaseManager
+	reads   *readMgr
+	applied applyWaiters
+
 	// groupKeys extracts conflict keys for group routing (nil when the
 	// service is not ConflictAware; all requests then order in group 0).
 	groupKeys func([]byte) []string
@@ -115,6 +123,8 @@ type Replica struct {
 	padsProposed   atomic.Uint64 // no-op batches proposed to unstall the merge
 	droppedSends   atomic.Uint64
 	stateTransfers atomic.Uint64 // snapshots installed from peers (catch-up)
+	localReads     atomic.Uint64 // reads served on the lease/read-index path
+	droppedBacklog atomic.Uint64 // stale SendQueue messages dropped on reconnect
 
 	stop    chan struct{}
 	stopped sync.Once
@@ -179,6 +189,8 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 	for _, g := range r.groups {
 		g.leaderHint.Store(0) // leader of view 0
 	}
+	r.leases = newLeaseManager(cfg.ID, n, cfg.LeaseDuration, cfg.MaxClockSkew)
+	r.applied.completed = -1
 	return r, nil
 }
 
@@ -218,6 +230,19 @@ func (r *Replica) DecidedBatches() uint64 { return r.decidedMerged.Load() }
 // PadsProposed returns the number of no-op batches this replica proposed to
 // keep the merge stage advancing across idle groups.
 func (r *Replica) PadsProposed() uint64 { return r.padsProposed.Load() }
+
+// LeaseValid reports whether this replica currently holds a valid leader
+// lease — i.e. whether it may serve linearizable reads from local state
+// without ordering them.
+func (r *Replica) LeaseValid() bool { return r.leaseValid(time.Now()) }
+
+// LocalReads returns the number of reads served on the lease/read-index
+// path (never ordered through the log).
+func (r *Replica) LocalReads() uint64 { return r.localReads.Load() }
+
+// DroppedBacklog returns the number of stale SendQueue messages dropped
+// when a peer connection was replaced.
+func (r *Replica) DroppedBacklog() uint64 { return r.droppedBacklog.Load() }
 
 // StateTransfers returns the number of snapshots this replica installed
 // from peers (catch-up state transfer). A replica restarted from its own
@@ -287,6 +312,7 @@ func (r *Replica) Start() error {
 				return err
 			}
 			r.bootSnap = b.snap
+			r.applied.completed = int64(b.snap.LastIncluded)
 		}
 		for i, g := range r.groups {
 			gb := boot.groups[i]
@@ -311,6 +337,11 @@ func (r *Replica) Start() error {
 		HeartbeatInterval: r.cfg.HeartbeatInterval,
 		SuspectTimeout:    r.cfg.SuspectTimeout,
 		SendHeartbeat:     r.sendHeartbeat,
+		// Leases renew on heartbeats, so a leader under full proposal load
+		// must keep sending them; and a follower holding a promise must not
+		// help elect a replacement until the promise expires.
+		ForceHeartbeat: r.leases.enabled,
+		HoldSuspect:    r.leases.holdSuspect,
 		Suspect: func(v wire.View) {
 			// One failure detector serves every group: each maps the
 			// suspicion onto its own view (see runProtocol).
@@ -388,6 +419,11 @@ func (r *Replica) Start() error {
 	r.wg.Add(1)
 	go r.runMerger()
 
+	// ReadManager: the lease/read-index read path (reads.go).
+	r.reads = newReadMgr(r)
+	r.wg.Add(1)
+	go r.reads.run()
+
 	// Execution workers (parallel mode only), then the ServiceManager
 	// thread (Sec. V-D) that schedules onto them.
 	r.exec.Start()
@@ -411,6 +447,9 @@ func (r *Replica) Stop() {
 		}
 		r.mergeQ.Close()
 		r.decisionQ.Close()
+		if r.reads != nil {
+			r.reads.q.Close()
+		}
 		for _, q := range r.sendQ {
 			if q != nil {
 				q.Close()
@@ -461,6 +500,13 @@ func (r *Replica) sendHeartbeat(peer int) {
 		hb := &wire.Heartbeat{
 			View:        wire.View(g.viewHint.Load()),
 			DecidedUpTo: wire.InstanceID(g.decidedUpTo.Load()),
+		}
+		if g.idx == 0 {
+			// Lease grants ride group-0 heartbeats only; the lease covers
+			// the whole replica (validity checks every group's hints).
+			if ms, seq, ok := r.leases.grant(peer); ok {
+				hb.LeaseMS, hb.LeaseSeq = ms, seq
+			}
 		}
 		r.enqueueSend(peer, wrapGroup(g.idx, hb))
 	}

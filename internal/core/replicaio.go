@@ -259,6 +259,13 @@ func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 			transport.RecycleFrame(frame, pooled)
 			continue
 		}
+		if io.handleDirect(peer, msg) {
+			// Lease/read-index traffic is answered on the reader thread and
+			// never reaches a Protocol thread (none of it carries byte
+			// fields, so no Retain is needed before the frame recycles).
+			transport.RecycleFrame(frame, pooled)
+			continue
+		}
 		group := 0
 		if gm, ok := msg.(*wire.GroupMsg); ok {
 			group = int(gm.Group)
@@ -279,6 +286,34 @@ func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 	}
 }
 
+// handleDirect intercepts messages the reader answers itself: lease acks,
+// read-index queries (answered from lock-free hints + one lease-state scan),
+// and read-index responses (forwarded to the ReadManager). Returns true when
+// the message was consumed.
+func (io *replicaIO) handleDirect(peer int, msg wire.Message) bool {
+	r := io.r
+	switch m := msg.(type) {
+	case *wire.LeaseAck:
+		r.leases.onAck(peer, m.View, m.Seq)
+	case *wire.ReadIndexQuery:
+		resp := &wire.ReadIndexResp{Seq: m.Seq}
+		// Validate the lease FIRST, then snapshot the frontier: the frontier
+		// only grows, so it covers everything decided while the lease was
+		// known valid (the follower read's linearization point).
+		if r.leaseValid(time.Now()) {
+			resp.OK = true
+			resp.Index = r.readFrontier()
+		}
+		r.enqueueSend(peer, resp)
+	case *wire.ReadIndexResp:
+		r.reads.deliverResp(m.Seq, m.Index, m.OK)
+	default:
+		return false
+	}
+	r.detector.TouchRecv(peer)
+	return true
+}
+
 // runSender is the ReplicaIOSnd thread for one peer: take from the
 // SendQueue, serialize, write. When the transport buffers writes
 // (transport.BatchWriter), the sender keeps draining the queue without
@@ -296,6 +331,7 @@ func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
 	link := io.links[peer]
 	q := io.r.sendQ[peer]
 	var mc msgConn
+	lastGen := -1
 	for {
 		msg, err := q.Take(th)
 		if err != nil {
@@ -306,6 +342,26 @@ func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
 		if !ok {
 			return
 		}
+		if lastGen >= 0 && gen != lastGen {
+			// The connection was replaced while messages queued: that
+			// backlog — up to a full SendQueue of Proposes aimed at the dead
+			// connection — is stale. Everything in it is recoverable
+			// (retransmission, heartbeats, catch-up and read-index retries),
+			// so drop it and let the fresh link start from live traffic
+			// instead of replaying a window the peer no longer wants.
+			dropped := uint64(1) // msg itself
+			for {
+				if _, ok := q.TryTake(); !ok {
+					break
+				}
+				dropped++
+			}
+			io.r.droppedBacklog.Add(dropped)
+			lastGen = gen
+			th.Transition(profiling.StateBusy)
+			continue
+		}
+		lastGen = gen
 		mc.bind(conn)
 		werr := mc.write(msg)
 		if werr == nil && mc.buffered() {

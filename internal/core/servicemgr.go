@@ -54,6 +54,10 @@ func (r *Replica) runServiceManager() {
 	if r.bootSnap != nil {
 		floor = int64(r.bootSnap.LastIncluded)
 	}
+	// position is the merged index this thread has fully scheduled; the
+	// applied-waiter registry (reads.go) publishes it as `completed` once the
+	// executor quiesces, which is what lease/follower reads wait on.
+	position := floor
 	for {
 		item, err := r.decisionQ.Take(th)
 		if err != nil {
@@ -61,6 +65,16 @@ func (r *Replica) runServiceManager() {
 		}
 		if item.snapshot != nil {
 			floor = r.installSnapshot(th, item.snapshot, floor)
+			if floor > position {
+				position = floor
+			}
+			r.bumpApplied(floor)
+			continue
+		}
+		if item.id < 0 {
+			// registerApplied's wake-up nudge: no decision to process, just
+			// re-check the waiters against the current position.
+			r.serveApplied(th, position)
 			continue
 		}
 		if int64(item.id) <= floor {
@@ -78,7 +92,9 @@ func (r *Replica) runServiceManager() {
 			r.scheduleOne(th, req)
 			reqs[i] = nil
 		}
+		position = int64(item.id)
 		r.maybeSnapshot(th, item.id)
+		r.serveApplied(th, position)
 	}
 }
 

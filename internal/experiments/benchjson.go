@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"gosmr/internal/wal"
 	"gosmr/internal/wire"
@@ -15,7 +16,10 @@ import (
 // plus allocs/op of the codec hot paths, so successive PRs can diff
 // performance numerically instead of eyeballing reports.
 type BenchJSON struct {
-	Schema string `json:"schema"` // "gosmr-bench/pr4"
+	Schema string `json:"schema"` // "gosmr-bench/pr6"
+	// NumCPU is the host's CPU count — the read-mix routing comparison is
+	// only meaningful relative to it (follower reads buy parallelism).
+	NumCPU int `json:"num_cpu"`
 
 	// GroupScaling: decided-batch throughput per (groups, window, conflict)
 	// cell with the speedup vs the single-group cell.
@@ -25,6 +29,11 @@ type BenchJSON struct {
 	// group-commit ratio (batch vs none).
 	Durability     []DurabilityJSON `json:"durability"`
 	BatchNoneRatio float64          `json:"durability_batch_none_ratio"`
+
+	// ReadMix: mixed read/write workload on the lease / read-index read
+	// path — throughput and latency percentiles per (read fraction,
+	// routing) cell, leader-only vs follower reads.
+	ReadMix []ReadMixJSON `json:"read_mix"`
 
 	// AllocsPerOp: steady-state allocations per operation on the encode and
 	// decode/deliver hot paths (the PR 4 acceptance metric: encode 0,
@@ -46,6 +55,23 @@ type DurabilityJSON struct {
 	Policy      string  `json:"policy"`
 	BatchesPerS float64 `json:"decided_batches_per_sec"`
 }
+
+// ReadMixJSON is one read-mix cell. Latencies are milliseconds.
+type ReadMixJSON struct {
+	ReadPct     int     `json:"read_pct"`
+	Routing     string  `json:"routing"`
+	ReadsPerS   float64 `json:"reads_per_sec"`
+	WritesPerS  float64 `json:"writes_per_sec"`
+	LocalPerS   float64 `json:"local_reads_per_sec"`
+	BatchesPerS float64 `json:"decided_batches_per_sec"`
+	ReadP50Ms   float64 `json:"read_p50_ms"`
+	ReadP99Ms   float64 `json:"read_p99_ms"`
+	WriteP50Ms  float64 `json:"write_p50_ms"`
+	WriteP99Ms  float64 `json:"write_p99_ms"`
+}
+
+// ms converts a duration to float milliseconds for the JSON payload.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // allocsPerOp measures steady-state heap allocations of one call to f
 // (testing.AllocsPerRun without importing testing into the binary).
@@ -137,11 +163,11 @@ func walAppendAllocs() (float64, error) {
 	return got, nil
 }
 
-// BenchSnapshot runs the PR 4 perf suite — group-scaling and durability
-// sweeps on the real pipeline plus the codec/WAL alloc probes — and returns
-// the JSON payload.
-func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions) (BenchJSON, GroupResult, DurabilityResult, error) {
-	out := BenchJSON{Schema: "gosmr-bench/pr4", AllocsPerOp: codecAllocs()}
+// BenchSnapshot runs the perf suite — group-scaling, durability and
+// read-mix sweeps on the real pipeline plus the codec/WAL alloc probes —
+// and returns the JSON payload.
+func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOptions) (BenchJSON, GroupResult, DurabilityResult, ReadMixResult, error) {
+	out := BenchJSON{Schema: "gosmr-bench/pr6", NumCPU: runtime.NumCPU(), AllocsPerOp: codecAllocs()}
 	if wa, err := walAppendAllocs(); err == nil {
 		out.AllocsPerOp["wal_append"] = wa
 	}
@@ -160,14 +186,14 @@ func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions) (BenchJSON, Grou
 	if dOpts.Dir == "" {
 		dir, err := os.MkdirTemp("", "gosmr-bench-durability")
 		if err != nil {
-			return out, gr, DurabilityResult{}, err
+			return out, gr, DurabilityResult{}, ReadMixResult{}, err
 		}
 		defer os.RemoveAll(dir)
 		dOpts.Dir = dir
 	}
 	dr, err := DurabilitySmoke(dOpts)
 	if err != nil {
-		return out, gr, dr, err
+		return out, gr, dr, ReadMixResult{}, err
 	}
 	for _, c := range dr.Cells {
 		out.Durability = append(out.Durability, DurabilityJSON{
@@ -176,7 +202,23 @@ func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions) (BenchJSON, Grou
 		})
 	}
 	out.BatchNoneRatio = dr.Ratio(wal.SyncBatch)
-	return out, gr, dr, nil
+
+	rm := ReadMix(rmOpts)
+	for _, c := range rm.Cells {
+		out.ReadMix = append(out.ReadMix, ReadMixJSON{
+			ReadPct:     c.ReadPct,
+			Routing:     c.Routing,
+			ReadsPerS:   c.ReadsPerS,
+			WritesPerS:  c.WritesPerS,
+			LocalPerS:   c.LocalPerS,
+			BatchesPerS: c.BatchesPerS,
+			ReadP50Ms:   ms(c.ReadP50),
+			ReadP99Ms:   ms(c.ReadP99),
+			WriteP50Ms:  ms(c.WriteP50),
+			WriteP99Ms:  ms(c.WriteP99),
+		})
+	}
+	return out, gr, dr, rm, nil
 }
 
 // WriteBenchJSON writes the snapshot to path (indented, trailing newline).

@@ -1,0 +1,319 @@
+package experiments
+
+// Read-mix experiment: drives the real pipeline with closed-loop clients
+// issuing a mix of linearizable reads and writes, and compares two read
+// routings — every read at the leaseholder ("leader") vs readers pinned
+// round-robin across all replicas ("spread", follower reads). Writes always
+// order through the log; reads take the lease / read-index path and never
+// enter the ordering pipeline.
+//
+// The interesting regime is a read-heavy mix on a CPU-loaded service: the
+// leaseholder serves its local reads without any coordination, but every one
+// of them burns leader CPU. Follower reads pay one read-index round trip to
+// the leaseholder and then execute on the follower's cores, so at high read
+// fractions the "spread" routing turns the two followers' otherwise idle
+// service capacity into read throughput. At low read fractions (or with a
+// cheap service) the extra round trip is pure overhead — which is exactly
+// the trade the table makes visible.
+//
+// Unlike the open-loop group-scaling senders, these clients are closed-loop
+// (one outstanding request each), so per-op latency is measurable: the cell
+// reports p50/p99 for reads and writes separately.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosmr"
+	"gosmr/internal/service"
+	"gosmr/internal/transport"
+)
+
+// ReadMixOptions configures the read-mix sweep.
+type ReadMixOptions struct {
+	// ReadPct lists the read fractions to sweep, in percent of clients
+	// (default 0, 50, 90, 99).
+	ReadPct []int
+	// Routings lists read routings to compare: "leader" sends every read to
+	// the leaseholder, "spread" pins readers round-robin across all replicas
+	// (default both).
+	Routings []string
+	// Clients is the total number of closed-loop clients (default 24). Each
+	// cell splits them into readers and writers by ReadPct.
+	Clients int
+	// Delay is the in-process transport's one-way delivery delay (default
+	// 200µs) — the cost of a follower's read-index round trip.
+	Delay time.Duration
+	// ExecuteCost is the KV service's per-command CPU cost knob (default
+	// 3000 hash rounds): a service expensive enough that read execution,
+	// not the wire, is the contended resource.
+	ExecuteCost int
+	// Warmup is discarded time per cell, covering leader election AND lease
+	// establishment (default 300ms). Measure is the measurement window
+	// (default 500ms).
+	Warmup  time.Duration
+	Measure time.Duration
+}
+
+func (o ReadMixOptions) withDefaults() ReadMixOptions {
+	if len(o.ReadPct) == 0 {
+		o.ReadPct = []int{0, 50, 90, 99}
+	}
+	if len(o.Routings) == 0 {
+		o.Routings = []string{"leader", "spread"}
+	}
+	if o.Clients <= 0 {
+		o.Clients = 24
+	}
+	if o.Delay <= 0 {
+		o.Delay = 200 * time.Microsecond
+	}
+	if o.ExecuteCost <= 0 {
+		o.ExecuteCost = 3000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 300 * time.Millisecond
+	}
+	if o.Measure <= 0 {
+		o.Measure = 500 * time.Millisecond
+	}
+	return o
+}
+
+// ReadMixCell is one measured (read fraction, routing) configuration.
+type ReadMixCell struct {
+	ReadPct int
+	Routing string
+
+	ReadsPerS   float64 // completed linearizable reads per second
+	WritesPerS  float64 // completed ordered writes per second
+	BatchesPerS float64 // decided non-empty batches per second at the leader
+	// LocalPerS is the rate of reads served on the lease / read-index path,
+	// summed across replicas. Reads above this rate fell back to the
+	// ordered path (lease not yet valid, leadership in flux).
+	LocalPerS float64
+
+	ReadP50, ReadP99   time.Duration
+	WriteP50, WriteP99 time.Duration
+}
+
+// ReadMixResult holds the sweep in options order.
+type ReadMixResult struct {
+	Cells  []ReadMixCell
+	Report string
+}
+
+// Cell returns the cell for (pct, routing), or a zero cell when missing.
+func (r ReadMixResult) Cell(pct int, routing string) ReadMixCell {
+	for _, c := range r.Cells {
+		if c.ReadPct == pct && c.Routing == routing {
+			return c
+		}
+	}
+	return ReadMixCell{}
+}
+
+// ReadMix sweeps read fraction × read routing on a 3-replica in-process
+// cluster with leader leases enabled and reports throughput and latency
+// percentiles per operation class.
+func ReadMix(opts ReadMixOptions) ReadMixResult {
+	opts = opts.withDefaults()
+	out := ReadMixResult{}
+	t := newTable("ReadMix", fmt.Sprintf(
+		"Mixed read/write workload: leader-only vs follower reads (n=3, delay=%v, %d closed-loop clients, cost=%d)",
+		opts.Delay, opts.Clients, opts.ExecuteCost))
+	t.row("reads", "routing", "reads/s", "writes/s", "local/s", "read p50", "read p99", "write p50", "write p99")
+	for _, pct := range opts.ReadPct {
+		for _, routing := range opts.Routings {
+			cell := runReadMixCell(opts, pct, routing)
+			out.Cells = append(out.Cells, cell)
+			t.row(fmt.Sprintf("%4d%%", pct), fmt.Sprintf("%7s", routing),
+				fmt.Sprintf("%8.0f", cell.ReadsPerS),
+				fmt.Sprintf("%8.0f", cell.WritesPerS),
+				fmt.Sprintf("%8.0f", cell.LocalPerS),
+				fmtLat(cell.ReadP50), fmtLat(cell.ReadP99),
+				fmtLat(cell.WriteP50), fmtLat(cell.WriteP99))
+		}
+	}
+	t.note("reads are linearizable and never enter the ordering pipeline: leaseholder reads are local, follower reads add one read-index round trip")
+	t.note("local/s counts reads served on the lease path (across all replicas); the remainder fell back to ordered execution")
+	if n := runtime.NumCPU(); n == 1 {
+		t.note("host has 1 CPU: spread routing can only show its overhead here — the crossover needs cores, since leader reads execute on one thread while spread reads use one thread per replica")
+	} else {
+		t.note("host has %d CPUs", n)
+	}
+	out.Report = t.String()
+	return out
+}
+
+// fmtLat renders a latency with µs resolution.
+func fmtLat(d time.Duration) string {
+	return fmt.Sprintf("%9.2fms", float64(d.Microseconds())/1000)
+}
+
+// pctile returns the p-th percentile (nearest rank) of a sorted slice.
+func pctile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted)-1)*p/100 + 0.5)
+	return sorted[idx]
+}
+
+// clientStats is one client's measurement-window record.
+type clientStats struct {
+	lats []time.Duration
+}
+
+// runReadMixCell measures one (read fraction, routing) cell.
+func runReadMixCell(opts ReadMixOptions, pct int, routing string) ReadMixCell {
+	net := transport.NewInproc(0)
+	net.SetDelay(opts.Delay)
+	peers := []string{"rm-0", "rm-1", "rm-2"}
+	addrs := []string{"rm-c0", "rm-c1", "rm-c2"}
+	reps := make([]*gosmr.Replica, len(peers))
+	for i := range peers {
+		svc := service.NewKV()
+		svc.ExecuteCost = opts.ExecuteCost
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID: i, Peers: peers, ClientAddr: addrs[i],
+			Network:           net,
+			BatchDelay:        time.Millisecond,
+			HeartbeatInterval: 10 * time.Millisecond,
+			SuspectTimeout:    100 * time.Millisecond,
+		}, svc)
+		if err != nil {
+			panic(err) // static config; cannot fail
+		}
+		if err := rep.Start(); err != nil {
+			panic(err)
+		}
+		defer rep.Stop()
+		reps[i] = rep
+	}
+	leader := reps[0]
+	// Wait for an established leader AND a valid lease: reads issued before
+	// the lease quorum forms just measure the ordered fallback.
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if leader.IsLeader() && leader.LeaseValid() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	readers := opts.Clients * pct / 100
+	if pct > 0 && readers == 0 {
+		readers = 1
+	}
+	writers := opts.Clients - readers
+	if pct < 100 && writers == 0 {
+		writers = 1
+		readers = opts.Clients - 1
+	}
+
+	var stop, measuring atomic.Bool
+	var wg sync.WaitGroup
+	dial := func(target int) *gosmr.Client {
+		cli, err := gosmr.Dial(gosmr.ClientConfig{
+			Addrs: addrs, Network: net,
+			Timeout:        5 * time.Second,
+			AttemptTimeout: 200 * time.Millisecond,
+			InitialTarget:  target,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return cli
+	}
+	writeStats := make([]clientStats, writers)
+	readStats := make([]clientStats, readers)
+	value := make([]byte, 16)
+	for w := range writers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli := dial(0) // writes order at the leader anyway; start there
+			defer cli.Close()
+			for seq := 0; !stop.Load(); seq++ {
+				key := fmt.Sprintf("w%d-k%d", w, seq%64)
+				t0 := time.Now()
+				if _, err := cli.Execute(service.EncodePut(key, value)); err != nil {
+					return
+				}
+				if measuring.Load() {
+					writeStats[w].lats = append(writeStats[w].lats, time.Since(t0))
+				}
+			}
+		}()
+	}
+	for k := range readers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			target := 0
+			if routing == "spread" {
+				target = k % len(peers)
+			}
+			cli := dial(target)
+			defer cli.Close()
+			// Read the writers' key space so gets hit live data.
+			owner := 0
+			if writers > 0 {
+				owner = k % writers
+			}
+			for seq := 0; !stop.Load(); seq++ {
+				key := fmt.Sprintf("w%d-k%d", owner, seq%64)
+				t0 := time.Now()
+				if _, err := cli.Read(service.EncodeGet(key), gosmr.ReadLinearizable); err != nil {
+					return
+				}
+				if measuring.Load() {
+					readStats[k].lats = append(readStats[k].lats, time.Since(t0))
+				}
+			}
+		}()
+	}
+
+	time.Sleep(opts.Warmup)
+	startBatches := leader.DecidedBatches()
+	var startLocal uint64
+	for _, rep := range reps {
+		startLocal += rep.LocalReads()
+	}
+	start := time.Now()
+	measuring.Store(true)
+	time.Sleep(opts.Measure)
+	measuring.Store(false)
+	secs := time.Since(start).Seconds()
+	batches := leader.DecidedBatches() - startBatches
+	var local uint64
+	for _, rep := range reps {
+		local += rep.LocalReads()
+	}
+	local -= startLocal
+	stop.Store(true)
+	wg.Wait()
+
+	var readLats, writeLats []time.Duration
+	for _, s := range readStats {
+		readLats = append(readLats, s.lats...)
+	}
+	for _, s := range writeStats {
+		writeLats = append(writeLats, s.lats...)
+	}
+	sort.Slice(readLats, func(i, j int) bool { return readLats[i] < readLats[j] })
+	sort.Slice(writeLats, func(i, j int) bool { return writeLats[i] < writeLats[j] })
+	return ReadMixCell{
+		ReadPct: pct, Routing: routing,
+		ReadsPerS:   float64(len(readLats)) / secs,
+		WritesPerS:  float64(len(writeLats)) / secs,
+		BatchesPerS: float64(batches) / secs,
+		LocalPerS:   float64(local) / secs,
+		ReadP50:     pctile(readLats, 50), ReadP99: pctile(readLats, 99),
+		WriteP50: pctile(writeLats, 50), WriteP99: pctile(writeLats, 99),
+	}
+}

@@ -39,9 +39,22 @@ type Options struct {
 	// SendHeartbeat sends a heartbeat to peer (called from the detector
 	// goroutine, must not block indefinitely).
 	SendHeartbeat func(peer int)
+	// ForceHeartbeat makes the leader heartbeat every peer once per
+	// HeartbeatInterval regardless of connection idleness. Plain failure
+	// detection only needs heartbeats on idle connections (any traffic
+	// proves liveness), but leader leases renew via heartbeat-carried
+	// grants, which must keep flowing under full proposal load.
+	ForceHeartbeat bool
 	// Suspect reports that the leader of view is suspected. Called at most
 	// once per view, from the detector goroutine.
 	Suspect func(view wire.View)
+	// HoldSuspect, when non-nil, is consulted before reporting a suspicion.
+	// Returning true skips the report WITHOUT recording the view as already
+	// suspected, so the detector re-evaluates on its next tick and the
+	// suspicion fires naturally once the hold lifts. Used to honor a leader
+	// lease promise: electing a new leader while the old one may still be
+	// serving local reads would violate lease safety.
+	HoldSuspect func(view wire.View) bool
 	// Thread receives profiling accounting (may be nil).
 	Thread *profiling.Thread
 }
@@ -53,6 +66,7 @@ type Detector struct {
 
 	lastRecv []atomic.Int64 // unix nanos of last message received from peer
 	lastSent []atomic.Int64 // unix nanos of last message sent to peer
+	lastHB   []int64        // unix nanos of last forced heartbeat (detector goroutine only)
 
 	view      atomic.Int32 // current view
 	suspected atomic.Int32 // highest view already reported suspected; -1 none
@@ -74,6 +88,7 @@ func New(opts Options) *Detector {
 		opts:     opts,
 		lastRecv: make([]atomic.Int64, opts.N),
 		lastSent: make([]atomic.Int64, opts.N),
+		lastHB:   make([]int64, opts.N),
 		stop:     make(chan struct{}),
 	}
 	d.suspected.Store(-1)
@@ -159,15 +174,23 @@ func (d *Detector) evaluate(now time.Time) {
 		leader = -leader // defensive; views are non-negative in practice
 	}
 	if leader == d.opts.ID {
-		// Leader role: heartbeat any peer whose connection has been idle.
+		// Leader role: heartbeat any peer whose connection has been idle —
+		// or, under ForceHeartbeat, any peer not explicitly heartbeated for
+		// an interval, even if proposal traffic kept the connection busy
+		// (lease grants ride only on heartbeats).
 		cutoff := now.Add(-d.opts.HeartbeatInterval).UnixNano()
 		for p := range d.opts.N {
 			if p == d.opts.ID {
 				continue
 			}
-			if d.lastSent[p].Load() <= cutoff && d.opts.SendHeartbeat != nil {
+			due := d.lastSent[p].Load() <= cutoff
+			if d.opts.ForceHeartbeat {
+				due = d.lastHB[p] <= cutoff
+			}
+			if due && d.opts.SendHeartbeat != nil {
 				d.opts.SendHeartbeat(p)
 				d.lastSent[p].Store(now.UnixNano())
+				d.lastHB[p] = now.UnixNano()
 			}
 		}
 		return
@@ -175,6 +198,9 @@ func (d *Detector) evaluate(now time.Time) {
 	// Follower role: suspect a silent leader, once per view.
 	cutoff := now.Add(-d.opts.SuspectTimeout).UnixNano()
 	if d.lastRecv[leader].Load() <= cutoff && d.suspected.Load() < int32(view) {
+		if d.opts.HoldSuspect != nil && d.opts.HoldSuspect(view) {
+			return // promise active: retry next tick, don't mark suspected
+		}
 		d.suspected.Store(int32(view))
 		if d.opts.Suspect != nil {
 			d.opts.Suspect(view)

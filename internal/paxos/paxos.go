@@ -73,6 +73,19 @@ type Decision struct {
 	Value []byte // an encoded batch (possibly empty: a no-op)
 }
 
+// LeaseGrant surfaces a lease grant piggybacked on a leader heartbeat, after
+// the node validated it against its view state (sender is the leader of the
+// heartbeat's view, and the view is current — a stale grant is dropped with
+// its stale heartbeat). The caller starts its local promise timer and
+// acknowledges with a wire.LeaseAck; the node itself keeps no wall-clock
+// state (it stays a pure state machine).
+type LeaseGrant struct {
+	From       int
+	View       wire.View
+	DurationMS uint32
+	Seq        uint64
+}
+
 // Effects is everything an event handler asks the caller to do. The zero
 // value means "nothing".
 type Effects struct {
@@ -100,6 +113,10 @@ type Effects struct {
 	// journals a cut that outruns the snapshot covering it (a crash between
 	// the two would otherwise leave an unbootable data directory).
 	InstallSnapshot *wire.Snapshot
+	// Lease, if non-nil, is a view-validated lease grant from the current
+	// leader's heartbeat; the caller runs the wall-clock side (promise timer
+	// + LeaseAck).
+	Lease *LeaseGrant
 }
 
 func (e *Effects) send(to int, msg wire.Message) {
@@ -162,6 +179,7 @@ type Node struct {
 
 	lastDelivered  wire.InstanceID // all instances below have been emitted
 	leaderUpTo     wire.InstanceID // highest decision watermark seen from a leader
+	electionFloor  wire.InstanceID // first fresh instance of this leadership (read barrier)
 	catchUpPending bool
 	catchUpGen     uint64 // bumped per issued query; pairs timeouts with queries
 	// pendingInstall is the group-local cut of a snapshot this node surfaced
@@ -289,6 +307,17 @@ func (nd *Node) IsLeader() bool { return nd.leading }
 // Preparing reports whether this replica is a candidate awaiting Phase 1b
 // responses.
 func (nd *Node) Preparing() bool { return nd.preparing }
+
+// ReadBarrier returns the first instance this leadership proposed fresh: the
+// suffix below it was inherited from prior views during Phase 1. A leader
+// may serve lease-based local reads only once DecidedUpTo reaches the
+// barrier — before that, a command a previous leader acknowledged to a
+// client may still be a re-proposal in flight, invisible to the merged
+// order, and a local read could miss it (the leader-completeness condition
+// of lease reads; Raft solves it with a no-op commit per term, here the
+// Phase 1 re-proposals themselves are the barrier). Zero until this replica
+// first establishes leadership; meaningless unless IsLeader.
+func (nd *Node) ReadBarrier() wire.InstanceID { return nd.electionFloor }
 
 // Log exposes the replicated log (for catch-up service and tests). Callers
 // must run on the Protocol thread.
@@ -506,6 +535,10 @@ func (nd *Node) maybeFinishPrepare(e *Effects) {
 			maxSeen = id
 		}
 	}
+	// Everything at or above this is a fresh proposal of this leadership;
+	// once DecidedUpTo passes it, every command any prior leader could have
+	// acknowledged is decided here too, and lease reads become safe.
+	nd.electionFloor = maxSeen + 1
 	for id := first; id <= maxSeen; id++ {
 		if entry := nd.log.Get(id); entry != nil && entry.Decided {
 			continue
@@ -589,7 +622,10 @@ func (nd *Node) maybeDecide(id wire.InstanceID, inst *openInstance, e *Effects) 
 	nd.emitDecisions(e)
 }
 
-// handleHeartbeat processes the leader's liveness/watermark message.
+// handleHeartbeat processes the leader's liveness/watermark message. A lease
+// grant riding on the heartbeat is surfaced only here — after the stale-view
+// and leader-identity checks — so the caller's lease manager never sees a
+// grant from anyone but the current view's leader.
 func (nd *Node) handleHeartbeat(from int, m *wire.Heartbeat, e *Effects) {
 	if m.View < nd.view {
 		return
@@ -598,6 +634,9 @@ func (nd *Node) handleHeartbeat(from int, m *wire.Heartbeat, e *Effects) {
 		return
 	}
 	nd.adoptView(m.View, e)
+	if m.LeaseMS != 0 && m.View == nd.view && from != nd.id {
+		e.Lease = &LeaseGrant{From: from, View: m.View, DurationMS: m.LeaseMS, Seq: m.LeaseSeq}
+	}
 	nd.observeWatermark(m.View, m.DecidedUpTo, e)
 }
 

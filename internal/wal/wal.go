@@ -32,6 +32,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -116,6 +117,40 @@ const (
 	RecCkpt
 )
 
+// segRange is the closed [min,max] interval of slot-bearing record IDs in
+// one segment. min > max is the empty range (a segment holding only
+// RecView/RecCut markers, or nothing yet).
+type segRange struct{ min, max int64 }
+
+// emptyRange is the identity for segRange.add.
+var emptyRange = segRange{min: math.MaxInt64, max: -1}
+
+func (s segRange) empty() bool { return s.min > s.max }
+
+func (s *segRange) add(id int64) {
+	if id < s.min {
+		s.min = id
+	}
+	if id > s.max {
+		s.max = id
+	}
+}
+
+// merge folds another range into s.
+func (s *segRange) merge(o segRange) {
+	if o.empty() {
+		return
+	}
+	s.add(o.min)
+	s.add(o.max)
+}
+
+// slotBearing reports whether a record type carries a log-slot ID the
+// segment index must cover (the record types ReadDecidedRange folds).
+func slotBearing(t RecordType) bool {
+	return t == RecAccept || t == RecDecide || t == RecState
+}
+
 // Record is one WAL entry. Which fields are meaningful depends on Type.
 type Record struct {
 	Type     RecordType
@@ -197,11 +232,17 @@ type WAL struct {
 	minSync  time.Duration
 	onSync   func(int64)
 
-	// mu guards buf, spare and appended: the only state Append touches.
+	// mu guards buf, spare, appended and pendRange: the only state Append
+	// touches.
 	mu       sync.Mutex
 	buf      []byte
 	spare    []byte // drained buffer cycled back for reuse (double buffering)
 	appended int64  // total encoded bytes handed to Append this run
+	// pendRange accumulates the slot range of records encoded into buf since
+	// the last drain. The Syncer transfers it to curRange when it writes the
+	// batch — a drained batch lands in exactly one segment because
+	// writeLocked rolls only at batch start, never mid-write.
+	pendRange segRange
 
 	durable atomic.Int64 // appended bytes known flushed (and fsynced, unless SyncNone)
 
@@ -224,6 +265,16 @@ type WAL struct {
 	// Both guarded by fileMu.
 	ckptSeq   int
 	retainSeq int
+
+	// segIndex maps each sealed segment to the closed [min,max] range of
+	// slot-bearing record IDs (RecAccept/RecDecide/RecState) it holds, so
+	// ReadDecidedRange opens only segments that can intersect a query instead
+	// of scanning the whole retained log. curRange accumulates the range of
+	// the unsealed current segment; sealLocked moves it into the index.
+	// Rebuilt from the segment scan at replay, pruned with garbage
+	// collection. Guarded by fileMu.
+	segIndex map[int]segRange
+	curRange segRange
 
 	// pipeline prepares the next segment file ahead of the writer (nil when
 	// preallocation is disabled).
@@ -254,13 +305,16 @@ func Open(opts Options) (*WAL, []Record, error) {
 		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
 	}
 	w := &WAL{
-		dir:      opts.Dir,
-		policy:   opts.Policy,
-		segBytes: opts.SegmentBytes,
-		minSync:  opts.MinSyncInterval,
-		onSync:   opts.OnDurable,
-		wake:     make(chan struct{}, 1),
-		stopc:    make(chan struct{}),
+		dir:       opts.Dir,
+		policy:    opts.Policy,
+		segBytes:  opts.SegmentBytes,
+		minSync:   opts.MinSyncInterval,
+		onSync:    opts.OnDurable,
+		pendRange: emptyRange,
+		segIndex:  make(map[int]segRange),
+		curRange:  emptyRange,
+		wake:      make(chan struct{}, 1),
+		stopc:     make(chan struct{}),
 	}
 	// Leftover pipeline spares are in an unknown preparation state after a
 	// crash (their zero fill may not be durable): discard them before
@@ -328,6 +382,15 @@ func (w *WAL) replay() ([]Record, error) {
 		if len(segRecs) > 0 && segRecs[0].Type == RecCkpt {
 			w.ckptSeq = seq // newest self-contained checkpoint boundary
 		}
+		// Rebuild the segment's slot index from the intact records (for a
+		// torn final segment the scan stops at the tear, which is exactly
+		// the prefix the truncation below keeps).
+		rng := emptyRange
+		for _, rec := range segRecs {
+			if slotBearing(rec.Type) {
+				rng.add(int64(rec.ID))
+			}
+		}
 		if !intact && i < len(seqs)-1 {
 			// A torn record below later segments cannot come from a crash
 			// (segments are fsynced before their successors exist): this is
@@ -338,6 +401,7 @@ func (w *WAL) replay() ([]Record, error) {
 		}
 		recs = append(recs, segRecs...)
 		if intact && i < len(seqs)-1 {
+			w.segIndex[seq] = rng
 			continue
 		}
 		// Final segment: truncate a torn tail and append here from now on.
@@ -360,6 +424,7 @@ func (w *WAL) replay() ([]Record, error) {
 			return nil, fmt.Errorf("wal: reopen segment: %w", err)
 		}
 		w.f, w.fileSize, w.seq = f, valid, seq
+		w.curRange = rng // resume accumulating the reopened segment's range
 		return recs, nil
 	}
 	// Empty directory: the first Append opens segment 1.
@@ -550,6 +615,9 @@ func decodeRecord(b []byte) (rec Record, n int, ok bool) {
 func (w *WAL) Append(rec Record) {
 	w.mu.Lock()
 	w.buf = encodeRecord(w.buf, rec)
+	if slotBearing(rec.Type) {
+		w.pendRange.add(int64(rec.ID))
+	}
 	w.mu.Unlock()
 	if w.policy == SyncAlways {
 		w.syncNow()
@@ -629,12 +697,18 @@ func (w *WAL) drainLocked() {
 	w.spare = nil
 	w.appended += int64(len(pending))
 	lsn := w.appended
+	pr := w.pendRange
+	w.pendRange = emptyRange
 	w.mu.Unlock()
 	if len(pending) == 0 {
 		w.recycleBuf(pending)
 		return
 	}
 	w.writeLocked(pending)
+	// After writeLocked: a roll happens before the batch is written, so the
+	// whole batch — and its slot range — belongs to the (possibly new)
+	// current segment.
+	w.curRange.merge(pr)
 	if w.policy != SyncNone {
 		if err := w.f.Sync(); err != nil {
 			panic(fmt.Sprintf("wal: fsync %s: %v", w.f.Name(), err))
@@ -744,6 +818,8 @@ func (w *WAL) sealLocked() {
 	}
 	_ = w.f.Close()
 	w.f, w.prealloc = nil, false
+	w.segIndex[w.seq] = w.curRange
+	w.curRange = emptyRange
 }
 
 // syncDir fsyncs the WAL directory so segment creations and deletions are
@@ -772,8 +848,12 @@ func (w *WAL) syncDir() {
 func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
 	var cp []byte
 	cp = encodeRecord(cp, Record{Type: RecCkpt, ID: cut})
+	cpRng := emptyRange
 	for _, st := range states {
 		cp = encodeRecord(cp, st)
+		if slotBearing(st.Type) {
+			cpRng.add(int64(st.ID))
+		}
 	}
 
 	w.fileMu.Lock()
@@ -790,6 +870,7 @@ func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
 		panic(fmt.Sprintf("wal: write checkpoint: %v", err))
 	}
 	w.fileSize += int64(len(cp))
+	w.curRange.merge(cpRng) // the dump bypasses writeLocked; index it here
 	if w.policy != SyncNone {
 		if err := w.f.Sync(); err != nil {
 			panic(fmt.Sprintf("wal: fsync checkpoint: %v", err))
@@ -809,6 +890,11 @@ func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
 	w.ckptSeq = w.seq
 	if keepFrom > w.retainSeq {
 		w.retainSeq = keepFrom
+	}
+	for seq := range w.segIndex {
+		if seq < w.retainSeq {
+			delete(w.segIndex, seq) // GC'd: out of the cold-read window
+		}
 	}
 	if seqs, err := w.segments(); err == nil {
 		for _, seq := range seqs {
@@ -830,18 +916,23 @@ func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
 
 // ReadDecidedRange serves decided values from the WAL's sealed segments —
 // the disk-backed catch-up tier between the in-memory log (truncated at the
-// newest snapshot cut) and full state transfer. It scans every sealed
-// segment in append order, folding RecAccept/RecDecide/RecState records for
-// instances in [from, to) into the latest decided value per slot, and
-// returns the contiguous decided prefix starting exactly at from, capped at
-// maxEntries values. ok is false when the retention window does not reach
-// down to from (the requester needs a snapshot); a shorter-than-requested
-// prefix with ok=true is served and the requester pages through the rest.
+// newest snapshot cut) and full state transfer. It consults the per-segment
+// slot index to pick only the sealed segments whose [min,max] record range
+// intersects [from, to), scans those in append order, folding
+// RecAccept/RecDecide/RecState records into the latest decided value per
+// slot, and returns the contiguous decided prefix starting exactly at from,
+// capped at maxEntries values. ok is false when the retention window does
+// not reach down to from (the requester needs a snapshot); a
+// shorter-than-requested prefix with ok=true is served and the requester
+// pages through the rest.
 //
-// Cost: one pass over the retained sealed segments (at most one checkpoint
-// generation plus the live one), holding fileMu — which briefly blocks the
-// Syncer's fsync loop. Catch-up is rare and this runs on the owning
-// Protocol thread's schedule, off every per-request hot path.
+// Cost: fileMu is held only for the index lookup — a map scan, no I/O — so
+// a cold catch-up read never stalls the Syncer's group-commit fsync loop.
+// The file reads and CRC scans run outside the lock; if a concurrent
+// checkpoint garbage-collects a chosen segment out from under the read (the
+// file vanishes, or a recycled file scans torn), the read reports ok=false
+// and the requester falls back to snapshot transfer — the same answer it
+// would get for any below-retention range.
 func (w *WAL) ReadDecidedRange(from, to wire.InstanceID, maxEntries int) ([]wire.DecidedValue, bool) {
 	if to <= from {
 		return nil, true
@@ -850,24 +941,25 @@ func (w *WAL) ReadDecidedRange(from, to wire.InstanceID, maxEntries int) ([]wire
 		to = from + wire.InstanceID(maxEntries)
 	}
 	w.fileMu.Lock()
-	defer w.fileMu.Unlock()
-	seqs, err := w.segments()
-	if err != nil {
-		return nil, false
+	var seqs []int
+	for seq, rng := range w.segIndex {
+		if seq >= w.seq || seq < w.retainSeq {
+			continue // unsealed (the Syncer's alone) or GC'd
+		}
+		if rng.empty() || rng.max < int64(from) || rng.min >= int64(to) {
+			continue // cannot intersect [from, to): skip without touching it
+		}
+		seqs = append(seqs, seq)
 	}
+	w.fileMu.Unlock()
+	sort.Ints(seqs)                         // fold order must be append order
 	acc := make(map[wire.InstanceID][]byte) // latest accepted value per slot
 	dec := make(map[wire.InstanceID][]byte) // decided value per slot
 	inRange := func(id wire.InstanceID) bool { return id >= from && id < to }
 	for _, seq := range seqs {
-		if seq >= w.seq {
-			continue // the unsealed current segment is the Syncer's alone
-		}
-		if seq < w.retainSeq {
-			continue // GC'd: may be mid-recycle (renamed/zeroed any moment)
-		}
 		data, err := os.ReadFile(filepath.Join(w.dir, segName(seq)))
 		if err != nil {
-			return nil, false
+			return nil, false // GC'd or recycled since the lookup; fall back
 		}
 		recs, _, intact := scanSegment(data)
 		if !intact {

@@ -33,6 +33,12 @@ func FuzzUnmarshalRoundTrip(f *testing.F) {
 		&ClientReply{ClientID: 1, Seq: 2, OK: true, Redirect: NoRedirect, Payload: []byte("ok")},
 		&GroupMsg{Group: 3, Msg: &Propose{View: 1, ID: 2, DecidedUpTo: 1, Value: []byte("grouped")}},
 		&GroupMsg{Group: 1, Msg: &Accept{View: 1, ID: 2}},
+		&Heartbeat{View: 7, DecidedUpTo: 43, LeaseMS: 250, LeaseSeq: 9},
+		&GroupMsg{Group: 2, Msg: &Heartbeat{View: 1, DecidedUpTo: 3, LeaseMS: 100, LeaseSeq: 1}},
+		&LeaseAck{View: 7, Seq: 9},
+		&ReadIndexQuery{Seq: 4},
+		&ReadIndexResp{Seq: 4, Index: 99, OK: true},
+		&ClientRead{ClientID: 0xfeed, Seq: 2, Consistency: 1, Payload: []byte("k")},
 	}
 	for _, m := range seeds {
 		b := Marshal(m)

@@ -70,6 +70,10 @@ const (
 	TClientRequest
 	TClientReply
 	TGroupMsg
+	TLeaseAck
+	TReadIndexQuery
+	TReadIndexResp
+	TClientRead
 )
 
 // String returns the message type name.
@@ -97,6 +101,14 @@ func (t MsgType) String() string {
 		return "ClientReply"
 	case TGroupMsg:
 		return "GroupMsg"
+	case TLeaseAck:
+		return "LeaseAck"
+	case TReadIndexQuery:
+		return "ReadIndexQuery"
+	case TReadIndexResp:
+		return "ReadIndexResp"
+	case TClientRead:
+		return "ClientRead"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -171,13 +183,86 @@ func (*Accept) Type() MsgType { return TAccept }
 // Heartbeat is sent by the leader when idle; it drives the failure detector
 // and carries the decision watermark so followers keep learning decisions
 // even without new proposals.
+//
+// When leader leases are enabled, group-0 heartbeats double as lease grants:
+// LeaseMS is the lease duration in milliseconds and LeaseSeq numbers the
+// grant round the follower acknowledges with a LeaseAck. Both fields are
+// appended to the encoding only when LeaseMS is nonzero, so lease-less
+// heartbeats stay byte-identical to the legacy wire format and old peers
+// decode them unchanged.
 type Heartbeat struct {
 	View        View
 	DecidedUpTo InstanceID
+	LeaseMS     uint32
+	LeaseSeq    uint64
 }
 
 // Type implements Message.
 func (*Heartbeat) Type() MsgType { return THeartbeat }
+
+// LeaseAck acknowledges a lease grant carried on a Heartbeat: the follower
+// promises not to suspect (or help depose) the leader of View until its
+// local lease timer — started at the grant's receipt — expires. Seq echoes
+// the grant round so the leader can compute the quorum's ack coverage
+// against its own send timestamps, which keeps the expiry arithmetic
+// one-clock-local on each side (only bounded clock RATE skew is assumed,
+// never synchronized clocks).
+type LeaseAck struct {
+	View View
+	Seq  uint64
+}
+
+// Type implements Message.
+func (*LeaseAck) Type() MsgType { return TLeaseAck }
+
+// ReadIndexQuery asks the lease-holding leader for its current merged-order
+// read index. It carries no values — the answer is one integer — which is
+// what makes follower reads cheap: the follower waits locally until its own
+// executor passes the returned index. Seq matches queries to responses on
+// the asking replica.
+type ReadIndexQuery struct {
+	Seq uint64
+}
+
+// Type implements Message.
+func (*ReadIndexQuery) Type() MsgType { return TReadIndexQuery }
+
+// ReadIndexResp answers a ReadIndexQuery. OK is false when the responder is
+// not a valid leaseholder (not leader, or its lease lapsed); the asker then
+// falls back to ordering its reads through the log.
+type ReadIndexResp struct {
+	Seq   uint64
+	Index InstanceID // merged index the asker must apply through before reading
+	OK    bool
+}
+
+// Type implements Message.
+func (*ReadIndexResp) Type() MsgType { return TReadIndexResp }
+
+// ClientRead is a client read-only command addressed to the local read path:
+// it never enters the ordering pipeline. Consistency selects the guarantee
+// (see the gosmr.ReadConsistency constants); Seq gives reads their own
+// at-most-once-free numbering — reads are never retried through the reply
+// cache, a failed read simply falls back to an ordered ClientRequest.
+// ClientRead.Consistency values (mirrored by gosmr.ReadConsistency).
+const (
+	// ReadLinearizable observes every write acknowledged before the read
+	// started (lease check on the leader, read-index round on a follower).
+	ReadLinearizable uint8 = 0
+	// ReadStable reads whatever state the local replica has applied — no
+	// coordination, no staleness bound.
+	ReadStable uint8 = 1
+)
+
+type ClientRead struct {
+	ClientID    uint64
+	Seq         uint64
+	Consistency uint8
+	Payload     []byte
+}
+
+// Type implements Message.
+func (*ClientRead) Type() MsgType { return TClientRead }
 
 // CatchUpQuery asks a peer for the decided values of instances in
 // [From, To). Sent by a replica that has learned instances are decided but
@@ -314,6 +399,10 @@ var (
 	_ Message = (*ClientRequest)(nil)
 	_ Message = (*ClientReply)(nil)
 	_ Message = (*GroupMsg)(nil)
+	_ Message = (*LeaseAck)(nil)
+	_ Message = (*ReadIndexQuery)(nil)
+	_ Message = (*ReadIndexResp)(nil)
+	_ Message = (*ClientRead)(nil)
 )
 
 // Codec errors.
@@ -344,6 +433,7 @@ var (
 	requestPool   = sync.Pool{New: func() any { return new(ClientRequest) }}
 	replyPool     = sync.Pool{New: func() any { return new(ClientReply) }}
 	groupMsgPool  = sync.Pool{New: func() any { return new(GroupMsg) }}
+	readPool      = sync.Pool{New: func() any { return new(ClientRead) }}
 )
 
 // NewClientReply returns a pooled, zeroed ClientReply for callers that build
@@ -380,6 +470,9 @@ func Release(m Message) {
 	case *GroupMsg:
 		*v = GroupMsg{}
 		groupMsgPool.Put(v)
+	case *ClientRead:
+		*v = ClientRead{}
+		readPool.Put(v)
 	}
 }
 
@@ -418,6 +511,8 @@ func Retain(m Message) {
 	case *ClientRequest:
 		v.Payload = ownedCopy(v.Payload)
 	case *ClientReply:
+		v.Payload = ownedCopy(v.Payload)
+	case *ClientRead:
 		v.Payload = ownedCopy(v.Payload)
 	case *GroupMsg:
 		Retain(v.Msg)
@@ -467,7 +562,18 @@ func Size(m Message) int {
 	case *Accept:
 		return 1 + 4 + 8
 	case *Heartbeat:
+		if v.LeaseMS != 0 {
+			return 1 + 4 + 8 + 4 + 8
+		}
 		return 1 + 4 + 8
+	case *LeaseAck:
+		return 1 + 4 + 8
+	case *ReadIndexQuery:
+		return 1 + 8
+	case *ReadIndexResp:
+		return 1 + 8 + 8 + 1
+	case *ClientRead:
+		return 1 + 8 + 8 + 1 + 4 + len(v.Payload)
 	case *CatchUpQuery:
 		return 1 + 8 + 8
 	case *CatchUpResp:
@@ -531,6 +637,26 @@ func AppendMessage(dst []byte, m Message) []byte {
 	case *Heartbeat:
 		a.i32(int32(v.View))
 		a.i64(int64(v.DecidedUpTo))
+		// Lease grant fields are appended only when present, keeping
+		// lease-less heartbeats byte-identical to the legacy format.
+		if v.LeaseMS != 0 {
+			a.u32(v.LeaseMS)
+			a.u64(v.LeaseSeq)
+		}
+	case *LeaseAck:
+		a.i32(int32(v.View))
+		a.u64(v.Seq)
+	case *ReadIndexQuery:
+		a.u64(v.Seq)
+	case *ReadIndexResp:
+		a.u64(v.Seq)
+		a.i64(int64(v.Index))
+		a.bool(v.OK)
+	case *ClientRead:
+		a.u64(v.ClientID)
+		a.u64(v.Seq)
+		a.u8(v.Consistency)
+		a.bytes(v.Payload)
 	case *CatchUpQuery:
 		a.i64(int64(v.From))
 		a.i64(int64(v.To))
@@ -705,6 +831,26 @@ func decodeMessage(r *reader, allowGroup bool) (Message, error) {
 		v := heartbeatPool.Get().(*Heartbeat)
 		v.View = View(r.i32())
 		v.DecidedUpTo = InstanceID(r.i64())
+		// Trailing lease grant (absent on legacy frames). Inside a GroupMsg
+		// the reader is scoped to the inner body, so r.len() is exact there
+		// too.
+		if r.err == nil && r.len() > 0 {
+			v.LeaseMS = r.u32()
+			v.LeaseSeq = r.u64()
+		}
+		m = v
+	case TLeaseAck:
+		m = &LeaseAck{View: View(r.i32()), Seq: r.u64()}
+	case TReadIndexQuery:
+		m = &ReadIndexQuery{Seq: r.u64()}
+	case TReadIndexResp:
+		m = &ReadIndexResp{Seq: r.u64(), Index: InstanceID(r.i64()), OK: r.bool()}
+	case TClientRead:
+		v := readPool.Get().(*ClientRead)
+		v.ClientID = r.u64()
+		v.Seq = r.u64()
+		v.Consistency = r.u8()
+		v.Payload = r.bytes()
 		m = v
 	case TCatchUpQuery:
 		m = &CatchUpQuery{From: InstanceID(r.i64()), To: InstanceID(r.i64())}

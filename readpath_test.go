@@ -1,0 +1,249 @@
+package gosmr_test
+
+// Read-path tests: leader leases, follower reads, and the lease-safety
+// property that matters — a leaseholder cut off from the majority must stop
+// serving local reads before a new leader can commit writes it would miss.
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gosmr"
+	"gosmr/internal/service"
+	"gosmr/internal/transport"
+)
+
+// waitLeaseValid waits until replica r holds a valid lease.
+func waitLeaseValid(t *testing.T, r *gosmr.Replica, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.LeaseValid() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("replica %d did not establish a valid lease within %v", r.ID(), timeout)
+}
+
+// TestLeaderLeaseLocalReads pins the leaseholder fast path: once the lease
+// quorum forms, reads through the leader are served locally (LocalReads
+// advances) and observe every completed write.
+func TestLeaderLeaseLocalReads(t *testing.T) {
+	c := startCluster(t, 3, clusterConfig{})
+	cli := c.client()
+	defer cli.Close()
+
+	if _, err := cli.Execute(service.EncodePut("lease-k", []byte("v0"))); err != nil {
+		t.Fatal(err)
+	}
+	leader := c.replicas[0]
+	waitLeaseValid(t, leader, 5*time.Second)
+
+	before := leader.LocalReads()
+	for i := range 20 {
+		val := []byte(fmt.Sprintf("v%d", i))
+		if _, err := cli.Execute(service.EncodePut("lease-k", val)); err != nil {
+			t.Fatalf("PUT %d: %v", i, err)
+		}
+		reply, err := cli.Read(service.EncodeGet("lease-k"), gosmr.ReadLinearizable)
+		if err != nil {
+			t.Fatalf("READ %d: %v", i, err)
+		}
+		st, got := service.DecodeReply(reply)
+		if st != service.KVOK || !bytes.Equal(got, val) {
+			t.Fatalf("READ %d: status %d value %q, want %q (read must observe the completed write)", i, st, got, val)
+		}
+	}
+	if leader.LocalReads() == before {
+		t.Error("no read was served on the leaseholder's local path")
+	}
+}
+
+// TestFollowerReadLinearizable pins follower reads: a client pinned to a
+// follower issues linearizable reads that are served by THAT replica via the
+// read-index path (its LocalReads advances), and every read observes the
+// write completed before it.
+func TestFollowerReadLinearizable(t *testing.T) {
+	c := startCluster(t, 3, clusterConfig{})
+	writer := c.client()
+	defer writer.Close()
+
+	if _, err := writer.Execute(service.EncodePut("fr-k", []byte("v0"))); err != nil {
+		t.Fatal(err)
+	}
+	leader := c.replicas[0]
+	waitLeaseValid(t, leader, 5*time.Second)
+
+	follower := c.replicas[1]
+	reader, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:          c.addrs,
+		Network:        c.net,
+		Timeout:        15 * time.Second,
+		AttemptTimeout: 300 * time.Millisecond,
+		InitialTarget:  follower.ID(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+
+	for i := range 20 {
+		val := []byte(fmt.Sprintf("v%d", i))
+		if _, err := writer.Execute(service.EncodePut("fr-k", val)); err != nil {
+			t.Fatalf("PUT %d: %v", i, err)
+		}
+		reply, err := reader.Read(service.EncodeGet("fr-k"), gosmr.ReadLinearizable)
+		if err != nil {
+			t.Fatalf("READ %d: %v", i, err)
+		}
+		st, got := service.DecodeReply(reply)
+		if st != service.KVOK || !bytes.Equal(got, val) {
+			t.Fatalf("READ %d: status %d value %q, want %q (follower read must observe the completed write)", i, st, got, val)
+		}
+	}
+	// The reads must have been served by the follower itself. (Early reads
+	// may have fallen back to the ordered path while the lease formed; with
+	// the lease established, 20 reads are plenty to exercise the local path.)
+	if follower.LocalReads() == 0 {
+		t.Error("follower served no reads on the read-index path; every read fell back to ordered execution")
+	}
+}
+
+// TestReadStable pins the weak level: a stable read is served from whatever
+// state the contacted replica has applied, with no coordination — it must
+// succeed and return a value the replica once held (here: the only value
+// ever written).
+func TestReadStable(t *testing.T) {
+	c := startCluster(t, 3, clusterConfig{})
+	cli := c.client()
+	defer cli.Close()
+	if _, err := cli.Execute(service.EncodePut("st-k", []byte("sv"))); err != nil {
+		t.Fatal(err)
+	}
+	c.waitConverged(1, 10*time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		reply, err := cli.Read(service.EncodeGet("st-k"), gosmr.ReadStable)
+		if err != nil {
+			t.Fatalf("stable READ: %v", err)
+		}
+		st, got := service.DecodeReply(reply)
+		if st == service.KVOK && bytes.Equal(got, []byte("sv")) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stable READ: status %d value %q, want %q", st, got, "sv")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLeasePartitionSafety is the lease-safety proof: partition the
+// leaseholder from the majority, let the survivors elect a new leader and
+// commit a write, and assert the STALE leaseholder (which still believes it
+// leads) refuses to serve local reads — its lease is invalid, LocalReads
+// does not advance, and a client pinned to it still observes the new write
+// via the ordered fallback.
+func TestLeasePartitionSafety(t *testing.T) {
+	net := transport.NewInproc(0)
+	var partition atomic.Bool
+	net.SetFault(func(from, to string, frame []byte) (bool, bool) {
+		// Cut replica 0 off from its peers in BOTH directions; client
+		// traffic (non "lp-r*" endpoints) stays clean.
+		if !partition.Load() {
+			return false, false
+		}
+		cut := (from == "lp-r0" && (to == "lp-r1" || to == "lp-r2")) ||
+			(to == "lp-r0" && (from == "lp-r1" || from == "lp-r2"))
+		return cut, false
+	})
+	peers := []string{"lp-r0", "lp-r1", "lp-r2"}
+	reps := make([]*gosmr.Replica, 3)
+	for i := range 3 {
+		kv := service.NewKV()
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID: i, Peers: peers, ClientAddr: fmt.Sprintf("lp-c%d", i),
+			Network:           net.As(peers[i]),
+			BatchDelay:        time.Millisecond,
+			HeartbeatInterval: 20 * time.Millisecond,
+			SuspectTimeout:    150 * time.Millisecond,
+			LeaseDuration:     100 * time.Millisecond,
+			MaxClockSkew:      10 * time.Millisecond,
+		}, kv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(rep.Stop)
+		reps[i] = rep
+	}
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:   []string{"lp-c0", "lp-c1", "lp-c2"},
+		Network: net, Timeout: 30 * time.Second, AttemptTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+
+	// Establish leadership, lease, and a baseline value through replica 0.
+	if _, err := cli.Execute(service.EncodePut("x", []byte("old"))); err != nil {
+		t.Fatal(err)
+	}
+	waitLeaseValid(t, reps[0], 5*time.Second)
+
+	// Partition the leaseholder. The survivors hold lease promises, so the
+	// election waits out the promise before a new leader can form — and the
+	// old leader's ack quorum expires even earlier (skew margin).
+	partition.Store(true)
+	electionDeadline := time.Now().Add(10 * time.Second)
+	for !reps[1].IsLeader() && !reps[2].IsLeader() {
+		if time.Now().After(electionDeadline) {
+			t.Fatal("no new leader emerged on the majority side")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Commit a write the stale leaseholder cannot have seen.
+	if _, err := cli.Execute(service.EncodePut("x", []byte("new"))); err != nil {
+		t.Fatalf("PUT on the majority side: %v", err)
+	}
+
+	// Give the stale side comfortably more than expiry + skew, then probe.
+	time.Sleep(150 * time.Millisecond)
+	if reps[0].LeaseValid() {
+		t.Fatal("partitioned leaseholder still reports a valid lease after expiry + skew")
+	}
+	staleLocal := reps[0].LocalReads()
+
+	// A client pinned to the stale leaseholder must still read x=new: the
+	// replica refuses to serve the read locally and the client falls back to
+	// the ordered path on the majority side.
+	pinned, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:   []string{"lp-c0", "lp-c1", "lp-c2"},
+		Network: net, Timeout: 30 * time.Second, AttemptTimeout: 300 * time.Millisecond,
+		InitialTarget: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pinned.Close)
+	for i := range 5 {
+		reply, err := pinned.Read(service.EncodeGet("x"), gosmr.ReadLinearizable)
+		if err != nil {
+			t.Fatalf("READ %d via stale leaseholder: %v", i, err)
+		}
+		st, got := service.DecodeReply(reply)
+		if st != service.KVOK || !bytes.Equal(got, []byte("new")) {
+			t.Fatalf("READ %d returned status %d value %q, want %q — a stale local read is a linearizability violation", i, st, got, "new")
+		}
+	}
+	if n := reps[0].LocalReads(); n != staleLocal {
+		t.Errorf("stale leaseholder served %d local reads after lease expiry; must serve none", n-staleLocal)
+	}
+}
