@@ -8,8 +8,8 @@
 //	gosmr-bench                      # run everything at full fidelity
 //	gosmr-bench -experiment fig10    # one experiment
 //	gosmr-bench -measure 1s          # longer measurement windows
-//	gosmr-bench -json BENCH_PR4.json # machine-readable perf snapshot
-//	                                 # (decided-batch throughput + allocs/op)
+//	gosmr-bench -json BENCH_PR7.json # machine-readable perf snapshot
+//	                                 # (pipeline throughput sweeps + allocs/op)
 package main
 
 import (
@@ -27,9 +27,9 @@ func main() {
 		warmup  = flag.Duration("warmup", 200*time.Millisecond, "virtual warm-up per run (discarded)")
 		measure = flag.Duration("measure", 500*time.Millisecond, "virtual measurement window per run")
 		which   = flag.String("experiment", "all",
-			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor, groupscaling, readmix")
+			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor, groupscaling, readmix, conflictsweep")
 		jsonPath = flag.String("json", "",
-			"write a machine-readable perf snapshot (group-scaling + durability + read-mix throughput and latency, codec/WAL allocs/op) to this path and exit")
+			"write a machine-readable perf snapshot (group-scaling + durability + read-mix + conflict-sweep throughput and latency, codec/WAL/executor allocs/op) to this path and exit")
 	)
 	flag.Parse()
 
@@ -38,10 +38,11 @@ func main() {
 		// The perf snapshot runs on the real pipeline (not the simulator):
 		// decided-batch throughput across groups/durability plus the
 		// zero-copy hot-path alloc probes.
-		snap, gr, dr, rm, err := experiments.BenchSnapshot(
+		snap, gr, dr, rm, cs, err := experiments.BenchSnapshot(
 			experiments.GroupOptions{Warmup: *warmup, Measure: *measure},
 			experiments.DurabilityOptions{Warmup: *warmup, Measure: *measure},
 			experiments.ReadMixOptions{Warmup: *warmup, Measure: *measure},
+			experiments.ConflictSweepOptions{Warmup: *warmup, Measure: *measure},
 		)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
@@ -51,7 +52,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Print(gr.Report, dr.Report, rm.Report)
+		fmt.Print(gr.Report, dr.Report, rm.Report, cs.Report)
 		fmt.Printf("\nwrote %s (done in %v)\n", *jsonPath, time.Since(start).Round(time.Millisecond))
 		return
 	}
@@ -110,6 +111,12 @@ func main() {
 		// Runs on the real pipeline: decided-batch throughput vs ordering
 		// groups, window size, and workload conflict rate.
 		fmt.Print(experiments.GroupScaling(experiments.GroupOptions{
+			Warmup: *warmup, Measure: *measure,
+		}).Report)
+	case "conflictsweep":
+		// Runs on the real pipeline: op throughput of a mixed single/multi-key
+		// transfer workload, fence scheduling vs the barrier compat mode.
+		fmt.Print(experiments.ConflictSweep(experiments.ConflictSweepOptions{
 			Warmup: *warmup, Measure: *measure,
 		}).Report)
 	case "readmix":

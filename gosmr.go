@@ -34,6 +34,7 @@ import (
 
 	"gosmr/internal/batch"
 	"gosmr/internal/core"
+	"gosmr/internal/executor"
 	"gosmr/internal/profiling"
 	"gosmr/internal/transport"
 	"gosmr/internal/wal"
@@ -161,7 +162,19 @@ type Config struct {
 	// ExecutorWorkers sets the number of parallel execution workers. It
 	// takes effect only when the Service also implements ConflictAware;
 	// 0 or 1 (the default) keeps the classic single-threaded execution.
+	// A multi-key command (Keys returns several keys hashing to different
+	// workers) is fence-scheduled onto only its involved workers — the
+	// rest keep executing — so declaring precise key sets pays off even
+	// for transactional workloads.
 	ExecutorWorkers int
+
+	// WALRetainCheckpoints keeps that many previous checkpoint generations
+	// of WAL segments for disk-served catch-up (0 = the default of 1), and
+	// WALRetainBytes, when > 0, keeps even older segments while the total
+	// retained size fits the budget, letting disk-rich deployments serve
+	// deep catch-up gaps without state transfer. Ignored without DataDir.
+	WALRetainCheckpoints int
+	WALRetainBytes       int64
 
 	// HeartbeatInterval and SuspectTimeout tune the failure detector.
 	HeartbeatInterval time.Duration
@@ -205,23 +218,25 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		return nil, err
 	}
 	inner, err := core.NewReplica(core.Config{
-		ID:                cfg.ID,
-		PeerAddrs:         cfg.Peers,
-		ClientAddr:        cfg.ClientAddr,
-		Network:           cfg.Network,
-		ClientIOWorkers:   cfg.ClientIOWorkers,
-		Groups:            cfg.Groups,
-		Window:            cfg.Window,
-		Batch:             batch.Policy{MaxBytes: cfg.BatchBytes, MaxDelay: cfg.BatchDelay},
-		SnapshotEvery:     cfg.SnapshotEvery,
-		DataDir:           cfg.DataDir,
-		SyncPolicy:        policy,
-		ExecutorWorkers:   cfg.ExecutorWorkers,
-		HeartbeatInterval: cfg.HeartbeatInterval,
-		SuspectTimeout:    cfg.SuspectTimeout,
-		LeaseDuration:     cfg.LeaseDuration,
-		MaxClockSkew:      cfg.MaxClockSkew,
-		Profiling:         cfg.Profiling,
+		ID:                   cfg.ID,
+		PeerAddrs:            cfg.Peers,
+		ClientAddr:           cfg.ClientAddr,
+		Network:              cfg.Network,
+		ClientIOWorkers:      cfg.ClientIOWorkers,
+		Groups:               cfg.Groups,
+		Window:               cfg.Window,
+		Batch:                batch.Policy{MaxBytes: cfg.BatchBytes, MaxDelay: cfg.BatchDelay},
+		SnapshotEvery:        cfg.SnapshotEvery,
+		DataDir:              cfg.DataDir,
+		SyncPolicy:           policy,
+		WALRetainCheckpoints: cfg.WALRetainCheckpoints,
+		WALRetainBytes:       cfg.WALRetainBytes,
+		ExecutorWorkers:      cfg.ExecutorWorkers,
+		HeartbeatInterval:    cfg.HeartbeatInterval,
+		SuspectTimeout:       cfg.SuspectTimeout,
+		LeaseDuration:        cfg.LeaseDuration,
+		MaxClockSkew:         cfg.MaxClockSkew,
+		Profiling:            cfg.Profiling,
 	}, svc)
 	if err != nil {
 		return nil, err
@@ -280,6 +295,18 @@ func (r *Replica) ReplyCacheBytes() []byte { return r.inner.ReplyCacheBytes() }
 // ClientAddr returns the bound client-facing address (resolves ephemeral
 // ports).
 func (r *Replica) ClientAddr() string { return r.inner.ClientAddr() }
+
+// ExecutorStats is the execution scheduler's counter snapshot: tasks
+// dispatched to workers, global barriers (keyless commands), multi-key
+// join nodes, fences enqueued for them, and fences that had to wait at
+// their join. Joins ≈ Barriers trending to zero under a conflict-aware
+// service is the signal that multi-key commands pipeline instead of
+// stopping the world.
+type ExecutorStats = executor.Stats
+
+// ExecStats returns the execution stage's scheduler counters. Safe to call
+// on a running replica.
+func (r *Replica) ExecStats() ExecutorStats { return r.inner.ExecStats() }
 
 // QueueStats returns the time-averaged lengths of the internal queues
 // (RequestQueue, ProposalQueue, DispatcherQueue, DecisionQueue, and the

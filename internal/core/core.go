@@ -125,6 +125,20 @@ type Config struct {
 	// commit, the default — wal.SyncAlways, or wal.SyncNone). Only
 	// meaningful with DataDir set.
 	SyncPolicy wal.SyncPolicy
+	// WALMinSyncInterval overrides the WAL Syncer's adaptive group-commit
+	// spacing with a fixed floor (0 = adapt from measured fsync latency,
+	// the default; negative disables the floor). Only meaningful with
+	// DataDir set.
+	WALMinSyncInterval time.Duration
+	// WALRetainCheckpoints is how many previous checkpoint generations of
+	// WAL segments each group keeps for disk-served catch-up (0 takes the
+	// wal default of 1). Only meaningful with DataDir set.
+	WALRetainCheckpoints int
+	// WALRetainBytes, when > 0, keeps WAL segments below the generation
+	// floor while total retained bytes fit the budget, so deep catch-up
+	// gaps are served from the log instead of state transfer. Only
+	// meaningful with DataDir set.
+	WALRetainBytes int64
 
 	// ExecutorWorkers is the number of execution worker goroutines. It takes
 	// effect only when the service implements ConflictAware; the default (and
@@ -134,6 +148,11 @@ type Config struct {
 	// ExecutorQueueCap bounds each execution worker's input queue
 	// (default 256, applied by withDefaults like every other queue cap).
 	ExecutorQueueCap int
+	// ExecutorBarrierMultiKey restores the pre-PR7 behavior of running
+	// every multi-key command as a global barrier instead of fence-
+	// scheduling it onto only its involved workers (ablation/bisection
+	// knob; the conflict-sweep benchmark uses it as the "before" mode).
+	ExecutorBarrierMultiKey bool
 
 	// CoarseReplyCache switches the reply cache to the single-lock variant
 	// (ablation of Sec. V-D).

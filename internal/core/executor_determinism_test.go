@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"gosmr/internal/executor"
 	"gosmr/internal/profiling"
 	"gosmr/internal/service"
 	"gosmr/internal/transport"
@@ -125,6 +126,146 @@ func TestExecutorClusterDeterminism(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestMultiKeyClusterDeterminism extends the cluster determinism check to
+// the multi-key KV workload: TXN transfers over a shared account pool, MGET
+// and MSET spanning hot keys, mixed with single-key ops and occasional
+// barrier commands, at Workers{1,2,8}×Groups{1,2}. Fence scheduling must
+// preserve the serial-equivalent order — byte-identical snapshots and reply
+// caches on every replica — and at Workers>1 the run must actually exercise
+// join nodes, not degrade to barriers.
+func TestMultiKeyClusterDeterminism(t *testing.T) {
+	const (
+		clients       = 6
+		reqsPerClient = 40
+		accounts      = 5
+	)
+	for _, groups := range []int{1, 2} {
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("groups=%d/workers=%d", groups, workers), func(t *testing.T) {
+				net := transport.NewInproc(0)
+				peers := []string{"mkdet-0", "mkdet-1", "mkdet-2"}
+				svcs := make([]*service.KV, 3)
+				reps := make([]*Replica, 3)
+				for i := range 3 {
+					svcs[i] = service.NewKV()
+					r, err := NewReplica(Config{
+						ID: i, PeerAddrs: peers, ClientAddr: fmt.Sprintf("mkdet-c%d", i),
+						Network: net, Batch: batchPolicy(), Groups: groups,
+						ExecutorWorkers: workers,
+					}, svcs[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := r.Start(); err != nil {
+						t.Fatal(err)
+					}
+					defer r.Stop()
+					reps[i] = r
+				}
+				waitLeader(t, reps[0])
+
+				account := func(i int) string { return fmt.Sprintf("acct-%d", i) }
+				var wg sync.WaitGroup
+				for c := range clients {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(7000*groups + 1000*workers + c)))
+						conn, err := net.Dial("mkdet-c0")
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						defer conn.Close()
+						for seq := 1; seq <= reqsPerClient; seq++ {
+							var payload []byte
+							switch p := rng.Intn(100); {
+							case p < 3:
+								payload = []byte{0xEE} // unknown opcode: global barrier
+							case p < 15:
+								// Seed/overwrite an account balance.
+								payload = service.EncodePut(account(rng.Intn(accounts)),
+									service.EncodeBalance(uint64(rng.Intn(1000))))
+							case p < 50:
+								// 2-key transfer between random accounts (may collide).
+								src, dst := rng.Intn(accounts), rng.Intn(accounts)
+								payload = service.EncodeTxn(account(src), account(dst), uint64(rng.Intn(50)))
+							case p < 70:
+								a, b := rng.Intn(accounts), rng.Intn(accounts)
+								payload = service.EncodeMGet(account(a), account(b))
+							case p < 85:
+								a, b := rng.Intn(accounts), rng.Intn(accounts)
+								payload = service.EncodeMSet(map[string][]byte{
+									account(a): service.EncodeBalance(uint64(rng.Intn(500))),
+									account(b): service.EncodeBalance(uint64(rng.Intn(500))),
+								})
+							default:
+								payload = service.EncodeGet(account(rng.Intn(accounts)))
+							}
+							req := &wire.ClientRequest{ClientID: uint64(300 + c), Seq: uint64(seq), Payload: payload}
+							if err := conn.WriteFrame(wire.Marshal(req)); err != nil {
+								t.Error(err)
+								return
+							}
+							if _, err := conn.ReadFrame(); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+
+				total := uint64(clients * reqsPerClient)
+				deadline := time.Now().Add(15 * time.Second)
+				for _, r := range reps {
+					for r.Executed() < total && time.Now().Before(deadline) {
+						time.Sleep(2 * time.Millisecond)
+					}
+					if got := r.Executed(); got != total {
+						t.Fatalf("replica %d executed %d of %d", r.ID(), got, total)
+					}
+				}
+
+				wantSnap, err := svcs[0].Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantCache := reps[0].replyCache.Marshal()
+				for i := 1; i < 3; i++ {
+					snap, err := svcs[i].Snapshot()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(wantSnap, snap) {
+						t.Errorf("replica %d service snapshot diverged from replica 0", i)
+					}
+					if !bytes.Equal(wantCache, reps[i].replyCache.Marshal()) {
+						t.Errorf("replica %d reply cache diverged from replica 0", i)
+					}
+				}
+
+				// With several workers the multi-key ops must have been fence-
+				// scheduled (joins recorded), not run as global barriers; with
+				// one worker every multi-key op lands on that worker directly.
+				// KeyHash is deterministic, so whether the account pool spans
+				// more than one worker is a static property of the config.
+				span := map[uint64]bool{}
+				for i := range accounts {
+					span[executor.KeyHash(account(i))%uint64(workers)] = true
+				}
+				es := reps[0].ExecStats()
+				if workers > 1 && len(span) > 1 && es.Joins == 0 {
+					t.Errorf("workers=%d ran no join nodes (stats %+v) — multi-key commands not exercised", workers, es)
+				}
+				if es.Fences < es.Joins {
+					t.Errorf("fences %d < joins %d — each join needs at least one fence", es.Fences, es.Joins)
+				}
+			})
+		}
 	}
 }
 

@@ -93,8 +93,11 @@ func (r *Replica) recoverBoot() (*bootState, error) {
 	for i := range r.groups {
 		g := i // group index
 		w, recs, err := wal.Open(wal.Options{
-			Dir:    filepath.Join(dir, fmt.Sprintf("group-%d", g)),
-			Policy: r.cfg.SyncPolicy,
+			Dir:               filepath.Join(dir, fmt.Sprintf("group-%d", g)),
+			Policy:            r.cfg.SyncPolicy,
+			MinSyncInterval:   r.cfg.WALMinSyncInterval,
+			RetainCheckpoints: r.cfg.WALRetainCheckpoints,
+			RetainBytes:       r.cfg.WALRetainBytes,
 			OnDurable: func(int64) {
 				// Wake the group's Protocol thread so it releases effects
 				// gated on this sync. TryPut suffices: a full DispatcherQueue

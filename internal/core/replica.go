@@ -181,10 +181,11 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		r.groupKeys = ca.Keys
 	}
 	r.exec = executor.New(executor.Config{
-		Workers:   cfg.ExecutorWorkers,
-		Keys:      r.groupKeys,
-		QueueCap:  cfg.ExecutorQueueCap,
-		Profiling: cfg.Profiling,
+		Workers:         cfg.ExecutorWorkers,
+		Keys:            r.groupKeys,
+		QueueCap:        cfg.ExecutorQueueCap,
+		BarrierMultiKey: cfg.ExecutorBarrierMultiKey,
+		Profiling:       cfg.Profiling,
 	})
 	for _, g := range r.groups {
 		g.leaderHint.Store(0) // leader of view 0
@@ -274,6 +275,11 @@ func (r *Replica) QueueStats() map[string]float64 {
 	}
 	return stats
 }
+
+// ExecStats returns the executor's dependency-scheduler counters —
+// dispatched tasks, global barriers, multi-key join nodes, fences enqueued,
+// and fences that had to wait at their join. Safe to call while running.
+func (r *Replica) ExecStats() executor.Stats { return r.exec.Stats() }
 
 // ResetQueueStats restarts queue-average tracking (to discard warm-up).
 func (r *Replica) ResetQueueStats() {

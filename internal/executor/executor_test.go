@@ -240,12 +240,200 @@ func TestQueueStatsAndCounters(t *testing.T) {
 			t.Errorf("unexpected queue name %q", name)
 		}
 	}
-	dispatched, barriers := e.Stats()
-	if dispatched != 40 || barriers != 1 {
-		t.Errorf("Stats = (%d, %d), want (40, 1)", dispatched, barriers)
+	st := e.Stats()
+	if st.Dispatched != 40 || st.Barriers != 1 {
+		t.Errorf("Stats = %+v, want Dispatched=40 Barriers=1", st)
 	}
 	e.ResetQueueStats()
 }
+
+// distinctWorkerKeys returns n keys that hash to n distinct workers of e,
+// one per worker in ascending worker order.
+func distinctWorkerKeys(e *Executor, n int) []string {
+	byWorker := make(map[int]string)
+	for i := 0; len(byWorker) < n; i++ {
+		k := fmt.Sprintf("wk-%d", i)
+		w := e.workerFor(k)
+		if _, ok := byWorker[w]; !ok && w < n {
+			byWorker[w] = k
+		}
+	}
+	keys := make([]string, n)
+	for w, k := range byWorker {
+		keys[w] = k
+	}
+	return keys
+}
+
+// TestMultiKeyPropertyVsSerialOracle is the dependency-scheduler property
+// test: random logs of 1–3-key commands (over a small keyspace, so
+// cross-worker key sets are common) execute against a PLAIN unsynchronized
+// state slice — per-key mutual exclusion is the executor's job, so under
+// -race any scheduling bug is a detected data race — and the final state
+// must equal a serial application of the log. The per-key mix folds in the
+// command index, so any conflicting reordering changes the value.
+func TestMultiKeyPropertyVsSerialOracle(t *testing.T) {
+	const keyspace = 12
+	mix := func(v uint64, index int) uint64 {
+		h := v ^ uint64(index+1)
+		h *= 1099511628211
+		return h
+	}
+	for _, seed := range []int64{3, 99, 20260808} {
+		rng := rand.New(rand.NewSource(seed))
+		type cmd struct{ keys []int }
+		log := make([]cmd, 800)
+		for i := range log {
+			n := 1 + rng.Intn(3)
+			ks := make([]int, n)
+			for j := range ks {
+				ks[j] = rng.Intn(keyspace)
+			}
+			log[i] = cmd{keys: ks}
+		}
+		// Serial oracle.
+		want := make([]uint64, keyspace)
+		for i, c := range log {
+			for _, k := range c.keys {
+				want[k] = mix(want[k], i)
+			}
+		}
+		for _, workers := range []int{2, 3, 8} {
+			state := make([]uint64, keyspace) // deliberately unsynchronized
+			keyNames := make([]string, keyspace)
+			for k := range keyNames {
+				keyNames[k] = fmt.Sprintf("key-%d", k)
+			}
+			e := New(Config{Workers: workers, Keys: func(req []byte) []string {
+				var i int
+				fmt.Sscanf(string(req), "%d", &i)
+				out := make([]string, len(log[i].keys))
+				for j, k := range log[i].keys {
+					out[j] = keyNames[k]
+				}
+				return out
+			}})
+			e.Start()
+			for i := range log {
+				i := i
+				e.Submit(nil, []byte(fmt.Sprintf("%d", i)), func(*profiling.Thread) {
+					for _, k := range log[i].keys {
+						state[k] = mix(state[k], i)
+					}
+				})
+			}
+			e.Quiesce(nil)
+			e.Stop()
+			if !reflect.DeepEqual(want, state) {
+				t.Errorf("seed %d workers %d: parallel state diverged from serial oracle\n got %v\nwant %v",
+					seed, workers, state, want)
+			}
+		}
+	}
+}
+
+// TestMultiKeyDoesNotBlockDisjointWorkers is the conflict-cliff regression
+// test: a 2-key command whose keys span workers A and B must not stop worker
+// C. Worker A is wedged behind a gated task, so the join cannot execute; a
+// command on C's key must still complete. (Under the old quiesce-everything
+// design the scheduler itself blocked inside Submit of the 2-key command and
+// the C command was never even dispatched.)
+func TestMultiKeyDoesNotBlockDisjointWorkers(t *testing.T) {
+	e := New(Config{Workers: 3, Keys: func(req []byte) []string {
+		return strings.Split(string(req), ",")
+	}})
+	e.Start()
+	defer e.Stop()
+	keys := distinctWorkerKeys(e, 3)
+	a, b, c := keys[0], keys[1], keys[2]
+
+	gate := make(chan struct{})
+	joined := make(chan struct{})
+	disjoint := make(chan struct{})
+	e.Submit(nil, []byte(a), func(*profiling.Thread) { <-gate }) // wedge worker A
+	e.Submit(nil, []byte(a+","+b), func(*profiling.Thread) { close(joined) })
+	e.Submit(nil, []byte(c), func(*profiling.Thread) { close(disjoint) })
+
+	select {
+	case <-disjoint:
+	case <-time.After(5 * time.Second):
+		t.Fatal("disjoint-key command blocked behind a multi-key command that does not touch its worker")
+	}
+	select {
+	case <-joined:
+		t.Fatal("join executed while one involved worker was still busy")
+	default:
+	}
+	close(gate)
+	e.Quiesce(nil)
+	select {
+	case <-joined:
+	default:
+		t.Fatal("multi-key command never executed")
+	}
+	st := e.Stats()
+	if st.Joins != 1 || st.Fences != 2 {
+		t.Errorf("Stats = %+v, want Joins=1 Fences=2", st)
+	}
+	if st.JoinWaits != 1 {
+		// Worker B's fence arrived while A was wedged, so it must have parked.
+		t.Errorf("JoinWaits = %d, want 1", st.JoinWaits)
+	}
+}
+
+// TestBarrierMultiKeyCompatMode pins the "before" behavior the conflict
+// sweep benchmarks against: with BarrierMultiKey set, a cross-worker key set
+// quiesces everything and runs inline, counted as a barrier, not a join.
+func TestBarrierMultiKeyCompatMode(t *testing.T) {
+	e := New(Config{Workers: 4, BarrierMultiKey: true, Keys: func(req []byte) []string {
+		return strings.Split(string(req), ",")
+	}})
+	e.Start()
+	defer e.Stop()
+	keys := distinctWorkerKeys(e, 2)
+	ran := false
+	w := e.Submit(nil, []byte(keys[0]+","+keys[1]), func(*profiling.Thread) { ran = true })
+	if w != Inline || !ran {
+		t.Fatalf("compat multi-key submit: worker=%d ran=%v, want inline synchronous", w, ran)
+	}
+	st := e.Stats()
+	if st.Barriers != 1 || st.Joins != 0 || st.Fences != 0 {
+		t.Errorf("Stats = %+v, want Barriers=1 and no joins/fences", st)
+	}
+}
+
+// TestSubmitHotPathAllocs is the scheduler hot-path allocs guard (the PR 4
+// codec-guard discipline applied to dependency scheduling): steady-state
+// Submit of a 2-key cross-worker command — pooled join node, by-value
+// fences, scratch worker set — must not allocate beyond the occasional
+// GC-emptied pool refill. The Keys func and task closure are reused so the
+// measurement isolates the scheduler itself.
+func TestSubmitHotPathAllocs(t *testing.T) {
+	e := New(Config{Workers: 4, Keys: func(req []byte) []string {
+		return multiKeyScratch
+	}})
+	e.Start()
+	defer e.Stop()
+	multiKeyScratch = distinctWorkerKeys(e, 2)
+	task := Task(func(*profiling.Thread) {})
+	req := []byte("txn")
+	submit := func() {
+		for range 16 {
+			e.Submit(nil, req, task)
+		}
+		e.Quiesce(nil)
+	}
+	submit() // warm the pool and the workers
+	allocs := testing.AllocsPerRun(100, submit) / 16
+	if allocs > 0.5 {
+		t.Errorf("multi-key Submit allocates %.2f allocs/op in steady state, want ~0", allocs)
+	}
+	t.Logf("multi-key Submit: %.3f allocs/op", allocs)
+}
+
+// multiKeyScratch is TestSubmitHotPathAllocs's reused key slice (package
+// scope so the Keys closure itself captures nothing).
+var multiKeyScratch []string
 
 // TestStopUnblocksAndDropsPending verifies shutdown liveness: Stop while
 // tasks are queued drains them, and Submit after Stop neither runs the task

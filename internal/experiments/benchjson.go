@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"time"
 
+	"gosmr/internal/executor"
+	"gosmr/internal/profiling"
 	"gosmr/internal/wal"
 	"gosmr/internal/wire"
 )
@@ -16,9 +18,11 @@ import (
 // plus allocs/op of the codec hot paths, so successive PRs can diff
 // performance numerically instead of eyeballing reports.
 type BenchJSON struct {
-	Schema string `json:"schema"` // "gosmr-bench/pr6"
-	// NumCPU is the host's CPU count — the read-mix routing comparison is
-	// only meaningful relative to it (follower reads buy parallelism).
+	Schema string `json:"schema"` // "gosmr-bench/pr7"
+	// NumCPU is the host's CPU count — the read-mix routing comparison and
+	// the cpu-cost conflict sweep are only meaningful relative to it
+	// (worker overlap of CPU-bound commands needs cores; the wait-cost
+	// sweep shows scheduling overlap regardless).
 	NumCPU int `json:"num_cpu"`
 
 	// GroupScaling: decided-batch throughput per (groups, window, conflict)
@@ -34,6 +38,14 @@ type BenchJSON struct {
 	// path — throughput and latency percentiles per (read fraction,
 	// routing) cell, leader-only vs follower reads.
 	ReadMix []ReadMixJSON `json:"read_mix"`
+
+	// ConflictSweep: op throughput of the mixed single/multi-key transfer
+	// workload per (mode, cost model, multi-key fraction, workers) cell —
+	// fence scheduling ("deps") against the pre-PR7 quiesce-everything
+	// design ("barrier"), with the scheduler counters that explain each
+	// number. ConflictSweepNote records the host-dependent caveat.
+	ConflictSweep     []ConflictSweepJSON `json:"conflict_sweep"`
+	ConflictSweepNote string              `json:"conflict_sweep_note,omitempty"`
 
 	// AllocsPerOp: steady-state allocations per operation on the encode and
 	// decode/deliver hot paths (the PR 4 acceptance metric: encode 0,
@@ -68,6 +80,19 @@ type ReadMixJSON struct {
 	ReadP99Ms   float64 `json:"read_p99_ms"`
 	WriteP50Ms  float64 `json:"write_p50_ms"`
 	WriteP99Ms  float64 `json:"write_p99_ms"`
+}
+
+// ConflictSweepJSON is one conflict-sweep cell.
+type ConflictSweepJSON struct {
+	Mode        string  `json:"mode"` // "deps" or "barrier"
+	Cost        string  `json:"cost"` // "wait-<d>" or "cpu-<rounds>"
+	MultiKeyPct int     `json:"multikey_pct"`
+	Workers     int     `json:"workers"`
+	OpsPerS     float64 `json:"ops_per_sec"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+	Joins       uint64  `json:"joins"`
+	Fences      uint64  `json:"fences"`
+	Barriers    uint64  `json:"barriers"`
 }
 
 // ms converts a duration to float milliseconds for the JSON payload.
@@ -163,14 +188,75 @@ func walAppendAllocs() (float64, error) {
 	return got, nil
 }
 
-// BenchSnapshot runs the perf suite — group-scaling, durability and
-// read-mix sweeps on the real pipeline plus the codec/WAL alloc probes —
-// and returns the JSON payload.
-func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOptions) (BenchJSON, GroupResult, DurabilityResult, ReadMixResult, error) {
-	out := BenchJSON{Schema: "gosmr-bench/pr6", NumCPU: runtime.NumCPU(), AllocsPerOp: codecAllocs()}
+// executorSubmitAllocs probes the dependency scheduler's hot path:
+// steady-state multi-key Submits — join node from the pool, one fence per
+// involved worker, by-value queue items — should allocate (near) nothing.
+func executorSubmitAllocs() float64 {
+	names := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+	scratch := make([]string, 2)
+	keysFn := func(req []byte) []string {
+		scratch[0] = names[req[0]%8]
+		scratch[1] = names[req[1]%8]
+		return scratch
+	}
+	e := executor.New(executor.Config{Workers: 8, QueueCap: 1024, Keys: keysFn})
+	e.Start()
+	defer e.Stop()
+	task := func(*profiling.Thread) {}
+	req := []byte{0, 0}
+	i := byte(0)
+	return allocsPerOp(100, func() {
+		for range 16 {
+			req[0], req[1] = i, i+3
+			i++
+			e.Submit(nil, req, task)
+		}
+		e.Quiesce(nil) // drain so queues never fill and joins recycle
+	}) / 16
+}
+
+// BenchSnapshot runs the perf suite — group-scaling, durability, read-mix
+// and conflict sweeps on the real pipeline plus the codec/WAL/executor
+// alloc probes — and returns the JSON payload. The conflict sweep runs
+// twice, once per cost model (wall-clock wait and CPU spin); the returned
+// ConflictSweepResult holds both runs' cells, told apart by their Cost.
+func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOptions, csOpts ConflictSweepOptions) (BenchJSON, GroupResult, DurabilityResult, ReadMixResult, ConflictSweepResult, error) {
+	out := BenchJSON{Schema: "gosmr-bench/pr7", NumCPU: runtime.NumCPU(), AllocsPerOp: codecAllocs()}
 	if wa, err := walAppendAllocs(); err == nil {
 		out.AllocsPerOp["wal_append"] = wa
 	}
+	out.AllocsPerOp["executor_submit_multikey"] = executorSubmitAllocs()
+
+	// Conflict sweep, both cost models. On a single-core host the cpu-cost
+	// cells cannot exceed 1× for ANY scheduler (no parallelism to buy) and
+	// mostly measure scheduling overhead; the wait-cost cells show worker
+	// overlap regardless of core count. Record the caveat in the payload so
+	// a reader of the committed numbers doesn't need this comment.
+	csWait := ConflictSweep(csOpts)
+	cpuOpts := csOpts
+	cpuOpts.ExecuteCost = 2000
+	cpuOpts.ExecuteWait = 0
+	csCPU := ConflictSweep(cpuOpts)
+	cs := ConflictSweepResult{
+		Cells:  append(append([]ConflictSweepCell{}, csWait.Cells...), csCPU.Cells...),
+		Report: csWait.Report + csCPU.Report,
+	}
+	for _, c := range cs.Cells {
+		out.ConflictSweep = append(out.ConflictSweep, ConflictSweepJSON{
+			Mode:        c.Mode,
+			Cost:        c.Cost,
+			MultiKeyPct: c.MultiKeyPct,
+			Workers:     c.Workers,
+			OpsPerS:     c.OpsPerS,
+			Speedup:     c.Speedup,
+			Joins:       c.Joins,
+			Fences:      c.Fences,
+			Barriers:    c.Barriers,
+		})
+	}
+	out.ConflictSweepNote = fmt.Sprintf(
+		"wait-cost cells measure scheduling overlap (valid on any host); cpu-cost cells need cores (num_cpu=%d here) and mostly compare scheduler overhead below that",
+		runtime.NumCPU())
 
 	gr := GroupScaling(gOpts)
 	for _, c := range gr.Cells {
@@ -186,14 +272,14 @@ func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOp
 	if dOpts.Dir == "" {
 		dir, err := os.MkdirTemp("", "gosmr-bench-durability")
 		if err != nil {
-			return out, gr, DurabilityResult{}, ReadMixResult{}, err
+			return out, gr, DurabilityResult{}, ReadMixResult{}, cs, err
 		}
 		defer os.RemoveAll(dir)
 		dOpts.Dir = dir
 	}
 	dr, err := DurabilitySmoke(dOpts)
 	if err != nil {
-		return out, gr, dr, ReadMixResult{}, err
+		return out, gr, dr, ReadMixResult{}, cs, err
 	}
 	for _, c := range dr.Cells {
 		out.Durability = append(out.Durability, DurabilityJSON{
@@ -218,7 +304,7 @@ func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOp
 			WriteP99Ms:  ms(c.WriteP99),
 		})
 	}
-	return out, gr, dr, rm, nil
+	return out, gr, dr, rm, cs, nil
 }
 
 // WriteBenchJSON writes the snapshot to path (indented, trailing newline).

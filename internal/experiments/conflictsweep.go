@@ -1,0 +1,270 @@
+package experiments
+
+// Conflict-sweep experiment: the PR 7 acceptance benchmark for dependency-
+// tracked execution. A workload over a pool of accounts mixes single-key
+// writes with 2-key TXN transfers at a tunable multi-key fraction and runs
+// on the real single-replica pipeline in two scheduler modes: "deps" (fence
+// scheduling — a multi-key command occupies only the workers its keys hash
+// to) and "barrier" (the pre-PR7 behavior — every multi-key command
+// quiesces all workers and runs inline). Per-command cost is wall-clock
+// (KV.ExecuteWait) rather than CPU spin, so worker overlap is measurable
+// even on a single-core host: a sleep parallelizes across workers where a
+// spin cannot, which is exactly the scheduling property under test.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosmr/internal/batch"
+	"gosmr/internal/core"
+	"gosmr/internal/executor"
+	"gosmr/internal/service"
+	"gosmr/internal/transport"
+	"gosmr/internal/wire"
+)
+
+// ConflictSweepOptions configures the conflict sweep.
+type ConflictSweepOptions struct {
+	// Workers lists the executor worker counts to sweep (default 1, 8).
+	// The 1-worker cell of each mode is that mode's serial baseline.
+	Workers []int
+	// MultiKeyPct lists the percentage of operations that are 2-key TXN
+	// transfers between random accounts (default 0, 50, 100); the rest are
+	// single-key writes to client-private keys.
+	MultiKeyPct []int
+	// Accounts is the size of the shared account pool transfers draw from
+	// (default 64).
+	Accounts int
+	// Clients is the number of closed-loop clients (default 32).
+	Clients int
+	// ExecuteCost switches the per-command cost model: 0 (default) uses
+	// wall-clock cost (ExecuteWait sleep — scheduling overlap visible on
+	// any host, the "deps >1×" regime), > 0 uses that many CPU spin rounds
+	// and no sleep (the overhead-dominated regime of BENCH_PR4, where the
+	// barrier design pays its quiesce tax and measures <1×).
+	ExecuteCost int
+	// ExecuteWait is the per-command wall-clock cost when ExecuteCost is 0
+	// (default 1ms). See the package comment: wall-clock cost makes
+	// scheduling overlap visible independently of host core count.
+	ExecuteWait time.Duration
+	// Warmup is discarded time per cell (default 150ms); Measure is the
+	// measurement window (default 300ms).
+	Warmup  time.Duration
+	Measure time.Duration
+}
+
+func (o ConflictSweepOptions) withDefaults() ConflictSweepOptions {
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 8}
+	}
+	if len(o.MultiKeyPct) == 0 {
+		o.MultiKeyPct = []int{0, 50, 100}
+	}
+	if o.Accounts <= 0 {
+		o.Accounts = 64
+	}
+	if o.Clients <= 0 {
+		o.Clients = 32
+	}
+	if o.ExecuteCost > 0 {
+		o.ExecuteWait = 0
+	} else if o.ExecuteWait <= 0 {
+		o.ExecuteWait = time.Millisecond
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 150 * time.Millisecond
+	}
+	if o.Measure <= 0 {
+		o.Measure = 300 * time.Millisecond
+	}
+	return o
+}
+
+// costLabel names the active per-command cost model for reports and cells.
+func (o ConflictSweepOptions) costLabel() string {
+	if o.ExecuteCost > 0 {
+		return fmt.Sprintf("cpu-%d", o.ExecuteCost)
+	}
+	return fmt.Sprintf("wait-%s", o.ExecuteWait)
+}
+
+// ConflictSweepCell is one (mode, multi-key%, workers) measurement.
+type ConflictSweepCell struct {
+	Mode        string // "deps" (fence scheduling) or "barrier" (pre-PR7)
+	Cost        string // per-command cost model: "wait-<d>" or "cpu-<rounds>"
+	MultiKeyPct int
+	Workers     int
+	OpsPerS     float64
+	// Speedup is OpsPerS over the same mode's 1-worker cell at the same
+	// multi-key fraction (0 when no 1-worker cell was swept).
+	Speedup float64
+	// Scheduler counter deltas over the measurement window.
+	Joins, Fences, Barriers uint64
+}
+
+// ConflictSweepResult holds the sweep's cells and a rendered report.
+type ConflictSweepResult struct {
+	Cells  []ConflictSweepCell
+	Report string
+}
+
+// Speedup returns the speedup of the (mode, pct, workers) cell (0 if absent).
+func (r ConflictSweepResult) Speedup(mode string, pct, workers int) float64 {
+	for _, c := range r.Cells {
+		if c.Mode == mode && c.MultiKeyPct == pct && c.Workers == workers {
+			return c.Speedup
+		}
+	}
+	return 0
+}
+
+// ConflictSweep measures op throughput of the mixed single/multi-key
+// workload across scheduler modes, multi-key fractions, and worker counts.
+// The claim under test: with fence scheduling a transfer-heavy workload
+// scales past its serial baseline because each 2-key command occupies only
+// two workers, while the barrier design degrades below serial — every
+// transfer stops all workers.
+func ConflictSweep(opts ConflictSweepOptions) ConflictSweepResult {
+	opts = opts.withDefaults()
+	var out ConflictSweepResult
+	t := newTable("ConflictSweep", fmt.Sprintf(
+		"Op throughput vs multi-key fraction and scheduler mode (op/s; %d clients, %d accounts, cost=%s)",
+		opts.Clients, opts.Accounts, opts.costLabel()))
+	hdr := []string{"mode", "multikey"}
+	for _, w := range opts.Workers {
+		hdr = append(hdr, fmt.Sprintf("%d worker(s)", w), "speedup")
+	}
+	t.row(hdr...)
+	for _, mode := range []string{"deps", "barrier"} {
+		for _, pct := range opts.MultiKeyPct {
+			var base float64
+			cells := []string{fmt.Sprintf("%7s", mode), fmt.Sprintf("%7d%%", pct)}
+			for _, w := range opts.Workers {
+				cell := runConflictSweepCell(opts, mode, pct, w)
+				if w == 1 {
+					base = cell.OpsPerS
+				}
+				if base > 0 {
+					cell.Speedup = cell.OpsPerS / base
+				}
+				out.Cells = append(out.Cells, cell)
+				cells = append(cells, fmt.Sprintf("%9.0f", cell.OpsPerS), fmt.Sprintf("%5.2fx", cell.Speedup))
+			}
+			t.row(cells...)
+		}
+	}
+	out.Report = t.String()
+	return out
+}
+
+// runConflictSweepCell measures one cell on a single-replica in-process
+// pipeline (ordering local, execution the bottleneck by construction).
+func runConflictSweepCell(opts ConflictSweepOptions, mode string, multiKeyPct, workers int) ConflictSweepCell {
+	net := transport.NewInproc(0)
+	svc := service.NewKV()
+	svc.ExecuteWait = opts.ExecuteWait
+	svc.ExecuteCost = opts.ExecuteCost
+	rep, err := core.NewReplica(core.Config{
+		ID: 0, PeerAddrs: []string{"csw-peer"}, ClientAddr: "csw-client",
+		Network:                 net,
+		Batch:                   batch.Policy{MaxBytes: 1300, MaxDelay: time.Millisecond},
+		ExecutorWorkers:         workers,
+		ExecutorBarrierMultiKey: mode == "barrier",
+	}, svc)
+	if err != nil {
+		panic(err) // static config; cannot fail
+	}
+	if err := rep.Start(); err != nil {
+		panic(err)
+	}
+	defer rep.Stop()
+	for deadline := time.Now().Add(5 * time.Second); !rep.IsLeader() && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
+
+	account := func(i int) string { return fmt.Sprintf("acct-%d", i) }
+	// Seed every account richly enough that transfers never bottom out.
+	seedConn, err := net.Dial("csw-client")
+	if err != nil {
+		panic(err)
+	}
+	for i := range opts.Accounts {
+		req := &wire.ClientRequest{ClientID: 1, Seq: uint64(i + 1),
+			Payload: service.EncodePut(account(i), service.EncodeBalance(1<<40))}
+		if err := seedConn.WriteFrame(wire.Marshal(req)); err != nil {
+			panic(err)
+		}
+		if _, err := seedConn.ReadFrame(); err != nil {
+			panic(err)
+		}
+	}
+	seedConn.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := range opts.Clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(13*workers + 1000*multiKeyPct + c)))
+			conn, err := net.Dial("csw-client")
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			for seq := uint64(1); !stop.Load(); seq++ {
+				var payload []byte
+				if rng.Intn(100) < multiKeyPct {
+					src, dst := rng.Intn(opts.Accounts), rng.Intn(opts.Accounts)
+					payload = service.EncodeTxn(account(src), account(dst), 1)
+				} else {
+					payload = service.EncodePut(fmt.Sprintf("c%d-k%d", c, seq%8), []byte("v"))
+				}
+				req := &wire.ClientRequest{ClientID: uint64(10 + c), Seq: seq, Payload: payload}
+				if err := conn.WriteFrame(wire.Marshal(req)); err != nil {
+					return
+				}
+				if _, err := conn.ReadFrame(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(opts.Warmup)
+	startExecuted := rep.Executed()
+	startStats := rep.ExecStats()
+	start := time.Now()
+	time.Sleep(opts.Measure)
+	executed := rep.Executed() - startExecuted
+	endStats := rep.ExecStats()
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	return ConflictSweepCell{
+		Mode:        mode,
+		Cost:        opts.costLabel(),
+		MultiKeyPct: multiKeyPct,
+		Workers:     workers,
+		OpsPerS:     float64(executed) / elapsed.Seconds(),
+		Joins:       endStats.Joins - startStats.Joins,
+		Fences:      endStats.Fences - startStats.Fences,
+		Barriers:    endStats.Barriers - startStats.Barriers,
+	}
+}
+
+// keySpansWorkers reports whether the account pool actually spreads across
+// more than one worker at the given worker count — a deterministic property
+// of executor.KeyHash the tests use to know joins must have occurred.
+func keySpansWorkers(accounts, workers int) bool {
+	if workers <= 1 {
+		return false
+	}
+	seen := map[uint64]bool{}
+	for i := range accounts {
+		seen[executor.KeyHash(fmt.Sprintf("acct-%d", i))%uint64(workers)] = true
+	}
+	return len(seen) > 1
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConflictSweepSmoke runs a miniature sweep end-to-end and sanity-checks
+// the cells: every configured cell present, throughputs positive, and the
+// scheduler counters telling the right story per mode — joins and fences in
+// deps mode, barriers (and zero joins) in barrier mode — whenever the
+// account pool actually spans workers.
+func TestConflictSweepSmoke(t *testing.T) {
+	opts := ConflictSweepOptions{
+		Workers:     []int{1, 4},
+		MultiKeyPct: []int{0, 100},
+		Accounts:    16,
+		Clients:     8,
+		ExecuteWait: 200 * time.Microsecond,
+		Warmup:      50 * time.Millisecond,
+		Measure:     100 * time.Millisecond,
+	}
+	r := ConflictSweep(opts)
+	if len(r.Cells) != 8 { // 2 modes × 2 pcts × 2 worker counts
+		t.Fatalf("got %d cells, want 8", len(r.Cells))
+	}
+	spans := keySpansWorkers(opts.Accounts, 4)
+	if !spans {
+		t.Fatal("16 accounts hash to one worker of 4 — workload cannot exercise joins")
+	}
+	for _, c := range r.Cells {
+		if c.OpsPerS <= 0 {
+			t.Errorf("cell %+v measured no throughput", c)
+		}
+		if c.Workers == 1 && c.Speedup != 1.0 {
+			t.Errorf("baseline cell %+v speedup = %v, want 1.0", c, c.Speedup)
+		}
+		if c.Cost != "wait-200µs" {
+			t.Errorf("cell cost label = %q, want wait-200µs", c.Cost)
+		}
+		multi := c.MultiKeyPct > 0 && c.Workers > 1
+		switch {
+		case multi && c.Mode == "deps":
+			if c.Joins == 0 || c.Fences < 2*c.Joins {
+				t.Errorf("deps cell %+v: want joins > 0 and >= 2 fences per 2-key join", c)
+			}
+			if c.Barriers != 0 {
+				t.Errorf("deps cell %+v: well-formed multi-key commands must not barrier", c)
+			}
+		case multi && c.Mode == "barrier":
+			if c.Barriers == 0 || c.Joins != 0 || c.Fences != 0 {
+				t.Errorf("barrier cell %+v: want barriers > 0 and no joins/fences", c)
+			}
+		default: // single-key-only or single-worker cells never join or barrier
+			if c.Joins != 0 || c.Barriers != 0 {
+				t.Errorf("cell %+v: single-key/single-worker workload recorded joins or barriers", c)
+			}
+		}
+	}
+	if r.Speedup("deps", 100, 4) <= 0 {
+		t.Error("Speedup lookup failed for a swept cell")
+	}
+	if r.Report == "" {
+		t.Error("empty report")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // KV command opcodes.
@@ -12,6 +13,9 @@ const (
 	kvPut byte = iota + 1
 	kvGet
 	kvDel
+	kvMGet
+	kvMSet
+	kvTxn
 )
 
 // KV status bytes returned as the first byte of every reply.
@@ -19,16 +23,23 @@ const (
 	KVOK       byte = 1
 	KVNotFound byte = 2
 	KVBadCmd   byte = 3
+	// KVInsufficient is a TXN transfer refusing to overdraw the source
+	// account (its balance was below the transfer amount).
+	KVInsufficient byte = 4
 )
 
 // KV is a deterministic key-value store service (the coordination-service
 // workload of the paper's introduction). Commands and replies are binary;
-// use EncodePut/EncodeGet/EncodeDel to build requests.
+// use EncodePut/EncodeGet/EncodeDel (single key) and
+// EncodeMGet/EncodeMSet/EncodeTxn (multi-key) to build requests.
 //
-// KV implements ConflictAware (Keys): each command declares the single key
-// it touches, so a replica configured with ExecutorWorkers > 1 executes
-// commands on different keys concurrently. KV is internally synchronized so
-// executor workers, examples, and tests can all touch it safely.
+// KV implements ConflictAware (Keys): each command declares exactly the keys
+// it touches — one for PUT/GET/DEL, all of them for MGET/MSET, and the two
+// accounts of a TXN transfer — so a replica configured with
+// ExecutorWorkers > 1 executes commands on disjoint keys concurrently and
+// fence-schedules multi-key commands onto only their involved workers. KV is
+// internally synchronized so executor workers, examples, and tests can all
+// touch it safely.
 type KV struct {
 	// ExecuteCost adds that many rounds of hash mixing per command before
 	// the state update, emulating a service with non-trivial per-command
@@ -36,6 +47,13 @@ type KV struct {
 	// the plain store). The work depends only on the request bytes, so it is
 	// deterministic, and it runs outside the state lock, so it parallelizes.
 	ExecuteCost int
+	// ExecuteWait sleeps that long per command before the state update,
+	// emulating a service whose commands have wall-clock latency rather than
+	// CPU cost (auxiliary I/O, lock waits). Scheduling experiments use it to
+	// measure worker overlap independently of the host's core count — a
+	// spin-based cost cannot show parallelism on a 1-core CI box, a
+	// wait-based one can. Deterministic: the sleep never touches state.
+	ExecuteWait time.Duration
 
 	mu sync.Mutex
 	m  map[string][]byte
@@ -69,6 +87,50 @@ func EncodeDel(key string) []byte {
 	return appendBytes([]byte{kvDel}, []byte(key))
 }
 
+// EncodeMGet builds a multi-key GET command.
+func EncodeMGet(keys ...string) []byte {
+	b := appendU32([]byte{kvMGet}, uint32(len(keys)))
+	for _, k := range keys {
+		b = appendBytes(b, []byte(k))
+	}
+	return b
+}
+
+// EncodeMSet builds a multi-key PUT command from key/value pairs.
+func EncodeMSet(pairs map[string][]byte) []byte {
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic request bytes regardless of map order
+	b := appendU32([]byte{kvMSet}, uint32(len(keys)))
+	for _, k := range keys {
+		b = appendBytes(b, []byte(k))
+		b = appendBytes(b, pairs[k])
+	}
+	return b
+}
+
+// EncodeTxn builds a two-key transfer: move amount from the src account's
+// balance to dst's. Balances are 8-byte little-endian unsigned integers (a
+// missing or malformed value reads as 0).
+func EncodeTxn(src, dst string, amount uint64) []byte {
+	b := appendBytes([]byte{kvTxn}, []byte(src))
+	b = appendBytes(b, []byte(dst))
+	return appendU64(b, amount)
+}
+
+// EncodeBalance renders a TXN account balance as a storable value.
+func EncodeBalance(v uint64) []byte { return appendU64(nil, v) }
+
+// DecodeBalance reads a TXN account balance (0 for missing/malformed).
+func DecodeBalance(v []byte) uint64 {
+	if len(v) < 8 {
+		return 0
+	}
+	return takeU64(v)
+}
+
 // DecodeReply splits a KV reply into status and value.
 func DecodeReply(reply []byte) (status byte, value []byte) {
 	if len(reply) == 0 {
@@ -77,9 +139,46 @@ func DecodeReply(reply []byte) (status byte, value []byte) {
 	return reply[0], reply[1:]
 }
 
+// DecodeMGetReply splits an MGET reply into per-key values (nil for a key
+// that was absent), in request order.
+func DecodeMGetReply(reply []byte) (status byte, values [][]byte, ok bool) {
+	if len(reply) == 0 {
+		return KVBadCmd, nil, false
+	}
+	status, rest := reply[0], reply[1:]
+	if status != KVOK {
+		return status, nil, true
+	}
+	n, rest, okN := takeU32(rest)
+	if !okN {
+		return status, nil, false
+	}
+	values = make([][]byte, 0, n)
+	for range n {
+		var found byte
+		if len(rest) == 0 {
+			return status, nil, false
+		}
+		found, rest = rest[0], rest[1:]
+		if found == 0 {
+			values = append(values, nil)
+			continue
+		}
+		var v []byte
+		v, rest, okN = takeBytes(rest)
+		if !okN {
+			return status, nil, false
+		}
+		values = append(values, v)
+	}
+	return status, values, len(rest) == 0
+}
+
 // Keys implements ConflictAware: every well-formed command conflicts exactly
-// on the key it addresses. Malformed commands return nil, which the executor
-// treats as a global barrier — the conservative answer.
+// on the keys it addresses — single-key ops declare one, MGET/MSET declare
+// all of theirs, TXN declares both accounts. Malformed commands return nil,
+// which the executor treats as a global barrier — the conservative answer.
+// Keys is a pure function of the request bytes, as the executor requires.
 func (s *KV) Keys(req []byte) []string {
 	if len(req) == 0 {
 		return nil
@@ -89,6 +188,36 @@ func (s *KV) Keys(req []byte) []string {
 		if key, _, ok := takeBytes(req[1:]); ok {
 			return []string{string(key)}
 		}
+	case kvMGet, kvMSet:
+		n, rest, ok := takeU32(req[1:])
+		if !ok || n == 0 {
+			return nil
+		}
+		keys := make([]string, 0, n)
+		for range n {
+			var key []byte
+			key, rest, ok = takeBytes(rest)
+			if !ok {
+				return nil
+			}
+			keys = append(keys, string(key))
+			if req[0] == kvMSet {
+				if _, rest, ok = takeBytes(rest); !ok {
+					return nil
+				}
+			}
+		}
+		return keys
+	case kvTxn:
+		src, rest, ok := takeBytes(req[1:])
+		if !ok {
+			return nil
+		}
+		dst, rest, ok := takeBytes(rest)
+		if !ok || len(rest) != 8 {
+			return nil
+		}
+		return []string{string(src), string(dst)}
 	}
 	return nil
 }
@@ -98,38 +227,111 @@ func (s *KV) Execute(req []byte) []byte {
 	if s.ExecuteCost > 0 {
 		spin(req, s.ExecuteCost)
 	}
+	if s.ExecuteWait > 0 {
+		time.Sleep(s.ExecuteWait)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(req) == 0 {
 		return []byte{KVBadCmd}
 	}
 	op, rest := req[0], req[1:]
-	key, rest, ok := takeBytes(rest)
-	if !ok {
-		return []byte{KVBadCmd}
-	}
 	switch op {
-	case kvPut:
-		value, _, ok := takeBytes(rest)
+	case kvPut, kvGet, kvDel:
+		key, rest, ok := takeBytes(rest)
 		if !ok {
 			return []byte{KVBadCmd}
 		}
-		cp := make([]byte, len(value))
-		copy(cp, value)
-		s.m[string(key)] = cp
-		return []byte{KVOK}
-	case kvGet:
-		v, ok := s.m[string(key)]
+		switch op {
+		case kvPut:
+			value, _, ok := takeBytes(rest)
+			if !ok {
+				return []byte{KVBadCmd}
+			}
+			cp := make([]byte, len(value))
+			copy(cp, value)
+			s.m[string(key)] = cp
+			return []byte{KVOK}
+		case kvGet:
+			v, ok := s.m[string(key)]
+			if !ok {
+				return []byte{KVNotFound}
+			}
+			return append([]byte{KVOK}, v...)
+		default: // kvDel
+			if _, ok := s.m[string(key)]; !ok {
+				return []byte{KVNotFound}
+			}
+			delete(s.m, string(key))
+			return []byte{KVOK}
+		}
+	case kvMGet:
+		n, rest, ok := takeU32(rest)
 		if !ok {
-			return []byte{KVNotFound}
+			return []byte{KVBadCmd}
 		}
-		return append([]byte{KVOK}, v...)
-	case kvDel:
-		if _, ok := s.m[string(key)]; !ok {
-			return []byte{KVNotFound}
+		out := appendU32([]byte{KVOK}, n)
+		for range n {
+			var key []byte
+			key, rest, ok = takeBytes(rest)
+			if !ok {
+				return []byte{KVBadCmd}
+			}
+			if v, found := s.m[string(key)]; found {
+				out = append(out, 1)
+				out = appendBytes(out, v)
+			} else {
+				out = append(out, 0)
+			}
 		}
-		delete(s.m, string(key))
+		return out
+	case kvMSet:
+		n, rest, ok := takeU32(rest)
+		if !ok {
+			return []byte{KVBadCmd}
+		}
+		// Validate the whole command before mutating anything, so a
+		// truncated MSET is all-or-nothing like every other command.
+		type pair struct{ key, value []byte }
+		pairs := make([]pair, 0, n)
+		for range n {
+			var key, value []byte
+			key, rest, ok = takeBytes(rest)
+			if !ok {
+				return []byte{KVBadCmd}
+			}
+			value, rest, ok = takeBytes(rest)
+			if !ok {
+				return []byte{KVBadCmd}
+			}
+			pairs = append(pairs, pair{key, value})
+		}
+		for _, p := range pairs {
+			cp := make([]byte, len(p.value))
+			copy(cp, p.value)
+			s.m[string(p.key)] = cp
+		}
 		return []byte{KVOK}
+	case kvTxn:
+		src, rest, ok := takeBytes(rest)
+		if !ok {
+			return []byte{KVBadCmd}
+		}
+		dst, rest, ok2 := takeBytes(rest)
+		if !ok2 || len(rest) < 8 {
+			return []byte{KVBadCmd}
+		}
+		amount := takeU64(rest)
+		srcBal := DecodeBalance(s.m[string(src)])
+		if srcBal < amount {
+			return append([]byte{KVInsufficient}, appendU64(nil, srcBal)...)
+		}
+		if string(src) != string(dst) {
+			s.m[string(src)] = appendU64(nil, srcBal-amount)
+			s.m[string(dst)] = appendU64(nil, DecodeBalance(s.m[string(dst)])+amount)
+			srcBal -= amount
+		}
+		return append([]byte{KVOK}, appendU64(nil, srcBal)...)
 	default:
 		return []byte{KVBadCmd}
 	}

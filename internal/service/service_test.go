@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestNullService(t *testing.T) {
@@ -138,6 +139,114 @@ func TestPropertyKVSnapshotPreservesState(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestKVMultiKeyOps(t *testing.T) {
+	s := NewKV()
+	st, _ := DecodeReply(s.Execute(EncodeMSet(map[string][]byte{
+		"a": []byte("1"), "b": []byte("2"), "c": nil,
+	})))
+	if st != KVOK {
+		t.Fatalf("MSET = %d, want OK", st)
+	}
+	st, vals, ok := DecodeMGetReply(s.Execute(EncodeMGet("a", "missing", "c", "b")))
+	if st != KVOK || !ok {
+		t.Fatalf("MGET = %d ok=%v, want OK true", st, ok)
+	}
+	want := [][]byte{[]byte("1"), nil, {}, []byte("2")}
+	if len(vals) != len(want) {
+		t.Fatalf("MGET returned %d values, want %d", len(vals), len(want))
+	}
+	if string(vals[0]) != "1" || vals[1] != nil || vals[2] == nil || len(vals[2]) != 0 || string(vals[3]) != "2" {
+		t.Errorf("MGET values = %q, want %q (with present-but-empty c)", vals, want)
+	}
+	// MSET request bytes are deterministic regardless of map iteration order.
+	m := map[string][]byte{"x": []byte("1"), "y": []byte("2"), "z": []byte("3")}
+	first := EncodeMSet(m)
+	for range 8 {
+		if !bytes.Equal(EncodeMSet(m), first) {
+			t.Fatal("EncodeMSet not deterministic across map iteration orders")
+		}
+	}
+}
+
+func TestKVTxnTransfer(t *testing.T) {
+	s := NewKV()
+	s.Execute(EncodePut("alice", EncodeBalance(100)))
+
+	// Overdraw from a funded account refused, balance untouched.
+	st, v := DecodeReply(s.Execute(EncodeTxn("alice", "bob", 150)))
+	if st != KVInsufficient || DecodeBalance(v) != 100 {
+		t.Fatalf("overdraw = %d bal=%d, want Insufficient 100", st, DecodeBalance(v))
+	}
+
+	// Normal transfer moves funds and conserves the total.
+	st, v = DecodeReply(s.Execute(EncodeTxn("alice", "bob", 30)))
+	if st != KVOK || DecodeBalance(v) != 70 {
+		t.Fatalf("transfer = %d srcbal=%d, want OK 70", st, DecodeBalance(v))
+	}
+	_, bv := DecodeReply(s.Execute(EncodeGet("bob")))
+	if DecodeBalance(bv) != 30 {
+		t.Errorf("bob balance = %d, want 30", DecodeBalance(bv))
+	}
+
+	// Missing source account reads as balance 0: transfer of 0 is OK,
+	// anything more is insufficient.
+	if st, _ := DecodeReply(s.Execute(EncodeTxn("ghost", "bob", 1))); st != KVInsufficient {
+		t.Errorf("transfer from missing = %d, want Insufficient", st)
+	}
+	if st, _ := DecodeReply(s.Execute(EncodeTxn("ghost", "bob", 0))); st != KVOK {
+		t.Errorf("zero transfer from missing = %d, want OK", st)
+	}
+
+	// Self-transfer is a no-op that still reports the balance.
+	st, v = DecodeReply(s.Execute(EncodeTxn("alice", "alice", 50)))
+	if st != KVOK || DecodeBalance(v) != 70 {
+		t.Errorf("self transfer = %d bal=%d, want OK 70", st, DecodeBalance(v))
+	}
+}
+
+func TestKVMultiKeyKeys(t *testing.T) {
+	s := NewKV()
+	got := s.Keys(EncodeMGet("a", "b", "c"))
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("Keys(MGET) = %q, want [a b c]", got)
+	}
+	got = s.Keys(EncodeMSet(map[string][]byte{"x": nil, "y": []byte("v")}))
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("Keys(MSET) = %q, want [x y]", got)
+	}
+	got = s.Keys(EncodeTxn("src", "dst", 5))
+	if len(got) != 2 || got[0] != "src" || got[1] != "dst" {
+		t.Errorf("Keys(TXN) = %q, want [src dst]", got)
+	}
+	// Malformed multi-key commands fall back to nil (global barrier), and
+	// Execute rejects them rather than partially applying.
+	for _, bad := range [][]byte{
+		EncodeMGet(),             // zero keys
+		EncodeMGet("a", "b")[:8], // truncated key list
+		EncodeMSet(map[string][]byte{"k": []byte("v")})[:9], // truncated value
+		EncodeTxn("s", "d", 1)[:12],                         // truncated amount
+	} {
+		if got := s.Keys(bad); got != nil {
+			t.Errorf("Keys(%v) = %q, want nil", bad, got)
+		}
+		if st, _ := DecodeReply(s.Execute(bad)); st != KVBadCmd && len(bad) > 5 {
+			t.Errorf("Execute(%v) = %d, want BadCmd", bad, st)
+		}
+	}
+}
+
+func TestKVExecuteWait(t *testing.T) {
+	s := NewKV()
+	s.ExecuteWait = 5 * time.Millisecond
+	start := time.Now()
+	if st, _ := DecodeReply(s.Execute(EncodePut("k", []byte("v")))); st != KVOK {
+		t.Fatalf("PUT with wait failed")
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Errorf("ExecuteWait not honored: elapsed %v", elapsed)
 	}
 }
 

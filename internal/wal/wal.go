@@ -187,8 +187,28 @@ const (
 
 // DefaultMinSyncInterval spaces consecutive group-commit fsyncs. 500µs adds
 // at most that much output latency under load — far below a consensus round
-// trip — while capping the fsync rate at 2k/s.
+// trip — while capping the fsync rate at 2k/s. With the adaptive Syncer
+// (MinSyncInterval unset) it is the lower clamp: a disk whose fsync is
+// faster than SyncCPUShare×500µs syncs at exactly this spacing, the pre-PR7
+// behavior.
 const DefaultMinSyncInterval = 500 * time.Microsecond
+
+// MaxAdaptiveSyncInterval caps how far the adaptive Syncer will stretch the
+// sync spacing on a slow disk. 20ms keeps worst-case added commit latency
+// within one WAN round trip even when fsync itself costs ~10ms (spinning
+// rust, throttled cloud volumes).
+const MaxAdaptiveSyncInterval = 20 * time.Millisecond
+
+// DefaultSyncCPUShare is the fraction of one core the adaptive Syncer
+// budgets for time spent inside fsync: spacing = ewma(fsync)/share, so a
+// 100µs-fsync NVMe stays near the 500µs floor while a 5ms-fsync EBS volume
+// backs off to 10ms spacing instead of spending its life blocked in fsync.
+const DefaultSyncCPUShare = 0.5
+
+// DefaultRetainCheckpoints is how many previous checkpoint generations of
+// segments Checkpoint keeps on disk for cold catch-up reads (the pre-PR7
+// fixed policy).
+const DefaultRetainCheckpoints = 1
 
 // Options configures Open.
 type Options struct {
@@ -199,14 +219,37 @@ type Options struct {
 	// SegmentBytes rolls to a new segment once the current one exceeds this
 	// size (default DefaultSegmentBytes).
 	SegmentBytes int64
-	// MinSyncInterval floors the Syncer's fsync rate under sustained load
-	// (default DefaultMinSyncInterval): consecutive fsyncs are spaced at
-	// least this far apart, so more appends coalesce into each one and the
-	// fsync syscall rate stays bounded on busy (or share-one-core) hosts.
-	// The first sync after an idle stretch is never delayed, so lightly
-	// loaded latency is one bare fsync. Zero keeps the default; negative
-	// disables the floor.
+	// MinSyncInterval floors the Syncer's fsync rate under sustained load:
+	// consecutive fsyncs are spaced at least this far apart, so more appends
+	// coalesce into each one and the fsync syscall rate stays bounded on
+	// busy (or share-one-core) hosts. The first sync after an idle stretch
+	// is never delayed, so lightly loaded latency is one bare fsync.
+	//
+	// Zero (the default) selects the ADAPTIVE floor: the Syncer tracks an
+	// EWMA of recent fsync latency and spaces syncs at ewma/SyncCPUShare,
+	// clamped to [DefaultMinSyncInterval, MaxAdaptiveSyncInterval], so the
+	// same binary self-tunes from laptop NVMe (floor-spaced, ~500µs) to a
+	// slow cloud volume (backed off so fsync consumes at most SyncCPUShare
+	// of a core). A positive value overrides adaptation with that fixed
+	// floor; negative disables the floor entirely (sync on every wake).
 	MinSyncInterval time.Duration
+	// SyncCPUShare is the adaptive floor's target fraction of one core
+	// spent inside fsync (default DefaultSyncCPUShare). Only meaningful
+	// when MinSyncInterval is zero.
+	SyncCPUShare float64
+	// RetainCheckpoints is how many previous checkpoint generations of
+	// sealed segments Checkpoint keeps for cold catch-up reads (default
+	// DefaultRetainCheckpoints; values < 1 take the default — at least one
+	// full generation below the newest cut is always retained, the window
+	// ReadDecidedRange's contract depends on).
+	RetainCheckpoints int
+	// RetainBytes, when > 0, extends retention below the generation floor:
+	// older segments are kept — oldest discarded first — while the total
+	// size of retained segment files stays within this budget, so
+	// disk-rich deployments serve deep catch-up gaps from the log instead
+	// of forcing state transfer. It never shrinks the generation
+	// guarantee; 0 keeps generations-only retention.
+	RetainBytes int64
 	// PreallocSpares is how many segment files a background pipeline keeps
 	// prepared ahead of the writer — preallocated to SegmentBytes and
 	// zero-filled, with files freed by Checkpoint recycled into spares — so
@@ -231,6 +274,14 @@ type WAL struct {
 	segBytes int64
 	minSync  time.Duration
 	onSync   func(int64)
+
+	// adaptive group commit: when adaptive is set (MinSyncInterval was
+	// unset), the Syncer spaces fsyncs at fsyncEWMA/syncShare instead of
+	// the fixed minSync floor. fsyncEWMA is the smoothed fsync latency in
+	// nanoseconds, written by the Syncer, readable from any goroutine.
+	adaptive  bool
+	syncShare float64
+	fsyncEWMA atomic.Int64
 
 	// mu guards buf, spare, appended and pendRange: the only state Append
 	// touches.
@@ -262,9 +313,15 @@ type WAL struct {
 	// retainSeq is that retention floor: segments below it are GC'd (though
 	// a file may linger under its segment name until the recycle pipeline
 	// renames it, so cold reads must not trust the directory listing alone).
-	// Both guarded by fileMu.
-	ckptSeq   int
-	retainSeq int
+	// Both guarded by fileMu. ckptHist is the ascending sequence numbers of
+	// every still-retained checkpoint segment — the generation ladder the
+	// retention policy walks (rebuilt at replay, appended by Checkpoint,
+	// pruned with GC). retainCkpts/retainBytes hold the retention knobs.
+	ckptSeq     int
+	retainSeq   int
+	ckptHist    []int
+	retainCkpts int
+	retainBytes int64
 
 	// segIndex maps each sealed segment to the closed [min,max] range of
 	// slot-bearing record IDs (RecAccept/RecDecide/RecState) it holds, so
@@ -298,23 +355,34 @@ func Open(opts Options) (*WAL, []Record, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
-	if opts.MinSyncInterval == 0 {
+	adaptive := opts.MinSyncInterval == 0
+	if adaptive {
 		opts.MinSyncInterval = DefaultMinSyncInterval
+	}
+	if opts.SyncCPUShare <= 0 || opts.SyncCPUShare > 1 {
+		opts.SyncCPUShare = DefaultSyncCPUShare
+	}
+	if opts.RetainCheckpoints < 1 {
+		opts.RetainCheckpoints = DefaultRetainCheckpoints
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
 	}
 	w := &WAL{
-		dir:       opts.Dir,
-		policy:    opts.Policy,
-		segBytes:  opts.SegmentBytes,
-		minSync:   opts.MinSyncInterval,
-		onSync:    opts.OnDurable,
-		pendRange: emptyRange,
-		segIndex:  make(map[int]segRange),
-		curRange:  emptyRange,
-		wake:      make(chan struct{}, 1),
-		stopc:     make(chan struct{}),
+		dir:         opts.Dir,
+		policy:      opts.Policy,
+		segBytes:    opts.SegmentBytes,
+		minSync:     opts.MinSyncInterval,
+		adaptive:    adaptive,
+		syncShare:   opts.SyncCPUShare,
+		retainCkpts: opts.RetainCheckpoints,
+		retainBytes: opts.RetainBytes,
+		onSync:      opts.OnDurable,
+		pendRange:   emptyRange,
+		segIndex:    make(map[int]segRange),
+		curRange:    emptyRange,
+		wake:        make(chan struct{}, 1),
+		stopc:       make(chan struct{}),
 	}
 	// Leftover pipeline spares are in an unknown preparation state after a
 	// crash (their zero fill may not be durable): discard them before
@@ -381,6 +449,7 @@ func (w *WAL) replay() ([]Record, error) {
 		segRecs, valid, intact := scanSegment(data)
 		if len(segRecs) > 0 && segRecs[0].Type == RecCkpt {
 			w.ckptSeq = seq // newest self-contained checkpoint boundary
+			w.ckptHist = append(w.ckptHist, seq)
 		}
 		// Rebuild the segment's slot index from the intact records (for a
 		// torn final segment the scan stops at the tear, which is exactly
@@ -659,9 +728,10 @@ func (w *WAL) runSyncer() {
 		// remainder of the interval lets more appends pile into this fsync
 		// (the whole point of group commit) and bounds the syscall rate.
 		// After an idle stretch the wait is already elapsed and the sync is
-		// immediate.
-		if w.minSync > 0 {
-			if d := w.minSync - time.Since(lastSync); d > 0 {
+		// immediate. The adaptive floor re-reads the fsync EWMA each pass,
+		// so the spacing tracks the disk it actually runs on.
+		if floor := w.SyncInterval(); floor > 0 {
+			if d := floor - time.Since(lastSync); d > 0 {
 				select {
 				case <-time.After(d):
 				case <-w.stopc:
@@ -710,15 +780,103 @@ func (w *WAL) drainLocked() {
 	// current segment.
 	w.curRange.merge(pr)
 	if w.policy != SyncNone {
+		start := time.Now()
 		if err := w.f.Sync(); err != nil {
 			panic(fmt.Sprintf("wal: fsync %s: %v", w.f.Name(), err))
 		}
+		w.observeFsync(time.Since(start))
 	}
 	w.recycleBuf(pending)
 	w.durable.Store(lsn)
 	if w.onSync != nil {
 		w.onSync(lsn)
 	}
+}
+
+// observeFsync folds one fsync duration into the smoothed latency the
+// adaptive Syncer spaces itself by (EWMA, α=1/8: jumpy enough to follow a
+// throttled volume within a dozen syncs, smooth enough to ignore one slow
+// outlier).
+func (w *WAL) observeFsync(d time.Duration) {
+	old := w.fsyncEWMA.Load()
+	if old == 0 {
+		w.fsyncEWMA.Store(int64(d))
+		return
+	}
+	w.fsyncEWMA.Store(old + (int64(d)-old)/8)
+}
+
+// FsyncEWMA returns the smoothed fsync latency the adaptive Syncer has
+// observed (0 before the first sync). Safe from any goroutine.
+func (w *WAL) FsyncEWMA() time.Duration { return time.Duration(w.fsyncEWMA.Load()) }
+
+// SyncInterval returns the sync-spacing floor currently in effect: the
+// fixed MinSyncInterval when one was configured, otherwise the adaptive
+// interval derived from recent fsync latency. Safe from any goroutine.
+func (w *WAL) SyncInterval() time.Duration {
+	if !w.adaptive {
+		return w.minSync
+	}
+	return adaptiveSyncInterval(time.Duration(w.fsyncEWMA.Load()), w.syncShare)
+}
+
+// adaptiveSyncInterval maps a smoothed fsync latency to a sync spacing that
+// keeps the Syncer inside fsync at most `share` of the time: spacing =
+// ewma/share, clamped to [DefaultMinSyncInterval, MaxAdaptiveSyncInterval].
+// With no observation yet it returns the floor — the conservative (fast
+// disk) assumption, corrected after the first real fsync.
+func adaptiveSyncInterval(ewma time.Duration, share float64) time.Duration {
+	if ewma <= 0 {
+		return DefaultMinSyncInterval
+	}
+	iv := time.Duration(float64(ewma) / share)
+	if iv < DefaultMinSyncInterval {
+		return DefaultMinSyncInterval
+	}
+	if iv > MaxAdaptiveSyncInterval {
+		return MaxAdaptiveSyncInterval
+	}
+	return iv
+}
+
+// retentionFloorLocked computes the segment sequence below which Checkpoint
+// may garbage-collect, from the checkpoint-generation ladder and the
+// optional byte budget. The generation rule keeps every segment from the
+// retainCkpts-th previous checkpoint onward (0 = keep everything: not
+// enough generations exist yet). RetainBytes then extends the floor
+// DOWNWARD — oldest segments dropped first — while the total size of
+// retained files fits the budget; it never raises the floor above the
+// generation guarantee. Requires fileMu.
+func (w *WAL) retentionFloorLocked() int {
+	n := len(w.ckptHist)
+	if n <= w.retainCkpts {
+		return 0
+	}
+	floor := w.ckptHist[n-1-w.retainCkpts]
+	if w.retainBytes <= 0 || floor <= 0 {
+		return floor
+	}
+	seqs, err := w.segments()
+	if err != nil {
+		return floor
+	}
+	var total int64
+	for i := len(seqs) - 1; i >= 0; i-- {
+		size := int64(0)
+		if fi, err := os.Stat(filepath.Join(w.dir, segName(seqs[i]))); err == nil {
+			size = fi.Size() // physical size: preallocated tails count
+		}
+		if seqs[i] >= floor {
+			total += size // generation-guaranteed: kept regardless of budget
+			continue
+		}
+		if total+size > w.retainBytes {
+			break
+		}
+		total += size
+		floor = seqs[i]
+	}
+	return floor
 }
 
 // recycleBuf hands a fully-written pending buffer back to the appender.
@@ -877,19 +1035,25 @@ func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
 		}
 	}
 	w.durable.Store(lsn)
-	// Segments below the previous checkpoint are fully covered by TWO
+	// Segments below the retention floor are fully covered by enough
 	// durable snapshots and out of the cold-read retention window
 	// (rollLocked already made the new segment's directory entry durable,
 	// so discarding the old prefix cannot strand a crash with neither).
+	// The floor keeps RetainCheckpoints previous generations, extended
+	// further down while RetainBytes has budget for the older segments.
 	// Freed files are offered to the preallocation pipeline for recycling —
 	// it renames them out of the segment namespace, zeroes and reuses them
 	// — with plain removal when the pipeline is full or disabled. If the
 	// removals/renames do not survive a crash, replay handles the
 	// leftovers: the checkpoints' RecCkpt cuts cover them idempotently.
-	keepFrom := w.ckptSeq // previous checkpoint's segment; 0 keeps everything
 	w.ckptSeq = w.seq
+	w.ckptHist = append(w.ckptHist, w.seq)
+	keepFrom := w.retentionFloorLocked()
 	if keepFrom > w.retainSeq {
 		w.retainSeq = keepFrom
+	}
+	for len(w.ckptHist) > 0 && w.ckptHist[0] < keepFrom {
+		w.ckptHist = w.ckptHist[1:] // its generation is gone from disk
 	}
 	for seq := range w.segIndex {
 		if seq < w.retainSeq {
