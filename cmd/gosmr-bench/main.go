@@ -27,7 +27,7 @@ func main() {
 		warmup  = flag.Duration("warmup", 200*time.Millisecond, "virtual warm-up per run (discarded)")
 		measure = flag.Duration("measure", 500*time.Millisecond, "virtual measurement window per run")
 		which   = flag.String("experiment", "all",
-			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor, groupscaling, readmix, conflictsweep")
+			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor, groupscaling, readmix, conflictsweep, bigstate")
 		jsonPath = flag.String("json", "",
 			"write a machine-readable perf snapshot (group-scaling + durability + read-mix + conflict-sweep throughput and latency, codec/WAL/executor allocs/op) to this path and exit")
 	)
@@ -38,11 +38,12 @@ func main() {
 		// The perf snapshot runs on the real pipeline (not the simulator):
 		// decided-batch throughput across groups/durability plus the
 		// zero-copy hot-path alloc probes.
-		snap, gr, dr, rm, cs, err := experiments.BenchSnapshot(
+		snap, gr, dr, rm, cs, bs, err := experiments.BenchSnapshot(
 			experiments.GroupOptions{Warmup: *warmup, Measure: *measure},
 			experiments.DurabilityOptions{Warmup: *warmup, Measure: *measure},
 			experiments.ReadMixOptions{Warmup: *warmup, Measure: *measure},
 			experiments.ConflictSweepOptions{Warmup: *warmup, Measure: *measure},
+			experiments.BigStateOptions{},
 		)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
@@ -52,7 +53,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Print(gr.Report, dr.Report, rm.Report, cs.Report)
+		fmt.Print(gr.Report, dr.Report, rm.Report, cs.Report, bs.Report)
 		fmt.Printf("\nwrote %s (done in %v)\n", *jsonPath, time.Since(start).Round(time.Millisecond))
 		return
 	}
@@ -119,6 +120,16 @@ func main() {
 		fmt.Print(experiments.ConflictSweep(experiments.ConflictSweepOptions{
 			Warmup: *warmup, Measure: *measure,
 		}).Report)
+	case "bigstate":
+		// Runs on the real pipeline and the service layer: cut pause vs
+		// state size, delta bytes vs churn, chunked transfer vs frame
+		// ceiling.
+		bs, err := experiments.BigState(experiments.BigStateOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bigstate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bs.Report)
 	case "readmix":
 		// Runs on the real pipeline: mixed read/write workload on the
 		// lease / read-index read path, leader-only vs follower reads,

@@ -33,6 +33,7 @@ func main() {
 		window      = flag.Int("window", 10, "pipelining window WND per ordering group")
 		batchBytes  = flag.Int("batch", 1300, "batch size budget BSZ in bytes")
 		snapEvery   = flag.Int("snapshot-every", 10000, "snapshot every N instances (0 = off)")
+		snapChunk   = flag.Int("snapshot-chunk-bytes", 0, "size cap for snapshot chunk files and transfer frames (0 = default; must match on every replica)")
 		execWorkers = flag.Int("executor-workers", 1, "parallel execution workers (KV declares per-key conflicts; 1 = sequential)")
 		dataDir     = flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty = in-memory replica, no crash recovery)")
 		syncPolicy  = flag.String("sync", "batch", "WAL fsync policy: batch (group commit), always, or none")
@@ -47,17 +48,18 @@ func main() {
 	}
 
 	rep, err := gosmr.NewReplica(gosmr.Config{
-		ID:              *id,
-		Peers:           peerList,
-		ClientAddr:      *clientAddr,
-		ClientIOWorkers: *workers,
-		Groups:          *groups,
-		Window:          *window,
-		BatchBytes:      *batchBytes,
-		SnapshotEvery:   *snapEvery,
-		DataDir:         *dataDir,
-		SyncPolicy:      *syncPolicy,
-		ExecutorWorkers: *execWorkers,
+		ID:                 *id,
+		Peers:              peerList,
+		ClientAddr:         *clientAddr,
+		ClientIOWorkers:    *workers,
+		Groups:             *groups,
+		Window:             *window,
+		BatchBytes:         *batchBytes,
+		SnapshotEvery:      *snapEvery,
+		SnapshotChunkBytes: *snapChunk,
+		DataDir:            *dataDir,
+		SyncPolicy:         *syncPolicy,
+		ExecutorWorkers:    *execWorkers,
 	}, service.NewKV())
 	if err != nil {
 		log.Fatalf("configuring replica: %v", err)

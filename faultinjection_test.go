@@ -18,6 +18,7 @@ import (
 	"gosmr"
 	"gosmr/internal/service"
 	"gosmr/internal/transport"
+	"gosmr/internal/wire"
 )
 
 // lossyCluster boots 3 replicas (with `groups` ordering groups each) over an
@@ -521,9 +522,9 @@ func TestWALServedCatchUpAvoidsStateTransfer(t *testing.T) {
 	// in-memory log past the follower's position.
 	dropToVictim.Store(true)
 	putKeys(t, cli, "mid", 0, 30)
-	// The leader must have persisted the cut-at-40 snapshot (snapshot file
-	// snap-...27.snap, LastIncluded 39) before the window lifts, or the test
-	// would prove nothing.
+	// The leader must have committed the cut-at-40 snapshot (manifest
+	// manifest-...27.mf, LastIncluded 39) before the window lifts, or the
+	// test would prove nothing.
 	waitForSnapshotCut(t, dirs[0], 39, 15*time.Second)
 	dropToVictim.Store(false)
 
@@ -535,8 +536,8 @@ func TestWALServedCatchUpAvoidsStateTransfer(t *testing.T) {
 	}
 }
 
-// waitForSnapshotCut waits until dir holds a persisted snapshot whose cut is
-// at least minCut.
+// waitForSnapshotCut waits until dir holds a committed snapshot manifest
+// whose cut is at least minCut.
 func waitForSnapshotCut(t *testing.T, dataDir string, minCut uint64, timeout time.Duration) {
 	t.Helper()
 	snapDir := filepath.Join(dataDir, "snapshots")
@@ -546,14 +547,203 @@ func waitForSnapshotCut(t *testing.T, dataDir string, minCut uint64, timeout tim
 		if err == nil {
 			for _, e := range entries {
 				var cut uint64
-				if _, err := fmt.Sscanf(e.Name(), "snap-%016x.snap", &cut); err == nil && cut >= minCut {
+				if _, err := fmt.Sscanf(e.Name(), "manifest-%016x.mf", &cut); err == nil && cut >= minCut {
 					return
 				}
 			}
 		}
 		time.Sleep(15 * time.Millisecond)
 	}
-	t.Fatalf("no snapshot with cut >= %d appeared in %s within %v", minCut, snapDir, timeout)
+	t.Fatalf("no snapshot manifest with cut >= %d appeared in %s within %v", minCut, snapDir, timeout)
+}
+
+// TestSnapshotPullResumesFromStagedChunks pins the two load-bearing
+// properties of chunked state transfer:
+//
+//  1. No snapshot crosses the wire as a single unbounded unit: with
+//     SnapshotChunkBytes set far below the state size, every SnapshotChunk
+//     frame the donors emit must stay within the configured cap (plus frame
+//     header), and the stream must take many frames.
+//  2. An interrupted pull resumes from the last durable chunk, not byte 0:
+//     the fault injector lets exactly two chunk frames through, starves the
+//     rest until the puller gives up (SnapshotFailures rises), then heals
+//     the network. The retried pull must reuse the fsynced staging prefix —
+//     TransferResumedBytes lands on a chunk boundary > 0.
+//
+// The same cap must hold on disk, so after convergence the victim's
+// snapshot directory is walked: every committed chunk file obeys the cap
+// and the installed snapshot spans several of them.
+func TestSnapshotPullResumesFromStagedChunks(t *testing.T) {
+	const (
+		chunkBytes = 2048
+		valueBytes = 1024
+		preKeys    = 12
+		midKeys    = 80
+	)
+	net := transport.NewInproc(0)
+	peers := []string{"spr-r0", "spr-r1", "spr-r2"}
+	const victim = "spr-r2"
+
+	// Fault modes, advanced by the test as the scenario unfolds.
+	const (
+		faultOff    = int32(iota) // clean network
+		faultGap                  // starve the victim of ordering + catch-up payloads
+		faultChunks               // deliver chunkQuota SnapshotChunk frames, drop the rest
+	)
+	var (
+		mode          atomic.Int32
+		chunkQuota    atomic.Int32
+		chunkFrames   atomic.Int64 // SnapshotChunk frames observed toward the victim
+		maxChunkFrame atomic.Int64 // largest such frame, bytes
+	)
+	net.SetFault(func(from, to string, frame []byte) (bool, bool) {
+		if to != victim || len(frame) == 0 {
+			return false, false
+		}
+		typ := wire.MsgType(frame[0])
+		if typ == wire.TSnapshotChunk {
+			chunkFrames.Add(1)
+			if n := int64(len(frame)); n > maxChunkFrame.Load() {
+				maxChunkFrame.Store(n)
+			}
+		}
+		switch mode.Load() {
+		case faultGap:
+			// Connections stay up (so nothing is replayed from SendQueue
+			// backlogs later) but the victim learns no values: only
+			// liveness traffic passes.
+			switch typ {
+			case wire.THello, wire.THeartbeat, wire.TLeaseAck:
+				return false, false
+			}
+			return true, false
+		case faultChunks:
+			if typ == wire.TSnapshotChunk {
+				return chunkQuota.Add(-1) < 0, false
+			}
+		}
+		return false, false
+	})
+
+	reps := make([]*gosmr.Replica, 3)
+	stores := make([]*service.KV, 3)
+	dirs := make([]string, 3)
+	for i := range 3 {
+		dirs[i] = t.TempDir()
+		kv := service.NewKV()
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID: i, Peers: peers, ClientAddr: fmt.Sprintf("spr-c%d", i),
+			Network:            net.As(peers[i]),
+			DataDir:            dirs[i],
+			SyncPolicy:         "batch",
+			SnapshotEvery:      20,
+			SnapshotChunkBytes: chunkBytes,
+			BatchDelay:         time.Millisecond,
+			HeartbeatInterval:  20 * time.Millisecond,
+			SuspectTimeout:     400 * time.Millisecond,
+		}, kv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(rep.Stop)
+		reps[i] = rep
+		stores[i] = kv
+	}
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:   []string{"spr-c0", "spr-c1"},
+		Network: net, Timeout: 30 * time.Second, AttemptTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+	value := bytes.Repeat([]byte("x"), valueBytes)
+	put := func(prefix string, from, n int) {
+		t.Helper()
+		for i := from; i < from+n; i++ {
+			reply, err := cli.Execute(service.EncodePut(fmt.Sprintf("%s-%d", prefix, i), value))
+			if err != nil {
+				t.Fatalf("PUT %s-%d: %v", prefix, i, err)
+			}
+			if st, _ := service.DecodeReply(reply); st != service.KVOK {
+				t.Fatalf("PUT %s-%d status %d", prefix, i, st)
+			}
+		}
+	}
+
+	// The victim tracks the cluster normally through the first 1 KiB values.
+	put("pre", 0, preKeys)
+	waitKV(t, stores, preKeys, 15*time.Second)
+
+	// Starvation window: midKeys commands commit on the majority while the
+	// victim sees only heartbeats. SnapshotEvery=20 cuts several snapshot
+	// generations in the window, so every donor's WAL retention is outrun —
+	// the victim's gap can only be closed by a snapshot transfer of ~92 KiB
+	// of state, far above the 2 KiB chunk cap.
+	mode.Store(faultGap)
+	put("mid", 0, midKeys)
+	waitForSnapshotCut(t, dirs[0], uint64(preKeys+midKeys-20), 15*time.Second)
+
+	// Let the transfer start but strangle it after two staged chunks: the
+	// puller must eventually give up (a visible snapshot failure), leaving a
+	// durable 2-chunk staging prefix.
+	chunkQuota.Store(2)
+	mode.Store(faultChunks)
+	deadline := time.Now().Add(30 * time.Second)
+	for reps[2].SnapshotFailures() == 0 && time.Now().Before(deadline) {
+		time.Sleep(15 * time.Millisecond)
+	}
+	if reps[2].SnapshotFailures() == 0 {
+		t.Fatal("starved pull never surfaced as a snapshot failure")
+	}
+
+	// Heal. The re-armed catch-up re-advertises the snapshot, and the retried
+	// pull must resume from the staged chunks instead of refetching them.
+	mode.Store(faultOff)
+	waitKV(t, stores, preKeys+midKeys, 30*time.Second)
+	waitReplyCaches(t, reps, 20*time.Second)
+
+	if n := reps[2].StateTransfers(); n == 0 {
+		t.Error("victim rejoined without a state transfer; the scenario proved nothing")
+	}
+	resumed := reps[2].TransferResumedBytes()
+	if resumed == 0 {
+		t.Error("retried pull restarted from byte 0; staged chunks were not reused")
+	}
+	if resumed%chunkBytes != 0 {
+		t.Errorf("resumed %d bytes, not a chunk boundary (chunk cap %d): staging must fsync whole chunks", resumed, chunkBytes)
+	}
+
+	// Wire bound: many frames, none above the cap (+ small frame header).
+	if n := chunkFrames.Load(); n < 3 {
+		t.Errorf("observed %d SnapshotChunk frames, want a multi-frame stream", n)
+	}
+	if max := maxChunkFrame.Load(); max > chunkBytes+64 {
+		t.Errorf("largest SnapshotChunk frame = %d bytes, exceeds cap %d", max, chunkBytes)
+	}
+
+	// Disk bound: the victim's installed snapshot is stored as many capped
+	// chunk files, never one unbounded blob.
+	var chunkFiles int
+	err = filepath.Walk(filepath.Join(dirs[2], "snapshots"), func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".chk") {
+			return err
+		}
+		chunkFiles++
+		if info.Size() > chunkBytes {
+			t.Errorf("chunk file %s is %d bytes, exceeds cap %d", path, info.Size(), chunkBytes)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunkFiles < 2 {
+		t.Errorf("victim snapshot dir holds %d chunk files, want a multi-chunk layout", chunkFiles)
+	}
 }
 
 func TestMultiGroupSnapshotTruncationConverges(t *testing.T) {

@@ -63,6 +63,16 @@ const (
 // Execute must be a pure function of the service state and the request:
 // every replica applies the same sequence of requests, so any
 // non-determinism diverges the replicas.
+//
+// Snapshot/Restore is the simple whole-state contract: the replica calls
+// Snapshot with execution quiesced and chunks the blob itself, so even a
+// blob service never puts an unbounded unit on disk or the wire — but the
+// serialization pause grows linearly with state size. Services with big
+// state should additionally implement the chunked contract
+// (internal/snapshot.Cutter, as the bundled KV store does): the replica
+// then only marks a copy-on-write cut under quiesce, execution resumes
+// immediately, and chunks — full or delta generations — drain in the
+// background.
 type Service interface {
 	// Execute applies one request and returns its reply.
 	Execute(req []byte) []byte
@@ -140,6 +150,15 @@ type Config struct {
 	// instances, enabling log truncation and fast state transfer
 	// (0 disables).
 	SnapshotEvery int
+	// SnapshotChunkBytes caps every unit a snapshot moves in — the chunks a
+	// cut yields, each persisted chunk file, every state-transfer frame
+	// (default 256 KiB). SnapshotMaxChain makes every that-many-th snapshot
+	// a full cut, with delta generations (only keys changed since the
+	// previous cut) in between (default 4; 1 disables deltas). Both must be
+	// identical on every replica — chunk boundaries and the full/delta
+	// cadence are part of snapshot determinism.
+	SnapshotChunkBytes int
+	SnapshotMaxChain   int
 
 	// DataDir, when non-empty, makes the replica durable: acceptor state
 	// (promised view, accepted values, decided markers) is journaled to
@@ -227,6 +246,8 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		Window:               cfg.Window,
 		Batch:                batch.Policy{MaxBytes: cfg.BatchBytes, MaxDelay: cfg.BatchDelay},
 		SnapshotEvery:        cfg.SnapshotEvery,
+		SnapshotChunkBytes:   cfg.SnapshotChunkBytes,
+		SnapshotMaxChain:     cfg.SnapshotMaxChain,
 		DataDir:              cfg.DataDir,
 		SyncPolicy:           policy,
 		WALRetainCheckpoints: cfg.WALRetainCheckpoints,
@@ -286,11 +307,26 @@ func (r *Replica) LocalReads() uint64 { return r.inner.LocalReads() }
 // fell behind a truncation horizon.
 func (r *Replica) StateTransfers() uint64 { return r.inner.StateTransfers() }
 
+// SnapshotFailures returns the number of failed snapshot stages (cut,
+// drain, persist, transfer pull). A replica with a rising count keeps
+// running on its full WAL, but its log is not being truncated; alert on it.
+func (r *Replica) SnapshotFailures() uint64 { return r.inner.SnapshotFailures() }
+
+// TransferResumedBytes returns the total staged bytes that resumed
+// state-transfer pulls reused instead of refetching from byte 0.
+func (r *Replica) TransferResumedBytes() uint64 { return r.inner.TransferResumedBytes() }
+
 // ReplyCacheBytes returns the deterministic marshaled reply cache — equal
 // byte-for-byte across the replicas of a converged cluster, which makes it
 // a convenient operational check for divergence (the determinism and
 // crash-restart tests rely on it).
 func (r *Replica) ReplyCacheBytes() []byte { return r.inner.ReplyCacheBytes() }
+
+// SnapshotImage returns a copy of the newest assembled snapshot's transfer
+// image — cut, generation chain, and reply cache in one deterministic byte
+// string — or nil before the first cut. Converged replicas produce
+// byte-identical images regardless of Groups or ExecutorWorkers.
+func (r *Replica) SnapshotImage() []byte { return r.inner.SnapshotImage() }
 
 // ClientAddr returns the bound client-facing address (resolves ephemeral
 // ports).

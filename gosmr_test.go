@@ -23,9 +23,11 @@ type cluster struct {
 
 // clusterConfig tweaks startCluster.
 type clusterConfig struct {
-	snapshotEvery   int
-	window          int
-	executorWorkers int
+	snapshotEvery      int
+	snapshotChunkBytes int
+	window             int
+	groups             int
+	executorWorkers    int
 }
 
 // startCluster boots an n-replica in-process cluster with fast failure
@@ -41,16 +43,18 @@ func startCluster(t *testing.T, n int, cc clusterConfig) *cluster {
 	for i := range n {
 		svc := service.NewKV()
 		rep, err := gosmr.NewReplica(gosmr.Config{
-			ID:                i,
-			Peers:             peers,
-			ClientAddr:        fmt.Sprintf("client-%d", i),
-			Network:           net,
-			Window:            cc.window,
-			SnapshotEvery:     cc.snapshotEvery,
-			ExecutorWorkers:   cc.executorWorkers,
-			BatchDelay:        time.Millisecond,
-			HeartbeatInterval: 20 * time.Millisecond,
-			SuspectTimeout:    200 * time.Millisecond,
+			ID:                 i,
+			Peers:              peers,
+			ClientAddr:         fmt.Sprintf("client-%d", i),
+			Network:            net,
+			Window:             cc.window,
+			Groups:             cc.groups,
+			SnapshotEvery:      cc.snapshotEvery,
+			SnapshotChunkBytes: cc.snapshotChunkBytes,
+			ExecutorWorkers:    cc.executorWorkers,
+			BatchDelay:         time.Millisecond,
+			HeartbeatInterval:  20 * time.Millisecond,
+			SuspectTimeout:     200 * time.Millisecond,
 		}, svc)
 		if err != nil {
 			t.Fatal(err)
@@ -276,6 +280,97 @@ func TestParallelExecutionPublicAPI(t *testing.T) {
 	// The executor stage surfaces in the public queue statistics.
 	if _, ok := c.replicas[0].QueueStats()["ExecutorQueue-0"]; !ok {
 		t.Error("QueueStats missing ExecutorQueue-0")
+	}
+}
+
+// TestAssembledSnapshotDeterminism pins the cluster-wide snapshot contract
+// across the Groups × ExecutorWorkers matrix: with aggressive snapshotting
+// and writes still arriving while drains run in the background (the
+// copy-on-write window), every replica must assemble byte-identical
+// snapshot images — same cut, same full/delta generation chain, same chunk
+// boundaries, same reply cache. Concurrent clients hammer overlapping keys
+// so cuts land mid-burst; the full/delta cadence is a pure function of the
+// cut index, so no replica may disagree about which generations exist.
+func TestAssembledSnapshotDeterminism(t *testing.T) {
+	for _, groups := range []int{1, 2} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("groups=%d_workers=%d", groups, workers), func(t *testing.T) {
+				c := startCluster(t, 3, clusterConfig{
+					groups:             groups,
+					executorWorkers:    workers,
+					snapshotEvery:      10,
+					snapshotChunkBytes: 1024,
+				})
+				const (
+					clients = 4
+					each    = 50
+				)
+				value := bytes.Repeat([]byte("d"), 300)
+				var wg sync.WaitGroup
+				errs := make(chan error, clients)
+				for ci := range clients {
+					wg.Add(1)
+					go func(ci int) {
+						defer wg.Done()
+						cli := c.client()
+						defer cli.Close()
+						for i := range each {
+							key := fmt.Sprintf("hot-%d", i%5) // churn: rewrites dirty the same chunks
+							if i%3 == 0 {
+								key = fmt.Sprintf("c%d-k%d", ci, i)
+							}
+							if _, err := cli.Execute(service.EncodePut(key, value)); err != nil {
+								errs <- fmt.Errorf("client %d op %d: %w", ci, i, err)
+								return
+							}
+						}
+					}(ci)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				c.waitConverged(clients*each, 15*time.Second)
+
+				// Every replica has executed the same prefix; once the last
+				// cadence cut's drain completes everywhere, the assembled
+				// images (cut + chain + reply cache in one encoding) must
+				// match byte for byte.
+				deadline := time.Now().Add(10 * time.Second)
+				var imgs [3][]byte
+				for time.Now().Before(deadline) {
+					same := true
+					for i, r := range c.replicas {
+						imgs[i] = r.SnapshotImage()
+					}
+					for i := 1; i < 3; i++ {
+						if imgs[i] == nil || !bytes.Equal(imgs[i], imgs[0]) {
+							same = false
+						}
+					}
+					if same && imgs[0] != nil {
+						break
+					}
+					time.Sleep(15 * time.Millisecond)
+				}
+				if imgs[0] == nil {
+					t.Fatal("no snapshot was ever assembled")
+				}
+				for i := 1; i < 3; i++ {
+					if !bytes.Equal(imgs[i], imgs[0]) {
+						t.Errorf("replica %d assembled snapshot image (%d bytes) differs from replica 0 (%d bytes)",
+							i, len(imgs[i]), len(imgs[0]))
+					}
+				}
+				ref := c.replicas[0].ReplyCacheBytes()
+				for i := 1; i < 3; i++ {
+					if !bytes.Equal(c.replicas[i].ReplyCacheBytes(), ref) {
+						t.Errorf("replica %d reply cache diverged", i)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -114,6 +114,20 @@ type Config struct {
 	// SnapshotEvery triggers a service snapshot (and log truncation) every
 	// that many executed instances; 0 disables snapshotting.
 	SnapshotEvery int
+	// SnapshotChunkBytes caps every unit a snapshot moves in: the chunks a
+	// service cut yields, each chunk file persisted under
+	// DataDir/snapshots/, and the Data payload of every state-transfer
+	// frame. A single unit exceeds it only when one atomic service entry
+	// alone is larger than the cap. Default 256 KiB. Must be identical on
+	// every replica (chunk boundaries are part of snapshot determinism).
+	SnapshotChunkBytes int
+	// SnapshotMaxChain bounds the delta-generation chain: snapshots between
+	// full cuts persist only the keys mutated since the previous cut, and
+	// every SnapshotMaxChain-th snapshot is a full cut that resets the
+	// chain. 1 makes every snapshot full (no deltas). Default 4. Must be
+	// identical on every replica (the full/delta cadence is a pure function
+	// of the cut index, which keeps chains byte-identical cluster-wide).
+	SnapshotMaxChain int
 
 	// DataDir, when non-empty, enables crash-restart recovery: each
 	// ordering group journals its acceptor state to a write-ahead log under
@@ -220,6 +234,12 @@ func (c Config) withDefaults() Config {
 	if c.CatchUpTimeout <= 0 {
 		c.CatchUpTimeout = 250 * time.Millisecond
 	}
+	if c.SnapshotChunkBytes <= 0 {
+		c.SnapshotChunkBytes = 256 << 10
+	}
+	if c.SnapshotMaxChain <= 0 {
+		c.SnapshotMaxChain = 4
+	}
 	return c
 }
 
@@ -274,17 +294,19 @@ type event struct {
 }
 
 // decisionItem is one decision-stream item: either a decided batch or a
-// snapshot (from catch-up state transfer). Per-group streams carry
-// group-local instance IDs; after the merge stage the ID is an index into
-// the merged total order. A snapshot item travels twice in the two-phase
-// install: first as an install request flowing Merger → ServiceManager
-// (installed=false; the Merger's position does not move yet), then — after
-// the ServiceManager persisted and restored it — as an installed marker
-// flowing each group's Protocol thread → Merger (installed=true), which is
-// what jumps the merge position.
+// snapshot install step (from catch-up state transfer). Per-group streams
+// carry group-local instance IDs; after the merge stage the ID is an index
+// into the merged total order. The two-phase install travels as two
+// different item shapes: first a snapshot announcement (meta set) flowing
+// Merger → ServiceManager — the ServiceManager pulls the chunked image from
+// peers, persists and restores it; the Merger's position does not move yet —
+// then, once installed, an installed marker carrying the assembled snapshot
+// (snapshot set, installed=true) flowing each group's Protocol thread →
+// Merger, which is what jumps the merge position.
 type decisionItem struct {
 	id        wire.InstanceID
-	value     []byte // encoded batch
+	value     []byte             // encoded batch
+	meta      *wire.SnapshotMeta // install request: pull + install this snapshot
 	snapshot  *wire.Snapshot
 	installed bool
 }
@@ -356,19 +378,29 @@ func (r *clientRegistry) drop(client uint64, cc *clientConn) {
 }
 
 // snapshotStore holds the most recent service snapshot, written by the
-// ServiceManager thread and read by the Protocol thread when answering
-// catch-up queries that need state transfer. This is one of the paper's
-// sanctioned shared-state exceptions: a single value behind a small mutex,
-// never held across blocking operations.
+// ServiceManager thread (or its drainer goroutine) and read by the Protocol
+// thread when advertising state transfer and by reader threads when serving
+// chunk pulls. This is one of the paper's sanctioned shared-state
+// exceptions: a single value behind a small mutex, never held across
+// blocking operations.
+//
+// Snapshots never cross the wire whole: the store lazily flattens the
+// current snapshot into its transfer image (the snapshot-file encoding) and
+// serves it as offset-addressed byte ranges, so a puller can fetch it one
+// bounded frame at a time and resume mid-stream. The image is immutable
+// once built — put replaces the pointer, it never mutates in place — so
+// readAt can hand out borrowed sub-slices without copying.
 type snapshotStore struct {
-	mu   sync.Mutex
-	snap wire.Snapshot
-	ok   bool
+	mu    sync.Mutex
+	snap  wire.Snapshot
+	image []byte // lazily built transfer image; nil until first meta/readAt
+	ok    bool
 }
 
 func (s *snapshotStore) put(snap wire.Snapshot) {
 	s.mu.Lock()
 	s.snap = snap
+	s.image = nil
 	s.ok = true
 	s.mu.Unlock()
 }
@@ -377,4 +409,59 @@ func (s *snapshotStore) get() (wire.Snapshot, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.snap, s.ok
+}
+
+func (s *snapshotStore) imageLocked() []byte {
+	if s.image == nil {
+		s.image = encodeSnapshotFile(s.snap)
+	}
+	return s.image
+}
+
+// imageCopy returns an owned copy of the assembled transfer image, or nil
+// if no snapshot has been cut yet. Because the image encodes the cut, the
+// full generation chain and the reply cache, byte-comparing it across
+// replicas is the strongest cheap determinism check the module exposes.
+func (s *snapshotStore) imageCopy() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ok {
+		return nil
+	}
+	return append([]byte(nil), s.imageLocked()...)
+}
+
+// meta describes the current snapshot for catch-up advertisements (the
+// paxos SnapshotProvider).
+func (s *snapshotStore) meta() (wire.SnapshotMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ok {
+		return wire.SnapshotMeta{}, false
+	}
+	return wire.SnapshotMeta{
+		LastIncluded: s.snap.LastIncluded,
+		Groups:       s.snap.Groups,
+		TotalBytes:   uint64(len(s.imageLocked())),
+	}, true
+}
+
+// readAt serves one transfer frame: up to maxBytes of the image for cut
+// starting at off. The returned slice borrows the immutable image and must
+// not be held past the next GC of the store's snapshot generation (in
+// practice: encode it into the outgoing frame immediately). ok is false
+// when the store no longer holds that cut or off is out of range.
+func (s *snapshotStore) readAt(cut wire.InstanceID, off uint64, maxBytes int) (data []byte, total uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ok || s.snap.LastIncluded != cut {
+		return nil, 0, false
+	}
+	img := s.imageLocked()
+	total = uint64(len(img))
+	if off >= total {
+		return nil, total, false
+	}
+	n := min(uint64(maxBytes), total-off)
+	return img[off : off+n], total, true
 }

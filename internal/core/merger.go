@@ -198,44 +198,44 @@ func (r *Replica) runMerger() {
 			gd = v
 		}
 
-		if gd.item.snapshot != nil {
-			snap := gd.item.snapshot
-			if gd.item.installed {
-				// Phase 2: a group's installed marker — the ServiceManager
-				// persisted and restored this snapshot, and the group
-				// journaled its cut. Jump the merge position; duplicate
-				// markers from the other groups are stale and drop here
-				// (but still witness durability).
-				durableCut = max(durableCut, int64(snap.LastIncluded))
-				if !m.feedSnapshot(snap) {
-					continue
-				}
-				// Idempotent nudge to every group: any whose install ack
-				// was lost (TryPut under pressure) still fast-forwards.
-				// Safe — the snapshot is durable, so journaling the cut
-				// cannot outrun it.
-				for _, g := range r.groups {
-					cut := wire.GroupCut(snap.LastIncluded, len(r.groups), g.idx)
-					_, _ = g.dispatchQ.TryPut(event{kind: evFastForward, upTo: cut})
-					g.mergedUpTo.Store(int64(m.expect[g.idx]))
-				}
-				// The jump may have landed the cursor on an already-buffered
-				// slot; emit everything reachable before blocking again.
-				if !emit(m.drain()) {
-					return
-				}
+		if snap := gd.item.snapshot; snap != nil && gd.item.installed {
+			// Phase 2: a group's installed marker — the ServiceManager
+			// persisted and restored this snapshot, and the group
+			// journaled its cut. Jump the merge position; duplicate
+			// markers from the other groups are stale and drop here
+			// (but still witness durability).
+			durableCut = max(durableCut, int64(snap.LastIncluded))
+			if !m.feedSnapshot(snap) {
 				continue
 			}
-			// Phase 1: a catch-up snapshot surfaced by a group. The merge
-			// position does NOT move yet — the ServiceManager must persist
-			// the snapshot first (a refusal there simply means catch-up
-			// retries and no state changed anywhere). Forward the install
-			// request downstream; duplicates of an in-flight install are
-			// deduplicated by the ServiceManager against its install floor.
-			if snap.GroupCount() != len(r.groups) {
+			// Idempotent nudge to every group: any whose install ack
+			// was lost (TryPut under pressure) still fast-forwards.
+			// Safe — the snapshot is durable, so journaling the cut
+			// cannot outrun it.
+			for _, g := range r.groups {
+				cut := wire.GroupCut(snap.LastIncluded, len(r.groups), g.idx)
+				_, _ = g.dispatchQ.TryPut(event{kind: evFastForward, upTo: cut})
+				g.mergedUpTo.Store(int64(m.expect[g.idx]))
+			}
+			// The jump may have landed the cursor on an already-buffered
+			// slot; emit everything reachable before blocking again.
+			if !emit(m.drain()) {
+				return
+			}
+			continue
+		}
+		if meta := gd.item.meta; meta != nil {
+			// Phase 1: a catch-up snapshot advertised to a group. The merge
+			// position does NOT move yet — the ServiceManager must pull the
+			// chunked image and persist it first (a pull or persist failure
+			// simply means catch-up retries and no state changed anywhere).
+			// Forward the announcement downstream; duplicates of an
+			// in-flight install are deduplicated by the ServiceManager
+			// against its install floor.
+			if meta.GroupCount() != len(r.groups) {
 				continue
 			}
-			if int64(snap.LastIncluded) < m.next {
+			if int64(meta.LastIncluded) < m.next {
 				// Stale: the merge already advanced past this cut. When a
 				// WITNESSED durable snapshot covers it (the common cause: a
 				// sibling's marker jumped the merge and this group's
@@ -247,13 +247,13 @@ func (r *Replica) runMerger() {
 				// drop: the group is not wedged, and an unbacked cut could
 				// strand a crash with a journal ahead of every snapshot on
 				// disk.
-				if int64(snap.LastIncluded) <= durableCut {
-					cut := wire.GroupCut(snap.LastIncluded, len(r.groups), gd.group)
+				if int64(meta.LastIncluded) <= durableCut {
+					cut := wire.GroupCut(meta.LastIncluded, len(r.groups), gd.group)
 					_, _ = r.groups[gd.group].dispatchQ.TryPut(event{kind: evFastForward, upTo: cut})
 				}
 				continue
 			}
-			if err := r.decisionQ.Put(th, decisionItem{snapshot: snap}); err != nil {
+			if err := r.decisionQ.Put(th, decisionItem{meta: meta}); err != nil {
 				return
 			}
 			continue

@@ -233,7 +233,7 @@ func (r *Replica) applyEffects(th *profiling.Thread, g *ordGroup, node *paxos.No
 		var items []decisionItem
 		// Snapshot install must precede the decisions that follow it.
 		if e.InstallSnapshot != nil {
-			items = append(items, decisionItem{snapshot: e.InstallSnapshot})
+			items = append(items, decisionItem{meta: e.InstallSnapshot})
 		}
 		for _, d := range e.Decisions {
 			items = append(items, decisionItem{id: d.ID, value: d.Value})
@@ -254,7 +254,7 @@ func (r *Replica) applyEffects(th *profiling.Thread, g *ordGroup, node *paxos.No
 		}
 		if e.InstallSnapshot != nil {
 			if err := r.mergeQ.Put(th, groupDecision{group: g.idx,
-				item: decisionItem{snapshot: e.InstallSnapshot}}); err != nil {
+				item: decisionItem{meta: e.InstallSnapshot}}); err != nil {
 				return
 			}
 		}

@@ -4,10 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"log"
-	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"gosmr/internal/storage"
@@ -17,21 +14,22 @@ import (
 
 // Crash-restart recovery. With Config.DataDir set, each ordering group
 // journals its acceptor state transitions to a write-ahead log
-// (internal/wal) and the ServiceManager persists every snapshot cut, laid
-// out as
+// (internal/wal) and every snapshot cut is committed as a manifest plus
+// size-capped chunk files (snapdisk.go), laid out as
 //
 //	DataDir/
-//	  snapshots/snap-<merged index>.snap   (checksummed wire.Snapshot)
+//	  snapshots/manifest-<merged index>.mf (committed generation chain)
+//	  snapshots/gen-<merged index>-NN/     (chunk files of one generation)
 //	  group-0/wal-00000001.seg ...         (per-group WAL segments)
 //	  group-1/...
 //
-// Boot loads the newest intact snapshot, replays each group's WAL suffix on
-// top of its share of the covered prefix, and hands the rebuilt logs, views
-// and merge position to the normal pipeline: the decided prefix re-executes
-// from the snapshot (rebuilding service state and reply cache exactly), and
-// anything decided by the rest of the cluster while this replica was down
-// arrives through the existing catch-up path — no state transfer is needed
-// for the locally durable prefix.
+// Boot assembles the newest intact snapshot chain, replays each group's WAL
+// suffix on top of its share of the covered prefix, and hands the rebuilt
+// logs, views and merge position to the normal pipeline: the decided prefix
+// re-executes from the snapshot (rebuilding service state and reply cache
+// exactly), and anything decided by the rest of the cluster while this
+// replica was down arrives through the existing catch-up path — no state
+// transfer is needed for the locally durable prefix.
 
 // walJournal adapts one group's WAL to the storage.Journal interface.
 type walJournal struct{ w *wal.WAL }
@@ -79,7 +77,7 @@ func (b *bootState) closeWALs() {
 func (r *Replica) recoverBoot() (*bootState, error) {
 	dir := r.cfg.DataDir
 	b := &bootState{groups: make([]groupBoot, len(r.groups))}
-	snap, skipped, err := loadNewestSnapshot(filepath.Join(dir, "snapshots"))
+	snap, skipped, err := r.snapDisk.loadNewest()
 	if err != nil {
 		return nil, err
 	}
@@ -125,18 +123,19 @@ func (r *Replica) recoverBoot() (*bootState, error) {
 		if log.Base() > bootCut {
 			// The WAL records a snapshot cut that is not on disk. With
 			// persist-before-cut ordering no crash produces this state any
-			// more (the snapshot is always durable before any group journals
-			// its cut); reaching it means a snapshot file was corrupted or
-			// deleted after the fact. State below the base is unrecoverable
-			// locally; refuse to boot half-blind rather than silently
-			// execute from the wrong prefix — and if intact-looking
-			// snapshots were skipped on the way here, name them: a skipped
-			// newest snapshot is by far the likeliest culprit.
+			// more (the snapshot chain is always committed — manifest
+			// renamed — before any group journals its cut); reaching it
+			// means a manifest or chunk file was corrupted or deleted after
+			// the fact. State below the base is unrecoverable locally;
+			// refuse to boot half-blind rather than silently execute from
+			// the wrong prefix — and if intact-looking snapshots were
+			// skipped on the way here, name them: a skipped newest snapshot
+			// is by far the likeliest culprit.
 			w.Close()
 			b.closeWALs()
 			detail := ""
 			if len(skipped) > 0 {
-				detail = fmt.Sprintf(" (skipped unreadable snapshot(s): %s — see the preceding log lines for each decode error)",
+				detail = fmt.Sprintf(" (skipped unreadable snapshot manifest(s): %s — see the preceding log lines for each decode error)",
 					strings.Join(skipped, ", "))
 			}
 			return nil, fmt.Errorf("core: group %d WAL is cut at %d but the newest snapshot covers only %d; clear %s to rejoin via state transfer%s",
@@ -215,14 +214,17 @@ func suffixStates(log *storage.Log) []wal.Record {
 	return out
 }
 
-// Snapshot files: a fixed header (magic, version), the wire-encoded
-// snapshot, and a trailing CRC32 of everything before it.
+// Snapshot transfer image: a fixed header (magic, version), the
+// wire-encoded snapshot, and a trailing CRC32 of everything before it. No
+// longer a disk format (snapdisk.go owns the durable layout) — this is the
+// flat serialization state transfer slices into bounded SnapshotChunk
+// frames, and what SnapshotMeta.TotalBytes measures.
 const (
 	snapMagic   = 0x50414E53 // "SNAP"
 	snapVersion = 1
 )
 
-// encodeSnapshotFile serializes snap for durable storage.
+// encodeSnapshotFile serializes snap into its transfer image.
 func encodeSnapshotFile(snap wire.Snapshot) []byte {
 	var b []byte
 	b = binary.LittleEndian.AppendUint32(b, snapMagic)
@@ -236,8 +238,8 @@ func encodeSnapshotFile(snap wire.Snapshot) []byte {
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 }
 
-// decodeSnapshotFile parses and verifies a snapshot file image. Length
-// fields are validated against the remaining bytes before any allocation.
+// decodeSnapshotFile parses and verifies a transfer image. Length fields
+// are validated against the remaining bytes before any allocation.
 func decodeSnapshotFile(b []byte) (wire.Snapshot, error) {
 	var snap wire.Snapshot
 	if len(b) < 24 {
@@ -279,109 +281,4 @@ func decodeSnapshotFile(b []byte) (wire.Snapshot, error) {
 		return snap, fmt.Errorf("snapshot file trailing bytes")
 	}
 	return snap, nil
-}
-
-// snapName formats a snapshot file name; lexical order is cut order.
-func snapName(last wire.InstanceID) string { return fmt.Sprintf("snap-%016x.snap", uint64(last)) }
-
-// persistSnapshot durably writes snap (write temp, fsync, rename, fsync
-// dir) and prunes all but the two newest snapshots. Runs on the
-// ServiceManager thread — off the Protocol threads' critical path. Errors
-// are returned, not fatal: a replica that cannot persist a snapshot keeps
-// running on its WAL.
-func persistSnapshot(dir string, snap wire.Snapshot) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	path := filepath.Join(dir, snapName(snap.LastIncluded))
-	tmp := path + ".tmp"
-	data := encodeSnapshotFile(snap)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
-	// Keep the two newest cuts: the newest, plus one fallback in case a
-	// crash interleaved with the WAL checkpoints that reference it.
-	names, err := snapshotFiles(dir)
-	if err == nil {
-		for _, name := range names[:max(0, len(names)-2)] {
-			_ = os.Remove(filepath.Join(dir, name))
-		}
-	}
-	return nil
-}
-
-// snapshotFiles lists snapshot file names in ascending cut order.
-func snapshotFiles(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var names []string
-	for _, e := range entries {
-		// Exact-suffix check first: Sscanf would prefix-match a torn
-		// "snap-....snap.tmp" left by a crash mid-persist, letting it
-		// count against the two-newest retention and evict an intact
-		// fallback.
-		if !strings.HasSuffix(e.Name(), ".snap") {
-			continue
-		}
-		var u uint64
-		if _, err := fmt.Sscanf(e.Name(), "snap-%016x.snap", &u); err == nil {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	return names, nil
-}
-
-// loadNewestSnapshot returns the newest intact snapshot in dir, or nil when
-// none exists, plus the names of any newer files it had to skip. Corrupt
-// files (a crash mid-write) are skipped in favor of older intact ones, but
-// never silently: each skip is logged with its decode error, because a
-// skipped newest snapshot can make boot fall behind the WALs' cuts and the
-// resulting "clear the data dir" refusal is baffling without it.
-func loadNewestSnapshot(dir string) (*wire.Snapshot, []string, error) {
-	names, err := snapshotFiles(dir)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil, nil
-		}
-		return nil, nil, err
-	}
-	var skipped []string
-	for i := len(names) - 1; i >= 0; i-- {
-		data, err := os.ReadFile(filepath.Join(dir, names[i]))
-		if err != nil {
-			log.Printf("gosmr: skipping snapshot %s: %v", filepath.Join(dir, names[i]), err)
-			skipped = append(skipped, names[i])
-			continue
-		}
-		snap, err := decodeSnapshotFile(data)
-		if err != nil {
-			log.Printf("gosmr: skipping snapshot %s: %v", filepath.Join(dir, names[i]), err)
-			skipped = append(skipped, names[i])
-			continue
-		}
-		return &snap, skipped, nil
-	}
-	return nil, skipped, nil
 }

@@ -5,49 +5,77 @@ import (
 	"path/filepath"
 	"testing"
 
+	"gosmr/internal/snapshot"
 	"gosmr/internal/wire"
 )
 
+// persistTestSnap commits snap's service state as a single full generation
+// via the manifest layout — the test-side stand-in for a drained cut.
+func persistTestSnap(t *testing.T, d *snapDisk, snap wire.Snapshot) {
+	t.Helper()
+	chunks := snapshot.SplitBlob(snap.ServiceState, d.chunkCap)
+	rc := snapshot.SplitBlob(snap.ReplyCache, d.chunkCap)
+	if err := d.appendGen(snap.LastIncluded, snap.Groups, true, chunks, rc); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestLoadNewestSnapshotReportsSkips pins the skip-reporting contract: an
-// unreadable newest snapshot must not be silently passed over — the loader
-// falls back to the older intact one AND names what it skipped, so the
+// unreadable newest manifest must not be silently passed over — the loader
+// falls back to the older intact chain AND names what it skipped, so the
 // boot-time "clear the data dir" refusal can tell the operator why the cuts
 // outran the usable snapshot.
 func TestLoadNewestSnapshotReportsSkips(t *testing.T) {
 	dir := t.TempDir()
-	older := wire.Snapshot{LastIncluded: 9, ServiceState: []byte("old"), ReplyCache: []byte("rc")}
-	if err := persistSnapshot(dir, older); err != nil {
-		t.Fatal(err)
-	}
-	// A newer snapshot whose payload was torn mid-write: the CRC cannot
-	// match.
-	corruptName := snapName(19)
+	d := newSnapDisk(dir, 4)
+	older := wire.Snapshot{LastIncluded: 9, ServiceState: []byte("old-state"), ReplyCache: []byte("rc")}
+	persistTestSnap(t, d, older)
+	// A newer manifest torn mid-write: the CRC cannot match.
+	corruptName := manifestName(19)
 	if err := os.WriteFile(filepath.Join(dir, corruptName), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	snap, skipped, err := loadNewestSnapshot(dir)
+	snap, skipped, err := newSnapDisk(dir, 4).loadNewest()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if snap == nil || snap.LastIncluded != 9 {
 		t.Fatalf("loaded snapshot = %+v, want fallback with cut 9", snap)
 	}
+	if got, err := snapshot.DecodeChain(snap.ServiceState); err != nil ||
+		string(snapshot.JoinChunks(got[0].Chunks)) != "old-state" {
+		t.Fatalf("fallback chain = %v (err %v), want old-state", got, err)
+	}
 	if len(skipped) != 1 || skipped[0] != corruptName {
 		t.Fatalf("skipped = %v, want [%s]", skipped, corruptName)
 	}
 
-	// All-intact directory: nothing skipped.
-	if err := persistSnapshot(dir, wire.Snapshot{LastIncluded: 19, ServiceState: []byte("new")}); err != nil {
+	// A manifest referencing a torn chunk file skips the same way.
+	persistTestSnap(t, d, wire.Snapshot{LastIncluded: 19, ServiceState: []byte("newer-bad")})
+	if err := os.WriteFile(filepath.Join(dir, genDirName(19, 0), "svc-00000.chk"), []byte("xx"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	snap, skipped, err = loadNewestSnapshot(dir)
-	if err != nil || snap == nil || snap.LastIncluded != 19 || len(skipped) != 0 {
-		t.Fatalf("after repair: snap=%+v skipped=%v err=%v, want cut 19 and no skips", snap, skipped, err)
+	snap, skipped, err = newSnapDisk(dir, 4).loadNewest()
+	if err != nil || snap == nil || snap.LastIncluded != 9 {
+		t.Fatalf("torn chunk: snap=%+v err=%v, want fallback with cut 9", snap, err)
+	}
+	if len(skipped) != 1 || skipped[0] != manifestName(19) {
+		t.Fatalf("torn chunk: skipped = %v, want [%s]", skipped, manifestName(19))
+	}
+
+	// All-intact directory: nothing skipped, reply cache round-trips.
+	persistTestSnap(t, d, wire.Snapshot{LastIncluded: 29, ServiceState: []byte("new"), ReplyCache: []byte("rc2")})
+	snap, skipped, err = newSnapDisk(dir, 4).loadNewest()
+	if err != nil || snap == nil || snap.LastIncluded != 29 || len(skipped) != 0 {
+		t.Fatalf("after repair: snap=%+v skipped=%v err=%v, want cut 29 and no skips", snap, skipped, err)
+	}
+	if string(snap.ReplyCache) != "rc2" {
+		t.Fatalf("reply cache = %q, want rc2", snap.ReplyCache)
 	}
 
 	// Empty/missing directory stays a clean no-snapshot boot.
-	snap, skipped, err = loadNewestSnapshot(filepath.Join(dir, "nope"))
+	snap, skipped, err = newSnapDisk(filepath.Join(dir, "nope"), 4).loadNewest()
 	if err != nil || snap != nil || skipped != nil {
 		t.Fatalf("missing dir: snap=%v skipped=%v err=%v, want nil/nil/nil", snap, skipped, err)
 	}

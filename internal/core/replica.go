@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,8 +95,21 @@ type Replica struct {
 	// service is not ConflictAware; all requests then order in group 0).
 	groupKeys func([]byte) []string
 
-	// Snapshot hand-off between ServiceManager and Protocol threads.
+	// Snapshot machinery. snapshots is the cross-thread image store
+	// (catch-up advertisements + chunk serving); snapDisk owns the durable
+	// manifest/chunk layout (nil without DataDir); puller is the chunk-pull
+	// client used during state transfer. snapChain, drain and forceFull are
+	// the ServiceManager's drain state: the in-memory generation chain, the
+	// in-flight background drain (nil when idle), and the flag forcing the
+	// next cut to be full after a failed cut/drain/persist. Chain ownership
+	// passes ServiceManager → drainer goroutine → ServiceManager through
+	// the drain handle's done channel; no lock is needed.
 	snapshots *snapshotStore
+	snapDisk  *snapDisk
+	puller    *snapPuller
+	snapChain []memGen
+	drain     *drainJob
+	forceFull bool
 
 	replyCache replycache.Cache
 	registry   *clientRegistry
@@ -126,6 +140,12 @@ type Replica struct {
 	localReads     atomic.Uint64 // reads served on the lease/read-index path
 	droppedBacklog atomic.Uint64 // stale SendQueue messages dropped on reconnect
 
+	// Snapshot health counters (satellite observability: failures were
+	// previously swallowed).
+	snapshotFailures atomic.Uint64 // failed cut/drain/persist/pull stages
+	transferResumed  atomic.Uint64 // staged bytes reused by resumed pulls
+	lastSnapFailLog  atomic.Int64  // rate limit for snapshot failure logging
+
 	stop    chan struct{}
 	stopped sync.Once
 	started bool
@@ -155,6 +175,10 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		registry:  newClientRegistry(),
 		execSeq:   make(map[uint64]schedEntry),
 		stop:      make(chan struct{}),
+	}
+	r.puller = &snapPuller{resp: make(chan pulledChunk, 4)}
+	if cfg.DataDir != "" {
+		r.snapDisk = newSnapDisk(filepath.Join(cfg.DataDir, "snapshots"), cfg.SnapshotChunkBytes)
 	}
 	for i := range r.groups {
 		r.groups[i] = &ordGroup{
@@ -251,10 +275,29 @@ func (r *Replica) DroppedBacklog() uint64 { return r.droppedBacklog.Load() }
 // this stays zero while survivors retain their logs.
 func (r *Replica) StateTransfers() uint64 { return r.stateTransfers.Load() }
 
+// SnapshotFailures returns the number of snapshot stages — cut, drain,
+// persist, transfer pull — that have failed since start. A replica with a
+// rising count keeps running on its full WAL, but its log is not being
+// truncated; operators should alert on this.
+func (r *Replica) SnapshotFailures() uint64 { return r.snapshotFailures.Load() }
+
+// TransferResumedBytes returns the total bytes of staged snapshot data
+// that resumed pulls reused instead of refetching (0 until a transfer
+// survives a restart or reconnect mid-stream).
+func (r *Replica) TransferResumedBytes() uint64 { return r.transferResumed.Load() }
+
 // ReplyCacheBytes returns the canonical (sorted, deterministic) marshaled
 // reply cache — the byte string the cluster determinism tests compare
 // across replicas, worker counts, and restarts.
 func (r *Replica) ReplyCacheBytes() []byte { return r.replyCache.Marshal() }
+
+// SnapshotImage returns a copy of the newest assembled snapshot's transfer
+// image (cut + generation chain + reply cache in one deterministic byte
+// string), or nil if no snapshot has been cut yet. Replicas that executed
+// the same prefix must produce byte-identical images regardless of group
+// count or worker count — the cluster determinism tests compare exactly
+// this.
+func (r *Replica) SnapshotImage() []byte { return r.snapshots.imageCopy() }
 
 // QueueStats reports the time-averaged lengths of the three queues of
 // Table I (per ordering group) plus the merge and decision queues and, when
@@ -399,7 +442,7 @@ func (r *Replica) Start() error {
 			Window:    r.cfg.Window,
 			Group:     g.idx,
 			Groups:    len(r.groups),
-			Snapshots: r.snapshots.get,
+			Snapshots: r.snapshots.meta,
 		}
 		if boot != nil {
 			gb := boot.groups[g.idx]

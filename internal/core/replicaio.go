@@ -260,9 +260,10 @@ func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 			continue
 		}
 		if io.handleDirect(peer, msg) {
-			// Lease/read-index traffic is answered on the reader thread and
-			// never reaches a Protocol thread (none of it carries byte
-			// fields, so no Retain is needed before the frame recycles).
+			// Lease/read-index/snapshot-chunk traffic is answered on the
+			// reader thread and never reaches a Protocol thread (the only
+			// byte field among them — SnapshotChunk.Data — is copied by the
+			// puller before the frame recycles, so no Retain is needed).
 			transport.RecycleFrame(frame, pooled)
 			continue
 		}
@@ -288,8 +289,10 @@ func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 
 // handleDirect intercepts messages the reader answers itself: lease acks,
 // read-index queries (answered from lock-free hints + one lease-state scan),
-// and read-index responses (forwarded to the ReadManager). Returns true when
-// the message was consumed.
+// read-index responses (forwarded to the ReadManager), and snapshot chunk
+// traffic (requests answered from the image store; responses copied and
+// routed to the puller — the copy matters, the frame recycles when this
+// returns). Returns true when the message was consumed.
 func (io *replicaIO) handleDirect(peer int, msg wire.Message) bool {
 	r := io.r
 	switch m := msg.(type) {
@@ -307,6 +310,12 @@ func (io *replicaIO) handleDirect(peer int, msg wire.Message) bool {
 		r.enqueueSend(peer, resp)
 	case *wire.ReadIndexResp:
 		r.reads.deliverResp(m.Seq, m.Index, m.OK)
+	case *wire.SnapshotChunkReq:
+		r.serveSnapshotChunk(peer, m)
+		wire.Release(m)
+	case *wire.SnapshotChunk:
+		r.puller.deliver(m)
+		wire.Release(m)
 	default:
 		return false
 	}

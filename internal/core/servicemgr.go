@@ -2,12 +2,11 @@ package core
 
 import (
 	"fmt"
-	"log"
-	"path/filepath"
 
 	"gosmr/internal/executor"
 	"gosmr/internal/profiling"
 	"gosmr/internal/replycache"
+	"gosmr/internal/snapshot"
 	"gosmr/internal/wire"
 )
 
@@ -35,6 +34,10 @@ func (r *Replica) runServiceManager() {
 	// submits, so stopping from here (after the DecisionQueue drains) can
 	// never race with a submit — see Replica.Stop.
 	defer r.exec.Stop()
+	// An in-flight background drain owns the snapshot chain and disk
+	// layout; wait for it so shutdown never abandons a half-written
+	// generation that the next commit would then reference.
+	defer r.awaitDrain()
 	th := r.profThread("Replica")
 	th.Transition(profiling.StateBusy)
 	defer th.Transition(profiling.StateOther)
@@ -63,8 +66,8 @@ func (r *Replica) runServiceManager() {
 		if err != nil {
 			return
 		}
-		if item.snapshot != nil {
-			floor = r.installSnapshot(th, item.snapshot, floor)
+		if item.meta != nil {
+			floor = r.installFromMeta(th, item.meta, floor)
 			if floor > position {
 				position = floor
 			}
@@ -179,38 +182,69 @@ func (r *Replica) sendReply(req *wire.ClientRequest, reply []byte) {
 	}
 }
 
-// installSnapshot is phase 2 of the transferred-snapshot install (the
-// replica was too far behind for log or WAL catch-up): persist FIRST, then
-// restore, then ack. The ordering is the crash-consistency invariant — no
-// group journals its cut (that happens only on the evFastForward ack this
-// sends) until the snapshot covering that cut is durably on disk, so a kill
-// at ANY point in the install reboots cleanly from the DataDir. On persist
-// failure the install is refused outright: nothing restored, no acks, no
-// state changed anywhere; the requesting group's catch-up timer re-surfaces
-// the snapshot and the install retries. Workers are quiesced before the
-// restore so no in-flight execution observes the swap, and the scheduler's
-// at-most-once table is rebuilt from the restored reply cache (with Inline
-// workers: those executions are part of the snapshot, so nothing needs
-// ordering behind them).
+// installFromMeta handles a snapshot announcement from the Merger: the
+// replica is too far behind for log or WAL catch-up, and a peer advertised
+// a snapshot it should install. The snapshot no longer arrives inline —
+// only its metadata did; this pulls the image from peers one bounded,
+// offset-addressed frame at a time (resumable across restarts and
+// reconnects, see snaptransfer.go), then runs the install. The pull is
+// synchronous on this thread: a replica this far behind has nothing better
+// to do, and responses arrive via the reader threads, so nothing deadlocks.
+// Pull failure refuses the install with nothing changed; the requesting
+// group's catch-up timer re-surfaces the metadata and the pull resumes from
+// the staged prefix.
 //
-// Returns the new install floor (the merged index the restored state
-// covers). A request at or below the current floor is a duplicate from a
+// An announcement at or below the current floor is a duplicate from a
 // catch-up retry: the state is already installed and durable, so only the
 // acks are resent — healing any group whose fast-forward nudge was lost.
+func (r *Replica) installFromMeta(th *profiling.Thread, meta *wire.SnapshotMeta, floor int64) int64 {
+	if int64(meta.LastIncluded) <= floor {
+		if snap, ok := r.snapshots.get(); ok && int64(snap.LastIncluded) >= int64(meta.LastIncluded) {
+			r.sendInstallAcks(&snap)
+		}
+		return floor
+	}
+	snap, err := r.pullSnapshot(*meta)
+	if err != nil {
+		r.snapshotFailure("pulling transferred snapshot", meta.LastIncluded, err)
+		return floor
+	}
+	return r.installSnapshot(th, snap, floor)
+}
+
+// installSnapshot is phase 2 of the transferred-snapshot install: persist
+// FIRST, then restore, then ack. The ordering is the crash-consistency
+// invariant — no group journals its cut (that happens only on the
+// evFastForward ack this sends) until the snapshot covering that cut is
+// durably committed, now at manifest granularity: chunk files land first,
+// the manifest rename is the commit point, so a kill at ANY chunk boundary
+// of the install reboots cleanly from the DataDir. On persist failure the
+// install is refused outright: nothing restored, no acks, no state changed
+// anywhere; catch-up retries. Workers are quiesced before the restore so no
+// in-flight execution observes the swap, and the scheduler's at-most-once
+// table is rebuilt from the restored reply cache (with Inline workers:
+// those executions are part of the snapshot, so nothing needs ordering
+// behind them).
 func (r *Replica) installSnapshot(th *profiling.Thread, snap *wire.Snapshot, floor int64) int64 {
 	if int64(snap.LastIncluded) <= floor {
 		r.sendInstallAcks(snap)
 		return floor
 	}
+	// The drainer shares the chain and disk layout; an install replaces
+	// both, so wait it out first.
+	r.awaitDrain()
 	crashPoint("transfer-install")
 	r.exec.Quiesce(th)
-	if err := r.persistIfDurable(*snap); err != nil {
-		log.Printf("gosmr: replica %d: refusing transferred snapshot (cut %d): persist to %s failed (%v); catch-up will retry",
-			r.cfg.ID, snap.LastIncluded, r.cfg.DataDir, err)
+	if err := r.persistTransferred(*snap); err != nil {
+		r.snapshotFailure("persisting transferred snapshot", snap.LastIncluded, err)
 		return floor
 	}
 	crashPoint("transfer-persisted")
-	_ = r.restoreFromSnapshot(*snap)
+	if err := r.restoreFromSnapshot(*snap); err != nil {
+		r.snapshotFailure("restoring transferred snapshot", snap.LastIncluded, err)
+		return floor
+	}
+	r.forceFull = false
 	r.stateTransfers.Add(1)
 	r.sendInstallAcks(snap)
 	return int64(snap.LastIncluded)
@@ -228,55 +262,66 @@ func (r *Replica) sendInstallAcks(snap *wire.Snapshot) {
 	}
 }
 
-// maybeSnapshot takes a service snapshot every SnapshotEvery merged
-// instances and asks each group's Protocol thread to truncate its log below
-// its share of the covered prefix. The executor is quiesced first: all
-// requests up to and including merged index executedID have finished, and
-// none beyond it have been dispatched (the scheduler processes the merged
-// order in sequence), so the snapshot is exactly the serial state after
-// executedID. Every replica cuts at the same merged indices, so snapshots
-// stay byte-identical cluster-wide.
+// maybeSnapshot cuts a service snapshot every SnapshotEvery merged
+// instances. The executor is quiesced just long enough to mark the cut and
+// marshal the reply cache — all requests up to and including merged index
+// executedID have finished, none beyond it have been dispatched, so the cut
+// is exactly the serial state after executedID — then workers resume while
+// a drainer goroutine packs chunks, publishes the assembled snapshot, and
+// commits it to disk (which is what triggers log truncation; see runDrain).
+// Every replica cuts at the same merged indices with the same cluster-wide
+// full/delta cadence, so snapshots stay byte-identical cluster-wide.
 func (r *Replica) maybeSnapshot(th *profiling.Thread, executedID wire.InstanceID) {
 	every := r.cfg.SnapshotEvery
 	if every <= 0 || (int64(executedID)+1)%int64(every) != 0 {
 		return
 	}
+	// If the previous interval's drain is somehow still running, block on
+	// it rather than skip: every replica must cut at every point (a skipped
+	// cut here would diverge the delta chains cluster-wide).
+	r.awaitDrain()
+	full := r.forceFull || len(r.snapChain) == 0 || r.fullCutDue(executedID)
 	r.exec.Quiesce(th)
-	state, err := r.svc.Snapshot()
+	src, isFull, err := r.cutSource(full)
 	if err != nil {
-		return // service cannot snapshot now; try again next interval
-	}
-	snap := wire.Snapshot{
-		LastIncluded: executedID,
-		ServiceState: state,
-		ReplyCache:   r.replyCache.Marshal(),
-		Groups:       int32(len(r.groups)),
-	}
-	r.snapshots.put(snap)
-	// Persist the snapshot before asking the groups to truncate: a WAL
-	// checkpoint discards the journaled prefix on the assumption the
-	// snapshot covering it is already on disk.
-	if err := r.persistIfDurable(snap); err != nil {
-		// Keep the full WAL until a snapshot lands durably.
-		log.Printf("gosmr: replica %d: persisting snapshot (cut %d) to %s failed (%v); keeping full WAL",
-			r.cfg.ID, snap.LastIncluded, r.cfg.DataDir, err)
+		r.snapshotFailure("cutting snapshot", executedID, err)
+		r.forceFull = true // this cut is missing from the chain
 		return
 	}
-	for _, g := range r.groups {
-		cut := wire.GroupCut(executedID, len(r.groups), g.idx)
-		_, _ = g.dispatchQ.TryPut(event{kind: evTruncate, upTo: cut})
-	}
+	r.forceFull = false
+	rc := r.replyCache.Marshal()
+	job := &drainJob{done: make(chan struct{})}
+	r.drain = job
+	go r.runDrain(job, src, executedID, isFull, rc)
 }
 
 // restoreFromSnapshot replaces service, reply-cache, and execution-scheduler
 // state from snap, and publishes it for catch-up responders — the one
 // sequence shared by live snapshot installs and crash-restart boot, so both
 // paths rebuild byte-identical state (restart determinism depends on it).
+// The service state is a generation chain: a chunk-contract service
+// restores it directly (oldest full generation, deltas overlaid); a plain
+// blob service gets the joined chunks of its single full generation, and a
+// chain with deltas for such a service is refused as corrupt. The restored
+// chain also seeds the in-memory chain, so the next delta cut extends it.
 // Entries rebuilt from a snapshot carry executor.Inline: those executions
 // are part of the snapshot, so nothing needs ordering behind them.
 func (r *Replica) restoreFromSnapshot(snap wire.Snapshot) error {
-	if err := r.svc.Restore(snap.ServiceState); err != nil {
-		return fmt.Errorf("core: restore service from snapshot: %w", err)
+	gens, err := snapshot.DecodeChain(snap.ServiceState)
+	if err != nil {
+		return fmt.Errorf("core: decode snapshot chain: %w", err)
+	}
+	if c, ok := r.svc.(snapshot.Cutter); ok {
+		if err := c.RestoreChunks(gens); err != nil {
+			return fmt.Errorf("core: restore service from snapshot chain: %w", err)
+		}
+	} else {
+		if len(gens) == 0 || !gens[len(gens)-1].Full {
+			return fmt.Errorf("core: snapshot chain has delta generations but the service has no chunk contract")
+		}
+		if err := r.svc.Restore(snapshot.JoinChunks(gens[len(gens)-1].Chunks)); err != nil {
+			return fmt.Errorf("core: restore service from snapshot: %w", err)
+		}
 	}
 	if err := r.replyCache.Restore(snap.ReplyCache); err != nil {
 		return fmt.Errorf("core: restore reply cache from snapshot: %w", err)
@@ -285,17 +330,27 @@ func (r *Replica) restoreFromSnapshot(snap wire.Snapshot) error {
 	for client, seq := range r.replyCache.LastSeqs() {
 		r.execSeq[client] = schedEntry{seq: seq, worker: executor.Inline}
 	}
+	chain := make([]memGen, len(gens))
+	for i, g := range gens {
+		chain[i] = memGen{full: g.Full, chunks: g.Chunks}
+	}
+	r.snapChain = chain
 	r.snapshots.put(snap)
 	return nil
 }
 
-// persistIfDurable writes snap to the data directory when durability is
-// enabled. A nil result means truncating state covered by snap is safe:
-// with no DataDir there is nothing on disk to contradict, and with one the
-// write succeeded.
-func (r *Replica) persistIfDurable(snap wire.Snapshot) error {
-	if r.cfg.DataDir == "" {
+// persistTransferred durably commits a transferred snapshot's whole chain
+// (chunk files, then the manifest rename) when durability is enabled. A nil
+// result means journaling cuts covered by snap is safe: with no DataDir
+// there is nothing on disk to contradict, and with one the commit landed.
+func (r *Replica) persistTransferred(snap wire.Snapshot) error {
+	if r.snapDisk == nil {
 		return nil
 	}
-	return persistSnapshot(filepath.Join(r.cfg.DataDir, "snapshots"), snap)
+	gens, err := snapshot.DecodeChain(snap.ServiceState)
+	if err != nil {
+		return fmt.Errorf("core: decode snapshot chain: %w", err)
+	}
+	return r.snapDisk.replaceChain(snap.LastIncluded, snap.Groups,
+		gens, snapshot.SplitBlob(snap.ReplyCache, r.cfg.SnapshotChunkBytes))
 }

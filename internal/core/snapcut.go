@@ -1,0 +1,158 @@
+package core
+
+import (
+	"log"
+	"time"
+
+	"gosmr/internal/snapshot"
+	"gosmr/internal/wire"
+)
+
+// Snapshot cut + drain machinery. A snapshot no longer stops execution for
+// the whole serialization: the ServiceManager quiesces the workers just
+// long enough to mark a consistent cut (plus marshal the reply cache), then
+// hands the cut to a drainer goroutine that packs chunks, appends the new
+// generation to the in-memory chain, publishes the assembled snapshot, and
+// persists it chunk-by-chunk — all while the workers are already executing
+// again. The cut pause is O(state the service must mark), not O(state
+// serialized): for the copy-on-write KV it is effectively constant.
+
+// memGen is one in-memory snapshot generation (mirrors snapshot.Gen; kept
+// separate so the core layer owns its chain representation).
+type memGen struct {
+	full   bool
+	chunks [][]byte
+}
+
+// drainJob is the handle for one in-flight background drain. done closing
+// transfers chain ownership back to the ServiceManager; failed (read only
+// after done) reports that the cut produced no committed snapshot and the
+// next cut must be full.
+type drainJob struct {
+	done   chan struct{}
+	failed bool
+}
+
+// awaitDrain blocks until the in-flight drain (if any) finishes and folds
+// its outcome into the ServiceManager's state. Called before anything that
+// needs the chain or the disk layout: the next cut, a transferred-snapshot
+// install, shutdown.
+func (r *Replica) awaitDrain() {
+	if r.drain == nil {
+		return
+	}
+	<-r.drain.done
+	if r.drain.failed {
+		r.forceFull = true
+	}
+	r.drain = nil
+}
+
+// fullCutDue reports whether the snapshot at executedID is a full cut by
+// the cluster-wide cadence: every SnapshotMaxChain-th snapshot, starting
+// with the first. A pure function of the cut index and configuration, so
+// every replica makes the same full/delta decision and chains stay
+// byte-identical cluster-wide.
+func (r *Replica) fullCutDue(executedID wire.InstanceID) bool {
+	snapIdx := (int64(executedID) + 1) / int64(r.cfg.SnapshotEvery)
+	return (snapIdx-1)%int64(r.cfg.SnapshotMaxChain) == 0
+}
+
+// cutSource marks a cut on the service and returns its chunk source. A
+// service implementing snapshot.Cutter pays only the mark under quiesce; a
+// plain blob service serializes under quiesce (the old linear pause) and
+// the blob is chunked on the way out — so even legacy services never put an
+// unbounded unit on disk or the wire.
+func (r *Replica) cutSource(full bool) (snapshot.Source, bool, error) {
+	if c, ok := r.svc.(snapshot.Cutter); ok {
+		return c.CutSnapshot(full)
+	}
+	blob, err := r.svc.Snapshot()
+	if err != nil {
+		return nil, false, err
+	}
+	return &blobSource{blob: blob}, true, nil
+}
+
+// blobSource adapts a whole-state blob to the chunk-source contract:
+// always a full generation, drained as maxBytes slices of the blob.
+type blobSource struct {
+	blob []byte
+	off  int
+}
+
+func (b *blobSource) Next(maxBytes int) ([]byte, error) {
+	if b.off >= len(b.blob) {
+		return nil, nil
+	}
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	n := min(len(b.blob)-b.off, maxBytes)
+	c := b.blob[b.off : b.off+n : b.off+n]
+	b.off += n
+	return c, nil
+}
+
+func (b *blobSource) Close() {}
+
+// runDrain is the drainer goroutine: everything a snapshot does after the
+// cut, concurrent with execution. It owns r.snapChain and r.snapDisk until
+// it closes job.done. Log truncation is requested only after the manifest
+// commit — persist-before-truncate, unchanged from the all-at-once design,
+// just at manifest granularity now.
+func (r *Replica) runDrain(job *drainJob, src snapshot.Source, cut wire.InstanceID, full bool, rc []byte) {
+	defer close(job.done)
+	chunks, err := snapshot.Drain(src, r.cfg.SnapshotChunkBytes)
+	if err != nil {
+		r.snapshotFailure("draining snapshot chunks", cut, err)
+		job.failed = true
+		return
+	}
+	if full {
+		r.snapChain = r.snapChain[:0]
+	}
+	r.snapChain = append(r.snapChain, memGen{full: full, chunks: chunks})
+	gens := make([]snapshot.Gen, len(r.snapChain))
+	for i, g := range r.snapChain {
+		gens[i] = snapshot.Gen{Full: g.full, Chunks: g.chunks}
+	}
+	snap := wire.Snapshot{
+		LastIncluded: cut,
+		ServiceState: snapshot.EncodeChain(gens),
+		ReplyCache:   rc,
+		Groups:       int32(len(r.groups)),
+	}
+	// Publish before persisting: catch-up state transfer serves from memory,
+	// so a replica with a sick disk still helps lagging peers.
+	r.snapshots.put(snap)
+	if r.snapDisk != nil {
+		if err := r.snapDisk.appendGen(cut, snap.Groups, full, chunks,
+			snapshot.SplitBlob(rc, r.cfg.SnapshotChunkBytes)); err != nil {
+			// Keep the full WAL until a snapshot lands durably; the next cut
+			// is forced full so the disk chain never references a missing
+			// generation.
+			r.snapshotFailure("persisting snapshot", cut, err)
+			job.failed = true
+			return
+		}
+	}
+	for _, g := range r.groups {
+		gcut := wire.GroupCut(cut, len(r.groups), g.idx)
+		_, _ = g.dispatchQ.TryPut(event{kind: evTruncate, upTo: gcut})
+	}
+}
+
+// snapshotFailure counts and (rate-limited to one line per ~5s) logs a
+// failed snapshot stage. Failures used to be swallowed silently here;
+// operators alert on the counter, the log line says which stage and why.
+func (r *Replica) snapshotFailure(stage string, cut wire.InstanceID, err error) {
+	r.snapshotFailures.Add(1)
+	now := time.Now().UnixNano()
+	last := r.lastSnapFailLog.Load()
+	if now-last < int64(5*time.Second) || !r.lastSnapFailLog.CompareAndSwap(last, now) {
+		return
+	}
+	log.Printf("gosmr: replica %d: %s (cut %d) failed: %v (failures so far: %d)",
+		r.cfg.ID, stage, cut, err, r.snapshotFailures.Load())
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gosmr/internal/snapshot"
+	"gosmr/internal/wire"
+)
+
+// snapDisk owns the durable snapshot layout under DataDir/snapshots/. A
+// snapshot never touches disk as one unbounded file: each cut's chunks are
+// written as individual size-capped chunk files inside a generation
+// directory, and a manifest ties the chain of generations together:
+//
+//	snapshots/
+//	  manifest-<cut>.mf        committed chain: gen list + chunk checksums
+//	  gen-<cut>-00/            one generation (full or delta)
+//	    svc-00000.chk ...      service chunks, each ≤ SnapshotChunkBytes
+//	    rc-00000.chk ...       reply-cache chunks (newest generation only)
+//	  gen-<cut>-01/ ...
+//	  pull-<cut>.part          state-transfer staging (resumable)
+//
+// The manifest rename is the commit point: chunk files are written and
+// fsynced first, then the manifest (temp, fsync, rename, fsync dir)
+// atomically switches boot to the new chain. A delta snapshot writes only
+// its own generation directory and a fresh manifest referencing the prior
+// generations in place — steady-state disk traffic scales with churn, not
+// with total state size.
+//
+// All methods run on the ServiceManager thread or its drainer goroutine
+// (never both at once: the drain handle serializes them), so snapDisk needs
+// no lock.
+type snapDisk struct {
+	dir      string
+	chunkCap int
+	gens     []diskGen  // chain referenced by the newest committed manifest
+	rc       []chunkRef // reply-cache chunk refs (files live in the last gen's dir)
+}
+
+// diskGen is one on-disk generation.
+type diskGen struct {
+	dir    string // directory name relative to snapDisk.dir
+	full   bool
+	chunks []chunkRef
+}
+
+// chunkRef is the manifest's record of one chunk file; the manifest, not
+// the file, is the authority for its size and checksum.
+type chunkRef struct{ size, crc uint32 }
+
+func newSnapDisk(dir string, chunkCap int) *snapDisk {
+	return &snapDisk{dir: dir, chunkCap: chunkCap}
+}
+
+const (
+	manifestMagic   = 0x4D4E5347 // "GSNM"
+	manifestVersion = 1
+)
+
+func manifestName(cut wire.InstanceID) string {
+	return fmt.Sprintf("manifest-%016x.mf", uint64(cut))
+}
+
+func genDirName(cut wire.InstanceID, pos int) string {
+	return fmt.Sprintf("gen-%016x-%02d", uint64(cut), pos)
+}
+
+func pullPartName(cut wire.InstanceID) string {
+	return fmt.Sprintf("pull-%016x.part", uint64(cut))
+}
+
+// appendGen commits one locally cut generation: writes its chunk files,
+// then a manifest referencing the existing chain plus the new generation.
+// full resets the chain to just the new generation. rcChunks is the current
+// reply cache, pre-split; it replaces the previous manifest's reply-cache
+// refs (the cache is always persisted whole, but never as one unbounded
+// file).
+func (s *snapDisk) appendGen(cut wire.InstanceID, groups int32, full bool, chunks, rcChunks [][]byte) error {
+	chain := s.gens
+	if full {
+		chain = nil
+	}
+	gdir := genDirName(cut, len(chain))
+	refs, err := s.writeGenDir(gdir, chunks, rcChunks)
+	if err != nil {
+		return err
+	}
+	next := make([]diskGen, len(chain), len(chain)+1)
+	copy(next, chain)
+	next = append(next, diskGen{dir: gdir, full: full, chunks: refs})
+	rcRefs := chunkRefs(rcChunks)
+	if err := s.writeManifest(cut, groups, next, rcRefs); err != nil {
+		return err
+	}
+	s.gens, s.rc = next, rcRefs
+	s.gc(cut)
+	return nil
+}
+
+// replaceChain commits a transferred snapshot chain wholesale (state
+// transfer install). Every generation gets its own directory stamped with
+// the install cut; the reply cache lands in the last one.
+func (s *snapDisk) replaceChain(cut wire.InstanceID, groups int32, gens []snapshot.Gen, rcChunks [][]byte) error {
+	next := make([]diskGen, 0, len(gens))
+	for i, g := range gens {
+		gdir := genDirName(cut, i)
+		var rc [][]byte
+		if i == len(gens)-1 {
+			rc = rcChunks
+		}
+		refs, err := s.writeGenDir(gdir, g.Chunks, rc)
+		if err != nil {
+			return err
+		}
+		next = append(next, diskGen{dir: gdir, full: g.Full, chunks: refs})
+	}
+	rcRefs := chunkRefs(rcChunks)
+	if err := s.writeManifest(cut, groups, next, rcRefs); err != nil {
+		return err
+	}
+	s.gens, s.rc = next, rcRefs
+	s.gc(cut)
+	return nil
+}
+
+func chunkRefs(chunks [][]byte) []chunkRef {
+	refs := make([]chunkRef, len(chunks))
+	for i, c := range chunks {
+		refs[i] = chunkRef{size: uint32(len(c)), crc: crc32.ChecksumIEEE(c)}
+	}
+	return refs
+}
+
+// writeGenDir writes one generation directory: each chunk its own file,
+// fsynced, then the directory itself. Chunk files need no atomic rename —
+// nothing references them until a later manifest commit.
+func (s *snapDisk) writeGenDir(gdir string, chunks, rcChunks [][]byte) ([]chunkRef, error) {
+	abs := filepath.Join(s.dir, gdir)
+	if err := os.MkdirAll(abs, 0o755); err != nil {
+		return nil, err
+	}
+	for i, c := range chunks {
+		if err := writeFileSync(filepath.Join(abs, fmt.Sprintf("svc-%05d.chk", i)), c); err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			crashPoint("persist-chunk")
+		}
+	}
+	for i, c := range rcChunks {
+		if err := writeFileSync(filepath.Join(abs, fmt.Sprintf("rc-%05d.chk", i)), c); err != nil {
+			return nil, err
+		}
+	}
+	if d, err := os.Open(abs); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return chunkRefs(chunks), nil
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeManifest durably commits a chain (temp, fsync, rename, fsync dir).
+func (s *snapDisk) writeManifest(cut wire.InstanceID, groups int32, gens []diskGen, rc []chunkRef) error {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, manifestMagic)
+	b = binary.LittleEndian.AppendUint32(b, manifestVersion)
+	b = binary.LittleEndian.AppendUint64(b, uint64(cut))
+	b = binary.LittleEndian.AppendUint32(b, uint32(groups))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(gens)))
+	for _, g := range gens {
+		if g.full {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(g.dir)))
+		b = append(b, g.dir...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(g.chunks)))
+		for _, c := range g.chunks {
+			b = binary.LittleEndian.AppendUint32(b, c.size)
+			b = binary.LittleEndian.AppendUint32(b, c.crc)
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rc)))
+	for _, c := range rc {
+		b = binary.LittleEndian.AppendUint32(b, c.size)
+		b = binary.LittleEndian.AppendUint32(b, c.crc)
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, manifestName(cut))
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, b); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// decodeManifest parses and verifies a manifest image. Counts are validated
+// against the remaining bytes before any allocation.
+func decodeManifest(b []byte) (cut wire.InstanceID, groups int32, gens []diskGen, rc []chunkRef, err error) {
+	fail := func(msg string) (wire.InstanceID, int32, []diskGen, []chunkRef, error) {
+		return 0, 0, nil, nil, fmt.Errorf("manifest %s", msg)
+	}
+	if len(b) < 28 {
+		return fail("too short")
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return fail("checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(body) != manifestMagic ||
+		binary.LittleEndian.Uint32(body[4:]) != manifestVersion {
+		return fail("bad header")
+	}
+	cut = wire.InstanceID(binary.LittleEndian.Uint64(body[8:]))
+	groups = int32(binary.LittleEndian.Uint32(body[16:]))
+	rest := body[20:]
+	takeU32 := func() (uint32, bool) {
+		if len(rest) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		return v, true
+	}
+	takeRefs := func() ([]chunkRef, bool) {
+		n, ok := takeU32()
+		if !ok || uint64(n)*8 > uint64(len(rest)) {
+			return nil, false
+		}
+		refs := make([]chunkRef, n)
+		for i := range refs {
+			refs[i].size, _ = takeU32()
+			refs[i].crc, _ = takeU32()
+		}
+		return refs, true
+	}
+	ngens, ok := takeU32()
+	if !ok || uint64(ngens)*9 > uint64(len(rest)) {
+		return fail("truncated")
+	}
+	gens = make([]diskGen, 0, ngens)
+	for i := uint32(0); i < ngens; i++ {
+		if len(rest) < 1 {
+			return fail("truncated")
+		}
+		full := rest[0] == 1
+		rest = rest[1:]
+		dlen, ok := takeU32()
+		if !ok || uint64(dlen) > uint64(len(rest)) {
+			return fail("truncated")
+		}
+		dir := string(rest[:dlen])
+		rest = rest[dlen:]
+		if dir == "" || strings.ContainsAny(dir, "/\\") {
+			return fail("bad generation dir")
+		}
+		refs, ok := takeRefs()
+		if !ok {
+			return fail("truncated")
+		}
+		gens = append(gens, diskGen{dir: dir, full: full, chunks: refs})
+	}
+	rc, ok = takeRefs()
+	if !ok {
+		return fail("truncated")
+	}
+	if len(rest) != 0 {
+		return fail("trailing bytes")
+	}
+	return cut, groups, gens, rc, nil
+}
+
+// manifestFiles lists committed manifest names in ascending cut order.
+func manifestFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		// Exact-suffix check first: Sscanf would prefix-match a torn
+		// "manifest-....mf.tmp" left by a crash mid-persist, letting it
+		// count against the two-newest retention and evict an intact
+		// fallback.
+		if !strings.HasSuffix(e.Name(), ".mf") {
+			continue
+		}
+		var u uint64
+		if _, err := fmt.Sscanf(e.Name(), "manifest-%016x.mf", &u); err == nil {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// readChunk loads one chunk file and verifies it against its manifest ref.
+func (s *snapDisk) readChunk(gdir, name string, ref chunkRef) ([]byte, error) {
+	path := filepath.Join(s.dir, gdir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(data)) != ref.size || crc32.ChecksumIEEE(data) != ref.crc {
+		return nil, fmt.Errorf("chunk %s: size/checksum mismatch", path)
+	}
+	return data, nil
+}
+
+// loadNewest assembles the newest intact snapshot chain, or nil when none
+// exists, plus the names of any newer manifests it had to skip. A corrupt
+// manifest or chunk file (a crash mid-write, bit rot) falls back to the
+// previous manifest, but never silently: each skip is logged with its
+// error, because a skipped newest snapshot can make boot fall behind the
+// WALs' cuts and the resulting "clear the data dir" refusal is baffling
+// without it. On success the committed chain is adopted as the in-memory
+// chain state, so the next delta append extends it.
+func (s *snapDisk) loadNewest() (*wire.Snapshot, []string, error) {
+	names, err := manifestFiles(s.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	var skipped []string
+	for i := len(names) - 1; i >= 0; i-- {
+		snap, gens, rc, err := s.loadManifest(names[i])
+		if err != nil {
+			log.Printf("gosmr: skipping snapshot %s: %v", filepath.Join(s.dir, names[i]), err)
+			skipped = append(skipped, names[i])
+			continue
+		}
+		s.gens, s.rc = gens, rc
+		return snap, skipped, nil
+	}
+	return nil, skipped, nil
+}
+
+func (s *snapDisk) loadManifest(name string) (*wire.Snapshot, []diskGen, []chunkRef, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cut, groups, gens, rcRefs, err := decodeManifest(data)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	chain := make([]snapshot.Gen, len(gens))
+	for i, g := range gens {
+		chain[i].Full = g.full
+		chain[i].Chunks = make([][]byte, len(g.chunks))
+		for j, ref := range g.chunks {
+			c, err := s.readChunk(g.dir, fmt.Sprintf("svc-%05d.chk", j), ref)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			chain[i].Chunks[j] = c
+		}
+	}
+	rcChunks := make([][]byte, len(rcRefs))
+	rcDir := ""
+	if len(gens) > 0 {
+		rcDir = gens[len(gens)-1].dir
+	}
+	for j, ref := range rcRefs {
+		c, err := s.readChunk(rcDir, fmt.Sprintf("rc-%05d.chk", j), ref)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rcChunks[j] = c
+	}
+	snap := &wire.Snapshot{
+		LastIncluded: cut,
+		ServiceState: snapshot.EncodeChain(chain),
+		ReplyCache:   snapshot.JoinChunks(rcChunks),
+		Groups:       groups,
+	}
+	return snap, gens, rcRefs, nil
+}
+
+// gc prunes everything the two newest manifests do not reference: older
+// manifests, orphaned generation directories, stale temp files, and
+// completed pull staging files. Keeping the second-newest manifest covers a
+// crash interleaved with the WAL checkpoints that reference it (same
+// retention the pre-chunked snapshot files had). Best-effort: gc errors
+// never fail a commit.
+func (s *snapDisk) gc(newest wire.InstanceID) {
+	names, err := manifestFiles(s.dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names[:max(0, len(names)-2)] {
+		_ = os.Remove(filepath.Join(s.dir, name))
+	}
+	// Collect directories referenced by the surviving manifests. If one of
+	// them does not decode, keep all generation directories — deleting
+	// blind risks the next boot's fallback.
+	referenced := make(map[string]bool)
+	for _, name := range names[max(0, len(names)-2):] {
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			return
+		}
+		_, _, gens, _, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		for _, g := range gens {
+			referenced[g.dir] = true
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case e.IsDir() && strings.HasPrefix(name, "gen-") && !referenced[name]:
+			_ = os.RemoveAll(filepath.Join(s.dir, name))
+		case strings.HasSuffix(name, ".tmp"):
+			_ = os.Remove(filepath.Join(s.dir, name))
+		case strings.HasPrefix(name, "pull-") && strings.HasSuffix(name, ".part"):
+			// A staging file for a cut at or below the committed chain is
+			// finished or obsolete; one for a newer cut is an in-progress
+			// pull and must survive for resume.
+			var u uint64
+			if _, err := fmt.Sscanf(name, "pull-%016x.part", &u); err == nil && wire.InstanceID(u) <= newest {
+				_ = os.Remove(filepath.Join(s.dir, name))
+			}
+		}
+	}
+}

@@ -18,7 +18,7 @@ import (
 // plus allocs/op of the codec hot paths, so successive PRs can diff
 // performance numerically instead of eyeballing reports.
 type BenchJSON struct {
-	Schema string `json:"schema"` // "gosmr-bench/pr7"
+	Schema string `json:"schema"` // "gosmr-bench/pr8"
 	// NumCPU is the host's CPU count — the read-mix routing comparison and
 	// the cpu-cost conflict sweep are only meaningful relative to it
 	// (worker overlap of CPU-bound commands needs cores; the wait-cost
@@ -46,6 +46,14 @@ type BenchJSON struct {
 	// number. ConflictSweepNote records the host-dependent caveat.
 	ConflictSweep     []ConflictSweepJSON `json:"conflict_sweep"`
 	ConflictSweepNote string              `json:"conflict_sweep_note,omitempty"`
+
+	// BigState: the chunked-snapshot tables — cut pause vs state size
+	// (the PR 8 acceptance metric: near-flat cut pause while the legacy
+	// serialize-under-quiesce pause grows linearly), delta bytes vs churn,
+	// and transfer wall time / wire-frame ceiling per SnapshotChunkBytes.
+	BigStateCut      []BigStateCutJSON      `json:"bigstate_cut_pause"`
+	BigStateDelta    []BigStateDeltaJSON    `json:"bigstate_delta_bytes"`
+	BigStateTransfer []BigStateTransferJSON `json:"bigstate_transfer"`
 
 	// AllocsPerOp: steady-state allocations per operation on the encode and
 	// decode/deliver hot paths (the PR 4 acceptance metric: encode 0,
@@ -93,6 +101,33 @@ type ConflictSweepJSON struct {
 	Joins       uint64  `json:"joins"`
 	Fences      uint64  `json:"fences"`
 	Barriers    uint64  `json:"barriers"`
+}
+
+// BigStateCutJSON is one cut-pause row. Times are milliseconds.
+type BigStateCutJSON struct {
+	Keys          int     `json:"keys"`
+	StateBytes    int     `json:"state_bytes"`
+	LegacyPauseMs float64 `json:"legacy_pause_ms"`
+	CutPauseMs    float64 `json:"cut_pause_ms"`
+	DrainMs       float64 `json:"drain_ms"`
+	Chunks        int     `json:"chunks"`
+}
+
+// BigStateDeltaJSON is one delta-vs-churn row.
+type BigStateDeltaJSON struct {
+	ChurnPct   int `json:"churn_pct"`
+	FullBytes  int `json:"full_bytes"`
+	DeltaBytes int `json:"delta_bytes"`
+	Chunks     int `json:"chunks"`
+}
+
+// BigStateTransferJSON is one transfer-sweep row.
+type BigStateTransferJSON struct {
+	ChunkBytes    int     `json:"chunk_bytes"`
+	ImageBytes    int     `json:"image_bytes"`
+	TransferMs    float64 `json:"transfer_ms"`
+	Frames        int     `json:"frames"`
+	MaxFrameBytes int     `json:"max_frame_bytes"`
 }
 
 // ms converts a duration to float milliseconds for the JSON payload.
@@ -220,8 +255,8 @@ func executorSubmitAllocs() float64 {
 // alloc probes — and returns the JSON payload. The conflict sweep runs
 // twice, once per cost model (wall-clock wait and CPU spin); the returned
 // ConflictSweepResult holds both runs' cells, told apart by their Cost.
-func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOptions, csOpts ConflictSweepOptions) (BenchJSON, GroupResult, DurabilityResult, ReadMixResult, ConflictSweepResult, error) {
-	out := BenchJSON{Schema: "gosmr-bench/pr7", NumCPU: runtime.NumCPU(), AllocsPerOp: codecAllocs()}
+func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOptions, csOpts ConflictSweepOptions, bsOpts BigStateOptions) (BenchJSON, GroupResult, DurabilityResult, ReadMixResult, ConflictSweepResult, BigStateResult, error) {
+	out := BenchJSON{Schema: "gosmr-bench/pr8", NumCPU: runtime.NumCPU(), AllocsPerOp: codecAllocs()}
 	if wa, err := walAppendAllocs(); err == nil {
 		out.AllocsPerOp["wal_append"] = wa
 	}
@@ -272,14 +307,14 @@ func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOp
 	if dOpts.Dir == "" {
 		dir, err := os.MkdirTemp("", "gosmr-bench-durability")
 		if err != nil {
-			return out, gr, DurabilityResult{}, ReadMixResult{}, cs, err
+			return out, gr, DurabilityResult{}, ReadMixResult{}, cs, BigStateResult{}, err
 		}
 		defer os.RemoveAll(dir)
 		dOpts.Dir = dir
 	}
 	dr, err := DurabilitySmoke(dOpts)
 	if err != nil {
-		return out, gr, dr, ReadMixResult{}, cs, err
+		return out, gr, dr, ReadMixResult{}, cs, BigStateResult{}, err
 	}
 	for _, c := range dr.Cells {
 		out.Durability = append(out.Durability, DurabilityJSON{
@@ -304,7 +339,39 @@ func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOp
 			WriteP99Ms:  ms(c.WriteP99),
 		})
 	}
-	return out, gr, dr, rm, cs, nil
+
+	bs, err := BigState(bsOpts)
+	if err != nil {
+		return out, gr, dr, rm, cs, bs, err
+	}
+	for _, c := range bs.CutCells {
+		out.BigStateCut = append(out.BigStateCut, BigStateCutJSON{
+			Keys:          c.Keys,
+			StateBytes:    c.StateBytes,
+			LegacyPauseMs: ms(c.LegacyPause),
+			CutPauseMs:    ms(c.CutPause),
+			DrainMs:       ms(c.Drain),
+			Chunks:        c.Chunks,
+		})
+	}
+	for _, c := range bs.DeltaCells {
+		out.BigStateDelta = append(out.BigStateDelta, BigStateDeltaJSON{
+			ChurnPct:   c.ChurnPct,
+			FullBytes:  c.FullBytes,
+			DeltaBytes: c.DeltaBytes,
+			Chunks:     c.Chunks,
+		})
+	}
+	for _, c := range bs.TransferCells {
+		out.BigStateTransfer = append(out.BigStateTransfer, BigStateTransferJSON{
+			ChunkBytes:    c.ChunkBytes,
+			ImageBytes:    c.ImageBytes,
+			TransferMs:    ms(c.Transfer),
+			Frames:        c.Frames,
+			MaxFrameBytes: c.MaxFrameBytes,
+		})
+	}
+	return out, gr, dr, rm, cs, bs, nil
 }
 
 // WriteBenchJSON writes the snapshot to path (indented, trailing newline).

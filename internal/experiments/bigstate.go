@@ -1,0 +1,375 @@
+package experiments
+
+// Big-state snapshot experiment: measures what the chunked snapshot
+// contract (snapshot.Cutter) buys over the old all-at-once Snapshot()
+// blob, in three tables:
+//
+//  1. Cut pause vs state size. The old contract serialized the whole state
+//     under quiesce, so the execution pause grew linearly with state size.
+//     The cutter only marks the cut (collect the key list, install the
+//     copy-on-write overlay) and serialization happens in the background
+//     drain — the pause should stay near-flat while the legacy pause and
+//     the drain itself keep growing with the state.
+//
+//  2. Delta bytes vs churn. With per-key dirty tracking, a steady-state
+//     snapshot writes only the keys mutated since the previous cut: bytes
+//     per snapshot should scale with the churn rate, not with total state.
+//
+//  3. Transfer time vs frame-size ceiling. State transfer moves the
+//     assembled snapshot as offset-addressed SnapshotChunk frames; the
+//     sweep bootstraps a lagging replica through a real in-process cluster
+//     at several SnapshotChunkBytes ceilings and records the wall time and
+//     the largest frame observed on the wire (which must respect the
+//     ceiling regardless of state size).
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosmr"
+	"gosmr/internal/service"
+	"gosmr/internal/snapshot"
+	"gosmr/internal/transport"
+	"gosmr/internal/wire"
+)
+
+// BigStateOptions configures the big-state snapshot experiment.
+type BigStateOptions struct {
+	// StateKeys lists the state sizes (keys) for the cut-pause sweep
+	// (default 10000, 40000, 160000).
+	StateKeys []int
+	// ValueBytes is the value size for every populated key (default 128).
+	ValueBytes int
+	// ChunkBytes caps drained chunks in the pause and delta measurements
+	// (default 256 KiB — the replica default).
+	ChunkBytes int
+	// DeltaKeys is the state size for the delta-vs-churn table (default
+	// 50000). ChurnPct lists the churn levels (default 1, 10).
+	DeltaKeys int
+	ChurnPct  []int
+	// TransferKeys is the state size a lagging replica must fetch in the
+	// transfer sweep (default 1500); TransferChunkBytes lists the frame
+	// ceilings to sweep (default 16 KiB, 64 KiB, 256 KiB).
+	// TransferValueBytes (default 1200) is deliberately around one batch
+	// budget: each commit becomes its own instance, so the load overflows
+	// the donors' SendQueue backlog and outruns their truncated logs —
+	// the rejoining replica can only bootstrap via a state transfer.
+	TransferKeys       int
+	TransferValueBytes int
+	TransferChunkBytes []int
+}
+
+func (o *BigStateOptions) defaults() {
+	if len(o.StateKeys) == 0 {
+		o.StateKeys = []int{10000, 40000, 160000}
+	}
+	if o.ValueBytes <= 0 {
+		o.ValueBytes = 128
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 256 << 10
+	}
+	if o.DeltaKeys <= 0 {
+		o.DeltaKeys = 50000
+	}
+	if len(o.ChurnPct) == 0 {
+		o.ChurnPct = []int{1, 10}
+	}
+	if o.TransferKeys <= 0 {
+		o.TransferKeys = 1500
+	}
+	if o.TransferValueBytes <= 0 {
+		o.TransferValueBytes = 1200
+	}
+	if len(o.TransferChunkBytes) == 0 {
+		o.TransferChunkBytes = []int{16 << 10, 64 << 10, 256 << 10}
+	}
+}
+
+// BigStateCutCell is one row of the cut-pause table.
+type BigStateCutCell struct {
+	Keys        int
+	StateBytes  int           // serialized full-state size
+	LegacyPause time.Duration // Snapshot(): full serialization under quiesce
+	CutPause    time.Duration // CutSnapshot(full): mark only
+	Drain       time.Duration // background chunk drain (off the pause path)
+	Chunks      int
+}
+
+// BigStateDeltaCell is one row of the delta-vs-churn table.
+type BigStateDeltaCell struct {
+	ChurnPct   int
+	FullBytes  int // bytes of a full generation of the same state
+	DeltaBytes int // bytes the delta cut actually wrote
+	Chunks     int
+}
+
+// BigStateTransferCell is one row of the transfer sweep.
+type BigStateTransferCell struct {
+	ChunkBytes    int
+	ImageBytes    int // assembled transfer image the victim had to fetch
+	Transfer      time.Duration
+	Frames        int // SnapshotChunk frames observed on the wire
+	MaxFrameBytes int // largest such frame (must respect the ceiling)
+}
+
+// BigStateResult is the experiment's full output.
+type BigStateResult struct {
+	CutCells      []BigStateCutCell
+	DeltaCells    []BigStateDeltaCell
+	TransferCells []BigStateTransferCell
+	Report        string
+}
+
+// populateKV builds a KV with keys entries of valueBytes each, driving
+// Execute so dirty tracking sees the writes like real traffic would.
+func populateKV(keys, valueBytes int) *service.KV {
+	kv := service.NewKV()
+	val := make([]byte, valueBytes)
+	for i := range keys {
+		kv.Execute(service.EncodePut(fmt.Sprintf("key-%07d", i), val))
+	}
+	return kv
+}
+
+// BigState runs the big-state snapshot experiment.
+func BigState(opts BigStateOptions) (BigStateResult, error) {
+	opts.defaults()
+	var res BigStateResult
+	var b strings.Builder
+
+	// --- 1. Cut pause vs state size -----------------------------------
+	fmt.Fprintf(&b, "\nBig-state snapshots: cut pause vs state size (value %d B, chunk cap %d B)\n", opts.ValueBytes, opts.ChunkBytes)
+	fmt.Fprintf(&b, "%10s %12s %14s %14s %12s %8s\n", "keys", "state", "legacy-pause", "cut-pause", "drain", "chunks")
+	for _, keys := range opts.StateKeys {
+		kv := populateKV(keys, opts.ValueBytes)
+
+		t0 := time.Now()
+		blob, err := kv.Snapshot()
+		if err != nil {
+			return res, err
+		}
+		legacy := time.Since(t0)
+
+		t0 = time.Now()
+		src, full, err := kv.CutSnapshot(true)
+		if err != nil {
+			return res, err
+		}
+		pause := time.Since(t0)
+		if !full {
+			src.Close()
+			return res, fmt.Errorf("bigstate: full cut demoted to delta")
+		}
+		t0 = time.Now()
+		chunks, err := snapshot.Drain(src, opts.ChunkBytes)
+		if err != nil {
+			return res, err
+		}
+		drain := time.Since(t0)
+
+		cell := BigStateCutCell{
+			Keys: keys, StateBytes: len(blob),
+			LegacyPause: legacy, CutPause: pause, Drain: drain, Chunks: len(chunks),
+		}
+		res.CutCells = append(res.CutCells, cell)
+		fmt.Fprintf(&b, "%10d %11dK %14s %14s %12s %8d\n",
+			keys, len(blob)/1024, legacy.Round(time.Microsecond), pause.Round(time.Microsecond),
+			drain.Round(time.Microsecond), len(chunks))
+	}
+	if n := len(res.CutCells); n >= 2 {
+		first, last := res.CutCells[0], res.CutCells[n-1]
+		fmt.Fprintf(&b, "  %dx state -> legacy pause %.1fx, cut pause %.1fx (drain absorbs the growth off the pause path)\n",
+			last.Keys/first.Keys,
+			float64(last.LegacyPause)/float64(first.LegacyPause),
+			float64(last.CutPause)/float64(first.CutPause))
+	}
+
+	// --- 2. Delta bytes vs churn --------------------------------------
+	kv := populateKV(opts.DeltaKeys, opts.ValueBytes)
+	src, _, err := kv.CutSnapshot(true)
+	if err != nil {
+		return res, err
+	}
+	fullChunks, err := snapshot.Drain(src, opts.ChunkBytes)
+	if err != nil {
+		return res, err
+	}
+	fullBytes := snapshot.Gen{Chunks: fullChunks}.Bytes()
+	fmt.Fprintf(&b, "\nDelta generations: bytes per snapshot vs churn (%d keys, full generation %d KiB)\n",
+		opts.DeltaKeys, fullBytes/1024)
+	fmt.Fprintf(&b, "%10s %12s %12s %10s\n", "churn", "delta", "vs full", "chunks")
+	val := make([]byte, opts.ValueBytes)
+	for _, churn := range opts.ChurnPct {
+		n := opts.DeltaKeys * churn / 100
+		for i := range n {
+			// Spread rewrites across the keyspace.
+			kv.Execute(service.EncodePut(fmt.Sprintf("key-%07d", (i*97)%opts.DeltaKeys), val))
+		}
+		src, full, err := kv.CutSnapshot(false)
+		if err != nil {
+			return res, err
+		}
+		if full {
+			src.Close()
+			return res, fmt.Errorf("bigstate: delta cut promoted to full")
+		}
+		chunks, err := snapshot.Drain(src, opts.ChunkBytes)
+		if err != nil {
+			return res, err
+		}
+		deltaBytes := snapshot.Gen{Chunks: chunks}.Bytes()
+		cell := BigStateDeltaCell{ChurnPct: churn, FullBytes: fullBytes, DeltaBytes: deltaBytes, Chunks: len(chunks)}
+		res.DeltaCells = append(res.DeltaCells, cell)
+		fmt.Fprintf(&b, "%9d%% %11dK %11.1f%% %10d\n",
+			churn, deltaBytes/1024, 100*float64(deltaBytes)/float64(fullBytes), len(chunks))
+	}
+
+	// --- 3. Transfer time vs frame ceiling ----------------------------
+	fmt.Fprintf(&b, "\nChunked state transfer: bootstrap a lagging replica (%d keys x %d B) per frame ceiling\n",
+		opts.TransferKeys, opts.TransferValueBytes)
+	fmt.Fprintf(&b, "%12s %12s %12s %8s %12s\n", "frame-cap", "image", "transfer", "frames", "max-frame")
+	for _, chunkBytes := range opts.TransferChunkBytes {
+		cell, err := bigStateTransfer(opts, chunkBytes)
+		if err != nil {
+			return res, err
+		}
+		res.TransferCells = append(res.TransferCells, cell)
+		fmt.Fprintf(&b, "%11dK %11dK %12s %8d %11dB\n",
+			cell.ChunkBytes/1024, cell.ImageBytes/1024, cell.Transfer.Round(time.Millisecond),
+			cell.Frames, cell.MaxFrameBytes)
+	}
+
+	res.Report = b.String()
+	return res, nil
+}
+
+// bigStateTransfer boots a 3-replica cluster but starves the third of every
+// payload frame (heartbeats still flow, so it stays connected and nothing
+// backs up in the donors\' per-peer send queues) while the load runs and the
+// donors\' aggressive snapshot cadence truncates their logs. Healing the
+// partition then leaves the victim no path back but a chunked state
+// transfer. Returns the wall time from heal to convergence and the
+// wire-frame statistics of the transfer.
+func bigStateTransfer(opts BigStateOptions, chunkBytes int) (BigStateTransferCell, error) {
+	cell := BigStateTransferCell{ChunkBytes: chunkBytes}
+	net := transport.NewInproc(0)
+	var mu sync.Mutex
+	frames, maxFrame := 0, 0
+	var starve atomic.Bool
+	starve.Store(true)
+	net.SetFault(func(from, to string, frame []byte) (bool, bool) {
+		if len(frame) == 0 {
+			return false, false
+		}
+		switch wire.MsgType(frame[0]) {
+		case wire.TSnapshotChunk:
+			mu.Lock()
+			frames++
+			if len(frame) > maxFrame {
+				maxFrame = len(frame)
+			}
+			mu.Unlock()
+		case wire.THello, wire.THeartbeat, wire.TLeaseAck:
+			return false, false
+		}
+		if starve.Load() && to == "bst-r2" {
+			return true, false
+		}
+		return false, false
+	})
+	peers := []string{"bst-r0", "bst-r1", "bst-r2"}
+	mk := func(i int) (*gosmr.Replica, *service.KV, error) {
+		kv := service.NewKV()
+		rep, err := gosmr.NewReplica(gosmr.Config{
+			ID: i, Peers: peers, ClientAddr: fmt.Sprintf("bst-c%d", i),
+			Network:            net.As(peers[i]),
+			SnapshotEvery:      200,
+			SnapshotChunkBytes: chunkBytes,
+			BatchDelay:         time.Millisecond,
+			HeartbeatInterval:  20 * time.Millisecond,
+			SuspectTimeout:     400 * time.Millisecond,
+		}, kv)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep, kv, rep.Start()
+	}
+	reps := make([]*gosmr.Replica, 3)
+	kvs := make([]*service.KV, 3)
+	defer func() {
+		for _, r := range reps {
+			if r != nil {
+				r.Stop()
+			}
+		}
+	}()
+	for i := range 3 { // the third is up but starved of payload frames
+		rep, kv, err := mk(i)
+		if err != nil {
+			return cell, err
+		}
+		reps[i], kvs[i] = rep, kv
+	}
+
+	// Load the state through real clients.
+	const loaders = 8
+	per := opts.TransferKeys / loaders
+	val := make([]byte, opts.TransferValueBytes)
+	errs := make(chan error, loaders)
+	var wg sync.WaitGroup
+	for l := range loaders {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			cli, err := gosmr.Dial(gosmr.ClientConfig{
+				Addrs: []string{"bst-c0", "bst-c1"}, Network: net,
+				Timeout: 30 * time.Second, AttemptTimeout: 500 * time.Millisecond,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			for i := range per {
+				if _, err := cli.Execute(service.EncodePut(fmt.Sprintf("key-%07d", l*per+i), val)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return cell, err
+	}
+
+	// Heal the partition and time the victim\'s convergence; with the
+	// donors truncated the bulk of this is the chunked pull itself.
+	want, err := kvs[0].Snapshot()
+	if err != nil {
+		return cell, err
+	}
+	cell.ImageBytes = len(reps[0].SnapshotImage())
+	rep2, kv2 := reps[2], kvs[2]
+	starve.Store(false)
+	t0 := time.Now()
+	deadline := t0.Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if got, err := kv2.Snapshot(); err == nil && string(got) == string(want) {
+			cell.Transfer = time.Since(t0)
+			mu.Lock()
+			cell.Frames, cell.MaxFrameBytes = frames, maxFrame
+			mu.Unlock()
+			if rep2.StateTransfers() == 0 {
+				return cell, fmt.Errorf("bigstate: replica rejoined without a state transfer (chunk cap %d)", chunkBytes)
+			}
+			return cell, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cell, fmt.Errorf("bigstate: lagging replica never converged (chunk cap %d)", chunkBytes)
+}

@@ -106,13 +106,14 @@ type Effects struct {
 	// ignores stale generations (a response already landed and a newer query
 	// may be in flight).
 	CatchUpGen uint64
-	// InstallSnapshot, if non-nil, carries a snapshot this node needs
-	// installed. The node has NOT fast-forwarded its own log: installation is
-	// two-phase — the execution layer persists the snapshot durably first and
-	// only then releases FastForward to every group, so no group ever
-	// journals a cut that outruns the snapshot covering it (a crash between
-	// the two would otherwise leave an unbootable data directory).
-	InstallSnapshot *wire.Snapshot
+	// InstallSnapshot, if non-nil, describes a snapshot this node needs
+	// installed. Only the metadata travels through consensus: the execution
+	// layer pulls the snapshot's image from the responder in bounded chunk
+	// frames, persists it durably, and only then releases FastForward to
+	// every group — so no group ever journals a cut that outruns the
+	// snapshot covering it (a crash between the two would otherwise leave
+	// an unbootable data directory).
+	InstallSnapshot *wire.SnapshotMeta
 	// Lease, if non-nil, is a view-validated lease grant from the current
 	// leader's heartbeat; the caller runs the wall-clock side (promise timer
 	// + LeaseAck).
@@ -127,11 +128,12 @@ func (e *Effects) sendReliable(to int, msg wire.Message, key RetransKey) {
 	e.Sends = append(e.Sends, SendEffect{To: to, Msg: msg, Retrans: &key})
 }
 
-// SnapshotProvider supplies the most recent service snapshot for catch-up
-// responses that need state transfer. It must be cheap and safe to call
-// from the Protocol thread; nil Snapshot data means "no snapshot available"
+// SnapshotProvider supplies the metadata of the most recent snapshot for
+// catch-up responses that need state transfer — the state itself is served
+// chunk by chunk off the consensus thread. It must be cheap and safe to
+// call from the Protocol thread; ok=false means "no snapshot available"
 // (the responder then sends whatever decided values it retains).
-type SnapshotProvider func() (wire.Snapshot, bool)
+type SnapshotProvider func() (wire.SnapshotMeta, bool)
 
 // ColdDecidedReader serves decided values below the in-memory log's
 // truncation base from durable storage (the group's WAL retains the previous
@@ -742,9 +744,9 @@ func (nd *Node) handleCatchUpQuery(from int, m *wire.CatchUpQuery, e *Effects) {
 	vals = capCatchUp(vals, nd.catchUpMaxEntries, nd.catchUpMaxBytes)
 	resp := &wire.CatchUpResp{Entries: vals}
 	if needSnap && nd.snapshots != nil {
-		if snap, ok := nd.snapshots(); ok {
+		if meta, ok := nd.snapshots(); ok {
 			resp.HasSnapshot = true
-			resp.Snapshot = snap
+			resp.Meta = meta
 		}
 	}
 	e.send(from, resp)
@@ -785,12 +787,12 @@ func capCatchUp(vals []wire.DecidedValue, maxEntries, maxBytes int) []wire.Decid
 func (nd *Node) handleCatchUpResp(m *wire.CatchUpResp, e *Effects) {
 	nd.catchUpPending = false
 	progress := false
-	if m.HasSnapshot && m.Snapshot.GroupCount() == nd.groups {
-		cut := wire.GroupCut(m.Snapshot.LastIncluded, nd.groups, nd.group)
+	if m.HasSnapshot && m.Meta.GroupCount() == nd.groups {
+		cut := wire.GroupCut(m.Meta.LastIncluded, nd.groups, nd.group)
 		if cut > nd.log.Base() && cut > nd.pendingInstall {
 			nd.pendingInstall = cut
-			snap := m.Snapshot
-			e.InstallSnapshot = &snap
+			meta := m.Meta
+			e.InstallSnapshot = &meta
 		}
 	}
 	for _, dv := range m.Entries {

@@ -511,10 +511,10 @@ func TestCatchUpServedFromColdStore(t *testing.T) {
 		}
 		return out, true
 	}
-	snap := wire.Snapshot{LastIncluded: 4, ServiceState: []byte("state")}
+	meta := wire.SnapshotMeta{LastIncluded: 4, TotalBytes: 5}
 	l := NewNode(Options{
 		ID: 0, N: 3, Window: 16,
-		Snapshots:   func() (wire.Snapshot, bool) { return snap, true },
+		Snapshots:   func() (wire.SnapshotMeta, bool) { return meta, true },
 		ColdDecided: cold,
 	})
 	f1 := NewNode(Options{ID: 1, N: 3})
@@ -549,14 +549,14 @@ func TestCatchUpServedFromColdStore(t *testing.T) {
 	delete(vals, 0)
 	el = l.HandleMessage(2, &wire.CatchUpQuery{From: 0, To: 6})
 	resp = el.Sends[0].Msg.(*wire.CatchUpResp)
-	if !resp.HasSnapshot || resp.Snapshot.LastIncluded != 4 {
+	if !resp.HasSnapshot || resp.Meta.LastIncluded != 4 {
 		t.Fatalf("no snapshot fallback below cold retention: %+v", resp)
 	}
 }
 
 func TestCatchUpWithSnapshot(t *testing.T) {
-	snap := wire.Snapshot{LastIncluded: 4, ServiceState: []byte("state"), ReplyCache: []byte("rc")}
-	l := NewNode(Options{ID: 0, N: 3, Snapshots: func() (wire.Snapshot, bool) { return snap, true }})
+	meta := wire.SnapshotMeta{LastIncluded: 4, TotalBytes: 7}
+	l := NewNode(Options{ID: 0, N: 3, Snapshots: func() (wire.SnapshotMeta, bool) { return meta, true }})
 	f1 := NewNode(Options{ID: 1, N: 3})
 	e := l.Start()
 	for _, s := range e.Sends {
@@ -578,8 +578,8 @@ func TestCatchUpWithSnapshot(t *testing.T) {
 	// A fresh replica asks for everything.
 	el := l.HandleMessage(2, &wire.CatchUpQuery{From: 0, To: 6})
 	resp := el.Sends[0].Msg.(*wire.CatchUpResp)
-	if !resp.HasSnapshot || resp.Snapshot.LastIncluded != 4 {
-		t.Fatalf("catch-up response = %+v, want snapshot through 4", resp)
+	if !resp.HasSnapshot || resp.Meta.LastIncluded != 4 {
+		t.Fatalf("catch-up response = %+v, want snapshot meta through 4", resp)
 	}
 	if len(resp.Entries) != 1 || resp.Entries[0].ID != 5 {
 		t.Fatalf("entries = %+v, want only instance 5", resp.Entries)
@@ -954,8 +954,8 @@ func TestPropertyRandomScheduleAgreementN5(t *testing.T) {
 // cut forever.
 func TestRefusedInstallResurfacesAfterTimeout(t *testing.T) {
 	f2 := NewNode(Options{ID: 2, N: 3})
-	resp := &wire.CatchUpResp{HasSnapshot: true, Snapshot: wire.Snapshot{
-		LastIncluded: 4, ServiceState: []byte("s")}}
+	resp := &wire.CatchUpResp{HasSnapshot: true, Meta: wire.SnapshotMeta{
+		LastIncluded: 4, TotalBytes: 1}}
 	e := f2.HandleMessage(0, resp)
 	if e.InstallSnapshot == nil {
 		t.Fatal("snapshot not surfaced")
@@ -987,8 +987,8 @@ func TestGroupScopedSnapshotInstall(t *testing.T) {
 	// land at base 25, not 100. (The catch-up response itself only surfaces
 	// the snapshot; the cut is released after the snapshot is durable.)
 	f := NewNode(Options{ID: 2, N: 3, Group: 1, Groups: 4})
-	resp := &wire.CatchUpResp{HasSnapshot: true, Snapshot: wire.Snapshot{
-		LastIncluded: 99, Groups: 4, ServiceState: []byte("s")}}
+	resp := &wire.CatchUpResp{HasSnapshot: true, Meta: wire.SnapshotMeta{
+		LastIncluded: 99, Groups: 4, TotalBytes: 1}}
 	e := f.HandleMessage(0, resp)
 	if e.InstallSnapshot == nil || e.InstallSnapshot.LastIncluded != 99 {
 		t.Fatalf("InstallSnapshot effect = %+v", e.InstallSnapshot)
@@ -1004,8 +1004,8 @@ func TestGroupScopedSnapshotInstall(t *testing.T) {
 
 	// A topology-mismatched snapshot must not touch the log.
 	f2 := NewNode(Options{ID: 2, N: 3, Group: 1, Groups: 4})
-	bad := &wire.CatchUpResp{HasSnapshot: true, Snapshot: wire.Snapshot{
-		LastIncluded: 99, Groups: 2, ServiceState: []byte("s")}}
+	bad := &wire.CatchUpResp{HasSnapshot: true, Meta: wire.SnapshotMeta{
+		LastIncluded: 99, Groups: 2, TotalBytes: 1}}
 	e = f2.HandleMessage(0, bad)
 	if e.InstallSnapshot != nil {
 		t.Error("mismatched-groups snapshot installed")

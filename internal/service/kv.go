@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gosmr/internal/snapshot"
 )
 
 // KV command opcodes.
@@ -57,10 +59,17 @@ type KV struct {
 
 	mu sync.Mutex
 	m  map[string][]byte
+	// dirty tracks the keys mutated since the last snapshot cut, making
+	// delta generations possible: a delta cut emits only these keys.
+	dirty map[string]struct{}
+	// cut is the active copy-on-write cut, nil when no drain is running.
+	cut *kvCut
 }
 
 // NewKV returns an empty store.
-func NewKV() *KV { return &KV{m: make(map[string][]byte)} }
+func NewKV() *KV {
+	return &KV{m: make(map[string][]byte), dirty: make(map[string]struct{})}
+}
 
 // Len returns the number of keys.
 func (s *KV) Len() int {
@@ -250,6 +259,7 @@ func (s *KV) Execute(req []byte) []byte {
 			}
 			cp := make([]byte, len(value))
 			copy(cp, value)
+			s.touch(string(key))
 			s.m[string(key)] = cp
 			return []byte{KVOK}
 		case kvGet:
@@ -262,6 +272,7 @@ func (s *KV) Execute(req []byte) []byte {
 			if _, ok := s.m[string(key)]; !ok {
 				return []byte{KVNotFound}
 			}
+			s.touch(string(key))
 			delete(s.m, string(key))
 			return []byte{KVOK}
 		}
@@ -309,6 +320,7 @@ func (s *KV) Execute(req []byte) []byte {
 		for _, p := range pairs {
 			cp := make([]byte, len(p.value))
 			copy(cp, p.value)
+			s.touch(string(p.key))
 			s.m[string(p.key)] = cp
 		}
 		return []byte{KVOK}
@@ -327,6 +339,8 @@ func (s *KV) Execute(req []byte) []byte {
 			return append([]byte{KVInsufficient}, appendU64(nil, srcBal)...)
 		}
 		if string(src) != string(dst) {
+			s.touch(string(src))
+			s.touch(string(dst))
 			s.m[string(src)] = appendU64(nil, srcBal-amount)
 			s.m[string(dst)] = appendU64(nil, DecodeBalance(s.m[string(dst)])+amount)
 			srcBal -= amount
@@ -361,6 +375,13 @@ func (s *KV) Restore(snap []byte) error {
 	if !ok {
 		return ErrCorruptSnapshot
 	}
+	// Validate the claimed count against the remaining bytes before sizing
+	// any allocation from it: every entry costs at least its two 4-byte
+	// length prefixes, so a count a corrupt blob cannot back is rejected
+	// here instead of pre-allocating an attacker-sized map.
+	if uint64(n)*8 > uint64(len(rest)) {
+		return fmt.Errorf("%w: count %d exceeds remaining %d bytes", ErrCorruptSnapshot, n, len(rest))
+	}
 	m := make(map[string][]byte, n)
 	for range n {
 		var key, value []byte
@@ -379,8 +400,251 @@ func (s *KV) Restore(snap []byte) error {
 	}
 	s.mu.Lock()
 	s.m = m
+	s.resetTrackingLocked()
 	s.mu.Unlock()
 	return nil
+}
+
+// touch records the imminent mutation of key k: it marks k dirty for the
+// next delta cut and, while a cut is draining, saves k's pre-cut value into
+// the copy-on-write overlay so the drain still observes the cut state.
+// Values are stored immutably (Execute always writes fresh copies), so the
+// overlay saves references, not byte copies. Callers hold s.mu and call
+// touch only for real mutations.
+func (s *KV) touch(k string) {
+	if c := s.cut; c != nil {
+		if _, saved := c.overlay[k]; !saved {
+			if v, ok := s.m[k]; ok {
+				c.overlay[k] = v
+			} else {
+				c.overlay[k] = nil // absent at cut
+			}
+		}
+	}
+	s.dirty[k] = struct{}{}
+}
+
+// resetTrackingLocked clears delta tracking after a wholesale state
+// replacement; the restored state becomes the new delta baseline.
+func (s *KV) resetTrackingLocked() {
+	s.dirty = make(map[string]struct{})
+	if s.cut != nil {
+		s.cut.done = true
+		s.cut = nil
+	}
+}
+
+// CutSnapshot implements snapshot.Cutter. Marking the cut is cheap — it
+// collects the key list to emit (the dirty set for a delta, every key for a
+// full cut) and installs the copy-on-write overlay — so the caller can
+// resume execution immediately and drain the returned Source concurrently.
+func (s *KV) CutSnapshot(full bool) (snapshot.Source, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cut != nil {
+		return nil, false, snapshot.ErrCutActive
+	}
+	c := &kvCut{kv: s, full: full, overlay: make(map[string][]byte), prevDirty: s.dirty}
+	if full {
+		c.keys = make([]string, 0, len(s.m))
+		for k := range s.m {
+			c.keys = append(c.keys, k)
+		}
+	} else {
+		c.keys = make([]string, 0, len(s.dirty))
+		for k := range s.dirty {
+			c.keys = append(c.keys, k)
+		}
+	}
+	s.dirty = make(map[string]struct{})
+	s.cut = c
+	return c, full, nil
+}
+
+// RestoreChunks implements snapshot.Cutter: it folds a chain of
+// generations, oldest first, into the new state. Only the suffix from the
+// last full generation matters; earlier generations are skipped. Chunk
+// bytes are borrowed, so values are copied into owned storage (preserving
+// the invariant that stored values are immutable fresh copies).
+func (s *KV) RestoreChunks(gens []snapshot.Gen) error {
+	start := -1
+	for i, g := range gens {
+		if g.Full {
+			start = i
+		}
+	}
+	if start < 0 {
+		return fmt.Errorf("%w: chain has no full generation", ErrCorruptSnapshot)
+	}
+	m := make(map[string][]byte)
+	for _, g := range gens[start:] {
+		for _, chunk := range g.Chunks {
+			n, rest, ok := takeU32(chunk)
+			if !ok {
+				return ErrCorruptSnapshot
+			}
+			// Same alloc-bound rule as Restore: a set entry costs ≥ 9
+			// bytes (flag + two prefixes), a tombstone ≥ 5.
+			if uint64(n)*5 > uint64(len(rest)) {
+				return fmt.Errorf("%w: chunk count %d exceeds remaining %d bytes", ErrCorruptSnapshot, n, len(rest))
+			}
+			for range n {
+				if len(rest) == 0 {
+					return ErrCorruptSnapshot
+				}
+				flag := rest[0]
+				var key []byte
+				key, rest, ok = takeBytes(rest[1:])
+				if !ok {
+					return ErrCorruptSnapshot
+				}
+				switch flag {
+				case kvEntrySet:
+					var value []byte
+					value, rest, ok = takeBytes(rest)
+					if !ok {
+						return ErrCorruptSnapshot
+					}
+					cp := make([]byte, len(value))
+					copy(cp, value)
+					m[string(key)] = cp
+				case kvEntryDel:
+					delete(m, string(key))
+				default:
+					return fmt.Errorf("%w: unknown entry flag %d", ErrCorruptSnapshot, flag)
+				}
+			}
+			if len(rest) != 0 {
+				return fmt.Errorf("%w: %d trailing chunk bytes", ErrCorruptSnapshot, len(rest))
+			}
+		}
+	}
+	s.mu.Lock()
+	s.m = m
+	s.resetTrackingLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// Chunk entry flags: a chunk is u32 count followed by count entries, each
+// flag byte + length-prefixed key + (for kvEntrySet) length-prefixed value.
+// kvEntryDel is a tombstone: the key was deleted since the previous
+// generation. Full generations contain only kvEntrySet entries.
+const (
+	kvEntryDel byte = 0
+	kvEntrySet byte = 1
+)
+
+// kvCut is the drain state of one active cut. Next/Close run on a single
+// drainer goroutine; the overlay is shared with Execute under kv.mu.
+type kvCut struct {
+	kv        *KV
+	full      bool
+	keys      []string // emit set; sorted lazily on first Next, off-lock
+	sorted    bool
+	idx       int
+	overlay   map[string][]byte   // pre-cut values; nil = absent at cut
+	prevDirty map[string]struct{} // restored into kv.dirty if abandoned
+	done      bool
+}
+
+// Next implements snapshot.Source: it packs sorted entries into one chunk
+// of at most maxBytes (except when a single entry alone exceeds it), reading
+// pre-cut values through the overlay. The KV lock is held only per chunk,
+// so execution interleaves with the drain.
+func (c *kvCut) Next(maxBytes int) ([]byte, error) {
+	if c.done {
+		return nil, nil
+	}
+	if !c.sorted {
+		// Sorting happens on the drainer, outside the lock: a full cut of a
+		// large store pays its O(n log n) here, not under quiesce.
+		sort.Strings(c.keys)
+		c.sorted = true
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1
+	}
+	s := c.kv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b []byte
+	count := uint32(0)
+	for c.idx < len(c.keys) {
+		k := c.keys[c.idx]
+		v, present := c.lookupLocked(k)
+		need := 1 + 4 + len(k)
+		if present {
+			need += 4 + len(v)
+		}
+		if count > 0 && len(b)+need > maxBytes {
+			break
+		}
+		if count == 0 {
+			b = appendU32(make([]byte, 0, max(maxBytes, 4+need)), 0)
+		}
+		if present {
+			b = append(b, kvEntrySet)
+			b = appendBytes(b, []byte(k))
+			b = appendBytes(b, v)
+		} else {
+			b = append(b, kvEntryDel)
+			b = appendBytes(b, []byte(k))
+		}
+		c.idx++
+		count++
+	}
+	if c.idx == len(c.keys) {
+		c.finishLocked(true)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	b[0] = byte(count)
+	b[1] = byte(count >> 8)
+	b[2] = byte(count >> 16)
+	b[3] = byte(count >> 24)
+	return b, nil
+}
+
+// lookupLocked reads key k as of the cut: the overlay wins (it holds the
+// pre-cut value of every key mutated since), otherwise the live map (the
+// key is unmutated since the cut).
+func (c *kvCut) lookupLocked(k string) ([]byte, bool) {
+	if ov, saved := c.overlay[k]; saved {
+		return ov, ov != nil
+	}
+	v, ok := c.kv.m[k]
+	return v, ok
+}
+
+// Close implements snapshot.Source.
+func (c *kvCut) Close() {
+	s := c.kv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.finishLocked(c.idx == len(c.keys))
+}
+
+// finishLocked releases the copy-on-write state. An abandoned drain merges
+// the pre-cut dirty set back in, so the next delta cut still covers
+// everything this one was supposed to persist — including keys deleted
+// before the cut.
+func (c *kvCut) finishLocked(complete bool) {
+	if c.done {
+		return
+	}
+	c.done = true
+	if !complete {
+		for k := range c.prevDirty {
+			c.kv.dirty[k] = struct{}{}
+		}
+	}
+	c.overlay = nil
+	c.prevDirty = nil
+	if c.kv.cut == c {
+		c.kv.cut = nil
+	}
 }
 
 // spin burns rounds of FNV-1a mixing over req — pure CPU work with no

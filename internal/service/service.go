@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"gosmr/internal/executor"
+	"gosmr/internal/snapshot"
 )
 
 // ErrCorruptSnapshot reports a malformed snapshot blob.
@@ -23,6 +24,14 @@ var (
 	_ executor.ConflictAware = (*KV)(nil)
 	_ executor.ConflictAware = (*LockServer)(nil)
 )
+
+// KV additionally implements the chunked snapshot contract — cuts are
+// copy-on-write marks and chunks drain concurrently with execution, with
+// delta generations tracking per-key dirty state. Null and LockServer keep
+// the plain blob Snapshot/Restore contract; the replica core wraps them in
+// a single-chunk (well, single-generation) adapter, so small-state services
+// never need to implement snapshot.Cutter themselves.
+var _ snapshot.Cutter = (*KV)(nil)
 
 // Null is the paper's evaluation service: it ignores the request payload
 // and returns ReplySize zero bytes (default 8, the paper's answer size).

@@ -1,0 +1,216 @@
+// Package snapshot defines the chunked snapshot contract shared by the
+// service layer and the replica core.
+//
+// The old contract — Snapshot() ([]byte, error) — forced three unbounded
+// costs at once: the cut serialized the whole state under a quiesced
+// executor (pause ∝ state size), the blob hit disk as one write (bytes ∝
+// state size regardless of churn), and it crossed the wire as the last
+// unbounded frame in the system. The chunked contract splits those:
+//
+//   - A Cutter marks a consistent cut and returns a Source. Marking is
+//     cheap (copy-on-write: the service clones a key's pre-cut value only
+//     when a post-cut command first mutates it), so execution resumes
+//     immediately and the chunks drain concurrently.
+//   - A Source yields deterministic, sorted, size-bounded chunks. Given the
+//     same cut state and the same maxBytes, every replica produces the
+//     identical chunk sequence — chunk files and transfer images are
+//     byte-comparable across the cluster.
+//   - A generation (Gen) is one cut's worth of chunks, either Full (the
+//     complete state) or a delta against the previous generation. Chains of
+//     generations fold oldest→newest into the state at the newest cut, so
+//     steady-state persistence writes only what changed.
+//
+// Services that do not implement Cutter keep working: the core wraps their
+// Snapshot() blob in a single always-full generation, split into bounded
+// chunks at arbitrary byte offsets (see the core's blob adapter).
+package snapshot
+
+import "errors"
+
+// ErrCutActive is returned by CutSnapshot while a previous cut's Source has
+// not been fully drained or closed. The core serializes cuts, so seeing it
+// indicates a caller bug.
+var ErrCutActive = errors.New("snapshot: previous cut still draining")
+
+// ErrCorruptChunk reports an undecodable chunk or chain during restore.
+var ErrCorruptChunk = errors.New("snapshot: corrupt chunk")
+
+// Source drains the chunks of one cut. Implementations must tolerate
+// concurrent Execute calls on the owning service — that is the point.
+type Source interface {
+	// Next returns the next chunk, packed up to maxBytes. A chunk exceeds
+	// maxBytes only when a single atomic entry does (one key/value pair
+	// larger than the cap cannot be split). Next returns (nil, nil) when
+	// the generation is fully drained; the Source releases its
+	// copy-on-write state at that point.
+	Next(maxBytes int) ([]byte, error)
+	// Close abandons the drain and releases copy-on-write state early.
+	// Idempotent; draining to completion makes it a no-op.
+	Close()
+}
+
+// Cutter is the chunked snapshot contract. A service implementing it is
+// snapshotted by marking a cut (fast, under quiesce) and draining chunks in
+// the background while execution continues.
+type Cutter interface {
+	// CutSnapshot marks a consistent cut of the current state and returns
+	// a Source draining it. full requests a complete generation; false
+	// requests a delta holding only the keys mutated since the previous
+	// cut. The returned bool reports the fullness actually produced (an
+	// implementation may promote a delta to full — e.g. on its first cut).
+	// Only one cut may be active at a time.
+	CutSnapshot(full bool) (Source, bool, error)
+	// RestoreChunks replaces the state from a chain of generations,
+	// oldest first. The first generation of the chain must be Full;
+	// later deltas overlay it. Chunk slices are borrowed for the call.
+	RestoreChunks(gens []Gen) error
+}
+
+// Gen is one snapshot generation: the chunks drained from a single cut.
+type Gen struct {
+	// Full marks a complete-state generation; false is a delta against
+	// the previous generation in the chain.
+	Full bool
+	// Chunks are the drained chunks in Source order.
+	Chunks [][]byte
+}
+
+// Bytes returns the total payload size of the generation.
+func (g Gen) Bytes() int {
+	n := 0
+	for _, c := range g.Chunks {
+		n += len(c)
+	}
+	return n
+}
+
+// Drain pulls every chunk from src at the given cap and closes it.
+func Drain(src Source, maxBytes int) ([][]byte, error) {
+	defer src.Close()
+	var chunks [][]byte
+	for {
+		c, err := src.Next(maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			return chunks, nil
+		}
+		chunks = append(chunks, c)
+	}
+}
+
+// EncodeChain frames a chain of generations into one blob — the in-memory
+// currency for an assembled snapshot's service state (wire.Snapshot
+// carries it, the disk manifest decomposes it, transfer re-frames it).
+//
+// Layout: u32 ngens, then per generation: u8 full, u32 nchunks, then per
+// chunk: u32 len + bytes. All little-endian.
+func EncodeChain(gens []Gen) []byte {
+	n := 4
+	for _, g := range gens {
+		n += 5
+		for _, c := range g.Chunks {
+			n += 4 + len(c)
+		}
+	}
+	b := make([]byte, 0, n)
+	b = appendU32(b, uint32(len(gens)))
+	for _, g := range gens {
+		if g.Full {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendU32(b, uint32(len(g.Chunks)))
+		for _, c := range g.Chunks {
+			b = appendU32(b, uint32(len(c)))
+			b = append(b, c...)
+		}
+	}
+	return b
+}
+
+// DecodeChain parses an EncodeChain blob. The returned chunk slices borrow
+// from b — valid only while b is.
+func DecodeChain(b []byte) ([]Gen, error) {
+	ngens, rest, ok := takeU32(b)
+	if !ok || uint64(ngens) > uint64(len(rest)) {
+		return nil, ErrCorruptChunk
+	}
+	gens := make([]Gen, 0, ngens)
+	for range ngens {
+		if len(rest) == 0 {
+			return nil, ErrCorruptChunk
+		}
+		g := Gen{Full: rest[0] == 1}
+		var nchunks uint32
+		nchunks, rest, ok = takeU32(rest[1:])
+		if !ok || uint64(nchunks) > uint64(len(rest)) {
+			return nil, ErrCorruptChunk
+		}
+		g.Chunks = make([][]byte, 0, nchunks)
+		for range nchunks {
+			var c []byte
+			c, rest, ok = takeBytes(rest)
+			if !ok {
+				return nil, ErrCorruptChunk
+			}
+			g.Chunks = append(g.Chunks, c)
+		}
+		gens = append(gens, g)
+	}
+	if len(rest) != 0 {
+		return nil, ErrCorruptChunk
+	}
+	return gens, nil
+}
+
+// SplitBlob slices blob into cap-sized chunks at arbitrary byte offsets —
+// the shape of a blob service's single full generation. Concatenating the
+// chunks reproduces blob exactly. A nil/empty blob yields no chunks.
+func SplitBlob(blob []byte, maxBytes int) [][]byte {
+	if maxBytes <= 0 {
+		maxBytes = 1
+	}
+	var chunks [][]byte
+	for len(blob) > 0 {
+		n := min(len(blob), maxBytes)
+		chunks = append(chunks, blob[:n:n])
+		blob = blob[n:]
+	}
+	return chunks
+}
+
+// JoinChunks concatenates chunks back into one blob.
+func JoinChunks(chunks [][]byte) []byte {
+	n := 0
+	for _, c := range chunks {
+		n += len(c)
+	}
+	b := make([]byte, 0, n)
+	for _, c := range chunks {
+		b = append(b, c...)
+	}
+	return b
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func takeU32(b []byte) (uint32, []byte, bool) {
+	if len(b) < 4 {
+		return 0, nil, false
+	}
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return v, b[4:], true
+}
+
+func takeBytes(b []byte) ([]byte, []byte, bool) {
+	n, rest, ok := takeU32(b)
+	if !ok || uint64(n) > uint64(len(rest)) {
+		return nil, nil, false
+	}
+	return rest[:n:n], rest[n:], true
+}

@@ -19,11 +19,18 @@ func TestEncodeHotPathAllocs(t *testing.T) {
 		{ClientID: 1, Seq: 1, Payload: make([]byte, 128)},
 		{ClientID: 2, Seq: 7, Payload: make([]byte, 128)},
 	}
-	buf := make([]byte, 0, 4096)
+	// The transfer responder's steady state: one pooled chunk per request,
+	// Data borrowing the snapshot image.
+	image := make([]byte, 64<<10)
+	chunk := NewSnapshotChunk()
+	chunk.Cut, chunk.Total, chunk.OK = 42, uint64(len(image)), true
+	chunk.Data = image[:32<<10]
+	buf := make([]byte, 0, 40<<10)
 	for name, fn := range map[string]func(){
-		"AppendMessage/Propose":  func() { buf = AppendMessage(buf[:0], propose) },
-		"AppendMessage/GroupMsg": func() { buf = AppendMessage(buf[:0], grouped) },
-		"AppendBatch":            func() { buf = AppendBatch(buf[:0], reqs) },
+		"AppendMessage/Propose":       func() { buf = AppendMessage(buf[:0], propose) },
+		"AppendMessage/GroupMsg":      func() { buf = AppendMessage(buf[:0], grouped) },
+		"AppendMessage/SnapshotChunk": func() { buf = AppendMessage(buf[:0], chunk) },
+		"AppendBatch":                 func() { buf = AppendBatch(buf[:0], reqs) },
 	} {
 		if got := testing.AllocsPerRun(200, fn); got > maxEncodeAllocs {
 			t.Errorf("%s: %.1f allocs/op, budget %d", name, got, maxEncodeAllocs)
@@ -35,6 +42,9 @@ func TestDecodeHotPathAllocs(t *testing.T) {
 	propose := Marshal(&Propose{View: 3, ID: 42, DecidedUpTo: 41, Value: make([]byte, 1300)})
 	grouped := Marshal(&GroupMsg{Group: 2, Msg: &Propose{View: 3, ID: 42, Value: make([]byte, 1300)}})
 	accept := Marshal(&Accept{View: 3, ID: 42})
+	chunkReq := Marshal(&SnapshotChunkReq{Cut: 42, Offset: 4096, MaxBytes: 32 << 10})
+	chunkResp := Marshal(&SnapshotChunk{Cut: 42, Offset: 4096, Total: 1 << 20, OK: true,
+		Data: make([]byte, 32<<10)})
 	batch := EncodeBatch([]*ClientRequest{
 		{ClientID: 1, Seq: 1, Payload: make([]byte, 128)},
 		{ClientID: 2, Seq: 7, Payload: make([]byte, 128)},
@@ -61,6 +71,22 @@ func TestDecodeHotPathAllocs(t *testing.T) {
 		// The leader's hottest inbound message.
 		"Unmarshal/Accept": func() {
 			m, err := Unmarshal(accept)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Release(m)
+		},
+		// The transfer hot path, both directions: pooled structs, Data
+		// borrowing the frame.
+		"Unmarshal/SnapshotChunkReq": func() {
+			m, err := Unmarshal(chunkReq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Release(m)
+		},
+		"Unmarshal/SnapshotChunk": func() {
+			m, err := Unmarshal(chunkResp)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -27,8 +27,11 @@ func FuzzUnmarshalRoundTrip(f *testing.F) {
 		&Heartbeat{View: 7, DecidedUpTo: 43},
 		&CatchUpQuery{From: 10, To: 20},
 		&CatchUpResp{Entries: []DecidedValue{{ID: 10, Value: []byte("x")}}},
-		&CatchUpResp{HasSnapshot: true, Snapshot: Snapshot{
-			LastIncluded: 9, ServiceState: []byte("svc"), ReplyCache: []byte("rc"), Groups: 4}},
+		&CatchUpResp{HasSnapshot: true, Meta: SnapshotMeta{
+			LastIncluded: 9, Groups: 4, TotalBytes: 1 << 30}},
+		&SnapshotChunkReq{Cut: 9, Offset: 1 << 20, MaxBytes: 256 << 10},
+		&SnapshotChunk{Cut: 9, Offset: 1 << 20, Total: 1 << 30, OK: true, Data: []byte("chunk-data")},
+		&SnapshotChunk{Cut: 9, OK: false},
 		&ClientRequest{ClientID: 0xdeadbeef, Seq: 17, Payload: []byte("hello")},
 		&ClientReply{ClientID: 1, Seq: 2, OK: true, Redirect: NoRedirect, Payload: []byte("ok")},
 		&GroupMsg{Group: 3, Msg: &Propose{View: 1, ID: 2, DecidedUpTo: 1, Value: []byte("grouped")}},

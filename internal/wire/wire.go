@@ -74,6 +74,8 @@ const (
 	TReadIndexQuery
 	TReadIndexResp
 	TClientRead
+	TSnapshotChunkReq
+	TSnapshotChunk
 )
 
 // String returns the message type name.
@@ -109,6 +111,10 @@ func (t MsgType) String() string {
 		return "ReadIndexResp"
 	case TClientRead:
 		return "ClientRead"
+	case TSnapshotChunkReq:
+		return "SnapshotChunkReq"
+	case TSnapshotChunk:
+		return "SnapshotChunk"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -289,19 +295,44 @@ type DecidedValue struct {
 	Value []byte
 }
 
-// Snapshot transfers service state when the responder has truncated the log
-// below the requested range. LastIncluded is an index into the replica's
-// *merged* total order: with multi-group ordering the per-group log positions
-// it covers are derived with GroupCut.
+// Snapshot is the in-memory assembled snapshot — the currency between the
+// ServiceManager, Merger, ordering groups, and boot. LastIncluded is an
+// index into the replica's *merged* total order: with multi-group ordering
+// the per-group log positions it covers are derived with GroupCut.
+//
+// A Snapshot never crosses the wire whole anymore: catch-up carries only a
+// SnapshotMeta describing it, and the requester pulls the snapshot's
+// serialized image in bounded SnapshotChunk frames. ServiceState holds the
+// service's framed generation chain (see internal/snapshot.EncodeChain) —
+// for chunk-contract services a base generation plus deltas, for blob
+// services a single full generation.
 type Snapshot struct {
 	LastIncluded InstanceID // state covers all merged instances <= LastIncluded
 	ServiceState []byte
 	ReplyCache   []byte
 	// Groups records how many ordering groups produced the merged order the
-	// snapshot was cut from. 0 and 1 both mean single-group; values > 1 are
-	// appended to the encoding (single-group snapshots stay byte-identical to
-	// the pre-group wire format).
+	// snapshot was cut from. 0 and 1 both mean single-group.
 	Groups int32
+}
+
+// SnapshotMeta describes an available snapshot without carrying its state:
+// the catch-up answer when the responder has truncated the log below the
+// requested range. The requester pulls the TotalBytes-long snapshot image
+// with SnapshotChunkReq/SnapshotChunk rounds, then installs the decoded
+// Snapshot.
+type SnapshotMeta struct {
+	LastIncluded InstanceID
+	Groups       int32
+	TotalBytes   uint64
+}
+
+// GroupCount normalizes the meta's group topology exactly like
+// Snapshot.GroupCount.
+func (m SnapshotMeta) GroupCount() int {
+	if m.Groups <= 1 {
+		return 1
+	}
+	return int(m.Groups)
 }
 
 // GroupCount normalizes the snapshot's group topology: 0 (a legacy frame
@@ -334,17 +365,52 @@ func GroupCut(lastIncluded InstanceID, groups, g int) InstanceID {
 
 // CatchUpResp answers a CatchUpQuery with decided values and, if neither
 // the responder's in-memory log nor its WAL (the disk-backed catch-up tier)
-// can serve the start of the range, a snapshot. Entries may cover only a
-// capped prefix of the queried range — the requester pages through the rest
-// with follow-up queries (see CatchUpQuery).
+// can serve the start of the range, the metadata of a snapshot the
+// requester should pull instead (chunk by chunk — the state itself never
+// rides inline). Entries may cover only a capped prefix of the queried
+// range — the requester pages through the rest with follow-up queries (see
+// CatchUpQuery).
 type CatchUpResp struct {
 	Entries     []DecidedValue
 	HasSnapshot bool
-	Snapshot    Snapshot
+	Meta        SnapshotMeta
 }
 
 // Type implements Message.
 func (*CatchUpResp) Type() MsgType { return TCatchUpResp }
+
+// SnapshotChunkReq asks a peer for MaxBytes of the snapshot image cut at
+// Cut (its LastIncluded merged index), starting at byte Offset. The puller
+// keeps a single request outstanding and advances Offset by what it
+// received — which is what makes the pull resumable (after a reconnect or
+// restart it continues from the last byte it durably staged, not byte 0)
+// and rate-limitable (the requester paces its own requests).
+type SnapshotChunkReq struct {
+	Cut      InstanceID
+	Offset   uint64
+	MaxBytes uint32
+}
+
+// Type implements Message.
+func (*SnapshotChunkReq) Type() MsgType { return TSnapshotChunkReq }
+
+// SnapshotChunk answers a SnapshotChunkReq with one bounded slice of the
+// snapshot image: Data is image[Offset : Offset+len(Data)] of an image
+// Total bytes long. OK is false when the responder no longer holds a
+// snapshot at Cut (it moved on to a newer one); the puller then restarts
+// against the responder's current snapshot. Every frame respects the
+// requester's MaxBytes — the snapshot never crosses the wire as a single
+// unbounded unit.
+type SnapshotChunk struct {
+	Cut    InstanceID
+	Offset uint64
+	Total  uint64
+	OK     bool
+	Data   []byte
+}
+
+// Type implements Message.
+func (*SnapshotChunk) Type() MsgType { return TSnapshotChunk }
 
 // ClientRequest is one client command. ClientID must be unique per client;
 // Seq increases by one per request, giving at-most-once execution through
@@ -403,6 +469,8 @@ var (
 	_ Message = (*ReadIndexQuery)(nil)
 	_ Message = (*ReadIndexResp)(nil)
 	_ Message = (*ClientRead)(nil)
+	_ Message = (*SnapshotChunkReq)(nil)
+	_ Message = (*SnapshotChunk)(nil)
 )
 
 // Codec errors.
@@ -434,6 +502,11 @@ var (
 	replyPool     = sync.Pool{New: func() any { return new(ClientReply) }}
 	groupMsgPool  = sync.Pool{New: func() any { return new(GroupMsg) }}
 	readPool      = sync.Pool{New: func() any { return new(ClientRead) }}
+	// Chunk transfer messages are pooled too: a big-state pull streams
+	// thousands of them, and the responder encodes each from a borrowed
+	// image slice — steady-state transfer must not allocate per frame.
+	chunkReqPool = sync.Pool{New: func() any { return new(SnapshotChunkReq) }}
+	chunkPool    = sync.Pool{New: func() any { return new(SnapshotChunk) }}
 )
 
 // NewClientReply returns a pooled, zeroed ClientReply for callers that build
@@ -473,7 +546,28 @@ func Release(m Message) {
 	case *ClientRead:
 		*v = ClientRead{}
 		readPool.Put(v)
+	case *SnapshotChunkReq:
+		*v = SnapshotChunkReq{}
+		chunkReqPool.Put(v)
+	case *SnapshotChunk:
+		*v = SnapshotChunk{}
+		chunkPool.Put(v)
 	}
+}
+
+// NewSnapshotChunk returns a pooled, zeroed SnapshotChunk for responders
+// that build chunks on the transfer path and Release them after encoding.
+func NewSnapshotChunk() *SnapshotChunk {
+	v := chunkPool.Get().(*SnapshotChunk)
+	*v = SnapshotChunk{}
+	return v
+}
+
+// NewSnapshotChunkReq returns a pooled, zeroed SnapshotChunkReq.
+func NewSnapshotChunkReq() *SnapshotChunkReq {
+	v := chunkReqPool.Get().(*SnapshotChunkReq)
+	*v = SnapshotChunkReq{}
+	return v
 }
 
 // ownedCopy returns an owned copy of b (nil stays nil, so retained messages
@@ -504,10 +598,8 @@ func Retain(m Message) {
 		for i := range v.Entries {
 			v.Entries[i].Value = ownedCopy(v.Entries[i].Value)
 		}
-		if v.HasSnapshot {
-			v.Snapshot.ServiceState = ownedCopy(v.Snapshot.ServiceState)
-			v.Snapshot.ReplyCache = ownedCopy(v.Snapshot.ReplyCache)
-		}
+	case *SnapshotChunk:
+		v.Data = ownedCopy(v.Data)
 	case *ClientRequest:
 		v.Payload = ownedCopy(v.Payload)
 	case *ClientReply:
@@ -583,12 +675,13 @@ func Size(m Message) int {
 		}
 		n++ // HasSnapshot flag
 		if v.HasSnapshot {
-			n += 8 + 4 + len(v.Snapshot.ServiceState) + 4 + len(v.Snapshot.ReplyCache)
-			if v.Snapshot.Groups > 1 {
-				n += 4
-			}
+			n += 8 + 4 + 8 // SnapshotMeta: LastIncluded, Groups, TotalBytes
 		}
 		return n
+	case *SnapshotChunkReq:
+		return 1 + 8 + 8 + 4
+	case *SnapshotChunk:
+		return 1 + 8 + 8 + 8 + 1 + 4 + len(v.Data)
 	case *ClientRequest:
 		return 1 + 8 + 8 + 4 + len(v.Payload)
 	case *ClientReply:
@@ -668,15 +761,20 @@ func AppendMessage(dst []byte, m Message) []byte {
 		}
 		a.bool(v.HasSnapshot)
 		if v.HasSnapshot {
-			a.i64(int64(v.Snapshot.LastIncluded))
-			a.bytes(v.Snapshot.ServiceState)
-			a.bytes(v.Snapshot.ReplyCache)
-			// Multi-group metadata is appended only when present, keeping
-			// single-group snapshots byte-identical to the legacy format.
-			if v.Snapshot.Groups > 1 {
-				a.i32(v.Snapshot.Groups)
-			}
+			a.i64(int64(v.Meta.LastIncluded))
+			a.i32(v.Meta.Groups)
+			a.u64(v.Meta.TotalBytes)
 		}
+	case *SnapshotChunkReq:
+		a.i64(int64(v.Cut))
+		a.u64(v.Offset)
+		a.u32(v.MaxBytes)
+	case *SnapshotChunk:
+		a.i64(int64(v.Cut))
+		a.u64(v.Offset)
+		a.u64(v.Total)
+		a.bool(v.OK)
+		a.bytes(v.Data)
 	case *ClientRequest:
 		a.u64(v.ClientID)
 		a.u64(v.Seq)
@@ -870,15 +968,26 @@ func decodeMessage(r *reader, allowGroup bool) (Message, error) {
 		}
 		v.HasSnapshot = r.bool()
 		if v.HasSnapshot {
-			v.Snapshot = Snapshot{
+			v.Meta = SnapshotMeta{
 				LastIncluded: InstanceID(r.i64()),
-				ServiceState: r.bytes(),
-				ReplyCache:   r.bytes(),
-			}
-			if r.err == nil && r.len() > 0 {
-				v.Snapshot.Groups = r.i32()
+				Groups:       r.i32(),
+				TotalBytes:   r.u64(),
 			}
 		}
+		m = v
+	case TSnapshotChunkReq:
+		v := chunkReqPool.Get().(*SnapshotChunkReq)
+		v.Cut = InstanceID(r.i64())
+		v.Offset = r.u64()
+		v.MaxBytes = r.u32()
+		m = v
+	case TSnapshotChunk:
+		v := chunkPool.Get().(*SnapshotChunk)
+		v.Cut = InstanceID(r.i64())
+		v.Offset = r.u64()
+		v.Total = r.u64()
+		v.OK = r.bool()
+		v.Data = r.bytes()
 		m = v
 	case TClientRequest:
 		v := requestPool.Get().(*ClientRequest)

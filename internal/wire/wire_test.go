@@ -24,8 +24,11 @@ func allMessages() []Message {
 		&Heartbeat{View: 7, DecidedUpTo: 43},
 		&CatchUpQuery{From: 10, To: 20},
 		&CatchUpResp{Entries: []DecidedValue{{ID: 10, Value: []byte("x")}}},
-		&CatchUpResp{HasSnapshot: true, Snapshot: Snapshot{
-			LastIncluded: 9, ServiceState: []byte("svc"), ReplyCache: []byte("rc")}},
+		&CatchUpResp{HasSnapshot: true, Meta: SnapshotMeta{
+			LastIncluded: 9, Groups: 2, TotalBytes: 123456}},
+		&SnapshotChunkReq{Cut: 9, Offset: 4096, MaxBytes: 1024},
+		&SnapshotChunk{Cut: 9, Offset: 4096, Total: 123456, OK: true, Data: []byte("image-bytes")},
+		&SnapshotChunk{Cut: 9, OK: false},
 		&ClientRequest{ClientID: 0xdeadbeef, Seq: 17, Payload: []byte("hello")},
 		&ClientReply{ClientID: 0xdeadbeef, Seq: 17, OK: true, Redirect: NoRedirect, Payload: []byte("ok")},
 		&ClientReply{ClientID: 1, Seq: 2, OK: false, Redirect: 2},
@@ -54,11 +57,9 @@ func normalize(m Message) Message {
 		if len(v.Entries) == 0 {
 			v.Entries = nil
 		}
-		if len(v.Snapshot.ServiceState) == 0 {
-			v.Snapshot.ServiceState = nil
-		}
-		if len(v.Snapshot.ReplyCache) == 0 {
-			v.Snapshot.ReplyCache = nil
+	case *SnapshotChunk:
+		if len(v.Data) == 0 {
+			v.Data = nil
 		}
 	case *Propose:
 		if len(v.Value) == 0 {
@@ -456,34 +457,49 @@ func TestNestedGroupMsgRejected(t *testing.T) {
 	Marshal(&GroupMsg{Group: 1, Msg: &GroupMsg{Group: 2, Msg: &Accept{}}})
 }
 
-func TestSnapshotGroupsEncoding(t *testing.T) {
-	// Single-group snapshots (Groups 0 or 1) must encode byte-identically to
-	// the pre-group wire format: no trailing metadata.
-	legacy := Marshal(&CatchUpResp{HasSnapshot: true, Snapshot: Snapshot{
-		LastIncluded: 9, ServiceState: []byte("svc"), ReplyCache: []byte("rc")}})
-	oneGroup := Marshal(&CatchUpResp{HasSnapshot: true, Snapshot: Snapshot{
-		LastIncluded: 9, ServiceState: []byte("svc"), ReplyCache: []byte("rc"), Groups: 1}})
-	if !bytes.Equal(legacy, oneGroup) {
-		t.Error("Groups=1 snapshot encoding differs from the legacy format")
+func TestSnapshotMetaEncoding(t *testing.T) {
+	// A snapshot-bearing catch-up response carries only metadata — its size
+	// is independent of the state size it describes.
+	small := &CatchUpResp{HasSnapshot: true, Meta: SnapshotMeta{LastIncluded: 9, TotalBytes: 64}}
+	huge := &CatchUpResp{HasSnapshot: true, Meta: SnapshotMeta{LastIncluded: 9, TotalBytes: 64 << 30}}
+	if Size(small) != Size(huge) {
+		t.Errorf("meta size varies with TotalBytes: %d vs %d", Size(small), Size(huge))
 	}
-	// Multi-group snapshots carry the group count through a round trip.
-	multi := &CatchUpResp{HasSnapshot: true, Snapshot: Snapshot{
-		LastIncluded: 41, ServiceState: []byte("svc"), ReplyCache: []byte("rc"), Groups: 4}}
+	multi := &CatchUpResp{HasSnapshot: true, Meta: SnapshotMeta{
+		LastIncluded: 41, Groups: 4, TotalBytes: 12345}}
 	got, err := Unmarshal(Marshal(multi))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp := got.(*CatchUpResp); resp.Snapshot.Groups != 4 {
-		t.Errorf("Groups = %d after round trip, want 4", resp.Snapshot.Groups)
+	if resp := got.(*CatchUpResp); resp.Meta != multi.Meta {
+		t.Errorf("Meta = %+v after round trip, want %+v", resp.Meta, multi.Meta)
 	}
-	// A legacy frame (no metadata) decodes with Groups = 0 (single-group).
-	got, err = Unmarshal(legacy)
+	if (SnapshotMeta{Groups: 0}).GroupCount() != 1 || (SnapshotMeta{Groups: 4}).GroupCount() != 4 {
+		t.Error("SnapshotMeta.GroupCount normalization broken")
+	}
+}
+
+func TestSnapshotChunkRoundTrip(t *testing.T) {
+	// The transfer frames must round-trip exactly and respect borrow
+	// semantics: a Retained chunk survives frame reuse.
+	frame := Marshal(&SnapshotChunk{Cut: 77, Offset: 8192, Total: 1 << 20, OK: true,
+		Data: bytes.Repeat([]byte{0xAB}, 512)})
+	m, err := Unmarshal(frame)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp := got.(*CatchUpResp); resp.Snapshot.Groups != 0 {
-		t.Errorf("legacy decode Groups = %d, want 0", resp.Snapshot.Groups)
+	c := m.(*SnapshotChunk)
+	if c.Cut != 77 || c.Offset != 8192 || c.Total != 1<<20 || !c.OK || len(c.Data) != 512 {
+		t.Fatalf("round trip = %+v", c)
 	}
+	Retain(c)
+	for i := range frame {
+		frame[i] = 0
+	}
+	if c.Data[0] != 0xAB {
+		t.Fatal("Retain did not sever the chunk's alias to the frame")
+	}
+	Release(c)
 }
 
 func TestGroupCut(t *testing.T) {
