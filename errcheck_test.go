@@ -1,0 +1,159 @@
+package gosmr_test
+
+// Errcheck-style vet for the durable path. A dropped error return from a
+// write/sync/close/rename is how fsyncgate-class bugs are born: the kernel
+// reported the loss and the program threw the report away. This test parses
+// every production file of the packages that touch the disk and fails on:
+//
+//   - a bare call statement to a risky operation (`f.Close()`) — the error
+//     is dropped with no trace in the source at all;
+//   - a deferred or go'd risky call (`defer f.Close()`) — same drop, one
+//     keyword later;
+//   - an all-blank assignment (`_ = f.Close()`) WITHOUT a justification:
+//     explicit drops are allowed only when a comment containing
+//     "best-effort" sits on the same line or the line above, forcing every
+//     intentional drop to say why it is safe.
+//
+// It is deliberately name-based (no type checking): in these packages a
+// method called Close/Sync/Rename IS the disk, and a rare false positive
+// costs one comment.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// riskyCalls are the operations whose error return reports data loss.
+var riskyCalls = map[string]bool{
+	"Close": true, "Sync": true, "SyncDir": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Truncate": true,
+	"Write": true, "WriteString": true, "WriteFile": true, "MkdirAll": true,
+}
+
+// errcheckTargets lists the production files under vet: everything in the
+// packages that own the durable path.
+func errcheckTargets(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, glob := range []string{
+		"internal/wal/*.go",
+		"internal/vfs/*.go",
+		"internal/core/snapdisk.go",
+		"internal/core/snaptransfer.go",
+	} {
+		matches, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			if !strings.HasSuffix(m, "_test.go") {
+				files = append(files, m)
+			}
+		}
+	}
+	if len(files) < 6 {
+		t.Fatalf("errcheck targets resolved to %v; the layout moved under the test", files)
+	}
+	return files
+}
+
+func riskyCall(n ast.Node) string {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !riskyCalls[sel.Sel.Name] {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// containsRiskyCall reports the first risky call anywhere inside expr.
+func containsRiskyCall(expr ast.Expr) string {
+	name := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		if got := riskyCall(n); got != "" {
+			name = got
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+func TestNoSilentlyDroppedDiskErrors(t *testing.T) {
+	fset := token.NewFileSet()
+	var violations []string
+	report := func(pos token.Pos, form, name string) {
+		p := fset.Position(pos)
+		violations = append(violations,
+			fmt.Sprintf("%s:%d: %s drops the error from %s", p.Filename, p.Line, form, name))
+	}
+	for _, path := range errcheckTargets(t) {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		// Lines covered by a "best-effort" justification: the whole comment
+		// group's lines plus the line after it (annotation above the
+		// statement), so both `_ = x // best-effort: why` and a multi-line
+		// leading comment work.
+		waived := map[int]bool{}
+		for _, cg := range f.Comments {
+			if !strings.Contains(cg.Text(), "best-effort") {
+				continue
+			}
+			for l := fset.Position(cg.Pos()).Line; l <= fset.Position(cg.End()).Line+1; l++ {
+				waived[l] = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if name := riskyCall(st.X); name != "" {
+					report(st.Pos(), "bare call statement", name)
+				}
+			case *ast.DeferStmt:
+				if name := riskyCall(st.Call); name != "" {
+					report(st.Pos(), "defer", name)
+				}
+			case *ast.GoStmt:
+				if name := riskyCall(st.Call); name != "" {
+					report(st.Pos(), "go statement", name)
+				}
+			case *ast.AssignStmt:
+				allBlank := true
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						allBlank = false
+					}
+				}
+				if !allBlank {
+					return true
+				}
+				for _, rhs := range st.Rhs {
+					name := containsRiskyCall(rhs)
+					if name == "" {
+						continue
+					}
+					if !waived[fset.Position(st.Pos()).Line] {
+						report(st.Pos(), `unjustified "_ =" discard (add a best-effort comment)`, name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"gosmr/internal/executor"
 	"gosmr/internal/profiling"
 	"gosmr/internal/transport"
+	"gosmr/internal/vfs"
 	"gosmr/internal/wal"
 	"gosmr/internal/wire"
 )
@@ -195,6 +196,14 @@ type Config struct {
 	WALRetainCheckpoints int
 	WALRetainBytes       int64
 
+	// FS supplies the filesystem every durable path goes through — WAL
+	// segments, snapshot chunks and manifests, state-transfer staging. Nil
+	// (the default) uses the real filesystem through a zero-overhead
+	// passthrough; tests inject vfs.NewFaultFS to script disk faults
+	// (failed fsyncs, short writes, ENOSPC, read corruption) against a real
+	// replica. Ignored without DataDir.
+	FS vfs.FS
+
 	// HeartbeatInterval and SuspectTimeout tune the failure detector.
 	HeartbeatInterval time.Duration
 	SuspectTimeout    time.Duration
@@ -252,6 +261,7 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		SyncPolicy:           policy,
 		WALRetainCheckpoints: cfg.WALRetainCheckpoints,
 		WALRetainBytes:       cfg.WALRetainBytes,
+		FS:                   cfg.FS,
 		ExecutorWorkers:      cfg.ExecutorWorkers,
 		HeartbeatInterval:    cfg.HeartbeatInterval,
 		SuspectTimeout:       cfg.SuspectTimeout,
@@ -315,6 +325,22 @@ func (r *Replica) SnapshotFailures() uint64 { return r.inner.SnapshotFailures() 
 // TransferResumedBytes returns the total staged bytes that resumed
 // state-transfer pulls reused instead of refetching from byte 0.
 func (r *Replica) TransferResumedBytes() uint64 { return r.inner.TransferResumedBytes() }
+
+// Faulted reports whether this replica fail-stopped on a WAL disk fault
+// (failed write or fsync on the append path). A faulted replica shuts
+// itself down — it sends no heartbeats and acknowledges nothing — so the
+// remaining quorum elects around it; restarting it from the same DataDir
+// replays exactly what the disk holds.
+func (r *Replica) Faulted() bool { return r.inner.Faulted() }
+
+// WALFaults returns the number of fail-stop WAL disk faults observed.
+func (r *Replica) WALFaults() uint64 { return r.inner.WALFaults() }
+
+// DiskQuarantines returns the number of corrupt on-disk artifacts (WAL
+// segments, snapshot manifests) renamed aside to *.corrupt instead of
+// refusing to boot — possible only when the cluster can refill the lost
+// state from peers.
+func (r *Replica) DiskQuarantines() uint64 { return r.inner.DiskQuarantines() }
 
 // ReplyCacheBytes returns the deterministic marshaled reply cache — equal
 // byte-for-byte across the replicas of a converged cluster, which makes it

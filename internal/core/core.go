@@ -28,6 +28,7 @@ import (
 	"gosmr/internal/profiling"
 	"gosmr/internal/queue"
 	"gosmr/internal/transport"
+	"gosmr/internal/vfs"
 	"gosmr/internal/wal"
 	"gosmr/internal/wire"
 )
@@ -153,6 +154,11 @@ type Config struct {
 	// gaps are served from the log instead of state transfer. Only
 	// meaningful with DataDir set.
 	WALRetainBytes int64
+	// FS supplies the filesystem every durable path (WAL segments, snapshot
+	// chunks and manifests, pull staging) goes through. Default vfs.OS, the
+	// zero-overhead passthrough; tests inject vfs.FaultFS to script disk
+	// faults. Only meaningful with DataDir set.
+	FS vfs.FS
 
 	// ExecutorWorkers is the number of execution worker goroutines. It takes
 	// effect only when the service implements ConflictAware; the default (and
@@ -239,6 +245,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotMaxChain <= 0 {
 		c.SnapshotMaxChain = 4
+	}
+	if c.FS == nil {
+		c.FS = vfs.OS
 	}
 	return c
 }

@@ -119,7 +119,14 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 				// access on this thread; snapshots are rare.
 				states := append([]wal.Record{{Type: wal.RecView, View: node.View()}},
 					suffixStates(node.Log())...)
-				g.wal.Checkpoint(node.Log().Base(), states)
+				if err := g.wal.Checkpoint(node.Log().Base(), states); err != nil {
+					// Degrade: the old segments stay, replay still works, and
+					// the next snapshot cut retries the compaction. ENOSPC
+					// additionally sheds catch-up retention — the likeliest
+					// reason the checkpoint dump had no room.
+					r.snapshotFailure("wal checkpoint", node.Log().Base(), err)
+					r.maybeShrinkWAL(err)
+				}
 			}
 		case evFastForward:
 			// A transferred snapshot covering this group's log below ev.upTo
@@ -191,6 +198,16 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 // instead, until the WAL covers the records this event journaled.
 func (r *Replica) applyEffects(th *profiling.Thread, g *ordGroup, node *paxos.Node,
 	ps *protoState, e paxos.Effects) {
+
+	if g.wal != nil && g.wal.Failed() != nil {
+		// Fail-stop: the WAL hit a write/fsync fault, so records this event
+		// journaled may not be on disk. Emit nothing — under SyncBatch the
+		// durable gate would hold the output anyway (the watermark is frozen),
+		// but SyncAlways has no gate, and a reply acknowledging an
+		// un-journaled accept is exactly the loss fail-stop exists to prevent.
+		// The OnFault callback is already tearing the replica down.
+		return
+	}
 
 	// Cancels first: the lock-free flag flip of Sec. V-C4. A cancelled
 	// message still parked in the durable gate must not be sent at release

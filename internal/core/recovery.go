@@ -2,8 +2,10 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"log"
 	"path/filepath"
 	"strings"
 
@@ -88,10 +90,13 @@ func (r *Replica) recoverBoot() (*bootState, error) {
 		}
 		b.snap = snap
 	}
+	r.quarantines.Add(uint64(len(skipped))) // manifests snapDisk renamed to *.corrupt
 	for i := range r.groups {
 		g := i // group index
-		w, recs, err := wal.Open(wal.Options{
-			Dir:               filepath.Join(dir, fmt.Sprintf("group-%d", g)),
+		gdir := filepath.Join(dir, fmt.Sprintf("group-%d", g))
+		opts := wal.Options{
+			Dir:               gdir,
+			FS:                r.cfg.FS,
 			Policy:            r.cfg.SyncPolicy,
 			MinSyncInterval:   r.cfg.WALMinSyncInterval,
 			RetainCheckpoints: r.cfg.WALRetainCheckpoints,
@@ -103,7 +108,28 @@ func (r *Replica) recoverBoot() (*bootState, error) {
 				// watermark after every event.
 				_, _ = r.groups[g].dispatchQ.TryPut(event{kind: evDurable})
 			},
-		})
+			OnFault: func(err error) { r.enterFault(g, err) },
+		}
+		w, recs, err := wal.Open(opts)
+		var ce *wal.CorruptError
+		if errors.As(err, &ce) && r.n > 1 {
+			// A sealed segment below the tail fails its CRC: the durable
+			// suffix above it is unreadable. With peers to refill from,
+			// quarantine the log (rename every segment to *.corrupt) and
+			// boot on the snapshot alone — anything the quarantined suffix
+			// decided is re-fetched through catch-up or state transfer.
+			// Single-replica clusters have no refill source, so there the
+			// corruption stays a boot error instead of silent data loss.
+			quarantined, qerr := wal.QuarantineSegments(r.cfg.FS, gdir)
+			if qerr != nil {
+				b.closeWALs()
+				return nil, fmt.Errorf("core: group %d: quarantining corrupt WAL: %w (corrupt segment: %s)", g, qerr, ce.Segment)
+			}
+			r.quarantines.Add(uint64(len(quarantined)))
+			log.Printf("gosmr: replica %d: group %d WAL segment %s is corrupt; quarantined %d segment(s), rejoining via catch-up",
+				r.cfg.ID, g, ce.Segment, len(quarantined))
+			w, recs, err = wal.Open(opts)
+		}
 		if err != nil {
 			b.closeWALs()
 			return nil, err
@@ -135,7 +161,7 @@ func (r *Replica) recoverBoot() (*bootState, error) {
 			b.closeWALs()
 			detail := ""
 			if len(skipped) > 0 {
-				detail = fmt.Sprintf(" (skipped unreadable snapshot manifest(s): %s — see the preceding log lines for each decode error)",
+				detail = fmt.Sprintf(" (quarantined unreadable snapshot manifest(s): %s — renamed to *.corrupt; see the preceding log lines for each decode error)",
 					strings.Join(skipped, ", "))
 			}
 			return nil, fmt.Errorf("core: group %d WAL is cut at %d but the newest snapshot covers only %d; clear %s to rejoin via state transfer%s",

@@ -22,12 +22,13 @@ func persistTestSnap(t *testing.T, d *snapDisk, snap wire.Snapshot) {
 
 // TestLoadNewestSnapshotReportsSkips pins the skip-reporting contract: an
 // unreadable newest manifest must not be silently passed over — the loader
-// falls back to the older intact chain AND names what it skipped, so the
+// falls back to the older intact chain, names what it skipped (so the
 // boot-time "clear the data dir" refusal can tell the operator why the cuts
-// outran the usable snapshot.
+// outran the usable snapshot), and quarantines the dead manifest to
+// <name>.corrupt so the next scan neither re-trips nor re-logs it.
 func TestLoadNewestSnapshotReportsSkips(t *testing.T) {
 	dir := t.TempDir()
-	d := newSnapDisk(dir, 4)
+	d := newSnapDisk(dir, 4, nil)
 	older := wire.Snapshot{LastIncluded: 9, ServiceState: []byte("old-state"), ReplyCache: []byte("rc")}
 	persistTestSnap(t, d, older)
 	// A newer manifest torn mid-write: the CRC cannot match.
@@ -36,7 +37,7 @@ func TestLoadNewestSnapshotReportsSkips(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	snap, skipped, err := newSnapDisk(dir, 4).loadNewest()
+	snap, skipped, err := newSnapDisk(dir, 4, nil).loadNewest()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,13 +51,25 @@ func TestLoadNewestSnapshotReportsSkips(t *testing.T) {
 	if len(skipped) != 1 || skipped[0] != corruptName {
 		t.Fatalf("skipped = %v, want [%s]", skipped, corruptName)
 	}
+	// The torn manifest was quarantined: renamed aside, preserved for
+	// forensics, invisible to the next manifest scan.
+	if _, err := os.Stat(filepath.Join(dir, corruptName)); !os.IsNotExist(err) {
+		t.Fatalf("torn manifest still in namespace after quarantine (stat err %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, corruptName+".corrupt")); err != nil {
+		t.Fatalf("quarantined manifest missing: %v", err)
+	}
+	if snap, skipped, err = newSnapDisk(dir, 4, nil).loadNewest(); err != nil ||
+		snap == nil || snap.LastIncluded != 9 || len(skipped) != 0 {
+		t.Fatalf("re-scan after quarantine: snap=%+v skipped=%v err=%v, want cut 9 and no skips", snap, skipped, err)
+	}
 
 	// A manifest referencing a torn chunk file skips the same way.
 	persistTestSnap(t, d, wire.Snapshot{LastIncluded: 19, ServiceState: []byte("newer-bad")})
 	if err := os.WriteFile(filepath.Join(dir, genDirName(19, 0), "svc-00000.chk"), []byte("xx"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	snap, skipped, err = newSnapDisk(dir, 4).loadNewest()
+	snap, skipped, err = newSnapDisk(dir, 4, nil).loadNewest()
 	if err != nil || snap == nil || snap.LastIncluded != 9 {
 		t.Fatalf("torn chunk: snap=%+v err=%v, want fallback with cut 9", snap, err)
 	}
@@ -66,7 +79,7 @@ func TestLoadNewestSnapshotReportsSkips(t *testing.T) {
 
 	// All-intact directory: nothing skipped, reply cache round-trips.
 	persistTestSnap(t, d, wire.Snapshot{LastIncluded: 29, ServiceState: []byte("new"), ReplyCache: []byte("rc2")})
-	snap, skipped, err = newSnapDisk(dir, 4).loadNewest()
+	snap, skipped, err = newSnapDisk(dir, 4, nil).loadNewest()
 	if err != nil || snap == nil || snap.LastIncluded != 29 || len(skipped) != 0 {
 		t.Fatalf("after repair: snap=%+v skipped=%v err=%v, want cut 29 and no skips", snap, skipped, err)
 	}
@@ -75,7 +88,7 @@ func TestLoadNewestSnapshotReportsSkips(t *testing.T) {
 	}
 
 	// Empty/missing directory stays a clean no-snapshot boot.
-	snap, skipped, err = newSnapDisk(filepath.Join(dir, "nope"), 4).loadNewest()
+	snap, skipped, err = newSnapDisk(filepath.Join(dir, "nope"), 4, nil).loadNewest()
 	if err != nil || snap != nil || skipped != nil {
 		t.Fatalf("missing dir: snap=%v skipped=%v err=%v, want nil/nil/nil", snap, skipped, err)
 	}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"log"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"gosmr/internal/executor"
@@ -146,6 +149,19 @@ type Replica struct {
 	transferResumed  atomic.Uint64 // staged bytes reused by resumed pulls
 	lastSnapFailLog  atomic.Int64  // rate limit for snapshot failure logging
 
+	// Disk-fault state. faulted latches when any group's WAL fail-stops
+	// (write/fsync/seal error on the append path): the replica stops
+	// participating — no heartbeats, no new output past the durable
+	// watermark — so the quorum continues without it instead of being fed
+	// acknowledgements the disk may not hold (the fsyncgate rule: a failed
+	// fsync says nothing durable about the pages it covered, so retrying is
+	// unsound). walFaults counts the fail-stop events; quarantines counts
+	// corrupt on-disk artifacts (WAL segments, snapshot manifests) renamed
+	// aside to *.corrupt during recovery.
+	faulted     atomic.Bool
+	walFaults   atomic.Uint64
+	quarantines atomic.Uint64
+
 	stop    chan struct{}
 	stopped sync.Once
 	started bool
@@ -178,7 +194,7 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 	}
 	r.puller = &snapPuller{resp: make(chan pulledChunk, 4)}
 	if cfg.DataDir != "" {
-		r.snapDisk = newSnapDisk(filepath.Join(cfg.DataDir, "snapshots"), cfg.SnapshotChunkBytes)
+		r.snapDisk = newSnapDisk(filepath.Join(cfg.DataDir, "snapshots"), cfg.SnapshotChunkBytes, cfg.FS)
 	}
 	for i := range r.groups {
 		r.groups[i] = &ordGroup{
@@ -285,6 +301,58 @@ func (r *Replica) SnapshotFailures() uint64 { return r.snapshotFailures.Load() }
 // that resumed pulls reused instead of refetching (0 until a transfer
 // survives a restart or reconnect mid-stream).
 func (r *Replica) TransferResumedBytes() uint64 { return r.transferResumed.Load() }
+
+// Faulted reports whether this replica has fail-stopped on a WAL disk
+// fault. A faulted replica has shut down (or is shutting down): it sends no
+// heartbeats and acknowledges nothing, so the rest of the quorum elects
+// around it. Restarting from the same DataDir replays whatever the disk
+// actually holds — the fail-stop guarantees that is a prefix of what was
+// acknowledged.
+func (r *Replica) Faulted() bool { return r.faulted.Load() }
+
+// WALFaults returns the number of fail-stop WAL disk faults observed (at
+// most one per group; the first latches the replica into Faulted).
+func (r *Replica) WALFaults() uint64 { return r.walFaults.Load() }
+
+// DiskQuarantines returns the number of corrupt on-disk artifacts (WAL
+// segments, snapshot manifests) this replica renamed aside to *.corrupt —
+// at boot or while scanning — instead of refusing to start or re-tripping
+// on them every scan.
+func (r *Replica) DiskQuarantines() uint64 { return r.quarantines.Load() }
+
+// enterFault latches the fail-stop state and tears the replica down. It is
+// the WAL's OnFault callback target, invoked from whatever goroutine first
+// hit the disk fault — possibly a Protocol thread mid-drain — so the Stop
+// must run on its own goroutine: Stop waits for every module including the
+// caller, and wal.Close joins the Syncer that may be the caller.
+func (r *Replica) enterFault(group int, err error) {
+	r.walFaults.Add(1)
+	if r.faulted.CompareAndSwap(false, true) {
+		log.Printf("gosmr: replica %d: wal group %d disk fault, fail-stopping: %v", r.cfg.ID, group, err)
+		go r.Stop()
+	}
+}
+
+// maybeShrinkWAL reacts to an out-of-space error from a snapshot stage by
+// dropping every group's WAL retention extras (catch-up generations and the
+// byte-budget tail) down to the hard floor, then letting the failed stage
+// retry on the next cut. ENOSPC is the one disk fault where degrading
+// retention actually helps: the bytes we hold for lagging peers are exactly
+// the bytes the checkpoint needs.
+func (r *Replica) maybeShrinkWAL(err error) {
+	if !errors.Is(err, syscall.ENOSPC) {
+		return
+	}
+	removed := 0
+	for _, g := range r.groups {
+		if g.wal != nil {
+			removed += g.wal.ShrinkRetention()
+		}
+	}
+	if removed > 0 {
+		log.Printf("gosmr: replica %d: out of space, dropped %d retained wal segment(s)", r.cfg.ID, removed)
+	}
+}
 
 // ReplyCacheBytes returns the canonical (sorted, deterministic) marshaled
 // reply cache — the byte string the cluster determinism tests compare
@@ -542,6 +610,12 @@ func (r *Replica) Stop() {
 // decision watermark straight onto the peer's SendQueue, without involving
 // the Protocol threads.
 func (r *Replica) sendHeartbeat(peer int) {
+	if r.faulted.Load() {
+		// A fail-stopped replica must look dead: heartbeats from a leader
+		// whose WAL cannot accept writes would keep followers from electing
+		// a working one.
+		return
+	}
 	for _, g := range r.groups {
 		if !g.isLeader.Load() {
 			continue

@@ -237,6 +237,7 @@ func (r *Replica) installSnapshot(th *profiling.Thread, snap *wire.Snapshot, flo
 	r.exec.Quiesce(th)
 	if err := r.persistTransferred(*snap); err != nil {
 		r.snapshotFailure("persisting transferred snapshot", snap.LastIncluded, err)
+		r.maybeShrinkWAL(err)
 		return floor
 	}
 	crashPoint("transfer-persisted")

@@ -131,8 +131,10 @@ func (r *Replica) runDrain(job *drainJob, src snapshot.Source, cut wire.Instance
 			snapshot.SplitBlob(rc, r.cfg.SnapshotChunkBytes)); err != nil {
 			// Keep the full WAL until a snapshot lands durably; the next cut
 			// is forced full so the disk chain never references a missing
-			// generation.
+			// generation. Out-of-space additionally sheds WAL catch-up
+			// retention so the retried cut has room to land.
 			r.snapshotFailure("persisting snapshot", cut, err)
+			r.maybeShrinkWAL(err)
 			job.failed = true
 			return
 		}

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"gosmr/internal/snapshot"
+	"gosmr/internal/vfs"
 	"gosmr/internal/wire"
 )
 
@@ -39,6 +40,7 @@ import (
 // no lock.
 type snapDisk struct {
 	dir      string
+	fs       vfs.FS
 	chunkCap int
 	gens     []diskGen  // chain referenced by the newest committed manifest
 	rc       []chunkRef // reply-cache chunk refs (files live in the last gen's dir)
@@ -55,8 +57,11 @@ type diskGen struct {
 // the file, is the authority for its size and checksum.
 type chunkRef struct{ size, crc uint32 }
 
-func newSnapDisk(dir string, chunkCap int) *snapDisk {
-	return &snapDisk{dir: dir, chunkCap: chunkCap}
+func newSnapDisk(dir string, chunkCap int, fsys vfs.FS) *snapDisk {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	return &snapDisk{dir: dir, fs: fsys, chunkCap: chunkCap}
 }
 
 const (
@@ -140,14 +145,17 @@ func chunkRefs(chunks [][]byte) []chunkRef {
 
 // writeGenDir writes one generation directory: each chunk its own file,
 // fsynced, then the directory itself. Chunk files need no atomic rename —
-// nothing references them until a later manifest commit.
+// nothing references them until a later manifest commit. The directory
+// fsync is checked: a chunk whose directory entry is not durable is as good
+// as unwritten, so its failure is a persist failure (degrade + retry), not
+// noise to swallow.
 func (s *snapDisk) writeGenDir(gdir string, chunks, rcChunks [][]byte) ([]chunkRef, error) {
 	abs := filepath.Join(s.dir, gdir)
-	if err := os.MkdirAll(abs, 0o755); err != nil {
+	if err := s.fs.MkdirAll(abs, 0o755); err != nil {
 		return nil, err
 	}
 	for i, c := range chunks {
-		if err := writeFileSync(filepath.Join(abs, fmt.Sprintf("svc-%05d.chk", i)), c); err != nil {
+		if err := writeFileSync(s.fs, filepath.Join(abs, fmt.Sprintf("svc-%05d.chk", i)), c); err != nil {
 			return nil, err
 		}
 		if i == 0 {
@@ -155,28 +163,27 @@ func (s *snapDisk) writeGenDir(gdir string, chunks, rcChunks [][]byte) ([]chunkR
 		}
 	}
 	for i, c := range rcChunks {
-		if err := writeFileSync(filepath.Join(abs, fmt.Sprintf("rc-%05d.chk", i)), c); err != nil {
+		if err := writeFileSync(s.fs, filepath.Join(abs, fmt.Sprintf("rc-%05d.chk", i)), c); err != nil {
 			return nil, err
 		}
 	}
-	if d, err := os.Open(abs); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
+	if err := s.fs.SyncDir(abs); err != nil {
+		return nil, err
 	}
 	return chunkRefs(chunks), nil
 }
 
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func writeFileSync(fsys vfs.FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the write error wins
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the sync error wins
 		return err
 	}
 	return f.Close()
@@ -211,22 +218,21 @@ func (s *snapDisk) writeManifest(cut wire.InstanceID, groups int32, gens []diskG
 	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(s.dir, 0o755); err != nil {
 		return err
 	}
 	path := filepath.Join(s.dir, manifestName(cut))
 	tmp := path + ".tmp"
-	if err := writeFileSync(tmp, b); err != nil {
+	if err := writeFileSync(s.fs, tmp, b); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := s.fs.Rename(tmp, path); err != nil {
 		return err
 	}
-	if d, err := os.Open(s.dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
-	return nil
+	// Checked: until the rename's directory entry is durable the commit has
+	// not happened — reporting success on a failed dir fsync would let WAL
+	// checkpoints reference a snapshot a crash can un-commit.
+	return s.fs.SyncDir(s.dir)
 }
 
 // decodeManifest parses and verifies a manifest image. Counts are validated
@@ -306,17 +312,17 @@ func decodeManifest(b []byte) (cut wire.InstanceID, groups int32, gens []diskGen
 }
 
 // manifestFiles lists committed manifest names in ascending cut order.
-func manifestFiles(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func manifestFiles(fsys vfs.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var names []string
 	for _, e := range entries {
 		// Exact-suffix check first: Sscanf would prefix-match a torn
-		// "manifest-....mf.tmp" left by a crash mid-persist, letting it
-		// count against the two-newest retention and evict an intact
-		// fallback.
+		// "manifest-....mf.tmp" left by a crash mid-persist — or a
+		// quarantined "manifest-....mf.corrupt" — letting it count against
+		// the two-newest retention and evict an intact fallback.
 		if !strings.HasSuffix(e.Name(), ".mf") {
 			continue
 		}
@@ -332,7 +338,7 @@ func manifestFiles(dir string) ([]string, error) {
 // readChunk loads one chunk file and verifies it against its manifest ref.
 func (s *snapDisk) readChunk(gdir, name string, ref chunkRef) ([]byte, error) {
 	path := filepath.Join(s.dir, gdir, name)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -345,13 +351,17 @@ func (s *snapDisk) readChunk(gdir, name string, ref chunkRef) ([]byte, error) {
 // loadNewest assembles the newest intact snapshot chain, or nil when none
 // exists, plus the names of any newer manifests it had to skip. A corrupt
 // manifest or chunk file (a crash mid-write, bit rot) falls back to the
-// previous manifest, but never silently: each skip is logged with its
-// error, because a skipped newest snapshot can make boot fall behind the
-// WALs' cuts and the resulting "clear the data dir" refusal is baffling
-// without it. On success the committed chain is adopted as the in-memory
-// chain state, so the next delta append extends it.
+// previous manifest, but never silently: each skipped manifest is
+// QUARANTINED — renamed to <name>.corrupt, preserving the bytes for
+// forensics while taking them out of the manifest namespace — so later
+// boots neither re-scan nor re-log it, and the retention policy cannot
+// count a dead manifest against the two-newest window. A skipped newest
+// snapshot can still make boot fall behind the WALs' cuts, so each
+// quarantine is logged with its decode error and the names are returned for
+// the refusal message. On success the committed chain is adopted as the
+// in-memory chain state, so the next delta append extends it.
 func (s *snapDisk) loadNewest() (*wire.Snapshot, []string, error) {
-	names, err := manifestFiles(s.dir)
+	names, err := manifestFiles(s.fs, s.dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil, nil
@@ -362,7 +372,15 @@ func (s *snapDisk) loadNewest() (*wire.Snapshot, []string, error) {
 	for i := len(names) - 1; i >= 0; i-- {
 		snap, gens, rc, err := s.loadManifest(names[i])
 		if err != nil {
-			log.Printf("gosmr: skipping snapshot %s: %v", filepath.Join(s.dir, names[i]), err)
+			path := filepath.Join(s.dir, names[i])
+			if rerr := s.fs.Rename(path, path+".corrupt"); rerr != nil {
+				log.Printf("gosmr: skipping snapshot %s: %v (quarantine failed: %v)", path, err, rerr)
+			} else {
+				// best-effort: if the rename's dir entry is lost to a crash
+				// the next boot just quarantines again.
+				_ = s.fs.SyncDir(s.dir)
+				log.Printf("gosmr: quarantined unreadable snapshot %s -> %s.corrupt: %v", path, names[i], err)
+			}
 			skipped = append(skipped, names[i])
 			continue
 		}
@@ -373,7 +391,7 @@ func (s *snapDisk) loadNewest() (*wire.Snapshot, []string, error) {
 }
 
 func (s *snapDisk) loadManifest(name string) (*wire.Snapshot, []diskGen, []chunkRef, error) {
-	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, name))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -421,19 +439,21 @@ func (s *snapDisk) loadManifest(name string) (*wire.Snapshot, []diskGen, []chunk
 // retention the pre-chunked snapshot files had). Best-effort: gc errors
 // never fail a commit.
 func (s *snapDisk) gc(newest wire.InstanceID) {
-	names, err := manifestFiles(s.dir)
+	names, err := manifestFiles(s.fs, s.dir)
 	if err != nil {
 		return
 	}
 	for _, name := range names[:max(0, len(names)-2)] {
-		_ = os.Remove(filepath.Join(s.dir, name))
+		// best-effort (this whole pass is): a lingering old manifest is
+		// re-collected after the next commit.
+		_ = s.fs.Remove(filepath.Join(s.dir, name))
 	}
 	// Collect directories referenced by the surviving manifests. If one of
 	// them does not decode, keep all generation directories — deleting
 	// blind risks the next boot's fallback.
 	referenced := make(map[string]bool)
 	for _, name := range names[max(0, len(names)-2):] {
-		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		data, err := s.fs.ReadFile(filepath.Join(s.dir, name))
 		if err != nil {
 			return
 		}
@@ -445,7 +465,7 @@ func (s *snapDisk) gc(newest wire.InstanceID) {
 			referenced[g.dir] = true
 		}
 	}
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return
 	}
@@ -453,16 +473,20 @@ func (s *snapDisk) gc(newest wire.InstanceID) {
 		name := e.Name()
 		switch {
 		case e.IsDir() && strings.HasPrefix(name, "gen-") && !referenced[name]:
-			_ = os.RemoveAll(filepath.Join(s.dir, name))
+			// best-effort: an orphaned generation dir costs space, not
+			// correctness, and is retried next commit.
+			_ = s.fs.RemoveAll(filepath.Join(s.dir, name))
 		case strings.HasSuffix(name, ".tmp"):
-			_ = os.Remove(filepath.Join(s.dir, name))
+			// best-effort: same.
+			_ = s.fs.Remove(filepath.Join(s.dir, name))
 		case strings.HasPrefix(name, "pull-") && strings.HasSuffix(name, ".part"):
 			// A staging file for a cut at or below the committed chain is
 			// finished or obsolete; one for a newer cut is an in-progress
 			// pull and must survive for resume.
 			var u uint64
 			if _, err := fmt.Sscanf(name, "pull-%016x.part", &u); err == nil && wire.InstanceID(u) <= newest {
-				_ = os.Remove(filepath.Join(s.dir, name))
+				// best-effort: a finished staging file only costs space.
+				_ = s.fs.Remove(filepath.Join(s.dir, name))
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"gosmr/internal/vfs"
 	"gosmr/internal/wire"
 )
 
@@ -175,7 +176,8 @@ func (r *Replica) pullSnapshot(meta wire.SnapshotMeta) (*wire.Snapshot, error) {
 // when durability is enabled (each chunk fsynced, so a kill -9 at any chunk
 // boundary resumes from the staged size), in memory otherwise.
 type pullStage struct {
-	f    *os.File
+	fs   vfs.FS
+	f    vfs.File
 	path string
 	mem  []byte
 	size uint64
@@ -185,24 +187,25 @@ func (r *Replica) openPullStage(meta wire.SnapshotMeta) (*pullStage, error) {
 	if r.snapDisk == nil {
 		return &pullStage{}, nil
 	}
-	if err := os.MkdirAll(r.snapDisk.dir, 0o755); err != nil {
+	fsys := r.snapDisk.fs
+	if err := fsys.MkdirAll(r.snapDisk.dir, 0o755); err != nil {
 		return nil, err
 	}
 	path := filepath.Join(r.snapDisk.dir, pullPartName(meta.LastIncluded))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the stage is abandoned on this path
 		return nil, err
 	}
 	size := uint64(st.Size())
 	if size > meta.TotalBytes {
 		// Staged for a differently sized image of the same cut: start over.
 		if err := f.Truncate(0); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort: the stage is abandoned on this path
 			return nil, err
 		}
 		size = 0
@@ -211,10 +214,10 @@ func (r *Replica) openPullStage(meta wire.SnapshotMeta) (*pullStage, error) {
 		r.transferResumed.Add(size)
 	}
 	if _, err := f.Seek(int64(size), 0); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the stage is abandoned on this path
 		return nil, err
 	}
-	return &pullStage{f: f, path: path, size: size}, nil
+	return &pullStage{fs: fsys, f: f, path: path, size: size}, nil
 }
 
 func (s *pullStage) append(data []byte) error {
@@ -249,6 +252,8 @@ func (s *pullStage) bytes() ([]byte, error) {
 // manifest at or above its cut commits.
 func (s *pullStage) close() {
 	if s.f != nil {
+		// best-effort: every staged byte was already fsynced by append, so a
+		// close error cannot lose resume state.
 		_ = s.f.Close()
 		s.f = nil
 	}
@@ -259,6 +264,7 @@ func (s *pullStage) discard() {
 	s.close()
 	s.mem = nil
 	if s.path != "" {
-		_ = os.Remove(s.path)
+		// best-effort: a leftover stage is re-truncated by the next pull.
+		_ = s.fs.Remove(s.path)
 	}
 }

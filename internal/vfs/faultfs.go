@@ -1,0 +1,410 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// FaultFS wraps a base FS and fails operations according to a scripted rule
+// list. It is fully deterministic: given the same rule script and the same
+// sequence of filesystem operations, the same calls fail the same way —
+// "seeding" a schedule means deriving rule positions from a seed up front
+// (see SeedNth), not consulting randomness at run time.
+type FaultFS struct {
+	base FS
+
+	mu     sync.Mutex
+	rules  []*Rule
+	budget int64 // remaining write budget in bytes; < 0 means unlimited
+	trips  []string
+}
+
+// Op classifies filesystem operations for fault-rule matching.
+type Op uint8
+
+const (
+	OpWrite Op = iota + 1
+	OpSync     // File.Sync
+	OpRead     // File.ReadAt and FS.ReadFile
+	OpClose
+	OpOpen // FS.OpenFile, any flags (creates included)
+	OpRename
+	OpRemove
+	OpTruncate
+	OpSyncDir
+)
+
+var opNames = map[Op]string{
+	OpWrite: "write", OpSync: "sync", OpRead: "read", OpClose: "close",
+	OpOpen: "open", OpRename: "rename", OpRemove: "remove",
+	OpTruncate: "truncate", OpSyncDir: "syncdir",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Mode selects what a tripped rule does to the operation.
+type Mode uint8
+
+const (
+	// ModeError fails the operation with Rule.Err (ErrInjected by default).
+	ModeError Mode = iota
+	// ModeShortWrite (OpWrite only) writes the first half of the buffer,
+	// then reports the error — the torn-write shape a crash mid-write or a
+	// failing device produces.
+	ModeShortWrite
+	// ModeENOSPC fails with ErrNoSpace (wraps syscall.ENOSPC).
+	ModeENOSPC
+	// ModeCorruptRead (OpRead only) lets the read succeed but flips one bit
+	// in the middle of the returned bytes — silent corruption a CRC must
+	// catch.
+	ModeCorruptRead
+	// ModeTruncateRead (OpRead only) returns only the first half of the
+	// bytes the read produced.
+	ModeTruncateRead
+)
+
+var modeNames = map[Mode]string{
+	ModeError: "error", ModeShortWrite: "short-write", ModeENOSPC: "enospc",
+	ModeCorruptRead: "corrupt-read", ModeTruncateRead: "truncate-read",
+}
+
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ErrInjected is the default error a tripped rule returns.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// ErrNoSpace is the injected out-of-space error; errors.Is(err,
+// syscall.ENOSPC) holds so production ENOSPC handling triggers on it.
+var ErrNoSpace = fmt.Errorf("vfs: injected: %w", syscall.ENOSPC)
+
+// Rule scripts one fault: the Nth operation of kind Op whose path contains
+// Path trips it. Transient rules (Sticky=false) trip exactly once and then
+// go inert; sticky rules keep tripping from the Nth match on.
+type Rule struct {
+	Op     Op
+	Path   string // substring the operation's path must contain; "" = any
+	Nth    int    // 1-based matching occurrence that trips; 0 means 1
+	Sticky bool
+	Mode   Mode
+	Err    error // overrides the injected error for ModeError/ModeShortWrite
+
+	count int
+	done  bool
+}
+
+func (r *Rule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.Mode == ModeENOSPC {
+		return ErrNoSpace
+	}
+	return ErrInjected
+}
+
+// NewFaultFS wraps base (OS when nil) with an empty script: every operation
+// passes through until rules or a write budget are installed.
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = OS
+	}
+	return &FaultFS{base: base, budget: -1}
+}
+
+// Fail appends a rule to the script and returns the FaultFS for chaining.
+func (f *FaultFS) Fail(r Rule) *FaultFS {
+	if r.Nth <= 0 {
+		r.Nth = 1
+	}
+	f.mu.Lock()
+	f.rules = append(f.rules, &r)
+	f.mu.Unlock()
+	return f
+}
+
+// SetWriteBudget caps further writes at n bytes; once exhausted every write
+// fails with ErrNoSpace. Remove/RemoveAll credit the removed bytes back, so
+// retention GC genuinely frees injected "disk space". Negative n removes the
+// cap.
+func (f *FaultFS) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	f.budget = n
+	f.mu.Unlock()
+}
+
+// FreeSpace removes the write budget cap — the "operator freed disk space"
+// event.
+func (f *FaultFS) FreeSpace() { f.SetWriteBudget(-1) }
+
+// Trips returns a copy of the log of every injected fault, in order.
+func (f *FaultFS) Trips() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.trips...)
+}
+
+// check advances every rule matching (op, path) and returns the first rule
+// that trips on this occurrence, or nil.
+func (f *FaultFS) check(op Op, path string) *Rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var hit *Rule
+	for _, r := range f.rules {
+		if r.Op != op || (r.Path != "" && !strings.Contains(path, r.Path)) {
+			continue
+		}
+		r.count++
+		if hit != nil || r.done {
+			continue
+		}
+		if r.count == r.Nth || (r.Sticky && r.count > r.Nth) {
+			if !r.Sticky {
+				r.done = true
+			}
+			f.trips = append(f.trips, fmt.Sprintf("%s %s #%d", op, filepath.Base(path), r.count))
+			hit = r
+		}
+	}
+	return hit
+}
+
+// chargeWrite debits n bytes from the write budget, failing with ErrNoSpace
+// when the budget cannot cover them.
+func (f *FaultFS) chargeWrite(path string, n int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.budget < 0 {
+		return nil
+	}
+	if int64(n) > f.budget {
+		f.trips = append(f.trips, fmt.Sprintf("enospc %s (%d > budget %d)", filepath.Base(path), n, f.budget))
+		return ErrNoSpace
+	}
+	f.budget -= int64(n)
+	return nil
+}
+
+// credit returns n bytes to the write budget (space freed by a remove).
+func (f *FaultFS) credit(n int64) {
+	f.mu.Lock()
+	if f.budget >= 0 {
+		f.budget += n
+	}
+	f.mu.Unlock()
+}
+
+// pathSize sums the file bytes under path (a file or directory) via the
+// base FS, for budget credit on removal.
+func (f *FaultFS) pathSize(path string) int64 {
+	info, err := f.base.Stat(path)
+	if err != nil {
+		return 0
+	}
+	if !info.IsDir() {
+		return info.Size()
+	}
+	var total int64
+	entries, err := f.base.ReadDir(path)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		total += f.pathSize(filepath.Join(path, e.Name()))
+	}
+	return total
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if r := f.check(OpOpen, name); r != nil {
+		return nil, r.err()
+	}
+	base, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: base, fs: f, name: name}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	r := f.check(OpRead, name)
+	if r != nil && r.Mode != ModeCorruptRead && r.Mode != ModeTruncateRead {
+		return nil, r.err()
+	}
+	data, err := f.base.ReadFile(name)
+	if err != nil || r == nil || len(data) == 0 {
+		return data, err
+	}
+	switch r.Mode {
+	case ModeCorruptRead:
+		data[len(data)/2] ^= 0x01
+	case ModeTruncateRead:
+		data = data[:len(data)/2]
+	}
+	return data, nil
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.base.ReadDir(name) }
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	// Match rules against both names so a rule scripted on either the
+	// staging name or the committed name trips.
+	if r := f.check(OpRename, oldpath+" -> "+newpath); r != nil {
+		return r.err()
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if r := f.check(OpRemove, name); r != nil {
+		return r.err()
+	}
+	size := f.pathSize(name)
+	if err := f.base.Remove(name); err != nil {
+		return err
+	}
+	f.credit(size)
+	return nil
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	if r := f.check(OpRemove, path); r != nil {
+		return r.err()
+	}
+	size := f.pathSize(path)
+	if err := f.base.RemoveAll(path); err != nil {
+		return err
+	}
+	f.credit(size)
+	return nil
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) { return f.base.Stat(name) }
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if r := f.check(OpTruncate, name); r != nil {
+		return r.err()
+	}
+	return f.base.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	if r := f.check(OpSyncDir, name); r != nil {
+		return r.err()
+	}
+	return f.base.SyncDir(name)
+}
+
+// faultFile wraps a File so per-handle operations consult the script. It
+// deliberately does not expose Fd(): preallocation falls back to the
+// Truncate path, keeping every byte-extending operation visible to the
+// wrapper.
+type faultFile struct {
+	f    File
+	fs   *FaultFS
+	name string
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if r := ff.fs.check(OpWrite, ff.name); r != nil {
+		if r.Mode == ModeShortWrite && len(p) > 1 {
+			n, err := ff.f.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, r.err()
+		}
+		return 0, r.err()
+	}
+	if err := ff.fs.chargeWrite(ff.name, len(p)); err != nil {
+		return 0, err
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := ff.f.ReadAt(p, off)
+	if r := ff.fs.check(OpRead, ff.name); r != nil {
+		switch r.Mode {
+		case ModeCorruptRead:
+			if n > 0 {
+				p[n/2] ^= 0x01
+			}
+		case ModeTruncateRead:
+			if n > 0 {
+				return n / 2, r.err()
+			}
+		default:
+			return 0, r.err()
+		}
+	}
+	return n, err
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) Close() error {
+	if r := ff.fs.check(OpClose, ff.name); r != nil {
+		// Close the real handle anyway — the injected error models a
+		// buffered write surfacing at close, not a leaked descriptor.
+		_ = ff.f.Close() // best-effort: the injected error supersedes it
+		return r.err()
+	}
+	return ff.f.Close()
+}
+
+func (ff *faultFile) Name() string { return ff.name }
+
+func (ff *faultFile) Sync() error {
+	if r := ff.fs.check(OpSync, ff.name); r != nil {
+		return r.err()
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if r := ff.fs.check(OpTruncate, ff.name); r != nil {
+		return r.err()
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultFile) Stat() (os.FileInfo, error) { return ff.f.Stat() }
+
+// SeedNth derives a deterministic rule position in [1, max] from a seed and
+// a cell label — how fault-matrix tests turn one seed into a scripted,
+// reproducible schedule that still varies across cells. splitmix64 over an
+// FNV hash of the label keeps neighboring seeds uncorrelated.
+func SeedNth(seed int64, label string, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label)) // best-effort: hash.Hash Write never errors
+	z := uint64(seed)*0x9E3779B97F4A7C15 + h.Sum64()
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z%uint64(max)) + 1
+}

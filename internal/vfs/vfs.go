@@ -1,0 +1,83 @@
+// Package vfs abstracts the filesystem underneath every durability layer
+// (WAL segments, snapshot manifests and chunks, transfer staging) so that
+// disk faults — failed fsyncs, short writes, ENOSPC, read corruption — can
+// be injected deterministically in tests. Two implementations exist: OS, a
+// zero-overhead passthrough to the real filesystem (the *os.File handles it
+// returns satisfy File natively, so the WAL append hot path stays at
+// 0 allocs/op), and FaultFS (faultfs.go), a rule-scripted wrapper that
+// fails the Nth matching operation.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the handle surface the durability layers need. *os.File satisfies
+// it directly — implementations must honor the same contracts (Sync flushes
+// to stable storage, Truncate extends with zeros, ReadAt is positionless).
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+	Name() string
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem operations surface. Semantics mirror the os package
+// functions of the same names. SyncDir fsyncs a directory, making previously
+// committed renames/creates/removes inside it durable.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	MkdirAll(path string, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	Stat(name string) (os.FileInfo, error)
+	Truncate(name string, size int64) error
+	SyncDir(name string) error
+}
+
+// OS is the passthrough to the real filesystem. Interface method dispatch on
+// the returned *os.File handles adds no allocations.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		// Explicit nil: wrapping a nil *os.File in the interface would make
+		// callers' f != nil checks pass on a dead handle.
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) {
+	return os.ReadDir(name)
+}
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

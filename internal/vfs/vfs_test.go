@@ -1,0 +1,230 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeAll(t *testing.T, fs FS, path string, data []byte) {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bin")
+	writeAll(t, OS, path, []byte("hello world"))
+	got, err := OS.ReadFile(path)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := OS.Rename(path, path+".2"); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := OS.Stat(path + ".2"); err != nil || info.Size() != 11 {
+		t.Fatalf("Stat after rename = %v, %v", info, err)
+	}
+	if err := OS.Remove(path + ".2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSNthSyncTransientAndSticky(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(nil)
+	ff.Fail(Rule{Op: OpSync, Path: "wal", Nth: 2})               // transient
+	ff.Fail(Rule{Op: OpSync, Path: "wal", Nth: 4, Sticky: true}) // sticky from #4
+
+	f, err := ff.OpenFile(filepath.Join(dir, "wal-1.seg"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var got []error
+	for range 6 {
+		got = append(got, f.Sync())
+	}
+	want := []bool{false, true, false, true, true, true} // true = error
+	for i, e := range got {
+		if (e != nil) != want[i] {
+			t.Fatalf("sync #%d error = %v, want error=%v (all: %v)", i+1, e, want[i], got)
+		}
+	}
+	if !errors.Is(got[1], ErrInjected) {
+		t.Fatalf("transient fault error = %v, want ErrInjected", got[1])
+	}
+	if len(ff.Trips()) != 4 {
+		t.Fatalf("trips = %v, want 4 entries", ff.Trips())
+	}
+}
+
+func TestFaultFSPathFilterAndShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(nil)
+	ff.Fail(Rule{Op: OpWrite, Path: "target", Mode: ModeShortWrite})
+
+	// Non-matching path is untouched.
+	writeAll(t, ff, filepath.Join(dir, "other.bin"), []byte("unaffected"))
+
+	f, err := ff.OpenFile(filepath.Join(dir, "target.bin"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if err == nil || n != 5 {
+		t.Fatalf("short write = (%d, %v), want (5, error)", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "target.bin"))
+	if string(data) != "01234" {
+		t.Fatalf("on-disk bytes after short write = %q, want %q", data, "01234")
+	}
+}
+
+func TestFaultFSWriteBudgetAndCredit(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(nil)
+	ff.SetWriteBudget(10)
+
+	a := filepath.Join(dir, "a.bin")
+	writeAll(t, ff, a, []byte("12345678")) // 8 bytes, 2 left
+
+	f, err := ff.OpenFile(filepath.Join(dir, "b.bin"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("xyz")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("over-budget write error = %v, want ENOSPC", err)
+	}
+	// Removing a.bin credits its 8 bytes back; the same write now fits.
+	if err := ff.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("xyz")); err != nil {
+		t.Fatalf("write after credit: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ff.SetWriteBudget(0)
+	if err := writeErr(ff, filepath.Join(dir, "c.bin")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("zero budget write error = %v, want ENOSPC", err)
+	}
+	ff.FreeSpace()
+	if err := writeErr(ff, filepath.Join(dir, "c.bin")); err != nil {
+		t.Fatalf("write after FreeSpace: %v", err)
+	}
+}
+
+func writeErr(fs FS, path string) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("data"))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func TestFaultFSRenameAndOpenFaults(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(nil)
+	ff.Fail(Rule{Op: OpRename, Path: "manifest"})
+	ff.Fail(Rule{Op: OpOpen, Path: "blocked", Mode: ModeENOSPC})
+
+	src := filepath.Join(dir, "manifest.tmp")
+	writeAll(t, ff, src, []byte("m"))
+	if err := ff.Rename(src, filepath.Join(dir, "manifest-9.mf")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename error = %v, want injected", err)
+	}
+	// Rule was transient: the retry commits.
+	if err := ff.Rename(src, filepath.Join(dir, "manifest-9.mf")); err != nil {
+		t.Fatalf("rename retry: %v", err)
+	}
+	if _, err := ff.OpenFile(filepath.Join(dir, "blocked.seg"), os.O_WRONLY|os.O_CREATE, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("open error = %v, want ENOSPC", err)
+	}
+}
+
+func TestFaultFSReadCorruption(t *testing.T) {
+	dir := t.TempDir()
+	clean := []byte("0123456789abcdef")
+	path := filepath.Join(dir, "seg.bin")
+	writeAll(t, OS, path, clean)
+
+	ff := NewFaultFS(nil)
+	ff.Fail(Rule{Op: OpRead, Mode: ModeCorruptRead})
+	got, err := ff.ReadFile(path)
+	if err != nil || len(got) != len(clean) {
+		t.Fatalf("ReadFile = %d bytes, %v", len(got), err)
+	}
+	if string(got) == string(clean) {
+		t.Fatal("corrupt read returned clean bytes")
+	}
+
+	ff2 := NewFaultFS(nil)
+	ff2.Fail(Rule{Op: OpRead, Mode: ModeTruncateRead})
+	got, err = ff2.ReadFile(path)
+	if err != nil || len(got) != len(clean)/2 {
+		t.Fatalf("truncated ReadFile = %d bytes, %v; want %d", len(got), err, len(clean)/2)
+	}
+
+	ff3 := NewFaultFS(nil)
+	ff3.Fail(Rule{Op: OpRead, Mode: ModeCorruptRead})
+	f, err := ff3.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, len(clean))
+	if n, err := f.ReadAt(buf, 0); err != nil || n != len(clean) {
+		t.Fatalf("ReadAt = (%d, %v)", n, err)
+	}
+	if string(buf) == string(clean) {
+		t.Fatal("corrupt ReadAt returned clean bytes")
+	}
+}
+
+func TestSeedNthDeterministicAndInRange(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		for _, label := range []string{"wal-append/g1", "wal-fsync/g2", "chunk-write/g1"} {
+			a, b := SeedNth(seed, label, 4), SeedNth(seed, label, 4)
+			if a != b {
+				t.Fatalf("SeedNth not deterministic: %d vs %d", a, b)
+			}
+			if a < 1 || a > 4 {
+				t.Fatalf("SeedNth(%d, %q, 4) = %d out of range", seed, label, a)
+			}
+		}
+	}
+	// Different labels spread across the range for at least one seed.
+	seen := map[int]bool{}
+	for i := range 32 {
+		seen[SeedNth(7, string(rune('a'+i)), 4)] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("SeedNth degenerate spread: %v", seen)
+	}
+}

@@ -1,0 +1,356 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"gosmr/internal/vfs"
+	"gosmr/internal/wire"
+)
+
+// openFault opens a WAL over a scripted FaultFS with the deterministic
+// direct-create roll path (no preallocation pipeline) and an OnFault
+// counter.
+func openFault(t *testing.T, dir string, policy SyncPolicy, fs vfs.FS, faults *atomic.Int32) *WAL {
+	t.Helper()
+	w, recs, err := Open(Options{
+		Dir:            dir,
+		Policy:         policy,
+		PreallocSpares: -1,
+		FS:             fs,
+		OnFault: func(error) {
+			if faults != nil {
+				faults.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL replayed %d records", len(recs))
+	}
+	return w
+}
+
+// TestFsyncFailureFailStops pins the fsyncgate policy: the first failed
+// fsync on the append path permanently fail-stops the WAL — the durable
+// watermark freezes, later appends are ignored, OnFault fires exactly once
+// — even though the underlying fault was transient and a retried fsync
+// would have "succeeded".
+func TestFsyncFailureFailStops(t *testing.T) {
+	dir := t.TempDir()
+	fs := vfs.NewFaultFS(nil).Fail(vfs.Rule{Op: vfs.OpSync, Path: ".seg", Nth: 2})
+	var faults atomic.Int32
+	w := openFault(t, dir, SyncAlways, fs, &faults)
+	defer w.Close()
+
+	w.Append(Record{Type: RecAccept, ID: 1, View: 1, Value: []byte("acked")})
+	durable := w.DurableLSN()
+	if durable == 0 || w.Failed() != nil {
+		t.Fatalf("first append: durable=%d failed=%v, want durable>0 and healthy", durable, w.Failed())
+	}
+
+	w.Append(Record{Type: RecAccept, ID: 2, View: 1, Value: []byte("lost")})
+	if err := w.Failed(); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("after failed fsync: Failed() = %v, want injected fault", err)
+	}
+	if got := w.DurableLSN(); got != durable {
+		t.Fatalf("durable advanced across a failed fsync: %d -> %d", durable, got)
+	}
+
+	// The fault was transient — the third sync would succeed — but
+	// fail-stop is permanent: the append is a no-op and durable is frozen.
+	lsn := w.AppendedLSN()
+	w.Append(Record{Type: RecAccept, ID: 3, View: 1, Value: []byte("ignored")})
+	if got := w.AppendedLSN(); got != lsn {
+		t.Fatalf("append after fail-stop still encoded bytes: %d -> %d", lsn, got)
+	}
+	if got := w.DurableLSN(); got != durable {
+		t.Fatalf("durable advanced after fail-stop: %d -> %d", durable, got)
+	}
+	if n := faults.Load(); n != 1 {
+		t.Fatalf("OnFault fired %d times, want exactly 1", n)
+	}
+
+	// The acknowledged record survives a reopen on a healthy filesystem.
+	w.Close()
+	w2, recs := open(t, dir, SyncAlways, 0)
+	defer w2.Close()
+	found := false
+	for _, r := range recs {
+		if r.Type == RecAccept && r.ID == 1 && string(r.Value) == "acked" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("acked record missing after recovery; replayed %d records", len(recs))
+	}
+}
+
+// TestWriteFailureFailStops covers the write half of the fail-stop policy,
+// in both error shapes a dying disk produces: a rejected write and a short
+// write.
+func TestWriteFailureFailStops(t *testing.T) {
+	for _, mode := range []vfs.Mode{vfs.ModeError, vfs.ModeShortWrite} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			// Segment writes: #1 header, #2 first batch, #3 second batch.
+			fs := vfs.NewFaultFS(nil).Fail(vfs.Rule{Op: vfs.OpWrite, Path: ".seg", Nth: 3, Sticky: true, Mode: mode})
+			var faults atomic.Int32
+			w := openFault(t, dir, SyncAlways, fs, &faults)
+			defer w.Close()
+
+			w.Append(Record{Type: RecAccept, ID: 1, View: 1, Value: []byte("ok")})
+			durable := w.DurableLSN()
+			w.Append(Record{Type: RecAccept, ID: 2, View: 1, Value: []byte("torn")})
+			if w.Failed() == nil {
+				t.Fatal("failed write did not fail-stop the WAL")
+			}
+			if got := w.DurableLSN(); got != durable {
+				t.Fatalf("durable advanced across a failed write: %d -> %d", durable, got)
+			}
+			if n := faults.Load(); n != 1 {
+				t.Fatalf("OnFault fired %d times, want exactly 1", n)
+			}
+		})
+	}
+}
+
+// TestSyncBatchFsyncFailStopHoldsGate runs the same fsync fault under group
+// commit: the Syncer goroutine hits it, nothing ever becomes durable, and
+// the fault latches for the appender to observe.
+func TestSyncBatchFsyncFailStopHoldsGate(t *testing.T) {
+	dir := t.TempDir()
+	fs := vfs.NewFaultFS(nil).Fail(vfs.Rule{Op: vfs.OpSync, Path: ".seg", Nth: 1, Sticky: true})
+	var faults atomic.Int32
+	w := openFault(t, dir, SyncBatch, fs, &faults)
+	defer w.Close()
+
+	w.Append(Record{Type: RecAccept, ID: 1, View: 1, Value: []byte("gated")})
+	w.Sync() // force the drain instead of waiting out the group-commit floor
+	if w.Failed() == nil {
+		t.Fatal("failed group-commit fsync did not fail-stop the WAL")
+	}
+	if got := w.DurableLSN(); got != 0 {
+		t.Fatalf("durable = %d after a failed first fsync, want 0", got)
+	}
+	if n := faults.Load(); n != 1 {
+		t.Fatalf("OnFault fired %d times, want exactly 1", n)
+	}
+}
+
+// TestCheckpointRollENOSPCDegrades pins the degrade half of the fault
+// policy: when Checkpoint cannot create its fresh segment (ENOSPC), the WAL
+// keeps running — appends continue in the sealed-but-open current segment,
+// nothing is compacted, Failed() stays nil — and the next Checkpoint, with
+// space back, compacts normally.
+func TestCheckpointRollENOSPCDegrades(t *testing.T) {
+	dir := t.TempDir()
+	// Segment opens: #1 the first segment, #2 the checkpoint's roll target.
+	fs := vfs.NewFaultFS(nil).Fail(vfs.Rule{Op: vfs.OpOpen, Path: ".seg", Nth: 2, Mode: vfs.ModeENOSPC})
+	var faults atomic.Int32
+	w := openFault(t, dir, SyncAlways, fs, &faults)
+	defer w.Close()
+
+	for i := 1; i <= 4; i++ {
+		w.Append(Record{Type: RecAccept, ID: wire.InstanceID(i), View: 1, Value: []byte("v")})
+		w.Append(Record{Type: RecDecide, ID: wire.InstanceID(i)})
+	}
+	states := []Record{{Type: RecState, ID: 4, View: 1, Decided: true, Value: []byte("v")}}
+	err := w.Checkpoint(4, states)
+	if err == nil {
+		t.Fatal("Checkpoint with no space for its segment returned nil")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Checkpoint error = %v, want ENOSPC", err)
+	}
+	if w.Failed() != nil {
+		t.Fatalf("ENOSPC roll failure fail-stopped the WAL: %v", w.Failed())
+	}
+
+	// Degrade mode: appends keep landing durably in the old segment.
+	durable := w.DurableLSN()
+	w.Append(Record{Type: RecAccept, ID: 5, View: 1, Value: []byte("after-enospc")})
+	if got := w.DurableLSN(); got <= durable {
+		t.Fatalf("degrade-mode append not durable: %d -> %d", durable, got)
+	}
+
+	// Space freed (the transient rule is spent): the retry compacts.
+	states = append(states, Record{Type: RecState, ID: 5, View: 1, Decided: false, Value: []byte("after-enospc")})
+	if err := w.Checkpoint(5, states); err != nil {
+		t.Fatalf("Checkpoint retry after space freed: %v", err)
+	}
+	if n := faults.Load(); n != 0 {
+		t.Fatalf("OnFault fired %d times across a degrade cycle, want 0", n)
+	}
+	w.Close()
+
+	// The compacted log replays: the cut covers the old records, the dump
+	// carries the live state.
+	w2, recs := open(t, dir, SyncAlways, 0)
+	defer w2.Close()
+	sawCut := false
+	for _, r := range recs {
+		if r.Type == RecCkpt && r.ID == 5 {
+			sawCut = true
+		}
+	}
+	if !sawCut {
+		t.Fatalf("checkpoint cut missing from replay (%d records)", len(recs))
+	}
+}
+
+// TestCheckpointENOSPCFromWriteBudget drives the same degrade loop through
+// the byte-budget injector instead of a scripted Nth: the budget runs out
+// mid-checkpoint, retention GC (ShrinkRetention) credits bytes back, and
+// the retry lands.
+func TestShrinkRetentionFreesBudget(t *testing.T) {
+	dir := t.TempDir()
+	w, recs, err := Open(Options{
+		Dir: dir, Policy: SyncAlways, PreallocSpares: -1,
+		SegmentBytes: 256, RetainBytes: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL replayed %d records", len(recs))
+	}
+	// Three checkpoint generations; the generous byte budget retains every
+	// superseded segment.
+	id := wire.InstanceID(0)
+	for ckpt := 0; ckpt < 3; ckpt++ {
+		for i := 0; i < 4; i++ {
+			id++
+			w.Append(Record{Type: RecAccept, ID: id, View: 1, Value: make([]byte, 128)})
+			w.Append(Record{Type: RecDecide, ID: id})
+		}
+		if err := w.Checkpoint(id, []Record{{Type: RecState, ID: id, View: 1, Decided: true}}); err != nil {
+			t.Fatalf("checkpoint %d: %v", ckpt, err)
+		}
+	}
+	before := len(segFiles(t, dir))
+	removed := w.ShrinkRetention()
+	if removed == 0 {
+		t.Fatalf("ShrinkRetention removed nothing (%d segments retained)", before)
+	}
+	after := len(segFiles(t, dir))
+	if after >= before {
+		t.Fatalf("segment count %d -> %d after ShrinkRetention(%d)", before, after, removed)
+	}
+	// The generation floor survives: the WAL still reopens and replays.
+	w.Close()
+	w2, _ := open(t, dir, SyncAlways, 256)
+	w2.Close()
+}
+
+// TestCorruptSealedSegmentQuarantineReopen walks the full quarantine flow:
+// a sealed (non-final) segment fails its CRC at Open, the typed
+// CorruptError names it, QuarantineSegments renames every segment aside,
+// and a fresh Open on the same directory boots an empty, working log.
+func TestCorruptSealedSegmentQuarantineReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, recs, err := Open(Options{Dir: dir, Policy: SyncAlways, PreallocSpares: -1, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL replayed %d records", len(recs))
+	}
+	for i := 1; i <= 8; i++ {
+		w.Append(Record{Type: RecAccept, ID: wire.InstanceID(i), View: 1, Value: make([]byte, 128)})
+	}
+	w.Close()
+	segs := segFiles(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("want >= 2 segments for a sealed-corruption test, got %v", segs)
+	}
+
+	// Flip one bit mid-record in the FIRST (sealed, non-final) segment.
+	first := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x01
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = Open(Options{Dir: dir, Policy: SyncAlways, PreallocSpares: -1, SegmentBytes: 256})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open over sealed corruption = %v, want *CorruptError", err)
+	}
+	if ce.Segment != first {
+		t.Fatalf("CorruptError.Segment = %q, want %q", ce.Segment, first)
+	}
+
+	quarantined, err := QuarantineSegments(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != len(segs) {
+		t.Fatalf("quarantined %v, want all of %v (records above a corrupt segment depend on it)", quarantined, segs)
+	}
+	for _, name := range quarantined {
+		if _, err := os.Stat(filepath.Join(dir, name+".corrupt")); err != nil {
+			t.Fatalf("quarantined segment %s.corrupt missing: %v", name, err)
+		}
+	}
+	if left := segFiles(t, dir); len(left) != 0 {
+		t.Fatalf("segments left in namespace after quarantine: %v", left)
+	}
+
+	// The directory is usable again: empty replay, appends work.
+	w2, recs, err := Open(Options{Dir: dir, Policy: SyncAlways, PreallocSpares: -1, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != 0 {
+		t.Fatalf("post-quarantine replay returned %d records, want 0", len(recs))
+	}
+	w2.Append(Record{Type: RecAccept, ID: 99, View: 2, Value: []byte("fresh")})
+	if w2.Failed() != nil || w2.DurableLSN() == 0 {
+		t.Fatalf("post-quarantine WAL unhealthy: failed=%v durable=%d", w2.Failed(), w2.DurableLSN())
+	}
+}
+
+// TestTornFinalTailStillRecovers contrasts the corruption refusal: a torn
+// tail on the FINAL segment is the expected crash artifact and replay
+// truncates it instead of refusing.
+func TestTornFinalTailStillRecovers(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, Policy: SyncAlways, PreallocSpares: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(Record{Type: RecAccept, ID: 1, View: 1, Value: []byte("whole")})
+	w.Close()
+	segs := segFiles(t, dir)
+	path := filepath.Join(dir, segs[len(segs)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append half a record: a crash mid-write.
+	torn := append(data, encodeRecord(nil, Record{Type: RecAccept, ID: 2, View: 1, Value: []byte("torn")})[:7]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, recs, err := Open(Options{Dir: dir, Policy: SyncAlways, PreallocSpares: -1})
+	if err != nil {
+		t.Fatalf("torn final tail must recover, got %v", err)
+	}
+	defer w2.Close()
+	if len(recs) != 1 || recs[0].ID != 1 {
+		t.Fatalf("replay = %+v, want exactly the whole record", recs)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"gosmr/internal/vfs"
 )
 
 // filePipeline prepares the next segment file ahead of time, off the fsync
@@ -22,6 +24,7 @@ import (
 // The pipeline is strictly an optimization: if it falls behind (or died on
 // a disk error) the roll falls back to the direct-create path.
 type filePipeline struct {
+	fs   vfs.FS
 	dir  string
 	size int64
 	sync bool // fsync prepared spares (off under SyncNone)
@@ -45,8 +48,9 @@ func isSpareName(name string) bool {
 
 // newFilePipeline starts the preparation goroutine with room for `spares`
 // ready files (the "create N+1 ahead" depth).
-func newFilePipeline(dir string, size int64, spares int, sync bool) *filePipeline {
+func newFilePipeline(fs vfs.FS, dir string, size int64, spares int, sync bool) *filePipeline {
 	p := &filePipeline{
+		fs:      fs,
 		dir:     dir,
 		size:    size,
 		sync:    sync,
@@ -72,7 +76,8 @@ func (p *filePipeline) run() {
 		select {
 		case p.ready <- path:
 		case <-p.stopc:
-			_ = os.Remove(path)
+			// best-effort: Open discards leftover spares at next boot.
+			_ = p.fs.Remove(path)
 			return
 		}
 	}
@@ -93,11 +98,11 @@ func (p *filePipeline) prepareOne() (string, error) {
 	if src != "" {
 		// Reuse the GC'd file's inode. A concurrent second Checkpoint may
 		// have removed it already; fall through to plain creation then.
-		if err := os.Rename(src, spare); err != nil {
+		if err := p.fs.Rename(src, spare); err != nil {
 			src = ""
 		}
 	}
-	f, err := os.OpenFile(spare, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := p.fs.OpenFile(spare, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return "", err
 	}
@@ -105,16 +110,16 @@ func (p *filePipeline) prepareOne() (string, error) {
 	// reads as zeros everywhere it has not been rewritten, even after a
 	// crash (truncation and block allocation are journaled metadata).
 	if err := f.Truncate(0); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the failed spare is abandoned
 		return "", err
 	}
 	if err := preallocate(f, p.size); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the failed spare is abandoned
 		return "", err
 	}
 	if p.sync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort: the failed spare is abandoned
 			return "", err
 		}
 	}
@@ -154,9 +159,12 @@ func (p *filePipeline) stop() {
 	for {
 		select {
 		case path := <-p.ready:
-			_ = os.Remove(path)
+			// best-effort: unconsumed spares are re-dropped at next Open.
+			_ = p.fs.Remove(path)
 		case path := <-p.recycle:
-			_ = os.Remove(path)
+			// best-effort: an unprocessed recycled segment is below every
+			// checkpoint cut; replay covers it idempotently.
+			_ = p.fs.Remove(path)
 		default:
 			return
 		}

@@ -3,17 +3,24 @@
 package wal
 
 import (
-	"os"
 	"syscall"
+
+	"gosmr/internal/vfs"
 )
 
 // preallocate reserves size bytes for f and extends it to that length; the
 // unwritten range reads as zeros. fallocate allocates real blocks — so the
 // steady-state fsync loop never waits on block allocation — with a sparse
-// fallback for filesystems that do not support it.
-func preallocate(f *os.File, size int64) error {
+// fallback for filesystems that do not support it and for injected
+// filesystems whose files carry no descriptor (correctness — zero reads,
+// crash safety — is identical either way).
+func preallocate(f vfs.File, size int64) error {
+	fd, ok := f.(interface{ Fd() uintptr })
+	if !ok {
+		return f.Truncate(size)
+	}
 	for {
-		err := syscall.Fallocate(int(f.Fd()), 0, 0, size)
+		err := syscall.Fallocate(int(fd.Fd()), 0, 0, size)
 		switch err {
 		case nil:
 			return nil

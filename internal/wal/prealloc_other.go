@@ -2,12 +2,12 @@
 
 package wal
 
-import "os"
+import "gosmr/internal/vfs"
 
 // preallocate extends f to size; the extension reads as zeros. Without a
 // portable fallocate this is a sparse extension — correctness (zero reads,
 // crash safety) is identical, only the block-allocation smoothing of the
 // Linux path is lost.
-func preallocate(f *os.File, size int64) error {
+func preallocate(f vfs.File, size int64) error {
 	return f.Truncate(size)
 }

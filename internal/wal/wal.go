@@ -26,6 +26,19 @@
 //     loses nothing and a kill usually loses at most the last instants
 //     (records reach the OS within MinSyncInterval), but there is no
 //     durability guarantee of any kind.
+//
+// Disk faults follow an explicit policy (the README's "Failure model"
+// section): any write, fsync, seal, or close failure on the append path is
+// FAIL-STOP — the WAL latches Failed(), the durable watermark freezes
+// forever (a failed fsync may mean the kernel already dropped the dirty
+// pages, so retrying it and re-reporting success would un-durable records
+// peers observed — the fsyncgate lesson), and the OnFault hook lets the
+// replica stop participating so the quorum continues without it. Failing to
+// CREATE the next segment (ENOSPC, typically) merely DEGRADES: the current
+// segment is already sealed and keeps absorbing appends past its nominal
+// size, and the roll is retried. Corruption of a sealed segment found at
+// Open is reported as *CorruptError so a clustered caller can quarantine
+// the directory (QuarantineSegments) and rejoin via state transfer.
 package wal
 
 import (
@@ -41,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gosmr/internal/vfs"
 	"gosmr/internal/wire"
 )
 
@@ -263,6 +277,15 @@ type Options struct {
 	// sync advances the durable watermark. Callbacks must not block for
 	// long and must not call back into the WAL.
 	OnDurable func(durable int64)
+	// FS abstracts the filesystem for fault injection; nil selects the real
+	// filesystem (vfs.OS, a zero-overhead passthrough).
+	FS vfs.FS
+	// OnFault, if non-nil, is called exactly once — from whichever goroutine
+	// first hit the failure — when the WAL fail-stops on an unrecoverable
+	// disk error. It must not block and must not call back into the WAL
+	// synchronously (Close in particular: the callback may run on the Syncer
+	// goroutine Close waits for).
+	OnFault func(err error)
 }
 
 // WAL is one ordering group's write-ahead log. Append is single-appender
@@ -270,10 +293,18 @@ type Options struct {
 // concurrently with it.
 type WAL struct {
 	dir      string
+	fs       vfs.FS
 	policy   SyncPolicy
 	segBytes int64
 	minSync  time.Duration
 	onSync   func(int64)
+	onFault  func(error)
+
+	// fault latches the first unrecoverable disk error (fail-stop). Once
+	// set: the durable watermark never advances again, Append becomes a
+	// no-op, and Close skips the final seal — nothing may be re-reported
+	// durable after a failed write or fsync.
+	fault atomic.Pointer[faultErr]
 
 	// adaptive group commit: when adaptive is set (MinSyncInterval was
 	// unset), the Syncer spaces fsyncs at fsyncEWMA/syncShare instead of
@@ -300,7 +331,7 @@ type WAL struct {
 	// fileMu serializes all file access: the Syncer's drain, Checkpoint,
 	// SyncAlways appends, and Close.
 	fileMu   sync.Mutex
-	f        *os.File
+	f        vfs.File
 	fileSize int64 // logical size: header + records written this incarnation
 	prealloc bool  // current segment is preallocated (physical size > logical)
 	seq      int   // current segment sequence number
@@ -343,6 +374,81 @@ type WAL struct {
 	closed bool
 }
 
+// faultErr boxes the latched fail-stop error (atomic.Pointer element type).
+type faultErr struct{ err error }
+
+// Failed returns the latched fail-stop error, or nil while the WAL is
+// healthy. Safe (and allocation-free) from any goroutine.
+func (w *WAL) Failed() error {
+	if p := w.fault.Load(); p != nil {
+		return p.err
+	}
+	return nil
+}
+
+// fail latches the fail-stop state and fires OnFault exactly once. Returns
+// the latched error (the first one wins; later callers see it, not theirs).
+func (w *WAL) fail(op string, err error) error {
+	fe := &faultErr{err: fmt.Errorf("wal: %s: %w", op, err)}
+	if w.fault.CompareAndSwap(nil, fe) && w.onFault != nil {
+		w.onFault(fe.err)
+	}
+	return w.Failed()
+}
+
+// CorruptError is Open's report of unrecoverable corruption in a sealed
+// (non-final) segment: fsynced acceptor state peers may have observed is
+// unreadable. The caller owns the policy decision — a clustered replica can
+// quarantine the directory (QuarantineSegments) and rejoin via snapshot +
+// state transfer, while a single replica has no safe fallback and must
+// surface the error.
+type CorruptError struct {
+	Segment string // path of the corrupt segment file
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: segment %s is corrupt below later segments: fsynced records are unreadable", e.Segment)
+}
+
+// QuarantineSegments renames every WAL segment file in dir to
+// <name>.corrupt, removing it from replay's view while preserving the bytes
+// for forensics, and returns the names it quarantined. ALL segments move,
+// not just the corrupt one: records above a corrupt segment depend on the
+// unreadable prefix (acceptor state is cumulative), so a partial replay
+// would be exactly the half-blind boot the corruption refusal exists to
+// prevent. After quarantine, Open finds an empty log and the replica
+// rebuilds from the snapshot store and state transfer.
+func QuarantineSegments(fsys vfs.FS, dir string) ([]string, error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: quarantine read dir: %w", err)
+	}
+	var quarantined []string
+	for _, e := range entries {
+		name := e.Name()
+		var seq int
+		if _, err := fmt.Sscanf(name, "wal-%08d.seg", &seq); err != nil || name != segName(seq) {
+			continue
+		}
+		if err := fsys.Rename(filepath.Join(dir, name), filepath.Join(dir, name+".corrupt")); err != nil {
+			return quarantined, fmt.Errorf("wal: quarantine %s: %w", name, err)
+		}
+		quarantined = append(quarantined, name)
+	}
+	if len(quarantined) > 0 {
+		if err := fsys.SyncDir(dir); err != nil {
+			return quarantined, fmt.Errorf("wal: quarantine fsync dir: %w", err)
+		}
+	}
+	return quarantined, nil
+}
+
 // Open creates or reopens the WAL in dir and returns every intact record in
 // append order for replay. A torn tail of the FINAL segment (a crash
 // mid-write) is truncated away — under the batch and always policies,
@@ -350,10 +456,15 @@ type WAL struct {
 // record was ever observable by a peer. Corruption anywhere else is not a
 // crash artifact (a segment is fsynced before its successor is created): it
 // means fsynced acceptor state this replica may have advertised is gone, so
-// Open refuses to proceed rather than reboot the acceptor with amnesia.
+// Open refuses to proceed — with *CorruptError, so a caller that has a safe
+// fallback can quarantine and rejoin — rather than silently reboot the
+// acceptor with amnesia.
 func Open(opts Options) (*WAL, []Record, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.FS == nil {
+		opts.FS = vfs.OS
 	}
 	adaptive := opts.MinSyncInterval == 0
 	if adaptive {
@@ -365,11 +476,12 @@ func Open(opts Options) (*WAL, []Record, error) {
 	if opts.RetainCheckpoints < 1 {
 		opts.RetainCheckpoints = DefaultRetainCheckpoints
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
 	}
 	w := &WAL{
 		dir:         opts.Dir,
+		fs:          opts.FS,
 		policy:      opts.Policy,
 		segBytes:    opts.SegmentBytes,
 		minSync:     opts.MinSyncInterval,
@@ -378,6 +490,7 @@ func Open(opts Options) (*WAL, []Record, error) {
 		retainCkpts: opts.RetainCheckpoints,
 		retainBytes: opts.RetainBytes,
 		onSync:      opts.OnDurable,
+		onFault:     opts.OnFault,
 		pendRange:   emptyRange,
 		segIndex:    make(map[int]segRange),
 		curRange:    emptyRange,
@@ -387,10 +500,12 @@ func Open(opts Options) (*WAL, []Record, error) {
 	// Leftover pipeline spares are in an unknown preparation state after a
 	// crash (their zero fill may not be durable): discard them before
 	// anything else, so a stale spare can never be renamed into a segment.
-	if entries, err := os.ReadDir(opts.Dir); err == nil {
+	if entries, err := w.fs.ReadDir(opts.Dir); err == nil {
 		for _, e := range entries {
 			if isSpareName(e.Name()) {
-				_ = os.Remove(filepath.Join(opts.Dir, e.Name()))
+				// best-effort: a stale spare that survives is still outside
+				// the segment namespace and gets re-prepared or re-dropped.
+				_ = w.fs.Remove(filepath.Join(opts.Dir, e.Name()))
 			}
 		}
 	}
@@ -403,7 +518,7 @@ func Open(opts Options) (*WAL, []Record, error) {
 		if spares == 0 {
 			spares = 1
 		}
-		w.pipeline = newFilePipeline(opts.Dir, opts.SegmentBytes, spares, opts.Policy != SyncNone)
+		w.pipeline = newFilePipeline(w.fs, opts.Dir, opts.SegmentBytes, spares, opts.Policy != SyncNone)
 	}
 	if w.policy != SyncAlways {
 		w.wg.Add(1)
@@ -415,16 +530,19 @@ func Open(opts Options) (*WAL, []Record, error) {
 // segName formats a segment file name; lexical order is append order.
 func segName(seq int) string { return fmt.Sprintf("wal-%08d.seg", seq) }
 
-// segments lists the existing segment sequence numbers in order.
+// segments lists the existing segment sequence numbers in order. The
+// round-trip check against segName rejects names Sscanf merely
+// prefix-matches — "wal-00000001.seg.corrupt" parses as 1 but is a
+// quarantined file, not a segment.
 func (w *WAL) segments() ([]int, error) {
-	entries, err := os.ReadDir(w.dir)
+	entries, err := w.fs.ReadDir(w.dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: read dir: %w", err)
 	}
 	var seqs []int
 	for _, e := range entries {
 		var seq int
-		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &seq); err == nil {
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &seq); err == nil && e.Name() == segName(seq) {
 			seqs = append(seqs, seq)
 		}
 	}
@@ -439,10 +557,32 @@ func (w *WAL) replay() ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Drop trailing headerless segments first. A crash at segment creation
+	// leaves one; so does a crashed degrade-mode roll (file created, header
+	// write failed, removal not yet durable). Either way the PREDECESSOR was
+	// the live append target and may legally carry a torn tail, so finality
+	// for the corruption check below must rest on the newest segment that
+	// actually holds an intact header.
+	for len(seqs) > 0 {
+		last := seqs[len(seqs)-1]
+		path := filepath.Join(w.dir, segName(last))
+		data, err := w.fs.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: read segment: %w", err)
+		}
+		if _, valid, _ := scanSegment(data); valid >= segHeaderSize {
+			break
+		}
+		if err := w.fs.Remove(path); err != nil {
+			return nil, fmt.Errorf("wal: drop headerless segment: %w", err)
+		}
+		w.seq = last
+		seqs = seqs[:len(seqs)-1]
+	}
 	var recs []Record
 	for i, seq := range seqs {
 		path := filepath.Join(w.dir, segName(seq))
-		data, err := os.ReadFile(path)
+		data, err := w.fs.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("wal: read segment: %w", err)
 		}
@@ -464,9 +604,10 @@ func (w *WAL) replay() ([]Record, error) {
 			// A torn record below later segments cannot come from a crash
 			// (segments are fsynced before their successors exist): this is
 			// corruption of durable state peers may have observed. Refusing
-			// to boot is the safe outcome; the operator clears the data dir
-			// and the replica rejoins via state transfer.
-			return nil, fmt.Errorf("wal: segment %s is corrupt below later segments; clear the data dir to rejoin via state transfer", path)
+			// to boot is the safe outcome; a clustered caller quarantines the
+			// directory and rejoins via state transfer (single replicas have
+			// no fallback and surface the error to the operator).
+			return nil, &CorruptError{Segment: path}
 		}
 		recs = append(recs, segRecs...)
 		if intact && i < len(seqs)-1 {
@@ -475,20 +616,11 @@ func (w *WAL) replay() ([]Record, error) {
 		}
 		// Final segment: truncate a torn tail and append here from now on.
 		if !intact {
-			if err := os.Truncate(path, valid); err != nil {
+			if err := w.fs.Truncate(path, valid); err != nil {
 				return nil, fmt.Errorf("wal: repair torn segment: %w", err)
 			}
 		}
-		if valid < segHeaderSize {
-			// Not even an intact header (a crash at segment creation):
-			// discard the file; the next append starts a fresh segment.
-			if err := os.Remove(path); err != nil {
-				return nil, fmt.Errorf("wal: drop headerless segment: %w", err)
-			}
-			w.seq = seq
-			return recs, nil
-		}
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: reopen segment: %w", err)
 		}
@@ -496,8 +628,8 @@ func (w *WAL) replay() ([]Record, error) {
 		w.curRange = rng // resume accumulating the reopened segment's range
 		return recs, nil
 	}
-	// Empty directory: the first Append opens segment 1.
-	w.seq = 0
+	// Empty directory (or only headerless segments, dropped above): the
+	// first Append rolls to a fresh segment.
 	return recs, nil
 }
 
@@ -679,9 +811,17 @@ func decodeRecord(b []byte) (rec Record, n int, ok bool) {
 // Append journals rec. Under SyncBatch and SyncNone it only copies the
 // encoding into the pending buffer and wakes the Syncer — it never blocks
 // on the disk. Under SyncAlways it writes and fsyncs inline. Disk failures
-// panic: an acceptor that cannot persist its promises must stop rather than
-// keep acknowledging ballots it will forget.
+// fail-stop the WAL (Failed() latches, the durable watermark freezes, and
+// the OnFault hook fires): an acceptor that cannot persist its promises
+// must stop acknowledging ballots it will forget, and after a failed fsync
+// the kernel may already have dropped the pages — retrying is unsound.
+// Appends after the fault are silently dropped; they could never become
+// durable and nothing downstream may observe them (the caller's durable
+// gate holds their output forever).
 func (w *WAL) Append(rec Record) {
+	if w.Failed() != nil {
+		return
+	}
 	w.mu.Lock()
 	w.buf = encodeRecord(w.buf, rec)
 	if slotBearing(rec.Type) {
@@ -742,6 +882,9 @@ func (w *WAL) runSyncer() {
 			lastSync = time.Now()
 		}
 		w.syncNow()
+		if w.Failed() != nil {
+			return // fail-stop: nothing will ever become durable again
+		}
 	}
 }
 
@@ -759,8 +902,14 @@ const maxRecycledBuf = 1 << 20
 
 // drainLocked does the work of syncNow with fileMu held. The pending buffer
 // and its spare double-buffer each other: the appender fills one while the
-// Syncer writes the other, so steady-state appends never allocate.
+// Syncer writes the other, so steady-state appends never allocate. On any
+// write or fsync failure it returns WITHOUT advancing the durable watermark
+// — the batch was never durable and, with the WAL now fail-stopped, never
+// will be.
 func (w *WAL) drainLocked() {
+	if w.Failed() != nil {
+		return
+	}
 	w.mu.Lock()
 	pending := w.buf
 	w.buf = w.spare[:0]
@@ -774,7 +923,9 @@ func (w *WAL) drainLocked() {
 		w.recycleBuf(pending)
 		return
 	}
-	w.writeLocked(pending)
+	if !w.writeLocked(pending) {
+		return // fail-stopped inside the write path
+	}
 	// After writeLocked: a roll happens before the batch is written, so the
 	// whole batch — and its slot range — belongs to the (possibly new)
 	// current segment.
@@ -782,7 +933,12 @@ func (w *WAL) drainLocked() {
 	if w.policy != SyncNone {
 		start := time.Now()
 		if err := w.f.Sync(); err != nil {
-			panic(fmt.Sprintf("wal: fsync %s: %v", w.f.Name(), err))
+			// fsyncgate: the kernel may have dropped the dirty pages and
+			// cleared the error; a retried fsync that "succeeds" proves
+			// nothing. The records in this batch are not durable and must
+			// never be reported as such.
+			w.fail("fsync "+w.f.Name(), err)
+			return
 		}
 		w.observeFsync(time.Since(start))
 	}
@@ -863,7 +1019,7 @@ func (w *WAL) retentionFloorLocked() int {
 	var total int64
 	for i := len(seqs) - 1; i >= 0; i-- {
 		size := int64(0)
-		if fi, err := os.Stat(filepath.Join(w.dir, segName(seqs[i]))); err == nil {
+		if fi, err := w.fs.Stat(filepath.Join(w.dir, segName(seqs[i]))); err == nil {
 			size = fi.Size() // physical size: preallocated tails count
 		}
 		if seqs[i] >= floor {
@@ -892,50 +1048,73 @@ func (w *WAL) recycleBuf(b []byte) {
 }
 
 // writeLocked writes b to the current segment, rolling first if the segment
-// is full. Requires fileMu.
-func (w *WAL) writeLocked(b []byte) {
+// is full, and reports whether the bytes reached the file. A roll failure
+// with the old segment still open is the DEGRADE path: the sealed current
+// segment absorbs the batch past its nominal size and the roll is retried
+// at the next size check. Every other failure fail-stops. Requires fileMu.
+func (w *WAL) writeLocked(b []byte) bool {
 	if w.f == nil || w.fileSize >= w.segBytes {
-		w.rollLocked()
+		if err := w.rollLocked(); err != nil && w.f == nil {
+			return false // fail-stopped: no segment to fall back to
+		}
 	}
 	if _, err := w.f.Write(b); err != nil {
-		panic(fmt.Sprintf("wal: write %s: %v", w.f.Name(), err))
+		w.fail("write "+w.f.Name(), err)
+		return false
 	}
 	w.fileSize += int64(len(b))
+	return true
 }
 
-// rollLocked seals the current segment and opens the next one. Sealing
-// fsyncs the old segment (so only the newest segment ever has a torn tail)
-// and trims a preallocated segment's zero padding — with a second fsync
-// making the new length durable — so every sealed segment scans intact: the
-// corruption refusal for non-final segments stays sound under recycling.
+// rollLocked seals the current segment and switches to the next one.
+// Sealing — fsync records, trim preallocated padding, fsync the new length
+// — happens BEFORE the successor is created, preserving the invariant that
+// only the newest headed segment ever has a torn tail; the old file is
+// closed only after the successor is in place. Failures split by layer:
+//
+//   - Seal or close failure is FAIL-STOP: the records at risk are exactly
+//     the durable prefix peers may have observed (a close can surface
+//     buffered write errors, so it counts as a sync failure).
+//   - Failure to OBTAIN the next segment (create/header/dir-fsync —
+//     typically ENOSPC) DEGRADES when the old segment is still open: the
+//     error is returned, the sealed old segment keeps absorbing appends,
+//     and the caller retries later. With no old segment to fall back to it
+//     fail-stops.
+//
 // The next file comes from the preallocation pipeline when one is ready
 // (rename + header write, no create or block allocation on this thread) and
 // falls back to plain creation otherwise. The directory is fsynced after
 // the rename/create: without it the durable watermark could cover records
 // in a file whose directory entry does not survive a machine crash.
-func (w *WAL) rollLocked() {
+// Requires fileMu.
+func (w *WAL) rollLocked() error {
 	if w.f != nil {
-		w.sealLocked()
+		if err := w.sealCurrentLocked(); err != nil {
+			return w.fail("seal "+w.f.Name(), err)
+		}
 	}
-	w.seq++
-	path := filepath.Join(w.dir, segName(w.seq))
-	var f *os.File
-	w.prealloc = false
+	seq := w.seq + 1
+	path := filepath.Join(w.dir, segName(seq))
+	var f vfs.File
+	prealloc := false
 	if w.pipeline != nil {
 		if spare, ok := w.pipeline.take(); ok {
-			if err := os.Rename(spare, path); err == nil {
-				if ff, err := os.OpenFile(path, os.O_RDWR, 0o644); err == nil {
-					f, w.prealloc = ff, true
+			if err := w.fs.Rename(spare, path); err == nil {
+				if ff, err := w.fs.OpenFile(path, os.O_RDWR, 0o644); err == nil {
+					f, prealloc = ff, true
 				}
 			} else {
-				_ = os.Remove(spare)
+				// best-effort: an unremovable dead spare is outside the
+				// segment namespace and harmless; the direct create below
+				// takes over.
+				_ = w.fs.Remove(spare)
 			}
 		}
 	}
 	if f == nil {
-		ff, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		ff, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
-			panic(fmt.Sprintf("wal: create segment %s: %v", path, err))
+			return w.rollFailedLocked(fmt.Sprintf("create segment %s", path), err)
 		}
 		f = ff
 	}
@@ -943,54 +1122,87 @@ func (w *WAL) rollLocked() {
 	binary.LittleEndian.PutUint32(hdr[:], segMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], segVersion)
 	if _, err := f.Write(hdr[:]); err != nil {
-		panic(fmt.Sprintf("wal: write segment header: %v", err))
+		w.abandonSegmentLocked(f, path)
+		return w.rollFailedLocked("write segment header", err)
 	}
 	if w.policy != SyncNone {
-		w.syncDir()
+		if err := w.fs.SyncDir(w.dir); err != nil {
+			w.abandonSegmentLocked(f, path)
+			return w.rollFailedLocked("fsync dir "+w.dir, err)
+		}
 	}
-	w.f, w.fileSize = f, segHeaderSize
+	// The successor exists and is durable: retire the old segment. Close is
+	// where some filesystems first report buffered write failures, so a
+	// close error is a sync failure — fail-stop, and the new segment is
+	// abandoned with the rest of the replica.
+	if w.f != nil {
+		if err := w.f.Close(); err != nil {
+			_ = f.Close() // best-effort: fail-stopping anyway
+			return w.fail("close "+w.f.Name(), err)
+		}
+		w.segIndex[w.seq] = w.curRange
+		w.curRange = emptyRange
+	}
+	w.seq = seq
+	w.f, w.fileSize, w.prealloc = f, segHeaderSize, prealloc
+	return nil
 }
 
-// sealLocked finishes the current segment: fsync its records, trim
-// preallocated padding, and close it. After sealing, the file's bytes are
-// exactly its intact records — a later replay must never have to guess
-// where a recycled file's zero tail begins in a non-final segment.
-func (w *WAL) sealLocked() {
+// rollFailedLocked classifies a failure to obtain the next segment: degrade
+// (return the error, keep appending to the still-open old segment) when
+// possible, fail-stop when there is no old segment to fall back to.
+func (w *WAL) rollFailedLocked(op string, err error) error {
+	if w.f != nil {
+		return fmt.Errorf("wal: %s: %w", op, err)
+	}
+	return w.fail(op, err)
+}
+
+// abandonSegmentLocked discards a partially-initialized successor segment.
+// The removal matters: a headerless file ABOVE the live append target would
+// make a later torn tail look like non-final corruption at boot. If the
+// file cannot be removed, fail-stop rather than leave that trap armed.
+func (w *WAL) abandonSegmentLocked(f vfs.File, path string) {
+	_ = f.Close() // best-effort: nothing in the file is wanted
+	if err := w.fs.Remove(path); err != nil {
+		w.fail("abandon segment "+path, err)
+		return
+	}
+	if w.policy != SyncNone {
+		// best-effort: if the removal is not durable, replay's trailing-
+		// headerless repair drops the leftover at next boot.
+		_ = w.fs.SyncDir(w.dir)
+	}
+}
+
+// sealCurrentLocked makes the current segment's bytes exactly its intact
+// records: fsync the records, trim preallocated zero padding, fsync the new
+// length — a later replay must never have to guess where a recycled file's
+// zero tail begins in a non-final segment. The file stays OPEN: rollLocked
+// closes it only once the successor exists, and a failed successor creation
+// resumes appending here. Idempotent, so a degrade-mode roll retry re-seals
+// cheaply. Requires fileMu.
+func (w *WAL) sealCurrentLocked() error {
 	if w.policy != SyncNone {
 		if err := w.f.Sync(); err != nil {
-			panic(fmt.Sprintf("wal: fsync %s: %v", w.f.Name(), err))
+			return err
 		}
 	}
 	if w.prealloc {
 		if err := w.f.Truncate(w.fileSize); err != nil {
-			panic(fmt.Sprintf("wal: trim %s: %v", w.f.Name(), err))
+			return err
 		}
 		if w.policy != SyncNone {
 			// The truncation itself must be durable before a successor
 			// segment exists, or a crash could revive the zero tail under a
 			// non-final segment and trip the corruption refusal.
 			if err := w.f.Sync(); err != nil {
-				panic(fmt.Sprintf("wal: fsync %s: %v", w.f.Name(), err))
+				return err
 			}
 		}
+		w.prealloc = false
 	}
-	_ = w.f.Close()
-	w.f, w.prealloc = nil, false
-	w.segIndex[w.seq] = w.curRange
-	w.curRange = emptyRange
-}
-
-// syncDir fsyncs the WAL directory so segment creations and deletions are
-// themselves durable.
-func (w *WAL) syncDir() {
-	d, err := os.Open(w.dir)
-	if err != nil {
-		panic(fmt.Sprintf("wal: open dir %s: %v", w.dir, err))
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		panic(fmt.Sprintf("wal: fsync dir %s: %v", w.dir, err))
-	}
+	return nil
 }
 
 // Checkpoint compacts the WAL after a snapshot covering everything below
@@ -1003,7 +1215,13 @@ func (w *WAL) syncDir() {
 // Called by the owning Protocol thread on log truncation — the one WAL
 // operation that intentionally touches the disk on that thread (snapshots
 // are rare).
-func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
+//
+// A returned error with Failed() still nil is the DEGRADE outcome: the
+// roll to a fresh checkpoint segment failed (ENOSPC, typically), nothing
+// was compacted, appends continue in the current segment, and the caller
+// retries at the next truncation. Failures past the roll — the dump's own
+// write or fsync — fail-stop like any append-path failure.
+func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) error {
 	var cp []byte
 	cp = encodeRecord(cp, Record{Type: RecCkpt, ID: cut})
 	cpRng := emptyRange
@@ -1016,22 +1234,33 @@ func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
 
 	w.fileMu.Lock()
 	defer w.fileMu.Unlock()
+	if err := w.Failed(); err != nil {
+		return err
+	}
 	// Everything appended so far belongs before the checkpoint; drain it
 	// into the old segment first so record order matches append order.
 	w.drainLocked()
+	if err := w.Failed(); err != nil {
+		return err
+	}
+	if err := w.rollLocked(); err != nil {
+		// Compaction aborted before any dump bytes were accounted: the
+		// durable watermark, retention ladder and segment set are exactly as
+		// before the call.
+		return err
+	}
 	w.mu.Lock()
 	w.appended += int64(len(cp))
 	lsn := w.appended
 	w.mu.Unlock()
-	w.rollLocked()
 	if _, err := w.f.Write(cp); err != nil {
-		panic(fmt.Sprintf("wal: write checkpoint: %v", err))
+		return w.fail("write checkpoint", err)
 	}
 	w.fileSize += int64(len(cp))
 	w.curRange.merge(cpRng) // the dump bypasses writeLocked; index it here
 	if w.policy != SyncNone {
 		if err := w.f.Sync(); err != nil {
-			panic(fmt.Sprintf("wal: fsync checkpoint: %v", err))
+			return w.fail("fsync checkpoint", err)
 		}
 	}
 	w.durable.Store(lsn)
@@ -1065,17 +1294,71 @@ func (w *WAL) Checkpoint(cut wire.InstanceID, states []Record) {
 			if seq < keepFrom {
 				path := filepath.Join(w.dir, segName(seq))
 				if w.pipeline == nil || !w.pipeline.offerRecycle(path) {
-					_ = os.Remove(path)
+					// best-effort: a segment that refuses removal is below
+					// every cut and replay covers it idempotently.
+					_ = w.fs.Remove(path)
 				}
 			}
 		}
 		if w.policy != SyncNone {
-			w.syncDir()
+			// best-effort: if the removals are not durable a crash revives
+			// already-covered segments, which replay handles; failing the
+			// checkpoint over it would throw away real compaction.
+			_ = w.fs.SyncDir(w.dir)
 		}
 	}
 	if w.onSync != nil {
 		w.onSync(lsn)
 	}
+	return nil
+}
+
+// ShrinkRetention garbage-collects retained segments down to the
+// RetainCheckpoints generation floor, zeroing the RetainBytes extension for
+// the rest of this run, and returns how many segment files it removed. This
+// is the ENOSPC degrade hook: when a snapshot persist fails for lack of
+// space, the byte-budget-extended catch-up window is the cheapest disk the
+// replica can give back without touching any guarantee — the generation
+// floor (and with it ReadDecidedRange's contract) is preserved, deeper
+// catch-up just falls back to state transfer. Files are removed outright,
+// never recycled: the point is freeing space. Safe from any goroutine.
+func (w *WAL) ShrinkRetention() int {
+	w.fileMu.Lock()
+	defer w.fileMu.Unlock()
+	w.retainBytes = 0
+	n := len(w.ckptHist)
+	if n <= w.retainCkpts {
+		return 0
+	}
+	floor := w.ckptHist[n-1-w.retainCkpts]
+	removed := 0
+	if seqs, err := w.segments(); err == nil {
+		for _, seq := range seqs {
+			if seq >= floor {
+				break // ascending: everything from the floor up is kept
+			}
+			if err := w.fs.Remove(filepath.Join(w.dir, segName(seq))); err == nil {
+				removed++
+			}
+		}
+		if removed > 0 && w.policy != SyncNone {
+			// best-effort: non-durable removals resurrect covered segments
+			// at worst, which replay tolerates.
+			_ = w.fs.SyncDir(w.dir)
+		}
+	}
+	if floor > w.retainSeq {
+		w.retainSeq = floor
+	}
+	for len(w.ckptHist) > 0 && w.ckptHist[0] < floor {
+		w.ckptHist = w.ckptHist[1:]
+	}
+	for seq := range w.segIndex {
+		if seq < w.retainSeq {
+			delete(w.segIndex, seq)
+		}
+	}
+	return removed
 }
 
 // ReadDecidedRange serves decided values from the WAL's sealed segments —
@@ -1121,7 +1404,7 @@ func (w *WAL) ReadDecidedRange(from, to wire.InstanceID, maxEntries int) ([]wire
 	dec := make(map[wire.InstanceID][]byte) // decided value per slot
 	inRange := func(id wire.InstanceID) bool { return id >= from && id < to }
 	for _, seq := range seqs {
-		data, err := os.ReadFile(filepath.Join(w.dir, segName(seq)))
+		data, err := w.fs.ReadFile(filepath.Join(w.dir, segName(seq)))
 		if err != nil {
 			return nil, false // GC'd or recycled since the lookup; fall back
 		}
@@ -1191,9 +1474,27 @@ func (w *WAL) Close() {
 	}
 	w.fileMu.Lock()
 	defer w.fileMu.Unlock()
-	if w.f != nil {
-		// Seal on the way out: a cleanly closed preallocated segment is
-		// trimmed to its records, so reopening finds only intact bytes.
-		w.sealLocked()
+	if w.f == nil {
+		return
 	}
+	if w.Failed() != nil {
+		// Fail-stopped: fsyncing or trimming now could only fabricate
+		// durability that was already denied.
+		_ = w.f.Close() // best-effort: the replica is abandoning the handle
+		w.f, w.prealloc = nil, false
+		return
+	}
+	// Seal on the way out: a cleanly closed preallocated segment is trimmed
+	// to its records, so reopening finds only intact bytes. Close errors can
+	// carry buffered write failures, so both latch the fault for any
+	// late Failed() observer.
+	if err := w.sealCurrentLocked(); err != nil {
+		w.fail("seal "+w.f.Name(), err)
+		_ = w.f.Close() // best-effort: fault latched, handle abandoned
+	} else if err := w.f.Close(); err != nil {
+		w.fail("close "+w.f.Name(), err)
+	}
+	w.f, w.prealloc = nil, false
+	w.segIndex[w.seq] = w.curRange
+	w.curRange = emptyRange
 }

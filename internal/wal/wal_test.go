@@ -46,7 +46,9 @@ func segFiles(t *testing.T, dir string) []string {
 	var segs []string
 	for _, e := range entries {
 		var seq int
-		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &seq); err == nil {
+		// Round-trip the name: Sscanf alone prefix-matches, which would
+		// count quarantined wal-*.seg.corrupt files as live segments.
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &seq); err == nil && e.Name() == segName(seq) {
 			segs = append(segs, e.Name())
 		}
 	}
