@@ -58,6 +58,14 @@ type Client struct {
 	replies chan *wire.ClientReply
 	closed  bool
 	wg      sync.WaitGroup
+
+	// The client's view of the cluster topology, re-resolved from every
+	// TopoUpdate a replica pushes (connection greeting, reconfiguration
+	// broadcast, stale-epoch bounce). Guarded by its own mutex: the reader
+	// goroutine updates it while Execute holds mu awaiting a reply.
+	topoMu sync.Mutex
+	epoch  int64
+	addrs  []string // client-facing addresses by replica ID; "" = removed
 }
 
 // Dial returns a ready client. It does not connect eagerly; the first
@@ -87,7 +95,67 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	if target < 0 || target >= len(cfg.Addrs) {
 		target = 0
 	}
-	return &Client{cfg: cfg, id: id, target: target}, nil
+	return &Client{
+		cfg:    cfg,
+		id:     id,
+		target: target,
+		addrs:  append([]string(nil), cfg.Addrs...),
+	}, nil
+}
+
+// applyTopo folds a received topology into the client's address map. Stale
+// epochs are ignored; replicas without a client-facing address in the update
+// keep whatever the client already had for that ID.
+func (c *Client) applyTopo(t *wire.Topology) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	if t.Epoch <= c.epoch {
+		return
+	}
+	c.epoch = t.Epoch
+	for len(c.addrs) < len(t.Peers) {
+		c.addrs = append(c.addrs, "")
+	}
+	for i := range t.Peers {
+		switch {
+		case t.Peers[i] == "":
+			c.addrs[i] = "" // removed: never dial it again
+		case i < len(t.Clients) && t.Clients[i] != "":
+			c.addrs[i] = t.Clients[i]
+		}
+	}
+}
+
+// Epoch returns the highest topology epoch the client has learned.
+func (c *Client) Epoch() int64 {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	return c.epoch
+}
+
+// ClientAddrs returns a copy of the client's current address map (by replica
+// ID; "" marks a removed replica).
+func (c *Client) ClientAddrs() []string {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	return append([]string(nil), c.addrs...)
+}
+
+// addrAt returns replica id's client-facing address ("" if unknown/removed).
+func (c *Client) addrAt(id int) string {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	if id < 0 || id >= len(c.addrs) {
+		return ""
+	}
+	return c.addrs[id]
+}
+
+// numAddrs returns the size of the address map (removed slots included).
+func (c *Client) numAddrs() int {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	return len(c.addrs)
 }
 
 // ID returns the client's unique ID.
@@ -137,7 +205,7 @@ func (c *Client) Execute(req []byte) ([]byte, error) {
 		switch {
 		case replyOK:
 			return payload, nil
-		case redirect >= 0 && int(redirect) < len(c.cfg.Addrs):
+		case redirect >= 0 && c.addrAt(int(redirect)) != "":
 			if int(redirect) == c.target {
 				// The target thinks it will lead but has not established
 				// leadership yet; wait briefly and retry.
@@ -199,7 +267,7 @@ func (c *Client) Read(req []byte, rc ReadConsistency) ([]byte, error) {
 	// silently turn a follower-reading client into a leader-reading one.
 	out, err := c.Execute(req)
 	c.mu.Lock()
-	if !c.closed && c.target != pinned {
+	if !c.closed && c.target != pinned && c.addrAt(pinned) != "" {
 		c.dropConnLocked()
 		c.target = pinned
 	}
@@ -207,9 +275,89 @@ func (c *Client) Read(req []byte, rc ReadConsistency) ([]byte, error) {
 	return out, err
 }
 
+// AddReplica asks the cluster to commit a single-step reconfiguration
+// appending one replica with the given peer-facing and client-facing
+// addresses, following redirects to the leader. It returns the committed
+// topology — the joiner must be booted with exactly this topology as its
+// configuration seed.
+func (c *Client) AddReplica(peerAddr, clientAddr string) (*Topology, error) {
+	return c.reconfigure(-1, peerAddr, clientAddr)
+}
+
+// RemoveReplica asks the cluster to commit a single-step reconfiguration
+// removing replica id, following redirects to the leader.
+func (c *Client) RemoveReplica(id int) (*Topology, error) {
+	return c.reconfigure(int32(id), "", "")
+}
+
+// reconfigure runs one administrative request. Unlike Execute it does NOT
+// resend after a successful write whose reply timed out: config commands
+// bypass the reply cache, so a blind retry could commit the change twice.
+// The caller checks the cluster topology and retries deliberately.
+func (c *Client) reconfigure(remove int32, peerAddr, clientAddr string) (*Topology, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	c.seq++
+	frame := wire.Marshal(&wire.Reconfig{
+		ClientID: c.id, Seq: c.seq,
+		Remove: remove, PeerAddr: peerAddr, ClientAddr: clientAddr,
+	})
+	deadline := time.Now().Add(c.cfg.Timeout)
+
+	for time.Now().Before(deadline) {
+		if c.conn == nil {
+			if err := c.connectLocked(); err != nil {
+				c.rotateLocked()
+				c.sleepLocked(20 * time.Millisecond)
+				continue
+			}
+		}
+		if err := c.conn.WriteFrame(frame); err != nil {
+			c.dropConnLocked()
+			c.rotateLocked()
+			continue
+		}
+		reply, ok := c.awaitLocked(deadline)
+		if !ok {
+			c.dropConnLocked()
+			return nil, fmt.Errorf("gosmr: reconfiguration outcome unknown (no reply); inspect the cluster topology before retrying")
+		}
+		replyOK, redirect, payload := reply.OK, reply.Redirect, reply.Payload
+		wire.Release(reply)
+		switch {
+		case replyOK:
+			t, err := wire.DecodeTopology(payload)
+			if err != nil {
+				return nil, fmt.Errorf("gosmr: malformed topology in reconfiguration reply: %w", err)
+			}
+			c.applyTopo(t)
+			return t, nil
+		case redirect >= 0 && c.addrAt(int(redirect)) != "":
+			if int(redirect) == c.target {
+				c.sleepLocked(20 * time.Millisecond)
+			} else {
+				c.dropConnLocked()
+				c.target = int(redirect)
+			}
+		case len(payload) > 0:
+			return nil, fmt.Errorf("gosmr: reconfiguration refused: %s", payload)
+		default:
+			c.sleepLocked(20 * time.Millisecond)
+		}
+	}
+	return nil, ErrTimeout
+}
+
 // connectLocked dials the current target and starts its reader goroutine.
 func (c *Client) connectLocked() error {
-	conn, err := c.cfg.Network.Dial(c.cfg.Addrs[c.target])
+	addr := c.addrAt(c.target)
+	if addr == "" {
+		return fmt.Errorf("gosmr: replica %d has no client address (removed?)", c.target)
+	}
+	conn, err := c.cfg.Network.Dial(addr)
 	if err != nil {
 		return err
 	}
@@ -228,6 +376,14 @@ func (c *Client) connectLocked() error {
 			msg, err := wire.Unmarshal(f)
 			if err != nil {
 				transport.RecycleFrame(f, pooled)
+				continue
+			}
+			if tu, ok := msg.(*wire.TopoUpdate); ok {
+				// The topology's strings are owned (decoded by copy), so it
+				// survives the frame recycle.
+				t := tu.Topo
+				transport.RecycleFrame(f, pooled)
+				c.applyTopo(&t)
 				continue
 			}
 			rep, ok := msg.(*wire.ClientReply)
@@ -283,9 +439,16 @@ func (c *Client) dropConnLocked() {
 	}
 }
 
-// rotateLocked moves to the next replica address.
+// rotateLocked moves to the next live replica address, skipping the holes
+// removed replicas leave behind.
 func (c *Client) rotateLocked() {
-	c.target = (c.target + 1) % len(c.cfg.Addrs)
+	n := c.numAddrs()
+	for range n {
+		c.target = (c.target + 1) % n
+		if c.addrAt(c.target) != "" {
+			return
+		}
+	}
 }
 
 // sleepLocked pauses briefly without giving up the client lock (Execute is

@@ -27,7 +27,7 @@ func main() {
 		warmup  = flag.Duration("warmup", 200*time.Millisecond, "virtual warm-up per run (discarded)")
 		measure = flag.Duration("measure", 500*time.Millisecond, "virtual measurement window per run")
 		which   = flag.String("experiment", "all",
-			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor, groupscaling, readmix, conflictsweep, bigstate")
+			"experiment to run: all, fig1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2, table3, rss, nobatcher, executor, groupscaling, readmix, conflictsweep, bigstate, reconfig")
 		jsonPath = flag.String("json", "",
 			"write a machine-readable perf snapshot (group-scaling + durability + read-mix + conflict-sweep throughput and latency, codec/WAL/executor allocs/op) to this path and exit")
 	)
@@ -38,12 +38,13 @@ func main() {
 		// The perf snapshot runs on the real pipeline (not the simulator):
 		// decided-batch throughput across groups/durability plus the
 		// zero-copy hot-path alloc probes.
-		snap, gr, dr, rm, cs, bs, err := experiments.BenchSnapshot(
+		snap, gr, dr, rm, cs, bs, rc, err := experiments.BenchSnapshot(
 			experiments.GroupOptions{Warmup: *warmup, Measure: *measure},
 			experiments.DurabilityOptions{Warmup: *warmup, Measure: *measure},
 			experiments.ReadMixOptions{Warmup: *warmup, Measure: *measure},
 			experiments.ConflictSweepOptions{Warmup: *warmup, Measure: *measure},
 			experiments.BigStateOptions{},
+			experiments.ReconfigOptions{Warmup: *warmup, Phase: *measure},
 		)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
@@ -53,7 +54,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Print(gr.Report, dr.Report, rm.Report, cs.Report, bs.Report)
+		fmt.Print(gr.Report, dr.Report, rm.Report, cs.Report, bs.Report, rc.Report)
 		fmt.Printf("\nwrote %s (done in %v)\n", *jsonPath, time.Since(start).Round(time.Millisecond))
 		return
 	}
@@ -130,6 +131,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(bs.Report)
+	case "reconfig":
+		// Runs on the real pipeline: a live 3→4 replica add under closed-loop
+		// write load — throughput dip across the stop-the-group handoff,
+		// add commit latency, joiner catch-up, zero acked-write loss.
+		rc, err := experiments.Reconfig(experiments.ReconfigOptions{
+			Warmup: *warmup, Phase: *measure,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reconfig: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rc.Report)
 	case "readmix":
 		// Runs on the real pipeline: mixed read/write workload on the
 		// lease / read-index read path, leader-only vs follower reads,

@@ -23,6 +23,37 @@ import (
 	"gosmr/internal/service"
 )
 
+// reconfigure runs one administrative add/remove against the cluster and
+// prints the committed topology: the add output includes the exact flags the
+// joiner must be started with.
+func reconfigure(addrList []string, add string, removeID int) {
+	cli, err := gosmr.Dial(gosmr.ClientConfig{Addrs: addrList, Timeout: 30 * time.Second})
+	if err != nil {
+		log.Fatalf("dialing cluster: %v", err)
+	}
+	defer cli.Close()
+	var t *gosmr.Topology
+	if add != "" {
+		parts := strings.SplitN(add, ",", 2)
+		if len(parts) != 2 {
+			log.Fatalf("-add-replica wants peerAddr,clientAddr (got %q)", add)
+		}
+		if t, err = cli.AddReplica(parts[0], parts[1]); err != nil {
+			log.Fatalf("add replica: %v", err)
+		}
+		joiner := len(t.Peers) - 1
+		fmt.Printf("committed epoch %d: added replica %d\n", t.Epoch, joiner)
+		fmt.Printf("start the joiner with:\n  gosmr-replica -id %d -peers %s -client %s -client-peers %s -epoch %d -base-view %d\n",
+			joiner, strings.Join(t.Peers, ","), t.Clients[joiner], strings.Join(t.Clients, ","), t.Epoch, t.BaseView)
+	} else {
+		if t, err = cli.RemoveReplica(removeID); err != nil {
+			log.Fatalf("remove replica: %v", err)
+		}
+		fmt.Printf("committed epoch %d: removed replica %d\n", t.Epoch, removeID)
+	}
+	fmt.Printf("topology: epoch=%d baseView=%d peers=%v clients=%v\n", t.Epoch, t.BaseView, t.Peers, t.Clients)
+}
+
 func main() {
 	var (
 		addrs    = flag.String("addrs", "", "comma-separated client addresses, indexed by replica ID")
@@ -31,6 +62,8 @@ func main() {
 		warmup   = flag.Duration("warmup", 3*time.Second, "warm-up discarded from results")
 		payload  = flag.Int("payload", 128, "request payload bytes (paper: 128)")
 		kvKeys   = flag.Int("kv-keys", 0, "send well-formed KV PUTs over this many keys per client instead of raw payloads (exercises conflict-aware parallel execution; 0 = raw)")
+		addRep   = flag.String("add-replica", "", "administrative mode: commit an add-replica reconfiguration; value is peerAddr,clientAddr of the joiner")
+		removeID = flag.Int("remove-replica", -1, "administrative mode: commit a remove-replica reconfiguration for this replica ID")
 	)
 	flag.Parse()
 	if *addrs == "" {
@@ -38,6 +71,11 @@ func main() {
 		os.Exit(2)
 	}
 	addrList := strings.Split(*addrs, ",")
+
+	if *addRep != "" || *removeID >= 0 {
+		reconfigure(addrList, *addRep, *removeID)
+		return
+	}
 
 	var (
 		done      atomic.Bool

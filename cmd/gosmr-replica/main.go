@@ -37,6 +37,9 @@ func main() {
 		execWorkers = flag.Int("executor-workers", 1, "parallel execution workers (KV declares per-key conflicts; 1 = sequential)")
 		dataDir     = flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty = in-memory replica, no crash recovery)")
 		syncPolicy  = flag.String("sync", "batch", "WAL fsync policy: batch (group commit), always, or none")
+		clientPeers = flag.String("client-peers", "", "comma-separated client-facing addresses, indexed by ID (required for reconfigurable clusters)")
+		epoch       = flag.Int64("epoch", 0, "topology epoch to boot into (0 = static cluster; a joiner passes the epoch from the committed topology)")
+		baseView    = flag.Int64("base-view", 0, "first view of the boot epoch (from the committed topology; only with -epoch > 0)")
 		stats       = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 	)
 	flag.Parse()
@@ -46,11 +49,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: gosmr-replica -id N -peers a,b,c -client addr")
 		os.Exit(2)
 	}
+	var clientPeerList []string
+	if *clientPeers != "" {
+		clientPeerList = strings.Split(*clientPeers, ",")
+	}
 
+	// A faulted replica (failed disk, or permanently removed from the
+	// cluster) has already stopped participating; the daemon should exit
+	// rather than linger printing stats for a dead replica.
+	faulted := make(chan struct{})
 	rep, err := gosmr.NewReplica(gosmr.Config{
-		ID:                 *id,
-		Peers:              peerList,
-		ClientAddr:         *clientAddr,
+		ID:               *id,
+		Peers:            peerList,
+		ClientAddr:       *clientAddr,
+		PeerClientAddrs:  clientPeerList,
+		TopologyEpoch:    *epoch,
+		TopologyBaseView: *baseView,
+		OnFaulted: func(reason string) {
+			log.Printf("replica faulted: %s", reason)
+			close(faulted)
+		},
 		ClientIOWorkers:    *workers,
 		Groups:             *groups,
 		Window:             *window,
@@ -67,7 +85,7 @@ func main() {
 	if err := rep.Start(); err != nil {
 		log.Fatalf("starting replica: %v", err)
 	}
-	log.Printf("replica %d up: peers=%v clients=%s", *id, peerList, rep.ClientAddr())
+	log.Printf("replica %d up: epoch=%d peers=%v clients=%s", *id, rep.Epoch(), peerList, rep.ClientAddr())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -87,9 +105,15 @@ func main() {
 				log.Printf("shutting down")
 				rep.Stop()
 				return
+			case <-faulted:
+				rep.Stop()
+				return
 			}
 		}
 	}
-	<-stop
+	select {
+	case <-stop:
+	case <-faulted:
+	}
 	rep.Stop()
 }

@@ -122,6 +122,26 @@ type Config struct {
 	Peers []string
 	// ClientAddr is this replica's client-facing listen address.
 	ClientAddr string
+	// PeerClientAddrs lists every replica's client-facing address, indexed
+	// by ID. Optional for static clusters; required (and carried in the
+	// topology) for clusters that reconfigure, so clients and joiners can
+	// re-resolve the full address map from a TopoUpdate alone.
+	PeerClientAddrs []string
+	// TopologyEpoch seeds the topology epoch this replica boots into.
+	// 0 (the default) is the boot-frozen legacy shape; a replica joining or
+	// restarting into a reconfigured cluster must be given the committed
+	// epoch (see Replica.AddReplica). Boot refuses a seed older than what
+	// the DataDir holds.
+	TopologyEpoch int64
+	// TopologyBaseView seeds the first view of the boot epoch. Only
+	// meaningful with TopologyEpoch > 0: pass BaseView from the committed
+	// topology returned by AddReplica.
+	TopologyBaseView int64
+	// OnFaulted, when non-nil, is called (once, on its own goroutine) when
+	// the replica fail-stops on a WAL disk fault or learns it was
+	// permanently removed from the cluster. The replica shuts itself down
+	// either way; the hook tells the operator why.
+	OnFaulted func(reason string)
 	// Network selects the transport; nil means TCP.
 	Network Network
 
@@ -249,6 +269,10 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		ID:                   cfg.ID,
 		PeerAddrs:            cfg.Peers,
 		ClientAddr:           cfg.ClientAddr,
+		PeerClientAddrs:      cfg.PeerClientAddrs,
+		TopologyEpoch:        cfg.TopologyEpoch,
+		TopologyBaseView:     cfg.TopologyBaseView,
+		OnFaulted:            cfg.OnFaulted,
 		Network:              cfg.Network,
 		ClientIOWorkers:      cfg.ClientIOWorkers,
 		Groups:               cfg.Groups,
@@ -298,6 +322,39 @@ func (r *Replica) Executed() uint64 { return r.inner.Executed() }
 
 // Groups returns the number of ordering groups the replica runs.
 func (r *Replica) Groups() int { return r.inner.Groups() }
+
+// Topology is the epoch-stamped cluster shape: the replica peer addresses
+// (removed IDs leave a permanent "" hole), the client-facing addresses, the
+// ordering-group count, and the first view of the epoch. See the
+// Reconfiguration section of the README.
+type Topology = wire.Topology
+
+// Topology returns a copy of the committed cluster topology this replica
+// currently operates under.
+func (r *Replica) Topology() *Topology { return r.inner.Topology() }
+
+// Epoch returns the committed topology epoch (0 until the first
+// reconfiguration).
+func (r *Replica) Epoch() int64 { return r.inner.Epoch() }
+
+// AddReplica commits a single-step reconfiguration appending one replica
+// with the given peer-facing and client-facing addresses, blocking until the
+// config command is ordered and takes effect. It returns the committed
+// topology; boot the joiner with Config.TopologyEpoch/TopologyBaseView and
+// the Peers list taken from exactly that topology, and it catches up through
+// snapshot transfer plus the WAL like any lagging replica. Must be called on
+// the leader.
+func (r *Replica) AddReplica(peerAddr, clientAddr string) (*Topology, error) {
+	return r.inner.AddReplica(peerAddr, clientAddr)
+}
+
+// RemoveReplica commits a single-step reconfiguration removing replica id.
+// Its slot becomes a permanent hole (IDs are never reused) and the quorum
+// size shrinks with the membership. Must be called on the leader, which
+// cannot remove itself.
+func (r *Replica) RemoveReplica(id int) (*Topology, error) {
+	return r.inner.RemoveReplica(id)
+}
 
 // DecidedBatches returns the number of non-empty batches delivered in merged
 // order — the ordering layer's useful output rate.

@@ -76,7 +76,7 @@ func (c *clientIO) runAcceptLoop() {
 		}
 		cc := &clientConn{
 			conn:    conn,
-			replies: queue.NewBounded[*wire.ClientReply]("replies", c.r.cfg.ReplyQueueCap),
+			replies: queue.NewBounded[wire.Message]("replies", c.r.cfg.ReplyQueueCap),
 		}
 		c.mu.Lock()
 		if c.closed {
@@ -88,6 +88,13 @@ func (c *clientIO) runAcceptLoop() {
 		w := c.workers[c.next%len(c.workers)]
 		c.next++
 		c.mu.Unlock()
+
+		// Greeting for reconfigured clusters: the client learns the committed
+		// topology (and its epoch) before any reply, so a client that dialed a
+		// stale address list re-resolves immediately.
+		if t := c.r.topo.Load(); t.Epoch > 0 {
+			_, _ = cc.replies.TryPut(&wire.TopoUpdate{Topo: *t})
+		}
 
 		c.wg.Add(2)
 		go c.runConnReader(cc, w)
@@ -184,6 +191,11 @@ func (c *clientIO) runWorker(q *queue.Bounded[clientWork], th *profiling.Thread)
 			}
 			continue
 		}
+		if rc, ok := msg.(*wire.Reconfig); ok {
+			c.handleReconfig(rc, work.cc)
+			transport.RecycleFrame(work.frame, work.pooled)
+			continue
+		}
 		req, ok := msg.(*wire.ClientRequest)
 		if !ok {
 			wire.Release(msg)
@@ -204,6 +216,9 @@ func (c *clientIO) runWorker(q *queue.Bounded[clientWork], th *profiling.Thread)
 // owning a request whose payload still borrows from the frame.
 func (c *clientIO) handleRequest(req *wire.ClientRequest, cc *clientConn, th *profiling.Thread) bool {
 	r := c.r
+	if req.ClientID == wire.ConfigClientID {
+		return false // reserved for ordered config commands; never a client's ID
+	}
 	// Remember where to send this client's replies.
 	r.registry.set(req.ClientID, cc)
 
@@ -264,6 +279,61 @@ func (c *clientIO) handleRead(rd *wire.ClientRead, cc *clientConn) bool {
 	reply.Redirect = r.groups[0].leaderHint.Load()
 	c.reply(cc, reply)
 	return false
+}
+
+// handleReconfig serves an administrative add/remove request. The blocking
+// part — waiting for the config command to commit — runs on its own
+// goroutine, never on a worker thread. A non-leader answers with a redirect,
+// exactly like a write; success carries the committed topology as payload.
+func (c *clientIO) handleReconfig(m *wire.Reconfig, cc *clientConn) {
+	r := c.r
+	if !r.groups[0].isLeader.Load() {
+		reply := wire.NewClientReply()
+		reply.ClientID, reply.Seq = m.ClientID, m.Seq
+		reply.Redirect = r.groups[0].leaderHint.Load()
+		c.reply(cc, reply)
+		return
+	}
+	remove, peerAddr, clientAddr := int(m.Remove), m.PeerAddr, m.ClientAddr
+	clientID, seq := m.ClientID, m.Seq
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		var (
+			t   *wire.Topology
+			err error
+		)
+		if remove < 0 {
+			t, err = r.AddReplica(peerAddr, clientAddr)
+		} else {
+			t, err = r.RemoveReplica(remove)
+		}
+		reply := wire.NewClientReply()
+		reply.ClientID, reply.Seq = clientID, seq
+		reply.Redirect = wire.NoRedirect
+		if err != nil {
+			reply.Payload = []byte(err.Error())
+		} else {
+			reply.OK = true
+			reply.Payload = wire.EncodeTopology(t)
+		}
+		c.reply(cc, reply)
+	}()
+}
+
+// broadcastTopology pushes a newly committed topology to every connected
+// client (best-effort: a client that misses it learns from the greeting on
+// its next reconnect, or from the epoch fence bouncing its next request).
+func (c *clientIO) broadcastTopology(t *wire.Topology) {
+	c.mu.Lock()
+	conns := make([]*clientConn, 0, len(c.conns))
+	for cc := range c.conns {
+		conns = append(conns, cc)
+	}
+	c.mu.Unlock()
+	for _, cc := range conns {
+		_, _ = cc.replies.TryPut(&wire.TopoUpdate{Topo: *t})
+	}
 }
 
 // reply enqueues a reply without blocking; a stalled client loses replies

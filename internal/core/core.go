@@ -63,6 +63,29 @@ type Config struct {
 	PeerAddrs []string
 	// ClientAddr is this replica's client-facing listen address.
 	ClientAddr string
+	// PeerClientAddrs optionally lists the client-facing addresses of the
+	// whole cluster, indexed by replica ID (PeerClientAddrs[ID] should equal
+	// ClientAddr). When set, topology updates pushed to clients carry these
+	// addresses so a client pinned to a removed replica can re-resolve.
+	PeerClientAddrs []string
+	// TopologyEpoch is the epoch of the seed topology described by PeerAddrs.
+	// Epoch 0 (the default) is the boot-frozen legacy shape: peer frames are
+	// sent unwrapped and no reconfiguration has happened. A replica restarted
+	// after a reconfiguration must be given the committed epoch (and the
+	// matching PeerAddrs); boot refuses to start if the on-disk epoch is
+	// newer than this seed.
+	TopologyEpoch int64
+	// TopologyBaseView is the first view of the seed topology's epoch (the
+	// view every ordering group re-ran Phase 1 at when the epoch took
+	// effect). Ignored when TopologyEpoch is 0. A zero value is safe — the
+	// replica converges to the epoch's real base view from peer traffic or
+	// its own WAL — but seeding it avoids a round of stale-view messages.
+	TopologyBaseView int64
+	// OnFaulted, when non-nil, is called at most once when the replica
+	// transitions to the fail-stop Faulted state (disk fault) or is
+	// permanently removed from the cluster by a reconfiguration. Called from
+	// an internal goroutine; must not block.
+	OnFaulted func(reason string)
 	// Network supplies the transport (default: TCP).
 	Network transport.Network
 
@@ -264,6 +287,22 @@ func (c Config) validate() error {
 	if c.ClientAddr == "" {
 		return fmt.Errorf("core: ClientAddr is empty")
 	}
+	if c.TopologyEpoch < 0 {
+		return fmt.Errorf("core: TopologyEpoch %d is negative", c.TopologyEpoch)
+	}
+	if c.PeerAddrs[c.ID] == "" {
+		return fmt.Errorf("core: PeerAddrs[%d] (this replica) is empty", c.ID)
+	}
+	if c.TopologyEpoch == 0 {
+		for i, a := range c.PeerAddrs {
+			if a == "" {
+				return fmt.Errorf("core: PeerAddrs[%d] is empty at epoch 0 (holes only arise from reconfiguration)", i)
+			}
+		}
+	}
+	if len(c.PeerClientAddrs) != 0 && len(c.PeerClientAddrs) != n {
+		return fmt.Errorf("core: PeerClientAddrs has %d entries, PeerAddrs has %d", len(c.PeerClientAddrs), n)
+	}
 	return nil
 }
 
@@ -328,10 +367,12 @@ type groupDecision struct {
 }
 
 // clientConn is one connected client: its transport connection plus the
-// bounded reply queue drained by the connection's writer goroutine.
+// bounded reply queue drained by the connection's writer goroutine. The
+// queue carries wire.Message rather than *wire.ClientReply so topology
+// updates (epoch redirects) can ride the same writer.
 type clientConn struct {
 	conn    transport.FrameConn
-	replies *queue.Bounded[*wire.ClientReply]
+	replies *queue.Bounded[wire.Message]
 }
 
 // clientRegistry maps client IDs to their current connection so the

@@ -38,6 +38,7 @@ type leaseManager struct {
 	id, n    int
 	duration time.Duration
 	skew     time.Duration
+	topo     *wire.Topology // non-nil after a reconfiguration: quorum + active set
 
 	// Grant side.
 	seq    uint64
@@ -80,6 +81,24 @@ func newLeaseManager(id, n int, duration, skew time.Duration) *leaseManager {
 	return lm
 }
 
+// setTopology resizes the per-peer tables to an epoch-stamped topology and
+// adopts its quorum/active set. Promises already recorded for surviving
+// peers carry over.
+func (lm *leaseManager) setTopology(t *wire.Topology) {
+	if lm == nil {
+		return
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for len(lm.grants) < len(t.Peers) {
+		lm.grants = append(lm.grants, nil)
+		lm.ackVw = append(lm.ackVw, -1)
+		lm.ackExp = append(lm.ackExp, time.Time{})
+	}
+	lm.n = len(lm.grants)
+	lm.topo = t.Clone()
+}
+
 // grant issues a lease grant to peer for view, to be piggybacked on a group-0
 // heartbeat. Returns the wire fields (duration in ms, sequence number) and
 // whether a grant should be attached at all.
@@ -89,6 +108,9 @@ func (lm *leaseManager) grant(peer int) (uint32, uint64, bool) {
 	}
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
+	if peer < 0 || peer >= len(lm.grants) {
+		return 0, 0, false
+	}
 	lm.seq++
 	g := lm.grants[peer]
 	if len(g) >= maxOutstandingGrants {
@@ -133,15 +155,22 @@ func (lm *leaseManager) ackQuorumValid(v wire.View, now time.Time) bool {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	count := 1 // self: revocation is the viewHint flip, not a promise
+	quorum := lm.n/2 + 1
 	for p := range lm.n {
 		if p == lm.id {
+			continue
+		}
+		if lm.topo != nil && !lm.topo.Active(p) {
 			continue
 		}
 		if lm.ackVw[p] == v && lm.ackExp[p].After(now) {
 			count++
 		}
 	}
-	return count >= lm.n/2+1
+	if lm.topo != nil {
+		quorum = lm.topo.Quorum()
+	}
+	return count >= quorum
 }
 
 // onGrant handles a grant received from the group-0 leader: extend the local

@@ -19,6 +19,10 @@ type protoState struct {
 	// watermark reaches their lsn. Owned exclusively by the Protocol
 	// thread; the WAL Syncer only nudges the thread with evDurable.
 	gate []gatedEffects
+	// topoEpoch is the topology epoch this group has installed (journaled
+	// and handed to its node); the thread polls Replica.pendingTopo against
+	// it at the top of every loop iteration.
+	topoEpoch int64
 }
 
 // gatedSend is one peer-bound message awaiting durability.
@@ -57,7 +61,10 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 	th.Transition(profiling.StateBusy)
 	defer th.Transition(profiling.StateOther)
 
-	ps := &protoState{handles: make(map[paxos.RetransKey]*retrans.Handle)}
+	ps := &protoState{
+		handles:   make(map[paxos.RetransKey]*retrans.Handle),
+		topoEpoch: r.topo.Load().Epoch,
+	}
 
 	apply := func(e paxos.Effects) { r.applyEffects(th, g, node, ps, e) }
 
@@ -68,6 +75,22 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 		ev, err := g.dispatchQ.Take(th)
 		if err != nil {
 			return
+		}
+		// Install a newly adopted topology before processing the event: the
+		// stop-the-group handoff. Journal it (so a checkpointed WAL still
+		// remembers the epoch), hand it to the node, and advance to the
+		// epoch's base view — the Phase 1 re-run over the unstable suffix
+		// under the new shape is what carries the old epoch's in-flight
+		// proposals across.
+		if t := r.pendingTopo.Load(); t != nil && t.Epoch > ps.topoEpoch {
+			ps.topoEpoch = t.Epoch
+			if g.wal != nil {
+				g.wal.Append(wal.Record{Type: wal.RecTopo, Value: wire.EncodeTopology(t)})
+			}
+			crashPoint("reconfig-journal")
+			node.SetTopology(t)
+			apply(node.AdvanceTo(t.BaseView))
+			r.refreshHints(g, node)
 		}
 		switch ev.kind {
 		case evPeerMsg:
@@ -98,7 +121,7 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 			// a dead leader.
 			if g.idx == 0 {
 				apply(node.OnSuspect(ev.view))
-			} else if paxos.LeaderOf(ev.view, r.n) == node.Leader() {
+			} else if r.topo.Load().Leader(ev.view) == node.Leader() {
 				apply(node.OnSuspect(node.View()))
 			}
 		case evProposalReady:
@@ -117,8 +140,14 @@ func (r *Replica) runProtocol(g *ordGroup, node *paxos.Node) {
 				// acceptor that forgot its promise across a restart could
 				// double-promise an older ballot. The one deliberate disk
 				// access on this thread; snapshots are rare.
-				states := append([]wal.Record{{Type: wal.RecView, View: node.View()}},
-					suffixStates(node.Log())...)
+				states := []wal.Record{{Type: wal.RecView, View: node.View()}}
+				if t := node.Topology(); t != nil {
+					// The RecTopo records of the discarded segments carried
+					// the epoch; re-dump it so a restart from this checkpoint
+					// still boots in the right topology.
+					states = append(states, wal.Record{Type: wal.RecTopo, Value: wire.EncodeTopology(t)})
+				}
+				states = append(states, suffixStates(node.Log())...)
 				if err := g.wal.Checkpoint(node.Log().Base(), states); err != nil {
 					// Degrade: the old segments stay, replay still works, and
 					// the next snapshot cut retries the compaction. ENOSPC

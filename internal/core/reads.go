@@ -138,7 +138,7 @@ func (m *readMgr) launchQuery() {
 	}
 	r := m.r
 	leader := int(r.groups[0].leaderHint.Load())
-	if leader == r.cfg.ID || leader < 0 || leader >= r.n {
+	if leader == r.cfg.ID || !r.topo.Load().Active(leader) {
 		// This replica believes it leads but the lease is not valid (or
 		// leadership is in flux): bounce to the ordered path.
 		rr := m.pending

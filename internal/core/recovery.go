@@ -59,6 +59,12 @@ type groupBoot struct {
 type bootState struct {
 	snap   *wire.Snapshot // newest durable snapshot, nil if none
 	groups []groupBoot
+	// topo is the on-disk topology to install when it refines the seed
+	// (same epoch, committed BaseView); nil when the seed stands as-is.
+	// recoverBoot refuses to boot at all when the disk's epoch is NEWER
+	// than the seed — the operator must restart with the committed
+	// topology, not a stale peer list.
+	topo *wire.Topology
 }
 
 // closeWALs releases the opened WALs (Start error paths).
@@ -83,12 +89,31 @@ func (r *Replica) recoverBoot() (*bootState, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Track the newest topology the disk remembers (snapshot manifest and
+	// per-group RecTopo records), to check against the configured seed.
+	var diskTopo *wire.Topology
+	consider := func(t *wire.Topology) {
+		if t == nil {
+			return
+		}
+		if diskTopo == nil || t.Epoch > diskTopo.Epoch ||
+			(t.Epoch == diskTopo.Epoch && t.BaseView > diskTopo.BaseView) {
+			diskTopo = t
+		}
+	}
 	if snap != nil {
 		if snap.GroupCount() != len(r.groups) {
 			return nil, fmt.Errorf("core: data dir %s was written with %d ordering groups, replica configured with %d",
 				dir, snap.GroupCount(), len(r.groups))
 		}
 		b.snap = snap
+		if len(snap.Topo) > 0 {
+			t, terr := wire.DecodeTopology(snap.Topo)
+			if terr != nil {
+				return nil, fmt.Errorf("core: data dir %s: snapshot topology: %w", dir, terr)
+			}
+			consider(t)
+		}
 	}
 	r.quarantines.Add(uint64(len(skipped))) // manifests snapDisk renamed to *.corrupt
 	for i := range r.groups {
@@ -140,12 +165,13 @@ func (r *Replica) recoverBoot() (*bootState, error) {
 			bootCut = wire.GroupCut(b.snap.LastIncluded, len(r.groups), g)
 			log.CoverPrefix(bootCut)
 		}
-		view, err := replayWAL(log, recs)
+		view, gtopo, err := replayWAL(log, recs)
 		if err != nil {
 			w.Close()
 			b.closeWALs()
 			return nil, fmt.Errorf("core: group %d: %w", g, err)
 		}
+		consider(gtopo)
 		if log.Base() > bootCut {
 			// The WAL records a snapshot cut that is not on disk. With
 			// persist-before-cut ordering no crash produces this state any
@@ -169,19 +195,47 @@ func (r *Replica) recoverBoot() (*bootState, error) {
 		}
 		b.groups[i] = groupBoot{wal: w, log: log, view: view}
 	}
+	if diskTopo != nil {
+		seed := r.topo.Load()
+		switch {
+		case diskTopo.Epoch > seed.Epoch:
+			// The disk committed a reconfiguration the seed config predates.
+			// Booting with the stale peer list would put this replica in the
+			// wrong epoch (every frame it sent would be dropped); refuse and
+			// name both epochs so the operator restarts with the committed
+			// topology.
+			b.closeWALs()
+			return nil, fmt.Errorf("core: data dir %s holds topology epoch %d, newer than the configured seed epoch %d; restart with the committed topology (the peer list changed)",
+				dir, diskTopo.Epoch, seed.Epoch)
+		case diskTopo.Epoch == seed.Epoch && diskTopo.BaseView > seed.BaseView:
+			// Same epoch, but the disk remembers the committed base view the
+			// operator's seed left zero; install the richer version.
+			b.topo = diskTopo
+		}
+	}
 	return b, nil
 }
 
 // replayWAL applies intact WAL records to log and returns the recovered
 // view (the acceptor's durable promise: the highest view it ever adopted or
-// accepted in).
-func replayWAL(log *storage.Log, recs []wal.Record) (wire.View, error) {
+// accepted in) plus the newest epoch-stamped topology the log remembers
+// (nil if the group never journaled one).
+func replayWAL(log *storage.Log, recs []wal.Record) (wire.View, *wire.Topology, error) {
 	var view wire.View
+	var topo *wire.Topology
 	for _, rec := range recs {
 		switch rec.Type {
 		case wal.RecView:
 			if rec.View > view {
 				view = rec.View
+			}
+		case wal.RecTopo:
+			t, err := wire.DecodeTopology(rec.Value)
+			if err != nil {
+				return 0, nil, fmt.Errorf("wal replay: topology record: %w", err)
+			}
+			if topo == nil || t.Epoch > topo.Epoch {
+				topo = t
 			}
 		case wal.RecCut, wal.RecCkpt:
 			if rec.ID > log.Base() {
@@ -217,10 +271,10 @@ func replayWAL(log *storage.Log, recs []wal.Record) (wire.View, error) {
 				Value:        rec.Value,
 			})
 		default:
-			return 0, fmt.Errorf("wal replay: unknown record type %d", rec.Type)
+			return 0, nil, fmt.Errorf("wal replay: unknown record type %d", rec.Type)
 		}
 	}
-	return view, nil
+	return view, topo, nil
 }
 
 // suffixStates converts the log's retained acceptor state into checkpoint
@@ -246,21 +300,34 @@ func suffixStates(log *storage.Log) []wal.Record {
 // flat serialization state transfer slices into bounded SnapshotChunk
 // frames, and what SnapshotMeta.TotalBytes measures.
 const (
-	snapMagic   = 0x50414E53 // "SNAP"
-	snapVersion = 1
+	snapMagic = 0x50414E53 // "SNAP"
+	// Version 1 is the epoch-0 image (no topology section); version 2
+	// appends the encoded topology of the epoch the cut was taken under.
+	// Epoch-0 cuts still emit version 1 byte-for-byte, so legacy image
+	// determinism (and cross-version transfer within epoch 0) is preserved.
+	snapVersion     = 1
+	snapVersionTopo = 2
 )
 
 // encodeSnapshotFile serializes snap into its transfer image.
 func encodeSnapshotFile(snap wire.Snapshot) []byte {
+	ver := uint32(snapVersion)
+	if len(snap.Topo) > 0 {
+		ver = snapVersionTopo
+	}
 	var b []byte
 	b = binary.LittleEndian.AppendUint32(b, snapMagic)
-	b = binary.LittleEndian.AppendUint32(b, snapVersion)
+	b = binary.LittleEndian.AppendUint32(b, ver)
 	b = binary.LittleEndian.AppendUint64(b, uint64(snap.LastIncluded))
 	b = binary.LittleEndian.AppendUint32(b, uint32(snap.Groups))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(snap.ServiceState)))
 	b = append(b, snap.ServiceState...)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(snap.ReplyCache)))
 	b = append(b, snap.ReplyCache...)
+	if ver >= snapVersionTopo {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(snap.Topo)))
+		b = append(b, snap.Topo...)
+	}
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 }
 
@@ -275,8 +342,9 @@ func decodeSnapshotFile(b []byte) (wire.Snapshot, error) {
 	if crc32.ChecksumIEEE(body) != sum {
 		return snap, fmt.Errorf("snapshot file checksum mismatch")
 	}
+	ver := binary.LittleEndian.Uint32(body[4:])
 	if binary.LittleEndian.Uint32(body) != snapMagic ||
-		binary.LittleEndian.Uint32(body[4:]) != snapVersion {
+		(ver != snapVersion && ver != snapVersionTopo) {
 		return snap, fmt.Errorf("snapshot file bad header")
 	}
 	snap.LastIncluded = wire.InstanceID(binary.LittleEndian.Uint64(body[8:]))
@@ -302,6 +370,11 @@ func decodeSnapshotFile(b []byte) (wire.Snapshot, error) {
 	}
 	if snap.ReplyCache, err = take(); err != nil {
 		return snap, err
+	}
+	if ver >= snapVersionTopo {
+		if snap.Topo, err = take(); err != nil {
+			return snap, err
+		}
 	}
 	if len(rest) != 0 {
 		return snap, fmt.Errorf("snapshot file trailing bytes")

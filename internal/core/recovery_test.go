@@ -15,7 +15,7 @@ func persistTestSnap(t *testing.T, d *snapDisk, snap wire.Snapshot) {
 	t.Helper()
 	chunks := snapshot.SplitBlob(snap.ServiceState, d.chunkCap)
 	rc := snapshot.SplitBlob(snap.ReplyCache, d.chunkCap)
-	if err := d.appendGen(snap.LastIncluded, snap.Groups, true, chunks, rc); err != nil {
+	if err := d.appendGen(snap.LastIncluded, snap.Groups, true, chunks, rc, snap.Topo); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -77,10 +77,28 @@ type Replica struct {
 	groups []*ordGroup
 
 	// MergeQueue: per-group decision streams → Merger; DecisionQueue:
-	// merged total order → ServiceManager; SendQueues: per peer.
+	// merged total order → ServiceManager; SendQueues: per peer (copy-on-
+	// write slice indexed by replica ID; nil at own index and at removed
+	// peers' holes — reconfiguration swaps the slice, see reshapeSendQueues).
 	mergeQ    *queue.Bounded[groupDecision]
 	decisionQ *queue.Bounded[decisionItem]
-	sendQ     []*queue.Bounded[wire.Message] // per peer; nil at own index
+	sendQs    atomic.Pointer[[]*queue.Bounded[wire.Message]]
+
+	// topo is the committed epoch-stamped cluster topology (never nil after
+	// NewReplica); pendingTopo hands a newly adopted topology to the Protocol
+	// threads, which journal it and re-run Phase 1 at its BaseView. topoMu
+	// serializes adoptTopology; faultCB makes Config.OnFaulted at-most-once.
+	topo        atomic.Pointer[wire.Topology]
+	pendingTopo atomic.Pointer[wire.Topology]
+	topoMu      sync.Mutex
+	faultCB     sync.Once
+
+	// smTopo is the topology as of the config commands the ServiceManager
+	// has applied in merged order — the epoch a snapshot cut is stamped
+	// with. Owned by the ServiceManager thread (seeded before it starts);
+	// kept separate from topo because a TopoUpdate from a peer can advance
+	// topo ahead of this replica's own position in the log.
+	smTopo *wire.Topology
 
 	// Modules.
 	clientIO *clientIO
@@ -186,12 +204,20 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		groups:    make([]*ordGroup, cfg.Groups),
 		mergeQ:    queue.NewBounded[groupDecision]("MergeQueue", cfg.DecisionQueueCap),
 		decisionQ: queue.NewBounded[decisionItem]("DecisionQueue", cfg.DecisionQueueCap),
-		sendQ:     make([]*queue.Bounded[wire.Message], n),
 		snapshots: &snapshotStore{},
 		registry:  newClientRegistry(),
 		execSeq:   make(map[uint64]schedEntry),
 		stop:      make(chan struct{}),
 	}
+	seed := seedTopology(cfg)
+	if err := seed.Validate(); err != nil {
+		return nil, fmt.Errorf("core: seed topology: %w", err)
+	}
+	if !seed.Active(cfg.ID) {
+		return nil, fmt.Errorf("core: replica %d is not an active member of the seed topology", cfg.ID)
+	}
+	r.topo.Store(seed)
+	r.smTopo = seed
 	r.puller = &snapPuller{resp: make(chan pulledChunk, 4)}
 	if cfg.DataDir != "" {
 		r.snapDisk = newSnapDisk(filepath.Join(cfg.DataDir, "snapshots"), cfg.SnapshotChunkBytes, cfg.FS)
@@ -204,11 +230,13 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 			dispatchQ: queue.NewBounded[event](gname("DispatcherQueue", i), cfg.DispatchQueueCap),
 		}
 	}
+	sendQs := make([]*queue.Bounded[wire.Message], n)
 	for p := range n {
-		if p != cfg.ID {
-			r.sendQ[p] = queue.NewBounded[wire.Message](fmt.Sprintf("SendQueue-%d", p), cfg.SendQueueCap)
+		if p != cfg.ID && seed.Active(p) {
+			sendQs[p] = queue.NewBounded[wire.Message](fmt.Sprintf("SendQueue-%d", p), cfg.SendQueueCap)
 		}
 	}
+	r.sendQs.Store(&sendQs)
 	if cfg.CoarseReplyCache {
 		r.replyCache = replycache.NewCoarse()
 	} else {
@@ -228,9 +256,13 @@ func NewReplica(cfg Config, svc Service) (*Replica, error) {
 		Profiling:       cfg.Profiling,
 	})
 	for _, g := range r.groups {
-		g.leaderHint.Store(0) // leader of view 0
+		g.leaderHint.Store(int32(seed.Leader(seed.BaseView)))
+		g.viewHint.Store(int32(seed.BaseView))
 	}
 	r.leases = newLeaseManager(cfg.ID, n, cfg.LeaseDuration, cfg.MaxClockSkew)
+	if seed.Epoch > 0 {
+		r.leases.setTopology(seed)
+	}
 	r.applied.completed = -1
 	return r, nil
 }
@@ -329,6 +361,7 @@ func (r *Replica) enterFault(group int, err error) {
 	r.walFaults.Add(1)
 	if r.faulted.CompareAndSwap(false, true) {
 		log.Printf("gosmr: replica %d: wal group %d disk fault, fail-stopping: %v", r.cfg.ID, group, err)
+		r.fireFaulted(fmt.Sprintf("wal group %d disk fault: %v", group, err))
 		go r.Stop()
 	}
 }
@@ -423,6 +456,19 @@ func (r *Replica) Start() error {
 			return err
 		}
 		boot = b
+		if b.topo != nil {
+			// The disk refines the seed topology (same epoch, committed
+			// BaseView — recoverBoot refused any NEWER on-disk epoch):
+			// install it before any module captures the shape.
+			r.topoMu.Lock()
+			r.topo.Store(b.topo)
+			r.reshapeSendQueues(b.topo)
+			r.topoMu.Unlock()
+			r.leases.setTopology(b.topo)
+			r.smTopo = b.topo
+			log.Printf("gosmr: replica %d: booting in topology epoch %d (base view %d, from disk)",
+				r.cfg.ID, b.topo.Epoch, b.topo.BaseView)
+		}
 		if b.snap != nil {
 			if err := r.restoreFromSnapshot(*b.snap); err != nil {
 				b.closeWALs()
@@ -431,14 +477,22 @@ func (r *Replica) Start() error {
 			r.bootSnap = b.snap
 			r.applied.completed = int64(b.snap.LastIncluded)
 		}
+		topo := r.topo.Load()
 		for i, g := range r.groups {
 			gb := boot.groups[i]
+			if gb.view < topo.BaseView {
+				// A crash between commit and handoff can leave a group's
+				// durable view below the adopted epoch's base view; flooring
+				// it keeps every view this epoch uses on the new leader map.
+				gb.view = topo.BaseView
+				boot.groups[i] = gb
+			}
 			g.wal = gb.wal
 			g.gated = r.cfg.SyncPolicy == wal.SyncBatch
 			g.decidedUpTo.Store(int64(gb.log.FirstUndecided()))
 			g.nextSlot.Store(int64(gb.log.Next()))
 			g.viewHint.Store(int32(gb.view))
-			g.leaderHint.Store(int32(paxos.LeaderOf(gb.view, r.n)))
+			g.leaderHint.Store(int32(topo.Leader(gb.view)))
 		}
 	}
 
@@ -468,6 +522,9 @@ func (r *Replica) Start() error {
 		},
 		Thread: r.cfg.Profiling.Register("FailureDetector"),
 	})
+	if topo := r.topo.Load(); topo.Epoch > 0 {
+		r.detector.SetTopology(topo)
+	}
 	if boot != nil {
 		// The failure detector resumes from the recovered view: if that
 		// view's leader is gone, the suspect timeout rotates past it.
@@ -503,6 +560,7 @@ func (r *Replica) Start() error {
 	// per ordering group). With a data directory, each node boots from its
 	// recovered log and view, and the log starts journaling to the group's
 	// WAL from here on (replay itself is never re-journaled).
+	bootTopo := r.topo.Load()
 	for _, g := range r.groups {
 		opts := paxos.Options{
 			ID:        r.cfg.ID,
@@ -511,6 +569,14 @@ func (r *Replica) Start() error {
 			Group:     g.idx,
 			Groups:    len(r.groups),
 			Snapshots: r.snapshots.meta,
+		}
+		if bootTopo.Epoch > 0 {
+			// Epoch-stamped clusters hand the node its topology (quorum and
+			// view→leader map); epoch 0 keeps the legacy fixed shape. A fresh
+			// start begins at the epoch's base view so every view this epoch
+			// uses resolves on the new leader map.
+			opts.Topology = bootTopo
+			opts.View = bootTopo.BaseView
 		}
 		if boot != nil {
 			gb := boot.groups[g.idx]
@@ -567,7 +633,7 @@ func (r *Replica) Stop() {
 		if r.reads != nil {
 			r.reads.q.Close()
 		}
-		for _, q := range r.sendQ {
+		for _, q := range *r.sendQs.Load() {
 			if q != nil {
 				q.Close()
 			}
@@ -669,7 +735,7 @@ func (r *Replica) groupFor(payload []byte) int {
 // overload messages are dropped and recovered by retransmission (the paper's
 // Protocol thread never blocks on socket writes, Sec. V-B).
 func (r *Replica) enqueueSend(peer int, msg wire.Message) {
-	q := r.sendQ[peer]
+	q := r.sendQueue(peer)
 	if q == nil {
 		return
 	}
@@ -678,11 +744,13 @@ func (r *Replica) enqueueSend(peer int, msg wire.Message) {
 	}
 }
 
-// broadcast enqueues msg to every peer.
+// broadcast enqueues msg to every active peer.
 func (r *Replica) broadcast(msg wire.Message) {
-	for p, q := range r.sendQ {
+	for _, q := range *r.sendQs.Load() {
 		if q != nil {
-			r.enqueueSend(p, msg)
+			if ok, _ := q.TryPut(msg); !ok {
+				r.droppedSends.Add(1)
+			}
 		}
 	}
 }

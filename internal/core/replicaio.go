@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gosmr/internal/profiling"
@@ -20,6 +21,10 @@ type peerLink struct {
 	conn   transport.FrameConn
 	gen    int // bumped on every (re)connect, to pair failures with conns
 	closed bool
+
+	// lastTopo rate-limits the TopoUpdate answered to this peer's
+	// mismatched-epoch frames (unix nanos of the last send).
+	lastTopo atomic.Int64
 }
 
 func newPeerLink(peer int) *peerLink {
@@ -101,6 +106,13 @@ func (l *peerLink) disconnected() bool {
 	return l.conn == nil && !l.closed
 }
 
+// isClosed reports whether the link was torn down permanently.
+func (l *peerLink) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
 // replicaIO is the ReplicaIO module (Sec. V-B): blocking I/O with two
 // dedicated threads per peer socket — a reader that deserializes into the
 // DispatcherQueue and a sender that drains the peer's SendQueue. The
@@ -110,7 +122,10 @@ func (l *peerLink) disconnected() bool {
 type replicaIO struct {
 	r        *Replica
 	listener transport.Listener
-	links    []*peerLink
+
+	mu      sync.Mutex
+	links   []*peerLink // indexed by replica ID; nil = self or removed
+	stopped bool
 
 	stop chan struct{}
 	once sync.Once
@@ -118,15 +133,19 @@ type replicaIO struct {
 }
 
 // newReplicaIO binds the peer listener, starts dialers toward lower-ID
-// peers, and launches the per-peer reader/sender threads.
+// peers, and launches the per-peer reader/sender threads. The peer set comes
+// from the boot topology; reconfigurations grow or shrink it through
+// applyTopology.
 func newReplicaIO(r *Replica) (*replicaIO, error) {
 	io := &replicaIO{
-		r:     r,
-		links: make([]*peerLink, r.n),
-		stop:  make(chan struct{}),
+		r:    r,
+		stop: make(chan struct{}),
 	}
-	if r.n > 1 {
-		l, err := r.cfg.Network.Listen(r.cfg.PeerAddrs[r.cfg.ID])
+	t := r.topo.Load()
+	// A reconfigured cluster listens even when currently alone: a later
+	// AddReplica needs somewhere for the joiner to dial.
+	if t.N() > 1 || t.Epoch > 0 {
+		l, err := r.cfg.Network.Listen(t.Peers[r.cfg.ID])
 		if err != nil {
 			return nil, fmt.Errorf("core: peer listener: %w", err)
 		}
@@ -134,24 +153,85 @@ func newReplicaIO(r *Replica) (*replicaIO, error) {
 		io.wg.Add(1)
 		go io.runAcceptLoop()
 	}
-	for p := range r.n {
-		if p == r.cfg.ID {
-			continue
+	io.mu.Lock()
+	for p := range t.Peers {
+		if p != r.cfg.ID && t.Active(p) {
+			io.spawnPeerLocked(p)
 		}
-		io.links[p] = newPeerLink(p)
-		if p < r.cfg.ID {
-			io.wg.Add(1)
-			go io.runDialer(p)
-		}
-		io.wg.Add(2)
-		go io.runReader(p, r.profThread(fmt.Sprintf("ReplicaIORcv-%d", p)))
-		go io.runSender(p, r.profThread(fmt.Sprintf("ReplicaIOSnd-%d", p)))
 	}
+	io.mu.Unlock()
 	return io, nil
 }
 
+// spawnPeerLocked creates the link and per-peer threads for one active peer.
+// Caller holds io.mu.
+func (io *replicaIO) spawnPeerLocked(peer int) {
+	for len(io.links) <= peer {
+		io.links = append(io.links, nil)
+	}
+	l := newPeerLink(peer)
+	io.links[peer] = l
+	if peer < io.r.cfg.ID {
+		io.wg.Add(1)
+		go io.runDialer(peer, l)
+	}
+	io.wg.Add(2)
+	go io.runReader(peer, l, io.r.profThread(fmt.Sprintf("ReplicaIORcv-%d", peer)))
+	go io.runSender(peer, l, io.r.profThread(fmt.Sprintf("ReplicaIOSnd-%d", peer)))
+}
+
+// linkFor returns peer's link (nil for self, removed, or unknown IDs).
+func (io *replicaIO) linkFor(peer int) *peerLink {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	if peer < 0 || peer >= len(io.links) {
+		return nil
+	}
+	return io.links[peer]
+}
+
+// applyTopology reshapes the peer set to a newly adopted topology: links for
+// added replicas are created (the joiner has the higher ID, so it dials us —
+// our side just needs the link, reader, and sender ready), links for removed
+// replicas are closed, terminating their threads. Idempotent.
+func (io *replicaIO) applyTopology(t *wire.Topology) {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	if io.stopped {
+		return
+	}
+	for p, addr := range t.Peers {
+		switch {
+		case p == io.r.cfg.ID:
+		case addr == "":
+			if p < len(io.links) && io.links[p] != nil {
+				// Detach now (the fence stops honoring the peer immediately)
+				// but close after a grace delay: the sender is still draining
+				// its closed queue, whose last item is the farewell TopoUpdate
+				// telling a lagging removed replica WHY its cluster vanished.
+				l := io.links[p]
+				io.links[p] = nil
+				io.wg.Add(1)
+				go func() {
+					defer io.wg.Done()
+					select {
+					case <-io.stop:
+					case <-time.After(250 * time.Millisecond):
+					}
+					l.close()
+				}()
+			}
+		case p >= len(io.links) || io.links[p] == nil:
+			io.spawnPeerLocked(p)
+		}
+	}
+}
+
 // runAcceptLoop accepts connections from higher-ID peers; the first frame
-// must be a Hello identifying the dialer.
+// must be a Hello identifying the dialer (always sent unwrapped — the
+// handshake predates any epoch agreement). Membership is checked against the
+// CURRENT topology: a joiner dialing a replica that has not yet adopted the
+// epoch that added it is refused and retries with backoff.
 func (io *replicaIO) runAcceptLoop() {
 	defer io.wg.Done()
 	for {
@@ -173,20 +253,38 @@ func (io *replicaIO) runAcceptLoop() {
 				return
 			}
 			hello, ok := msg.(*wire.Hello)
-			if !ok || int(hello.ID) <= io.r.cfg.ID || int(hello.ID) >= io.r.n {
+			if !ok || int(hello.ID) <= io.r.cfg.ID {
 				_ = conn.Close()
 				return
 			}
-			io.links[hello.ID].set(conn)
+			if t := io.r.topo.Load(); !t.Active(int(hello.ID)) {
+				// Not a member of our epoch: refused — but answer the
+				// handshake with the committed topology first. A removed
+				// replica that missed the ordered decide learns here (each
+				// redial is answered until it adopts the epoch excluding it
+				// and fail-stops); a joiner dialing before we adopted its
+				// epoch just sees a stale map and retries with backoff.
+				if t.Epoch > 0 {
+					_ = conn.WriteFrame(wire.Marshal(&wire.TopoUpdate{Topo: *t}))
+				}
+				_ = conn.Close()
+				return
+			}
+			link := io.linkFor(int(hello.ID))
+			if link == nil {
+				_ = conn.Close()
+				return
+			}
+			link.set(conn)
 		}()
 	}
 }
 
 // runDialer maintains the outbound connection to a lower-ID peer,
-// redialling with backoff whenever it drops.
-func (io *replicaIO) runDialer(peer int) {
+// redialling with backoff whenever it drops. The address comes from the
+// current topology (a peer's address is fixed for the lifetime of its ID).
+func (io *replicaIO) runDialer(peer int, link *peerLink) {
 	defer io.wg.Done()
-	link := io.links[peer]
 	backoff := 10 * time.Millisecond
 	const maxBackoff = time.Second
 	for {
@@ -194,6 +292,9 @@ func (io *replicaIO) runDialer(peer int) {
 		case <-io.stop:
 			return
 		default:
+		}
+		if link.isClosed() {
+			return
 		}
 		if !link.disconnected() {
 			// Connected: poll for failure. The reader/sender call fail() on
@@ -205,7 +306,11 @@ func (io *replicaIO) runDialer(peer int) {
 			}
 			continue
 		}
-		conn, err := io.r.cfg.Network.Dial(io.r.cfg.PeerAddrs[peer])
+		t := io.r.topo.Load()
+		if peer >= len(t.Peers) || t.Peers[peer] == "" {
+			return
+		}
+		conn, err := io.r.cfg.Network.Dial(t.Peers[peer])
 		if err == nil {
 			err = conn.WriteFrame(wire.Marshal(&wire.Hello{ID: int32(io.r.cfg.ID)}))
 			if err == nil {
@@ -227,6 +332,20 @@ func (io *replicaIO) runDialer(peer int) {
 	}
 }
 
+// answerStaleEpoch replies to a mismatched-epoch frame with this replica's
+// committed topology, rate-limited per link — the "redirect carrying the new
+// topology". Sent for frames from older epochs (the peer adopts it) and newer
+// ones alike (the peer's reader sees our stale stamp and answers in kind, so
+// the exchange converges from either side).
+func (io *replicaIO) answerStaleEpoch(link *peerLink, t *wire.Topology) {
+	now := time.Now().UnixNano()
+	last := link.lastTopo.Load()
+	if now-last < int64(20*time.Millisecond) || !link.lastTopo.CompareAndSwap(last, now) {
+		return
+	}
+	io.r.enqueueSend(link.peer, &wire.TopoUpdate{Topo: *t})
+}
+
 // runReader is the ReplicaIORcv thread for one peer: read, deserialize,
 // touch the failure detector, and dispatch to the owning group's Protocol
 // thread (GroupMsg envelopes demultiplex the shared connection; bare
@@ -237,11 +356,10 @@ func (io *replicaIO) runDialer(peer int) {
 // Retains the message (copying only the byte fields the Protocol thread
 // will store, e.g. a Propose's batch) and recycles the frame immediately.
 // The Protocol thread Releases the message struct after handling it.
-func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
+func (io *replicaIO) runReader(peer int, link *peerLink, th *profiling.Thread) {
 	defer io.wg.Done()
 	th.Transition(profiling.StateBusy)
 	defer th.Transition(profiling.StateOther)
-	link := io.links[peer]
 	for {
 		th.Transition(profiling.StateOther) // blocked on socket read
 		conn, gen, ok := link.get()
@@ -258,6 +376,41 @@ func (io *replicaIO) runReader(peer int, th *profiling.Thread) {
 		if err != nil {
 			transport.RecycleFrame(frame, pooled)
 			continue
+		}
+		// Epoch fence: the outermost envelope is checked before the payload is
+		// looked at. A mismatched (or, past epoch 0, missing) stamp drops the
+		// frame and answers with our committed topology. TopoUpdate itself is
+		// always unwrapped — it must cross the fence to end the mismatch.
+		myTopo := io.r.topo.Load()
+		switch m := msg.(type) {
+		case *wire.EpochMsg:
+			if m.Epoch != myTopo.Epoch {
+				wire.Release(m) // inner message is dropped with it (GC reclaims)
+				transport.RecycleFrame(frame, pooled)
+				io.answerStaleEpoch(link, myTopo)
+				continue
+			}
+			msg = m.Msg
+			m.Msg = nil
+			wire.Release(m)
+		case *wire.TopoUpdate:
+			t := m.Topo // decoded with owned strings; safe past frame recycle
+			transport.RecycleFrame(frame, pooled)
+			if t.Epoch > myTopo.Epoch {
+				io.r.adoptTopology(&t, "peer")
+			} else if t.Epoch < myTopo.Epoch {
+				io.answerStaleEpoch(link, myTopo)
+			}
+			io.r.detector.TouchRecv(peer)
+			continue
+		default:
+			if myTopo.Epoch > 0 {
+				// Unwrapped frame from an epoch-0 peer: same stale-epoch case.
+				wire.Release(msg)
+				transport.RecycleFrame(frame, pooled)
+				io.answerStaleEpoch(link, myTopo)
+				continue
+			}
 		}
 		if io.handleDirect(peer, msg) {
 			// Lease/read-index/snapshot-chunk traffic is answered on the
@@ -333,13 +486,31 @@ func (io *replicaIO) handleDirect(peer int, msg wire.Message) bool {
 // straight into the transport's write buffer; otherwise it is encoded into
 // a per-sender scratch buffer reused across messages — either way the hot
 // send path allocates nothing.
-func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
+func (io *replicaIO) runSender(peer int, link *peerLink, th *profiling.Thread) {
 	defer io.wg.Done()
 	th.Transition(profiling.StateBusy)
 	defer th.Transition(profiling.StateOther)
-	link := io.links[peer]
-	q := io.r.sendQ[peer]
+	q := io.r.sendQueue(peer)
+	if q == nil {
+		return
+	}
 	var mc msgConn
+	// env is the per-sender reused epoch envelope: once the cluster has been
+	// reconfigured every outbound frame (except TopoUpdate, which must cross
+	// the fence raw) is stamped with the sender's epoch, at zero allocations.
+	var env wire.EpochMsg
+	wrap := func(m wire.Message) wire.Message {
+		if _, ok := m.(*wire.TopoUpdate); ok {
+			return m
+		}
+		epoch := io.r.topo.Load().Epoch
+		if epoch == 0 {
+			return m
+		}
+		env.Epoch = epoch
+		env.Msg = m
+		return &env
+	}
 	lastGen := -1
 	for {
 		msg, err := q.Take(th)
@@ -372,7 +543,7 @@ func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
 		}
 		lastGen = gen
 		mc.bind(conn)
-		werr := mc.write(msg)
+		werr := mc.write(wrap(msg))
 		if werr == nil && mc.buffered() {
 			// Drain the backlog into the write buffer before flushing.
 			for {
@@ -380,7 +551,7 @@ func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
 				if !ok {
 					break
 				}
-				if werr = mc.write(next); werr != nil {
+				if werr = mc.write(wrap(next)); werr != nil {
 					break
 				}
 			}
@@ -388,6 +559,7 @@ func (io *replicaIO) runSender(peer int, th *profiling.Thread) {
 				werr = mc.flush()
 			}
 		}
+		env.Msg = nil
 		th.Transition(profiling.StateBusy)
 		if werr != nil {
 			link.fail(gen)
@@ -456,7 +628,11 @@ func (io *replicaIO) close() {
 		if io.listener != nil {
 			_ = io.listener.Close()
 		}
-		for _, l := range io.links {
+		io.mu.Lock()
+		io.stopped = true
+		links := append([]*peerLink(nil), io.links...)
+		io.mu.Unlock()
+		for _, l := range links {
 			if l != nil {
 				l.close()
 			}

@@ -91,6 +91,19 @@ func (r *Replica) runServiceManager() {
 		if len(reqs) > 0 {
 			r.decidedMerged.Add(1)
 		}
+		if len(reqs) == 1 && reqs[0].ClientID == wire.ConfigClientID {
+			// A configuration command, ordered like any batch: its merged
+			// index is the deterministic reconfiguration point. It never
+			// reaches the executor or the reply cache — adopting the
+			// topology IS its execution, identically on every replica.
+			r.applyReconfig(reqs[0].Payload)
+			wire.Release(reqs[0])
+			reqs[0] = nil
+			position = int64(item.id)
+			r.maybeSnapshot(th, item.id)
+			r.serveApplied(th, position)
+			continue
+		}
 		for i, req := range reqs {
 			r.scheduleOne(th, req)
 			reqs[i] = nil
@@ -291,9 +304,17 @@ func (r *Replica) maybeSnapshot(th *profiling.Thread, executedID wire.InstanceID
 	}
 	r.forceFull = false
 	rc := r.replyCache.Marshal()
+	// Stamp the cut with the ServiceManager's log-ordered topology: every
+	// replica cutting at this merged index has applied exactly the same
+	// config commands, so the stamp is deterministic. Epoch 0 stamps nothing,
+	// keeping legacy images byte-identical.
+	var topo []byte
+	if r.smTopo != nil && r.smTopo.Epoch > 0 {
+		topo = wire.EncodeTopology(r.smTopo)
+	}
 	job := &drainJob{done: make(chan struct{})}
 	r.drain = job
-	go r.runDrain(job, src, executedID, isFull, rc)
+	go r.runDrain(job, src, executedID, isFull, rc, topo)
 }
 
 // restoreFromSnapshot replaces service, reply-cache, and execution-scheduler
@@ -337,6 +358,18 @@ func (r *Replica) restoreFromSnapshot(snap wire.Snapshot) error {
 	}
 	r.snapChain = chain
 	r.snapshots.put(snap)
+	if len(snap.Topo) > 0 {
+		// The image was cut under an epoch-stamped topology; adopt it (a
+		// no-op unless it is newer than what this replica already knows —
+		// the case where a lagging replica crosses a reconfiguration point
+		// via state transfer instead of replaying the config command).
+		if t, err := wire.DecodeTopology(snap.Topo); err == nil {
+			r.smTopo = t
+			r.adoptTopology(t, "snapshot")
+		} else {
+			return fmt.Errorf("core: decode snapshot topology: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -353,5 +386,5 @@ func (r *Replica) persistTransferred(snap wire.Snapshot) error {
 		return fmt.Errorf("core: decode snapshot chain: %w", err)
 	}
 	return r.snapDisk.replaceChain(snap.LastIncluded, snap.Groups,
-		gens, snapshot.SplitBlob(snap.ReplyCache, r.cfg.SnapshotChunkBytes))
+		gens, snapshot.SplitBlob(snap.ReplyCache, r.cfg.SnapshotChunkBytes), snap.Topo)
 }

@@ -101,7 +101,7 @@ func (b *blobSource) Close() {}
 // it closes job.done. Log truncation is requested only after the manifest
 // commit — persist-before-truncate, unchanged from the all-at-once design,
 // just at manifest granularity now.
-func (r *Replica) runDrain(job *drainJob, src snapshot.Source, cut wire.InstanceID, full bool, rc []byte) {
+func (r *Replica) runDrain(job *drainJob, src snapshot.Source, cut wire.InstanceID, full bool, rc, topo []byte) {
 	defer close(job.done)
 	chunks, err := snapshot.Drain(src, r.cfg.SnapshotChunkBytes)
 	if err != nil {
@@ -122,13 +122,14 @@ func (r *Replica) runDrain(job *drainJob, src snapshot.Source, cut wire.Instance
 		ServiceState: snapshot.EncodeChain(gens),
 		ReplyCache:   rc,
 		Groups:       int32(len(r.groups)),
+		Topo:         topo,
 	}
 	// Publish before persisting: catch-up state transfer serves from memory,
 	// so a replica with a sick disk still helps lagging peers.
 	r.snapshots.put(snap)
 	if r.snapDisk != nil {
 		if err := r.snapDisk.appendGen(cut, snap.Groups, full, chunks,
-			snapshot.SplitBlob(rc, r.cfg.SnapshotChunkBytes)); err != nil {
+			snapshot.SplitBlob(rc, r.cfg.SnapshotChunkBytes), topo); err != nil {
 			// Keep the full WAL until a snapshot lands durably; the next cut
 			// is forced full so the disk chain never references a missing
 			// generation. Out-of-space additionally sheds WAL catch-up

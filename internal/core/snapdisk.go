@@ -65,8 +65,12 @@ func newSnapDisk(dir string, chunkCap int, fsys vfs.FS) *snapDisk {
 }
 
 const (
-	manifestMagic   = 0x4D4E5347 // "GSNM"
-	manifestVersion = 1
+	manifestMagic = 0x4D4E5347 // "GSNM"
+	// Version 1 has no topology section; version 2 appends the encoded
+	// topology of the epoch the snapshot was cut under. Epoch-0 commits
+	// still write version 1 byte-for-byte, and boot accepts both.
+	manifestVersion     = 1
+	manifestVersionTopo = 2
 )
 
 func manifestName(cut wire.InstanceID) string {
@@ -87,7 +91,7 @@ func pullPartName(cut wire.InstanceID) string {
 // reply cache, pre-split; it replaces the previous manifest's reply-cache
 // refs (the cache is always persisted whole, but never as one unbounded
 // file).
-func (s *snapDisk) appendGen(cut wire.InstanceID, groups int32, full bool, chunks, rcChunks [][]byte) error {
+func (s *snapDisk) appendGen(cut wire.InstanceID, groups int32, full bool, chunks, rcChunks [][]byte, topo []byte) error {
 	chain := s.gens
 	if full {
 		chain = nil
@@ -101,7 +105,7 @@ func (s *snapDisk) appendGen(cut wire.InstanceID, groups int32, full bool, chunk
 	copy(next, chain)
 	next = append(next, diskGen{dir: gdir, full: full, chunks: refs})
 	rcRefs := chunkRefs(rcChunks)
-	if err := s.writeManifest(cut, groups, next, rcRefs); err != nil {
+	if err := s.writeManifest(cut, groups, next, rcRefs, topo); err != nil {
 		return err
 	}
 	s.gens, s.rc = next, rcRefs
@@ -112,7 +116,7 @@ func (s *snapDisk) appendGen(cut wire.InstanceID, groups int32, full bool, chunk
 // replaceChain commits a transferred snapshot chain wholesale (state
 // transfer install). Every generation gets its own directory stamped with
 // the install cut; the reply cache lands in the last one.
-func (s *snapDisk) replaceChain(cut wire.InstanceID, groups int32, gens []snapshot.Gen, rcChunks [][]byte) error {
+func (s *snapDisk) replaceChain(cut wire.InstanceID, groups int32, gens []snapshot.Gen, rcChunks [][]byte, topo []byte) error {
 	next := make([]diskGen, 0, len(gens))
 	for i, g := range gens {
 		gdir := genDirName(cut, i)
@@ -127,7 +131,7 @@ func (s *snapDisk) replaceChain(cut wire.InstanceID, groups int32, gens []snapsh
 		next = append(next, diskGen{dir: gdir, full: g.Full, chunks: refs})
 	}
 	rcRefs := chunkRefs(rcChunks)
-	if err := s.writeManifest(cut, groups, next, rcRefs); err != nil {
+	if err := s.writeManifest(cut, groups, next, rcRefs, topo); err != nil {
 		return err
 	}
 	s.gens, s.rc = next, rcRefs
@@ -190,10 +194,14 @@ func writeFileSync(fsys vfs.FS, path string, data []byte) error {
 }
 
 // writeManifest durably commits a chain (temp, fsync, rename, fsync dir).
-func (s *snapDisk) writeManifest(cut wire.InstanceID, groups int32, gens []diskGen, rc []chunkRef) error {
+func (s *snapDisk) writeManifest(cut wire.InstanceID, groups int32, gens []diskGen, rc []chunkRef, topo []byte) error {
+	ver := uint32(manifestVersion)
+	if len(topo) > 0 {
+		ver = manifestVersionTopo
+	}
 	var b []byte
 	b = binary.LittleEndian.AppendUint32(b, manifestMagic)
-	b = binary.LittleEndian.AppendUint32(b, manifestVersion)
+	b = binary.LittleEndian.AppendUint32(b, ver)
 	b = binary.LittleEndian.AppendUint64(b, uint64(cut))
 	b = binary.LittleEndian.AppendUint32(b, uint32(groups))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(gens)))
@@ -216,6 +224,10 @@ func (s *snapDisk) writeManifest(cut wire.InstanceID, groups int32, gens []diskG
 		b = binary.LittleEndian.AppendUint32(b, c.size)
 		b = binary.LittleEndian.AppendUint32(b, c.crc)
 	}
+	if ver >= manifestVersionTopo {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(topo)))
+		b = append(b, topo...)
+	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 
 	if err := s.fs.MkdirAll(s.dir, 0o755); err != nil {
@@ -237,9 +249,9 @@ func (s *snapDisk) writeManifest(cut wire.InstanceID, groups int32, gens []diskG
 
 // decodeManifest parses and verifies a manifest image. Counts are validated
 // against the remaining bytes before any allocation.
-func decodeManifest(b []byte) (cut wire.InstanceID, groups int32, gens []diskGen, rc []chunkRef, err error) {
-	fail := func(msg string) (wire.InstanceID, int32, []diskGen, []chunkRef, error) {
-		return 0, 0, nil, nil, fmt.Errorf("manifest %s", msg)
+func decodeManifest(b []byte) (cut wire.InstanceID, groups int32, gens []diskGen, rc []chunkRef, topo []byte, err error) {
+	fail := func(msg string) (wire.InstanceID, int32, []diskGen, []chunkRef, []byte, error) {
+		return 0, 0, nil, nil, nil, fmt.Errorf("manifest %s", msg)
 	}
 	if len(b) < 28 {
 		return fail("too short")
@@ -248,8 +260,9 @@ func decodeManifest(b []byte) (cut wire.InstanceID, groups int32, gens []diskGen
 	if crc32.ChecksumIEEE(body) != sum {
 		return fail("checksum mismatch")
 	}
+	ver := binary.LittleEndian.Uint32(body[4:])
 	if binary.LittleEndian.Uint32(body) != manifestMagic ||
-		binary.LittleEndian.Uint32(body[4:]) != manifestVersion {
+		(ver != manifestVersion && ver != manifestVersionTopo) {
 		return fail("bad header")
 	}
 	cut = wire.InstanceID(binary.LittleEndian.Uint64(body[8:]))
@@ -305,10 +318,18 @@ func decodeManifest(b []byte) (cut wire.InstanceID, groups int32, gens []diskGen
 	if !ok {
 		return fail("truncated")
 	}
+	if ver >= manifestVersionTopo {
+		tlen, ok := takeU32()
+		if !ok || uint64(tlen) > uint64(len(rest)) {
+			return fail("truncated")
+		}
+		topo = append([]byte(nil), rest[:tlen]...)
+		rest = rest[tlen:]
+	}
 	if len(rest) != 0 {
 		return fail("trailing bytes")
 	}
-	return cut, groups, gens, rc, nil
+	return cut, groups, gens, rc, topo, nil
 }
 
 // manifestFiles lists committed manifest names in ascending cut order.
@@ -395,7 +416,7 @@ func (s *snapDisk) loadManifest(name string) (*wire.Snapshot, []diskGen, []chunk
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	cut, groups, gens, rcRefs, err := decodeManifest(data)
+	cut, groups, gens, rcRefs, topo, err := decodeManifest(data)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -428,6 +449,7 @@ func (s *snapDisk) loadManifest(name string) (*wire.Snapshot, []diskGen, []chunk
 		ServiceState: snapshot.EncodeChain(chain),
 		ReplyCache:   snapshot.JoinChunks(rcChunks),
 		Groups:       groups,
+		Topo:         topo,
 	}
 	return snap, gens, rcRefs, nil
 }
@@ -457,7 +479,7 @@ func (s *snapDisk) gc(newest wire.InstanceID) {
 		if err != nil {
 			return
 		}
-		_, _, gens, _, err := decodeManifest(data)
+		_, _, gens, _, _, err := decodeManifest(data)
 		if err != nil {
 			return
 		}

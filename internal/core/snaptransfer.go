@@ -109,20 +109,24 @@ func (r *Replica) pullSnapshot(meta wire.SnapshotMeta) (*wire.Snapshot, error) {
 	r.puller.begin(meta.LastIncluded)
 	defer r.puller.end()
 
+	topo := r.topo.Load()
 	target := int(r.groups[0].leaderHint.Load())
 	rotate := func() {
-		target = (target + 1) % r.n
-		if target == r.cfg.ID {
-			target = (target + 1) % r.n
+		// Next active peer in ID order, wrapping; skips self and removed IDs.
+		for range len(topo.Peers) {
+			target = (target + 1) % len(topo.Peers)
+			if target != r.cfg.ID && topo.Active(target) {
+				return
+			}
 		}
 	}
-	if target == r.cfg.ID || target < 0 || target >= r.n {
+	if target == r.cfg.ID || !topo.Active(target) {
 		target = r.cfg.ID
 		rotate()
 	}
 	misses := 0
 	for stage.size < meta.TotalBytes {
-		if misses > 4*r.n {
+		if misses > 4*topo.N() {
 			return nil, fmt.Errorf("pull stalled at %d/%d bytes", stage.size, meta.TotalBytes)
 		}
 		req := wire.NewSnapshotChunkReq()

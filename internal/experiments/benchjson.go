@@ -18,7 +18,7 @@ import (
 // plus allocs/op of the codec hot paths, so successive PRs can diff
 // performance numerically instead of eyeballing reports.
 type BenchJSON struct {
-	Schema string `json:"schema"` // "gosmr-bench/pr8"
+	Schema string `json:"schema"` // "gosmr-bench/pr10"
 	// NumCPU is the host's CPU count — the read-mix routing comparison and
 	// the cpu-cost conflict sweep are only meaningful relative to it
 	// (worker overlap of CPU-bound commands needs cores; the wait-cost
@@ -55,10 +55,28 @@ type BenchJSON struct {
 	BigStateDelta    []BigStateDeltaJSON    `json:"bigstate_delta_bytes"`
 	BigStateTransfer []BigStateTransferJSON `json:"bigstate_transfer"`
 
+	// Reconfig: write-throughput before / during / after a live 3→4 replica
+	// add (the PR 10 acceptance metric: bounded dip from the stop-the-group
+	// handoff, zero acked-write loss, snapshot-transfer joiner bootstrap).
+	Reconfig ReconfigJSON `json:"reconfig"`
+
 	// AllocsPerOp: steady-state allocations per operation on the encode and
 	// decode/deliver hot paths (the PR 4 acceptance metric: encode 0,
 	// decode <= 2).
 	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+}
+
+// ReconfigJSON is the live-add measurement. Times are milliseconds.
+type ReconfigJSON struct {
+	BeforeWritesPerS float64 `json:"before_writes_per_sec"`
+	DuringWritesPerS float64 `json:"during_writes_per_sec"`
+	AfterWritesPerS  float64 `json:"after_writes_per_sec"`
+	DipPct           float64 `json:"dip_pct"`
+	AddCommitMs      float64 `json:"add_commit_ms"`
+	JoinerCatchupMs  float64 `json:"joiner_catchup_ms"`
+	AckedWrites      int64   `json:"acked_writes"`
+	LostWrites       int     `json:"lost_writes"`
+	StateTransfers   uint64  `json:"joiner_state_transfers"`
 }
 
 // GroupScalingJSON is one group-scaling cell.
@@ -250,13 +268,13 @@ func executorSubmitAllocs() float64 {
 	}) / 16
 }
 
-// BenchSnapshot runs the perf suite — group-scaling, durability, read-mix
-// and conflict sweeps on the real pipeline plus the codec/WAL/executor
-// alloc probes — and returns the JSON payload. The conflict sweep runs
+// BenchSnapshot runs the perf suite — group-scaling, durability, read-mix,
+// conflict and reconfiguration sweeps on the real pipeline plus the
+// codec/WAL/executor alloc probes — and returns the JSON payload. The conflict sweep runs
 // twice, once per cost model (wall-clock wait and CPU spin); the returned
 // ConflictSweepResult holds both runs' cells, told apart by their Cost.
-func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOptions, csOpts ConflictSweepOptions, bsOpts BigStateOptions) (BenchJSON, GroupResult, DurabilityResult, ReadMixResult, ConflictSweepResult, BigStateResult, error) {
-	out := BenchJSON{Schema: "gosmr-bench/pr8", NumCPU: runtime.NumCPU(), AllocsPerOp: codecAllocs()}
+func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOptions, csOpts ConflictSweepOptions, bsOpts BigStateOptions, rcOpts ReconfigOptions) (BenchJSON, GroupResult, DurabilityResult, ReadMixResult, ConflictSweepResult, BigStateResult, ReconfigResult, error) {
+	out := BenchJSON{Schema: "gosmr-bench/pr10", NumCPU: runtime.NumCPU(), AllocsPerOp: codecAllocs()}
 	if wa, err := walAppendAllocs(); err == nil {
 		out.AllocsPerOp["wal_append"] = wa
 	}
@@ -307,14 +325,14 @@ func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOp
 	if dOpts.Dir == "" {
 		dir, err := os.MkdirTemp("", "gosmr-bench-durability")
 		if err != nil {
-			return out, gr, DurabilityResult{}, ReadMixResult{}, cs, BigStateResult{}, err
+			return out, gr, DurabilityResult{}, ReadMixResult{}, cs, BigStateResult{}, ReconfigResult{}, err
 		}
 		defer os.RemoveAll(dir)
 		dOpts.Dir = dir
 	}
 	dr, err := DurabilitySmoke(dOpts)
 	if err != nil {
-		return out, gr, dr, ReadMixResult{}, cs, BigStateResult{}, err
+		return out, gr, dr, ReadMixResult{}, cs, BigStateResult{}, ReconfigResult{}, err
 	}
 	for _, c := range dr.Cells {
 		out.Durability = append(out.Durability, DurabilityJSON{
@@ -342,7 +360,7 @@ func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOp
 
 	bs, err := BigState(bsOpts)
 	if err != nil {
-		return out, gr, dr, rm, cs, bs, err
+		return out, gr, dr, rm, cs, bs, ReconfigResult{}, err
 	}
 	for _, c := range bs.CutCells {
 		out.BigStateCut = append(out.BigStateCut, BigStateCutJSON{
@@ -371,7 +389,22 @@ func BenchSnapshot(gOpts GroupOptions, dOpts DurabilityOptions, rmOpts ReadMixOp
 			MaxFrameBytes: c.MaxFrameBytes,
 		})
 	}
-	return out, gr, dr, rm, cs, bs, nil
+	rc, err := Reconfig(rcOpts)
+	if err != nil {
+		return out, gr, dr, rm, cs, bs, rc, err
+	}
+	out.Reconfig = ReconfigJSON{
+		BeforeWritesPerS: rc.BeforePerS,
+		DuringWritesPerS: rc.DuringPerS,
+		AfterWritesPerS:  rc.AfterPerS,
+		DipPct:           rc.DipPct,
+		AddCommitMs:      ms(rc.AddCommit),
+		JoinerCatchupMs:  ms(rc.Catchup),
+		AckedWrites:      rc.AckedWrites,
+		LostWrites:       rc.LostWrites,
+		StateTransfers:   rc.StateTransfers,
+	}
+	return out, gr, dr, rm, cs, bs, rc, nil
 }
 
 // WriteBenchJSON writes the snapshot to path (indented, trailing newline).

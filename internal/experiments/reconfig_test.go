@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReconfigSmoke runs a reduced live-add measurement end to end on the
+// real pipeline. It asserts the invariants — the add commits, the joiner
+// bootstraps via state transfer, no acked write is lost — not the dip
+// magnitude, which depends on host load (the full run is
+// `gosmr-bench -experiment reconfig`).
+func TestReconfigSmoke(t *testing.T) {
+	r, err := Reconfig(ReconfigOptions{
+		Writers: 4,
+		Phase:   200 * time.Millisecond,
+		Warmup:  150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BeforePerS <= 0 || r.DuringPerS <= 0 || r.AfterPerS <= 0 {
+		t.Errorf("phase rates = %.0f/%.0f/%.0f writes/s, want all > 0",
+			r.BeforePerS, r.DuringPerS, r.AfterPerS)
+	}
+	if r.AddCommit <= 0 {
+		t.Error("AddReplica reported zero commit latency")
+	}
+	if r.StateTransfers == 0 {
+		t.Error("joiner bootstrapped without a snapshot transfer")
+	}
+	if r.AckedWrites == 0 {
+		t.Error("no writes acked")
+	}
+	if r.LostWrites != 0 {
+		t.Errorf("lost %d acked writes on the joiner, want 0", r.LostWrites)
+	}
+	if !strings.Contains(r.Report, "Reconfig") {
+		t.Error("report missing title")
+	}
+}

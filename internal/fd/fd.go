@@ -59,14 +59,45 @@ type Options struct {
 	Thread *profiling.Thread
 }
 
+// membership is the swappable peer-set state: topology (nil for the legacy
+// boot-frozen shape) plus the per-peer timestamp arrays sized to it. A
+// reconfiguration builds a new membership (copying surviving timestamps)
+// and swaps the pointer; a Touch racing the swap can lose one update, which
+// at worst delays the next heartbeat/suspicion by an interval.
+type membership struct {
+	topo     *wire.Topology // nil = legacy fixed shape of size n
+	n        int            // len of the arrays (max replica ID + 1)
+	lastRecv []atomic.Int64 // unix nanos of last message received from peer
+	lastSent []atomic.Int64 // unix nanos of last message sent to peer
+}
+
+// active reports whether peer p participates in the current shape.
+func (m *membership) active(p int) bool {
+	if m.topo != nil {
+		return m.topo.Active(p)
+	}
+	return p >= 0 && p < m.n
+}
+
+// leader maps a view to its leader under this shape.
+func (m *membership) leader(v wire.View) int {
+	if m.topo != nil {
+		return m.topo.Leader(v)
+	}
+	l := int(v) % m.n
+	if l < 0 {
+		l = -l // defensive; views are non-negative in practice
+	}
+	return l
+}
+
 // Detector is the failure-detector thread. Construct with New, stop with
 // Stop.
 type Detector struct {
 	opts Options
 
-	lastRecv []atomic.Int64 // unix nanos of last message received from peer
-	lastSent []atomic.Int64 // unix nanos of last message sent to peer
-	lastHB   []int64        // unix nanos of last forced heartbeat (detector goroutine only)
+	mem    atomic.Pointer[membership]
+	lastHB []int64 // unix nanos of last forced heartbeat (detector goroutine only)
 
 	view      atomic.Int32 // current view
 	suspected atomic.Int32 // highest view already reported suspected; -1 none
@@ -74,6 +105,22 @@ type Detector struct {
 	stop chan struct{}
 	once sync.Once
 	wg   sync.WaitGroup
+}
+
+// newMembership builds arrays for n slots initialized to now.
+func newMembership(topo *wire.Topology, n int) *membership {
+	m := &membership{
+		topo:     topo,
+		n:        n,
+		lastRecv: make([]atomic.Int64, n),
+		lastSent: make([]atomic.Int64, n),
+	}
+	now := time.Now().UnixNano()
+	for i := range m.lastRecv {
+		m.lastRecv[i].Store(now)
+		m.lastSent[i].Store(now)
+	}
+	return m
 }
 
 // New returns a started Detector.
@@ -85,36 +132,45 @@ func New(opts Options) *Detector {
 		opts.SuspectTimeout = DefaultSuspectTimeout
 	}
 	d := &Detector{
-		opts:     opts,
-		lastRecv: make([]atomic.Int64, opts.N),
-		lastSent: make([]atomic.Int64, opts.N),
-		lastHB:   make([]int64, opts.N),
-		stop:     make(chan struct{}),
+		opts:   opts,
+		lastHB: make([]int64, opts.N),
+		stop:   make(chan struct{}),
 	}
+	d.mem.Store(newMembership(nil, opts.N))
 	d.suspected.Store(-1)
-	now := time.Now().UnixNano()
-	for i := range d.lastRecv {
-		d.lastRecv[i].Store(now)
-		d.lastSent[i].Store(now)
-	}
 	d.wg.Add(1)
 	go d.run()
 	return d
 }
 
+// SetTopology swaps the peer set to an epoch-stamped topology. Timestamps
+// of surviving peers carry over; added peers start with a full timeout from
+// now. Safe to call concurrently with Touch*/UpdateView.
+func (d *Detector) SetTopology(topo *wire.Topology) {
+	old := d.mem.Load()
+	m := newMembership(topo, len(topo.Peers))
+	for i := 0; i < len(old.lastRecv) && i < len(m.lastRecv); i++ {
+		m.lastRecv[i].Store(old.lastRecv[i].Load())
+		m.lastSent[i].Store(old.lastSent[i].Load())
+	}
+	d.mem.Store(m)
+}
+
 // TouchRecv records that a message from peer was just received. Called by
 // ReplicaIO reader threads; lock-free.
 func (d *Detector) TouchRecv(peer int) {
-	if peer >= 0 && peer < len(d.lastRecv) {
-		d.lastRecv[peer].Store(time.Now().UnixNano())
+	m := d.mem.Load()
+	if peer >= 0 && peer < len(m.lastRecv) {
+		m.lastRecv[peer].Store(time.Now().UnixNano())
 	}
 }
 
 // TouchSent records that a message to peer was just sent. Called by
 // ReplicaIO sender threads; lock-free.
 func (d *Detector) TouchSent(peer int) {
-	if peer >= 0 && peer < len(d.lastSent) {
-		d.lastSent[peer].Store(time.Now().UnixNano())
+	m := d.mem.Load()
+	if peer >= 0 && peer < len(m.lastSent) {
+		m.lastSent[peer].Store(time.Now().UnixNano())
 	}
 }
 
@@ -124,9 +180,10 @@ func (d *Detector) UpdateView(v wire.View) {
 	d.view.Store(int32(v))
 	// Give the new leader a full timeout from now.
 	now := time.Now().UnixNano()
-	leader := int(int32(v)) % d.opts.N
-	if leader >= 0 && leader < len(d.lastRecv) {
-		d.lastRecv[leader].Store(now)
+	m := d.mem.Load()
+	leader := m.leader(v)
+	if leader >= 0 && leader < len(m.lastRecv) {
+		m.lastRecv[leader].Store(now)
 	}
 }
 
@@ -169,35 +226,39 @@ func (d *Detector) run() {
 // evaluate performs one leader-heartbeat / follower-suspicion pass.
 func (d *Detector) evaluate(now time.Time) {
 	view := wire.View(d.view.Load())
-	leader := int(view) % d.opts.N
-	if leader < 0 {
-		leader = -leader // defensive; views are non-negative in practice
-	}
+	m := d.mem.Load()
+	leader := m.leader(view)
 	if leader == d.opts.ID {
 		// Leader role: heartbeat any peer whose connection has been idle —
 		// or, under ForceHeartbeat, any peer not explicitly heartbeated for
 		// an interval, even if proposal traffic kept the connection busy
 		// (lease grants ride only on heartbeats).
+		if len(d.lastHB) < len(m.lastSent) {
+			d.lastHB = append(d.lastHB, make([]int64, len(m.lastSent)-len(d.lastHB))...)
+		}
 		cutoff := now.Add(-d.opts.HeartbeatInterval).UnixNano()
-		for p := range d.opts.N {
-			if p == d.opts.ID {
+		for p := range m.lastSent {
+			if p == d.opts.ID || !m.active(p) {
 				continue
 			}
-			due := d.lastSent[p].Load() <= cutoff
+			due := m.lastSent[p].Load() <= cutoff
 			if d.opts.ForceHeartbeat {
 				due = d.lastHB[p] <= cutoff
 			}
 			if due && d.opts.SendHeartbeat != nil {
 				d.opts.SendHeartbeat(p)
-				d.lastSent[p].Store(now.UnixNano())
+				m.lastSent[p].Store(now.UnixNano())
 				d.lastHB[p] = now.UnixNano()
 			}
 		}
 		return
 	}
 	// Follower role: suspect a silent leader, once per view.
+	if leader < 0 || leader >= len(m.lastRecv) {
+		return
+	}
 	cutoff := now.Add(-d.opts.SuspectTimeout).UnixNano()
-	if d.lastRecv[leader].Load() <= cutoff && d.suspected.Load() < int32(view) {
+	if m.lastRecv[leader].Load() <= cutoff && d.suspected.Load() < int32(view) {
 		if d.opts.HoldSuspect != nil && d.opts.HoldSuspect(view) {
 			return // promise active: retry next tick, don't mark suspected
 		}

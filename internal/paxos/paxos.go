@@ -168,6 +168,12 @@ type Node struct {
 	group  int // ordering group this node runs
 	groups int // total ordering groups in the replica
 
+	// topo, when non-nil, is the epoch-stamped cluster topology: quorum
+	// size and the view→leader map read it instead of the boot-frozen n.
+	// Installed by SetTopology on the owner thread when a reconfiguration
+	// command is applied; nil means the legacy fixed-shape cluster.
+	topo *wire.Topology
+
 	log *storage.Log
 
 	view      wire.View
@@ -233,6 +239,10 @@ type Options struct {
 	// View is the initial (recovered) view — the acceptor's durable
 	// promise. Zero for a fresh node.
 	View wire.View
+	// Topology, when non-nil, is the epoch-stamped cluster topology this
+	// node boots in (recovered from WAL/snapshot or the seed config).
+	// Quorum size and the view→leader map then read it instead of N.
+	Topology *wire.Topology
 }
 
 // NewNode returns a Node in view 0 with an empty log. No messages are sent
@@ -242,11 +252,17 @@ func NewNode(opts Options) *Node {
 	if opts.Window <= 0 {
 		opts.Window = 10
 	}
-	if opts.N <= 0 {
-		panic("paxos: N must be positive")
-	}
-	if opts.ID < 0 || opts.ID >= opts.N {
-		panic(fmt.Sprintf("paxos: ID %d out of range [0,%d)", opts.ID, opts.N))
+	if opts.Topology != nil {
+		if !opts.Topology.Active(opts.ID) {
+			panic(fmt.Sprintf("paxos: ID %d not active in topology epoch %d", opts.ID, opts.Topology.Epoch))
+		}
+	} else {
+		if opts.N <= 0 {
+			panic("paxos: N must be positive")
+		}
+		if opts.ID < 0 || opts.ID >= opts.N {
+			panic(fmt.Sprintf("paxos: ID %d out of range [0,%d)", opts.ID, opts.N))
+		}
 	}
 	if opts.Groups <= 0 {
 		opts.Groups = 1
@@ -264,12 +280,17 @@ func NewNode(opts Options) *Node {
 	if opts.CatchUpMaxBytes <= 0 {
 		opts.CatchUpMaxBytes = DefaultCatchUpMaxBytes
 	}
+	n := opts.N
+	if opts.Topology != nil {
+		n = opts.Topology.N()
+	}
 	return &Node{
 		id:     opts.ID,
-		n:      opts.N,
+		n:      n,
 		window: opts.Window,
 		group:  opts.Group,
 		groups: opts.Groups,
+		topo:   opts.Topology,
 		log:    log,
 		view:   opts.View,
 		open:   make(map[wire.InstanceID]*openInstance),
@@ -297,10 +318,34 @@ func (nd *Node) N() int { return nd.n }
 func (nd *Node) View() wire.View { return nd.view }
 
 // Leader returns the leader of the current view.
-func (nd *Node) Leader() int { return LeaderOf(nd.view, nd.n) }
+func (nd *Node) Leader() int { return nd.leaderOf(nd.view) }
 
-// LeaderOf returns the leader of view v in an n-replica cluster.
+// LeaderOf returns the leader of view v in an n-replica cluster (the legacy
+// fixed-shape map; topology-aware nodes use Topology.Leader).
 func LeaderOf(v wire.View, n int) int { return int(v) % n }
+
+// leaderOf maps a view to its leader under the installed topology, falling
+// back to the classic v mod n map for legacy fixed-shape clusters.
+func (nd *Node) leaderOf(v wire.View) int {
+	if nd.topo != nil {
+		return nd.topo.Leader(v)
+	}
+	return LeaderOf(v, nd.n)
+}
+
+// Topology returns the installed epoch-stamped topology (nil for a legacy
+// fixed-shape node).
+func (nd *Node) Topology() *wire.Topology { return nd.topo }
+
+// SetTopology installs a new epoch-stamped topology, replacing the quorum
+// size and view→leader map. Owner-thread only. The caller is responsible
+// for advancing the view to the topology's BaseView afterwards (AdvanceTo),
+// which re-runs Phase 1 over the unstable suffix under the new shape — the
+// stop-the-group handoff.
+func (nd *Node) SetTopology(t *wire.Topology) {
+	nd.topo = t
+	nd.n = t.N()
+}
 
 // IsLeader reports whether this replica is the established leader (Phase 1
 // complete) of the current view.
@@ -336,8 +381,13 @@ func (nd *Node) InFlight() int { return len(nd.open) }
 // (pipelining limit WND, Sec. VI-D2).
 func (nd *Node) WindowOpen() bool { return nd.leading && len(nd.open) < nd.window }
 
-// majority returns the quorum size.
-func (nd *Node) majority() int { return nd.n/2 + 1 }
+// majority returns the quorum size under the current topology.
+func (nd *Node) majority() int {
+	if nd.topo != nil {
+		return nd.topo.Quorum()
+	}
+	return nd.n/2 + 1
+}
 
 // Start bootstraps the protocol: the decided prefix of a recovered log is
 // re-emitted (so the caller can rebuild service state), and the leader of
@@ -349,7 +399,7 @@ func (nd *Node) majority() int { return nd.n/2 + 1 }
 func (nd *Node) Start() Effects {
 	var e Effects
 	nd.emitDecisions(&e)
-	if LeaderOf(nd.view, nd.n) == nd.id {
+	if nd.leaderOf(nd.view) == nd.id {
 		nd.becomeCandidate(nd.view, &e)
 	}
 	return e
@@ -388,7 +438,7 @@ func (nd *Node) advanceView(v wire.View, e *Effects) {
 	nd.abandonViewState(e)
 	nd.view = v
 	e.ViewChanged = true
-	if LeaderOf(v, nd.n) == nd.id {
+	if nd.leaderOf(v) == nd.id {
 		nd.becomeCandidate(v, e)
 	}
 }
@@ -474,7 +524,7 @@ func (nd *Node) handlePrepare(from int, m *wire.Prepare, e *Effects) {
 	if m.View < nd.view {
 		return // stale candidate; our FD will sort out leadership
 	}
-	if LeaderOf(m.View, nd.n) != from {
+	if nd.leaderOf(m.View) != from {
 		return // not the leader of that view: ignore forged/buggy prepare
 	}
 	nd.adoptView(m.View, e)
@@ -587,7 +637,7 @@ func (nd *Node) handlePropose(from int, m *wire.Propose, e *Effects) {
 	if m.View < nd.view {
 		return
 	}
-	if LeaderOf(m.View, nd.n) != from {
+	if nd.leaderOf(m.View) != from {
 		return
 	}
 	// A Propose implies its sender established leadership of m.View, so
@@ -632,7 +682,7 @@ func (nd *Node) handleHeartbeat(from int, m *wire.Heartbeat, e *Effects) {
 	if m.View < nd.view {
 		return
 	}
-	if LeaderOf(m.View, nd.n) != from {
+	if nd.leaderOf(m.View) != from {
 		return
 	}
 	nd.adoptView(m.View, e)

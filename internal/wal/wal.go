@@ -129,6 +129,12 @@ const (
 	// that happens to land first in a freshly rolled segment must NOT be
 	// mistaken for one — its segment depends on its predecessors.
 	RecCkpt
+	// RecTopo records an epoch-stamped cluster topology (Value holds
+	// wire.EncodeTopology bytes): the shape this replica was in when the
+	// record was journaled. Replay adopts the highest epoch seen, so a
+	// reboot after a reconfiguration comes back in the epoch it crashed in.
+	// Carries no log-slot ID (not slot-bearing).
+	RecTopo
 )
 
 // segRange is the closed [min,max] interval of slot-bearing record IDs in
@@ -172,7 +178,7 @@ type Record struct {
 	ID       wire.InstanceID // RecAccept, RecDecide, RecCut, RecState, RecCkpt
 	HasValue bool            // RecDecide: explicit value follows
 	Decided  bool            // RecState
-	Value    []byte          // RecAccept, RecDecide (if HasValue), RecState
+	Value    []byte          // RecAccept, RecDecide (if HasValue), RecState, RecTopo
 }
 
 // Encoding: each record is
@@ -691,6 +697,9 @@ func encodeRecord(b []byte, rec Record) []byte {
 		}
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(rec.Value)))
 		b = append(b, rec.Value...)
+	case RecTopo:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(rec.Value)))
+		b = append(b, rec.Value...)
 	default:
 		panic(fmt.Sprintf("wal: encode of unknown record type %d", rec.Type))
 	}
@@ -799,6 +808,12 @@ func decodeRecord(b []byte) (rec Record, n int, ok bool) {
 		}
 		rec.ID, rec.View, rec.Decided, rec.Value =
 			wire.InstanceID(id), wire.View(int32(v)), dec != 0, val
+	case RecTopo:
+		val, ok := bytes()
+		if !ok {
+			return rec, 0, false
+		}
+		rec.Value = val
 	default:
 		return rec, 0, false
 	}

@@ -42,6 +42,15 @@ func FuzzUnmarshalRoundTrip(f *testing.F) {
 		&ReadIndexQuery{Seq: 4},
 		&ReadIndexResp{Seq: 4, Index: 99, OK: true},
 		&ClientRead{ClientID: 0xfeed, Seq: 2, Consistency: 1, Payload: []byte("k")},
+		// Epoch-stamped frames and the reconfiguration vocabulary: the
+		// envelope around each hot-path shape, topology holes included.
+		&EpochMsg{Epoch: 3, Msg: &Propose{View: 7, ID: 44, DecidedUpTo: 41, Value: []byte("stamped")}},
+		&EpochMsg{Epoch: 3, Msg: &GroupMsg{Group: 1, Msg: &Accept{View: 7, ID: 44}}},
+		&EpochMsg{Epoch: 1, Msg: &Heartbeat{View: 7, DecidedUpTo: 43, LeaseMS: 250, LeaseSeq: 9}},
+		&TopoUpdate{Topo: Topology{Epoch: 3, BaseView: 12, Groups: 2,
+			Peers: []string{"a:1", "", "c:3", "d:4"}, Clients: []string{"a:9", "", "c:9", "d:9"}}},
+		&Reconfig{ClientID: 0xbeef, Seq: 5, Remove: -1, PeerAddr: "d:4", ClientAddr: "d:9"},
+		&Reconfig{ClientID: 0xbeef, Seq: 6, Remove: 2},
 	}
 	for _, m := range seeds {
 		b := Marshal(m)

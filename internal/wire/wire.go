@@ -76,6 +76,9 @@ const (
 	TClientRead
 	TSnapshotChunkReq
 	TSnapshotChunk
+	TEpochMsg
+	TTopoUpdate
+	TReconfig
 )
 
 // String returns the message type name.
@@ -115,6 +118,12 @@ func (t MsgType) String() string {
 		return "SnapshotChunkReq"
 	case TSnapshotChunk:
 		return "SnapshotChunk"
+	case TEpochMsg:
+		return "EpochMsg"
+	case TTopoUpdate:
+		return "TopoUpdate"
+	case TReconfig:
+		return "Reconfig"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -313,6 +322,11 @@ type Snapshot struct {
 	// Groups records how many ordering groups produced the merged order the
 	// snapshot was cut from. 0 and 1 both mean single-group.
 	Groups int32
+	// Topo is the encoded cluster topology (EncodeTopology) in force at the
+	// cut, nil on legacy epoch-0 snapshots. A joiner bootstrapping through
+	// state transfer learns the epoch it is joining from here, and a reboot
+	// from a snapshot resumes in the shape it crashed in.
+	Topo []byte
 }
 
 // SnapshotMeta describes an available snapshot without carrying its state:
@@ -362,6 +376,229 @@ func GroupCut(lastIncluded InstanceID, groups, g int) InstanceID {
 	}
 	return InstanceID((m-int64(g))/int64(groups) + 1)
 }
+
+// ---------------------------------------------------------------------------
+// Topology: the epoch-stamped cluster shape.
+
+// Topology is the explicit, versioned cluster shape: which replica IDs
+// exist, their inter-replica and client-facing addresses, and how many
+// ordering groups partition the log. It replaces the boot-frozen
+// len(Peers) arithmetic everywhere quorum or view math happens.
+//
+// Replica IDs are never reused: a removed replica leaves an empty-string
+// hole in Peers, and an added replica always takes the next free slot at
+// the end. Epochs advance by exactly one per reconfiguration, each step
+// adding or removing a single replica, so the quorums of adjacent epochs
+// always intersect — the invariant the reconfiguration safety argument
+// rests on (see the README's Reconfiguration section).
+//
+// BaseView is the first view valid in this epoch: applying the topology
+// advances every ordering group to at least BaseView, so the leader map of
+// views below it (which the PREVIOUS epoch's shape may have assigned to a
+// different replica) can never produce a second proposer for a ballot the
+// new epoch uses.
+type Topology struct {
+	Epoch    int64
+	BaseView View
+	Groups   int32
+	Peers    []string // inter-replica addresses, indexed by ID; "" = removed
+	Clients  []string // client-facing addresses, parallel to Peers ("" = unknown)
+}
+
+// N returns the number of active replicas (non-hole slots).
+func (t *Topology) N() int {
+	n := 0
+	for _, a := range t.Peers {
+		if a != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Quorum returns the majority size of the active replica set.
+func (t *Topology) Quorum() int { return t.N()/2 + 1 }
+
+// Active reports whether replica id is a live member of this epoch.
+func (t *Topology) Active(id int) bool {
+	return id >= 0 && id < len(t.Peers) && t.Peers[id] != ""
+}
+
+// Leader returns the leader of view v: the (v mod N)-th active replica in
+// ID order. For a hole-free topology this is exactly the classic v mod n.
+// Allocation-free — it runs on the per-message leader-identity checks.
+func (t *Topology) Leader(v View) int {
+	n := t.N()
+	if n == 0 {
+		return 0
+	}
+	k := int(uint32(v)) % n
+	for i, a := range t.Peers {
+		if a != "" {
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+	}
+	return 0
+}
+
+// ClientAddr returns replica id's client-facing address ("" if unknown).
+func (t *Topology) ClientAddr(id int) string {
+	if id < 0 || id >= len(t.Clients) {
+		return ""
+	}
+	return t.Clients[id]
+}
+
+// Clone returns a deep copy (the slices are freshly allocated).
+func (t *Topology) Clone() *Topology {
+	cp := *t
+	cp.Peers = append([]string(nil), t.Peers...)
+	cp.Clients = append([]string(nil), t.Clients...)
+	return &cp
+}
+
+// GroupCount normalizes Groups exactly like Snapshot.GroupCount.
+func (t *Topology) GroupCount() int {
+	if t.Groups <= 1 {
+		return 1
+	}
+	return int(t.Groups)
+}
+
+// Validate checks structural invariants.
+func (t *Topology) Validate() error {
+	if t.Epoch < 0 {
+		return fmt.Errorf("wire: topology epoch %d is negative", t.Epoch)
+	}
+	if t.N() == 0 {
+		return fmt.Errorf("wire: topology epoch %d has no active replicas", t.Epoch)
+	}
+	if len(t.Clients) > len(t.Peers) {
+		return fmt.Errorf("wire: topology epoch %d has %d client addrs for %d peer slots",
+			t.Epoch, len(t.Clients), len(t.Peers))
+	}
+	return nil
+}
+
+// TopologySize returns the exact encoded size of t.
+func TopologySize(t *Topology) int {
+	n := 8 + 4 + 4 + 4 + 4
+	for _, a := range t.Peers {
+		n += 4 + len(a)
+	}
+	for _, a := range t.Clients {
+		n += 4 + len(a)
+	}
+	return n
+}
+
+// AppendTopology appends t's encoding to dst. The same serialization is
+// used on the wire (TopoUpdate), in the WAL (RecTopo values), and inside
+// snapshot images and manifests — one format, one decoder.
+func AppendTopology(dst []byte, t *Topology) []byte {
+	a := appender{b: dst}
+	a.i64(t.Epoch)
+	a.i32(int32(t.BaseView))
+	a.i32(t.Groups)
+	a.u32(uint32(len(t.Peers)))
+	for _, addr := range t.Peers {
+		a.bytes([]byte(addr))
+	}
+	a.u32(uint32(len(t.Clients)))
+	for _, addr := range t.Clients {
+		a.bytes([]byte(addr))
+	}
+	return a.b
+}
+
+// EncodeTopology serializes t into a fresh exact-size buffer.
+func EncodeTopology(t *Topology) []byte {
+	return AppendTopology(make([]byte, 0, TopologySize(t)), t)
+}
+
+// decodeTopologyFrom parses one topology out of r (strings are copied —
+// topologies are rare control data and long-lived, never frame-borrowed).
+func decodeTopologyFrom(r *reader) (*Topology, error) {
+	t := &Topology{
+		Epoch:    r.i64(),
+		BaseView: View(r.i32()),
+		Groups:   r.i32(),
+	}
+	np := r.u32()
+	if r.err != nil || np > r.len() {
+		r.fail()
+		return nil, r.err
+	}
+	t.Peers = make([]string, 0, np)
+	for range np {
+		t.Peers = append(t.Peers, string(r.bytes()))
+	}
+	nc := r.u32()
+	if r.err != nil || nc > r.len() {
+		r.fail()
+		return nil, r.err
+	}
+	t.Clients = make([]string, 0, nc)
+	for range nc {
+		t.Clients = append(t.Clients, string(r.bytes()))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return t, nil
+}
+
+// DecodeTopology parses an EncodeTopology buffer.
+func DecodeTopology(b []byte) (*Topology, error) {
+	r := reader{b: b}
+	t, err := decodeTopologyFrom(&r)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.b) != 0 {
+		return nil, ErrTrailingData
+	}
+	return t, nil
+}
+
+// TopoUpdate carries a committed topology to a peer or client whose epoch
+// is stale: the "redirect carrying the new topology". Replicas send it in
+// response to mismatched-epoch frames; clients receive it as a connection
+// greeting and on every reconfiguration, and re-resolve their address list
+// from it.
+type TopoUpdate struct {
+	Topo Topology
+}
+
+// Type implements Message.
+func (*TopoUpdate) Type() MsgType { return TTopoUpdate }
+
+// Reconfig is a client-path administrative request: add one replica
+// (Remove < 0, PeerAddr/ClientAddr name the joiner) or remove one
+// (Remove = its ID). The contacted replica must lead group 0; otherwise it
+// answers with a redirect like any write. The success reply's payload is
+// the committed new topology (EncodeTopology).
+type Reconfig struct {
+	ClientID   uint64
+	Seq        uint64
+	Remove     int32
+	PeerAddr   string
+	ClientAddr string
+}
+
+// Type implements Message.
+func (*Reconfig) Type() MsgType { return TReconfig }
+
+// ConfigClientID is the reserved client ID that marks a batch as a
+// configuration command: a batch holding exactly one request with this
+// client ID carries an encoded Topology instead of a service command, and
+// the ServiceManager applies it instead of executing it. Real clients can
+// never use ID 0 (gosmr.Dial ORs the low bit into random IDs and ClientIO
+// rejects it), so the distinguished value can't collide.
+const ConfigClientID uint64 = 0
 
 // CatchUpResp answers a CatchUpQuery with decided values and, if neither
 // the responder's in-memory log nor its WAL (the disk-backed catch-up tier)
@@ -452,6 +689,20 @@ type GroupMsg struct {
 // Type implements Message.
 func (*GroupMsg) Type() MsgType { return TGroupMsg }
 
+// EpochMsg stamps a peer frame with the sender's topology epoch. It is the
+// OUTERMOST envelope (it may wrap a GroupMsg; nothing wraps it): the reader
+// compares the stamp against its own epoch before the inner message is
+// looked at, and a mismatch drops the frame and answers with a TopoUpdate.
+// Epoch-0 clusters (never reconfigured) send every frame unwrapped, so the
+// pre-topology wire format is preserved byte for byte.
+type EpochMsg struct {
+	Epoch int64
+	Msg   Message
+}
+
+// Type implements Message.
+func (*EpochMsg) Type() MsgType { return TEpochMsg }
+
 // Interface compliance checks.
 var (
 	_ Message = (*Hello)(nil)
@@ -471,6 +722,9 @@ var (
 	_ Message = (*ClientRead)(nil)
 	_ Message = (*SnapshotChunkReq)(nil)
 	_ Message = (*SnapshotChunk)(nil)
+	_ Message = (*EpochMsg)(nil)
+	_ Message = (*TopoUpdate)(nil)
+	_ Message = (*Reconfig)(nil)
 )
 
 // Codec errors.
@@ -507,6 +761,9 @@ var (
 	// image slice — steady-state transfer must not allocate per frame.
 	chunkReqPool = sync.Pool{New: func() any { return new(SnapshotChunkReq) }}
 	chunkPool    = sync.Pool{New: func() any { return new(SnapshotChunk) }}
+	// EpochMsg envelopes wrap every peer frame of a reconfigured cluster —
+	// pooled so the epoch stamp adds zero steady-state allocations.
+	epochMsgPool = sync.Pool{New: func() any { return new(EpochMsg) }}
 )
 
 // NewClientReply returns a pooled, zeroed ClientReply for callers that build
@@ -552,6 +809,9 @@ func Release(m Message) {
 	case *SnapshotChunk:
 		*v = SnapshotChunk{}
 		chunkPool.Put(v)
+	case *EpochMsg:
+		*v = EpochMsg{}
+		epochMsgPool.Put(v)
 	}
 }
 
@@ -607,6 +867,8 @@ func Retain(m Message) {
 	case *ClientRead:
 		v.Payload = ownedCopy(v.Payload)
 	case *GroupMsg:
+		Retain(v.Msg)
+	case *EpochMsg:
 		Retain(v.Msg)
 	}
 }
@@ -691,6 +953,15 @@ func Size(m Message) int {
 			panic("wire: Size of nested GroupMsg")
 		}
 		return 1 + 4 + 4 + Size(v.Msg)
+	case *EpochMsg:
+		if _, nested := v.Msg.(*EpochMsg); nested {
+			panic("wire: Size of nested EpochMsg")
+		}
+		return 1 + 8 + 4 + Size(v.Msg)
+	case *TopoUpdate:
+		return 1 + TopologySize(&v.Topo)
+	case *Reconfig:
+		return 1 + 8 + 8 + 4 + 4 + len(v.PeerAddr) + 4 + len(v.ClientAddr)
 	default:
 		panic(fmt.Sprintf("wire: Size of unknown message %T", m))
 	}
@@ -792,6 +1063,21 @@ func AppendMessage(dst []byte, m Message) []byte {
 		a.i32(v.Group)
 		a.u32(uint32(Size(v.Msg))) // inner length prefix, as the nested encoding wrote
 		a.b = AppendMessage(a.b, v.Msg)
+	case *EpochMsg:
+		if _, nested := v.Msg.(*EpochMsg); nested {
+			panic("wire: AppendMessage of nested EpochMsg")
+		}
+		a.i64(v.Epoch)
+		a.u32(uint32(Size(v.Msg))) // inner length prefix, mirroring GroupMsg
+		a.b = AppendMessage(a.b, v.Msg)
+	case *TopoUpdate:
+		a.b = AppendTopology(a.b, &v.Topo)
+	case *Reconfig:
+		a.u64(v.ClientID)
+		a.u64(v.Seq)
+		a.i32(v.Remove)
+		a.bytes([]byte(v.PeerAddr))
+		a.bytes([]byte(v.ClientAddr))
 	default:
 		panic(fmt.Sprintf("wire: AppendMessage of unknown message %T", m))
 	}
@@ -872,7 +1158,7 @@ func (r *reader) bytes() []byte {
 // and callers that fully consume it may hand the struct back with Release.
 func Unmarshal(b []byte) (Message, error) {
 	r := reader{b: b}
-	m, err := decodeMessage(&r, true)
+	m, err := decodeMessage(&r, true, true)
 	if err != nil {
 		return nil, err
 	}
@@ -884,8 +1170,9 @@ func Unmarshal(b []byte) (Message, error) {
 }
 
 // decodeMessage parses one message from r. allowGroup permits a GroupMsg
-// envelope (envelopes never nest).
-func decodeMessage(r *reader, allowGroup bool) (Message, error) {
+// envelope and allowEpoch an EpochMsg one (EpochMsg is outermost and may
+// wrap a GroupMsg; neither envelope nests with itself).
+func decodeMessage(r *reader, allowGroup, allowEpoch bool) (Message, error) {
 	t := MsgType(r.u8())
 	if r.err != nil {
 		return nil, r.err
@@ -1015,7 +1302,7 @@ func decodeMessage(r *reader, allowGroup bool) (Message, error) {
 		// Decode the wrapped message inline from the borrowed body — the
 		// legacy path copied the body out and recursed into Unmarshal.
 		sub := reader{b: body}
-		inner, err := decodeMessage(&sub, false)
+		inner, err := decodeMessage(&sub, false, false)
 		if err != nil {
 			return nil, err
 		}
@@ -1026,6 +1313,43 @@ func decodeMessage(r *reader, allowGroup bool) (Message, error) {
 		v := groupMsgPool.Get().(*GroupMsg)
 		v.Group = group
 		v.Msg = inner
+		m = v
+	case TEpochMsg:
+		if !allowEpoch {
+			return nil, fmt.Errorf("%w: nested EpochMsg", ErrUnknownType)
+		}
+		epoch := r.i64()
+		body := r.bytes()
+		if r.err != nil {
+			return nil, r.err
+		}
+		sub := reader{b: body}
+		inner, err := decodeMessage(&sub, true, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.b) != 0 {
+			Release(inner)
+			return nil, ErrTrailingData
+		}
+		v := epochMsgPool.Get().(*EpochMsg)
+		v.Epoch = epoch
+		v.Msg = inner
+		m = v
+	case TTopoUpdate:
+		t, err := decodeTopologyFrom(r)
+		if err != nil {
+			return nil, err
+		}
+		m = &TopoUpdate{Topo: *t}
+	case TReconfig:
+		v := &Reconfig{
+			ClientID: r.u64(),
+			Seq:      r.u64(),
+			Remove:   r.i32(),
+		}
+		v.PeerAddr = string(r.bytes())
+		v.ClientAddr = string(r.bytes())
 		m = v
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))

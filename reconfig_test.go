@@ -1,0 +1,728 @@
+package gosmr_test
+
+// Reconfiguration suite: dynamic membership through the log.
+//
+// The in-process tests drive the whole epoch machinery end to end — a live
+// 3→4 add under write load (the joiner catches up via snapshot transfer and
+// then VOTES: the sharp assertion kills an original follower so the new
+// quorum must include the joiner), a follower removal that shrinks the
+// quorum and fires OnFaulted on the removed replica, a client pinned to a
+// removed replica that re-resolves from the epoch-stamped TopoUpdate, and a
+// boot that refuses a seed epoch older than what the data dir holds.
+//
+// The subprocess test kill -9s a replica at each reconfig-* crash point
+// (armed via GOSMR_CRASHPOINT, exactly like the snapshot-install suite) and
+// proves the reboot lands in a consistent epoch: the proposer crashing
+// before/after the decide restarts with its OLD seed and converges, a
+// follower crashing mid-adoption restarts with the NEW committed topology
+// and votes in the new-epoch quorum.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gosmr"
+	"gosmr/internal/service"
+)
+
+// rcCluster is a reconfigurable in-process cluster: unlike the static
+// cluster helper it always carries PeerClientAddrs (so topologies hold the
+// full client address map) and wires OnFaulted into per-replica channels.
+type rcCluster struct {
+	t        *testing.T
+	net      gosmr.Network
+	cc       clusterConfig
+	dataDirs []string // non-nil only for durable clusters
+	replicas []*gosmr.Replica
+	services []*service.KV
+	faulted  []chan string
+}
+
+func peerName(i int) string   { return fmt.Sprintf("replica-%d", i) }
+func clientName(i int) string { return fmt.Sprintf("client-%d", i) }
+
+// startRCCluster boots an n-replica epoch-0 cluster ready to reconfigure.
+func startRCCluster(t *testing.T, n int, cc clusterConfig, durable bool) *rcCluster {
+	t.Helper()
+	c := &rcCluster{t: t, net: gosmr.NewInprocNetwork(), cc: cc}
+	peers := make([]string, n)
+	clients := make([]string, n)
+	for i := range n {
+		peers[i] = peerName(i)
+		clients[i] = clientName(i)
+	}
+	for i := range n {
+		dir := ""
+		if durable {
+			dir = t.TempDir()
+		}
+		c.dataDirs = append(c.dataDirs, dir)
+		c.boot(gosmr.Config{
+			ID:              i,
+			Peers:           peers,
+			ClientAddr:      clients[i],
+			PeerClientAddrs: clients,
+			DataDir:         dir,
+		})
+	}
+	t.Cleanup(func() {
+		for _, r := range c.replicas {
+			if r != nil {
+				r.Stop()
+			}
+		}
+	})
+	return c
+}
+
+// boot starts one replica from cfg (topology fields and addresses set by the
+// caller), filling in the cluster-wide tuning, and appends it to the cluster.
+func (c *rcCluster) boot(cfg gosmr.Config) *gosmr.Replica {
+	c.t.Helper()
+	fc := make(chan string, 1)
+	cfg.Network = c.net
+	cfg.Groups = c.cc.groups
+	cfg.Window = c.cc.window
+	cfg.SnapshotEvery = c.cc.snapshotEvery
+	cfg.SnapshotChunkBytes = c.cc.snapshotChunkBytes
+	cfg.ExecutorWorkers = c.cc.executorWorkers
+	cfg.BatchDelay = time.Millisecond
+	cfg.HeartbeatInterval = 20 * time.Millisecond
+	cfg.SuspectTimeout = 200 * time.Millisecond
+	cfg.OnFaulted = func(reason string) {
+		select {
+		case fc <- reason:
+		default:
+		}
+	}
+	svc := service.NewKV()
+	rep, err := gosmr.NewReplica(cfg, svc)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if err := rep.Start(); err != nil {
+		c.t.Fatal(err)
+	}
+	c.replicas = append(c.replicas, rep)
+	c.services = append(c.services, svc)
+	c.faulted = append(c.faulted, fc)
+	return rep
+}
+
+// client dials the cluster, first contact replica target.
+func (c *rcCluster) client(target int) *gosmr.Client {
+	c.t.Helper()
+	addrs := make([]string, len(c.replicas))
+	for i := range addrs {
+		addrs[i] = clientName(i)
+	}
+	cli, err := gosmr.Dial(gosmr.ClientConfig{
+		Addrs:          addrs,
+		Network:        c.net,
+		Timeout:        15 * time.Second,
+		AttemptTimeout: 300 * time.Millisecond,
+		InitialTarget:  target,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return cli
+}
+
+// leader polls until some replica leads group 0 and returns its ID.
+func (c *rcCluster) leader() int {
+	c.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for i, r := range c.replicas {
+			if r != nil && r.IsLeader() {
+				return i
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.t.Fatal("no leader elected within 10s")
+	return -1
+}
+
+// waitStateConverged waits until every live replica's service state is
+// byte-identical (the strongest convergence check: same commands, same
+// order, nothing lost).
+func (c *rcCluster) waitStateConverged(timeout time.Duration) {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	var lastDiff string
+	for time.Now().Before(deadline) {
+		var want []byte
+		same, first := true, true
+		for i, r := range c.replicas {
+			if r == nil {
+				continue
+			}
+			got, err := c.services[i].Snapshot()
+			if err != nil {
+				c.t.Fatal(err)
+			}
+			if first {
+				want, first = got, false
+			} else if !bytes.Equal(got, want) {
+				same, lastDiff = false, fmt.Sprintf("replica %d diverges (%d vs %d bytes)", i, len(got), len(want))
+			}
+		}
+		if same && !first {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, r := range c.replicas {
+		if r != nil {
+			c.t.Logf("replica %d: epoch=%d executed=%d transfers=%d", i, r.Epoch(), r.Executed(), r.StateTransfers())
+		}
+	}
+	c.t.Fatalf("service state did not converge within %v: %s", timeout, lastDiff)
+}
+
+// rcWriter runs a closed loop of acked PUTs w-<id>-<k> until stopped; acked
+// holds the number of CONFIRMED writes (every key below it must survive).
+type rcWriter struct {
+	id    int
+	acked atomic.Int64
+	stop  atomic.Bool
+	done  chan error
+}
+
+func startWriter(c *rcCluster, id int) *rcWriter {
+	w := &rcWriter{id: id, done: make(chan error, 1)}
+	cli := c.client(0)
+	go func() {
+		defer cli.Close()
+		for k := 0; !w.stop.Load(); k++ {
+			reply, err := cli.Execute(service.EncodePut(rcKey(id, k), []byte(rcVal(k))))
+			if err != nil {
+				w.done <- fmt.Errorf("writer %d key %d: %w", id, k, err)
+				return
+			}
+			if st, _ := service.DecodeReply(reply); st != service.KVOK {
+				w.done <- fmt.Errorf("writer %d key %d: status %d", id, k, st)
+				return
+			}
+			w.acked.Add(1)
+		}
+		w.done <- nil
+	}()
+	return w
+}
+
+func rcKey(w, k int) string { return fmt.Sprintf("w%d-%d", w, k) }
+func rcVal(k int) string    { return fmt.Sprintf("v%d", k) }
+
+// TestReconfigAddReplicaUnderLoad is the headline acceptance test: a live
+// 3→4 add under continuous write load. The cluster snapshots aggressively so
+// the joiner's gap reaches below the truncated prefix and it MUST catch up
+// via chunked snapshot transfer; after the add an original follower is
+// stopped, so further commits need a quorum of {leader, follower, joiner} —
+// the joiner provably votes in the new epoch. Not one acked write may be
+// lost across the handoff.
+func TestReconfigAddReplicaUnderLoad(t *testing.T) {
+	for _, groups := range []int{1, 2} {
+		t.Run(fmt.Sprintf("groups=%d", groups), func(t *testing.T) {
+			c := startRCCluster(t, 3, clusterConfig{
+				groups:             groups,
+				snapshotEvery:      25,
+				snapshotChunkBytes: 2048,
+			}, false)
+
+			writers := make([]*rcWriter, 3)
+			for i := range writers {
+				writers[i] = startWriter(c, i)
+			}
+			stopWriters := func() {
+				t.Helper()
+				for _, w := range writers {
+					w.stop.Store(true)
+				}
+				for _, w := range writers {
+					if err := <-w.done; err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			// Let the prefix truncate: enough acked writes that snapshots
+			// exist and the joiner cannot replay from anyone's in-memory log.
+			waitAcked := func(total int64, timeout time.Duration) {
+				t.Helper()
+				deadline := time.Now().Add(timeout)
+				for time.Now().Before(deadline) {
+					var sum int64
+					for _, w := range writers {
+						sum += w.acked.Load()
+					}
+					if sum >= total {
+						return
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+				t.Fatalf("writers did not reach %d acked writes in %v", total, timeout)
+			}
+			waitAcked(300, 30*time.Second)
+
+			leader := c.leader()
+			topo, err := c.replicas[leader].AddReplica(peerName(3), clientName(3))
+			if err != nil {
+				stopWriters()
+				t.Fatalf("AddReplica: %v", err)
+			}
+			if topo.Epoch != 1 || topo.N() != 4 || !topo.Active(3) {
+				t.Fatalf("committed topology = epoch %d n %d active(3) %v, want 1/4/true", topo.Epoch, topo.N(), topo.Active(3))
+			}
+
+			// Boot the joiner with exactly the committed topology as its seed
+			// — the contract Replica.AddReplica documents.
+			c.boot(gosmr.Config{
+				ID:               3,
+				Peers:            topo.Peers,
+				ClientAddr:       topo.Clients[3],
+				PeerClientAddrs:  topo.Clients,
+				TopologyEpoch:    topo.Epoch,
+				TopologyBaseView: int64(topo.BaseView),
+			})
+
+			// The add must be invisible to clients: another slab of acked
+			// writes lands while the joiner is still catching up.
+			waitAcked(500, 30*time.Second)
+			stopWriters()
+
+			c.waitStateConverged(60 * time.Second)
+
+			// Every replica runs in the new epoch and the joiner got there by
+			// genuine state transfer (its gap reached below the truncated log).
+			for i, r := range c.replicas {
+				if got := r.Epoch(); got != 1 {
+					t.Errorf("replica %d epoch = %d, want 1", i, got)
+				}
+			}
+			if n := c.replicas[3].StateTransfers(); n == 0 {
+				t.Error("joiner caught up without a snapshot transfer; the test lost its teeth (lower snapshotEvery)")
+			}
+
+			// Zero acked-write loss, checked against the JOINER's state.
+			joiner := c.services[3]
+			for w := range writers {
+				for k := range int(writers[w].acked.Load()) {
+					st, v := service.DecodeReply(joiner.Execute(service.EncodeGet(rcKey(w, k))))
+					if st != service.KVOK || string(v) != rcVal(k) {
+						t.Fatalf("acked write %s lost on joiner: status %d value %q", rcKey(w, k), st, v)
+					}
+				}
+			}
+
+			// The joiner serves reads locally (follower read path in the new
+			// epoch): retry until its lease-backed read index warms up.
+			rdr := c.client(3)
+			defer rdr.Close()
+			deadline := time.Now().Add(15 * time.Second)
+			for c.replicas[3].LocalReads() == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("joiner never served a local read in the new epoch")
+				}
+				if _, err := rdr.Read(service.EncodeGet(rcKey(0, 0)), gosmr.ReadLinearizable); err != nil {
+					t.Fatalf("read via joiner: %v", err)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+
+			// The sharp quorum assertion: stop an ORIGINAL follower. The new
+			// epoch has n=4, quorum 3 — commits now require the joiner's vote.
+			leader = c.leader()
+			victim := -1
+			for i := range 3 {
+				if i != leader {
+					victim = i
+					break
+				}
+			}
+			c.replicas[victim].Stop()
+			c.replicas[victim] = nil
+
+			cli := c.client(leader)
+			defer cli.Close()
+			for i := range 20 {
+				reply, err := cli.Execute(service.EncodePut(fmt.Sprintf("post-add-%d", i), []byte("ok")))
+				if err != nil {
+					t.Fatalf("write through joiner-quorum: %v", err)
+				}
+				if st, _ := service.DecodeReply(reply); st != service.KVOK {
+					t.Fatalf("write through joiner-quorum: status %d", st)
+				}
+			}
+		})
+	}
+}
+
+// TestReconfigRemoveFollowerShrinksQuorum removes a follower from a
+// 4-replica cluster and proves both effects of the epoch bump: the removed
+// replica learns its own removal (OnFaulted fires, the replica fail-stops)
+// and the quorum SHRINKS — after stopping a second follower the remaining
+// two replicas still commit, which the old 4-replica quorum of 3 could not.
+func TestReconfigRemoveFollowerShrinksQuorum(t *testing.T) {
+	c := startRCCluster(t, 4, clusterConfig{}, false)
+	cli := c.client(0)
+	defer cli.Close()
+	for i := range 20 {
+		if _, err := cli.Execute(service.EncodePut(fmt.Sprintf("pre-%d", i), []byte("x"))); err != nil {
+			t.Fatalf("PUT pre-%d: %v", i, err)
+		}
+	}
+
+	leader := c.leader()
+	victim := (leader + 1) % 4
+	topo, err := c.replicas[leader].RemoveReplica(victim)
+	if err != nil {
+		t.Fatalf("RemoveReplica(%d): %v", victim, err)
+	}
+	if topo.Epoch != 1 || topo.N() != 3 || topo.Quorum() != 2 || topo.Active(victim) {
+		t.Fatalf("committed topology = epoch %d n %d quorum %d active(%d) %v, want 1/3/2/false",
+			topo.Epoch, topo.N(), topo.Quorum(), victim, topo.Active(victim))
+	}
+
+	// Satellite: the removed replica's OnFaulted hook fires with the removal
+	// reason (it learned the epoch that excludes it and fail-stopped).
+	select {
+	case reason := <-c.faulted[victim]:
+		if !strings.Contains(reason, "removed") {
+			t.Fatalf("OnFaulted reason = %q, want a removal notice", reason)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("OnFaulted never fired on the removed replica")
+	}
+	c.replicas[victim].Stop() // idempotent; the replica already stops itself
+	c.replicas[victim] = nil
+
+	// Quorum math shrank: kill a SECOND follower. 2 of the remaining 3 active
+	// replicas must suffice — under the old epoch that would be 2 < 3 and the
+	// cluster would stall.
+	leader = c.leader()
+	second := -1
+	for i := range 4 {
+		if i != leader && i != victim {
+			second = i
+			break
+		}
+	}
+	c.replicas[second].Stop()
+	c.replicas[second] = nil
+
+	cli2 := c.client(leader)
+	defer cli2.Close()
+	for i := range 10 {
+		reply, err := cli2.Execute(service.EncodePut(fmt.Sprintf("post-rm-%d", i), []byte("y")))
+		if err != nil {
+			t.Fatalf("write under shrunken quorum: %v", err)
+		}
+		if st, _ := service.DecodeReply(reply); st != service.KVOK {
+			t.Fatalf("write under shrunken quorum: status %d", st)
+		}
+	}
+	for i, r := range c.replicas {
+		if r != nil && r.Epoch() != 1 {
+			t.Errorf("replica %d epoch = %d, want 1", i, r.Epoch())
+		}
+	}
+}
+
+// TestReconfigClientRepinsAfterRemoval is the redirect-hardening regression:
+// a client pinned to a replica that gets removed consumes the epoch-stamped
+// TopoUpdate, drops the dead address from its map, re-resolves, and carries
+// on — no manual address-list surgery.
+func TestReconfigClientRepinsAfterRemoval(t *testing.T) {
+	c := startRCCluster(t, 4, clusterConfig{}, false)
+	seed := c.client(0)
+	defer seed.Close()
+	if _, err := seed.Execute(service.EncodePut("pin-k", []byte("pin-v"))); err != nil {
+		t.Fatal(err)
+	}
+
+	leader := c.leader()
+	victim := (leader + 1) % 4
+
+	// Pin a reader to the victim (Read deliberately does not fail over).
+	pinned := c.client(victim)
+	defer pinned.Close()
+	if reply, err := pinned.Read(service.EncodeGet("pin-k"), gosmr.ReadLinearizable); err != nil {
+		t.Fatalf("read via victim before removal: %v", err)
+	} else if st, v := service.DecodeReply(reply); st != service.KVOK || string(v) != "pin-v" {
+		t.Fatalf("read via victim = status %d value %q", st, v)
+	}
+
+	if _, err := c.replicas[leader].RemoveReplica(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned client must converge on its own: TopoUpdate (pushed on the
+	// dying connection or received as the greeting when it re-connects
+	// elsewhere) teaches it the new epoch and blanks the victim's address.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		_, err := pinned.Execute(service.EncodePut("after-rm", []byte("z")))
+		if err == nil && pinned.Epoch() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pinned client never re-resolved: epoch=%d err=%v", pinned.Epoch(), err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if addrs := pinned.ClientAddrs(); addrs[victim] != "" {
+		t.Fatalf("client address map still holds removed replica %d: %q", victim, addrs[victim])
+	}
+	// And its reads keep working, now served by a member of the new epoch.
+	if reply, err := pinned.Read(service.EncodeGet("pin-k"), gosmr.ReadLinearizable); err != nil {
+		t.Fatalf("read after re-pin: %v", err)
+	} else if st, v := service.DecodeReply(reply); st != service.KVOK || string(v) != "pin-v" {
+		t.Fatalf("read after re-pin = status %d value %q", st, v)
+	}
+}
+
+// TestReconfigBootRefusesStaleSeed pins the boot-resolution contract: a
+// durable replica whose data dir has adopted epoch 1 must refuse an epoch-0
+// configuration seed (a stale peer list silently resurrecting the old shape
+// is exactly the split-brain reconfiguration exists to prevent), naming both
+// epochs — and must boot fine once given the committed topology.
+func TestReconfigBootRefusesStaleSeed(t *testing.T) {
+	c := startRCCluster(t, 3, clusterConfig{}, true)
+	cli := c.client(0)
+	defer cli.Close()
+	for i := range 10 {
+		if _, err := cli.Execute(service.EncodePut(fmt.Sprintf("pre-%d", i), []byte("x"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	leader := c.leader()
+	topo, err := c.replicas[leader].AddReplica(peerName(3), clientName(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The joiner is never booted: epoch 1 has n=4, quorum 3, so these writes
+	// need every original replica — guaranteeing each journaled the new
+	// topology before the restart below.
+	for i := range 10 {
+		if _, err := cli.Execute(service.EncodePut(fmt.Sprintf("post-%d", i), []byte("y"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	victim := (leader + 1) % 3
+	c.replicas[victim].Stop()
+	dir := c.dataDirs[victim]
+
+	stale := gosmr.Config{
+		ID:              victim,
+		Peers:           []string{peerName(0), peerName(1), peerName(2)},
+		ClientAddr:      clientName(victim),
+		PeerClientAddrs: []string{clientName(0), clientName(1), clientName(2)},
+		DataDir:         dir,
+		Network:         c.net,
+	}
+	rep, err := gosmr.NewReplica(stale, service.NewKV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rep.Start()
+	if err == nil {
+		rep.Stop()
+		t.Fatal("boot accepted an epoch-0 seed over a data dir that adopted epoch 1")
+	}
+	for _, want := range []string{"newer than the configured seed epoch", "epoch 1", "epoch 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("boot refusal %q does not name %q", err, want)
+		}
+	}
+
+	// With the committed topology as seed the same data dir boots, rejoins,
+	// and the cluster commits again (quorum 3 = all original replicas).
+	c.replicas[victim] = nil // boot() appends; drop the dead slot first
+	fresh := c.boot(gosmr.Config{
+		ID:               victim,
+		Peers:            topo.Peers,
+		ClientAddr:       topo.Clients[victim],
+		PeerClientAddrs:  topo.Clients,
+		TopologyEpoch:    topo.Epoch,
+		TopologyBaseView: int64(topo.BaseView),
+		DataDir:          dir,
+	})
+	c.replicas[victim], c.replicas[len(c.replicas)-1] = fresh, nil
+	c.replicas = c.replicas[:len(c.replicas)-1]
+	c.services = c.services[:len(c.services)-1]
+	c.faulted = c.faulted[:len(c.faulted)-1]
+
+	for i := range 5 {
+		if _, err := cli.Execute(service.EncodePut(fmt.Sprintf("rejoin-%d", i), []byte("z"))); err != nil {
+			t.Fatalf("write after rejoin: %v", err)
+		}
+	}
+	if got := fresh.Epoch(); got != 1 {
+		t.Fatalf("rejoined replica epoch = %d, want 1", got)
+	}
+}
+
+// TestKillAtReconfigCrashpointsRestartRecovers kill -9s a real replica
+// subprocess at each reconfiguration crash point and proves the reboot lands
+// in a consistent epoch. The proposer points (reconfig-proposed before the
+// command can commit, reconfig-decided after it did) crash the LEADER, which
+// restarts with its OLD epoch-0 seed: whatever the log decided, replay plus
+// the peers' TopoUpdate exchange converges the cluster, and writes commit.
+// The adoption points (reconfig-journal mid-WAL-record, reconfig-applied
+// after the swap) crash a FOLLOWER after the command committed; it restarts
+// with the NEW topology returned by AddReplica and must then vote — the
+// joiner is never started, so the new epoch's quorum of 3 is exactly
+// {leader, other follower, restarted victim}.
+func TestKillAtReconfigCrashpointsRestartRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real replica subprocesses; skipped in -short")
+	}
+	bin := buildReplicaBin(t)
+
+	for _, tc := range []struct {
+		point     string
+		victim    int  // 0 = the boot-view leader
+		committed bool // must AddReplica have returned the topology?
+	}{
+		{point: "reconfig-proposed", victim: 0},
+		{point: "reconfig-decided", victim: 0},
+		{point: "reconfig-journal", victim: 2, committed: true},
+		{point: "reconfig-applied", victim: 2, committed: true},
+	} {
+		t.Run(tc.point, func(t *testing.T) {
+			addrs := freePorts(t, 8)
+			peerAddrs := strings.Join(addrs[:3], ",")
+			clientAddrs := addrs[3:6]
+			joinerPeer, joinerClient := addrs[6], addrs[7]
+			procs := make([]*replicaProc, 3)
+			for i := range 3 {
+				logf, err := os.Create(filepath.Join(t.TempDir(), fmt.Sprintf("r%d.log", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { logf.Close() })
+				procs[i] = &replicaProc{
+					t: t, bin: bin, log: logf,
+					args: []string{
+						"-id", fmt.Sprint(i),
+						"-peers", peerAddrs,
+						"-client", clientAddrs[i],
+						"-client-peers", strings.Join(clientAddrs, ","),
+						"-data-dir", t.TempDir(),
+						"-sync", "batch",
+						"-snapshot-every", "40",
+						"-groups", "2",
+						"-stats", "0",
+					},
+				}
+				if i == tc.victim {
+					procs[i].env = []string{"GOSMR_CRASHPOINT=" + tc.point}
+				}
+				procs[i].start()
+			}
+			t.Cleanup(func() {
+				for _, p := range procs {
+					if p.cmd != nil {
+						_ = p.cmd.Process.Kill()
+						_ = p.cmd.Wait()
+					}
+				}
+			})
+
+			cli, err := gosmr.Dial(gosmr.ClientConfig{Addrs: clientAddrs, Timeout: 30 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cli.Close()
+			put := func(key string) {
+				t.Helper()
+				reply, err := cli.Execute(service.EncodePut(key, []byte("v-"+key)))
+				if err != nil {
+					t.Fatalf("PUT %s: %v", key, err)
+				}
+				if st, _ := service.DecodeReply(reply); st != service.KVOK {
+					t.Fatalf("PUT %s status %d", key, st)
+				}
+			}
+			for i := range 25 {
+				put(fmt.Sprintf("pre-%d", i))
+			}
+
+			// Commit (or die trying): the admin request runs on a separate
+			// client because the victim may crash mid-conversation.
+			admin, err := gosmr.Dial(gosmr.ClientConfig{Addrs: clientAddrs, Timeout: 20 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			topo, addErr := admin.AddReplica(joinerPeer, joinerClient)
+			admin.Close()
+			if tc.committed {
+				if addErr != nil {
+					t.Fatalf("AddReplica (victim is a follower; must commit): %v", addErr)
+				}
+				if topo.Epoch != 1 || topo.N() != 4 {
+					t.Fatalf("committed topology = epoch %d n %d, want 1/4", topo.Epoch, topo.N())
+				}
+			} else if addErr == nil {
+				t.Fatalf("AddReplica returned %+v, want an error (the proposer died at %s)", topo, tc.point)
+			}
+
+			// The armed point must actually fire: exit code 137 proves the
+			// reconfiguration reached that stage before dying.
+			if code := procs[tc.victim].waitExit(90 * time.Second); code != 137 {
+				if out, err := os.ReadFile(procs[tc.victim].log.Name()); err == nil {
+					t.Logf("victim log:\n%s", out)
+				}
+				t.Fatalf("crash point %s: replica exited with %d, want 137", tc.point, code)
+			}
+
+			// Restart: the crashed proposer reboots with its OLD seed (its
+			// disk never adopted the epoch); the crashed follower reboots
+			// with the COMMITTED topology, exactly like a redeployed node.
+			procs[tc.victim].env = nil
+			if tc.committed {
+				procs[tc.victim].args = []string{
+					"-id", fmt.Sprint(tc.victim),
+					"-peers", strings.Join(topo.Peers, ","),
+					"-client", clientAddrs[tc.victim],
+					"-client-peers", strings.Join(topo.Clients, ","),
+					"-data-dir", procs[tc.victim].args[9], // same data dir
+					"-sync", "batch",
+					"-snapshot-every", "40",
+					"-groups", "2",
+					"-epoch", fmt.Sprint(topo.Epoch),
+					"-base-view", fmt.Sprint(topo.BaseView),
+					"-stats", "0",
+				}
+			}
+			procs[tc.victim].start()
+
+			// Post-restart commits are the consistency proof. In the
+			// committed cases the joiner was never started, so the epoch-1
+			// quorum of 3 MUST include the restarted victim; in the proposer
+			// cases the three replicas converge on whatever epoch the log
+			// holds and keep committing.
+			for i := range 15 {
+				put(fmt.Sprintf("post-%d", i))
+			}
+			reply, err := cli.Execute(service.EncodeGet("pre-0"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st, val := service.DecodeReply(reply); st != service.KVOK || string(val) != "v-pre-0" {
+				t.Fatalf("GET pre-0 = status %d value %q", st, val)
+			}
+		})
+	}
+}
