@@ -337,13 +337,21 @@ func (r *Replica) Topology() *Topology { return r.inner.Topology() }
 // reconfiguration).
 func (r *Replica) Epoch() int64 { return r.inner.Epoch() }
 
+// ErrReconfigConflict is returned by AddReplica/RemoveReplica when the
+// epoch advanced but a concurrent reconfiguration won the slot with a
+// different change (check with errors.Is). Inspect Topology() and re-propose
+// against the committed shape.
+var ErrReconfigConflict = core.ErrReconfigConflict
+
 // AddReplica commits a single-step reconfiguration appending one replica
 // with the given peer-facing and client-facing addresses, blocking until the
 // config command is ordered and takes effect. It returns the committed
 // topology; boot the joiner with Config.TopologyEpoch/TopologyBaseView and
 // the Peers list taken from exactly that topology, and it catches up through
 // snapshot transfer plus the WAL like any lagging replica. Must be called on
-// the leader.
+// the leader. If a concurrent proposal wins the epoch slot with a different
+// change, the call fails with ErrReconfigConflict instead of returning a
+// topology that does not contain the joiner.
 func (r *Replica) AddReplica(peerAddr, clientAddr string) (*Topology, error) {
 	return r.inner.AddReplica(peerAddr, clientAddr)
 }

@@ -87,10 +87,14 @@ type Replica struct {
 	// topo is the committed epoch-stamped cluster topology (never nil after
 	// NewReplica); pendingTopo hands a newly adopted topology to the Protocol
 	// threads, which journal it and re-run Phase 1 at its BaseView. topoMu
-	// serializes adoptTopology; faultCB makes Config.OnFaulted at-most-once.
+	// serializes adoptTopology (including its side effects on the detector,
+	// leases, and peer/client IO — see adoptTopology); reconfigMu serializes
+	// proposeReconfig so two local proposals can never claim the same epoch;
+	// faultCB makes Config.OnFaulted at-most-once.
 	topo        atomic.Pointer[wire.Topology]
 	pendingTopo atomic.Pointer[wire.Topology]
 	topoMu      sync.Mutex
+	reconfigMu  sync.Mutex
 	faultCB     sync.Once
 
 	// smTopo is the topology as of the config commands the ServiceManager

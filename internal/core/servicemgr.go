@@ -364,7 +364,13 @@ func (r *Replica) restoreFromSnapshot(snap wire.Snapshot) error {
 		// the case where a lagging replica crosses a reconfiguration point
 		// via state transfer instead of replaying the config command).
 		if t, err := wire.DecodeTopology(snap.Topo); err == nil {
-			r.smTopo = t
+			// Only advance: a snapshot never carries an epoch older than the
+			// config commands already applied (installs only move the state
+			// forward), but a same-epoch stamp must not overwrite smTopo —
+			// the first topology installed for an epoch is the epoch's truth.
+			if r.smTopo == nil || t.Epoch > r.smTopo.Epoch {
+				r.smTopo = t
+			}
 			r.adoptTopology(t, "snapshot")
 		} else {
 			return fmt.Errorf("core: decode snapshot topology: %w", err)

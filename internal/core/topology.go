@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -75,10 +76,36 @@ func (r *Replica) RemoveReplica(id int) (*wire.Topology, error) {
 // later; retries are idempotent because stale epochs are skipped on apply).
 const reconfigTimeout = 10 * time.Second
 
+// ErrReconfigConflict reports that a proposal's epoch slot was won by a
+// concurrent reconfiguration carrying a different change: the epoch advanced,
+// but the committed topology does not reflect the requested add/remove.
+// Re-propose against the new topology (Replica.Topology shows what committed).
+var ErrReconfigConflict = errors.New("core: reconfiguration lost to a concurrent proposal")
+
 func (r *Replica) proposeReconfig(remove int, peerAddr, clientAddr string) (*wire.Topology, error) {
-	if !r.groups[0].isLeader.Load() {
-		return nil, fmt.Errorf("core: replica %d does not lead group 0 (leader hint: %d)",
-			r.cfg.ID, r.groups[0].leaderHint.Load())
+	// One proposal at a time: two concurrent callers would both read the
+	// same current epoch and commit two config commands claiming the same
+	// E+1 slot. The apply side skips the loser deterministically (see
+	// applyReconfig), but serializing here means a local racer re-reads the
+	// winner's committed topology instead of burning an epoch on a doomed
+	// command.
+	r.reconfigMu.Lock()
+	defer r.reconfigMu.Unlock()
+	// A previous reconfiguration's Phase-1 handoff may still be in flight:
+	// isLeader drops until the group re-elects at the new BaseView, while the
+	// hint still names this replica. Give that window a moment rather than
+	// bounce a serialized back-to-back proposal with a redirect to itself; a
+	// hint naming another replica is a real deposal and fails fast.
+	for grace := time.Now().Add(2 * time.Second); !r.groups[0].isLeader.Load(); {
+		if int(r.groups[0].leaderHint.Load()) != r.cfg.ID || time.Now().After(grace) {
+			return nil, fmt.Errorf("core: replica %d does not lead group 0 (leader hint: %d)",
+				r.cfg.ID, r.groups[0].leaderHint.Load())
+		}
+		select {
+		case <-r.stop:
+			return nil, fmt.Errorf("core: replica shutting down")
+		case <-time.After(2 * time.Millisecond):
+		}
 	}
 	cur := r.topo.Load()
 	next := cur.Clone()
@@ -145,8 +172,15 @@ func (r *Replica) proposeReconfig(remove int, peerAddr, clientAddr string) (*wir
 	for {
 		if t := r.topo.Load(); t.Epoch >= next.Epoch {
 			// Epoch numbers are totally ordered by the log, so whatever
-			// topology got committed at (or past) this epoch is the truth —
-			// return it even if a concurrent proposal won the slot.
+			// topology got committed at (or past) this epoch is the truth.
+			// It is NOT necessarily OUR truth: a concurrent proposal (e.g.
+			// from a deposed leader) may have won the slot with a different
+			// change, in which case our command was skipped on apply —
+			// succeeding here would hand the operator a topology that does
+			// not contain the joiner (or still contains the removee).
+			if err := reconfigOutcome(t, remove, peerAddr, clientAddr); err != nil {
+				return nil, err
+			}
 			return t.Clone(), nil
 		}
 		if time.Now().After(deadline) {
@@ -160,6 +194,27 @@ func (r *Replica) proposeReconfig(remove int, peerAddr, clientAddr string) (*wir
 	}
 }
 
+// reconfigOutcome checks whether the committed topology t reflects the
+// requested change: the removed id is gone, or the added peer address is
+// present (with its client address, when one was given). A mismatch means a
+// concurrent proposal won the epoch slot and ours was skipped on apply.
+func reconfigOutcome(t *wire.Topology, remove int, peerAddr, clientAddr string) error {
+	if remove >= 0 {
+		if t.Active(remove) {
+			return fmt.Errorf("%w: replica %d is still active in committed epoch %d",
+				ErrReconfigConflict, remove, t.Epoch)
+		}
+		return nil
+	}
+	for i, p := range t.Peers {
+		if p == peerAddr && (clientAddr == "" || (i < len(t.Clients) && t.Clients[i] == clientAddr)) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: committed epoch %d does not contain peer %s",
+		ErrReconfigConflict, t.Epoch, peerAddr)
+}
+
 // applyReconfig is the ServiceManager's handler for an ordered config
 // command (a one-request batch under wire.ConfigClientID): decode the
 // topology it carries and adopt it. Runs at a deterministic merged index on
@@ -171,6 +226,23 @@ func (r *Replica) applyReconfig(payload []byte) {
 		return
 	}
 	crashPoint("reconfig-decided")
+	// Epoch fence on the ServiceManager's own topology, mirroring
+	// adoptTopology's: two config commands claiming the same epoch can both
+	// commit (racing proposers read the same current epoch), and the FIRST
+	// one in merged order is the epoch's one true topology on every replica.
+	// Installing the loser here would stamp a divergent same-epoch topology
+	// into the next snapshot manifest — undetectable by the epoch fence, and
+	// fatal to adjacent-epoch quorum intersection on a later state transfer.
+	if r.smTopo != nil && t.Epoch <= r.smTopo.Epoch {
+		log.Printf("gosmr: replica %d: config command for epoch %d skipped (ServiceManager already at epoch %d)",
+			r.cfg.ID, t.Epoch, r.smTopo.Epoch)
+		return
+	}
+	if int(t.Groups) != len(r.groups) {
+		log.Printf("gosmr: replica %d: config command for epoch %d skipped: group count %d != configured %d",
+			r.cfg.ID, t.Epoch, t.Groups, len(r.groups))
+		return
+	}
 	r.smTopo = t
 	r.adoptTopology(t, "log")
 }
@@ -204,11 +276,18 @@ func (r *Replica) adoptTopology(t *wire.Topology, src string) {
 	r.topo.Store(t)
 	r.pendingTopo.Store(t)
 	r.reshapeSendQueues(t)
-	r.topoMu.Unlock()
 
-	log.Printf("gosmr: replica %d: adopted topology epoch %d (n=%d, base view %d, via %s)",
-		r.cfg.ID, t.Epoch, t.N(), t.BaseView, src)
-
+	// The side effects stay under topoMu: the epoch check above is the only
+	// staleness fence, and none of the receivers checks epochs itself. If
+	// the lock were dropped first, two racing adoptions (log apply of E+1 vs
+	// a peer TopoUpdate carrying E+2) could interleave so the OLDER epoch's
+	// calls land last, leaving the failure detector and lease manager on a
+	// stale membership — ackQuorumValid would then size lease quorums
+	// against the wrong active set. Every call below is non-blocking
+	// (TryPut, atomic pointer swaps, short internal critical sections), and
+	// none of their locks is ever held while acquiring topoMu, so holding it
+	// across them is cheap and deadlock-free.
+	//
 	// Nudge every Protocol thread: each picks pendingTopo up at the top of
 	// its event loop (journaling it and advancing to BaseView).
 	for _, g := range r.groups {
@@ -224,7 +303,13 @@ func (r *Replica) adoptTopology(t *wire.Topology, src string) {
 	if r.clientIO != nil {
 		r.clientIO.broadcastTopology(t)
 	}
-	if !t.Active(r.cfg.ID) {
+	removed := !t.Active(r.cfg.ID)
+	r.topoMu.Unlock()
+
+	log.Printf("gosmr: replica %d: adopted topology epoch %d (n=%d, base view %d, via %s)",
+		r.cfg.ID, t.Epoch, t.N(), t.BaseView, src)
+
+	if removed {
 		// Permanently removed: this replica is no longer a member. Fire the
 		// operator hook and shut down (Stop must not run on this thread —
 		// it joins the module the caller may be running on).

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gosmr/internal/wire"
+)
+
+// TestReconfigOutcome pins down the win/lose verdict a proposer derives from
+// the committed topology: a success must mean the requested change is really
+// in the committed shape, anything else is ErrReconfigConflict.
+func TestReconfigOutcome(t *testing.T) {
+	topo := &wire.Topology{
+		Epoch:   1,
+		Groups:  1,
+		Peers:   []string{"p0", "p1", "", "p3"},
+		Clients: []string{"c0", "c1", "", "c3"},
+	}
+	cases := []struct {
+		name      string
+		remove    int
+		peer, cli string
+		wantErr   bool
+	}{
+		{name: "add won", remove: -1, peer: "p3", cli: "c3"},
+		{name: "add won, no client addr requested", remove: -1, peer: "p3"},
+		{name: "add lost the slot", remove: -1, peer: "p9", cli: "c9", wantErr: true},
+		{name: "add address present but client addr differs", remove: -1, peer: "p3", cli: "cX", wantErr: true},
+		{name: "remove won", remove: 2},
+		{name: "remove lost, peer still active", remove: 1, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := reconfigOutcome(topo, tc.remove, tc.peer, tc.cli)
+			if tc.wantErr {
+				if !errors.Is(err, ErrReconfigConflict) {
+					t.Fatalf("got %v, want ErrReconfigConflict", err)
+				}
+			} else if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		})
+	}
+}

@@ -726,3 +726,88 @@ func TestKillAtReconfigCrashpointsRestartRecovers(t *testing.T) {
 		})
 	}
 }
+
+// TestReconfigConcurrentProposalsSerialize guards the epoch-uniqueness
+// invariant: two AddReplica calls racing on the same leader must never both
+// claim the same epoch slot. Serialized proposals commit distinct epochs; a
+// loser fails loudly (ErrReconfigConflict, or a leadership blip during the
+// handoff window) instead of returning a topology that does not contain its
+// joiner. Without the proposer mutex and the apply-side epoch fence, both
+// racers could commit divergent same-epoch topologies — undetectable by the
+// epoch fence, fatal to adjacent-epoch quorum intersection.
+func TestReconfigConcurrentProposalsSerialize(t *testing.T) {
+	c := startRCCluster(t, 3, clusterConfig{groups: 1}, false)
+	lead := c.replicas[c.leader()]
+
+	cli := c.client(0)
+	defer cli.Close()
+	for k := range 5 {
+		if _, err := cli.Execute(service.EncodePut(rcKey(9, k), []byte(rcVal(k)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type outcome struct {
+		peer string
+		topo *gosmr.Topology
+		err  error
+	}
+	results := make(chan outcome, 2)
+	for i := range 2 {
+		peer, client := peerName(3+i), clientName(3+i)
+		go func() {
+			topo, err := lead.AddReplica(peer, client)
+			results <- outcome{peer: peer, topo: topo, err: err}
+		}()
+	}
+
+	byEpoch := make(map[int64]string)
+	wins := 0
+	for range 2 {
+		r := <-results
+		if r.err != nil {
+			t.Logf("proposal %s lost: %v", r.peer, r.err)
+			continue
+		}
+		if prev, dup := byEpoch[r.topo.Epoch]; dup {
+			t.Fatalf("proposals %s and %s both claim epoch %d", prev, r.peer, r.topo.Epoch)
+		}
+		byEpoch[r.topo.Epoch] = r.peer
+		found := false
+		for _, p := range r.topo.Peers {
+			if p == r.peer {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("AddReplica(%s) succeeded with a topology that does not contain it: %v",
+				r.peer, r.topo.Peers)
+		}
+		wins++
+	}
+	if wins == 0 {
+		t.Fatal("both concurrent proposals failed")
+	}
+
+	// Every live replica converges on one epoch with identical membership.
+	want := lead.Topology()
+	deadline := time.Now().Add(10 * time.Second)
+	for i := range 3 {
+		for {
+			got := c.replicas[i].Topology()
+			if got.Epoch == want.Epoch && fmt.Sprint(got.Peers) == fmt.Sprint(want.Peers) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d stuck at epoch %d peers %v; want epoch %d peers %v",
+					i, got.Epoch, got.Peers, want.Epoch, want.Peers)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// The three booted replicas still form a quorum of the final epoch
+	// (n=4 or n=5), so the cluster keeps committing.
+	if _, err := cli.Execute(service.EncodePut("after-race", []byte("ok"))); err != nil {
+		t.Fatal(err)
+	}
+}
